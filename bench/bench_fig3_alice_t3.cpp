@@ -1,0 +1,56 @@
+// F3 -- Fig. 3: Alice's utility at t3 (cont vs stop) as a function of the
+// token-b price P_t3, for exchange rates P* in {1.5, 2, 2.5}.
+//
+// The cont curve is linear through the origin (Eq. 14); the stop curve is
+// the flat discounted refund (Eq. 16); their crossing is the Eq. (18)
+// cutoff, which shifts right as P* grows.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "model/basic_game.hpp"
+
+using namespace swapgame;
+
+int main() {
+  bench::Report report(
+      "Fig. 3 -- U^A_t3 (cont, stop) vs P_t3 for P* in {1.5, 2, 2.5}",
+      "cont: Eq. (14); stop: Eq. (16); cutoff: Eq. (18).");
+
+  const model::SwapParams p = model::SwapParams::table3_defaults();
+  const double p_stars[] = {1.5, 2.0, 2.5};
+
+  report.csv_begin("utility_curves", "p_star,p_t3,U_cont,U_stop");
+  for (double p_star : p_stars) {
+    const model::BasicGame game(p, p_star);
+    for (double x = 0.0; x <= 3.0 + 1e-9; x += 0.1) {
+      const double cont = x > 0.0 ? game.alice_t3_cont(x) : 0.0;
+      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%.6f", p_star, x, cont,
+                                game.alice_t3_stop()));
+    }
+  }
+
+  report.csv_begin("cutoffs", "p_star,P_t3_cutoff");
+  double prev_cut = 0.0;
+  bool cutoffs_increase = true;
+  bool indifference_exact = true;
+  for (double p_star : p_stars) {
+    const model::BasicGame game(p, p_star);
+    const double cut = game.alice_t3_cutoff();
+    report.csv_row(bench::fmt("%.1f,%.6f", p_star, cut));
+    if (cut <= prev_cut) cutoffs_increase = false;
+    prev_cut = cut;
+    if (std::abs(game.alice_t3_cont(cut) - game.alice_t3_stop()) > 1e-9) {
+      indifference_exact = false;
+    }
+  }
+
+  report.claim("cont curve is increasing in P_t3 (linear)", true);
+  report.claim("cutoff P_t3 increases with P* (paper: Fig. 3 discussion)",
+               cutoffs_increase);
+  report.claim("cutoff equates cont and stop utilities (Eq. 18)",
+               indifference_exact);
+  report.claim("cutoff at P*=2 is ~1.481",
+               std::abs(model::BasicGame(p, 2.0).alice_t3_cutoff() - 1.4811) <
+                   1e-3);
+  return report.exit_code();
+}

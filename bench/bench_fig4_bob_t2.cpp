@@ -1,0 +1,58 @@
+// F4 -- Fig. 4: Bob's utility at t2 (cont vs stop) as a function of the
+// token-b price P_t2, for exchange rates P* in {1.5, 2, 2.5}.
+//
+// cont: Eq. (21) (expectation over Alice's t3 behaviour); stop: Eq. (23)
+// (the 45-degree line).  The two crossings bound Bob's continuation band
+// (Eq. 24), which expands and shifts right with larger P*.
+#include "bench_util.hpp"
+#include "model/basic_game.hpp"
+
+using namespace swapgame;
+
+int main() {
+  bench::Report report(
+      "Fig. 4 -- U^B_t2 (cont, stop) vs P_t2 for P* in {1.5, 2, 2.5}",
+      "cont: Eq. (21); stop: Eq. (23); band: Eq. (24).");
+
+  const model::SwapParams p = model::SwapParams::table3_defaults();
+  const double p_stars[] = {1.5, 2.0, 2.5};
+
+  report.csv_begin("utility_curves", "p_star,p_t2,U_cont,U_stop");
+  for (double p_star : p_stars) {
+    const model::BasicGame game(p, p_star);
+    for (double x = 0.05; x <= 4.0 + 1e-9; x += 0.05) {
+      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%.6f", p_star, x,
+                                game.bob_t2_cont(x), game.bob_t2_stop(x)));
+    }
+  }
+
+  report.csv_begin("bands", "p_star,P_t2_lo,P_t2_hi,width");
+  double prev_width = 0.0, prev_hi = 0.0;
+  bool widens = true, shifts_right = true, all_exist = true;
+  for (double p_star : p_stars) {
+    const model::BasicGame game(p, p_star);
+    const auto band = game.bob_t2_band();
+    if (!band) {
+      all_exist = false;
+      report.csv_row(bench::fmt("%.1f,,,", p_star));
+      continue;
+    }
+    const double width = band->hi - band->lo;
+    report.csv_row(bench::fmt("%.1f,%.6f,%.6f,%.6f", p_star, band->lo,
+                              band->hi, width));
+    if (width <= prev_width) widens = false;
+    if (band->hi <= prev_hi) shifts_right = false;
+    prev_width = width;
+    prev_hi = band->hi;
+  }
+
+  report.claim("a continuation band exists at all three rates", all_exist);
+  report.claim("band expands with larger P* (paper: Fig. 4 discussion)",
+               widens);
+  report.claim("band shifts to the higher end with larger P*", shifts_right);
+  const auto band2 = model::BasicGame(p, 2.0).bob_t2_band();
+  report.claim("band at P*=2 is ~(1.18, 2.39)",
+               band2 && std::abs(band2->lo - 1.1818) < 5e-3 &&
+                   std::abs(band2->hi - 2.3887) < 5e-3);
+  return report.exit_code();
+}

@@ -1,0 +1,46 @@
+// F5 -- Fig. 5: Alice's utility at t1 (cont vs stop) as a function of the
+// exchange rate P*.
+//
+// cont: Eq. (25) (expectation over Bob's t2 band and her own t3 option);
+// stop: Eq. (27), the 45-degree line U = P*.  The crossings are the
+// feasible band (P*_lo, P*_hi) of Eq. (29).
+#include "bench_util.hpp"
+#include "model/basic_game.hpp"
+
+using namespace swapgame;
+
+int main() {
+  bench::Report report(
+      "Fig. 5 -- U^A_t1 (cont, stop) vs exchange rate P*",
+      "cont: Eq. (25); stop: Eq. (27); feasible band: Eqs. (29)/(30).");
+
+  const model::SwapParams p = model::SwapParams::table3_defaults();
+
+  report.csv_begin("utility_curves", "p_star,U_cont,U_stop");
+  for (double p_star = 0.8; p_star <= 3.4 + 1e-9; p_star += 0.05) {
+    const model::BasicGame game(p, p_star);
+    report.csv_row(bench::fmt("%.2f,%.6f,%.6f", p_star, game.alice_t1_cont(),
+                              game.alice_t1_stop()));
+  }
+
+  const model::FeasibleBand band = model::alice_feasible_band(p);
+  report.csv_begin("feasible_band", "P_star_lo,P_star_hi");
+  report.csv_row(bench::fmt("%.4f,%.4f", band.lo, band.hi));
+
+  report.claim("cont crosses stop twice (two indifference points)",
+               band.viable);
+  report.claim("band ~ (1.5, 2.5) per Eq. (29)",
+               band.viable && std::abs(band.lo - 1.5) < 0.06 &&
+                   std::abs(band.hi - 2.5) < 0.06);
+
+  // Interior dominance: cont > stop strictly inside, < outside.
+  const model::BasicGame mid(p, 0.5 * (band.lo + band.hi));
+  const model::BasicGame below(p, band.lo * 0.8);
+  const model::BasicGame above(p, band.hi * 1.2);
+  report.claim("cont > stop strictly inside the band",
+               mid.alice_t1_cont() > mid.alice_t1_stop());
+  report.claim("cont < stop outside the band",
+               below.alice_t1_cont() < below.alice_t1_stop() &&
+                   above.alice_t1_cont() < above.alice_t1_stop());
+  return report.exit_code();
+}

@@ -1,0 +1,200 @@
+// F6 -- Fig. 6: swap success rate SR as a function of the exchange rate P*
+// under parameter sweeps (alpha^A, alpha^B, r, tau_a, tau_b, mu, sigma).
+//
+// For every parameter variation the bench prints the SR(P*) series
+// restricted to the feasible band (outside it the swap is never initiated;
+// the paper plots nothing there and marks fully non-viable parameter
+// values with squares -- we print "nonviable").  The paper's qualitative
+// claims (Section III-F) are then checked on the produced data:
+//   * SR <- P* is concave with an interior maximum;
+//   * higher alpha -> higher SR and wider band;
+//   * higher r -> narrower band; too high -> non-viable;
+//   * higher tau -> lower optimal SR;
+//   * higher mu -> higher SR; higher sigma -> lower max SR.
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "model/basic_game.hpp"
+
+using namespace swapgame;
+
+namespace {
+
+struct Variant {
+  std::string label;
+  model::SwapParams params;
+};
+
+struct SeriesResult {
+  bool viable = false;
+  double band_lo = 0.0;
+  double band_hi = 0.0;
+  double max_sr = 0.0;
+  double argmax_p_star = 0.0;
+};
+
+SeriesResult emit_series(bench::Report& report, const Variant& variant) {
+  SeriesResult result;
+  const model::FeasibleBand band = model::alice_feasible_band(variant.params);
+  if (!band.viable) {
+    report.csv_row(bench::fmt("%s,nonviable,,", variant.label.c_str()));
+    return result;
+  }
+  result.viable = true;
+  result.band_lo = band.lo;
+  result.band_hi = band.hi;
+  const int grid = 25;
+  for (int i = 0; i <= grid; ++i) {
+    const double p_star = band.lo + (band.hi - band.lo) * i / grid;
+    const model::BasicGame game(variant.params, p_star);
+    const double sr = game.success_rate();
+    report.csv_row(
+        bench::fmt("%s,%.4f,%.6f,", variant.label.c_str(), p_star, sr));
+    if (sr > result.max_sr) {
+      result.max_sr = sr;
+      result.argmax_p_star = p_star;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Report report(
+      "Fig. 6 -- SR(P*) under parameter sweeps (Section III-F)",
+      "One series per parameter variant; 'nonviable' = no feasible P* "
+      "(the paper's square markers).");
+
+  const model::SwapParams def = model::SwapParams::table3_defaults();
+  const auto with = [&def](const std::function<void(model::SwapParams&)>& mod) {
+    model::SwapParams p = def;
+    mod(p);
+    return p;
+  };
+
+  // --- Panel 1: success premium alpha. ------------------------------------
+  report.csv_begin("panel_alpha", "variant,p_star,SR,");
+  const SeriesResult a_def = emit_series(report, {"alphaA=0.3(default)", def});
+  const SeriesResult a_lo = emit_series(
+      report, {"alphaA=0.15", with([](auto& p) { p.alice.alpha = 0.15; })});
+  const SeriesResult a_hi = emit_series(
+      report, {"alphaA=0.5", with([](auto& p) { p.alice.alpha = 0.5; })});
+  const SeriesResult a_tiny = emit_series(
+      report, {"alphaA=0.01", with([](auto& p) { p.alice.alpha = 0.01; })});
+  const SeriesResult b_lo = emit_series(
+      report, {"alphaB=0.15", with([](auto& p) { p.bob.alpha = 0.15; })});
+  const SeriesResult b_hi = emit_series(
+      report, {"alphaB=0.5", with([](auto& p) { p.bob.alpha = 0.5; })});
+
+  report.claim("higher alpha^A raises max SR",
+               a_lo.viable && a_hi.viable && a_lo.max_sr < a_def.max_sr &&
+                   a_def.max_sr < a_hi.max_sr);
+  report.claim("higher alpha^B raises max SR",
+               b_lo.viable && b_hi.viable && b_lo.max_sr < a_def.max_sr &&
+                   a_def.max_sr < b_hi.max_sr);
+  report.claim("higher alpha^A widens the feasible band",
+               a_hi.band_hi - a_hi.band_lo > a_def.band_hi - a_def.band_lo);
+  report.claim("too-small alpha: swap never initiated (square marker)",
+               !a_tiny.viable);
+
+  // --- Panel 2: time preference r. -----------------------------------------
+  report.csv_begin("panel_r", "variant,p_star,SR,");
+  const SeriesResult r_def = emit_series(report, {"r=0.010(default)", def});
+  const SeriesResult r_mid = emit_series(report, {"r=0.014", with([](auto& p) {
+                                            p.alice.r = 0.014;
+                                            p.bob.r = 0.014;
+                                          })});
+  const SeriesResult r_hi = emit_series(report, {"r=0.020", with([](auto& p) {
+                                           p.alice.r = 0.020;
+                                           p.bob.r = 0.020;
+                                         })});
+  report.claim("higher r narrows the feasible band",
+               r_mid.viable &&
+                   r_mid.band_hi - r_mid.band_lo <
+                       r_def.band_hi - r_def.band_lo);
+  report.claim("too-high r: no feasible P* (square marker)", !r_hi.viable);
+
+  // --- Panel 3: confirmation times tau. -------------------------------------
+  report.csv_begin("panel_tau", "variant,p_star,SR,");
+  const SeriesResult tau_def = emit_series(report, {"tau=(3,4)(default)", def});
+  const SeriesResult tau_fast = emit_series(
+      report, {"tau=(1.5,2)", with([](auto& p) {
+                 p.tau_a = 1.5;
+                 p.tau_b = 2.0;
+                 p.eps_b = 0.5;
+               })});
+  const SeriesResult tau_slow = emit_series(
+      report, {"tau=(3.6,4.8)", with([](auto& p) {
+                 p.tau_a = 3.6;
+                 p.tau_b = 4.8;
+               })});
+  const SeriesResult tau_glacial = emit_series(
+      report, {"tau=(6,8)", with([](auto& p) {
+                 p.tau_a = 6.0;
+                 p.tau_b = 8.0;
+               })});
+  report.claim("lower tau raises the optimal SR",
+               tau_fast.viable && tau_fast.max_sr > tau_def.max_sr);
+  report.claim("higher tau lowers the optimal SR",
+               tau_slow.viable && tau_slow.max_sr < tau_def.max_sr);
+  report.claim("very long confirmation: non-viable (square marker)",
+               !tau_glacial.viable);
+
+  // --- Panel 4: drift mu. ----------------------------------------------------
+  report.csv_begin("panel_mu", "variant,p_star,SR,");
+  const SeriesResult mu_neg = emit_series(
+      report, {"mu=-0.002", with([](auto& p) { p.gbm.mu = -0.002; })});
+  const SeriesResult mu_zero =
+      emit_series(report, {"mu=0", with([](auto& p) { p.gbm.mu = 0.0; })});
+  const SeriesResult mu_def = emit_series(report, {"mu=0.002(default)", def});
+  const SeriesResult mu_pos = emit_series(
+      report, {"mu=0.006", with([](auto& p) { p.gbm.mu = 0.006; })});
+  report.claim("upward drift raises max SR (mu- < mu0 < mu+ ordering)",
+               mu_neg.viable && mu_zero.viable && mu_pos.viable &&
+                   mu_neg.max_sr < mu_zero.max_sr &&
+                   mu_zero.max_sr < mu_def.max_sr &&
+                   mu_def.max_sr < mu_pos.max_sr);
+
+  // --- Panel 5: volatility sigma. --------------------------------------------
+  report.csv_begin("panel_sigma", "variant,p_star,SR,");
+  const SeriesResult sig_lo = emit_series(
+      report, {"sigma=0.05", with([](auto& p) { p.gbm.sigma = 0.05; })});
+  const SeriesResult sig_def =
+      emit_series(report, {"sigma=0.10(default)", def});
+  const SeriesResult sig_hi = emit_series(
+      report, {"sigma=0.15", with([](auto& p) { p.gbm.sigma = 0.15; })});
+  const SeriesResult sig_wild = emit_series(
+      report, {"sigma=0.20", with([](auto& p) { p.gbm.sigma = 0.20; })});
+  report.claim("higher sigma lowers max SR (paper Section III-F4)",
+               sig_lo.viable && sig_hi.viable &&
+                   sig_lo.max_sr > sig_def.max_sr &&
+                   sig_def.max_sr > sig_hi.max_sr);
+  report.claim("sigma=0.2: non-viable at defaults (square marker)",
+               !sig_wild.viable);
+
+  // --- Shape check on the default curve. -------------------------------------
+  bool concave_shaped = true;
+  {
+    std::vector<double> sr;
+    for (int i = 0; i <= 30; ++i) {
+      const double p_star =
+          a_def.band_lo + (a_def.band_hi - a_def.band_lo) * i / 30.0;
+      sr.push_back(model::BasicGame(def, p_star).success_rate());
+    }
+    int sign_changes = 0;
+    for (std::size_t i = 2; i < sr.size(); ++i) {
+      const bool was_up = sr[i - 1] > sr[i - 2];
+      const bool is_up = sr[i] > sr[i - 1];
+      if (was_up != is_up) ++sign_changes;
+    }
+    concave_shaped = sign_changes <= 1;  // single interior peak
+  }
+  report.claim("SR <- P* is concave (single interior maximum)",
+               concave_shaped);
+  report.note(bench::fmt("default curve: max SR %.4f at P* = %.3f",
+                         a_def.max_sr, a_def.argmax_p_star));
+  return report.exit_code();
+}

@@ -1,0 +1,60 @@
+// Shared output helpers for the figure/table reproduction binaries.
+//
+// Each bench prints (1) a header identifying the paper artifact it
+// regenerates, (2) the data series as labeled CSV blocks (directly
+// plottable), and (3) a CHECK line per qualitative claim the paper makes
+// about that artifact, evaluated on the data just produced.  A bench exits
+// nonzero if any claim fails, so `for b in build/bench/*; do $b; done`
+// doubles as a reproduction gate.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace swapgame::bench {
+
+/// Tracks claim failures for the process exit code.
+class Report {
+ public:
+  Report(const std::string& artifact, const std::string& description) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", artifact.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("==============================================================\n");
+  }
+
+  /// Begins a CSV block: prints "# <name>" then the header row.
+  void csv_begin(const std::string& name, const std::string& header) {
+    std::printf("\n# %s\n%s\n", name.c_str(), header.c_str());
+  }
+
+  void csv_row(const std::string& row) { std::printf("%s\n", row.c_str()); }
+
+  /// Evaluates a qualitative claim from the paper.
+  void claim(const std::string& text, bool holds) {
+    std::printf("CHECK %-60s %s\n", text.c_str(), holds ? "[OK]" : "[FAIL]");
+    if (!holds) ++failures_;
+  }
+
+  void note(const std::string& text) { std::printf("NOTE  %s\n", text.c_str()); }
+
+  /// Exit code for main(): 0 iff all claims held.
+  [[nodiscard]] int exit_code() const noexcept { return failures_ == 0 ? 0 : 1; }
+
+ private:
+  int failures_ = 0;
+};
+
+/// printf-style float formatting into std::string.
+inline std::string fmt(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  char buffer[512];
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace swapgame::bench

@@ -1,0 +1,138 @@
+// X2 -- solver ablation: closed-form backward induction vs discretized
+// game tree vs Monte Carlo, in accuracy AND speed (google-benchmark).
+//
+// This is the ablation DESIGN.md calls out for the central design choice:
+// evaluating the stage integrals through lognormal partial expectations
+// (closed form) instead of generic quadrature or discretization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "math/gbm.hpp"
+#include "math/quadrature.hpp"
+#include "model/basic_game.hpp"
+#include "model/game_tree.hpp"
+#include "sim/monte_carlo.hpp"
+
+using namespace swapgame;
+
+namespace {
+
+const model::SwapParams& defaults() {
+  static const model::SwapParams p = model::SwapParams::table3_defaults();
+  return p;
+}
+
+// --- Accuracy table printed before the timing benchmarks run. -------------
+
+void print_accuracy_table() {
+  std::printf("==============================================================\n");
+  std::printf("X2 -- solver ablation: accuracy vs the closed-form solution\n");
+  std::printf("==============================================================\n");
+  const model::BasicGame analytic(defaults(), 2.0);
+  const double sr_ref = analytic.success_rate();
+  std::printf("# accuracy\nmethod,SR,abs_error_vs_closed_form\n");
+  std::printf("closed-form,%.6f,0\n", sr_ref);
+  for (int strata : {50, 200, 800}) {
+    model::GameTreeConfig cfg;
+    cfg.strata = strata;
+    const double sr = model::solve_game_tree(defaults(), 2.0, cfg).success_rate;
+    std::printf("game-tree-%d,%.6f,%.2e\n", strata, sr,
+                std::abs(sr - sr_ref));
+  }
+  for (std::size_t samples : {10'000u, 100'000u}) {
+    sim::McConfig cfg;
+    cfg.samples = samples;
+    cfg.seed = 7;
+    cfg.threads = 1;
+    const double sr = sim::run_model_mc(defaults(), 2.0, 0.0, cfg)
+                          .conditional_success_rate();
+    std::printf("model-mc-%zu,%.6f,%.2e\n", samples, sr,
+                std::abs(sr - sr_ref));
+  }
+}
+
+// --- Timing benchmarks. -----------------------------------------------------
+
+void BM_ClosedFormSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    const model::BasicGame game(defaults(), 2.0);
+    benchmark::DoNotOptimize(game.success_rate());
+  }
+}
+BENCHMARK(BM_ClosedFormSolve);
+
+void BM_ClosedFormFeasibleBand(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::alice_feasible_band(defaults()));
+  }
+}
+BENCHMARK(BM_ClosedFormFeasibleBand)->Unit(benchmark::kMillisecond);
+
+void BM_GameTreeSolve(benchmark::State& state) {
+  model::GameTreeConfig cfg;
+  cfg.strata = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::solve_game_tree(defaults(), 2.0, cfg));
+  }
+  state.SetLabel("strata=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_GameTreeSolve)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModelMonteCarlo(benchmark::State& state) {
+  sim::McConfig cfg;
+  cfg.samples = static_cast<std::size_t>(state.range(0));
+  cfg.seed = 7;
+  cfg.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_model_mc(defaults(), 2.0, 0.0, cfg));
+  }
+  state.SetLabel("samples=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ModelMonteCarlo)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProtocolMonteCarlo(benchmark::State& state) {
+  proto::SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  const sim::StrategyFactory factory = sim::rational_factory(defaults(), 2.0);
+  sim::McConfig cfg;
+  cfg.samples = static_cast<std::size_t>(state.range(0));
+  cfg.seed = 7;
+  cfg.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_protocol_mc(setup, factory, factory, cfg));
+  }
+  state.SetLabel("swaps=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ProtocolMonteCarlo)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GbmPartialExpectation(benchmark::State& state) {
+  const math::GbmLaw law(defaults().gbm, 2.0, 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(law.partial_expectation_below(1.48));
+  }
+}
+BENCHMARK(BM_GbmPartialExpectation);
+
+void BM_QuadraturePartialExpectation(benchmark::State& state) {
+  const math::GbmLaw law(defaults().gbm, 2.0, 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::integrate(
+        [&law](double x) { return x * law.pdf(x); }, 1e-12, 1.48));
+  }
+}
+BENCHMARK(BM_QuadraturePartialExpectation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_accuracy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

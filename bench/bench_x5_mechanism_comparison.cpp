@@ -1,0 +1,115 @@
+// X5 -- comparative experiment (paper Section V: "our framework is only a
+// first step to a consistent comparative analysis of different protocols.
+// For example, which protocol agents would select and why").
+//
+// Compares three disciplinary designs at equal deposit size d, both
+// analytically and end-to-end on the protocol substrate:
+//   * plain HTLC (Section III),
+//   * both-sided collateral + oracle (Section IV),
+//   * initiator-only premium escrow (Han et al., Section II-C).
+//
+// Headline finding: the premium mechanism fixes only Alice's t3 optionality
+// and therefore saturates strictly below collateral, which also disciplines
+// Bob's t2 walk-away.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "model/collateral_game.hpp"
+#include "model/premium_game.hpp"
+#include "sim/scenario.hpp"
+
+using namespace swapgame;
+
+int main() {
+  bench::Report report(
+      "X5 -- mechanism comparison: HTLC vs +collateral vs +premium",
+      "Equal deposit d per mechanism; analytic SR + protocol-MC SR.");
+
+  const model::SwapParams p = model::SwapParams::table3_defaults();
+
+  // --- Analytic SR over a deposit grid. ------------------------------------
+  report.csv_begin("analytic_sr", "deposit,htlc,htlc_collateral,htlc_premium");
+  bool collateral_dominates = true;
+  bool premium_helps = true;
+  double premium_max = 0.0;
+  const double sr_base = model::BasicGame(p, 2.0).success_rate();
+  for (double d = 0.0; d <= 2.0 + 1e-9; d += 0.25) {
+    const double sr_coll = model::CollateralGame(p, 2.0, d).success_rate();
+    const double sr_prem = model::PremiumGame(p, 2.0, d).success_rate();
+    report.csv_row(bench::fmt("%.2f,%.5f,%.5f,%.5f", d, sr_base, sr_coll,
+                              sr_prem));
+    if (d > 0.0) {
+      if (sr_coll < sr_prem - 1e-9) collateral_dominates = false;
+      if (sr_prem < sr_base - 1e-9) premium_helps = false;
+    }
+    premium_max = std::max(premium_max, sr_prem);
+  }
+  report.claim("collateral weakly dominates premium at every deposit",
+               collateral_dominates);
+  report.claim("premium never hurts relative to plain HTLC", premium_helps);
+  report.claim("premium saturates strictly below 1 (Bob undisciplined)",
+               premium_max < 0.95);
+  report.claim("collateral reaches ~1 at large deposits",
+               model::CollateralGame(p, 2.0, 2.0).success_rate() > 0.999);
+
+  // --- Whose defection does each mechanism remove? -------------------------
+  report.csv_begin("threshold_shift",
+                   "deposit,alice_cutoff_coll,alice_cutoff_prem,"
+                   "bob_hi_coll,bob_hi_prem");
+  for (double d : {0.0, 0.5, 1.0}) {
+    const model::CollateralGame cg(p, 2.0, d);
+    const model::PremiumGame pg(p, 2.0, d);
+    const double bob_hi_c = cg.bob_t2_region().intervals().back().hi;
+    const double bob_hi_p = pg.bob_t2_region().intervals().back().hi;
+    report.csv_row(bench::fmt("%.1f,%.4f,%.4f,%.4f,%.4f", d,
+                              cg.alice_t3_cutoff(), pg.alice_t3_cutoff(),
+                              bob_hi_c, bob_hi_p));
+  }
+  {
+    const model::CollateralGame cg(p, 2.0, 1.0);
+    const model::PremiumGame pg(p, 2.0, 1.0);
+    // The premium is reclaimed at t3 + tau_a while the oracle returns
+    // collateral only at t4 + tau_a, so the premium's (less-discounted)
+    // recovery lowers Alice's cutoff at least as much.
+    report.claim("both mechanisms lower Alice's t3 cutoff (premium >= coll)",
+                 pg.alice_t3_cutoff() <= cg.alice_t3_cutoff() &&
+                     cg.alice_t3_cutoff() <
+                         cg.basic().alice_t3_cutoff() - 1e-9);
+    report.claim(
+        "only collateral raises Bob's high-price walk-away threshold",
+        cg.bob_t2_region().intervals().back().hi >
+            pg.bob_t2_region().intervals().back().hi + 0.5);
+  }
+
+  // --- End-to-end protocol MC per mechanism. --------------------------------
+  const double d = 0.5;
+  const std::vector<sim::ScenarioPoint> points = {
+      {"htlc", p, 2.0, sim::Mechanism::kNone, 0.0},
+      {"htlc+collateral", p, 2.0, sim::Mechanism::kCollateral, d},
+      {"htlc+premium", p, 2.0, sim::Mechanism::kPremium, d},
+  };
+  sim::McConfig cfg;
+  cfg.samples = 3000;
+  cfg.seed = 505;
+  const auto results = sim::run_scenarios(points, cfg);
+  report.csv_begin("protocol_mc",
+                   "mechanism,analytic_SR,protocol_SR,ci_lo,ci_hi,"
+                   "alice_utility,bob_utility");
+  for (const sim::ScenarioResult& r : results) {
+    report.csv_row(bench::fmt("%s,%.5f,%.5f,%.5f,%.5f,%.5f,%.5f",
+                              r.point.label.c_str(), r.analytic_sr,
+                              r.protocol_sr, r.protocol_sr_ci_lo,
+                              r.protocol_sr_ci_hi, r.alice_utility,
+                              r.bob_utility));
+  }
+  report.claim("protocol-MC ordering: collateral > premium > plain",
+               results[1].protocol_sr > results[2].protocol_sr &&
+                   results[2].protocol_sr > results[0].protocol_sr);
+  bool mc_matches = true;
+  for (const sim::ScenarioResult& r : results) {
+    if (std::abs(r.protocol_sr - r.analytic_sr) > 0.04) mc_matches = false;
+  }
+  report.claim("protocol-MC within 4pp of analytic for every mechanism",
+               mc_matches);
+  return report.exit_code();
+}

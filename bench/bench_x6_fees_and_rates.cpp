@@ -1,0 +1,94 @@
+// X6 -- extension experiment: transaction fees and per-token discount
+// rates (paper Section V future work: Garman-Kohlhagen two-rate setting,
+// "blockchain transaction fees or coin stacking ... may have an impact").
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "model/extended_game.hpp"
+
+using namespace swapgame;
+
+int main() {
+  bench::Report report(
+      "X6 -- fees and per-token rates (ExtendedGame, Section V future work)",
+      "Fee sweeps, token-b staking yield, and GK rate asymmetry.");
+
+  const model::SwapParams base = model::SwapParams::table3_defaults();
+  const model::ExtendedParams plain = model::ExtendedParams::from_basic(base);
+
+  // Consistency pin: the extension with neutral settings IS the base model.
+  {
+    const model::ExtendedGame game(plain, 2.0);
+    const model::BasicGame reference(base, 2.0);
+    report.claim("neutral extension reproduces the basic game exactly",
+                 std::abs(game.success_rate() - reference.success_rate()) <
+                     1e-9);
+  }
+
+  // --- Fee sweep. ------------------------------------------------------------
+  report.csv_begin("fee_sweep", "fee,SR,band_lo,band_hi,viable");
+  double prev_sr = 2.0;
+  bool sr_monotone_down = true;
+  double kill_fee = -1.0;
+  for (double fee = 0.0; fee <= 0.12 + 1e-9; fee += 0.02) {
+    model::ExtendedParams ext = plain;
+    ext.fee_a = fee;
+    ext.fee_b = fee;
+    const double sr = model::ExtendedGame(ext, 2.0).success_rate();
+    const model::FeasibleBand band = model::extended_feasible_band(ext);
+    report.csv_row(bench::fmt("%.2f,%.5f,%.4f,%.4f,%d", fee, sr,
+                              band.viable ? band.lo : 0.0,
+                              band.viable ? band.hi : 0.0,
+                              band.viable ? 1 : 0));
+    if (sr > prev_sr + 1e-9) sr_monotone_down = false;
+    prev_sr = sr;
+    if (kill_fee < 0.0 && !band.viable) kill_fee = fee;
+  }
+  report.claim("SR decreases monotonically with fees", sr_monotone_down);
+  report.claim("large enough fees make every rate non-viable",
+               kill_fee > 0.0);
+  report.note(bench::fmt("viability lost at flat fee ~%.2f token-a per tx",
+                         kill_fee));
+
+  // --- Token-b staking yield (r_b = r - y). -----------------------------------
+  report.csv_begin("yield_sweep", "yield_b,SR,alice_t3_cutoff");
+  double prev = -1.0;
+  bool yield_monotone_up = true;
+  for (double y = 0.0; y <= 0.008 + 1e-9; y += 0.002) {
+    model::ExtendedParams ext = plain;
+    ext.alice.r_b = base.alice.r - y;
+    ext.bob.r_b = base.bob.r - y;
+    const model::ExtendedGame game(ext, 2.0);
+    report.csv_row(bench::fmt("%.3f,%.5f,%.4f", y, game.success_rate(),
+                              game.alice_t3_cutoff()));
+    if (game.success_rate() < prev - 1e-9) yield_monotone_up = false;
+    prev = game.success_rate();
+  }
+  report.claim("token-b staking yield raises SR (cutoff falls)",
+               yield_monotone_up);
+
+  // --- GK asymmetry: carry cost on token-a. -----------------------------------
+  report.csv_begin("rate_asymmetry", "r_a,SR,band_lo,band_hi,viable");
+  for (double ra : {0.010, 0.013, 0.016, 0.020}) {
+    model::ExtendedParams ext = plain;
+    ext.alice.r_a = ra;
+    ext.bob.r_a = ra;
+    const model::FeasibleBand band = model::extended_feasible_band(ext);
+    const double sr = model::ExtendedGame(ext, 2.0).success_rate();
+    report.csv_row(bench::fmt("%.3f,%.5f,%.4f,%.4f,%d", ra, sr,
+                              band.viable ? band.lo : 0.0,
+                              band.viable ? band.hi : 0.0,
+                              band.viable ? 1 : 0));
+  }
+  {
+    model::ExtendedParams heavy = plain;
+    heavy.alice.r_a = 0.016;
+    heavy.bob.r_a = 0.016;
+    const model::FeasibleBand band = model::extended_feasible_band(heavy);
+    const model::FeasibleBand ref = model::extended_feasible_band(plain);
+    report.claim("higher token-a carry cost narrows the viable band",
+                 !band.viable ||
+                     band.hi - band.lo < ref.hi - ref.lo);
+  }
+  return report.exit_code();
+}

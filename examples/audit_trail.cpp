@@ -1,0 +1,91 @@
+// Audit trail: run a swap on block-producing chains and verify the
+// cryptographic history -- hash-linked blocks, Merkle roots, and inclusion
+// proofs for the swap's transactions (what a light client or the Section
+// IV Oracle would actually consume).
+//
+//   $ ./audit_trail
+#include <cstdio>
+
+#include "chain/block.hpp"
+#include "chain/ledger.hpp"
+#include "crypto/secret.hpp"
+#include "math/rng.hpp"
+
+int main() {
+  using namespace swapgame;
+
+  chain::EventQueue queue;
+  chain::Ledger chain_a({chain::ChainId::kChainA, 3.0, 1.0}, queue);
+  chain::Ledger chain_b({chain::ChainId::kChainB, 4.0, 1.0}, queue);
+  chain::BlockProducer blocks_a(chain_a, queue, /*block_interval=*/0.5);
+  chain::BlockProducer blocks_b(chain_b, queue, /*block_interval=*/0.75);
+  blocks_a.start();
+  blocks_b.start();
+
+  const chain::Address alice{"alice"}, bob{"bob"};
+  chain_a.create_account(alice, chain::Amount::from_tokens(2.0));
+  chain_a.create_account(bob, chain::Amount{});
+  chain_b.create_account(alice, chain::Amount{});
+  chain_b.create_account(bob, chain::Amount::from_tokens(1.0));
+
+  // Execute the swap's four transactions manually on the raw substrate
+  // (the proto layer wraps this; here we watch the chain level).
+  math::Xoshiro256 rng(2024);
+  const crypto::Secret secret = crypto::Secret::generate(rng);
+
+  std::printf("Executing the HTLC swap on block-producing chains...\n");
+  const chain::TxId deploy_a = chain_a.submit(chain::DeployHtlcPayload{
+      alice, bob, chain::Amount::from_tokens(2.0), secret.commitment(), 11.0});
+  queue.run_until(3.0);
+  const chain::TxId deploy_b = chain_b.submit(chain::DeployHtlcPayload{
+      bob, alice, chain::Amount::from_tokens(1.0), secret.commitment(), 11.0});
+  queue.run_until(7.0);
+  const chain::TxId claim_b = chain_b.submit(chain::ClaimHtlcPayload{
+      chain_b.pending_contract_of(deploy_b), secret, alice});
+  queue.run_until(8.0);
+  const chain::TxId claim_a = chain_a.submit(chain::ClaimHtlcPayload{
+      chain_a.pending_contract_of(deploy_a), secret, bob});
+  queue.run_until(20.0);
+
+  std::printf("final balances: alice %s a / %s b, bob %s a / %s b\n",
+              chain_a.balance(alice).to_string().c_str(),
+              chain_b.balance(alice).to_string().c_str(),
+              chain_a.balance(bob).to_string().c_str(),
+              chain_b.balance(bob).to_string().c_str());
+
+  std::printf("\nChain_a produced %zu blocks, Chain_b %zu blocks.\n",
+              blocks_a.blocks().size(), blocks_b.blocks().size());
+  std::printf("chain integrity: Chain_a %s, Chain_b %s\n",
+              blocks_a.verify_chain() ? "verified" : "BROKEN",
+              blocks_b.verify_chain() ? "verified" : "BROKEN");
+
+  // Inclusion proofs for the four swap transactions.
+  const struct {
+    const char* name;
+    const chain::BlockProducer* producer;
+    const chain::Ledger* ledger;
+    chain::TxId tx;
+  } checks[] = {
+      {"alice's deploy on Chain_a", &blocks_a, &chain_a, deploy_a},
+      {"bob's deploy on Chain_b", &blocks_b, &chain_b, deploy_b},
+      {"alice's claim on Chain_b", &blocks_b, &chain_b, claim_b},
+      {"bob's claim on Chain_a", &blocks_a, &chain_a, claim_a},
+  };
+  std::printf("\nInclusion proofs:\n");
+  for (const auto& check : checks) {
+    const auto proof = check.producer->prove_inclusion(check.tx);
+    if (!proof) {
+      std::printf("  %-28s NOT SEALED\n", check.name);
+      continue;
+    }
+    const bool ok = check.producer->verify_inclusion(
+        check.ledger->transaction(check.tx), *proof);
+    std::printf("  %-28s block #%llu, %zu-step Merkle path: %s\n", check.name,
+                static_cast<unsigned long long>(proof->block_height),
+                proof->merkle.steps.size(), ok ? "VERIFIED" : "INVALID");
+  }
+
+  std::printf("\nA third party holding only block headers can now verify\n"
+              "every step of the swap without trusting either agent.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Calibrate-then-analyze workflow: the paper's Section V pipeline
+// ("simulation studies ... using real market data"), end to end.
+//
+// 1. Take an hourly price series (here: synthetic, standing in for
+//    exchange candles -- swap in a CSV of real closes the same way).
+// 2. Fit GBM (mu, sigma) by maximum likelihood.
+// 3. Feed the fit into the swap game: negotiate a rate, report thresholds,
+//    success rate, and the collateral needed for a 95% completion target.
+//
+//   $ ./calibrate_and_analyze [n_hours]
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/calibration.hpp"
+#include "model/collateral_optimizer.hpp"
+#include "model/negotiation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swapgame::model;
+
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 800;
+
+  // 1. A "market feed": hourly closes from a hidden truth the analyst does
+  //    not know (mu = 0.001, sigma = 0.12 -- choppier than Table III).
+  const swapgame::math::GbmParams hidden_truth{0.001, 0.12};
+  swapgame::math::Xoshiro256 rng(20260705);
+  const std::vector<double> closes =
+      simulate_price_series(hidden_truth, 2.0, 1.0, n, rng);
+  std::printf("market feed: %zu hourly closes, last price %.4g\n",
+              closes.size(), closes.back());
+
+  // 2. Fit.
+  const GbmFit fit = fit_gbm(closes, 1.0);
+  std::printf("fitted GBM:  mu = %+.5f +- %.5f /h   sigma = %.4f +- %.4f "
+              "/sqrt(h)\n",
+              fit.params.mu, fit.mu_stderr, fit.params.sigma,
+              fit.sigma_stderr);
+  std::printf("(hidden truth: mu = %+.5f, sigma = %.4f)\n", hidden_truth.mu,
+              hidden_truth.sigma);
+
+  // 3. Analyze the swap under the FITTED market.  Prices are quoted in
+  //    units of the current price (scaling leaves log returns, and thus the
+  //    fit, unchanged), so P* is directly comparable across markets.
+  SwapParams params = SwapParams::table3_defaults();
+  params.gbm = fit.params;
+  params.p_t0 = 2.0;
+
+  const NegotiationResult deal =
+      negotiate_rate(params, BargainingRule::kNashBargaining,
+                     0.05 * params.p_t0, 5.0 * params.p_t0);
+  if (!deal.agreed) {
+    std::printf("\nNo mutually acceptable rate in this market -- the swap\n"
+                "would never start (fitted volatility too high for the\n"
+                "agents' preferences).\n");
+    return 0;
+  }
+  std::printf("\nnegotiated rate:   P* = %.4f (Nash)\n", deal.p_star);
+  std::printf("success rate:      %.2f%%\n", 100.0 * deal.success_rate);
+  std::printf("surpluses:         alice %.4f, bob %.4f\n", deal.alice_surplus,
+              deal.bob_surplus);
+
+  const auto q95 = min_collateral_for_sr(params, deal.p_star, 0.95);
+  if (q95) {
+    std::printf("collateral for 95%% completion: Q = %.4f token-a each\n",
+                *q95);
+  } else {
+    std::printf("95%% completion unreachable with collateral <= 8\n");
+  }
+  std::printf(
+      "\nSwap in real candles by loading closes into the vector above; the\n"
+      "rest of the pipeline is unchanged (paper Section V, first research\n"
+      "direction).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Collateral designer: how much collateral should a swap service require?
+//
+// Walks the trade-off the paper's conclusion poses ("with rational agents,
+// there should be a trade-off between the cost of collateral locking and
+// the benefit of the transaction"):
+//   * the minimal Q achieving target success rates,
+//   * the Q maximizing joint surplus (collateral is locked liquidity),
+//   * how the answer moves with market volatility.
+//
+//   $ ./collateral_design
+#include <cstdio>
+
+#include "model/collateral_game.hpp"
+#include "model/collateral_optimizer.hpp"
+
+int main() {
+  using namespace swapgame::model;
+
+  SwapParams params = SwapParams::table3_defaults();
+  const double p_star = 2.0;
+
+  std::printf("Collateral design for P* = %.1f (Table III market)\n", p_star);
+  std::printf("====================================================\n");
+
+  std::printf("\nSR without collateral: %.2f%%\n",
+              100.0 * CollateralGame(params, p_star, 0.0).success_rate());
+
+  std::printf("\nMinimal Q per success-rate target:\n");
+  std::printf("  %-8s %-10s\n", "target", "min Q");
+  for (double target : {0.80, 0.90, 0.95, 0.99}) {
+    const auto q = min_collateral_for_sr(params, p_star, target);
+    if (q) {
+      std::printf("  %-8.2f %-10.4f\n", target, *q);
+    } else {
+      std::printf("  %-8.2f unreachable\n", target);
+    }
+  }
+
+  const CollateralChoice surplus = optimize_collateral(
+      params, p_star, CollateralObjective::kJointSurplus);
+  std::printf("\nJoint-surplus-optimal collateral:\n");
+  std::printf("  Q* = %.4f  (surplus %.4f, SR %.2f%%, engaged: %s)\n",
+              surplus.collateral, surplus.objective_value,
+              100.0 * surplus.success_rate, surplus.engaged ? "yes" : "no");
+
+  std::printf("\nHow volatility moves the requirement (target SR 95%%):\n");
+  std::printf("  %-10s %-12s %-14s\n", "sigma", "min Q", "SR at Q=0");
+  for (double sigma : {0.05, 0.08, 0.10, 0.12, 0.15}) {
+    SwapParams p = params;
+    p.gbm.sigma = sigma;
+    const auto q = min_collateral_for_sr(p, p_star, 0.95);
+    const double sr0 = CollateralGame(p, p_star, 0.0).success_rate();
+    if (q) {
+      std::printf("  %-10.2f %-12.4f %-14.2f%%\n", sigma, *q, 100.0 * sr0);
+    } else {
+      std::printf("  %-10.2f unreachable  %-14.2f%%\n", sigma, 100.0 * sr0);
+    }
+  }
+
+  std::printf(
+      "\nReading: rising volatility erodes the no-collateral success rate\n"
+      "(the paper's Bisq anecdote: failures increase in volatile periods)\n"
+      "and raises the deposit needed to restore it -- exactly the dynamic\n"
+      "sizing the paper suggests in Section V.\n");
+  return 0;
+}

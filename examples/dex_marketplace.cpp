@@ -1,0 +1,70 @@
+// DEX marketplace simulation: the paper's Section II-A pipeline -- a
+// match-making order book in front of P2P HTLC settlement -- run for a
+// population of heterogeneous traders in two market regimes.
+//
+// Shows the full-stack story: traders with diverse (alpha, r) post limit
+// orders around the market price; crossed orders settle as HTLC swaps on
+// the chain substrate with rational strategies; completion rates track
+// the analytic predictions and degrade with volatility (the paper's Bisq
+// anecdote, now end to end).
+//
+//   $ ./dex_marketplace [orders]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "market/order_book.hpp"
+#include "market/settlement.hpp"
+
+namespace {
+
+using namespace swapgame;
+
+void run_session(const char* label, double sigma, int orders,
+                 std::uint64_t seed) {
+  market::OrderBook book;
+  market::SettlementConfig config;
+  config.gbm.sigma = sigma;
+
+  math::Xoshiro256 rng(seed);
+  std::vector<market::Settlement> settlements;
+  int submitted = 0;
+
+  for (int i = 0; i < orders; ++i) {
+    // Heterogeneous trader: alpha in [0.2, 0.5], r in [0.006, 0.012],
+    // limit within +-6% of the market price, random side.
+    const model::AgentParams prefs{0.2 + 0.3 * math::uniform01(rng),
+                                   0.006 + 0.006 * math::uniform01(rng)};
+    const double limit = config.p_t0 * (0.94 + 0.12 * math::uniform01(rng));
+    const market::Side side = (rng() & 1) ? market::Side::kBuyTokenB
+                                          : market::Side::kSellTokenB;
+    book.submit(side, "trader" + std::to_string(i), limit, prefs);
+    ++submitted;
+    while (auto match = book.take_match()) {
+      settlements.push_back(market::settle_match(*match, config, rng));
+    }
+  }
+
+  const market::MarketStats stats = market::aggregate(settlements);
+  std::printf("%-14s orders %3d  matched %3zu  initiated %3zu  "
+              "completed %3zu  (empirical SR %.1f%%, predicted %.1f%%)\n",
+              label, submitted, stats.matches, stats.initiated,
+              stats.completed, 100.0 * stats.completion_rate(),
+              100.0 * stats.mean_predicted_sr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int orders = argc > 1 ? std::atoi(argv[1]) : 300;
+  std::printf("DEX marketplace: order book match-making + HTLC settlement\n");
+  std::printf("(unit orders around P = 2.0; buyers play Alice)\n\n");
+  run_session("calm (5%)", 0.05, orders, 2024);
+  run_session("base (10%)", 0.10, orders, 2024);
+  run_session("volatile (14%)", 0.14, orders, 2024);
+  std::printf(
+      "\nReading: the order book matches just as often in every regime, but\n"
+      "settlement completion falls with volatility -- failures happen in\n"
+      "the P2P execution leg, not the match-making leg (paper Section II-A).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Market-regime explorer: Monte-Carlo comparison of strategies across
+// market regimes, on the full protocol substrate.
+//
+// For each regime (calm, base, volatile, bear), runs thousands of complete
+// HTLC swaps on the simulated ledgers and reports, per strategy pairing:
+// success rate, and both agents' mean realized utilities.  Shows the
+// optionality asymmetry the paper highlights: an honest agent facing a
+// rational one completes more swaps but captures less value.
+//
+//   $ ./market_scenarios [samples]
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/basic_game.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace swapgame;
+
+struct Regime {
+  const char* name;
+  double mu;
+  double sigma;
+};
+
+void run_regime(const Regime& regime, std::size_t samples) {
+  model::SwapParams params = model::SwapParams::table3_defaults();
+  params.gbm.mu = regime.mu;
+  params.gbm.sigma = regime.sigma;
+
+  // Use the SR-optimal rate for this regime when one exists.
+  const auto best = model::sr_maximizing_rate(params);
+  if (!best) {
+    std::printf("%-10s market non-viable: no exchange rate makes the swap "
+                "start (paper Fig. 6 square markers)\n",
+                regime.name);
+    return;
+  }
+  const double p_star = best->p_star;
+
+  proto::SwapSetup setup;
+  setup.params = params;
+  setup.p_star = p_star;
+  sim::McConfig cfg;
+  cfg.samples = samples;
+  cfg.seed = 99;
+
+  const struct {
+    const char* label;
+    sim::StrategyFactory alice;
+    sim::StrategyFactory bob;
+  } pairings[] = {
+      {"rational/rational", sim::rational_factory(params, p_star),
+       sim::rational_factory(params, p_star)},
+      {"honest/rational", sim::honest_factory(),
+       sim::rational_factory(params, p_star)},
+      {"honest/honest", sim::honest_factory(), sim::honest_factory()},
+  };
+
+  std::printf("%-10s P*=%.3f analytic SR=%.1f%%\n", regime.name, p_star,
+              100.0 * best->success_rate);
+  for (const auto& pairing : pairings) {
+    const sim::McEstimate est =
+        sim::run_protocol_mc(setup, pairing.alice, pairing.bob, cfg);
+    std::printf("    %-18s SR %5.1f%%   U_alice %.4f   U_bob %.4f\n",
+                pairing.label, 100.0 * est.conditional_success_rate(),
+                est.alice_utility.mean(), est.bob_utility.mean());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t samples =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2000;
+
+  std::printf("Protocol-level Monte Carlo, %zu swaps per cell.\n\n", samples);
+  const Regime regimes[] = {
+      {"calm", 0.002, 0.05},
+      {"base", 0.002, 0.10},
+      {"volatile", 0.002, 0.15},
+      {"bear", -0.004, 0.10},
+  };
+  for (const Regime& regime : regimes) run_regime(regime, samples);
+
+  std::printf(
+      "\nReading: honest/honest always completes; the rational rows lose\n"
+      "completions to threshold defections, and the honest-vs-rational row\n"
+      "shows the honest side ceding value (the free-option asymmetry).\n");
+  return 0;
+}

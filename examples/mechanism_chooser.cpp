@@ -1,0 +1,72 @@
+// Mechanism chooser: which disciplinary design should a swap service use
+// for a given market?  (The paper's Section V question: "which protocol
+// agents would select and why".)
+//
+// Compares plain HTLC, both-sided collateral, and the Han et al. premium
+// escrow over the user's market parameters, using the scenario sweep
+// harness (analytic + protocol-level Monte Carlo per cell).
+//
+//   $ ./mechanism_chooser [sigma] [samples]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "model/option_value.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace swapgame;
+
+  const double sigma = argc > 1 ? std::atof(argv[1]) : 0.10;
+  const std::size_t samples =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 1500;
+
+  model::SwapParams params = model::SwapParams::table3_defaults();
+  params.gbm.sigma = sigma;
+  const double p_star = 2.0;
+
+  std::printf("Market: sigma = %.2f /sqrt(h), mu = %.3f /h, P* = %.1f\n",
+              params.gbm.sigma, params.gbm.mu, p_star);
+
+  // Why discipline is needed at all: the optionality deadweight.
+  const model::OptionalityDecomposition d =
+      model::decompose_optionality(params, p_star);
+  std::printf("\nOptionality diagnosis:\n");
+  std::printf("  completion if both committed: 100%%   both rational: %.1f%%\n",
+              100.0 * d.success_rate_rr);
+  std::printf("  alice's option: worth %.4f to her, costs bob %.4f\n",
+              d.alice_option_value(), d.alice_option_cost_to_bob());
+  std::printf("  bob's option:   worth %.4f to him, costs alice %.4f\n",
+              d.bob_option_value(), d.bob_option_cost_to_alice());
+
+  // The candidates, at a moderate deposit.
+  const double deposit = 0.5;
+  const std::vector<sim::ScenarioPoint> points = {
+      {"plain HTLC", params, p_star, sim::Mechanism::kNone, 0.0},
+      {"collateral Q=0.5", params, p_star, sim::Mechanism::kCollateral,
+       deposit},
+      {"premium pr=0.5", params, p_star, sim::Mechanism::kPremium, deposit},
+  };
+  sim::McConfig cfg;
+  cfg.samples = samples;
+  cfg.seed = 321;
+  const auto results = sim::run_scenarios(points, cfg);
+
+  sim::CsvTable table({"mechanism", "analytic_SR", "protocol_SR", "U_alice",
+                       "U_bob", "initiated"});
+  for (const sim::ScenarioResult& r : results) {
+    table.add_row({r.point.label,
+                   std::to_string(r.analytic_sr).substr(0, 6),
+                   std::to_string(r.protocol_sr).substr(0, 6),
+                   std::to_string(r.alice_utility).substr(0, 6),
+                   std::to_string(r.bob_utility).substr(0, 6),
+                   r.initiated ? "yes" : "no"});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+
+  std::printf(
+      "\nReading: the premium disciplines only the initiator; collateral\n"
+      "disciplines both sides and is the only design that approaches the\n"
+      "committed-protocol completion rate (paper Section IV / Fig. 9).\n");
+  return 0;
+}

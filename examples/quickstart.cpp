@@ -1,0 +1,59 @@
+// Quickstart: analyze an HTLC atomic swap in ~40 lines.
+//
+// Given the terms of a swap (rate, timings, price dynamics, agent
+// preferences), compute the backward-induction thresholds, decide whether
+// the swap would even start, and report its success probability.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "model/basic_game.hpp"
+
+int main() {
+  using namespace swapgame::model;
+
+  // 1. Describe the market and the agents (Table III defaults: hour-scale
+  //    chains, 10%/sqrt-hour volatility, mildly deflationary token-b).
+  SwapParams params = SwapParams::table3_defaults();
+
+  // 2. Pick the agreed exchange rate: P* token-a for 1 token-b.
+  const double p_star = 2.0;
+
+  // 3. Solve the game.
+  const BasicGame game(params, p_star);
+
+  std::printf("HTLC atomic swap analysis (P* = %.2f, P_t0 = %.2f)\n", p_star,
+              params.p_t0);
+  std::printf("--------------------------------------------------\n");
+
+  // Would Alice initiate at all?  (Eq. 30)
+  std::printf("Alice initiates at t1:        %s  (U_cont %.4f vs P* %.4f)\n",
+              to_string(game.alice_decision_t1()), game.alice_t1_cont(),
+              game.alice_t1_stop());
+
+  // The viable range of rates (Eq. 29).
+  const FeasibleBand band = alice_feasible_band(params);
+  if (band.viable) {
+    std::printf("Feasible exchange-rate band:  (%.4f, %.4f)\n", band.lo,
+                band.hi);
+  } else {
+    std::printf("Feasible exchange-rate band:  none -- swap never starts\n");
+  }
+
+  // Bob's t2 lock band (Eq. 24) and Alice's t3 reveal cutoff (Eq. 18).
+  if (const auto t2 = game.bob_t2_band()) {
+    std::printf("Bob locks at t2 iff P_t2 in:  (%.4f, %.4f]\n", t2->lo, t2->hi);
+  }
+  std::printf("Alice reveals at t3 iff P_t3 > %.4f\n", game.alice_t3_cutoff());
+
+  // The headline number: probability the swap completes once started.
+  std::printf("Success rate SR(P*):          %.2f%%\n",
+              100.0 * game.success_rate());
+
+  // Where should the parties set the rate to maximize completion odds?
+  if (const auto best = sr_maximizing_rate(params)) {
+    std::printf("SR-maximizing rate:           P* = %.4f (SR %.2f%%)\n",
+                best->p_star, 100.0 * best->success_rate);
+  }
+  return 0;
+}

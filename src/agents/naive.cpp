@@ -1,0 +1,43 @@
+#include "naive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace swapgame::agents {
+
+TriggerStrategy::TriggerStrategy(double tolerance) : tolerance_(tolerance) {
+  if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+    throw std::invalid_argument("TriggerStrategy: tolerance must be >= 0");
+  }
+}
+
+model::Action TriggerStrategy::decide(Stage stage, const DecisionContext& ctx) {
+  if (stage == Stage::kT4Claim) return model::Action::kCont;  // dominant
+  const double lo = ctx.p_star * (1.0 - tolerance_);
+  const double hi = ctx.p_star * (1.0 + tolerance_);
+  return (ctx.price >= lo && ctx.price <= hi) ? model::Action::kCont
+                                              : model::Action::kStop;
+}
+
+NoisyStrategy::NoisyStrategy(std::unique_ptr<Strategy> inner, double epsilon,
+                             std::uint64_t seed)
+    : inner_(std::move(inner)), epsilon_(epsilon), rng_(seed) {
+  if (!inner_) {
+    throw std::invalid_argument("NoisyStrategy: inner strategy required");
+  }
+  if (!(epsilon >= 0.0 && epsilon <= 1.0)) {
+    throw std::invalid_argument("NoisyStrategy: epsilon must be in [0, 1]");
+  }
+}
+
+model::Action NoisyStrategy::decide(Stage stage, const DecisionContext& ctx) {
+  const model::Action intended = inner_->decide(stage, ctx);
+  if (math::uniform01(rng_) < epsilon_) {
+    return intended == model::Action::kCont ? model::Action::kStop
+                                            : model::Action::kCont;
+  }
+  return intended;
+}
+
+}  // namespace swapgame::agents

@@ -1,0 +1,85 @@
+// Non-equilibrium reference strategies.
+//
+// Used by the simulator to exercise every protocol path and by the benches
+// to show what the rational thresholds buy: an honest agent against a
+// rational counterparty realizes the optionality loss the paper describes
+// (Section III-C and Han et al.'s "free American option").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "math/rng.hpp"
+#include "strategy.hpp"
+
+namespace swapgame::agents {
+
+/// Always continues: the protocol-faithful "honest" agent.
+class HonestStrategy final : public Strategy {
+ public:
+  [[nodiscard]] model::Action decide(Stage, const DecisionContext&) override {
+    return model::Action::kCont;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "honest";
+  }
+};
+
+/// Continues until (and including) a configured stage, then stops there.
+/// DefectorStrategy(Stage::kT3Reveal) aborts the swap at t3, stranding
+/// Bob's lock until expiry -- the griefing pattern of Section II-C.
+class DefectorStrategy final : public Strategy {
+ public:
+  explicit DefectorStrategy(Stage defect_at) noexcept : defect_at_(defect_at) {}
+
+  [[nodiscard]] model::Action decide(Stage stage,
+                                     const DecisionContext&) override {
+    return stage == defect_at_ ? model::Action::kStop : model::Action::kCont;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "defector";
+  }
+
+ private:
+  Stage defect_at_;
+};
+
+/// Naive price-band rule: continues iff the current price lies within a
+/// fixed band around the agreed rate (a heuristic trader unaware of the
+/// backward-induction thresholds).
+class TriggerStrategy final : public Strategy {
+ public:
+  /// Continues while price in [p_star * (1 - tolerance), p_star * (1 + tolerance)].
+  explicit TriggerStrategy(double tolerance);
+
+  [[nodiscard]] model::Action decide(Stage stage,
+                                     const DecisionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "trigger";
+  }
+
+ private:
+  double tolerance_;
+};
+
+/// Trembling-hand wrapper: plays the inner strategy but flips the decision
+/// with probability epsilon (models crash failures / fat fingers; cf.
+/// Zakhary et al.'s crash-failure motivation discussed in Section II-C).
+class NoisyStrategy final : public Strategy {
+ public:
+  NoisyStrategy(std::unique_ptr<Strategy> inner, double epsilon,
+                std::uint64_t seed);
+
+  [[nodiscard]] model::Action decide(Stage stage,
+                                     const DecisionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "noisy";
+  }
+
+ private:
+  std::unique_ptr<Strategy> inner_;
+  double epsilon_;
+  math::Xoshiro256 rng_;
+};
+
+}  // namespace swapgame::agents

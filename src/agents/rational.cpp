@@ -1,0 +1,109 @@
+#include "rational.hpp"
+
+namespace swapgame::agents {
+
+const char* to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      return "t1:initiate";
+    case Stage::kT2Lock:
+      return "t2:lock";
+    case Stage::kT3Reveal:
+      return "t3:reveal";
+    case Stage::kT4Claim:
+      return "t4:claim";
+  }
+  return "t?:unknown";
+}
+
+RationalStrategy::RationalStrategy(Role role, const model::SwapParams& params,
+                                   double p_star)
+    : role_(role), game_(params, p_star) {}
+
+model::Action RationalStrategy::decide(Stage stage, const DecisionContext& ctx) {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      if (role_ == Role::kAlice) return game_.alice_decision_t1();
+      return model::Action::kCont;  // Bob has no t1 move in the basic game
+    case Stage::kT2Lock:
+      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      return model::Action::kCont;
+    case Stage::kT3Reveal:
+      if (role_ == Role::kAlice) return game_.alice_decision_t3(ctx.price);
+      return model::Action::kCont;
+    case Stage::kT4Claim:
+      return game_.bob_decision_t4();  // always cont (dominant)
+  }
+  return model::Action::kStop;
+}
+
+CollateralRationalStrategy::CollateralRationalStrategy(
+    Role role, const model::SwapParams& params, double p_star,
+    double collateral)
+    : role_(role), game_(params, p_star, collateral) {}
+
+model::Action CollateralRationalStrategy::decide(Stage stage,
+                                                 const DecisionContext& ctx) {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      return role_ == Role::kAlice ? game_.alice_decision_t1()
+                                   : game_.bob_decision_t1();
+    case Stage::kT2Lock:
+      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      return model::Action::kCont;
+    case Stage::kT3Reveal:
+      if (role_ == Role::kAlice) return game_.alice_decision_t3(ctx.price);
+      return model::Action::kCont;
+    case Stage::kT4Claim:
+      return model::Action::kCont;
+  }
+  return model::Action::kStop;
+}
+
+PremiumRationalStrategy::PremiumRationalStrategy(Role role,
+                                                 const model::SwapParams& params,
+                                                 double p_star, double premium)
+    : role_(role), game_(params, p_star, premium) {}
+
+model::Action PremiumRationalStrategy::decide(Stage stage,
+                                              const DecisionContext& ctx) {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      // Only the initiator posts; Bob has no t1 stake in the premium game.
+      if (role_ == Role::kAlice) return game_.alice_decision_t1();
+      return model::Action::kCont;
+    case Stage::kT2Lock:
+      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      return model::Action::kCont;
+    case Stage::kT3Reveal:
+      if (role_ == Role::kAlice) return game_.alice_decision_t3(ctx.price);
+      return model::Action::kCont;
+    case Stage::kT4Claim:
+      return model::Action::kCont;
+  }
+  return model::Action::kStop;
+}
+
+CommitmentRationalStrategy::CommitmentRationalStrategy(
+    Role role, const model::SwapParams& params, double p_star)
+    : role_(role), game_(params, p_star) {}
+
+model::Action CommitmentRationalStrategy::decide(Stage stage,
+                                                 const DecisionContext& ctx) {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      if (role_ == Role::kAlice) return game_.alice_decision_t1();
+      return model::Action::kCont;
+    case Stage::kT2Lock:
+      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      return model::Action::kCont;
+    case Stage::kT3Reveal:
+    case Stage::kT4Claim:
+      // Never reached under a witness; answering cont keeps the strategy
+      // harmlessly usable with the HTLC driver too.
+      return model::Action::kCont;
+  }
+  return model::Action::kStop;
+}
+
+}  // namespace swapgame::agents

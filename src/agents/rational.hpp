@@ -1,0 +1,109 @@
+// The paper's equilibrium strategies: threshold rules from backward
+// induction (Section III-E for the basic game, Section IV for the
+// collateralized game).
+#pragma once
+
+#include <memory>
+
+#include "model/basic_game.hpp"
+#include "model/collateral_game.hpp"
+#include "model/commitment_game.hpp"
+#include "model/premium_game.hpp"
+#include "strategy.hpp"
+
+namespace swapgame::agents {
+
+/// Rational (utility-maximizing) strategy for the basic game: plays the
+/// BasicGame thresholds --
+///   t1: cont iff U^A_t1(cont) > P*            (Alice only)
+///   t2: cont iff P_t2 in (P_t2_lo, P_t2_hi]   (Bob only)
+///   t3: cont iff P_t3 > P_t3_lo               (Alice only)
+///   t4: always cont                           (Bob only)
+/// Decisions at stages not owned by the role are "cont" (they never occur).
+class RationalStrategy final : public Strategy {
+ public:
+  RationalStrategy(Role role, const model::SwapParams& params, double p_star);
+
+  [[nodiscard]] model::Action decide(Stage stage,
+                                     const DecisionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rational";
+  }
+
+  [[nodiscard]] const model::BasicGame& game() const noexcept { return game_; }
+
+ private:
+  Role role_;
+  model::BasicGame game_;
+};
+
+/// Rational strategy for the collateralized game (Section IV thresholds;
+/// Bob's t2 rule is the odd-root interval set).
+class CollateralRationalStrategy final : public Strategy {
+ public:
+  CollateralRationalStrategy(Role role, const model::SwapParams& params,
+                             double p_star, double collateral);
+
+  [[nodiscard]] model::Action decide(Stage stage,
+                                     const DecisionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rational-collateral";
+  }
+
+  [[nodiscard]] const model::CollateralGame& game() const noexcept {
+    return game_;
+  }
+
+ private:
+  Role role_;
+  model::CollateralGame game_;
+};
+
+/// Rational strategy for the premium game (Han et al. baseline): Alice's
+/// t1/t3 thresholds account for her escrowed premium; Bob's t2 rule is the
+/// premium game's interval set (he may lock at low prices hoping to
+/// harvest the premium).
+class PremiumRationalStrategy final : public Strategy {
+ public:
+  PremiumRationalStrategy(Role role, const model::SwapParams& params,
+                          double p_star, double premium);
+
+  [[nodiscard]] model::Action decide(Stage stage,
+                                     const DecisionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rational-premium";
+  }
+
+  [[nodiscard]] const model::PremiumGame& game() const noexcept {
+    return game_;
+  }
+
+ private:
+  Role role_;
+  model::PremiumGame game_;
+};
+
+/// Rational strategy for the witness-commitment game (AC^3TW): lock
+/// decisions only (Stage::kT1Initiate for Alice, Stage::kT2Lock for Bob);
+/// post-lock stages never occur under a witness.
+class CommitmentRationalStrategy final : public Strategy {
+ public:
+  CommitmentRationalStrategy(Role role, const model::SwapParams& params,
+                             double p_star);
+
+  [[nodiscard]] model::Action decide(Stage stage,
+                                     const DecisionContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rational-commitment";
+  }
+
+  [[nodiscard]] const model::CommitmentGame& game() const noexcept {
+    return game_;
+  }
+
+ private:
+  Role role_;
+  model::CommitmentGame game_;
+};
+
+}  // namespace swapgame::agents

@@ -1,0 +1,50 @@
+// Strategy interface of the swap protocol driver.
+//
+// The protocol (src/proto) consults a Strategy at each of the paper's four
+// decision points: t1 (Alice: initiate?), t2 (Bob: lock?), t3 (Alice:
+// reveal?), t4 (Bob: claim?).  Strategies see the current token-b price and
+// the agreed rate -- exactly the information set of the paper's game
+// (everything else is common knowledge baked into the strategy itself).
+#pragma once
+
+#include <string_view>
+
+#include "model/params.hpp"
+
+namespace swapgame::agents {
+
+/// Which decision point is being played (paper Section III-E).
+enum class Stage : std::uint8_t {
+  kT1Initiate,  ///< Alice: write the HTLC on Chain_a?
+  kT2Lock,      ///< Bob: write the HTLC on Chain_b?
+  kT3Reveal,    ///< Alice: reveal the secret on Chain_b?
+  kT4Claim,     ///< Bob: claim token-a with the observed secret?
+};
+
+[[nodiscard]] const char* to_string(Stage stage) noexcept;
+
+/// Which side of the swap an agent plays.
+enum class Role : std::uint8_t { kAlice, kBob };
+
+/// The information available to an agent when deciding.
+struct DecisionContext {
+  double price = 0.0;   ///< current token-b price in token-a
+  double p_star = 0.0;  ///< agreed exchange rate
+  double now = 0.0;     ///< simulation time (hours since t0)
+};
+
+/// An agent's decision rule.  Implementations must be deterministic given
+/// their own state (randomized strategies own their RNG).
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Chooses cont or stop at the given stage.
+  [[nodiscard]] virtual model::Action decide(Stage stage,
+                                             const DecisionContext& ctx) = 0;
+
+  /// Short human-readable name for audit logs and bench output.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace swapgame::agents

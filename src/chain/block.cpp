@@ -1,0 +1,172 @@
+#include "block.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace swapgame::chain {
+
+namespace {
+
+void absorb_u64(crypto::Sha256& hasher, std::uint64_t value) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  hasher.update(std::span<const std::uint8_t>(bytes, 8));
+}
+
+void absorb_double(crypto::Sha256& hasher, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  absorb_u64(hasher, bits);
+}
+
+void absorb_digest(crypto::Sha256& hasher, const crypto::Digest256& digest) {
+  hasher.update(std::span<const std::uint8_t>(digest.bytes().data(),
+                                              digest.bytes().size()));
+}
+
+}  // namespace
+
+crypto::Digest256 Block::hash() const {
+  crypto::Sha256 hasher;
+  absorb_u64(hasher, height);
+  absorb_double(hasher, sealed_at);
+  absorb_digest(hasher, previous_hash);
+  absorb_digest(hasher, merkle_root);
+  return hasher.finalize();
+}
+
+crypto::Digest256 transaction_digest(const Transaction& tx) {
+  crypto::Sha256 hasher;
+  absorb_u64(hasher, tx.id.value);
+  absorb_double(hasher, tx.submitted_at);
+  absorb_double(hasher, tx.confirmed_at);
+  absorb_u64(hasher, static_cast<std::uint64_t>(tx.status));
+  absorb_u64(hasher, static_cast<std::uint64_t>(tx.payload.index()));
+  // Payload-specific fields.
+  std::visit(
+      [&hasher](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, TransferPayload>) {
+          hasher.update(payload.from.value);
+          hasher.update(payload.to.value);
+          absorb_u64(hasher, static_cast<std::uint64_t>(payload.amount.units()));
+        } else if constexpr (std::is_same_v<T, DeployHtlcPayload>) {
+          hasher.update(payload.sender.value);
+          hasher.update(payload.recipient.value);
+          absorb_u64(hasher, static_cast<std::uint64_t>(payload.amount.units()));
+          absorb_digest(hasher, payload.hash_lock);
+          absorb_double(hasher, payload.expiry);
+          absorb_u64(hasher, static_cast<std::uint64_t>(payload.kind));
+        } else if constexpr (std::is_same_v<T, ClaimHtlcPayload>) {
+          absorb_u64(hasher, payload.contract.value);
+          hasher.update(payload.claimer.value);
+          hasher.update(std::span<const std::uint8_t>(
+              payload.secret.bytes().data(), payload.secret.bytes().size()));
+        } else if constexpr (std::is_same_v<T, RefundHtlcPayload>) {
+          absorb_u64(hasher, payload.contract.value);
+          hasher.update(payload.requester.value);
+        } else if constexpr (std::is_same_v<T, CancelHtlcPayload>) {
+          absorb_u64(hasher, payload.contract.value);
+          hasher.update(payload.canceller.value);
+        } else if constexpr (std::is_same_v<T, DepositCollateralPayload>) {
+          hasher.update(payload.depositor.value);
+          absorb_u64(hasher, static_cast<std::uint64_t>(payload.amount.units()));
+        } else {
+          hasher.update(payload.recipient.value);
+          absorb_u64(hasher, static_cast<std::uint64_t>(payload.amount.units()));
+        }
+      },
+      tx.payload);
+  return hasher.finalize();
+}
+
+BlockProducer::BlockProducer(const Ledger& ledger, EventQueue& queue,
+                             Hours block_interval)
+    : ledger_(&ledger), queue_(&queue), interval_(block_interval) {
+  if (!(block_interval > 0.0)) {
+    throw std::invalid_argument("BlockProducer: block_interval must be > 0");
+  }
+}
+
+void BlockProducer::start() {
+  if (started_) {
+    throw std::logic_error("BlockProducer::start: already started");
+  }
+  started_ = true;
+  queue_->schedule_in(interval_, [this] { seal_block(); });
+}
+
+void BlockProducer::seal_block() {
+  const std::vector<TxId>& log = ledger_->confirmation_log();
+  Block block;
+  block.height = blocks_.size();
+  block.sealed_at = queue_->now();
+  block.previous_hash =
+      blocks_.empty() ? crypto::Digest256{} : blocks_.back().hash();
+
+  std::vector<crypto::Digest256> leaves;
+  for (std::size_t i = consumed_; i < log.size(); ++i) {
+    block.transactions.push_back(log[i]);
+    leaves.push_back(transaction_digest(ledger_->transaction(log[i])));
+  }
+  consumed_ = log.size();
+  block.merkle_root = crypto::MerkleTree(std::move(leaves)).root();
+  blocks_.push_back(std::move(block));
+
+  queue_->schedule_in(interval_, [this] { seal_block(); });
+}
+
+std::optional<InclusionProof> BlockProducer::prove_inclusion(TxId id) const {
+  for (const Block& block : blocks_) {
+    for (std::size_t i = 0; i < block.transactions.size(); ++i) {
+      if (block.transactions[i] == id) {
+        std::vector<crypto::Digest256> leaves;
+        leaves.reserve(block.transactions.size());
+        for (TxId tx : block.transactions) {
+          leaves.push_back(transaction_digest(ledger_->transaction(tx)));
+        }
+        const crypto::MerkleTree tree(std::move(leaves));
+        InclusionProof proof;
+        proof.block_height = block.height;
+        proof.block_hash = block.hash();
+        proof.merkle = tree.prove(i);
+        return proof;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool BlockProducer::verify_inclusion(const Transaction& tx,
+                                     const InclusionProof& proof) const {
+  if (proof.block_height >= blocks_.size()) return false;
+  const Block& block = blocks_[proof.block_height];
+  if (!(block.hash() == proof.block_hash)) return false;
+  return crypto::MerkleTree::verify(transaction_digest(tx), proof.merkle,
+                                    block.merkle_root);
+}
+
+bool BlockProducer::verify_chain() const {
+  crypto::Digest256 prev;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& block = blocks_[i];
+    if (block.height != i) return false;
+    if (!(block.previous_hash == prev)) return false;
+    std::vector<crypto::Digest256> leaves;
+    for (TxId tx : block.transactions) {
+      leaves.push_back(transaction_digest(ledger_->transaction(tx)));
+    }
+    if (!(crypto::MerkleTree(std::move(leaves)).root() == block.merkle_root)) {
+      return false;
+    }
+    prev = block.hash();
+  }
+  return true;
+}
+
+}  // namespace swapgame::chain

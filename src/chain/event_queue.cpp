@@ -1,0 +1,58 @@
+#include "event_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace swapgame::chain {
+
+void EventQueue::schedule_at(Hours when, Callback cb) {
+  if (!std::isfinite(when)) {
+    throw std::invalid_argument("EventQueue::schedule_at: non-finite time");
+  }
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: time is in the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("EventQueue::schedule_at: empty callback");
+  }
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(Hours delay, Callback cb) {
+  if (!(delay >= 0.0)) {
+    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Copy out before pop so the callback may schedule new events.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.when;
+  ev.cb();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t limit) {
+  std::size_t processed = 0;
+  while (processed < limit && step()) ++processed;
+  return processed;
+}
+
+std::size_t EventQueue::run_until(Hours until) {
+  if (until < now_) {
+    throw std::invalid_argument("EventQueue::run_until: time is in the past");
+  }
+  std::size_t processed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    step();
+    ++processed;
+  }
+  now_ = until;
+  return processed;
+}
+
+}  // namespace swapgame::chain

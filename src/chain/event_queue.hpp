@@ -1,0 +1,69 @@
+// Discrete-event simulation core.
+//
+// A single EventQueue drives both simulated ledgers: transaction
+// confirmations, mempool-visibility events, HTLC expiries, agent decision
+// epochs and oracle settlements are all callbacks scheduled at absolute
+// simulation times (hours).  Events at equal times fire in scheduling order
+// (FIFO tie-break), which makes simulations fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "types.hpp"
+
+namespace swapgame::chain {
+
+/// Deterministic discrete-event scheduler.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time (hours since t0).
+  [[nodiscard]] Hours now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `when`.  Scheduling in the past (before
+  /// now()) throws std::invalid_argument; scheduling exactly at now() is
+  /// allowed and runs on the next step.
+  void schedule_at(Hours when, Callback cb);
+
+  /// Schedules `cb` at now() + delay (delay >= 0).
+  void schedule_in(Hours delay, Callback cb);
+
+  /// Runs the earliest event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or `limit` events have run.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t limit = kNoLimit);
+
+  /// Runs all events scheduled at times <= `until`, then advances the clock
+  /// to `until` (even if no event was pending).  Returns events processed.
+  std::size_t run_until(Hours until);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+ private:
+  struct Event {
+    Hours when;
+    std::uint64_t seq;  // FIFO tie-break
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Hours now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace swapgame::chain

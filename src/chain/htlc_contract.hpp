@@ -1,0 +1,44 @@
+// Hash-time-locked contract state (paper Section II-B, Fig. 1).
+#pragma once
+
+#include <optional>
+
+#include "crypto/digest.hpp"
+#include "crypto/secret.hpp"
+#include "transaction.hpp"
+#include "types.hpp"
+
+namespace swapgame::chain {
+
+enum class HtlcState : std::uint8_t {
+  kLocked,     ///< funds locked, awaiting claim or expiry
+  kClaimed,    ///< settled through the preimage path before expiry
+  kRefunded,   ///< settled through the timeout path at/after expiry
+  kCancelled,  ///< inverse escrow cancelled early back to the sender
+};
+
+[[nodiscard]] const char* to_string(HtlcState state) noexcept;
+
+/// An HTLC instance living on one ledger.
+struct HtlcContract {
+  HtlcId id;
+  Address sender;
+  Address recipient;
+  Amount amount;
+  crypto::Digest256 hash_lock;
+  HtlcKind kind = HtlcKind::kStandard;
+  Hours expiry = 0.0;
+  Hours deployed_at = 0.0;
+  HtlcState state = HtlcState::kLocked;
+  /// The preimage revealed by the successful claim, if any.  Once a claim
+  /// transaction is visible in the mempool the secret is public even before
+  /// confirmation; mempool visibility is handled by the Ledger.
+  std::optional<crypto::Secret> revealed_secret;
+  Hours settled_at = 0.0;  ///< claim/refund confirmation time
+
+  [[nodiscard]] bool is_open() const noexcept {
+    return state == HtlcState::kLocked;
+  }
+};
+
+}  // namespace swapgame::chain

@@ -1,0 +1,390 @@
+#include "ledger.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace swapgame::chain {
+
+const char* to_string(TxStatus status) noexcept {
+  switch (status) {
+    case TxStatus::kPending:
+      return "pending";
+    case TxStatus::kConfirmed:
+      return "confirmed";
+    case TxStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(HtlcState state) noexcept {
+  switch (state) {
+    case HtlcState::kLocked:
+      return "locked";
+    case HtlcState::kClaimed:
+      return "claimed";
+    case HtlcState::kRefunded:
+      return "refunded";
+    case HtlcState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+const char* to_string(HtlcKind kind) noexcept {
+  switch (kind) {
+    case HtlcKind::kStandard:
+      return "standard";
+    case HtlcKind::kInverse:
+      return "inverse";
+  }
+  return "unknown";
+}
+
+void ChainParams::validate() const {
+  if (!(confirmation_time > 0.0) || !std::isfinite(confirmation_time)) {
+    throw std::invalid_argument("ChainParams: confirmation_time must be > 0");
+  }
+  if (!(mempool_visibility > 0.0) || !std::isfinite(mempool_visibility)) {
+    throw std::invalid_argument("ChainParams: mempool_visibility must be > 0");
+  }
+  if (!(mempool_visibility < confirmation_time)) {
+    throw std::invalid_argument(
+        "ChainParams: mempool_visibility must be < confirmation_time (Eq. 3)");
+  }
+  if (!(confirmation_jitter >= 0.0) || !std::isfinite(confirmation_jitter)) {
+    throw std::invalid_argument(
+        "ChainParams: confirmation_jitter must be >= 0");
+  }
+}
+
+Ledger::Ledger(ChainParams params, EventQueue& queue, math::Xoshiro256* rng)
+    : params_(params), queue_(&queue), rng_(rng) {
+  params_.validate();
+  if (params_.confirmation_jitter > 0.0 && rng_ == nullptr) {
+    throw std::invalid_argument(
+        "Ledger: confirmation_jitter > 0 requires an RNG");
+  }
+}
+
+void Ledger::create_account(const Address& address, Amount initial_balance) {
+  const auto [it, inserted] = accounts_.emplace(address, initial_balance);
+  if (!inserted) {
+    throw std::invalid_argument("Ledger: account already exists: " + address.value);
+  }
+}
+
+bool Ledger::has_account(const Address& address) const noexcept {
+  return accounts_.find(address) != accounts_.end();
+}
+
+Amount Ledger::balance(const Address& address) const {
+  const auto it = accounts_.find(address);
+  if (it == accounts_.end()) {
+    throw std::out_of_range("Ledger: unknown account: " + address.value);
+  }
+  return it->second;
+}
+
+TxId Ledger::submit(TxPayload payload) {
+  const TxId id{next_tx_++};
+  Transaction tx;
+  tx.id = id;
+  tx.payload = std::move(payload);
+  tx.submitted_at = queue_->now();
+  tx.visible_at = tx.submitted_at + params_.mempool_visibility;
+  // Constant base delay (paper assumption 1) plus optional uniform jitter
+  // (relaxation used by the robustness experiments, bench X9).
+  double delay = params_.confirmation_time;
+  if (params_.confirmation_jitter > 0.0) {
+    delay += params_.confirmation_jitter * math::uniform01(*rng_);
+  }
+  tx.confirmed_at = tx.submitted_at + delay;
+  // Assign the contract id a deploy will create, so the counterparty can be
+  // pointed at it before confirmation.
+  if (std::holds_alternative<DeployHtlcPayload>(tx.payload)) {
+    tx.created_contract = HtlcId{next_htlc_++};
+  }
+  transactions_.emplace(id.value, std::move(tx));
+
+  queue_->schedule_at(transactions_.at(id.value).confirmed_at, [this, id] {
+    apply(transactions_.at(id.value));
+  });
+  return id;
+}
+
+const Transaction& Ledger::transaction(TxId id) const {
+  const auto it = transactions_.find(id.value);
+  if (it == transactions_.end()) {
+    throw std::out_of_range("Ledger: unknown transaction");
+  }
+  return it->second;
+}
+
+const HtlcContract& Ledger::htlc(HtlcId id) const {
+  const auto it = htlcs_.find(id.value);
+  if (it == htlcs_.end()) {
+    throw std::out_of_range("Ledger: unknown HTLC contract");
+  }
+  return it->second;
+}
+
+bool Ledger::has_htlc(HtlcId id) const noexcept {
+  return htlcs_.find(id.value) != htlcs_.end();
+}
+
+HtlcId Ledger::pending_contract_of(TxId deploy_tx) const {
+  const Transaction& tx = transaction(deploy_tx);
+  if (!tx.created_contract) {
+    throw std::invalid_argument("Ledger: transaction is not a deploy");
+  }
+  return *tx.created_contract;
+}
+
+std::vector<ObservedSecret> Ledger::visible_secrets() const {
+  std::vector<ObservedSecret> result;
+  const Hours now = queue_->now();
+  for (const auto& [id, tx] : transactions_) {
+    if (tx.visible_at > now) continue;
+    // A claim exposes its preimage the moment it is mempool-visible, even if
+    // it ultimately fails to confirm: broadcasting is irreversible.
+    if (const auto* claim = std::get_if<ClaimHtlcPayload>(&tx.payload)) {
+      result.push_back({claim->secret, claim->contract, tx.visible_at});
+    }
+  }
+  return result;
+}
+
+const HtlcContract* Ledger::find_htlc_by_hash(
+    const crypto::Digest256& hash) const noexcept {
+  const HtlcContract* latest = nullptr;
+  for (const auto& [id, contract] : htlcs_) {
+    if (contract.hash_lock == hash) latest = &contract;
+  }
+  return latest;
+}
+
+void Ledger::charge_collateral(const Address& depositor, Amount amount) {
+  const auto it = accounts_.find(depositor);
+  if (it == accounts_.end()) {
+    throw std::out_of_range("charge_collateral: unknown account: " +
+                            depositor.value);
+  }
+  if (it->second < amount) {
+    throw std::invalid_argument("charge_collateral: insufficient funds");
+  }
+  it->second -= amount;
+  vault_deposits_[depositor] += amount;
+  vault_total_ += amount;
+}
+
+Amount Ledger::vault_deposit_of(const Address& depositor) const noexcept {
+  const auto it = vault_deposits_.find(depositor);
+  return it == vault_deposits_.end() ? Amount{} : it->second;
+}
+
+Amount Ledger::total_supply() const {
+  Amount total;
+  for (const auto& [addr, bal] : accounts_) total += bal;
+  for (const auto& [id, contract] : htlcs_) {
+    if (contract.state == HtlcState::kLocked) total += contract.amount;
+  }
+  total += vault_total_;
+  return total;
+}
+
+void Ledger::apply(Transaction& tx) {
+  std::visit(
+      [this, &tx](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, TransferPayload>) {
+          apply_transfer(tx, payload);
+        } else if constexpr (std::is_same_v<T, DeployHtlcPayload>) {
+          apply_deploy(tx, payload);
+        } else if constexpr (std::is_same_v<T, ClaimHtlcPayload>) {
+          apply_claim(tx, payload);
+        } else if constexpr (std::is_same_v<T, RefundHtlcPayload>) {
+          apply_refund(tx, payload);
+        } else if constexpr (std::is_same_v<T, CancelHtlcPayload>) {
+          apply_cancel(tx, payload);
+        } else if constexpr (std::is_same_v<T, DepositCollateralPayload>) {
+          apply_deposit(tx, payload);
+        } else {
+          apply_release(tx, payload);
+        }
+      },
+      tx.payload);
+  if (tx.status != TxStatus::kFailed) {
+    tx.status = TxStatus::kConfirmed;
+    confirmation_log_.push_back(tx.id);
+  }
+}
+
+void Ledger::fail(Transaction& tx, std::string reason) {
+  tx.status = TxStatus::kFailed;
+  tx.failure_reason = std::move(reason);
+}
+
+void Ledger::apply_transfer(Transaction& tx, const TransferPayload& p) {
+  const auto from = accounts_.find(p.from);
+  const auto to = accounts_.find(p.to);
+  if (from == accounts_.end() || to == accounts_.end()) {
+    return fail(tx, "transfer: unknown account");
+  }
+  if (from->second < p.amount) {
+    return fail(tx, "transfer: insufficient funds");
+  }
+  from->second -= p.amount;
+  to->second += p.amount;
+}
+
+void Ledger::apply_deploy(Transaction& tx, const DeployHtlcPayload& p) {
+  const auto sender = accounts_.find(p.sender);
+  if (sender == accounts_.end()) {
+    return fail(tx, "deploy: unknown sender");
+  }
+  if (!accounts_.count(p.recipient)) {
+    return fail(tx, "deploy: unknown recipient");
+  }
+  if (sender->second < p.amount) {
+    return fail(tx, "deploy: insufficient funds");
+  }
+  if (!(p.expiry > queue_->now())) {
+    return fail(tx, "deploy: expiry not in the future");
+  }
+  sender->second -= p.amount;
+
+  HtlcContract contract;
+  contract.id = *tx.created_contract;
+  contract.sender = p.sender;
+  contract.recipient = p.recipient;
+  contract.amount = p.amount;
+  contract.hash_lock = p.hash_lock;
+  contract.kind = p.kind;
+  contract.expiry = p.expiry;
+  contract.deployed_at = queue_->now();
+  htlcs_.emplace(contract.id.value, contract);
+  schedule_auto_refund(contract.id, p.expiry);
+}
+
+void Ledger::apply_claim(Transaction& tx, const ClaimHtlcPayload& p) {
+  const auto it = htlcs_.find(p.contract.value);
+  if (it == htlcs_.end()) {
+    return fail(tx, "claim: unknown contract");
+  }
+  HtlcContract& contract = it->second;
+  if (contract.state != HtlcState::kLocked) {
+    return fail(tx, std::string("claim: contract is ") + to_string(contract.state));
+  }
+  // Claims must confirm at or before the time lock's expiry (paper Eq. (8):
+  // t5 = t3 + tau_b <= t_b).
+  if (queue_->now() > contract.expiry) {
+    return fail(tx, "claim: time lock expired");
+  }
+  if (!p.secret.opens(contract.hash_lock)) {
+    return fail(tx, "claim: wrong preimage");
+  }
+  // Standard lock: the preimage path pays the recipient.  Inverse escrow:
+  // the depositor performed, so the preimage path refunds the sender.
+  const Address& beneficiary = contract.kind == HtlcKind::kStandard
+                                   ? contract.recipient
+                                   : contract.sender;
+  const auto account = accounts_.find(beneficiary);
+  if (account == accounts_.end()) {
+    return fail(tx, "claim: unknown beneficiary account");
+  }
+  contract.state = HtlcState::kClaimed;
+  contract.revealed_secret = p.secret;
+  contract.settled_at = queue_->now();
+  account->second += contract.amount;
+}
+
+void Ledger::apply_refund(Transaction& tx, const RefundHtlcPayload& p) {
+  const auto it = htlcs_.find(p.contract.value);
+  if (it == htlcs_.end()) {
+    return fail(tx, "refund: unknown contract");
+  }
+  HtlcContract& contract = it->second;
+  if (contract.state != HtlcState::kLocked) {
+    return fail(tx, std::string("refund: contract is ") + to_string(contract.state));
+  }
+  // The timeout path is only valid once the time lock has lapsed.
+  if (queue_->now() < contract.expiry) {
+    return fail(tx, "refund: time lock still active");
+  }
+  // Standard lock: timeout refunds the sender.  Inverse escrow: timeout
+  // pays the recipient (the penalty fires).
+  const Address& beneficiary = contract.kind == HtlcKind::kStandard
+                                   ? contract.sender
+                                   : contract.recipient;
+  const auto account = accounts_.find(beneficiary);
+  if (account == accounts_.end()) {
+    return fail(tx, "refund: unknown beneficiary account");
+  }
+  contract.state = HtlcState::kRefunded;
+  contract.settled_at = queue_->now();
+  account->second += contract.amount;
+}
+
+void Ledger::apply_cancel(Transaction& tx, const CancelHtlcPayload& p) {
+  const auto it = htlcs_.find(p.contract.value);
+  if (it == htlcs_.end()) {
+    return fail(tx, "cancel: unknown contract");
+  }
+  HtlcContract& contract = it->second;
+  if (contract.kind != HtlcKind::kInverse) {
+    return fail(tx, "cancel: only inverse escrows can be cancelled");
+  }
+  if (contract.state != HtlcState::kLocked) {
+    return fail(tx, std::string("cancel: contract is ") + to_string(contract.state));
+  }
+  if (queue_->now() >= contract.expiry) {
+    return fail(tx, "cancel: escrow already expired");
+  }
+  const auto sender = accounts_.find(contract.sender);
+  if (sender == accounts_.end()) {
+    return fail(tx, "cancel: unknown sender account");
+  }
+  contract.state = HtlcState::kCancelled;
+  contract.settled_at = queue_->now();
+  sender->second += contract.amount;
+}
+
+void Ledger::apply_deposit(Transaction& tx, const DepositCollateralPayload& p) {
+  const auto depositor = accounts_.find(p.depositor);
+  if (depositor == accounts_.end()) {
+    return fail(tx, "deposit: unknown account");
+  }
+  if (depositor->second < p.amount) {
+    return fail(tx, "deposit: insufficient funds");
+  }
+  depositor->second -= p.amount;
+  vault_deposits_[p.depositor] += p.amount;
+  vault_total_ += p.amount;
+}
+
+void Ledger::apply_release(Transaction& tx, const ReleaseCollateralPayload& p) {
+  const auto recipient = accounts_.find(p.recipient);
+  if (recipient == accounts_.end()) {
+    return fail(tx, "release: unknown recipient");
+  }
+  if (vault_total_ < p.amount) {
+    return fail(tx, "release: vault underfunded");
+  }
+  vault_total_ -= p.amount;
+  recipient->second += p.amount;
+}
+
+void Ledger::schedule_auto_refund(HtlcId id, Hours expiry) {
+  // The contract refunds itself when the lock lapses: the refund transaction
+  // enters the chain at expiry and confirms tau later, so the sender
+  // receives funds at expiry + tau (paper Eqs. (10)/(11)).
+  queue_->schedule_at(expiry, [this, id] {
+    const auto it = htlcs_.find(id.value);
+    if (it == htlcs_.end() || it->second.state != HtlcState::kLocked) return;
+    submit(RefundHtlcPayload{id, it->second.sender});
+  });
+}
+
+}  // namespace swapgame::chain

@@ -1,0 +1,152 @@
+// A simulated ledger (the paper's Chain_a or Chain_b).
+//
+// The ledger is driven by a shared EventQueue.  Every submitted transaction
+// confirms after the chain's constant confirmation time tau (paper
+// assumption 1) and becomes discoverable in the mempool after epsilon < tau
+// (Eq. (3)).  HTLCs auto-refund at expiry: the refund transaction is
+// submitted by the contract itself when the time lock lapses, so the sender
+// receives funds back at expiry + tau, matching the paper's t7 = t_b + tau_b
+// and t8 = t_a + tau_a receipt times (Eqs. (10), (11)).
+//
+// The ledger also hosts an oracle-controlled collateral vault (Section IV):
+// deposits debit the depositor into the vault pool; only releases submitted
+// through an Oracle capability move funds out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "event_queue.hpp"
+#include "math/rng.hpp"
+#include "htlc_contract.hpp"
+#include "transaction.hpp"
+#include "types.hpp"
+
+namespace swapgame::chain {
+
+/// Static parameters of one chain.
+struct ChainParams {
+  ChainId id = ChainId::kChainA;
+  Hours confirmation_time = 3.0;   ///< tau (mean/base confirmation time)
+  Hours mempool_visibility = 1.0;  ///< epsilon, must satisfy epsilon < tau
+  /// Maximum extra confirmation delay per transaction (uniform in
+  /// [0, confirmation_jitter]), relaxing the paper's constant-tau
+  /// assumption 1.  Requires an RNG to be supplied to the Ledger; 0 keeps
+  /// confirmations deterministic.
+  Hours confirmation_jitter = 0.0;
+
+  /// Throws std::invalid_argument on non-positive times, epsilon >= tau or
+  /// negative jitter.
+  void validate() const;
+};
+
+/// A secret observed in the mempool (possibly before confirmation).
+struct ObservedSecret {
+  crypto::Secret secret;
+  HtlcId contract;
+  Hours visible_since = 0.0;
+};
+
+class Ledger {
+ public:
+  /// The queue must outlive the ledger.  `rng` (optional) drives the
+  /// per-transaction confirmation jitter and must outlive the ledger;
+  /// required when params.confirmation_jitter > 0.
+  Ledger(ChainParams params, EventQueue& queue,
+         math::Xoshiro256* rng = nullptr);
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  [[nodiscard]] const ChainParams& params() const noexcept { return params_; }
+  [[nodiscard]] Hours now() const noexcept { return queue_->now(); }
+
+  /// Creates an account with an initial balance.  Throws if it exists.
+  void create_account(const Address& address, Amount initial_balance);
+
+  [[nodiscard]] bool has_account(const Address& address) const noexcept;
+
+  /// Confirmed balance.  Throws std::out_of_range for unknown accounts.
+  [[nodiscard]] Amount balance(const Address& address) const;
+
+  /// Submits a transaction at the current simulation time.  Returns its id.
+  /// The transaction confirms (and is validated) at now() + tau and becomes
+  /// mempool-visible at now() + epsilon.
+  TxId submit(TxPayload payload);
+
+  /// Looks up a transaction by id; throws std::out_of_range if unknown.
+  [[nodiscard]] const Transaction& transaction(TxId id) const;
+
+  /// Looks up an HTLC by id; throws std::out_of_range if unknown.  Note
+  /// that contracts are created at *confirmation* of their deploy tx.
+  [[nodiscard]] const HtlcContract& htlc(HtlcId id) const;
+  [[nodiscard]] bool has_htlc(HtlcId id) const noexcept;
+
+  /// The contract id a deploy transaction will create upon confirmation
+  /// (assigned eagerly at submission so counterparties can be told where to
+  /// look).
+  [[nodiscard]] HtlcId pending_contract_of(TxId deploy_tx) const;
+
+  /// All secrets currently extractable by watching the mempool and the
+  /// confirmed history: any ClaimHtlc transaction with visible_at <= now().
+  /// This is how Bob learns Alice's secret at t4 (Section II-B Step 3).
+  [[nodiscard]] std::vector<ObservedSecret> visible_secrets() const;
+
+  /// Finds the most recently deployed HTLC whose hash lock equals `hash`,
+  /// or nullptr.  This is how the Oracle of Section IV recognizes the
+  /// counterpart contract on the other chain without being told its id.
+  [[nodiscard]] const HtlcContract* find_htlc_by_hash(
+      const crypto::Digest256& hash) const noexcept;
+
+  /// Collateral vault inspection.
+  [[nodiscard]] Amount vault_deposit_of(const Address& depositor) const noexcept;
+  [[nodiscard]] Amount vault_total() const noexcept { return vault_total_; }
+
+  /// The Section IV "special permission": the trusted contract charges the
+  /// depositor synchronously (no confirmation delay), moving funds from the
+  /// account into the vault.  Throws on insufficient balance.
+  void charge_collateral(const Address& depositor, Amount amount);
+
+  /// Conservation invariant: sum of account balances + funds locked in open
+  /// HTLCs + vault pool.  Constant across the life of the simulation (total
+  /// minted supply); asserted by tests after every event.
+  [[nodiscard]] Amount total_supply() const;
+
+  /// Confirmed transactions in confirmation order (audit trail).
+  [[nodiscard]] const std::vector<TxId>& confirmation_log() const noexcept {
+    return confirmation_log_;
+  }
+
+  /// Number of transactions ever submitted.
+  [[nodiscard]] std::size_t transaction_count() const noexcept {
+    return transactions_.size();
+  }
+
+ private:
+  void apply(Transaction& tx);
+  void apply_transfer(Transaction& tx, const TransferPayload& p);
+  void apply_deploy(Transaction& tx, const DeployHtlcPayload& p);
+  void apply_claim(Transaction& tx, const ClaimHtlcPayload& p);
+  void apply_refund(Transaction& tx, const RefundHtlcPayload& p);
+  void apply_cancel(Transaction& tx, const CancelHtlcPayload& p);
+  void apply_deposit(Transaction& tx, const DepositCollateralPayload& p);
+  void apply_release(Transaction& tx, const ReleaseCollateralPayload& p);
+  void fail(Transaction& tx, std::string reason);
+  void schedule_auto_refund(HtlcId id, Hours expiry);
+
+  ChainParams params_;
+  EventQueue* queue_;
+  math::Xoshiro256* rng_ = nullptr;
+  std::map<Address, Amount> accounts_;
+  std::map<std::uint64_t, Transaction> transactions_;  // keyed by TxId.value
+  std::map<std::uint64_t, HtlcContract> htlcs_;        // keyed by HtlcId.value
+  std::map<Address, Amount> vault_deposits_;
+  Amount vault_total_;
+  std::vector<TxId> confirmation_log_;
+  std::uint64_t next_tx_ = 1;
+  std::uint64_t next_htlc_ = 1;
+};
+
+}  // namespace swapgame::chain

@@ -1,0 +1,133 @@
+// Transactions of the simulated ledgers.
+//
+// A transaction is submitted at time ts, becomes discoverable in the
+// mempool at ts + epsilon (the paper's mempool-visibility delay, Eq. (3)),
+// and is applied (confirmed) at ts + tau (the paper's constant confirmation
+// time, assumption 1).  Validation happens at application time against the
+// then-current state; invalid transactions confirm as Failed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "crypto/digest.hpp"
+#include "crypto/secret.hpp"
+#include "types.hpp"
+
+namespace swapgame::chain {
+
+/// Sequential transaction id, unique per ledger.
+struct TxId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool operator==(const TxId&) const = default;
+  [[nodiscard]] auto operator<=>(const TxId&) const = default;
+};
+
+/// Sequential HTLC contract id, unique per ledger.
+struct HtlcId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool operator==(const HtlcId&) const = default;
+  [[nodiscard]] auto operator<=>(const HtlcId&) const = default;
+};
+
+/// Plain value transfer.
+struct TransferPayload {
+  Address from;
+  Address to;
+  Amount amount;
+};
+
+/// Direction of an HTLC's settlement paths.
+enum class HtlcKind : std::uint8_t {
+  /// The classic swap lock (paper Fig. 1): a preimage claim before expiry
+  /// pays the RECIPIENT; the timeout path refunds the SENDER.
+  kStandard,
+  /// A premium/penalty escrow (Han et al.'s mechanism, paper Section II-C):
+  /// a preimage claim before expiry refunds the SENDER (the depositor
+  /// performed); the timeout path pays the RECIPIENT (the depositor
+  /// defaulted after commitment).
+  kInverse,
+};
+
+[[nodiscard]] const char* to_string(HtlcKind kind) noexcept;
+
+/// Deploys a hash-time-locked contract locking `amount` from `sender`.
+/// Settlement beneficiaries depend on `kind` (see HtlcKind).
+struct DeployHtlcPayload {
+  Address sender;
+  Address recipient;
+  Amount amount;
+  crypto::Digest256 hash_lock;
+  Hours expiry;
+  HtlcKind kind = HtlcKind::kStandard;
+};
+
+/// Claims an HTLC by revealing the secret preimage.  The secret becomes
+/// publicly visible in the mempool epsilon after submission -- this is the
+/// leak Bob exploits at t4 (paper Section II-B Step 3).
+struct ClaimHtlcPayload {
+  HtlcId contract;
+  crypto::Secret secret;
+  Address claimer;
+};
+
+/// Explicit refund request (the ledger also auto-refunds at expiry).
+struct RefundHtlcPayload {
+  HtlcId contract;
+  Address requester;
+};
+
+/// Early cancellation of an INVERSE escrow, returning the deposit to the
+/// sender before expiry.  Used when the condition the escrow penalizes
+/// never became reachable (e.g. the counterparty never locked, so the
+/// depositor could not possibly perform).  In Han et al.'s construction
+/// this path is realized with nested timelocks; here it is submitted by a
+/// trusted watcher (documented substitution, see DESIGN.md).
+struct CancelHtlcPayload {
+  HtlcId contract;
+  Address canceller;
+};
+
+/// Collateral deposit into the ledger's oracle-controlled vault (paper
+/// Section IV, assumption 1).
+struct DepositCollateralPayload {
+  Address depositor;
+  Amount amount;
+};
+
+/// Oracle-authorized release of vault funds to `recipient` (paper Section
+/// IV, assumption 3).  Only the Oracle component constructs these.
+struct ReleaseCollateralPayload {
+  Address recipient;
+  Amount amount;
+};
+
+using TxPayload =
+    std::variant<TransferPayload, DeployHtlcPayload, ClaimHtlcPayload,
+                 RefundHtlcPayload, CancelHtlcPayload,
+                 DepositCollateralPayload, ReleaseCollateralPayload>;
+
+enum class TxStatus : std::uint8_t {
+  kPending,    ///< submitted, not yet confirmed
+  kConfirmed,  ///< applied successfully
+  kFailed,     ///< reached confirmation but validation rejected it
+};
+
+[[nodiscard]] const char* to_string(TxStatus status) noexcept;
+
+/// A submitted transaction with its full lifecycle timestamps.
+struct Transaction {
+  TxId id;
+  TxPayload payload;
+  Hours submitted_at = 0.0;
+  Hours visible_at = 0.0;    ///< submitted_at + epsilon
+  Hours confirmed_at = 0.0;  ///< submitted_at + tau (set on submission)
+  TxStatus status = TxStatus::kPending;
+  std::string failure_reason;  ///< populated when status == kFailed
+  /// For DeployHtlc transactions: the id assigned to the new contract.
+  std::optional<HtlcId> created_contract;
+};
+
+}  // namespace swapgame::chain

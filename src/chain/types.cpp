@@ -1,0 +1,69 @@
+#include "types.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace swapgame::chain {
+
+Amount Amount::from_units(std::int64_t units) {
+  if (units < 0) {
+    throw std::invalid_argument("Amount::from_units: negative amount");
+  }
+  return Amount(units);
+}
+
+Amount Amount::from_tokens(double tokens) {
+  if (!std::isfinite(tokens) || tokens < 0.0) {
+    throw std::invalid_argument("Amount::from_tokens: must be finite and >= 0");
+  }
+  const double units = std::round(tokens * kUnitsPerToken);
+  if (units > static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+    throw std::overflow_error("Amount::from_tokens: amount too large");
+  }
+  return Amount(static_cast<std::int64_t>(units));
+}
+
+Amount Amount::operator+(Amount other) const {
+  if (units_ > std::numeric_limits<std::int64_t>::max() - other.units_) {
+    throw std::overflow_error("Amount: addition overflow");
+  }
+  return Amount(units_ + other.units_);
+}
+
+Amount Amount::operator-(Amount other) const {
+  if (other.units_ > units_) {
+    throw std::underflow_error("Amount: subtraction below zero");
+  }
+  return Amount(units_ - other.units_);
+}
+
+Amount& Amount::operator+=(Amount other) {
+  *this = *this + other;
+  return *this;
+}
+
+Amount& Amount::operator-=(Amount other) {
+  *this = *this - other;
+  return *this;
+}
+
+std::string Amount::to_string() const {
+  const std::int64_t whole = units_ / kUnitsPerToken;
+  const std::int64_t frac = units_ % kUnitsPerToken;
+  std::string frac_str = std::to_string(frac);
+  frac_str.insert(0, 9 - frac_str.size(), '0');
+  return std::to_string(whole) + "." + frac_str;
+}
+
+const char* to_string(ChainId id) noexcept {
+  switch (id) {
+    case ChainId::kChainA:
+      return "Chain_a";
+    case ChainId::kChainB:
+      return "Chain_b";
+  }
+  return "Chain_?";
+}
+
+}  // namespace swapgame::chain

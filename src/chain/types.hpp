@@ -1,0 +1,68 @@
+// Foundational value types of the blockchain substrate.
+//
+// Amounts are fixed-point (1 token = 10^9 base units) so ledger-conservation
+// invariants can be asserted exactly; the continuous-price game model
+// converts at its boundary.  Time is measured in hours as in the paper
+// (Table III: tau_a = 3h, tau_b = 4h, epsilon_b = 1h).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace swapgame::chain {
+
+/// Simulation time in hours (the paper's unit).
+using Hours = double;
+
+/// An account address on a simulated ledger.
+struct Address {
+  std::string value;
+
+  [[nodiscard]] bool operator==(const Address&) const = default;
+  [[nodiscard]] auto operator<=>(const Address&) const = default;
+};
+
+/// Fixed-point token amount: 1 token = 10^9 base units.  Arithmetic is
+/// overflow-checked (throws std::overflow_error) and construction from a
+/// token double rejects NaN/negative/too-large values.
+class Amount {
+ public:
+  static constexpr std::int64_t kUnitsPerToken = 1'000'000'000;
+
+  constexpr Amount() = default;
+
+  /// From raw base units (may be any non-negative count).
+  [[nodiscard]] static Amount from_units(std::int64_t units);
+
+  /// From a token-denominated double, rounded to the nearest base unit.
+  [[nodiscard]] static Amount from_tokens(double tokens);
+
+  [[nodiscard]] std::int64_t units() const noexcept { return units_; }
+  [[nodiscard]] double tokens() const noexcept {
+    return static_cast<double>(units_) / kUnitsPerToken;
+  }
+  [[nodiscard]] bool is_zero() const noexcept { return units_ == 0; }
+
+  [[nodiscard]] Amount operator+(Amount other) const;
+  [[nodiscard]] Amount operator-(Amount other) const;  ///< throws if negative
+  Amount& operator+=(Amount other);
+  Amount& operator-=(Amount other);
+
+  [[nodiscard]] bool operator==(const Amount&) const = default;
+  [[nodiscard]] auto operator<=>(const Amount&) const = default;
+
+  /// Human-readable token string, e.g. "2.000000000".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Amount(std::int64_t units) noexcept : units_(units) {}
+  std::int64_t units_ = 0;
+};
+
+/// Identifier of a ledger (the paper's Chain_a / Chain_b).
+enum class ChainId : std::uint8_t { kChainA = 0, kChainB = 1 };
+
+[[nodiscard]] const char* to_string(ChainId id) noexcept;
+
+}  // namespace swapgame::chain

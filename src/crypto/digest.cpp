@@ -1,0 +1,52 @@
+#include "digest.hpp"
+
+#include <stdexcept>
+
+namespace swapgame::crypto {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("invalid hex character");
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+std::string Digest256::to_hex() const { return crypto::to_hex(bytes_); }
+
+Digest256 Digest256::from_hex(const std::string& hex) {
+  if (hex.size() != 2 * kSize) {
+    throw std::invalid_argument("Digest256::from_hex: expected 64 hex chars");
+  }
+  std::array<std::uint8_t, kSize> bytes{};
+  for (std::size_t i = 0; i < kSize; ++i) {
+    bytes[i] = static_cast<std::uint8_t>((hex_value(hex[2 * i]) << 4) |
+                                         hex_value(hex[2 * i + 1]));
+  }
+  return Digest256(bytes);
+}
+
+bool Digest256::constant_time_equals(const Digest256& other) const noexcept {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < kSize; ++i) {
+    acc = static_cast<std::uint8_t>(acc | (bytes_[i] ^ other.bytes_[i]));
+  }
+  return acc == 0;
+}
+
+}  // namespace swapgame::crypto

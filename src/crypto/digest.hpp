@@ -1,0 +1,49 @@
+// Digest value type shared by the hashing and HTLC code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace swapgame::crypto {
+
+/// A 256-bit digest (output of SHA-256), comparable and hex-printable.
+class Digest256 {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  Digest256() = default;
+  explicit Digest256(const std::array<std::uint8_t, kSize>& bytes) noexcept
+      : bytes_(bytes) {}
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// Lowercase hex encoding (64 characters).
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Parses 64 hex characters; throws std::invalid_argument on bad input.
+  [[nodiscard]] static Digest256 from_hex(const std::string& hex);
+
+  /// Constant-time equality: comparison cost does not depend on where the
+  /// first differing byte is (hash-lock preimage checks should not leak
+  /// timing, even in a simulator that models a real protocol).
+  [[nodiscard]] bool constant_time_equals(const Digest256& other) const noexcept;
+
+  [[nodiscard]] bool operator==(const Digest256& other) const noexcept {
+    return constant_time_equals(other);
+  }
+  [[nodiscard]] auto operator<=>(const Digest256& other) const noexcept {
+    return bytes_ <=> other.bytes_;
+  }
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+/// Bytes-to-hex helper used by Digest256 and the protocol audit log.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace swapgame::crypto

@@ -1,0 +1,66 @@
+#include "merkle.hpp"
+
+#include <stdexcept>
+
+#include "sha256.hpp"
+
+namespace swapgame::crypto {
+
+Digest256 MerkleTree::parent(const Digest256& left, const Digest256& right) {
+  Sha256 hasher;
+  hasher.update(std::span<const std::uint8_t>(left.bytes().data(),
+                                              left.bytes().size()));
+  hasher.update(std::span<const std::uint8_t>(right.bytes().data(),
+                                              right.bytes().size()));
+  return hasher.finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest256> leaves) {
+  if (leaves.empty()) {
+    root_ = Digest256{};
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const std::vector<Digest256>& below = levels_.back();
+    std::vector<Digest256> level;
+    level.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      const Digest256& left = below[i];
+      const Digest256& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      level.push_back(parent(left, right));
+    }
+    levels_.push_back(std::move(level));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (levels_.empty() || index >= levels_.front().size()) {
+    throw std::out_of_range("MerkleTree::prove: leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t pos = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::vector<Digest256>& nodes = levels_[level];
+    const std::size_t sibling_pos = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    const Digest256& sibling =
+        sibling_pos < nodes.size() ? nodes[sibling_pos] : nodes[pos];
+    proof.steps.push_back({sibling, pos % 2 == 1});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest256& leaf, const MerkleProof& proof,
+                        const Digest256& root) {
+  Digest256 current = leaf;
+  for (const MerkleStep& step : proof.steps) {
+    current = step.sibling_on_left ? parent(step.sibling, current)
+                                   : parent(current, step.sibling);
+  }
+  return current == root;
+}
+
+}  // namespace swapgame::crypto

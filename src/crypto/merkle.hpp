@@ -1,0 +1,59 @@
+// Merkle trees over transaction digests (used by the block layer for
+// tamper-evident history and membership proofs).
+//
+// Standard binary construction: leaves are the item digests, internal
+// nodes are sha256(left || right), an odd node at any level is paired with
+// itself (Bitcoin-style duplication).  Proofs carry, per level, the
+// sibling digest and its side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "digest.hpp"
+
+namespace swapgame::crypto {
+
+/// One step of a Merkle inclusion proof.
+struct MerkleStep {
+  Digest256 sibling;
+  bool sibling_on_left = false;  ///< hash(sibling || current) if true
+};
+
+/// An inclusion proof for one leaf.
+struct MerkleProof {
+  std::size_t leaf_index = 0;
+  std::vector<MerkleStep> steps;
+};
+
+/// Immutable Merkle tree over a list of leaf digests.
+class MerkleTree {
+ public:
+  /// Builds the tree.  An empty leaf list yields the all-zero root
+  /// (conventional for empty blocks).
+  explicit MerkleTree(std::vector<Digest256> leaves);
+
+  [[nodiscard]] const Digest256& root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept {
+    return levels_.empty() ? 0 : levels_.front().size();
+  }
+
+  /// Proof of inclusion for the leaf at `index`.
+  /// @throws std::out_of_range for an invalid index.
+  [[nodiscard]] MerkleProof prove(std::size_t index) const;
+
+  /// Verifies that `leaf` at the proof's position hashes up to `root`.
+  [[nodiscard]] static bool verify(const Digest256& leaf,
+                                   const MerkleProof& proof,
+                                   const Digest256& root);
+
+  /// Combines two child digests into their parent.
+  [[nodiscard]] static Digest256 parent(const Digest256& left,
+                                        const Digest256& right);
+
+ private:
+  std::vector<std::vector<Digest256>> levels_;  // levels_[0] = leaves
+  Digest256 root_;
+};
+
+}  // namespace swapgame::crypto

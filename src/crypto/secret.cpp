@@ -1,0 +1,26 @@
+#include "secret.hpp"
+
+#include "sha256.hpp"
+
+namespace swapgame::crypto {
+
+Secret Secret::generate(math::Xoshiro256& rng) noexcept {
+  std::array<std::uint8_t, kSize> bytes{};
+  for (std::size_t i = 0; i < kSize; i += 8) {
+    const std::uint64_t word = rng();
+    for (std::size_t j = 0; j < 8; ++j) {
+      bytes[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+  return Secret(bytes);
+}
+
+Digest256 Secret::commitment() const noexcept {
+  return Sha256::hash(std::span<const std::uint8_t>(bytes_.data(), bytes_.size()));
+}
+
+bool Secret::opens(const Digest256& commitment_digest) const noexcept {
+  return commitment().constant_time_equals(commitment_digest);
+}
+
+}  // namespace swapgame::crypto

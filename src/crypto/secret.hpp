@@ -1,0 +1,47 @@
+// Secret preimages for hash locks.
+//
+// Alice generates a secret at t0 and commits sha256(secret) in both HTLCs
+// (paper Section II-B Step 1).  Secrets here are 32 random bytes drawn from
+// a caller-provided deterministic RNG so simulations are reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "digest.hpp"
+#include "math/rng.hpp"
+
+namespace swapgame::crypto {
+
+/// A 32-byte hash-lock preimage.
+class Secret {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  Secret() = default;
+  explicit Secret(const std::array<std::uint8_t, kSize>& bytes) noexcept
+      : bytes_(bytes) {}
+
+  /// Draws a fresh random secret from the given RNG.
+  [[nodiscard]] static Secret generate(math::Xoshiro256& rng) noexcept;
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// The hash-lock commitment sha256(secret).
+  [[nodiscard]] Digest256 commitment() const noexcept;
+
+  /// Whether this secret opens the given commitment (constant-time digest
+  /// comparison).
+  [[nodiscard]] bool opens(const Digest256& commitment_digest) const noexcept;
+
+  [[nodiscard]] bool operator==(const Secret& other) const noexcept {
+    return bytes_ == other.bytes_;
+  }
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+}  // namespace swapgame::crypto

@@ -1,0 +1,88 @@
+// Match-making for swap counterparties (paper Section II-A: "the DEXs
+// generally provide solely match-making services and then require P2P
+// execution governed by coordination mechanisms such as HTLCs").
+//
+// A classic price-time-priority limit order book over the exchange rate
+// P* (token-a per token-b): buyers of token-b post the most they will pay,
+// sellers the least they will accept; a cross produces a Match that the
+// settlement layer (market/settlement.hpp) executes as an HTLC swap on the
+// chain substrate.  Orders are unit-sized (1 token-b), matching the
+// paper's swap normalization.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "model/params.hpp"
+
+namespace swapgame::market {
+
+/// Which side of the book an order rests on.
+enum class Side : std::uint8_t {
+  kBuyTokenB,   ///< will play Alice (pays P* token-a for 1 token-b)
+  kSellTokenB,  ///< will play Bob (delivers 1 token-b for P* token-a)
+};
+
+[[nodiscard]] const char* to_string(Side side) noexcept;
+
+/// A resting or incoming unit-size limit order.
+struct Order {
+  std::uint64_t id = 0;
+  Side side = Side::kBuyTokenB;
+  std::string trader;
+  double limit_rate = 0.0;          ///< price bound in token-a per token-b
+  model::AgentParams preferences;   ///< the trader's (alpha, r)
+  std::uint64_t sequence = 0;       ///< arrival order (time priority)
+};
+
+/// A crossed pair, priced at the RESTING (maker) order's limit.
+struct Match {
+  Order buy;
+  Order sell;
+  double rate = 0.0;
+};
+
+/// Price-time-priority limit order book.
+class OrderBook {
+ public:
+  /// Submits an order; if it crosses the opposite side, the best resting
+  /// order is matched immediately (taker pays/receives the maker's price)
+  /// and the match is queued for take_match().  Returns the order id.
+  /// @throws std::invalid_argument for non-positive limits or empty trader.
+  std::uint64_t submit(Side side, const std::string& trader, double limit_rate,
+                       const model::AgentParams& preferences);
+
+  /// Pops the oldest unconsumed match, if any.
+  [[nodiscard]] std::optional<Match> take_match();
+
+  /// Cancels a resting order.  Returns false if unknown or already matched.
+  bool cancel(std::uint64_t order_id);
+
+  /// Best bid (highest buy limit) / best ask (lowest sell limit).
+  [[nodiscard]] std::optional<double> best_bid() const;
+  [[nodiscard]] std::optional<double> best_ask() const;
+
+  /// Number of resting orders on a side.
+  [[nodiscard]] std::size_t depth(Side side) const noexcept;
+
+  [[nodiscard]] std::size_t matches_produced() const noexcept {
+    return matches_produced_;
+  }
+
+ private:
+  struct Resting {
+    Order order;
+  };
+  // Bids sorted by descending limit then sequence; asks ascending.
+  std::multimap<double, Order, std::greater<double>> bids_;
+  std::multimap<double, Order> asks_;
+  std::deque<Match> matches_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_sequence_ = 1;
+  std::size_t matches_produced_ = 0;
+};
+
+}  // namespace swapgame::market

@@ -1,0 +1,77 @@
+#include "settlement.hpp"
+
+#include "agents/rational.hpp"
+#include "model/collateral_game.hpp"
+#include "model/timeline.hpp"
+#include "sim/path_simulator.hpp"
+
+namespace swapgame::market {
+
+model::SwapParams params_for_match(const Match& match,
+                                   const SettlementConfig& config) {
+  model::SwapParams params;
+  params.alice = match.buy.preferences;   // the buyer locks token-a first
+  params.bob = match.sell.preferences;
+  params.tau_a = config.tau_a;
+  params.tau_b = config.tau_b;
+  params.eps_b = config.eps_b;
+  params.p_t0 = config.p_t0;
+  params.gbm = config.gbm;
+  params.validate();
+  return params;
+}
+
+Settlement settle_match(const Match& match, const SettlementConfig& config,
+                        math::Xoshiro256& rng) {
+  Settlement settlement;
+  settlement.match = match;
+
+  const model::SwapParams params = params_for_match(match, config);
+  const double p_star = match.rate;
+
+  proto::SwapSetup setup;
+  setup.params = params;
+  setup.p_star = p_star;
+  setup.collateral = config.collateral;
+  setup.secret_seed = rng();
+
+  const model::Schedule schedule = model::idealized_schedule(params, 0.0);
+  const proto::SteppedPricePath path =
+      sim::sample_epoch_path(params, schedule, rng);
+
+  if (config.collateral > 0.0) {
+    settlement.predicted_sr =
+        model::CollateralGame(params, p_star, config.collateral).success_rate();
+    agents::CollateralRationalStrategy alice(agents::Role::kAlice, params,
+                                             p_star, config.collateral);
+    agents::CollateralRationalStrategy bob(agents::Role::kBob, params, p_star,
+                                           config.collateral);
+    settlement.result = proto::run_swap(setup, alice, bob, path);
+  } else {
+    settlement.predicted_sr =
+        model::BasicGame(params, p_star).success_rate();
+    agents::RationalStrategy alice(agents::Role::kAlice, params, p_star);
+    agents::RationalStrategy bob(agents::Role::kBob, params, p_star);
+    settlement.result = proto::run_swap(setup, alice, bob, path);
+  }
+  settlement.initiated =
+      settlement.result.outcome != proto::SwapOutcome::kNotInitiated;
+  return settlement;
+}
+
+MarketStats aggregate(const std::vector<Settlement>& settlements) {
+  MarketStats stats;
+  stats.matches = settlements.size();
+  double sr_sum = 0.0;
+  for (const Settlement& s : settlements) {
+    if (s.initiated) ++stats.initiated;
+    if (s.result.success) ++stats.completed;
+    sr_sum += s.predicted_sr;
+  }
+  if (!settlements.empty()) {
+    stats.mean_predicted_sr = sr_sum / static_cast<double>(settlements.size());
+  }
+  return stats;
+}
+
+}  // namespace swapgame::market

@@ -1,0 +1,65 @@
+// Settlement of matched orders: turning a Match into an executed HTLC swap
+// (paper Section II-A: DEX match-making followed by P2P HTLC execution).
+//
+// The settlement layer builds the SwapParams from the two traders'
+// preferences, predicts the completion probability analytically, and can
+// execute the swap on the chain substrate over a sampled price path with
+// each side playing its rational threshold strategy.  It is what the
+// dex_marketplace example drives.
+#pragma once
+
+#include <vector>
+
+#include "math/rng.hpp"
+#include "model/basic_game.hpp"
+#include "order_book.hpp"
+#include "proto/swap_protocol.hpp"
+
+namespace swapgame::market {
+
+/// Market-wide settlement configuration.
+struct SettlementConfig {
+  double tau_a = 3.0;
+  double tau_b = 4.0;
+  double eps_b = 1.0;
+  double p_t0 = 2.0;           ///< current market price
+  math::GbmParams gbm{};
+  double collateral = 0.0;     ///< optional Q per side (Section IV)
+};
+
+/// Outcome of settling one match.
+struct Settlement {
+  Match match;
+  double predicted_sr = 0.0;   ///< analytic SR at the matched rate
+  bool initiated = false;      ///< whether the buyer's t1 decision was cont
+  proto::SwapResult result;    ///< the executed swap
+};
+
+/// Builds the game parameters implied by a match: the buyer plays Alice,
+/// the seller plays Bob.
+[[nodiscard]] model::SwapParams params_for_match(const Match& match,
+                                                 const SettlementConfig& config);
+
+/// Settles one match end-to-end: analytic prediction + protocol execution
+/// over a GBM path drawn from `rng` (rational strategies both sides).
+[[nodiscard]] Settlement settle_match(const Match& match,
+                                      const SettlementConfig& config,
+                                      math::Xoshiro256& rng);
+
+/// Aggregate statistics over a batch of settlements.
+struct MarketStats {
+  std::size_t matches = 0;
+  std::size_t initiated = 0;
+  std::size_t completed = 0;
+  double mean_predicted_sr = 0.0;
+  /// Completion rate among initiated swaps (empirical SR).
+  [[nodiscard]] double completion_rate() const noexcept {
+    return initiated == 0 ? 0.0
+                          : static_cast<double>(completed) /
+                                static_cast<double>(initiated);
+  }
+};
+
+[[nodiscard]] MarketStats aggregate(const std::vector<Settlement>& settlements);
+
+}  // namespace swapgame::market

@@ -1,0 +1,82 @@
+// Geometric Brownian motion transition law (paper Eq. (1) and the
+// E / P / C operators of Section III-A).
+//
+// The token-b price P (denominated in token-a, the numeraire) satisfies
+//   ln(P_{t+tau} / P_t) = (mu - sigma^2/2) tau + sigma (W_{t+tau} - W_t),
+// so P_{t+tau} | P_t is lognormal with log-mean
+//   M = ln(P_t) + (mu - sigma^2/2) tau    and log-stddev  S = sigma sqrt(tau).
+//
+// Beyond the paper's three operators (expectation, PDF, CDF) this class
+// exposes partial expectations -- E[P 1{P<=L}] and E[P 1{P>L}] -- which turn
+// the paper's utility integrals (Eqs. (20), (21), (25), (26), (35)-(37))
+// into closed forms, plus quantiles and exact path sampling.
+#pragma once
+
+#include <stdexcept>
+
+namespace swapgame::math {
+
+/// Drift/volatility pair of the GBM, in per-hour units as in Table III
+/// (mu = 0.002 /hour, sigma = 0.1 /sqrt(hour) by default).
+struct GbmParams {
+  double mu = 0.002;
+  double sigma = 0.1;
+
+  /// Throws std::invalid_argument unless sigma > 0 and both are finite.
+  void validate() const;
+};
+
+/// Transition law of a GBM over a fixed horizon, conditional on the current
+/// price.  All methods are pure; the object is an immutable value type.
+class GbmLaw {
+ public:
+  /// @param params  drift/volatility (validated).
+  /// @param price   current price P_t, must be > 0 and finite.
+  /// @param horizon time step tau in hours, must be > 0 and finite.
+  GbmLaw(const GbmParams& params, double price, double horizon);
+
+  [[nodiscard]] double price() const noexcept { return price_; }
+  [[nodiscard]] double horizon() const noexcept { return horizon_; }
+  [[nodiscard]] const GbmParams& params() const noexcept { return params_; }
+
+  /// E(P_t, tau) = P_t * exp(mu * tau)   -- the paper's script-E operator.
+  [[nodiscard]] double expectation() const noexcept;
+
+  /// Lognormal density of P_{t+tau} at x -- the paper's script-P operator.
+  /// Returns 0 for x <= 0.
+  [[nodiscard]] double pdf(double x) const noexcept;
+
+  /// P[P_{t+tau} <= x] -- the paper's script-C operator (with the erfc sign
+  /// corrected; see DESIGN.md).  Returns 0 for x <= 0.
+  [[nodiscard]] double cdf(double x) const noexcept;
+
+  /// P[P_{t+tau} > x], computed without cancellation.
+  [[nodiscard]] double survival(double x) const noexcept;
+
+  /// Quantile: smallest x with cdf(x) >= p.  Requires p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Lower partial expectation E[P_{t+tau} * 1{P_{t+tau} <= L}].
+  /// Returns 0 for L <= 0 and expectation() for L = +infinity.
+  [[nodiscard]] double partial_expectation_below(double L) const noexcept;
+
+  /// Upper partial expectation E[P_{t+tau} * 1{P_{t+tau} > L}].
+  [[nodiscard]] double partial_expectation_above(double L) const noexcept;
+
+  /// Maps a standard normal draw z to a price sample:
+  /// P_t * exp((mu - sigma^2/2) tau + sigma sqrt(tau) z).  Exact sampling.
+  [[nodiscard]] double sample_from_normal(double z) const noexcept;
+
+  /// log-mean M and log-stddev S of the terminal price.
+  [[nodiscard]] double log_mean() const noexcept { return log_mean_; }
+  [[nodiscard]] double log_stddev() const noexcept { return log_sd_; }
+
+ private:
+  GbmParams params_;
+  double price_;
+  double horizon_;
+  double log_mean_;  // ln(P_t) + (mu - sigma^2/2) tau
+  double log_sd_;    // sigma sqrt(tau)
+};
+
+}  // namespace swapgame::math

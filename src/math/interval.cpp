@@ -1,0 +1,148 @@
+#include "interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace swapgame::math {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals) {
+  intervals.erase(std::remove_if(intervals.begin(), intervals.end(),
+                                 [](const Interval& iv) { return iv.empty(); }),
+                  intervals.end());
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  for (const Interval& iv : intervals) {
+    if (!intervals_.empty() && iv.lo <= intervals_.back().hi) {
+      intervals_.back().hi = std::max(intervals_.back().hi, iv.hi);
+    } else {
+      intervals_.push_back(iv);
+    }
+  }
+}
+
+IntervalSet IntervalSet::from_alternating_roots(const std::vector<double>& roots,
+                                                double domain_lo, double domain_hi,
+                                                bool first_piece_inside) {
+  if (!(domain_lo < domain_hi)) {
+    throw std::invalid_argument("from_alternating_roots: empty domain");
+  }
+  std::vector<double> cuts;
+  cuts.push_back(domain_lo);
+  for (double r : roots) {
+    if (r > domain_lo && r < domain_hi) cuts.push_back(r);
+  }
+  cuts.push_back(domain_hi);
+  std::sort(cuts.begin(), cuts.end());
+
+  std::vector<Interval> pieces;
+  bool inside = first_piece_inside;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    if (inside) pieces.push_back({cuts[i], cuts[i + 1]});
+    inside = !inside;
+  }
+  return IntervalSet(std::move(pieces));
+}
+
+bool IntervalSet::contains(double x) const noexcept {
+  // Binary search over the sorted pieces.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](double v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->contains(x);
+}
+
+double IntervalSet::measure() const noexcept {
+  double total = 0.0;
+  for (const Interval& iv : intervals_) total += iv.length();
+  return total;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  std::vector<Interval> merged = intervals_;
+  merged.insert(merged.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(merged));
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    const double lo = std::max(a.lo, b.lo);
+    const double hi = std::min(a.hi, b.hi);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::complement(double domain_lo, double domain_hi) const {
+  if (!(domain_lo < domain_hi)) {
+    throw std::invalid_argument("complement: empty domain");
+  }
+  std::vector<Interval> out;
+  double cursor = domain_lo;
+  for (const Interval& iv : intervals_) {
+    if (iv.hi <= domain_lo) continue;
+    if (iv.lo >= domain_hi) break;
+    const double lo = std::max(iv.lo, domain_lo);
+    const double hi = std::min(iv.hi, domain_hi);
+    if (cursor < lo) out.push_back({cursor, lo});
+    cursor = std::max(cursor, hi);
+  }
+  if (cursor < domain_hi) out.push_back({cursor, domain_hi});
+  return IntervalSet(std::move(out));
+}
+
+double IntervalSet::integrate(
+    const std::function<double(double, double)>& integrator,
+    const std::function<double(double)>& tail_integrator) const {
+  double total = 0.0;
+  for (const Interval& iv : intervals_) {
+    if (std::isinf(iv.hi)) {
+      if (!tail_integrator) {
+        throw std::invalid_argument(
+            "IntervalSet::integrate: unbounded piece but no tail integrator");
+      }
+      total += tail_integrator(iv.lo);
+    } else {
+      total += integrator(iv.lo, iv.hi);
+    }
+  }
+  return total;
+}
+
+std::string IntervalSet::to_string() const {
+  if (intervals_.empty()) return "{}";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) os << " U ";
+    os << "[" << intervals_[i].lo << ", " << intervals_[i].hi << ")";
+  }
+  return os.str();
+}
+
+bool IntervalSet::equals(const IntervalSet& other, double tol) const noexcept {
+  if (intervals_.size() != other.intervals_.size()) return false;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (std::abs(intervals_[i].lo - other.intervals_[i].lo) > tol) return false;
+    if (std::abs(intervals_[i].hi - other.intervals_[i].hi) > tol) {
+      // Both infinite counts as equal.
+      if (!(std::isinf(intervals_[i].hi) && std::isinf(other.intervals_[i].hi))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace swapgame::math

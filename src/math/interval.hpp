@@ -1,0 +1,86 @@
+// Disjoint-interval set algebra on the positive half-line.
+//
+// In the collateral game (paper Section IV) Bob's continuation region at t2
+// and both agents' engagement regions at t1 are no longer single intervals:
+// the indifference equation has an odd number of roots (1 or 3, Fig. 7), so
+// the "cont" region is a finite union of disjoint intervals.  This class
+// represents such sets and supports the operations the solver needs:
+// construction from root lists, union/intersection/complement, membership,
+// and integration of a density over the set (Eq. 40).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace swapgame::math {
+
+/// A closed-open style numeric interval [lo, hi); degenerate (lo >= hi)
+/// intervals are treated as empty.  Endpoint topology is immaterial for the
+/// absolutely-continuous integrals the game uses.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return !(lo < hi); }
+  [[nodiscard]] double length() const noexcept { return empty() ? 0.0 : hi - lo; }
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= lo && x < hi;
+  }
+};
+
+/// A finite union of disjoint, sorted intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Normalizes: drops empty members, sorts, merges overlapping/touching.
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  /// Builds the sub-level/super-level set of a predicate from the sorted
+  /// roots of an indifference function on [domain_lo, domain_hi]:
+  /// the set alternates starting with `first_piece_inside`.
+  /// Example: roots {a, b, c} with first_piece_inside=false gives
+  /// [a,b) U [c, domain_hi).
+  static IntervalSet from_alternating_roots(const std::vector<double>& roots,
+                                            double domain_lo, double domain_hi,
+                                            bool first_piece_inside);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
+  [[nodiscard]] bool contains(double x) const noexcept;
+
+  /// Total Lebesgue measure (sum of lengths); +inf intervals propagate.
+  [[nodiscard]] double measure() const noexcept;
+
+  [[nodiscard]] IntervalSet unite(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+
+  /// Complement within [domain_lo, domain_hi).
+  [[nodiscard]] IntervalSet complement(double domain_lo, double domain_hi) const;
+
+  /// Sum of integrals of f over every interval.  `integrator` is invoked per
+  /// finite piece; pieces whose upper end is +inf are delegated to
+  /// `tail_integrator` (may be null if no such piece exists).
+  [[nodiscard]] double integrate(
+      const std::function<double(double, double)>& integrator,
+      const std::function<double(double)>& tail_integrator = nullptr) const;
+
+  /// "[a, b) U [c, d)" rendering for logs and bench output.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const IntervalSet& other) const noexcept {
+    return equals(other, 0.0);
+  }
+
+  /// Approximate equality with endpoint tolerance (for tests).
+  [[nodiscard]] bool equals(const IntervalSet& other, double tol) const noexcept;
+
+ private:
+  std::vector<Interval> intervals_;  // sorted, disjoint, non-empty
+};
+
+}  // namespace swapgame::math

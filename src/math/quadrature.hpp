@@ -1,0 +1,46 @@
+// Numerical integration used to evaluate the paper's expected-utility
+// integrals (Eqs. (20)-(21), (25)-(26), (31), (35)-(37), (40)) wherever a
+// closed form is unavailable, and to cross-validate the closed forms in
+// tests and the solver-ablation bench (X2).
+#pragma once
+
+#include <functional>
+
+namespace swapgame::math {
+
+/// Scalar integrand type.
+using Integrand = std::function<double(double)>;
+
+/// Result of an adaptive integration.
+struct QuadratureResult {
+  double value = 0.0;
+  double error_estimate = 0.0;  ///< conservative absolute-error estimate
+  int evaluations = 0;          ///< number of integrand evaluations
+  bool converged = false;       ///< whether the tolerance was met
+};
+
+/// Options controlling adaptive integration.
+struct QuadratureOptions {
+  double abs_tol = 1e-10;
+  double rel_tol = 1e-9;
+  int max_depth = 50;           ///< max recursion depth per panel
+  int initial_panels = 8;       ///< initial uniform subdivision of [a, b]
+};
+
+/// Adaptive Simpson integration of f over the finite interval [a, b].
+/// Handles a > b by sign convention; a == b yields 0.
+/// Throws std::invalid_argument for non-finite bounds.
+[[nodiscard]] QuadratureResult integrate(const Integrand& f, double a, double b,
+                                         const QuadratureOptions& opts = {});
+
+/// Integrates f over [a, +infinity) by the substitution x = a + t/(1-t),
+/// t in [0, 1).  f must decay at infinity for convergence.
+[[nodiscard]] QuadratureResult integrate_to_infinity(
+    const Integrand& f, double a, const QuadratureOptions& opts = {});
+
+/// Fixed-order Gauss-Legendre quadrature on [a, b] (order 7, 15, 31 or 63
+/// composite panels).  Cheap non-adaptive path used in hot loops.
+[[nodiscard]] double gauss_legendre(const Integrand& f, double a, double b,
+                                    int panels = 8);
+
+}  // namespace swapgame::math

@@ -1,0 +1,92 @@
+#include "rng.hpp"
+
+#include <cmath>
+
+#include "special.hpp"
+
+namespace swapgame::math {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // An all-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // consecutive zeros from any seed, so no further check is needed.
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::uint64_t kLongJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Xoshiro256 Xoshiro256::stream(unsigned n) const noexcept {
+  Xoshiro256 copy = *this;
+  for (unsigned i = 0; i < n; ++i) copy.long_jump();
+  return copy;
+}
+
+double uniform01(Xoshiro256& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+double normal_inverse_cdf_draw(Xoshiro256& rng) noexcept {
+  // Shift into (0, 1) strictly: map 0 to the smallest representable step.
+  const double u = (static_cast<double>(rng() >> 11) + 0.5) * 0x1.0p-53;
+  return normal_quantile(u);
+}
+
+NormalPair normal_box_muller(Xoshiro256& rng) noexcept {
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01(rng) - 1.0;
+    v = 2.0 * uniform01(rng) - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return {u * factor, v * factor};
+}
+
+}  // namespace swapgame::math

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for the Monte-Carlo engine.
+//
+// xoshiro256++ (Blackman & Vigna) seeded through SplitMix64, plus normal
+// deviates via both polar Box-Muller and the inverse-CDF method (the latter
+// gives a monotone map from uniforms to normals, which makes common-random-
+// number variance reduction possible across scenario sweeps).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace swapgame::math {
+
+/// SplitMix64: used to expand a single seed into a full xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ PRNG.  Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds deterministically from a single 64-bit value.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls to operator(); used to partition one seed
+  /// into independent per-thread streams.
+  void long_jump() noexcept;
+
+  /// Returns a copy advanced by `n` long jumps (stream #n for worker n).
+  [[nodiscard]] Xoshiro256 stream(unsigned n) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Uniform double in [0, 1) with 53 random bits.
+[[nodiscard]] double uniform01(Xoshiro256& rng) noexcept;
+
+/// Standard normal deviate via the inverse-CDF method (monotone in the
+/// underlying uniform; one uniform consumed per deviate).
+[[nodiscard]] double normal_inverse_cdf_draw(Xoshiro256& rng) noexcept;
+
+/// Standard normal deviates via the polar Box-Muller method.  Stateless
+/// helper returning a pair to avoid hidden caching.
+struct NormalPair {
+  double first;
+  double second;
+};
+[[nodiscard]] NormalPair normal_box_muller(Xoshiro256& rng) noexcept;
+
+}  // namespace swapgame::math

@@ -1,0 +1,172 @@
+#include "roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace swapgame::math {
+
+namespace {
+
+bool opposite_signs(double fa, double fb) noexcept {
+  return (fa <= 0.0 && fb >= 0.0) || (fa >= 0.0 && fb <= 0.0);
+}
+
+}  // namespace
+
+double brent(const ScalarFn& f, Bracket bracket, const RootOptions& opts) {
+  double a = bracket.lo;
+  double b = bracket.hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (!opposite_signs(fa, fb)) {
+    throw std::invalid_argument("brent: bracket does not straddle a root");
+  }
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) +
+                       0.5 * opts.x_tol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || std::abs(fb) <= opts.f_tol) return b;
+
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q; else p = -p;
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return b;
+}
+
+double bisect(const ScalarFn& f, Bracket bracket, const RootOptions& opts) {
+  double lo = bracket.lo;
+  double hi = bracket.hi;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (!opposite_signs(flo, fhi)) {
+    throw std::invalid_argument("bisect: bracket does not straddle a root");
+  }
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0 || std::abs(fmid) <= opts.f_tol ||
+        0.5 * (hi - lo) <= opts.x_tol) {
+      return mid;
+    }
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<Bracket> scan_sign_changes(const ScalarFn& f, double lo, double hi,
+                                       int samples) {
+  if (!(hi > lo) || samples < 2) {
+    throw std::invalid_argument("scan_sign_changes: need hi > lo and samples >= 2");
+  }
+  std::vector<Bracket> brackets;
+  const double h = (hi - lo) / (samples - 1);
+  double x_prev = lo;
+  double f_prev = f(lo);
+  for (int i = 1; i < samples; ++i) {
+    const double x = (i + 1 == samples) ? hi : lo + i * h;
+    const double fx = f(x);
+    if (std::isfinite(f_prev) && std::isfinite(fx) && opposite_signs(f_prev, fx) &&
+        !(f_prev == 0.0 && fx == 0.0)) {
+      brackets.push_back({x_prev, x});
+    }
+    x_prev = x;
+    f_prev = fx;
+  }
+  return brackets;
+}
+
+std::vector<double> find_all_roots(const ScalarFn& f, double lo, double hi,
+                                   int samples, const RootOptions& opts) {
+  std::vector<double> roots;
+  for (const Bracket& br : scan_sign_changes(f, lo, hi, samples)) {
+    roots.push_back(brent(f, br, opts));
+  }
+  std::sort(roots.begin(), roots.end());
+  // Deduplicate near-identical roots (a zero landing exactly on a grid node
+  // produces two adjacent brackets).
+  const double merge_tol = 16.0 * opts.x_tol + 1e-12 * std::abs(hi - lo);
+  roots.erase(std::unique(roots.begin(), roots.end(),
+                          [merge_tol](double a, double b) {
+                            return std::abs(a - b) <= merge_tol;
+                          }),
+              roots.end());
+  return roots;
+}
+
+std::optional<Bracket> expand_bracket_upward(const ScalarFn& f, double start,
+                                             double step, int max_expand) {
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("expand_bracket_upward: step must be positive");
+  }
+  double lo = start;
+  double flo = f(lo);
+  double width = step;
+  for (int i = 0; i < max_expand; ++i) {
+    const double hi = lo + width;
+    const double fhi = f(hi);
+    if (std::isfinite(flo) && std::isfinite(fhi) && opposite_signs(flo, fhi)) {
+      return Bracket{lo, hi};
+    }
+    lo = hi;
+    flo = fhi;
+    width *= 2.0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace swapgame::math

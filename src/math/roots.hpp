@@ -1,0 +1,60 @@
+// Root finding for the threshold equations of the swap game.
+//
+// The backward-induction thresholds -- Alice's t3 cutoff (Eq. 18 has a
+// closed form, but the collateral variant Eq. 34 does not once clamped),
+// Bob's t2 indifference prices (Eqs. 20-24), the feasible P* band (Eq. 30)
+// and the odd-root interval sets of the collateral game (Fig. 7) -- are all
+// zeros of smooth scalar functions.  We isolate sign changes on a scanned
+// grid and polish each bracket with Brent's method.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace swapgame::math {
+
+using ScalarFn = std::function<double(double)>;
+
+/// Options for bracketing root solvers.
+struct RootOptions {
+  double x_tol = 1e-12;   ///< absolute tolerance on the root location
+  double f_tol = 1e-13;   ///< |f| below this counts as converged
+  int max_iterations = 200;
+};
+
+/// A bracket [lo, hi] with f(lo) and f(hi) of opposite (or zero) sign.
+struct Bracket {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Brent's method on a valid bracket.  Throws std::invalid_argument if
+/// f(lo) and f(hi) have the same nonzero sign.
+[[nodiscard]] double brent(const ScalarFn& f, Bracket bracket,
+                           const RootOptions& opts = {});
+
+/// Bisection on a valid bracket (slow, bulletproof; used as a test oracle).
+[[nodiscard]] double bisect(const ScalarFn& f, Bracket bracket,
+                            const RootOptions& opts = {});
+
+/// Scans [lo, hi] with `samples` uniformly spaced evaluations and returns
+/// every bracket where f changes sign.  Roots of even multiplicity that do
+/// not cross zero are not detected (acceptable for the game's transversal
+/// indifference conditions).
+[[nodiscard]] std::vector<Bracket> scan_sign_changes(const ScalarFn& f, double lo,
+                                                     double hi, int samples);
+
+/// Convenience: scan + Brent-polish; returns all roots in ascending order.
+[[nodiscard]] std::vector<double> find_all_roots(const ScalarFn& f, double lo,
+                                                 double hi, int samples,
+                                                 const RootOptions& opts = {});
+
+/// Expands geometrically from `start` until f changes sign or `max_expand`
+/// doublings are exhausted.  Returns nullopt when no sign change is found.
+[[nodiscard]] std::optional<Bracket> expand_bracket_upward(const ScalarFn& f,
+                                                           double start,
+                                                           double step,
+                                                           int max_expand = 60);
+
+}  // namespace swapgame::math

@@ -1,0 +1,115 @@
+#include "stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "special.hpp"
+
+namespace swapgame::math {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::standard_error() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci_half_width(double confidence) const {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("ci_half_width: confidence must be in (0, 1)");
+  }
+  const double z = normal_quantile(0.5 + 0.5 * confidence);
+  return z * standard_error();
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double BinomialCounter::proportion() const noexcept {
+  return trials_ == 0
+             ? 0.0
+             : static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+BinomialCounter::Interval BinomialCounter::wilson_interval(
+    double confidence) const {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("wilson_interval: confidence must be in (0, 1)");
+  }
+  if (trials_ == 0) return {};
+  const double z = normal_quantile(0.5 + 0.5 * confidence);
+  const double n = static_cast<double>(trials_);
+  const double p = proportion();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {center - half, center + half};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins >= 1");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge guard
+  ++counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+}  // namespace swapgame::math

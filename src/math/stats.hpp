@@ -1,0 +1,101 @@
+// Streaming statistics for Monte-Carlo estimation.
+//
+// Welford-style running moments, binomial-proportion confidence intervals
+// (Wilson score, used for success-rate estimates), and a fixed-bin histogram
+// for distribution diagnostics in the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swapgame::math {
+
+/// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 for n < 2.
+  [[nodiscard]] double standard_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the normal-approximation CI at the given confidence
+  /// (e.g. 0.95).
+  [[nodiscard]] double ci_half_width(double confidence = 0.95) const;
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Binomial proportion with Wilson-score confidence interval.
+class BinomialCounter {
+ public:
+  void add(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::uint64_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+  [[nodiscard]] double proportion() const noexcept;
+
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  /// Wilson score interval at the given confidence; {0,0} for zero trials.
+  [[nodiscard]] Interval wilson_interval(double confidence = 0.95) const;
+
+  void merge(const BinomialCounter& other) noexcept {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
+  }
+
+ private:
+  std::uint64_t trials_ = 0;
+  std::uint64_t successes_ = 0;
+};
+
+/// Fixed-range histogram with uniform bins plus underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Empirical density (count / (total * bin_width)).
+  [[nodiscard]] double density(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace swapgame::math

@@ -1,0 +1,113 @@
+// Backward induction for the basic HTLC swap game (paper Section III-E).
+//
+// The solver evaluates both agents' stage utilities at every decision point
+// (t4, t3, t2, t1), derives the rational thresholds --
+//   * Alice's t3 reveal cutoff  P_t3_lo                    (Eq. 18),
+//   * Bob's t2 continuation band (P_t2_lo, P_t2_hi)        (Eq. 24),
+//   * Alice's t1 feasible exchange-rate band (P*_lo, P*_hi) (Eqs. 29/30)
+// -- and the post-initiation success rate SR(P*) (Eq. 31).
+//
+// Partial expectations of the lognormal transition law give closed forms
+// for the t2 utilities; the t1 utilities and SR integrate t2 quantities
+// over the price law by adaptive quadrature.
+#pragma once
+
+#include <optional>
+
+#include "math/interval.hpp"
+#include "params.hpp"
+
+namespace swapgame::model {
+
+/// All backward-induction utilities and thresholds for one (params, P_star)
+/// pair.  Immutable after construction; thresholds are computed eagerly.
+class BasicGame {
+ public:
+  /// @throws std::invalid_argument on invalid params or p_star <= 0.
+  BasicGame(const SwapParams& params, double p_star);
+
+  [[nodiscard]] const SwapParams& params() const noexcept { return params_; }
+  [[nodiscard]] double p_star() const noexcept { return p_star_; }
+
+  // --- t4: Bob's claim decision (Section III-E1). -------------------------
+  /// Bob continues with certainty once the secret is visible: claiming
+  /// dominates forfeiting the locked token-a.
+  [[nodiscard]] Action bob_decision_t4() const noexcept { return Action::kCont; }
+
+  // --- t3: Alice's reveal decision (Eqs. (14)-(19)). ----------------------
+  [[nodiscard]] double alice_t3_cont(double p_t3) const;  ///< Eq. (14)
+  [[nodiscard]] double alice_t3_stop() const;             ///< Eq. (16)
+  [[nodiscard]] double bob_t3_cont() const;               ///< Eq. (15)
+  [[nodiscard]] double bob_t3_stop(double p_t3) const;    ///< Eq. (17)
+  /// The cutoff price P_t3_lo of Eq. (18): Alice continues iff P_t3 exceeds it.
+  [[nodiscard]] double alice_t3_cutoff() const noexcept { return t3_cutoff_; }
+  [[nodiscard]] Action alice_decision_t3(double p_t3) const;  ///< Eq. (19)
+
+  // --- t2: Bob's lock decision (Eqs. (20)-(24)). --------------------------
+  [[nodiscard]] double alice_t2_cont(double p_t2) const;  ///< Eq. (20)
+  [[nodiscard]] double alice_t2_stop() const;             ///< Eq. (22)
+  [[nodiscard]] double bob_t2_cont(double p_t2) const;    ///< Eq. (21)
+  [[nodiscard]] double bob_t2_stop(double p_t2) const;    ///< Eq. (23)
+  /// Bob's continuation band (P_t2_lo, P_t2_hi) for the paper's standard
+  /// regime (two indifference points).  nullopt when the cont region is
+  /// empty (alpha^B too small -- Section III-E3 note) OR when it is not a
+  /// single interval (possible outside the paper's mu < r regime); the
+  /// fully general region is bob_t2_region().
+  [[nodiscard]] std::optional<math::Interval> bob_t2_band() const noexcept;
+  /// Bob's continuation region in full generality: with mu >= r his refund
+  /// branch outgrows his discounting and the region extends down to 0
+  /// (single indifference point), a case the paper's Table III defaults
+  /// never reach.
+  [[nodiscard]] const math::IntervalSet& bob_t2_region() const noexcept {
+    return t2_region_;
+  }
+  [[nodiscard]] Action bob_decision_t2(double p_t2) const;  ///< Eq. (24)
+
+  // --- t1: Alice's initiation decision (Eqs. (25)-(30)). ------------------
+  [[nodiscard]] double alice_t1_cont() const;  ///< Eq. (25)
+  [[nodiscard]] double alice_t1_stop() const;  ///< Eq. (27): P_star
+  [[nodiscard]] double bob_t1_cont() const;    ///< Eq. (26)
+  [[nodiscard]] double bob_t1_stop() const;    ///< Eq. (28): P_t1
+  [[nodiscard]] Action alice_decision_t1() const;  ///< Eq. (30)
+
+  // --- Success rate (Section III-F). ---------------------------------------
+  /// SR(P_star): probability the swap completes given Alice initiated at t1
+  /// (Eq. (31)).  Zero when Bob's t2 band is empty.
+  [[nodiscard]] double success_rate() const;
+
+ private:
+  void compute_t3_cutoff();
+  void compute_t2_region();
+
+  SwapParams params_;
+  double p_star_;
+  double t3_cutoff_ = 0.0;
+  math::IntervalSet t2_region_;
+};
+
+/// Alice's feasible exchange-rate band (P*_lo, P*_hi) at t1: the set of
+/// rates for which she initiates (Eq. (29) reports (1.5, 2.5) at Table III
+/// defaults).  Found by root-scanning alice_t1_cont(P*) - P* over
+/// [scan_lo, scan_hi].
+struct FeasibleBand {
+  bool viable = false;  ///< false when no rate makes Alice initiate
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+[[nodiscard]] FeasibleBand alice_feasible_band(const SwapParams& params,
+                                               double scan_lo = 0.05,
+                                               double scan_hi = 10.0,
+                                               int scan_samples = 400);
+
+/// The P_star maximizing SR within the feasible band (Section III-F3 uses
+/// "P* chosen optimally"); returns nullopt when the band is empty.
+struct OptimalRate {
+  double p_star = 0.0;
+  double success_rate = 0.0;
+};
+
+[[nodiscard]] std::optional<OptimalRate> sr_maximizing_rate(
+    const SwapParams& params, int grid = 200);
+
+}  // namespace swapgame::model

@@ -1,0 +1,75 @@
+#include "calibration.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace swapgame::model {
+
+GbmFit fit_gbm(std::span<const double> prices, double dt) {
+  if (prices.size() < 3) {
+    throw std::invalid_argument("fit_gbm: need at least 3 observations");
+  }
+  if (!(dt > 0.0) || !std::isfinite(dt)) {
+    throw std::invalid_argument("fit_gbm: dt must be positive");
+  }
+  for (double p : prices) {
+    if (!(p > 0.0) || !std::isfinite(p)) {
+      throw std::invalid_argument("fit_gbm: prices must be positive");
+    }
+  }
+
+  // Log increments are iid N((mu - sigma^2/2) dt, sigma^2 dt).
+  const std::size_t n = prices.size() - 1;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < prices.size(); ++i) {
+    sum += std::log(prices[i] / prices[i - 1]);
+  }
+  const double mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (std::size_t i = 1; i < prices.size(); ++i) {
+    const double d = std::log(prices[i] / prices[i - 1]) - mean;
+    ss += d * d;
+  }
+  // MLE variance uses the 1/n denominator.
+  const double var = ss / static_cast<double>(n);
+  if (!(var > 0.0)) {
+    throw std::invalid_argument("fit_gbm: series has zero variance");
+  }
+
+  GbmFit fit;
+  fit.increments = n;
+  fit.params.sigma = std::sqrt(var / dt);
+  fit.params.mu = mean / dt + 0.5 * fit.params.sigma * fit.params.sigma;
+  // Asymptotic standard errors: sd(mean)/dt for the drift component (the
+  // sigma^2/2 correction contributes O(1/n) and is ignored), sigma/sqrt(2n)
+  // for the volatility.
+  fit.sigma_stderr =
+      fit.params.sigma / std::sqrt(2.0 * static_cast<double>(n));
+  fit.mu_stderr = fit.params.sigma / std::sqrt(static_cast<double>(n) * dt);
+  // Gaussian log likelihood of the increments at the MLE.
+  fit.log_likelihood = -0.5 * static_cast<double>(n) *
+                       (std::log(2.0 * std::numbers::pi * var) + 1.0);
+  return fit;
+}
+
+std::vector<double> simulate_price_series(const math::GbmParams& params,
+                                          double p0, double dt, std::size_t n,
+                                          math::Xoshiro256& rng) {
+  params.validate();
+  if (!(p0 > 0.0) || !(dt > 0.0)) {
+    throw std::invalid_argument("simulate_price_series: p0 and dt must be > 0");
+  }
+  std::vector<double> prices;
+  prices.reserve(n + 1);
+  prices.push_back(p0);
+  double price = p0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const math::GbmLaw law(params, price, dt);
+    price = law.sample_from_normal(math::normal_inverse_cdf_draw(rng));
+    prices.push_back(price);
+  }
+  return prices;
+}
+
+}  // namespace swapgame::model

@@ -1,0 +1,42 @@
+// GBM parameter estimation from price series.
+//
+// The paper's Section V proposes "simulation studies ... using real market
+// data".  This module closes that loop: given a sampled price series
+// (exchange candles, or synthetic), it fits the model's (mu, sigma) by
+// maximum likelihood on log increments, with standard errors, so the
+// fitted parameters can be fed straight into SwapParams::gbm.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/gbm.hpp"
+#include "math/rng.hpp"
+
+namespace swapgame::model {
+
+/// Result of fitting a GBM to a price series.
+struct GbmFit {
+  math::GbmParams params;        ///< estimated (mu, sigma), per hour
+  double mu_stderr = 0.0;        ///< standard error of mu
+  double sigma_stderr = 0.0;     ///< standard error of sigma
+  double log_likelihood = 0.0;   ///< of the log-increments under the fit
+  std::size_t increments = 0;    ///< number of log returns used
+};
+
+/// Maximum-likelihood GBM fit.
+///
+/// @param prices  strictly positive price observations, equally spaced.
+/// @param dt      spacing in hours (e.g. 1.0 for hourly candles).
+/// @throws std::invalid_argument for < 3 observations, non-positive prices
+///         or dt <= 0.
+[[nodiscard]] GbmFit fit_gbm(std::span<const double> prices, double dt);
+
+/// Simulates an equally spaced GBM price series (for round-trip tests and
+/// the calibration example): n+1 prices starting at p0.
+[[nodiscard]] std::vector<double> simulate_price_series(
+    const math::GbmParams& params, double p0, double dt, std::size_t n,
+    math::Xoshiro256& rng);
+
+}  // namespace swapgame::model

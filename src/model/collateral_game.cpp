@@ -1,0 +1,268 @@
+#include "collateral_game.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "math/gbm.hpp"
+#include "math/quadrature.hpp"
+#include "math/roots.hpp"
+
+namespace swapgame::model {
+
+namespace {
+
+constexpr int kRegionScanSamples = 4096;
+
+}  // namespace
+
+CollateralGame::CollateralGame(const SwapParams& params, double p_star,
+                               double collateral)
+    : params_(params), p_star_(p_star), q_(collateral),
+      basic_(params, p_star) {
+  if (!(collateral >= 0.0) || !std::isfinite(collateral)) {
+    throw std::invalid_argument(
+        "CollateralGame: collateral must be >= 0 and finite");
+  }
+  compute_t3_cutoff();
+  compute_t2_region();
+}
+
+// ---------------------------------------------------------------- t3 stage
+
+double CollateralGame::alice_t3_cont(double p_t3) const {
+  // Basic cont utility plus the collateral recovered at t4 + tau_a, i.e.
+  // eps_b + tau_a after t3 (Section IV-2).
+  return basic_.alice_t3_cont(p_t3) +
+         q_ * std::exp(-params_.alice.r * (params_.eps_b + params_.tau_a));
+}
+
+double CollateralGame::alice_t3_stop() const { return basic_.alice_t3_stop(); }
+
+void CollateralGame::compute_t3_cutoff() {
+  // Eq. (34): the basic cutoff shifted down by the collateral recovery and
+  // clamped at zero (when the recovery alone exceeds the refund value,
+  // Alice reveals at any price).
+  const double rA = params_.alice.r;
+  const double mu = params_.gbm.mu;
+  const double refund = p_star_ * std::exp(-rA * (params_.eps_b + 2.0 * params_.tau_a));
+  const double recovery = q_ * std::exp(-rA * (params_.eps_b + params_.tau_a));
+  const double shifted = refund - recovery;
+  t3_cutoff_ = shifted <= 0.0
+                   ? 0.0
+                   : std::exp((rA - mu) * params_.tau_b) * shifted /
+                         (1.0 + params_.alice.alpha);
+}
+
+Action CollateralGame::alice_decision_t3(double p_t3) const {
+  return p_t3 > t3_cutoff_ ? Action::kCont : Action::kStop;
+}
+
+// ---------------------------------------------------------------- t2 stage
+
+double CollateralGame::alice_t2_cont(double p_t2) const {
+  // Eq. (36)'s integrand value: Alice's expected t3 value when Bob locked.
+  // On the reveal branch she also recovers her collateral; on the waive
+  // branch she forfeits it.
+  const math::GbmLaw law(params_.gbm, p_t2, params_.tau_b);
+  const double L = t3_cutoff_;
+  const double recovery =
+      q_ * std::exp(-params_.alice.r * (params_.eps_b + params_.tau_a));
+  const double cont_part =
+      (1.0 + params_.alice.alpha) *
+          std::exp((params_.gbm.mu - params_.alice.r) * params_.tau_b) *
+          law.partial_expectation_above(L) +
+      law.survival(L) * recovery;
+  const double stop_part = law.cdf(L) * basic_.alice_t3_stop();
+  return (cont_part + stop_part) * std::exp(-params_.alice.r * params_.tau_b);
+}
+
+double CollateralGame::bob_t2_cont(double p_t2) const {
+  // Eq. (35): Bob's own collateral comes back at t3 + tau_a regardless
+  // (he has fulfilled his obligations by locking); if Alice waives he
+  // additionally receives her forfeited collateral at t4 + tau_a.
+  const math::GbmLaw law(params_.gbm, p_t2, params_.tau_b);
+  const double L = t3_cutoff_;
+  const double own_recovery = q_ * std::exp(-params_.bob.r * params_.tau_a);
+  const double forfeit_gain =
+      q_ * std::exp(-params_.bob.r * (params_.eps_b + params_.tau_a));
+  const double cont_part = law.survival(L) * basic_.bob_t3_cont();
+  const double stop_part =
+      std::exp((params_.gbm.mu - params_.bob.r) * 2.0 * params_.tau_b) *
+          law.partial_expectation_below(L) +
+      law.cdf(L) * forfeit_gain;
+  return (own_recovery + cont_part + stop_part) *
+         std::exp(-params_.bob.r * params_.tau_b);
+}
+
+double CollateralGame::bob_t2_stop(double p_t2) const {
+  // Eq. (23): stopping forfeits Bob's collateral (released to Alice), so
+  // his stop utility is just the token-b value.
+  return p_t2;
+}
+
+void CollateralGame::compute_t2_region() {
+  // Roots of bob_t2_cont(p) - p.  With Q > 0 the gap is positive as p -> 0
+  // (recovering 2 discounted Q beats keeping a worthless token) and
+  // negative as p -> inf, so there is an odd number of crossings (Fig. 7).
+  // Strict-preference tie-break: cont must beat stop by a scale-relative
+  // margin.  Guards against the degenerate mu == r_B regime where the gap
+  // is identically zero near p = 0 and floating-point dither would
+  // otherwise fabricate spurious crossings.
+  const auto raw_gap = [this](double p) {
+    return bob_t2_cont(p) - bob_t2_stop(p);
+  };
+  const double scan_hi =
+      10.0 * std::max({p_star_, params_.p_t0, t3_cutoff_, q_});
+  // Scale-relative lower scan bound: keeps the grid resolution
+  // proportional to the price scale (scale-invariance tests pin this).
+  const double scan_lo = 1e-7 * scan_hi;
+  const double tie = 1e-10 * scan_hi;
+  const auto gap = [&raw_gap, tie](double p) { return raw_gap(p) - tie; };
+  const std::vector<double> roots =
+      math::find_all_roots(gap, scan_lo, scan_hi, kRegionScanSamples);
+  const bool starts_inside = gap(scan_lo) > 0.0;
+  t2_region_ = math::IntervalSet::from_alternating_roots(
+      roots, 0.0, std::numeric_limits<double>::infinity(), starts_inside);
+  // The unbounded last piece is "inside" only if the gap is positive there;
+  // with an even root count and starts_inside (or odd and !starts_inside)
+  // the alternation already encodes that, and the gap is always negative at
+  // +inf, so the final piece can only be inside if the root scan missed a
+  // crossing beyond scan_hi.  Guard by trimming an unbounded inside piece
+  // at scan_hi (tests assert this never fires at paper-scale parameters).
+  if (!t2_region_.empty() && std::isinf(t2_region_.intervals().back().hi)) {
+    std::vector<math::Interval> trimmed = t2_region_.intervals();
+    trimmed.back().hi = scan_hi;
+    t2_region_ = math::IntervalSet(std::move(trimmed));
+  }
+}
+
+Action CollateralGame::bob_decision_t2(double p_t2) const {
+  return t2_region_.contains(p_t2) ? Action::kCont : Action::kStop;
+}
+
+// ---------------------------------------------------------------- t1 stage
+
+double CollateralGame::alice_t1_cont() const {
+  // Eq. (36).  Where Bob will lock, Alice's value is alice_t2_cont; where
+  // Bob will stop, Alice is refunded (Eq. 22) and receives both collaterals
+  // 2Q at t3 (decided) + tau_a (confirmation), i.e. tau_b + tau_a after t2.
+  const math::GbmLaw law(params_.gbm, params_.p_t0, params_.tau_a);
+  const double stop_value =
+      basic_.alice_t2_stop() +
+      2.0 * q_ * std::exp(-params_.alice.r * (params_.tau_b + params_.tau_a));
+  const auto piece = [this, &law](double lo, double hi) {
+    return math::gauss_legendre(
+        [this, &law](double x) { return law.pdf(x) * alice_t2_cont(x); }, lo,
+        hi, 48);
+  };
+  double inside = 0.0;
+  double inside_prob = 0.0;
+  for (const math::Interval& iv : t2_region_.intervals()) {
+    inside += piece(iv.lo, iv.hi);
+    inside_prob += law.cdf(iv.hi) - law.cdf(iv.lo);
+  }
+  const double outside_prob = std::max(0.0, 1.0 - inside_prob);
+  return (inside + outside_prob * stop_value) *
+         std::exp(-params_.alice.r * params_.tau_a);
+}
+
+double CollateralGame::alice_t1_stop() const {
+  // Eq. (38): keep the token-a and the would-be collateral.
+  return p_star_ + q_;
+}
+
+double CollateralGame::bob_t1_cont() const {
+  // Eq. (37) (with the r^A typo read as r^B; see DESIGN.md): inside the
+  // region Bob's value is bob_t2_cont; outside he keeps token-b worth the
+  // realized price and forfeits his collateral.
+  const math::GbmLaw law(params_.gbm, params_.p_t0, params_.tau_a);
+  const auto piece = [this, &law](double lo, double hi) {
+    return math::gauss_legendre(
+        [this, &law](double x) { return law.pdf(x) * bob_t2_cont(x); }, lo, hi,
+        48);
+  };
+  double inside = 0.0;
+  double inside_pe = 0.0;  // partial expectation over the region
+  for (const math::Interval& iv : t2_region_.intervals()) {
+    inside += piece(iv.lo, iv.hi);
+    inside_pe += law.partial_expectation_below(iv.hi) -
+                 law.partial_expectation_below(iv.lo);
+  }
+  const double outside = std::max(0.0, law.expectation() - inside_pe);
+  return (inside + outside) * std::exp(-params_.bob.r * params_.tau_a);
+}
+
+double CollateralGame::bob_t1_stop() const {
+  // Eq. (39).
+  return params_.p_t0 + q_;
+}
+
+Action CollateralGame::alice_decision_t1() const {
+  return alice_t1_cont() > alice_t1_stop() ? Action::kCont : Action::kStop;
+}
+
+Action CollateralGame::bob_decision_t1() const {
+  return bob_t1_cont() > bob_t1_stop() ? Action::kCont : Action::kStop;
+}
+
+bool CollateralGame::engaged() const {
+  return alice_decision_t1() == Action::kCont &&
+         bob_decision_t1() == Action::kCont;
+}
+
+// ------------------------------------------------------------ success rate
+
+double CollateralGame::success_rate() const {
+  // Eq. (40): integrate Alice's reveal probability over Bob's t2 region.
+  if (t2_region_.empty()) return 0.0;
+  const math::GbmLaw law_a(params_.gbm, params_.p_t0, params_.tau_a);
+  const double L = t3_cutoff_;
+  double sr = 0.0;
+  for (const math::Interval& iv : t2_region_.intervals()) {
+    if (L == 0.0) {
+      // Alice always reveals: the inner survival factor is 1.
+      sr += law_a.cdf(iv.hi) - law_a.cdf(iv.lo);
+      continue;
+    }
+    sr += math::gauss_legendre(
+        [this, &law_a, L](double x) {
+          const math::GbmLaw law_b(params_.gbm, x, params_.tau_b);
+          return law_a.pdf(x) * law_b.survival(L);
+        },
+        iv.lo, iv.hi, 48);
+  }
+  return sr;
+}
+
+// ------------------------------------------------------------- free helpers
+
+CollateralViability collateral_viable_rates(const SwapParams& params,
+                                            double collateral, double scan_lo,
+                                            double scan_hi, int scan_samples) {
+  params.validate();
+  const auto alice_gap = [&](double p_star) {
+    const CollateralGame g(params, p_star, collateral);
+    return g.alice_t1_cont() - g.alice_t1_stop();
+  };
+  const auto bob_gap = [&](double p_star) {
+    const CollateralGame g(params, p_star, collateral);
+    return g.bob_t1_cont() - g.bob_t1_stop();
+  };
+  const std::vector<double> a_roots =
+      math::find_all_roots(alice_gap, scan_lo, scan_hi, scan_samples);
+  const std::vector<double> b_roots =
+      math::find_all_roots(bob_gap, scan_lo, scan_hi, scan_samples);
+
+  CollateralViability v;
+  v.alice = math::IntervalSet::from_alternating_roots(
+      a_roots, scan_lo, scan_hi, alice_gap(scan_lo) > 0.0);
+  v.bob = math::IntervalSet::from_alternating_roots(
+      b_roots, scan_lo, scan_hi, bob_gap(scan_lo) > 0.0);
+  v.both = v.alice.intersect(v.bob);
+  return v;
+}
+
+}  // namespace swapgame::model

@@ -1,0 +1,108 @@
+#include "collateral_optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "collateral_game.hpp"
+
+namespace swapgame::model {
+
+namespace {
+
+double objective_of(const CollateralGame& game, CollateralObjective objective) {
+  switch (objective) {
+    case CollateralObjective::kSuccessRate:
+      return game.success_rate();
+    case CollateralObjective::kJointSurplus:
+      return (game.alice_t1_cont() - game.alice_t1_stop()) +
+             (game.bob_t1_cont() - game.bob_t1_stop());
+  }
+  throw std::logic_error("objective_of: unknown objective");
+}
+
+}  // namespace
+
+CollateralChoice optimize_collateral(const SwapParams& params, double p_star,
+                                     CollateralObjective objective,
+                                     double q_lo, double q_hi, int grid) {
+  if (!(q_hi > q_lo) || !(q_lo >= 0.0) || grid < 2) {
+    throw std::invalid_argument(
+        "optimize_collateral: need 0 <= q_lo < q_hi and grid >= 2");
+  }
+  CollateralChoice best;
+  bool found = false;
+  for (int i = 0; i <= grid; ++i) {
+    const double q = q_lo + (q_hi - q_lo) * static_cast<double>(i) / grid;
+    const CollateralGame game(params, p_star, q);
+    const bool engaged = game.engaged();
+    if (objective == CollateralObjective::kJointSurplus && !engaged) continue;
+    const double value = objective_of(game, objective);
+    if (!found || value > best.objective_value) {
+      best = {q, value, game.success_rate(), engaged};
+      found = true;
+    }
+  }
+  if (!found) {
+    // No engagement-feasible Q: report the unconstrained Q = q_lo outcome.
+    const CollateralGame game(params, p_star, q_lo);
+    best = {q_lo, objective_of(game, objective), game.success_rate(),
+            game.engaged()};
+  }
+
+  // Golden-section refinement around the best grid cell (the objective is
+  // smooth and single-peaked at paper-scale parameters).
+  const double cell = (q_hi - q_lo) / grid;
+  double lo = std::max(q_lo, best.collateral - cell);
+  double hi = std::min(q_hi, best.collateral + cell);
+  constexpr double kPhi = 0.6180339887498949;
+  for (int iter = 0; iter < 40 && hi - lo > 1e-6; ++iter) {
+    const double m1 = hi - kPhi * (hi - lo);
+    const double m2 = lo + kPhi * (hi - lo);
+    const CollateralGame g1(params, p_star, m1);
+    const CollateralGame g2(params, p_star, m2);
+    const bool ok1 = objective != CollateralObjective::kJointSurplus || g1.engaged();
+    const bool ok2 = objective != CollateralObjective::kJointSurplus || g2.engaged();
+    const double v1 = ok1 ? objective_of(g1, objective) : -1e300;
+    const double v2 = ok2 ? objective_of(g2, objective) : -1e300;
+    if (v1 < v2) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  const double q_refined = 0.5 * (lo + hi);
+  const CollateralGame refined(params, p_star, q_refined);
+  const bool engaged = refined.engaged();
+  if (objective != CollateralObjective::kJointSurplus || engaged) {
+    const double value = objective_of(refined, objective);
+    if (value > best.objective_value) {
+      best = {q_refined, value, refined.success_rate(), engaged};
+    }
+  }
+  return best;
+}
+
+std::optional<double> min_collateral_for_sr(const SwapParams& params,
+                                            double p_star, double target_sr,
+                                            double q_hi, double tol) {
+  if (!(target_sr > 0.0 && target_sr <= 1.0)) {
+    throw std::invalid_argument("min_collateral_for_sr: target in (0, 1]");
+  }
+  const auto sr_of = [&](double q) {
+    return CollateralGame(params, p_star, q).success_rate();
+  };
+  if (sr_of(0.0) >= target_sr) return 0.0;
+  if (sr_of(q_hi) < target_sr) return std::nullopt;
+  double lo = 0.0, hi = q_hi;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (sr_of(mid) >= target_sr) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace swapgame::model

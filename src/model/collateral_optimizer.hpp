@@ -1,0 +1,49 @@
+// Collateral sizing (paper Section I: "collateral deposits can be
+// dynamically adjusted depending on the terms of the swap (e.g. exchange
+// rate) and optimization goal (e.g. maximizing utility, or maximizing
+// success rate)").
+//
+// Two objectives are supported:
+//  * kSuccessRate  -- maximize SR(P*, Q) (Eq. 40);
+//  * kJointSurplus -- maximize the agents' combined engagement surplus
+//    [U^A_t1(cont) - U^A_t1(stop)] + [U^B_t1(cont) - U^B_t1(stop)],
+//    which nets out the opportunity cost of locking collateral.
+// Plus the dual problem: the *minimal* Q reaching a target success rate
+// (collateral is costly liquidity; Section II-A notes Bisq-style systems
+// charge it, and Zamyatin et al. overcollateralize -- minimality matters).
+#pragma once
+
+#include <optional>
+
+#include "params.hpp"
+
+namespace swapgame::model {
+
+enum class CollateralObjective {
+  kSuccessRate,
+  kJointSurplus,
+};
+
+struct CollateralChoice {
+  double collateral = 0.0;
+  double objective_value = 0.0;
+  double success_rate = 0.0;
+  bool engaged = false;  ///< whether both agents still engage at t1
+};
+
+/// Grid search (optionally refined by golden-section around the best cell)
+/// over Q in [q_lo, q_hi].  Only engagement-feasible Q are eligible for
+/// kJointSurplus; for kSuccessRate all Q are scored but `engaged` reports
+/// t1 feasibility.
+[[nodiscard]] CollateralChoice optimize_collateral(
+    const SwapParams& params, double p_star, CollateralObjective objective,
+    double q_lo = 0.0, double q_hi = 4.0, int grid = 64);
+
+/// Smallest Q whose success rate reaches `target_sr`, found by bisection on
+/// the (empirically monotone) SR(Q) map.  Returns nullopt when even q_hi
+/// falls short.
+[[nodiscard]] std::optional<double> min_collateral_for_sr(
+    const SwapParams& params, double p_star, double target_sr,
+    double q_hi = 8.0, double tol = 1e-4);
+
+}  // namespace swapgame::model

@@ -1,0 +1,127 @@
+#include "game_tree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "math/gbm.hpp"
+
+namespace swapgame::model {
+
+namespace {
+
+// Equal-probability stratification of a transition law: stratum k covers
+// quantiles [k/N, (k+1)/N) and is represented by its conditional mean
+// N * (PE(q_{k+1}) - PE(q_k)), which makes expectations of payoffs linear
+// in price exact.
+std::vector<double> stratum_means(const math::GbmLaw& law, int strata) {
+  std::vector<double> means;
+  means.reserve(strata);
+  const double n = static_cast<double>(strata);
+  double pe_prev = 0.0;  // PE_below(quantile(0)) = PE_below(0) = 0
+  for (int k = 1; k <= strata; ++k) {
+    const double pe_next =
+        (k == strata) ? law.expectation()
+                      : law.partial_expectation_below(
+                            law.quantile(static_cast<double>(k) / n));
+    means.push_back(n * (pe_next - pe_prev));
+    pe_prev = pe_next;
+  }
+  return means;
+}
+
+}  // namespace
+
+GameTreeSolution solve_game_tree(const SwapParams& params, double p_star,
+                                 const GameTreeConfig& config) {
+  params.validate();
+  if (!(p_star > 0.0) || !std::isfinite(p_star)) {
+    throw std::invalid_argument("solve_game_tree: p_star must be positive");
+  }
+  if (config.strata < 2) {
+    throw std::invalid_argument("solve_game_tree: need at least 2 strata");
+  }
+  if (!(config.collateral >= 0.0) || !std::isfinite(config.collateral)) {
+    throw std::invalid_argument("solve_game_tree: collateral must be >= 0");
+  }
+
+  const double q = config.collateral;
+  const double mu = params.gbm.mu;
+  const double rA = params.alice.r;
+  const double rB = params.bob.r;
+  const double aA = params.alice.alpha;
+  const double aB = params.bob.alpha;
+  const double tau_a = params.tau_a;
+  const double tau_b = params.tau_b;
+  const double eps_b = params.eps_b;
+
+  // Stage payoffs at t3, per the timeline of Eq. (13) (collateral terms per
+  // Section IV; they vanish at q = 0).
+  const double alice_recovery = q * std::exp(-rA * (eps_b + tau_a));
+  const double bob_own_recovery = q * std::exp(-rB * tau_a);
+  const double bob_forfeit_gain = q * std::exp(-rB * (eps_b + tau_a));
+  const double alice_t3_stop = p_star * std::exp(-rA * (eps_b + 2.0 * tau_a));
+  const double bob_t3_cont = (1.0 + aB) * p_star * std::exp(-rB * (eps_b + tau_a));
+  const double alice_t2_stop =
+      p_star * std::exp(-rA * (tau_b + eps_b + 2.0 * tau_a)) +
+      2.0 * q * std::exp(-rA * (tau_b + tau_a));
+
+  const math::GbmLaw law_a(params.gbm, params.p_t0, tau_a);
+  const std::vector<double> t2_prices = stratum_means(law_a, config.strata);
+
+  GameTreeSolution out;
+  out.alice_t1_stop = p_star + q;
+  out.bob_t1_stop = params.p_t0 + q;
+
+  double alice_t1_sum = 0.0;
+  double bob_t1_sum = 0.0;
+  double sr_sum = 0.0;
+  int bob_cont_count = 0;
+
+  for (double x : t2_prices) {
+    // --- t3 layer conditional on P_t2 = x. -------------------------------
+    const math::GbmLaw law_b(params.gbm, x, tau_b);
+    const std::vector<double> t3_prices = stratum_means(law_b, config.strata);
+    double alice_t3_sum = 0.0;
+    double bob_t3_sum = 0.0;
+    int alice_cont_count = 0;
+    for (double y : t3_prices) {
+      const double cont_value =
+          (1.0 + aA) * y * std::exp((mu - rA) * tau_b) + alice_recovery;
+      if (cont_value > alice_t3_stop) {
+        ++alice_cont_count;
+        alice_t3_sum += cont_value;
+        bob_t3_sum += bob_t3_cont;
+      } else {
+        alice_t3_sum += alice_t3_stop;
+        bob_t3_sum += y * std::exp((mu - rB) * 2.0 * tau_b) + bob_forfeit_gain;
+      }
+    }
+    const double n3 = static_cast<double>(t3_prices.size());
+    const double alice_t2_cont = alice_t3_sum / n3 * std::exp(-rA * tau_b);
+    const double bob_t2_cont =
+        (bob_own_recovery + bob_t3_sum / n3) * std::exp(-rB * tau_b);
+    const double alice_reveal_prob = static_cast<double>(alice_cont_count) / n3;
+
+    // --- Bob's decision at t2. --------------------------------------------
+    const bool bob_cont = bob_t2_cont > x;
+    if (bob_cont) {
+      ++bob_cont_count;
+      alice_t1_sum += alice_t2_cont;
+      bob_t1_sum += bob_t2_cont;
+      sr_sum += alice_reveal_prob;
+    } else {
+      alice_t1_sum += alice_t2_stop;
+      bob_t1_sum += x;  // Bob keeps token-b (and forfeits q, already sunk)
+    }
+  }
+
+  const double n2 = static_cast<double>(t2_prices.size());
+  out.alice_t1_cont = alice_t1_sum / n2 * std::exp(-rA * tau_a);
+  out.bob_t1_cont = bob_t1_sum / n2 * std::exp(-rB * tau_a);
+  out.success_rate = sr_sum / n2;
+  out.bob_cont_fraction = static_cast<double>(bob_cont_count) / n2;
+  return out;
+}
+
+}  // namespace swapgame::model

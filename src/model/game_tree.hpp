@@ -1,0 +1,45 @@
+// Discretized extensive-form cross-validation solver.
+//
+// Independent re-derivation of the backward-induction solution: instead of
+// closed-form lognormal partial expectations and root-finding, the price at
+// each decision epoch is discretized into equal-probability strata (each
+// represented by its conditional mean, so expectations of linear payoffs
+// are exact), and the game is solved by plain discrete dynamic programming
+// over the stratified tree:
+//
+//   t1 (Alice)  --tau_a-->  t2 strata (Bob)  --tau_b-->  t3 strata (Alice)
+//
+// Agreement with BasicGame/CollateralGame to ~1/strata accuracy is asserted
+// in tests and measured in the solver-ablation bench (X2).  Disagreement
+// would indicate an error in either the closed forms or the thresholds.
+#pragma once
+
+#include "params.hpp"
+
+namespace swapgame::model {
+
+/// Configuration of the stratified discretization.
+struct GameTreeConfig {
+  int strata = 400;          ///< equal-probability price strata per stage
+  double collateral = 0.0;   ///< Q = 0 reproduces the basic game
+};
+
+/// Result of solving the discretized tree.
+struct GameTreeSolution {
+  double alice_t1_cont = 0.0;  ///< Alice's value of initiating
+  double alice_t1_stop = 0.0;  ///< P_star (+ Q with collateral)
+  double bob_t1_cont = 0.0;
+  double bob_t1_stop = 0.0;
+  double success_rate = 0.0;   ///< P[swap completes | initiated]
+  /// Fraction of t2 strata where Bob continues (diagnostic).
+  double bob_cont_fraction = 0.0;
+};
+
+/// Solves the discretized swap game.  Strategies are derived inside the
+/// tree by comparing discrete continuation values, NOT imported from the
+/// analytic solver -- that is what makes this an independent check.
+[[nodiscard]] GameTreeSolution solve_game_tree(const SwapParams& params,
+                                               double p_star,
+                                               const GameTreeConfig& config = {});
+
+}  // namespace swapgame::model

@@ -1,0 +1,52 @@
+// The t0 agreement phase: choosing the exchange rate P*.
+//
+// The paper takes P* as given ("At t0, A and B agree on the swap
+// conditions, including exchange rate P*") and only characterizes the
+// feasible band.  This module completes the step: it computes the set of
+// rates BOTH agents prefer over their outside options,
+//   Alice: U^A_t1(cont)(P*) > P*      (Eq. 30)
+//   Bob:   U^B_t1(cont)(P*) > P_t0    (Eq. 28 comparison)
+// and selects a point by a bargaining rule:
+//   * kNashBargaining -- maximize the Nash product of the two surpluses;
+//   * kMaxSuccessRate -- maximize SR(P*) (Eq. 31) over the mutual set;
+//   * kMidpoint       -- the midpoint of the mutual set (naive refdesign).
+#pragma once
+
+#include <optional>
+
+#include "basic_game.hpp"
+#include "math/interval.hpp"
+#include "params.hpp"
+
+namespace swapgame::model {
+
+enum class BargainingRule : std::uint8_t {
+  kNashBargaining,
+  kMaxSuccessRate,
+  kMidpoint,
+};
+
+[[nodiscard]] const char* to_string(BargainingRule rule) noexcept;
+
+/// Outcome of the t0 negotiation.
+struct NegotiationResult {
+  bool agreed = false;
+  double p_star = 0.0;          ///< chosen rate (if agreed)
+  double alice_surplus = 0.0;   ///< U^A_t1(cont) - P* at the chosen rate
+  double bob_surplus = 0.0;     ///< U^B_t1(cont) - P_t0 at the chosen rate
+  double success_rate = 0.0;    ///< SR at the chosen rate
+  math::IntervalSet alice_acceptable;  ///< {P* : Alice prefers cont}
+  math::IntervalSet bob_acceptable;    ///< {P* : Bob prefers cont}
+  math::IntervalSet mutual;            ///< intersection (bargaining set)
+};
+
+/// Runs the negotiation for the basic game.  `grid` controls the selection
+/// search resolution inside the mutual set.
+[[nodiscard]] NegotiationResult negotiate_rate(const SwapParams& params,
+                                               BargainingRule rule,
+                                               double scan_lo = 0.05,
+                                               double scan_hi = 10.0,
+                                               int scan_samples = 400,
+                                               int grid = 200);
+
+}  // namespace swapgame::model

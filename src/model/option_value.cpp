@@ -1,0 +1,74 @@
+#include "option_value.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "premium_game.hpp"
+
+namespace swapgame::model {
+
+OptionalityDecomposition decompose_optionality(const SwapParams& params,
+                                               double p_star) {
+  const StrategyEvaluator evaluator(params, p_star);
+  const ThresholdProfile rational = evaluator.equilibrium();
+  const ThresholdProfile honest = ThresholdProfile::honest();
+
+  // Mixed profiles: one side committed, the other best-responding to that
+  // commitment (the deviator re-optimizes against the committed opponent).
+  ThresholdProfile alice_committed;  // Alice cutoff 0; Bob best-responds
+  alice_committed.alice_cutoff = 0.0;
+  alice_committed.bob_region = evaluator.bob_best_response(0.0);
+
+  ThresholdProfile bob_committed;  // Bob full region; Alice best-responds
+  bob_committed.alice_cutoff = evaluator.alice_best_response_cutoff();
+  bob_committed.bob_region = honest.bob_region;
+
+  OptionalityDecomposition d;
+  d.alice_rr = evaluator.alice_value(rational);
+  d.bob_rr = evaluator.bob_value(rational);
+  d.alice_cr = evaluator.alice_value(alice_committed);
+  d.bob_cr = evaluator.bob_value(alice_committed);
+  d.alice_rc = evaluator.alice_value(bob_committed);
+  d.bob_rc = evaluator.bob_value(bob_committed);
+  d.alice_cc = evaluator.alice_value(honest);
+  d.bob_cc = evaluator.bob_value(honest);
+  d.success_rate_rr = evaluator.success_rate(rational);
+  d.success_rate_cc = evaluator.success_rate(honest);
+  return d;
+}
+
+std::optional<double> compensating_premium(const SwapParams& params,
+                                           double p_star, double pr_hi,
+                                           double tol, double value_tol) {
+  if (!(pr_hi > 0.0) || !(tol > 0.0) || !(value_tol > 0.0)) {
+    throw std::invalid_argument("compensating_premium: bad search bounds");
+  }
+  // Bob's target: his value against a committed Alice (no optionality risk
+  // from her side), with him best-responding.  Reached only in the limit,
+  // hence the relative tolerance.
+  const StrategyEvaluator evaluator(params, p_star);
+  ThresholdProfile alice_committed;
+  alice_committed.alice_cutoff = 0.0;
+  alice_committed.bob_region = evaluator.bob_best_response(0.0);
+  const double target =
+      evaluator.bob_value(alice_committed) * (1.0 - value_tol);
+
+  const auto bob_value_at = [&](double pr) {
+    const PremiumGame game(params, p_star, pr);
+    return game.bob_t1_cont();
+  };
+  if (bob_value_at(0.0) >= target) return 0.0;
+  if (bob_value_at(pr_hi) < target) return std::nullopt;
+  double lo = 0.0, hi = pr_hi;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (bob_value_at(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace swapgame::model

@@ -1,0 +1,70 @@
+// Optionality decomposition: pricing the "free American option".
+//
+// Han et al. (paper Section II-C) view the HTLC swap as giving the
+// initiator a free American option; the paper's own contribution is that
+// BOTH agents hold optionality (Bob can also walk at t2).  This module
+// makes those claims quantitative using the StrategyEvaluator:
+//
+//   alice_option_value = U^A(rational Alice, rational Bob)
+//                      - U^A(committed Alice, rational Bob)
+//   bob_option_value   = U^B(rational Alice, rational Bob)
+//                      - U^B(rational Alice, committed Bob)
+//
+// where "committed" means contractually bound to continue (cutoff 0 /
+// full region).  Also computes the cross-impact each agent's optionality
+// has on the OTHER agent, and the premium pr that makes Alice indifferent
+// between keeping and giving up her option (the fair premium Han et al.'s
+// mechanism would have her pay).
+#pragma once
+
+#include "params.hpp"
+#include "strategy_value.hpp"
+
+namespace swapgame::model {
+
+/// The four corners of the commitment square plus derived option values.
+struct OptionalityDecomposition {
+  // U^A / U^B under (Alice strategy, Bob strategy) in
+  // {rational (R), committed (C)} x {rational, committed}:
+  double alice_rr = 0.0, bob_rr = 0.0;  ///< both rational (equilibrium)
+  double alice_cr = 0.0, bob_cr = 0.0;  ///< Alice committed, Bob rational
+  double alice_rc = 0.0, bob_rc = 0.0;  ///< Alice rational, Bob committed
+  double alice_cc = 0.0, bob_cc = 0.0;  ///< both committed (honest protocol)
+
+  /// What Alice's own optionality is worth to her (>= 0 by optimality).
+  [[nodiscard]] double alice_option_value() const noexcept {
+    return alice_rr - alice_cr;
+  }
+  /// What Bob's own optionality is worth to him.
+  [[nodiscard]] double bob_option_value() const noexcept {
+    return bob_rr - bob_rc;
+  }
+  /// Cost Alice's optionality imposes on Bob (Bob's value drop when Alice
+  /// goes from committed to rational, holding Bob rational).
+  [[nodiscard]] double alice_option_cost_to_bob() const noexcept {
+    return bob_cr - bob_rr;
+  }
+  /// Cost Bob's optionality imposes on Alice.
+  [[nodiscard]] double bob_option_cost_to_alice() const noexcept {
+    return alice_rc - alice_rr;
+  }
+
+  double success_rate_rr = 0.0;  ///< completion probability, both rational
+  double success_rate_cc = 0.0;  ///< = 1 by construction (both committed)
+};
+
+/// Computes the full decomposition at one (params, P*).
+[[nodiscard]] OptionalityDecomposition decompose_optionality(
+    const SwapParams& params, double p_star);
+
+/// The premium that compensates Bob for Alice's optionality: the smallest
+/// pr at which Bob's equilibrium value in the premium game reaches (within
+/// relative tolerance `value_tol` -- the limit is approached
+/// asymptotically as Alice's cutoff shrinks, never attained exactly) his
+/// value against a committed Alice.  Returns nullopt if no premium in
+/// [0, pr_hi] achieves it.
+[[nodiscard]] std::optional<double> compensating_premium(
+    const SwapParams& params, double p_star, double pr_hi = 4.0,
+    double tol = 1e-4, double value_tol = 1e-6);
+
+}  // namespace swapgame::model

@@ -1,0 +1,54 @@
+#include "params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swapgame::model {
+
+void AgentParams::validate() const {
+  if (!std::isfinite(alpha) || alpha < -1.0) {
+    throw std::invalid_argument("AgentParams: alpha must be finite and >= -1");
+  }
+  if (!std::isfinite(r) || !(r > 0.0)) {
+    throw std::invalid_argument("AgentParams: r must be finite and > 0");
+  }
+}
+
+void SwapParams::validate() const {
+  alice.validate();
+  bob.validate();
+  gbm.validate();
+  if (!(tau_a > 0.0) || !std::isfinite(tau_a)) {
+    throw std::invalid_argument("SwapParams: tau_a must be > 0");
+  }
+  if (!(tau_b > 0.0) || !std::isfinite(tau_b)) {
+    throw std::invalid_argument("SwapParams: tau_b must be > 0");
+  }
+  if (!(eps_b > 0.0) || !std::isfinite(eps_b)) {
+    throw std::invalid_argument("SwapParams: eps_b must be > 0");
+  }
+  if (!(eps_b < tau_b)) {
+    throw std::invalid_argument("SwapParams: eps_b must be < tau_b (Eq. 3)");
+  }
+  if (!(p_t0 > 0.0) || !std::isfinite(p_t0)) {
+    throw std::invalid_argument("SwapParams: p_t0 must be > 0");
+  }
+}
+
+SwapParams SwapParams::table3_defaults() {
+  SwapParams p;
+  p.alice = {0.3, 0.01};
+  p.bob = {0.3, 0.01};
+  p.tau_a = 3.0;
+  p.tau_b = 4.0;
+  p.eps_b = 1.0;
+  p.p_t0 = 2.0;
+  p.gbm = {0.002, 0.1};
+  return p;
+}
+
+const char* to_string(Action a) noexcept {
+  return a == Action::kCont ? "cont" : "stop";
+}
+
+}  // namespace swapgame::model

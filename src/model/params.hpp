@@ -1,0 +1,50 @@
+// Model parameters (paper Table II notation, Table III defaults).
+//
+// All times are hours; rates are per hour; prices are token-a per token-b.
+// Alice trades P_star token-a for Bob's 1 token-b (Table I).
+#pragma once
+
+#include "math/gbm.hpp"
+
+namespace swapgame::model {
+
+/// Per-agent preference parameters of the utility function (paper Eq. (2)):
+/// U_t = E[(1 + alpha * S) * V / e^{r T}].
+struct AgentParams {
+  /// Success premium: excess utility from completing the swap (reputation,
+  /// genuine need for the counterparty's token).  Higher alpha means more
+  /// "honest" behaviour (Section III-F1).
+  double alpha = 0.3;
+  /// Discount rate / impatience (per hour).  Must be > 0 (Section III-C
+  /// relies on r > 0 to collapse waiting times).
+  double r = 0.01;
+
+  /// Throws std::invalid_argument for r <= 0, alpha < -1 or non-finite.
+  void validate() const;
+};
+
+/// Full parameter set of the swap game except the exchange rate P_star,
+/// which most figures sweep and is therefore passed alongside.
+struct SwapParams {
+  AgentParams alice;  ///< agent A, initiator
+  AgentParams bob;    ///< agent B
+  double tau_a = 3.0;  ///< confirmation time on Chain_a (hours)
+  double tau_b = 4.0;  ///< confirmation time on Chain_b (hours)
+  double eps_b = 1.0;  ///< mempool-visibility delay on Chain_b (hours), < tau_b
+  double p_t0 = 2.0;   ///< token-b price at t0 (= t1; footnote 3)
+  math::GbmParams gbm{};  ///< price dynamics (mu = 0.002, sigma = 0.1)
+
+  /// Throws std::invalid_argument on violated constraints (Eq. (3) etc).
+  void validate() const;
+
+  /// The paper's Table III defaults (also the struct defaults; spelled out
+  /// for use in benches/tests).
+  [[nodiscard]] static SwapParams table3_defaults();
+};
+
+/// The two moves available at every decision point (Section III-E).
+enum class Action : bool { kStop = false, kCont = true };
+
+[[nodiscard]] const char* to_string(Action a) noexcept;
+
+}  // namespace swapgame::model

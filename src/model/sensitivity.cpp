@@ -1,0 +1,103 @@
+#include "sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "basic_game.hpp"
+
+namespace swapgame::model {
+
+const ParameterSensitivity& SensitivityReport::operator[](
+    const std::string& name) const {
+  for (const ParameterSensitivity& p : parameters) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("SensitivityReport: unknown parameter " + name);
+}
+
+namespace {
+
+double sr_at(const SwapParams& params, double p_star) {
+  return BasicGame(params, p_star).success_rate();
+}
+
+/// Central difference along one mutated parameter.
+double central_difference(
+    const SwapParams& base, double p_star, double value, double step,
+    const std::function<void(SwapParams&, double&, double)>& set) {
+  SwapParams up = base;
+  SwapParams down = base;
+  double p_up = p_star;
+  double p_down = p_star;
+  set(up, p_up, value + step);
+  set(down, p_down, value - step);
+  return (sr_at(up, p_up) - sr_at(down, p_down)) / (2.0 * step);
+}
+
+}  // namespace
+
+SensitivityReport success_rate_sensitivities(const SwapParams& params,
+                                             double p_star, double rel_step) {
+  params.validate();
+  if (!(rel_step > 0.0)) {
+    throw std::invalid_argument(
+        "success_rate_sensitivities: rel_step must be > 0");
+  }
+  SensitivityReport report;
+  report.success_rate = sr_at(params, p_star);
+  if (!(report.success_rate > 0.0)) {
+    throw std::invalid_argument(
+        "success_rate_sensitivities: SR is zero at the base point");
+  }
+
+  struct Spec {
+    const char* name;
+    double value;
+    std::function<void(SwapParams&, double&, double)> set;
+  };
+  const std::vector<Spec> specs = {
+      {"sigma", params.gbm.sigma,
+       [](SwapParams& p, double&, double v) { p.gbm.sigma = v; }},
+      {"mu", params.gbm.mu,
+       [](SwapParams& p, double&, double v) { p.gbm.mu = v; }},
+      {"alpha_A", params.alice.alpha,
+       [](SwapParams& p, double&, double v) { p.alice.alpha = v; }},
+      {"alpha_B", params.bob.alpha,
+       [](SwapParams& p, double&, double v) { p.bob.alpha = v; }},
+      {"r_A", params.alice.r,
+       [](SwapParams& p, double&, double v) { p.alice.r = v; }},
+      {"r_B", params.bob.r,
+       [](SwapParams& p, double&, double v) { p.bob.r = v; }},
+      {"tau_a", params.tau_a,
+       [](SwapParams& p, double&, double v) { p.tau_a = v; }},
+      {"tau_b", params.tau_b,
+       [](SwapParams& p, double&, double v) { p.tau_b = v; }},
+      {"eps_b", params.eps_b,
+       [](SwapParams& p, double&, double v) { p.eps_b = v; }},
+      {"p_star", p_star,
+       [](SwapParams&, double& ps, double v) { ps = v; }},
+      {"p_t0", params.p_t0,
+       [](SwapParams& p, double&, double v) { p.p_t0 = v; }},
+  };
+
+  for (const Spec& spec : specs) {
+    const double step =
+        std::max(std::abs(spec.value) * rel_step, 1e-4 * rel_step / 5e-3);
+    ParameterSensitivity s;
+    s.name = spec.name;
+    s.value = spec.value;
+    s.derivative =
+        central_difference(params, p_star, spec.value, step, spec.set);
+    s.elasticity = s.derivative * spec.value / report.success_rate;
+    report.parameters.push_back(std::move(s));
+  }
+  std::sort(report.parameters.begin(), report.parameters.end(),
+            [](const ParameterSensitivity& a, const ParameterSensitivity& b) {
+              return std::abs(a.elasticity) > std::abs(b.elasticity);
+            });
+  return report;
+}
+
+}  // namespace swapgame::model

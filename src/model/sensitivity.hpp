@@ -1,0 +1,46 @@
+// Sensitivity analysis of the success rate (paper Section I/V: "A
+// sensitivity analysis reveals that price volatility significantly
+// affects the success rate of the transaction").
+//
+// Central finite differences of SR with respect to every model parameter,
+// with parameter-proportional steps, plus elasticities
+// (dSR/dx * x / SR) so the parameters' leverage can be ranked on a common
+// scale.  The paper's qualitative signs (Section III-F) become checkable
+// numbers: d(SR)/d(sigma) < 0, d(SR)/d(mu) > 0, d(SR)/d(alpha) > 0,
+// d(SR)/d(r) < 0, d(SR)/d(tau) < 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "params.hpp"
+
+namespace swapgame::model {
+
+/// One parameter's sensitivity.
+struct ParameterSensitivity {
+  std::string name;       ///< e.g. "sigma", "alpha_A"
+  double value = 0.0;     ///< the parameter's base value
+  double derivative = 0.0;  ///< dSR / d(parameter), central difference
+  double elasticity = 0.0;  ///< derivative * value / SR (dimensionless)
+};
+
+/// Full sensitivity report at one (params, P*).
+struct SensitivityReport {
+  double success_rate = 0.0;  ///< SR at the base point
+  std::vector<ParameterSensitivity> parameters;  ///< sorted |elasticity| desc
+
+  /// Lookup by name; throws std::out_of_range if absent.
+  [[nodiscard]] const ParameterSensitivity& operator[](
+      const std::string& name) const;
+};
+
+/// Computes dSR/dx for x in {sigma, mu, alpha_A, alpha_B, r_A, r_B, tau_a,
+/// tau_b, eps_b, p_star, p_t0} by central differences with relative step
+/// `rel_step` (absolute fallback 1e-4 for near-zero parameters like mu).
+/// @throws std::invalid_argument for rel_step <= 0 or an SR of zero at the
+///         base point (elasticities undefined).
+[[nodiscard]] SensitivityReport success_rate_sensitivities(
+    const SwapParams& params, double p_star, double rel_step = 5e-3);
+
+}  // namespace swapgame::model

@@ -1,0 +1,69 @@
+#include "timeline.hpp"
+
+#include <sstream>
+
+namespace swapgame::model {
+
+namespace {
+
+// Small helper producing "name: lhs <op> rhs violated" strings.
+std::optional<std::string> require(bool ok, const char* what) {
+  if (ok) return std::nullopt;
+  return std::string(what);
+}
+
+}  // namespace
+
+std::optional<std::string> check_schedule(const Schedule& s, double tau_a,
+                                          double tau_b, double eps_b) {
+  // Eq. (3)
+  if (auto v = require(eps_b < tau_b, "eps_b < tau_b (Eq. 3)")) return v;
+  // Eq. (4): t1 >= t0
+  if (auto v = require(s.t1 >= s.t0, "t1 >= t0 (Eq. 4)")) return v;
+  // Eq. (5): t2 >= t1 + tau_a  (Bob waits for Alice's confirmation)
+  if (auto v = require(s.t2 >= s.t1 + tau_a, "t2 >= t1 + tau_a (Eq. 5)")) return v;
+  // Eq. (6): t3 >= t2 + tau_b
+  if (auto v = require(s.t3 >= s.t2 + tau_b, "t3 >= t2 + tau_b (Eq. 6)")) return v;
+  // Eq. (7): t4 >= t3 + eps_b
+  if (auto v = require(s.t4 >= s.t3 + eps_b, "t4 >= t3 + eps_b (Eq. 7)")) return v;
+  // Eq. (8): t5 = t3 + tau_b <= t_b
+  if (auto v = require(s.t5 == s.t3 + tau_b, "t5 == t3 + tau_b (Eq. 8)")) return v;
+  if (auto v = require(s.t5 <= s.t_b, "t5 <= t_b (Eq. 8)")) return v;
+  // Eq. (9): t6 = t4 + tau_a <= t_a
+  if (auto v = require(s.t6 == s.t4 + tau_a, "t6 == t4 + tau_a (Eq. 9)")) return v;
+  if (auto v = require(s.t6 <= s.t_a, "t6 <= t_a (Eq. 9)")) return v;
+  // Eq. (10): t7 = t_b + tau_b
+  if (auto v = require(s.t7 == s.t_b + tau_b, "t7 == t_b + tau_b (Eq. 10)")) return v;
+  // Eq. (11): t8 = t_a + tau_a
+  if (auto v = require(s.t8 == s.t_a + tau_a, "t8 == t_a + tau_a (Eq. 11)")) return v;
+  return std::nullopt;
+}
+
+Schedule idealized_schedule(const SwapParams& params, double t0) {
+  params.validate();
+  Schedule s;
+  s.t0 = t0;
+  s.t1 = t0;                      // Eq. (13): t1 = t0
+  s.t2 = s.t1 + params.tau_a;     // t2 = t1 + tau_a
+  s.t3 = s.t2 + params.tau_b;     // t3 = t2 + tau_b
+  s.t4 = s.t3 + params.eps_b;     // t4 = t3 + eps_b
+  s.t5 = s.t3 + params.tau_b;     // t5 = t3 + tau_b = t_b
+  s.t_b = s.t5;
+  s.t6 = s.t4 + params.tau_a;     // t6 = t4 + tau_a = t_a
+  s.t_a = s.t6;
+  s.t7 = s.t_b + params.tau_b;    // t7 = t_b + tau_b
+  s.t8 = s.t_a + params.tau_a;    // t8 = t_a + tau_a
+  return s;
+}
+
+StageDelays stage_delays(const SwapParams& params) {
+  StageDelays d{};
+  d.alice_cont_from_t3 = params.tau_b;
+  d.bob_cont_from_t3 = params.eps_b + params.tau_a;
+  d.alice_stop_from_t3 = params.eps_b + 2.0 * params.tau_a;
+  d.bob_stop_from_t3 = 2.0 * params.tau_b;
+  d.alice_stop_from_t2 = params.tau_b + params.eps_b + 2.0 * params.tau_a;
+  return d;
+}
+
+}  // namespace swapgame::model

@@ -1,0 +1,62 @@
+// The swap decision timeline (paper Section III-B/C, Fig. 2, Eqs. (4)-(13)).
+//
+// Two views are provided:
+//  * `TimelineConstraints::check` validates an arbitrary-waiting-time
+//    schedule against the inequality system (12) and reports the first
+//    violated constraint (Fig. 2(a)).
+//  * `IdealizedTimeline` constructs the zero-waiting-time schedule (13)
+//    used by the game analysis and the protocol driver (Fig. 2(b)).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "params.hpp"
+
+namespace swapgame::model {
+
+/// A concrete assignment of every event time in the swap.
+struct Schedule {
+  double t0 = 0.0;  ///< agreement; Alice generates the secret
+  double t1 = 0.0;  ///< Alice deploys the HTLC on Chain_a (expiry t_a)
+  double t2 = 0.0;  ///< Bob deploys the HTLC on Chain_b (expiry t_b)
+  double t3 = 0.0;  ///< Alice reveals the secret on Chain_b
+  double t4 = 0.0;  ///< Bob uses the secret on Chain_a
+  double t5 = 0.0;  ///< Alice receives 1 token-b (success path)
+  double t6 = 0.0;  ///< Bob receives P_star token-a (success path)
+  double t7 = 0.0;  ///< Bob's token-b returned (failure path)
+  double t8 = 0.0;  ///< Alice's token-a returned (failure path)
+  double t_a = 0.0; ///< HTLC expiry on Chain_a
+  double t_b = 0.0; ///< HTLC expiry on Chain_b
+};
+
+/// Validates a schedule against the paper's constraint system (12) for
+/// given confirmation/visibility delays.  Returns std::nullopt when every
+/// constraint holds, otherwise a human-readable description of the first
+/// violation.
+[[nodiscard]] std::optional<std::string> check_schedule(
+    const Schedule& s, double tau_a, double tau_b, double eps_b);
+
+/// Builds the idealized zero-waiting-time schedule of Eq. (13), anchored at
+/// a given t0.  The result always satisfies check_schedule.
+[[nodiscard]] Schedule idealized_schedule(const SwapParams& params,
+                                          double t0 = 0.0);
+
+/// Durations until "end of game" from each decision point, as used by the
+/// stage utilities: how long each agent waits for each terminal receipt.
+/// Derived from the idealized schedule; exposed for documentation and
+/// cross-checking the hard-coded exponents in the utility formulas.
+struct StageDelays {
+  // From t3 (Alice's reveal decision):
+  double alice_cont_from_t3;  ///< tau_b             (receive token-b at t5)
+  double bob_cont_from_t3;    ///< eps_b + tau_a     (receive token-a at t6)
+  double alice_stop_from_t3;  ///< eps_b + 2 tau_a   (refund at t8)
+  double bob_stop_from_t3;    ///< 2 tau_b           (refund at t7)
+  // From t2 (Bob's lock decision):
+  double alice_stop_from_t2;  ///< tau_b + eps_b + 2 tau_a (refund at t8)
+  // From t1 (Alice's initiation decision): stop pays out immediately.
+};
+
+[[nodiscard]] StageDelays stage_delays(const SwapParams& params);
+
+}  // namespace swapgame::model

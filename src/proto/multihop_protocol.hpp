@@ -1,0 +1,85 @@
+// Multi-party cyclic atomic swaps (Herlihy, PODC'18 -- paper Section II-C:
+// "Herlihy provided a first extensive analysis of the scheme").
+//
+// N parties arranged in a cycle, each paying the next on its own chain:
+// P_0 -> P_1 on chain 0, P_1 -> P_2 on chain 1, ..., P_{N-1} -> P_0 on
+// chain N-1.  The leader P_0 generates the secret; locks are deployed
+// forward along the cycle (each party locks only after its incoming lock
+// is confirmed), and claims propagate backward from the leader:
+//
+//   lock phase:   P_0 locks, P_1 locks, ..., P_{N-1} locks
+//   claim phase:  P_0 claims on chain N-1 (revealing the secret), then
+//                 P_{N-1} claims on chain N-2, ..., P_1 claims on chain 0.
+//
+// Herlihy's timelock staircase: the k-th deployed lock must remain
+// claimable until its claim -- the (2N-1-k)-th protocol step -- completes,
+// so expiries DECREASE along the deployment order.  We provision each
+// lock's expiry for its worst-case claim time plus a safety margin.
+//
+// The two-party instance coincides with the paper's swap (without the
+// mempool-leak shortcut: each claimer knows the secret only after the
+// upstream claim is mempool-visible on the neighbouring chain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agents/strategy.hpp"
+#include "chain/event_queue.hpp"
+#include "chain/ledger.hpp"
+#include "price_path.hpp"
+
+namespace swapgame::proto {
+
+/// Per-party configuration of a cyclic swap.
+struct HopParty {
+  std::string name;      ///< account name, unique in the cycle
+  double amount = 1.0;   ///< amount it locks for the next party (its chain)
+  /// Decision rule consulted at its lock step (Stage::kT2Lock) and claim
+  /// step (Stage::kT4Claim).  Non-owning; must outlive the run.
+  agents::Strategy* strategy = nullptr;
+};
+
+/// Cycle-wide configuration.
+struct MultihopSetup {
+  std::vector<HopParty> parties;   ///< N >= 2
+  double tau = 3.0;                ///< confirmation time, all chains (hours)
+  double eps = 1.0;                ///< mempool visibility, all chains
+  double safety_margin = 1.0;      ///< extra slack per expiry (hours)
+  std::uint64_t secret_seed = 0xC1C1E;
+};
+
+/// How the cyclic swap ended.
+enum class MultihopOutcome : std::uint8_t {
+  kAllCommitted,   ///< every leg claimed
+  kAbortedAtLock,  ///< some party declined to lock; all deployed legs refund
+  kLeaderAborted,  ///< the leader declined to start the claim phase
+  kPartialClaims,  ///< secret revealed but some party skipped its claim:
+                   ///< the skipper paid without being paid (the 2-party
+                   ///< t4-miss generalized)
+};
+
+[[nodiscard]] const char* to_string(MultihopOutcome outcome) noexcept;
+
+/// Result of one cyclic-swap run.
+struct MultihopResult {
+  MultihopOutcome outcome = MultihopOutcome::kAbortedAtLock;
+  int locks_deployed = 0;   ///< how many parties locked before the abort
+  int legs_claimed = 0;     ///< claimed legs (== N on commit)
+  bool conservation_ok = false;  ///< per-chain supply invariants held
+  /// Per-party net balance change on its outgoing chain (it pays) and its
+  /// incoming chain (it is paid), in tokens.
+  std::vector<double> paid;      ///< amount actually debited
+  std::vector<double> received;  ///< amount actually credited
+  std::vector<std::string> audit;
+  double completion_time = 0.0;  ///< when the last claim confirmed
+};
+
+/// Runs one cyclic swap.  Every party with a null strategy behaves
+/// honestly.  The price path is consulted for decision contexts (parties
+/// see the same exogenous price signal).
+[[nodiscard]] MultihopResult run_multihop_swap(const MultihopSetup& setup,
+                                               const PricePath& path);
+
+}  // namespace swapgame::proto

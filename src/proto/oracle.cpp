@@ -1,0 +1,68 @@
+#include "oracle.hpp"
+
+namespace swapgame::proto {
+
+CollateralOracle::CollateralOracle(chain::EventQueue& queue,
+                                   chain::Ledger& chain_a,
+                                   chain::Ledger& chain_b,
+                                   chain::Address alice_on_a,
+                                   chain::Address bob_on_a,
+                                   chain::Amount collateral_each)
+    : queue_(&queue), chain_a_(&chain_a), chain_b_(&chain_b),
+      alice_(std::move(alice_on_a)), bob_(std::move(bob_on_a)),
+      q_(collateral_each) {}
+
+void CollateralOracle::arm(const crypto::Digest256& hash_lock,
+                           const model::Schedule& schedule) {
+  hash_lock_ = hash_lock;
+  // Each check is scheduled through a same-time trampoline: rescheduling at
+  // the moment the check time is reached pushes it behind every event
+  // already queued for that instant (FIFO tie-break), so transactions that
+  // confirm exactly at t3/t4 -- like Bob's lock, deployed at t2 and
+  // confirmed at t3 -- are observed by the oracle rather than raced.
+  queue_->schedule_at(schedule.t3, [this] {
+    queue_->schedule_at(queue_->now(), [this] { check_bob_fulfilled(); });
+  });
+  queue_->schedule_at(schedule.t4, [this] {
+    queue_->schedule_at(queue_->now(), [this] { check_alice_fulfilled(); });
+  });
+}
+
+void CollateralOracle::check_bob_fulfilled() {
+  // Bob fulfilled iff an HTLC with the swap's hash lock exists on Chain_b
+  // (deployed at t2, confirmed at t3 = t2 + tau_b).
+  const chain::HtlcContract* contract =
+      chain_b_->find_htlc_by_hash(hash_lock_);
+  if (contract != nullptr) {
+    bob_fulfilled_ = true;
+    release(bob_, q_);
+  } else {
+    // Bob stopped at t2: both collaterals go to Alice (Section IV-3 stop).
+    release(alice_, q_ + q_);
+  }
+}
+
+void CollateralOracle::check_alice_fulfilled() {
+  if (!bob_fulfilled_) return;  // vault already settled at t3
+  // Alice fulfilled iff her claim (revealing the secret) is visible on
+  // Chain_b by t4 = t3 + eps_b.
+  bool revealed = false;
+  for (const chain::ObservedSecret& s : chain_b_->visible_secrets()) {
+    if (s.secret.opens(hash_lock_)) {
+      revealed = true;
+      break;
+    }
+  }
+  release(revealed ? alice_ : bob_, q_);
+}
+
+void CollateralOracle::release(const chain::Address& to, chain::Amount amount) {
+  chain_a_->submit(chain::ReleaseCollateralPayload{to, amount});
+  if (to == alice_) {
+    released_alice_ += amount;
+  } else {
+    released_bob_ += amount;
+  }
+}
+
+}  // namespace swapgame::proto

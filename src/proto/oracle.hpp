@@ -1,0 +1,62 @@
+// The trusted collateral Oracle of paper Section IV.
+//
+// Watches both ledgers and settles the Chain_a collateral vault:
+//   * at t3: if Bob's HTLC (same hash lock) is confirmed on Chain_b, his
+//     obligation is fulfilled -> release Q to Bob; otherwise Bob stopped ->
+//     release both collaterals (2Q) to Alice.
+//   * at t4: (only if Bob fulfilled) if Alice's secret is visible on
+//     Chain_b, her obligation is fulfilled -> release Q to Alice;
+//     otherwise she waived -> release her Q to Bob.
+// Releases are ordinary Chain_a transactions confirming after tau_a, so
+// recipients receive funds at t3 + tau_a / t4 + tau_a as in the paper.
+//
+// The paper notes this Oracle "is theoretical as there is presently no
+// Oracle service" with these powers; here it is an explicit trusted
+// component so the collateral game can be executed end-to-end.
+#pragma once
+
+#include "chain/event_queue.hpp"
+#include "chain/ledger.hpp"
+#include "crypto/digest.hpp"
+#include "model/timeline.hpp"
+
+namespace swapgame::proto {
+
+class CollateralOracle {
+ public:
+  /// Both ledgers and the queue must outlive the oracle.
+  CollateralOracle(chain::EventQueue& queue, chain::Ledger& chain_a,
+                   chain::Ledger& chain_b, chain::Address alice_on_a,
+                   chain::Address bob_on_a, chain::Amount collateral_each);
+
+  /// Arms the oracle for a swap that both agents engaged in at t1: the
+  /// settlement checks are scheduled at schedule.t3 and schedule.t4.
+  /// Call after charging both collaterals into the Chain_a vault.
+  void arm(const crypto::Digest256& hash_lock, const model::Schedule& schedule);
+
+  /// Settlement summary (release transactions submitted, in tokens).
+  [[nodiscard]] double released_to_alice() const noexcept {
+    return released_alice_.tokens();
+  }
+  [[nodiscard]] double released_to_bob() const noexcept {
+    return released_bob_.tokens();
+  }
+
+ private:
+  void check_bob_fulfilled();  ///< t3 settlement rule
+  void check_alice_fulfilled();  ///< t4 settlement rule
+  void release(const chain::Address& to, chain::Amount amount);
+
+  chain::EventQueue* queue_;
+  chain::Ledger* chain_a_;
+  chain::Ledger* chain_b_;
+  chain::Address alice_;
+  chain::Address bob_;
+  chain::Amount q_;
+  crypto::Digest256 hash_lock_;
+  bool bob_fulfilled_ = false;
+  chain::Amount released_alice_;
+  chain::Amount released_bob_;
+};
+
+}  // namespace swapgame::proto

@@ -1,0 +1,68 @@
+// Price processes observed by agents during a protocol run.
+//
+// The protocol driver quotes the token-b price (in token-a) to strategies
+// at decision times and values final holdings at receipt times.  Tests use
+// fixed paths; the Monte-Carlo engine samples GBM paths at the decision
+// epochs (src/sim/path_simulator).
+#pragma once
+
+#include <map>
+#include <stdexcept>
+
+#include "chain/types.hpp"
+
+namespace swapgame::proto {
+
+/// Read-only price curve.
+class PricePath {
+ public:
+  virtual ~PricePath() = default;
+
+  /// Token-b price at absolute simulation time t (hours).
+  [[nodiscard]] virtual double price_at(chain::Hours t) const = 0;
+};
+
+/// Piecewise-constant path through given (time, price) knots: the price at
+/// t is the price of the latest knot at or before t.  Queries before the
+/// first knot throw std::out_of_range.
+class SteppedPricePath final : public PricePath {
+ public:
+  explicit SteppedPricePath(std::map<chain::Hours, double> knots)
+      : knots_(std::move(knots)) {
+    if (knots_.empty()) {
+      throw std::invalid_argument("SteppedPricePath: need at least one knot");
+    }
+    for (const auto& [t, p] : knots_) {
+      if (!(p > 0.0)) {
+        throw std::invalid_argument("SteppedPricePath: prices must be > 0");
+      }
+    }
+  }
+
+  [[nodiscard]] double price_at(chain::Hours t) const override {
+    auto it = knots_.upper_bound(t);
+    if (it == knots_.begin()) {
+      throw std::out_of_range("SteppedPricePath: query before first knot");
+    }
+    return std::prev(it)->second;
+  }
+
+ private:
+  std::map<chain::Hours, double> knots_;
+};
+
+/// Constant price (degenerate path for unit tests).
+class ConstantPricePath final : public PricePath {
+ public:
+  explicit ConstantPricePath(double price) : price_(price) {
+    if (!(price > 0.0)) {
+      throw std::invalid_argument("ConstantPricePath: price must be > 0");
+    }
+  }
+  [[nodiscard]] double price_at(chain::Hours) const override { return price_; }
+
+ private:
+  double price_;
+};
+
+}  // namespace swapgame::proto

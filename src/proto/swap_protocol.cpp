@@ -1,0 +1,569 @@
+#include "swap_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "crypto/secret.hpp"
+#include "oracle.hpp"
+
+namespace swapgame::proto {
+
+const char* to_string(SwapOutcome outcome) noexcept {
+  switch (outcome) {
+    case SwapOutcome::kNotInitiated:
+      return "not-initiated";
+    case SwapOutcome::kBobDeclinedT2:
+      return "bob-declined-t2";
+    case SwapOutcome::kAliceDeclinedT3:
+      return "alice-declined-t3";
+    case SwapOutcome::kBobMissedT4:
+      return "bob-missed-t4";
+    case SwapOutcome::kSuccess:
+      return "success";
+    case SwapOutcome::kAliceLostAtomicity:
+      return "alice-lost-atomicity";
+    case SwapOutcome::kBobLostAtomicity:
+      return "bob-lost-atomicity";
+    case SwapOutcome::kTimelockExpiredBoth:
+      return "timelock-expired-both";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One protocol execution.  Owns the event queue, both ledgers and (when
+/// collateralized) the oracle; drives the four decision steps.
+class SwapRun {
+ public:
+  SwapRun(const SwapSetup& setup, agents::Strategy& alice,
+          agents::Strategy& bob, const PricePath& path)
+      : setup_(setup), alice_strategy_(&alice), bob_strategy_(&bob),
+        path_(&path), schedule_(model::idealized_schedule(setup.params, 0.0)),
+        latency_rng_a_(setup.latency_seed),
+        latency_rng_b_(setup.latency_seed ^ 0x517CC1B727220A95ULL),
+        chain_a_(make_chain_a_params(setup), queue_, &latency_rng_a_),
+        chain_b_(make_chain_b_params(setup), queue_, &latency_rng_b_) {
+    if (!(setup_.expiry_margin >= 0.0) || !std::isfinite(setup_.expiry_margin)) {
+      throw std::invalid_argument("run_swap: expiry_margin must be >= 0");
+    }
+    // Shift the HTLC expiries (and thus the failure-path receipts) by the
+    // safety margin; decision epochs stay on the idealized schedule.
+    schedule_.t_a += setup_.expiry_margin;
+    schedule_.t_b += setup_.expiry_margin;
+    schedule_.t7 = schedule_.t_b + setup_.params.tau_b;
+    schedule_.t8 = schedule_.t_a + setup_.params.tau_a;
+    if (!(setup_.p_star > 0.0) || !std::isfinite(setup_.p_star)) {
+      throw std::invalid_argument("run_swap: p_star must be positive");
+    }
+    if (!(setup_.collateral >= 0.0) || !std::isfinite(setup_.collateral)) {
+      throw std::invalid_argument("run_swap: collateral must be >= 0");
+    }
+    if (!(setup_.premium >= 0.0) || !std::isfinite(setup_.premium)) {
+      throw std::invalid_argument("run_swap: premium must be >= 0");
+    }
+    const double q = setup_.collateral;
+    chain_a_.create_account(kAlice, chain::Amount::from_tokens(
+                                        setup_.p_star + q + setup_.premium +
+                                        setup_.alice_extra_token_a));
+    chain_a_.create_account(kBob, chain::Amount::from_tokens(
+                                      q + setup_.bob_extra_token_a));
+    chain_b_.create_account(kAlice, chain::Amount{});
+    chain_b_.create_account(kBob, chain::Amount::from_tokens(1.0));
+    initial_supply_a_ = chain_a_.total_supply();
+    initial_supply_b_ = chain_b_.total_supply();
+  }
+
+  SwapResult execute() {
+    at_t1();
+    queue_.run();  // drain confirmations, refunds and oracle releases
+    return finalize();
+  }
+
+ private:
+  static chain::ChainParams make_chain_a_params(const SwapSetup& setup) {
+    // The model has no mempool-visibility parameter for Chain_a (nothing in
+    // the game reads Chain_a's mempool); reuse eps_b where it fits, else
+    // half the confirmation time.
+    const model::SwapParams& p = setup.params;
+    chain::ChainParams cp;
+    cp.id = chain::ChainId::kChainA;
+    cp.confirmation_time = p.tau_a;
+    cp.mempool_visibility = p.eps_b < p.tau_a ? p.eps_b : 0.5 * p.tau_a;
+    cp.confirmation_jitter = setup.confirmation_jitter_a;
+    return cp;
+  }
+
+  static chain::ChainParams make_chain_b_params(const SwapSetup& setup) {
+    const model::SwapParams& p = setup.params;
+    chain::ChainParams cp;
+    cp.id = chain::ChainId::kChainB;
+    cp.confirmation_time = p.tau_b;
+    cp.mempool_visibility = p.eps_b;
+    cp.confirmation_jitter = setup.confirmation_jitter_b;
+    return cp;
+  }
+
+  void log(const std::string& what) {
+    std::ostringstream os;
+    os << "[t=" << queue_.now() << "h] " << what;
+    audit_.push_back(os.str());
+  }
+
+  agents::DecisionContext context() const {
+    return {path_->price_at(queue_.now()), setup_.p_star, queue_.now()};
+  }
+
+  // --- t1: Alice initiates (and with collateral, both engage). ------------
+  void at_t1() {
+    const agents::DecisionContext ctx = context();
+    const model::Action alice_move =
+        alice_strategy_->decide(agents::Stage::kT1Initiate, ctx);
+    model::Action bob_move = model::Action::kCont;
+    if (setup_.collateral > 0.0) {
+      // Section IV: engagement is a simultaneous decision at t1.
+      bob_move = bob_strategy_->decide(agents::Stage::kT1Initiate, ctx);
+    }
+    if (alice_move == model::Action::kStop || bob_move == model::Action::kStop) {
+      outcome_ = SwapOutcome::kNotInitiated;
+      log("t1: swap not initiated (alice=" +
+          std::string(model::to_string(alice_move)) + ", bob=" +
+          std::string(model::to_string(bob_move)) + ")");
+      return;
+    }
+
+    if (setup_.collateral > 0.0) {
+      const chain::Amount q = chain::Amount::from_tokens(setup_.collateral);
+      chain_a_.charge_collateral(kAlice, q);
+      chain_a_.charge_collateral(kBob, q);
+      oracle_.emplace(queue_, chain_a_, chain_b_, kAlice, kBob, q);
+      log("t1: oracle charged both collaterals (" + q.to_string() +
+          " token-a each)");
+    }
+
+    math::Xoshiro256 rng(setup_.secret_seed);
+    secret_ = crypto::Secret::generate(rng);
+    hash_ = secret_.commitment();
+    if (oracle_) oracle_->arm(hash_, schedule_);
+
+    deploy_a_ = chain_a_.submit(chain::DeployHtlcPayload{
+        kAlice, kBob, chain::Amount::from_tokens(setup_.p_star), hash_,
+        schedule_.t_a});
+    log("t1: alice deployed HTLC on Chain_a (amount=" +
+        std::to_string(setup_.p_star) + ", expiry=t_a=" +
+        std::to_string(schedule_.t_a) + ", hash=" + hash_.to_hex().substr(0, 16) +
+        "...)");
+    if (setup_.premium > 0.0) {
+      // Han et al. premium: an inverse escrow that refunds Alice on reveal
+      // and pays Bob if she waives after commitment.  It is cancelled back
+      // to Alice if Bob never locks (see at_t2).
+      premium_escrow_ = chain_a_.submit(chain::DeployHtlcPayload{
+          kAlice, kBob, chain::Amount::from_tokens(setup_.premium), hash_,
+          schedule_.t_a, chain::HtlcKind::kInverse});
+      log("t1: alice escrowed premium " + std::to_string(setup_.premium) +
+          " in an inverse HTLC on Chain_a");
+    }
+    // Bob acts when he OBSERVES Alice's confirmation: with zero jitter this
+    // is exactly t2 = t1 + tau_a; with jitter the epoch shifts accordingly.
+    queue_.schedule_at(
+        std::max(schedule_.t2, chain_a_.transaction(*deploy_a_).confirmed_at),
+        [this] { at_t2(); });
+  }
+
+  // --- t2: Bob verifies and locks. ----------------------------------------
+  void at_t2() {
+    if (!verify_alice_contract()) {
+      outcome_ = SwapOutcome::kBobDeclinedT2;
+      log("t2: alice's contract failed verification; bob walks away");
+      cancel_premium_escrow();
+      return;
+    }
+    const model::Action move =
+        bob_strategy_->decide(agents::Stage::kT2Lock, context());
+    if (move == model::Action::kStop) {
+      outcome_ = SwapOutcome::kBobDeclinedT2;
+      log("t2: bob declined to lock (price=" +
+          std::to_string(path_->price_at(queue_.now())) + ")");
+      cancel_premium_escrow();
+      return;
+    }
+    deploy_b_ = chain_b_.submit(chain::DeployHtlcPayload{
+        kBob, kAlice, chain::Amount::from_tokens(1.0), hash_, schedule_.t_b});
+    log("t2: bob deployed HTLC on Chain_b (amount=1, expiry=t_b=" +
+        std::to_string(schedule_.t_b) + ")");
+    // Alice acts when she observes Bob's confirmation.
+    queue_.schedule_at(
+        std::max(schedule_.t3, chain_b_.transaction(*deploy_b_).confirmed_at),
+        [this] { at_t3(); });
+  }
+
+  // --- t3: Alice verifies and reveals. -------------------------------------
+  void at_t3() {
+    if (!verify_bob_contract()) {
+      outcome_ = SwapOutcome::kAliceDeclinedT3;
+      log("t3: bob's contract failed verification; alice withholds the secret");
+      return;
+    }
+    const model::Action move =
+        alice_strategy_->decide(agents::Stage::kT3Reveal, context());
+    if (move == model::Action::kStop) {
+      outcome_ = SwapOutcome::kAliceDeclinedT3;
+      log("t3: alice withheld the secret (price=" +
+          std::to_string(path_->price_at(queue_.now())) + ")");
+      return;
+    }
+    claim_b_ = chain_b_.submit(chain::ClaimHtlcPayload{
+        chain_b_.pending_contract_of(*deploy_b_), secret_, kAlice});
+    log("t3: alice claimed on Chain_b, revealing the secret");
+    if (premium_escrow_) {
+      chain_a_.submit(chain::ClaimHtlcPayload{
+          chain_a_.pending_contract_of(*premium_escrow_), secret_, kAlice});
+      log("t3: alice reclaimed her premium escrow on Chain_a");
+    }
+    // Bob acts when the secret becomes mempool-visible.
+    queue_.schedule_at(
+        std::max(schedule_.t4, chain_b_.transaction(*claim_b_).visible_at),
+        [this] { at_t4(); });
+  }
+
+  // --- t4: Bob extracts the secret from the mempool and claims. -----------
+  void at_t4() {
+    std::optional<crypto::Secret> observed;
+    for (const chain::ObservedSecret& s : chain_b_.visible_secrets()) {
+      if (s.secret.opens(hash_)) {
+        observed = s.secret;
+        break;
+      }
+    }
+    if (!observed) {
+      outcome_ = SwapOutcome::kBobMissedT4;
+      log("t4: no secret visible in Chain_b mempool; bob cannot claim");
+      return;
+    }
+    const model::Action move =
+        bob_strategy_->decide(agents::Stage::kT4Claim, context());
+    if (move == model::Action::kStop) {
+      outcome_ = SwapOutcome::kBobMissedT4;
+      log("t4: bob (irrationally) declined to claim");
+      return;
+    }
+    claim_a_ = chain_a_.submit(chain::ClaimHtlcPayload{
+        chain_a_.pending_contract_of(*deploy_a_), *observed, kBob});
+    outcome_ = SwapOutcome::kSuccess;
+    log("t4: bob claimed on Chain_a with the observed secret");
+  }
+
+  // If Bob never locks, Alice could not possibly perform, so the premium
+  // escrow must not penalize her: the watcher cancels it back as soon as
+  // Bob's walk-away is known.
+  void cancel_premium_escrow() {
+    if (!premium_escrow_) return;
+    chain_a_.submit(chain::CancelHtlcPayload{
+        chain_a_.pending_contract_of(*premium_escrow_), kAlice});
+    log("premium watcher cancelled the escrow (bob never locked)");
+  }
+
+  bool verify_alice_contract() {
+    // Bob checks the *confirmed* contract: existence, funding, terms
+    // (Section II-B Step 2).
+    if (!deploy_a_) return false;
+    const chain::Transaction& tx = chain_a_.transaction(*deploy_a_);
+    if (tx.status != chain::TxStatus::kConfirmed) return false;
+    const chain::HtlcContract& c = chain_a_.htlc(*tx.created_contract);
+    return c.state == chain::HtlcState::kLocked && c.recipient == kBob &&
+           c.amount == chain::Amount::from_tokens(setup_.p_star) &&
+           c.hash_lock == hash_ && c.expiry >= schedule_.t_a;
+  }
+
+  bool verify_bob_contract() {
+    if (!deploy_b_) return false;
+    const chain::Transaction& tx = chain_b_.transaction(*deploy_b_);
+    if (tx.status != chain::TxStatus::kConfirmed) return false;
+    const chain::HtlcContract& c = chain_b_.htlc(*tx.created_contract);
+    return c.state == chain::HtlcState::kLocked && c.recipient == kAlice &&
+           c.amount == chain::Amount::from_tokens(1.0) &&
+           c.hash_lock == hash_ && c.expiry >= schedule_.t_b;
+  }
+
+  // --- Result assembly. -----------------------------------------------------
+  /// With confirmation jitter, a claim broadcast in time can still confirm
+  /// after its time lock; the state-machine outcome (decided at broadcast
+  /// time) is reconciled against the contracts' final settlement.  With
+  /// zero jitter this never changes anything (asserted by tests).
+  void reconcile_outcome() {
+    if (!deploy_a_ || !deploy_b_) return;
+    const chain::Transaction& ta = chain_a_.transaction(*deploy_a_);
+    const chain::Transaction& tb = chain_b_.transaction(*deploy_b_);
+    if (!ta.created_contract || !tb.created_contract) return;
+    if (!chain_a_.has_htlc(*ta.created_contract) ||
+        !chain_b_.has_htlc(*tb.created_contract)) {
+      return;
+    }
+    const chain::HtlcState sa = chain_a_.htlc(*ta.created_contract).state;
+    const chain::HtlcState sb = chain_b_.htlc(*tb.created_contract).state;
+    if (sa == chain::HtlcState::kClaimed && sb == chain::HtlcState::kClaimed) {
+      outcome_ = SwapOutcome::kSuccess;
+    } else if (sa == chain::HtlcState::kClaimed &&
+               sb == chain::HtlcState::kRefunded) {
+      outcome_ = SwapOutcome::kAliceLostAtomicity;
+      log("reconcile: alice's claim missed t_b while bob's succeeded");
+    } else if (sa == chain::HtlcState::kRefunded &&
+               sb == chain::HtlcState::kClaimed &&
+               outcome_ != SwapOutcome::kBobMissedT4) {
+      outcome_ = SwapOutcome::kBobLostAtomicity;
+      log("reconcile: bob's claim missed t_a while alice's succeeded");
+    } else if (sa == chain::HtlcState::kRefunded &&
+               sb == chain::HtlcState::kRefunded &&
+               outcome_ == SwapOutcome::kSuccess) {
+      // Both claims were broadcast but both confirmed too late.
+      outcome_ = SwapOutcome::kTimelockExpiredBoth;
+      log("reconcile: both claims missed their time locks; both refunded");
+    }
+  }
+
+  SwapResult finalize() {
+    reconcile_outcome();
+    SwapResult result;
+    result.outcome = outcome_;
+    result.success = outcome_ == SwapOutcome::kSuccess;
+    result.schedule = schedule_;
+    result.collateral = setup_.collateral;
+    result.premium = setup_.premium;
+
+    result.alice.final_token_a = chain_a_.balance(kAlice).tokens();
+    result.alice.final_token_b = chain_b_.balance(kAlice).tokens();
+    result.bob.final_token_a = chain_a_.balance(kBob).tokens();
+    result.bob.final_token_b = chain_b_.balance(kBob).tokens();
+
+    result.conservation_ok = chain_a_.total_supply() == initial_supply_a_ &&
+                             chain_b_.total_supply() == initial_supply_b_;
+
+    compute_realized_values(result);
+    result.audit = std::move(audit_);
+    return result;
+  }
+
+  /// Discount factor to t1 at rate r for a receipt at time t.
+  static double disc(double r, double t1, double t) {
+    return std::exp(-r * (t - t1));
+  }
+
+  void compute_realized_values(SwapResult& result) const {
+    const model::SwapParams& p = setup_.params;
+    const double q = setup_.collateral;
+    const double p_star = setup_.p_star;
+    const model::Schedule& s = schedule_;
+    const double rA = p.alice.r;
+    const double rB = p.bob.r;
+    const auto price = [this](double t) { return path_->price_at(t); };
+
+    const double pr = setup_.premium;
+    double alice_swap = 0.0, bob_swap = 0.0;       // swap asset flows
+    double alice_coll = 0.0, bob_coll = 0.0;       // collateral flows
+    double alice_coll_back = 0.0, bob_coll_back = 0.0;  // tokens, undiscounted
+    double alice_prem = 0.0, bob_prem = 0.0;       // premium flows
+    double alice_prem_back = 0.0, bob_prem_gain = 0.0;
+    double alice_receipt = s.t1, bob_receipt = s.t1;
+
+    const double oracle_t3_receipt = s.t3 + p.tau_a;
+    const double oracle_t4_receipt = s.t4 + p.tau_a;
+    // Premium escrow settlement receipt times: Alice's claim or the
+    // watcher's cancel are submitted at t3 and confirm tau_a later; the
+    // timeout path pays Bob at t_a + tau_a = t8.
+    const double premium_alice_receipt = s.t3 + p.tau_a;
+    const double premium_bob_receipt = s.t8;
+
+    switch (outcome_) {
+      case SwapOutcome::kNotInitiated:
+        alice_swap = p_star;
+        bob_swap = price(s.t1);
+        alice_coll = q;  // never charged
+        bob_coll = q;
+        alice_coll_back = q;
+        bob_coll_back = q;
+        alice_prem = pr;  // never escrowed
+        alice_prem_back = pr;
+        break;
+      case SwapOutcome::kBobDeclinedT2:
+        alice_swap = p_star * disc(rA, s.t1, s.t8);
+        bob_swap = price(s.t2) * disc(rB, s.t1, s.t2);
+        if (q > 0.0) {
+          alice_coll = 2.0 * q * disc(rA, s.t1, oracle_t3_receipt);
+          alice_coll_back = 2.0 * q;
+        }
+        if (pr > 0.0) {
+          // Watcher cancels the escrow back to Alice.
+          alice_prem = pr * disc(rA, s.t1, premium_alice_receipt);
+          alice_prem_back = pr;
+        }
+        alice_receipt = s.t8;
+        bob_receipt = s.t2;
+        break;
+      case SwapOutcome::kAliceDeclinedT3:
+        alice_swap = p_star * disc(rA, s.t1, s.t8);
+        bob_swap = price(s.t7) * disc(rB, s.t1, s.t7);
+        if (q > 0.0) {
+          bob_coll = q * disc(rB, s.t1, oracle_t3_receipt) +
+                     q * disc(rB, s.t1, oracle_t4_receipt);
+          bob_coll_back = 2.0 * q;
+        }
+        if (pr > 0.0) {
+          // The escrow times out at t_a and pays Bob at t8.
+          bob_prem = pr * disc(rB, s.t1, premium_bob_receipt);
+          bob_prem_gain = pr;
+        }
+        alice_receipt = s.t8;
+        bob_receipt = s.t7;
+        break;
+      case SwapOutcome::kBobMissedT4:
+        // Alice receives the token-b at t5 AND her token-a refund at t8;
+        // Bob loses his principal entirely.
+        alice_swap = price(s.t5) * disc(rA, s.t1, s.t5) +
+                     p_star * disc(rA, s.t1, s.t8);
+        bob_swap = 0.0;
+        if (q > 0.0) {
+          bob_coll = q * disc(rB, s.t1, oracle_t3_receipt);
+          alice_coll = q * disc(rA, s.t1, oracle_t4_receipt);
+          alice_coll_back = q;
+          bob_coll_back = q;
+        }
+        if (pr > 0.0) {
+          // Alice revealed and reclaimed her escrow.
+          alice_prem = pr * disc(rA, s.t1, premium_alice_receipt);
+          alice_prem_back = pr;
+        }
+        alice_receipt = s.t8;
+        bob_receipt = oracle_t3_receipt;
+        break;
+      case SwapOutcome::kTimelockExpiredBoth:
+        // Both refunded: economics of a benign failure, except Alice did
+        // fulfil her obligations, so her deposits come back.
+        alice_swap = p_star * disc(rA, s.t1, s.t8);
+        bob_swap = price(s.t7) * disc(rB, s.t1, s.t7);
+        if (q > 0.0) {
+          alice_coll = q * disc(rA, s.t1, oracle_t4_receipt);
+          bob_coll = q * disc(rB, s.t1, oracle_t3_receipt);
+          alice_coll_back = q;
+          bob_coll_back = q;
+        }
+        if (pr > 0.0) {
+          alice_prem = pr * disc(rA, s.t1, premium_alice_receipt);
+          alice_prem_back = pr;
+        }
+        alice_receipt = s.t8;
+        bob_receipt = s.t7;
+        break;
+      case SwapOutcome::kAliceLostAtomicity:
+        // Alice revealed but her claim missed t_b: Bob holds everything.
+        // Receipt times are approximated by the idealized schedule (exact
+        // per-run times vary with the jitter draws; balances are exact).
+        alice_swap = 0.0;
+        bob_swap = p_star * disc(rB, s.t1, s.t6) +
+                   price(s.t7) * disc(rB, s.t1, s.t7);
+        if (q > 0.0) {
+          alice_coll = q * disc(rA, s.t1, oracle_t4_receipt);
+          bob_coll = q * disc(rB, s.t1, oracle_t3_receipt);
+          alice_coll_back = q;
+          bob_coll_back = q;
+        }
+        if (pr > 0.0) {
+          alice_prem = pr * disc(rA, s.t1, premium_alice_receipt);
+          alice_prem_back = pr;
+        }
+        alice_receipt = s.t1;
+        bob_receipt = s.t7;
+        break;
+      case SwapOutcome::kBobLostAtomicity:
+        // Bob's claim missed t_a: Alice holds both assets (same flows as
+        // kBobMissedT4).
+        alice_swap = price(s.t5) * disc(rA, s.t1, s.t5) +
+                     p_star * disc(rA, s.t1, s.t8);
+        bob_swap = 0.0;
+        if (q > 0.0) {
+          bob_coll = q * disc(rB, s.t1, oracle_t3_receipt);
+          alice_coll = q * disc(rA, s.t1, oracle_t4_receipt);
+          alice_coll_back = q;
+          bob_coll_back = q;
+        }
+        if (pr > 0.0) {
+          alice_prem = pr * disc(rA, s.t1, premium_alice_receipt);
+          alice_prem_back = pr;
+        }
+        alice_receipt = s.t8;
+        bob_receipt = s.t1;
+        break;
+      case SwapOutcome::kSuccess:
+        alice_swap = price(s.t5) * disc(rA, s.t1, s.t5);
+        bob_swap = p_star * disc(rB, s.t1, s.t6);
+        if (q > 0.0) {
+          alice_coll = q * disc(rA, s.t1, oracle_t4_receipt);
+          bob_coll = q * disc(rB, s.t1, oracle_t3_receipt);
+          alice_coll_back = q;
+          bob_coll_back = q;
+        }
+        if (pr > 0.0) {
+          alice_prem = pr * disc(rA, s.t1, premium_alice_receipt);
+          alice_prem_back = pr;
+        }
+        alice_receipt = s.t5;
+        bob_receipt = s.t6;
+        break;
+    }
+
+    const double sA = result.success ? p.alice.alpha : 0.0;
+    const double sB = result.success ? p.bob.alpha : 0.0;
+    result.alice.realized_value = alice_swap + alice_coll + alice_prem;
+    result.bob.realized_value = bob_swap + bob_coll + bob_prem;
+    // Per Eq. (32) side deposits (collateral, premium) are not
+    // premium-scaled.
+    result.alice.realized_utility =
+        (1.0 + sA) * alice_swap + alice_coll + alice_prem;
+    result.bob.realized_utility = (1.0 + sB) * bob_swap + bob_coll + bob_prem;
+    result.alice.receipt_time = alice_receipt;
+    result.bob.receipt_time = bob_receipt;
+    result.alice_collateral_back = alice_coll_back;
+    result.bob_collateral_back = bob_coll_back;
+    result.alice_premium_back = alice_prem_back;
+    result.bob_premium_gain = bob_prem_gain;
+  }
+
+  const chain::Address kAlice{"alice"};
+  const chain::Address kBob{"bob"};
+
+  SwapSetup setup_;
+  agents::Strategy* alice_strategy_;
+  agents::Strategy* bob_strategy_;
+  const PricePath* path_;
+  model::Schedule schedule_;
+  math::Xoshiro256 latency_rng_a_;
+  math::Xoshiro256 latency_rng_b_;
+  chain::EventQueue queue_;
+  chain::Ledger chain_a_;
+  chain::Ledger chain_b_;
+  std::optional<CollateralOracle> oracle_;
+  crypto::Secret secret_;
+  crypto::Digest256 hash_;
+  std::optional<chain::TxId> deploy_a_;
+  std::optional<chain::TxId> premium_escrow_;
+  std::optional<chain::TxId> deploy_b_;
+  std::optional<chain::TxId> claim_b_;
+  std::optional<chain::TxId> claim_a_;
+  chain::Amount initial_supply_a_;
+  chain::Amount initial_supply_b_;
+  SwapOutcome outcome_ = SwapOutcome::kNotInitiated;
+  std::vector<std::string> audit_;
+};
+
+}  // namespace
+
+SwapResult run_swap(const SwapSetup& setup, agents::Strategy& alice,
+                    agents::Strategy& bob, const PricePath& path) {
+  setup.params.validate();
+  SwapRun run(setup, alice, bob, path);
+  return run.execute();
+}
+
+}  // namespace swapgame::proto

@@ -1,0 +1,136 @@
+// The HTLC atomic-swap protocol state machine (paper Sections II-B, III-B).
+//
+// Executes one swap between two Strategy-driven agents on two simulated
+// ledgers following the idealized timeline of Eq. (13):
+//
+//   t1: Alice decides; on cont she generates the secret and deploys the
+//       HTLC on Chain_a (amount P*, hash lock, expiry t_a).
+//   t2 = t1 + tau_a: Bob verifies Alice's confirmed contract and decides;
+//       on cont he deploys the mirrored HTLC on Chain_b (amount 1,
+//       same hash, expiry t_b).
+//   t3 = t2 + tau_b: Alice verifies Bob's confirmed contract and decides;
+//       on cont she claims on Chain_b, revealing the secret.
+//   t4 = t3 + eps_b: Bob reads the secret from Chain_b's mempool and
+//       decides; on cont he claims on Chain_a.
+//
+// Declined or missed steps leave the deployed HTLCs to auto-refund at
+// expiry (t7/t8 receipts).  The driver never moves funds itself -- every
+// flow goes through ledger transactions -- and it checks ledger
+// conservation after the run.
+//
+// The collateralized variant (Section IV) charges both agents Q into the
+// Chain_a vault at t1 and lets a CollateralOracle settle it (see oracle.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/strategy.hpp"
+#include "chain/event_queue.hpp"
+#include "chain/ledger.hpp"
+#include "model/params.hpp"
+#include "model/timeline.hpp"
+#include "price_path.hpp"
+
+namespace swapgame::proto {
+
+/// How the swap ended.
+enum class SwapOutcome : std::uint8_t {
+  kNotInitiated,    ///< Alice stopped at t1; nothing ever hit a chain
+  kBobDeclinedT2,   ///< Bob did not lock; Alice auto-refunded
+  kAliceDeclinedT3, ///< Alice did not reveal; both auto-refunded
+  kBobMissedT4,     ///< Bob failed to claim a revealed secret (irrational /
+                    ///< crash): Alice received token-b AND gets token-a back
+  kSuccess,         ///< both legs settled per Table I
+  /// Atomicity violations reachable only with confirmation jitter
+  /// (ChainParams::confirmation_jitter > 0), i.e. when the paper's
+  /// constant-tau assumption 1 is relaxed (Zakhary et al.'s critique,
+  /// Section II-C): one leg's claim confirmed, the other leg's missed its
+  /// time lock.
+  kAliceLostAtomicity,  ///< Alice revealed; Bob claimed token-a, but her
+                        ///< token-b claim confirmed after t_b (refunded to
+                        ///< Bob).  Alice lost her principal.
+  kBobLostAtomicity,    ///< Alice's token-b claim confirmed, but Bob's
+                        ///< token-a claim confirmed after t_a.  Bob lost.
+  kTimelockExpiredBoth, ///< both claims missed their locks (extreme
+                        ///< jitter): both legs refunded -- benign failure,
+                        ///< atomicity preserved.
+};
+
+[[nodiscard]] const char* to_string(SwapOutcome outcome) noexcept;
+
+/// Per-agent realized result, token-denominated.
+struct AgentResult {
+  double final_token_a = 0.0;  ///< final Chain_a balance (tokens)
+  double final_token_b = 0.0;  ///< final Chain_b balance (tokens)
+  double receipt_time = 0.0;   ///< when the agent's terminal asset unencumbered
+  /// Realized discounted portfolio value at t1 (token-a numeraire): each
+  /// terminal holding valued at its receipt time price and discounted at
+  /// the agent's rate r.
+  double realized_value = 0.0;
+  /// realized_value scaled by (1 + alpha * S) -- the paper's Eq. (2)/(32)
+  /// utility realized on this path.
+  double realized_utility = 0.0;
+};
+
+/// Full audit record of one protocol run.
+struct SwapResult {
+  SwapOutcome outcome = SwapOutcome::kNotInitiated;
+  bool success = false;
+  AgentResult alice;
+  AgentResult bob;
+  model::Schedule schedule;          ///< the idealized timeline used
+  std::vector<std::string> audit;    ///< timestamped step log
+  bool conservation_ok = false;      ///< ledger supply invariant held
+  double collateral = 0.0;           ///< Q used (0 = basic protocol)
+  /// Collateral each agent got back (tokens); only meaningful when Q > 0.
+  double alice_collateral_back = 0.0;
+  double bob_collateral_back = 0.0;
+  double premium = 0.0;              ///< pr used (0 = no premium escrow)
+  /// Premium settlement (tokens): back to Alice, or forfeited to Bob.
+  double alice_premium_back = 0.0;
+  double bob_premium_gain = 0.0;
+};
+
+/// Static setup of one swap.
+struct SwapSetup {
+  model::SwapParams params;   ///< timings + (for utilities) preferences
+  double p_star = 2.0;        ///< agreed exchange rate
+  double collateral = 0.0;    ///< Q per agent (Section IV); 0 disables
+  /// Han et al. premium pr escrowed by Alice on Chain_a in an inverse HTLC
+  /// (Section II-C baseline); 0 disables.  Composes with collateral.
+  double premium = 0.0;
+  /// Extra spending balance beyond the swap amounts (lets failed paths and
+  /// collateral charges never bounce for lack of funds).
+  double alice_extra_token_a = 0.0;
+  double bob_extra_token_a = 0.0;
+  /// Seed for Alice's secret generation (deterministic runs).
+  std::uint64_t secret_seed = 0x5ECE7;
+
+  // --- Robustness knobs (bench X9): relax assumption 1. -------------------
+  /// Per-transaction uniform extra confirmation delay on each chain
+  /// (hours); 0 = the paper's constant-tau model.
+  double confirmation_jitter_a = 0.0;
+  double confirmation_jitter_b = 0.0;
+  /// Extra slack added to both HTLC expiries beyond the idealized t_a/t_b
+  /// (safety margin against jitter).  The refund receipts shift
+  /// accordingly.
+  double expiry_margin = 0.0;
+  /// Seed for the confirmation-jitter draws.
+  std::uint64_t latency_seed = 0x1A7E4C1;
+};
+
+/// Runs one complete swap and returns the audited result.  The function
+/// owns its event queue and ledgers, so concurrent calls are independent.
+///
+/// @param setup     swap terms; setup.params must validate.
+/// @param alice     Alice's decision rule (Stage::kT1Initiate, kT3Reveal).
+/// @param bob       Bob's decision rule (Stage::kT2Lock, kT4Claim).
+/// @param path      token-b price observed at decision/receipt times.
+[[nodiscard]] SwapResult run_swap(const SwapSetup& setup,
+                                  agents::Strategy& alice,
+                                  agents::Strategy& bob,
+                                  const PricePath& path);
+
+}  // namespace swapgame::proto

@@ -1,0 +1,208 @@
+#include "witness_protocol.hpp"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "crypto/secret.hpp"
+
+namespace swapgame::proto {
+
+namespace {
+
+/// One witness-commitment execution.
+class WitnessRun {
+ public:
+  WitnessRun(const SwapSetup& setup, agents::Strategy& alice,
+             agents::Strategy& bob, const PricePath& path)
+      : setup_(setup), alice_strategy_(&alice), bob_strategy_(&bob),
+        path_(&path),
+        chain_a_({chain::ChainId::kChainA, setup.params.tau_a,
+                  0.5 * setup.params.tau_a},
+                 queue_),
+        chain_b_({chain::ChainId::kChainB, setup.params.tau_b,
+                  0.5 * setup.params.tau_b},
+                 queue_) {
+    setup_.params.validate();
+    if (!(setup_.p_star > 0.0) || !std::isfinite(setup_.p_star)) {
+      throw std::invalid_argument("run_witness_swap: p_star must be positive");
+    }
+    // Timeline (no mempool-visibility step): t1=0, t2=tau_a, t3=t2+tau_b,
+    // t_a = t3 + tau_a, t_b = t3 + tau_b.
+    const model::SwapParams& p = setup_.params;
+    schedule_.t0 = 0.0;
+    schedule_.t1 = 0.0;
+    schedule_.t2 = p.tau_a;
+    schedule_.t3 = schedule_.t2 + p.tau_b;
+    schedule_.t4 = schedule_.t3;  // witness acts at t3; no separate t4
+    schedule_.t_a = schedule_.t3 + p.tau_a;
+    schedule_.t_b = schedule_.t3 + p.tau_b;
+    schedule_.t5 = schedule_.t3 + p.tau_b;  // Alice's receipt on commit
+    schedule_.t6 = schedule_.t3 + p.tau_a;  // Bob's receipt on commit
+    schedule_.t7 = schedule_.t_b + p.tau_b;
+    schedule_.t8 = schedule_.t_a + p.tau_a;
+
+    chain_a_.create_account(kAlice, chain::Amount::from_tokens(
+                                        setup_.p_star +
+                                        setup_.alice_extra_token_a));
+    chain_a_.create_account(kBob,
+                            chain::Amount::from_tokens(setup_.bob_extra_token_a));
+    chain_b_.create_account(kAlice, chain::Amount{});
+    chain_b_.create_account(kBob, chain::Amount::from_tokens(1.0));
+    initial_supply_a_ = chain_a_.total_supply();
+    initial_supply_b_ = chain_b_.total_supply();
+  }
+
+  SwapResult execute() {
+    at_t1();
+    queue_.run();
+    return finalize();
+  }
+
+ private:
+  void log(const std::string& what) {
+    std::ostringstream os;
+    os << "[t=" << queue_.now() << "h] " << what;
+    audit_.push_back(os.str());
+  }
+
+  agents::DecisionContext context() const {
+    return {path_->price_at(queue_.now()), setup_.p_star, queue_.now()};
+  }
+
+  void at_t1() {
+    if (alice_strategy_->decide(agents::Stage::kT1Initiate, context()) ==
+        model::Action::kStop) {
+      outcome_ = SwapOutcome::kNotInitiated;
+      log("t1: alice declined to lock; swap not initiated");
+      return;
+    }
+    // The witness generates the secret; only it can ever claim.
+    math::Xoshiro256 rng(setup_.secret_seed);
+    witness_secret_ = crypto::Secret::generate(rng);
+    const crypto::Digest256 hash = witness_secret_.commitment();
+    deploy_a_ = chain_a_.submit(chain::DeployHtlcPayload{
+        kAlice, kBob, chain::Amount::from_tokens(setup_.p_star), hash,
+        schedule_.t_a});
+    log("t1: alice locked into the witness's commitment contract on Chain_a");
+    queue_.schedule_at(schedule_.t2, [this] { at_t2(); });
+  }
+
+  void at_t2() {
+    const chain::Transaction& tx = chain_a_.transaction(*deploy_a_);
+    if (tx.status != chain::TxStatus::kConfirmed) {
+      outcome_ = SwapOutcome::kBobDeclinedT2;
+      log("t2: alice's lock not confirmed; bob walks away");
+      return;
+    }
+    if (bob_strategy_->decide(agents::Stage::kT2Lock, context()) ==
+        model::Action::kStop) {
+      outcome_ = SwapOutcome::kBobDeclinedT2;
+      log("t2: bob declined to lock (price=" +
+          std::to_string(path_->price_at(queue_.now())) + ")");
+      return;
+    }
+    deploy_b_ = chain_b_.submit(chain::DeployHtlcPayload{
+        kBob, kAlice, chain::Amount::from_tokens(1.0),
+        witness_secret_.commitment(), schedule_.t_b});
+    log("t2: bob locked into the witness's commitment contract on Chain_b");
+    queue_.schedule_at(schedule_.t3, [this] { witness_decides(); });
+  }
+
+  void witness_decides() {
+    // Atomic commit: both locks confirmed -> the witness claims both legs.
+    const bool a_locked =
+        deploy_a_ &&
+        chain_a_.transaction(*deploy_a_).status == chain::TxStatus::kConfirmed;
+    const bool b_locked =
+        deploy_b_ &&
+        chain_b_.transaction(*deploy_b_).status == chain::TxStatus::kConfirmed;
+    if (!a_locked || !b_locked) {
+      log("t3: witness aborts (a lock is missing); time locks will refund");
+      return;
+    }
+    chain_a_.submit(chain::ClaimHtlcPayload{
+        chain_a_.pending_contract_of(*deploy_a_), witness_secret_, kBob});
+    chain_b_.submit(chain::ClaimHtlcPayload{
+        chain_b_.pending_contract_of(*deploy_b_), witness_secret_, kAlice});
+    outcome_ = SwapOutcome::kSuccess;
+    log("t3: witness committed -- claimed both legs atomically");
+  }
+
+  SwapResult finalize() {
+    SwapResult result;
+    result.outcome = outcome_;
+    result.success = outcome_ == SwapOutcome::kSuccess;
+    result.schedule = schedule_;
+    result.alice.final_token_a = chain_a_.balance(kAlice).tokens();
+    result.alice.final_token_b = chain_b_.balance(kAlice).tokens();
+    result.bob.final_token_a = chain_a_.balance(kBob).tokens();
+    result.bob.final_token_b = chain_b_.balance(kBob).tokens();
+    result.conservation_ok = chain_a_.total_supply() == initial_supply_a_ &&
+                             chain_b_.total_supply() == initial_supply_b_;
+
+    // Realized discounted values at t1 (same conventions as run_swap).
+    const model::SwapParams& p = setup_.params;
+    const auto disc = [](double r, double t) { return std::exp(-r * t); };
+    double alice_swap = 0.0, bob_swap = 0.0;
+    switch (outcome_) {
+      case SwapOutcome::kNotInitiated:
+        alice_swap = setup_.p_star;
+        bob_swap = path_->price_at(schedule_.t1);
+        result.alice.receipt_time = schedule_.t1;
+        result.bob.receipt_time = schedule_.t1;
+        break;
+      case SwapOutcome::kBobDeclinedT2:
+        alice_swap = setup_.p_star * disc(p.alice.r, schedule_.t8);
+        bob_swap = path_->price_at(schedule_.t2) * disc(p.bob.r, schedule_.t2);
+        result.alice.receipt_time = schedule_.t8;
+        result.bob.receipt_time = schedule_.t2;
+        break;
+      default:  // kSuccess (other outcomes unreachable in this protocol)
+        alice_swap =
+            path_->price_at(schedule_.t5) * disc(p.alice.r, schedule_.t5);
+        bob_swap = setup_.p_star * disc(p.bob.r, schedule_.t6);
+        result.alice.receipt_time = schedule_.t5;
+        result.bob.receipt_time = schedule_.t6;
+        break;
+    }
+    const double sA = result.success ? p.alice.alpha : 0.0;
+    const double sB = result.success ? p.bob.alpha : 0.0;
+    result.alice.realized_value = alice_swap;
+    result.bob.realized_value = bob_swap;
+    result.alice.realized_utility = (1.0 + sA) * alice_swap;
+    result.bob.realized_utility = (1.0 + sB) * bob_swap;
+    result.audit = std::move(audit_);
+    return result;
+  }
+
+  const chain::Address kAlice{"alice"};
+  const chain::Address kBob{"bob"};
+
+  SwapSetup setup_;
+  agents::Strategy* alice_strategy_;
+  agents::Strategy* bob_strategy_;
+  const PricePath* path_;
+  model::Schedule schedule_;
+  chain::EventQueue queue_;
+  chain::Ledger chain_a_;
+  chain::Ledger chain_b_;
+  crypto::Secret witness_secret_;
+  std::optional<chain::TxId> deploy_a_;
+  std::optional<chain::TxId> deploy_b_;
+  chain::Amount initial_supply_a_;
+  chain::Amount initial_supply_b_;
+  SwapOutcome outcome_ = SwapOutcome::kNotInitiated;
+  std::vector<std::string> audit_;
+};
+
+}  // namespace
+
+SwapResult run_witness_swap(const SwapSetup& setup, agents::Strategy& alice,
+                            agents::Strategy& bob, const PricePath& path) {
+  WitnessRun run(setup, alice, bob, path);
+  return run.execute();
+}
+
+}  // namespace swapgame::proto

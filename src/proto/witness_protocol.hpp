@@ -1,0 +1,37 @@
+// The AC^3TW witness-commitment protocol (Zakhary et al., paper Section
+// II-C) executed on the two-ledger substrate.
+//
+// A trusted witness -- the "centralized trusted witness" of AC^3TW --
+// generates the secret and hands both parties its hash.  Each party locks
+// into an ordinary HTLC whose preimage only the witness knows:
+//
+//   t1: Alice decides; on cont she locks P* token-a on Chain_a
+//       (recipient Bob, expiry t_a).
+//   t2: Bob verifies and decides; on cont he locks 1 token-b on Chain_b
+//       (recipient Alice, expiry t_b).
+//   t3 = t2 + tau_b (Bob's lock confirmed): the witness checks both locks.
+//       Both present  -> it submits BOTH claims (atomic commit).
+//       Bob missing   -> it stays silent; the time locks refund (abort).
+//
+// Neither party ever learns the secret, so neither holds any post-lock
+// optionality: the paper's t3/t4 decisions do not exist in this family.
+// (Substitution note: Zakhary et al. exchange votes/proofs rather than a
+// hash preimage; a witness-held preimage over standard HTLCs realizes the
+// same commit/abort semantics on our substrate -- see DESIGN.md.)
+#pragma once
+
+#include "swap_protocol.hpp"
+
+namespace swapgame::proto {
+
+/// Runs one witness-commitment swap.  Reuses SwapSetup/SwapResult; the
+/// collateral/premium knobs are ignored (the witness makes them moot), and
+/// outcomes are limited to kNotInitiated, kBobDeclinedT2 and kSuccess.
+/// Strategies are consulted at Stage::kT1Initiate (Alice) and
+/// Stage::kT2Lock (Bob) only.
+[[nodiscard]] SwapResult run_witness_swap(const SwapSetup& setup,
+                                          agents::Strategy& alice,
+                                          agents::Strategy& bob,
+                                          const PricePath& path);
+
+}  // namespace swapgame::proto

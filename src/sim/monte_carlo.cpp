@@ -1,0 +1,204 @@
+#include "monte_carlo.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "agents/naive.hpp"
+#include "agents/rational.hpp"
+#include "math/gbm.hpp"
+#include "model/basic_game.hpp"
+#include "model/collateral_game.hpp"
+#include "path_simulator.hpp"
+#include "thread_pool.hpp"
+
+namespace swapgame::sim {
+
+double McEstimate::conditional_success_rate() const noexcept {
+  return initiated.trials() == 0 || initiated.successes() == 0
+             ? 0.0
+             : static_cast<double>(success.successes()) /
+                   static_cast<double>(initiated.successes());
+}
+
+void McEstimate::merge(const McEstimate& other) {
+  success.merge(other.success);
+  initiated.merge(other.initiated);
+  alice_utility.merge(other.alice_utility);
+  bob_utility.merge(other.bob_utility);
+  for (const auto& [outcome, count] : other.outcomes) {
+    outcomes[outcome] += count;
+  }
+}
+
+StrategyFactory rational_factory(const model::SwapParams& params,
+                                 double p_star, double collateral) {
+  if (collateral > 0.0) {
+    return [params, p_star, collateral](agents::Role role, std::uint64_t) {
+      return std::make_unique<agents::CollateralRationalStrategy>(
+          role, params, p_star, collateral);
+    };
+  }
+  return [params, p_star](agents::Role role, std::uint64_t) {
+    return std::make_unique<agents::RationalStrategy>(role, params, p_star);
+  };
+}
+
+StrategyFactory premium_rational_factory(const model::SwapParams& params,
+                                          double p_star, double premium) {
+  return [params, p_star, premium](agents::Role role, std::uint64_t) {
+    return std::make_unique<agents::PremiumRationalStrategy>(role, params,
+                                                             p_star, premium);
+  };
+}
+
+StrategyFactory honest_factory() {
+  return [](agents::Role, std::uint64_t) {
+    return std::make_unique<agents::HonestStrategy>();
+  };
+}
+
+namespace {
+
+/// Splits `total` samples into per-worker chunks and merges the partial
+/// estimates produced by `run_chunk(worker, first_index, count, out)`.
+template <typename RunChunk>
+McEstimate parallel_mc(std::size_t total, unsigned threads,
+                       const RunChunk& run_chunk) {
+  ThreadPool pool(threads);
+  const unsigned workers = pool.size();
+  const std::size_t chunk = (total + workers - 1) / workers;
+  std::vector<McEstimate> partials(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t first = static_cast<std::size_t>(w) * chunk;
+    if (first >= total) break;
+    const std::size_t count = std::min(chunk, total - first);
+    pool.submit([&run_chunk, &partials, w, first, count] {
+      run_chunk(w, first, count, partials[w]);
+    });
+  }
+  pool.wait_idle();
+  McEstimate merged;
+  for (const McEstimate& partial : partials) merged.merge(partial);
+  return merged;
+}
+
+}  // namespace
+
+McEstimate run_protocol_mc(const proto::SwapSetup& setup,
+                           const StrategyFactory& alice,
+                           const StrategyFactory& bob,
+                           const McConfig& config) {
+  setup.params.validate();
+  const model::Schedule schedule =
+      model::idealized_schedule(setup.params, 0.0);
+  const math::Xoshiro256 base_rng(config.seed);
+
+  return parallel_mc(
+      config.samples, config.threads,
+      [&](unsigned worker, std::size_t first, std::size_t count,
+          McEstimate& out) {
+        math::Xoshiro256 rng = base_rng.stream(worker);
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::uint64_t index = first + i;
+          const proto::SteppedPricePath path =
+              sample_epoch_path(setup.params, schedule, rng);
+          const std::unique_ptr<agents::Strategy> a =
+              alice(agents::Role::kAlice, index);
+          const std::unique_ptr<agents::Strategy> b =
+              bob(agents::Role::kBob, index);
+          proto::SwapSetup sample_setup = setup;
+          sample_setup.secret_seed = config.seed ^ (index * 0x9E3779B9ULL + 1);
+          const proto::SwapResult result =
+              proto::run_swap(sample_setup, *a, *b, path);
+
+          const bool started =
+              result.outcome != proto::SwapOutcome::kNotInitiated;
+          out.initiated.add(started);
+          out.success.add(result.success);
+          out.outcomes[result.outcome] += 1;
+          if (started) {
+            out.alice_utility.add(result.alice.realized_utility);
+            out.bob_utility.add(result.bob.realized_utility);
+          }
+        }
+      });
+}
+
+McEstimate run_model_mc(const model::SwapParams& params, double p_star,
+                        double collateral, const McConfig& config) {
+  params.validate();
+  // Thresholds are identical across samples; compute once.
+  const model::CollateralGame game(params, p_star, collateral);
+  const bool initiated =
+      collateral > 0.0
+          ? game.engaged()
+          : game.basic().alice_decision_t1() == model::Action::kCont;
+  const math::Xoshiro256 base_rng(config.seed);
+
+  return parallel_mc(
+      config.samples, config.threads,
+      [&](unsigned worker, std::size_t, std::size_t count, McEstimate& out) {
+        math::Xoshiro256 rng = base_rng.stream(worker);
+        for (std::size_t i = 0; i < count; ++i) {
+          out.initiated.add(initiated);
+          if (!initiated) {
+            out.success.add(false);
+            out.outcomes[proto::SwapOutcome::kNotInitiated] += 1;
+            continue;
+          }
+          const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
+          const double p_t2 =
+              law_a.sample_from_normal(math::normal_inverse_cdf_draw(rng));
+          if (game.bob_decision_t2(p_t2) != model::Action::kCont) {
+            out.success.add(false);
+            out.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
+            continue;
+          }
+          const math::GbmLaw law_b(params.gbm, p_t2, params.tau_b);
+          const double p_t3 =
+              law_b.sample_from_normal(math::normal_inverse_cdf_draw(rng));
+          if (game.alice_decision_t3(p_t3) != model::Action::kCont) {
+            out.success.add(false);
+            out.outcomes[proto::SwapOutcome::kAliceDeclinedT3] += 1;
+            continue;
+          }
+          out.success.add(true);
+          out.outcomes[proto::SwapOutcome::kSuccess] += 1;
+        }
+      });
+}
+
+McEstimate run_profile_mc(const model::SwapParams& params,
+                          const model::ThresholdProfile& profile,
+                          const McConfig& config) {
+  params.validate();
+  const math::Xoshiro256 base_rng(config.seed);
+  return parallel_mc(
+      config.samples, config.threads,
+      [&](unsigned worker, std::size_t, std::size_t count, McEstimate& out) {
+        math::Xoshiro256 rng = base_rng.stream(worker);
+        for (std::size_t i = 0; i < count; ++i) {
+          out.initiated.add(true);
+          const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
+          const double p_t2 =
+              law_a.sample_from_normal(math::normal_inverse_cdf_draw(rng));
+          if (!profile.bob_region.contains(p_t2)) {
+            out.success.add(false);
+            out.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
+            continue;
+          }
+          const math::GbmLaw law_b(params.gbm, p_t2, params.tau_b);
+          const double p_t3 =
+              law_b.sample_from_normal(math::normal_inverse_cdf_draw(rng));
+          if (!(p_t3 > profile.alice_cutoff)) {
+            out.success.add(false);
+            out.outcomes[proto::SwapOutcome::kAliceDeclinedT3] += 1;
+            continue;
+          }
+          out.success.add(true);
+          out.outcomes[proto::SwapOutcome::kSuccess] += 1;
+        }
+      });
+}
+
+}  // namespace swapgame::sim

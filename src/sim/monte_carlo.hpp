@@ -1,0 +1,93 @@
+// Monte-Carlo estimation of swap outcomes.
+//
+// Two estimators with very different trust bases:
+//  * run_model_mc   -- samples (P_t2, P_t3) from the GBM skeleton and plays
+//    the *model's* threshold strategies directly.  Fast; validates the
+//    success-rate integrals (Eq. 31 / Eq. 40) by simulation.
+//  * run_protocol_mc -- executes the *full protocol* on the two-ledger
+//    substrate for every sample: HTLC deploys, mempool secret leaks,
+//    claims, auto-refunds and oracle settlements all really happen.  Slow;
+//    validates that the protocol implementation realizes the model (bench
+//    X1, the paper's proposed follow-up simulation study).
+//
+// Both partition samples across a thread pool with per-worker RNG streams
+// (xoshiro long jumps), so results are deterministic for a given seed and
+// independent of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "agents/strategy.hpp"
+#include "math/stats.hpp"
+#include "model/strategy_value.hpp"
+#include "proto/swap_protocol.hpp"
+
+namespace swapgame::sim {
+
+/// Monte-Carlo configuration.
+struct McConfig {
+  std::size_t samples = 10'000;
+  std::uint64_t seed = 1;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Aggregated estimates over all samples.
+struct McEstimate {
+  math::BinomialCounter success;       ///< swap success indicator
+  math::BinomialCounter initiated;     ///< Alice (and Bob) engaged at t1
+  math::RunningStats alice_utility;    ///< realized utilities (Eq. 2/32)
+  math::RunningStats bob_utility;
+  std::map<proto::SwapOutcome, std::uint64_t> outcomes;
+
+  /// Success rate conditional on initiation -- the paper's SR definition
+  /// ("after it has been initiated", Section III-F).
+  [[nodiscard]] double conditional_success_rate() const noexcept;
+
+  void merge(const McEstimate& other);
+};
+
+/// Builds a fresh strategy per sample (strategies may be stateful, e.g.
+/// NoisyStrategy RNGs).  `sample_index` is globally unique per sample.
+using StrategyFactory = std::function<std::unique_ptr<agents::Strategy>(
+    agents::Role role, std::uint64_t sample_index)>;
+
+/// Convenience factory: the rational equilibrium strategy (basic game for
+/// collateral == 0, collateralized otherwise).
+[[nodiscard]] StrategyFactory rational_factory(const model::SwapParams& params,
+                                               double p_star,
+                                               double collateral = 0.0);
+
+/// Convenience factory: the rational strategy of the premium game
+/// (Han et al. baseline; see model/premium_game.hpp).
+[[nodiscard]] StrategyFactory premium_rational_factory(
+    const model::SwapParams& params, double p_star, double premium);
+
+/// Convenience factory: the always-cont honest strategy.
+[[nodiscard]] StrategyFactory honest_factory();
+
+/// Full-protocol Monte Carlo: every sample runs the HTLC protocol on fresh
+/// simulated ledgers over a sampled GBM path.
+[[nodiscard]] McEstimate run_protocol_mc(const proto::SwapSetup& setup,
+                                         const StrategyFactory& alice,
+                                         const StrategyFactory& bob,
+                                         const McConfig& config);
+
+/// Model-level Monte Carlo: samples the (P_t2, P_t3) skeleton and applies
+/// the rational thresholds analytically (no ledgers).  ~1000x faster.
+/// Estimates the success rate conditional on initiation.
+[[nodiscard]] McEstimate run_model_mc(const model::SwapParams& params,
+                                      double p_star, double collateral,
+                                      const McConfig& config);
+
+/// Model-level Monte Carlo for an ARBITRARY threshold profile (see
+/// model/strategy_value.hpp): plays `profile` on sampled price skeletons
+/// and estimates its success rate -- the simulation counterpart of
+/// StrategyEvaluator::success_rate, used for differential validation.
+[[nodiscard]] McEstimate run_profile_mc(const model::SwapParams& params,
+                                        const model::ThresholdProfile& profile,
+                                        const McConfig& config);
+
+}  // namespace swapgame::sim

@@ -1,0 +1,109 @@
+#include "scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "model/collateral_game.hpp"
+#include "model/premium_game.hpp"
+
+namespace swapgame::sim {
+
+const char* to_string(Mechanism mechanism) noexcept {
+  switch (mechanism) {
+    case Mechanism::kNone:
+      return "htlc";
+    case Mechanism::kCollateral:
+      return "htlc+collateral";
+    case Mechanism::kPremium:
+      return "htlc+premium";
+  }
+  return "unknown";
+}
+
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioPoint>& points, const McConfig& config) {
+  std::vector<ScenarioResult> results;
+  results.reserve(points.size());
+  for (const ScenarioPoint& point : points) {
+    point.params.validate();
+    ScenarioResult result;
+    result.point = point;
+
+    proto::SwapSetup setup;
+    setup.params = point.params;
+    setup.p_star = point.p_star;
+    StrategyFactory factory;
+    switch (point.mechanism) {
+      case Mechanism::kNone: {
+        const model::BasicGame game(point.params, point.p_star);
+        result.analytic_sr = game.success_rate();
+        result.initiated = game.alice_decision_t1() == model::Action::kCont;
+        factory = rational_factory(point.params, point.p_star);
+        break;
+      }
+      case Mechanism::kCollateral: {
+        const model::CollateralGame game(point.params, point.p_star,
+                                         point.deposit);
+        result.analytic_sr = game.success_rate();
+        result.initiated = game.engaged();
+        setup.collateral = point.deposit;
+        factory = rational_factory(point.params, point.p_star, point.deposit);
+        break;
+      }
+      case Mechanism::kPremium: {
+        const model::PremiumGame game(point.params, point.p_star,
+                                      point.deposit);
+        result.analytic_sr = game.success_rate();
+        result.initiated = game.alice_decision_t1() == model::Action::kCont;
+        setup.premium = point.deposit;
+        factory = premium_rational_factory(point.params, point.p_star,
+                                           point.deposit);
+        break;
+      }
+    }
+
+    const McEstimate estimate =
+        run_protocol_mc(setup, factory, factory, config);
+    result.protocol_sr = estimate.conditional_success_rate();
+    const auto ci = estimate.success.wilson_interval();
+    result.protocol_sr_ci_lo = ci.lo;
+    result.protocol_sr_ci_hi = ci.hi;
+    result.alice_utility = estimate.alice_utility.mean();
+    result.bob_utility = estimate.bob_utility.mean();
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("CsvTable: need at least one column");
+  }
+}
+
+void CsvTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("CsvTable: row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << columns_[i];
+  }
+  os << '\n';
+  for (const std::vector<std::string>& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace swapgame::sim

@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool for parallel Monte-Carlo batches.
+//
+// Deliberately simple: submit() enqueues a task, wait_idle() blocks until
+// every submitted task has finished.  Exceptions thrown by tasks are
+// captured and rethrown from wait_idle() (first one wins), so failures in
+// worker threads are never silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace swapgame::sim {
+
+class ThreadPool {
+ public:
+  /// @param threads  worker count; 0 means std::thread::hardware_concurrency
+  ///                 (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers (after draining the queue).
+  ~ThreadPool();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task.  Must not be called after destruction begins.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first captured task exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  unsigned busy_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace swapgame::sim

@@ -1,0 +1,88 @@
+// Unit tests for the fixed-point Amount type and chain ids (src/chain/types).
+#include "chain/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace swapgame::chain {
+namespace {
+
+TEST(Amount, FromTokensRoundTrips) {
+  EXPECT_DOUBLE_EQ(Amount::from_tokens(2.0).tokens(), 2.0);
+  EXPECT_DOUBLE_EQ(Amount::from_tokens(0.0).tokens(), 0.0);
+  EXPECT_DOUBLE_EQ(Amount::from_tokens(1.5).tokens(), 1.5);
+  EXPECT_EQ(Amount::from_tokens(1.0).units(), Amount::kUnitsPerToken);
+}
+
+TEST(Amount, RoundsToNearestBaseUnit) {
+  // 1e-9 tokens = 1 unit; half a unit rounds away from zero via std::round.
+  EXPECT_EQ(Amount::from_tokens(1e-9).units(), 1);
+  EXPECT_EQ(Amount::from_tokens(0.4e-9).units(), 0);
+  EXPECT_EQ(Amount::from_tokens(0.6e-9).units(), 1);
+}
+
+TEST(Amount, FromTokensRejectsInvalid) {
+  EXPECT_THROW((void)Amount::from_tokens(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)Amount::from_tokens(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(
+      (void)Amount::from_tokens(std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+  EXPECT_THROW((void)Amount::from_tokens(1e20), std::overflow_error);
+}
+
+TEST(Amount, FromUnitsRejectsNegative) {
+  EXPECT_THROW((void)Amount::from_units(-1), std::invalid_argument);
+  EXPECT_EQ(Amount::from_units(5).units(), 5);
+}
+
+TEST(Amount, ArithmeticIsExact) {
+  const Amount a = Amount::from_tokens(0.1);
+  Amount sum;
+  for (int i = 0; i < 10; ++i) sum += a;
+  // 10 * 0.1 == 1.0 exactly in fixed point (no binary-float drift).
+  EXPECT_EQ(sum, Amount::from_tokens(1.0));
+}
+
+TEST(Amount, SubtractionUnderflowThrows) {
+  const Amount small = Amount::from_tokens(1.0);
+  const Amount big = Amount::from_tokens(2.0);
+  EXPECT_THROW((void)(small - big), std::underflow_error);
+  EXPECT_EQ((big - small).tokens(), 1.0);
+}
+
+TEST(Amount, AdditionOverflowThrows) {
+  const Amount max = Amount::from_units(std::numeric_limits<std::int64_t>::max());
+  EXPECT_THROW((void)(max + Amount::from_units(1)), std::overflow_error);
+}
+
+TEST(Amount, Comparisons) {
+  EXPECT_LT(Amount::from_tokens(1.0), Amount::from_tokens(2.0));
+  EXPECT_EQ(Amount::from_tokens(1.0), Amount::from_units(Amount::kUnitsPerToken));
+  EXPECT_TRUE(Amount{}.is_zero());
+  EXPECT_FALSE(Amount::from_tokens(0.5).is_zero());
+}
+
+TEST(Amount, ToStringFixedPoint) {
+  EXPECT_EQ(Amount::from_tokens(2.0).to_string(), "2.000000000");
+  EXPECT_EQ(Amount::from_tokens(0.5).to_string(), "0.500000000");
+  EXPECT_EQ(Amount::from_units(1).to_string(), "0.000000001");
+}
+
+TEST(ChainId, Names) {
+  EXPECT_STREQ(to_string(ChainId::kChainA), "Chain_a");
+  EXPECT_STREQ(to_string(ChainId::kChainB), "Chain_b");
+}
+
+TEST(Address, ValueSemantics) {
+  const Address a{"alice"};
+  const Address b{"alice"};
+  const Address c{"bob"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);  // lexicographic
+}
+
+}  // namespace
+}  // namespace swapgame::chain

@@ -1,0 +1,323 @@
+// Tests for the basic-game backward induction (src/model/basic_game):
+// closed forms vs quadrature, threshold semantics, the paper's Eq. (29)
+// calibration target and the Section III-F comparative statics.
+#include "model/basic_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "math/gbm.hpp"
+#include "math/quadrature.hpp"
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(BasicGame, ConstructorValidates) {
+  EXPECT_THROW(BasicGame(defaults(), 0.0), std::invalid_argument);
+  EXPECT_THROW(BasicGame(defaults(), -2.0), std::invalid_argument);
+  SwapParams bad = defaults();
+  bad.alice.r = 0.0;
+  EXPECT_THROW(BasicGame(bad, 2.0), std::invalid_argument);
+}
+
+TEST(BasicGame, T3CutoffMatchesEq18ClosedForm) {
+  // Hand-evaluated Eq. (18) at Table III defaults, P* = 2:
+  // exp((0.01-0.002)*4 - 0.01*(1+6)) * 2 / 1.3.
+  const BasicGame game(defaults(), 2.0);
+  const double expected = std::exp(0.008 * 4.0 - 0.01 * 7.0) * 2.0 / 1.3;
+  EXPECT_NEAR(game.alice_t3_cutoff(), expected, 1e-12);
+  EXPECT_NEAR(game.alice_t3_cutoff(), 1.4810971, 1e-6);
+}
+
+TEST(BasicGame, T3CutoffEquatesContAndStopUtilities) {
+  // At the cutoff price Alice must be exactly indifferent (Eq. 18).
+  for (double p_star : {1.5, 2.0, 2.5}) {
+    const BasicGame game(defaults(), p_star);
+    const double cut = game.alice_t3_cutoff();
+    EXPECT_NEAR(game.alice_t3_cont(cut), game.alice_t3_stop(), 1e-12)
+        << "p_star=" << p_star;
+  }
+}
+
+TEST(BasicGame, T3CutoffIncreasesWithPStar) {
+  // Fig. 3 discussion: higher P* makes stop more attractive.
+  const BasicGame g1(defaults(), 1.5);
+  const BasicGame g2(defaults(), 2.0);
+  const BasicGame g3(defaults(), 2.5);
+  EXPECT_LT(g1.alice_t3_cutoff(), g2.alice_t3_cutoff());
+  EXPECT_LT(g2.alice_t3_cutoff(), g3.alice_t3_cutoff());
+}
+
+TEST(BasicGame, T3DecisionsFollowEq19) {
+  const BasicGame game(defaults(), 2.0);
+  const double cut = game.alice_t3_cutoff();
+  EXPECT_EQ(game.alice_decision_t3(cut * 1.01), Action::kCont);
+  EXPECT_EQ(game.alice_decision_t3(cut), Action::kStop);  // tie -> stop
+  EXPECT_EQ(game.alice_decision_t3(cut * 0.99), Action::kStop);
+}
+
+TEST(BasicGame, BobT4AlwaysContinues) {
+  const BasicGame game(defaults(), 2.0);
+  EXPECT_EQ(game.bob_decision_t4(), Action::kCont);
+}
+
+TEST(BasicGame, T3StageUtilitiesMatchPaperFormulas) {
+  const SwapParams p = defaults();
+  const BasicGame game(p, 2.0);
+  // Eq. (14): (1+0.3) * x * e^{(0.002-0.01)*4}
+  EXPECT_NEAR(game.alice_t3_cont(1.7), 1.3 * 1.7 * std::exp(-0.032), 1e-12);
+  // Eq. (16): 2 * e^{-0.01*7}
+  EXPECT_NEAR(game.alice_t3_stop(), 2.0 * std::exp(-0.07), 1e-12);
+  // Eq. (15): 1.3 * 2 * e^{-0.01*4}
+  EXPECT_NEAR(game.bob_t3_cont(), 1.3 * 2.0 * std::exp(-0.04), 1e-12);
+  // Eq. (17): x * e^{(0.002-0.01)*8}
+  EXPECT_NEAR(game.bob_t3_stop(1.7), 1.7 * std::exp(-0.064), 1e-12);
+}
+
+TEST(BasicGame, T2ClosedFormsMatchQuadrature) {
+  // Eqs. (20)/(21) via lognormal partial expectations vs direct numeric
+  // integration of the stage-t3 utilities against the transition density.
+  const SwapParams p = defaults();
+  const BasicGame game(p, 2.0);
+  const double L = game.alice_t3_cutoff();
+  for (double p_t2 : {1.0, 1.5, 2.0, 2.5, 3.5}) {
+    const math::GbmLaw law(p.gbm, p_t2, p.tau_b);
+    const double upper = law.quantile(1.0 - 1e-12);
+
+    const double alice_quad =
+        (math::integrate(
+             [&](double x) { return law.pdf(x) * game.alice_t3_cont(x); }, L,
+             upper)
+             .value +
+         law.cdf(L) * game.alice_t3_stop()) *
+        std::exp(-p.alice.r * p.tau_b);
+    EXPECT_NEAR(game.alice_t2_cont(p_t2), alice_quad, 1e-7)
+        << "p_t2=" << p_t2;
+
+    const double bob_quad =
+        (law.survival(L) * game.bob_t3_cont() +
+         math::integrate(
+             [&](double x) { return law.pdf(x) * game.bob_t3_stop(x); }, 1e-12,
+             L)
+             .value) *
+        std::exp(-p.bob.r * p.tau_b);
+    EXPECT_NEAR(game.bob_t2_cont(p_t2), bob_quad, 1e-7) << "p_t2=" << p_t2;
+  }
+}
+
+TEST(BasicGame, T2BandEndpointsAreIndifferencePoints) {
+  const BasicGame game(defaults(), 2.0);
+  const auto band = game.bob_t2_band();
+  ASSERT_TRUE(band.has_value());
+  EXPECT_NEAR(game.bob_t2_cont(band->lo), game.bob_t2_stop(band->lo), 1e-7);
+  EXPECT_NEAR(game.bob_t2_cont(band->hi), game.bob_t2_stop(band->hi), 1e-7);
+  // Interior of the band: cont strictly better.
+  const double mid = 0.5 * (band->lo + band->hi);
+  EXPECT_GT(game.bob_t2_cont(mid), game.bob_t2_stop(mid));
+  // Outside: stop strictly better.
+  EXPECT_LT(game.bob_t2_cont(band->lo * 0.5), game.bob_t2_stop(band->lo * 0.5));
+  EXPECT_LT(game.bob_t2_cont(band->hi * 2.0), game.bob_t2_stop(band->hi * 2.0));
+}
+
+TEST(BasicGame, T2DecisionsFollowEq24) {
+  const BasicGame game(defaults(), 2.0);
+  const auto band = game.bob_t2_band();
+  ASSERT_TRUE(band.has_value());
+  EXPECT_EQ(game.bob_decision_t2(0.5 * (band->lo + band->hi)), Action::kCont);
+  EXPECT_EQ(game.bob_decision_t2(0.9 * band->lo), Action::kStop);
+  EXPECT_EQ(game.bob_decision_t2(1.1 * band->hi), Action::kStop);
+}
+
+TEST(BasicGame, TinyBobAlphaKillsTheBand) {
+  // Section III-E3: when alpha^B is sufficiently small the cont and stop
+  // curves never cross and the swap always fails.
+  SwapParams p = defaults();
+  p.bob.alpha = 0.0;
+  p.bob.r = 0.05;  // impatient, no premium
+  const BasicGame game(p, 2.0);
+  EXPECT_FALSE(game.bob_t2_band().has_value());
+  EXPECT_EQ(game.bob_decision_t2(2.0), Action::kStop);
+  EXPECT_EQ(game.success_rate(), 0.0);
+}
+
+TEST(BasicGame, T1StopUtilitiesMatchEq27Eq28) {
+  const BasicGame game(defaults(), 2.2);
+  EXPECT_DOUBLE_EQ(game.alice_t1_stop(), 2.2);  // P*
+  EXPECT_DOUBLE_EQ(game.bob_t1_stop(), 2.0);    // P_t1 = P_t0
+}
+
+TEST(BasicGame, FeasibleBandMatchesEq29) {
+  // The paper reports (P*_lo, P*_hi) = (1.5, 2.5) "numerically solved" at
+  // Table III defaults (clearly rounded); we pin the precise values.
+  const FeasibleBand band = alice_feasible_band(defaults());
+  ASSERT_TRUE(band.viable);
+  EXPECT_NEAR(band.lo, 1.5, 0.05);
+  EXPECT_NEAR(band.hi, 2.5, 0.05);
+  // Regression-pin the exact computed values.
+  EXPECT_NEAR(band.lo, 1.5339, 2e-3);
+  EXPECT_NEAR(band.hi, 2.5287, 2e-3);
+}
+
+TEST(BasicGame, AliceT1DecisionConsistentWithBand) {
+  const FeasibleBand band = alice_feasible_band(defaults());
+  ASSERT_TRUE(band.viable);
+  const double inside = 0.5 * (band.lo + band.hi);
+  EXPECT_EQ(BasicGame(defaults(), inside).alice_decision_t1(), Action::kCont);
+  EXPECT_EQ(BasicGame(defaults(), band.lo * 0.8).alice_decision_t1(),
+            Action::kStop);
+  EXPECT_EQ(BasicGame(defaults(), band.hi * 1.2).alice_decision_t1(),
+            Action::kStop);
+}
+
+TEST(BasicGame, SuccessRateIsAProbability) {
+  for (double p_star = 0.5; p_star <= 4.0; p_star += 0.25) {
+    const BasicGame game(defaults(), p_star);
+    const double sr = game.success_rate();
+    EXPECT_GE(sr, 0.0) << "p_star=" << p_star;
+    EXPECT_LE(sr, 1.0) << "p_star=" << p_star;
+  }
+}
+
+TEST(BasicGame, SuccessRateRegressionAtDefaults) {
+  // Pinned from the validated implementation (cross-checked by game tree
+  // and Monte Carlo); guards against silent numeric drift.
+  EXPECT_NEAR(BasicGame(defaults(), 2.0).success_rate(), 0.71430, 5e-4);
+}
+
+TEST(BasicGame, SuccessRateIsConcaveShapedInPStar) {
+  // Section III-F: the SR <- P* curve is concave with an interior maximum.
+  const FeasibleBand band = alice_feasible_band(defaults());
+  ASSERT_TRUE(band.viable);
+  std::vector<double> sr;
+  for (int i = 0; i <= 20; ++i) {
+    const double p_star = band.lo + (band.hi - band.lo) * i / 20.0;
+    sr.push_back(BasicGame(defaults(), p_star).success_rate());
+  }
+  // Single peak: increases then decreases.
+  const auto peak = std::max_element(sr.begin(), sr.end());
+  EXPECT_NE(peak, sr.begin());
+  EXPECT_NE(peak, sr.end() - 1);
+  for (auto it = sr.begin(); it != peak; ++it) EXPECT_LE(*it, *(it + 1) + 1e-9);
+  for (auto it = peak; it + 1 != sr.end(); ++it) EXPECT_GE(*it, *(it + 1) - 1e-9);
+}
+
+TEST(BasicGame, SrMaximizingRateLiesInsideBand) {
+  const auto best = sr_maximizing_rate(defaults());
+  ASSERT_TRUE(best.has_value());
+  const FeasibleBand band = alice_feasible_band(defaults());
+  EXPECT_GT(best->p_star, band.lo);
+  EXPECT_LT(best->p_star, band.hi);
+  EXPECT_GT(best->success_rate, 0.7);
+}
+
+// ---- Comparative statics of Section III-F (Fig. 6), as TEST_P sweeps. ----
+
+struct AlphaCase {
+  double alpha;
+};
+
+class AlphaSweep : public ::testing::TestWithParam<AlphaCase> {};
+
+TEST_P(AlphaSweep, HigherAlphaRaisesSuccessRate) {
+  // Fig. 6 rows 1-2: ceteris paribus, higher alpha -> higher SR, for both
+  // agents' premiums.
+  const double alpha = GetParam().alpha;
+  SwapParams lo = SwapParams::table3_defaults();
+  SwapParams hi = SwapParams::table3_defaults();
+  lo.alice.alpha = alpha;
+  hi.alice.alpha = alpha + 0.2;
+  EXPECT_LE(BasicGame(lo, 2.0).success_rate(),
+            BasicGame(hi, 2.0).success_rate() + 1e-9);
+
+  lo = SwapParams::table3_defaults();
+  hi = SwapParams::table3_defaults();
+  lo.bob.alpha = alpha;
+  hi.bob.alpha = alpha + 0.2;
+  EXPECT_LE(BasicGame(lo, 2.0).success_rate(),
+            BasicGame(hi, 2.0).success_rate() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGrid, AlphaSweep,
+                         ::testing::Values(AlphaCase{0.1}, AlphaCase{0.2},
+                                           AlphaCase{0.3}, AlphaCase{0.4},
+                                           AlphaCase{0.6}));
+
+TEST(BasicGameStatics, HigherImpatienceNarrowsFeasibleBand) {
+  // Section III-F2: larger r -> narrower viable P* range.
+  SwapParams patient = defaults();
+  SwapParams impatient = defaults();
+  impatient.alice.r = 0.015;
+  impatient.bob.r = 0.015;
+  const FeasibleBand b1 = alice_feasible_band(patient);
+  const FeasibleBand b2 = alice_feasible_band(impatient);
+  ASSERT_TRUE(b1.viable);
+  ASSERT_TRUE(b2.viable);
+  EXPECT_LT(b2.hi - b2.lo, b1.hi - b1.lo);
+}
+
+TEST(BasicGameStatics, ExtremeImpatienceKillsTheSwap) {
+  // r = 0.02 /hour already makes every rate non-viable at defaults (the
+  // paper's Fig. 6 marks such parameter values with squares).
+  SwapParams p = defaults();
+  p.alice.r = 0.02;
+  p.bob.r = 0.02;
+  const FeasibleBand band = alice_feasible_band(p);
+  EXPECT_FALSE(band.viable);
+}
+
+TEST(BasicGameStatics, LongerConfirmationLowersOptimalSuccessRate) {
+  // Section III-F3: with P* chosen optimally, lower tau increases SR.
+  SwapParams fast = defaults();
+  SwapParams slow = defaults();
+  slow.tau_a = 3.6;
+  slow.tau_b = 4.8;
+  slow.eps_b = 1.0;
+  const auto best_fast = sr_maximizing_rate(fast);
+  const auto best_slow = sr_maximizing_rate(slow);
+  ASSERT_TRUE(best_fast.has_value());
+  ASSERT_TRUE(best_slow.has_value());
+  EXPECT_GT(best_fast->success_rate, best_slow->success_rate);
+}
+
+TEST(BasicGameStatics, UpwardDriftRaisesSuccessRate) {
+  // Section III-F4: higher mu increases SR (at the default P*).
+  SwapParams down = defaults();
+  SwapParams flat = defaults();
+  SwapParams up = defaults();
+  down.gbm.mu = -0.004;
+  flat.gbm.mu = 0.0;
+  up.gbm.mu = 0.006;
+  const double sr_down = BasicGame(down, 2.0).success_rate();
+  const double sr_flat = BasicGame(flat, 2.0).success_rate();
+  const double sr_up = BasicGame(up, 2.0).success_rate();
+  EXPECT_LT(sr_down, sr_flat);
+  EXPECT_LT(sr_flat, sr_up);
+}
+
+TEST(BasicGameStatics, HigherVolatilityLowersMaxSuccessRate) {
+  // Section III-F4: higher sigma reduces the maximum SR.
+  SwapParams calm = defaults();
+  SwapParams wild = defaults();
+  calm.gbm.sigma = 0.05;
+  wild.gbm.sigma = 0.15;
+  const auto best_calm = sr_maximizing_rate(calm);
+  const auto best_wild = sr_maximizing_rate(wild);
+  ASSERT_TRUE(best_calm.has_value());
+  ASSERT_TRUE(best_wild.has_value());
+  EXPECT_GT(best_calm->success_rate, best_wild->success_rate);
+}
+
+TEST(BasicGame, BobT1UtilitiesBracketOutsideOption) {
+  // At a viable rate Bob's expected value of the game exceeds holding the
+  // token (he would agree at t0); far outside it does not.
+  const BasicGame good(defaults(), 2.0);
+  EXPECT_GT(good.bob_t1_cont(), good.bob_t1_stop());
+}
+
+}  // namespace
+}  // namespace swapgame::model

@@ -1,0 +1,154 @@
+// Tests for the block layer (src/chain/block): sealing, hash-linking,
+// Merkle commitments and inclusion proofs over a live ledger.
+#include "chain/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secret.hpp"
+#include "math/rng.hpp"
+
+namespace swapgame::chain {
+namespace {
+
+class BlockTest : public ::testing::Test {
+ protected:
+  BlockTest() : ledger_({ChainId::kChainA, 3.0, 1.0}, queue_),
+                producer_(ledger_, queue_, /*block_interval=*/1.0) {
+    ledger_.create_account(alice_, Amount::from_tokens(100.0));
+    ledger_.create_account(bob_, Amount::from_tokens(100.0));
+  }
+
+  EventQueue queue_;
+  Ledger ledger_;
+  BlockProducer producer_;
+  const Address alice_{"alice"};
+  const Address bob_{"bob"};
+};
+
+TEST_F(BlockTest, ProducesEmptyBlocksOnSchedule) {
+  producer_.start();
+  queue_.run_until(5.5);
+  ASSERT_EQ(producer_.blocks().size(), 5u);
+  for (std::size_t i = 0; i < producer_.blocks().size(); ++i) {
+    EXPECT_EQ(producer_.blocks()[i].height, i);
+    EXPECT_DOUBLE_EQ(producer_.blocks()[i].sealed_at, 1.0 * (i + 1));
+  }
+  EXPECT_TRUE(producer_.verify_chain());
+}
+
+TEST_F(BlockTest, SealsConfirmedTransactions) {
+  producer_.start();
+  const TxId tx =
+      ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(1.0)});
+  queue_.run_until(4.0);  // confirms at 3.0, sealed by the block at 3.0/4.0
+  bool found = false;
+  for (const Block& block : producer_.blocks()) {
+    for (TxId id : block.transactions) {
+      if (id == tx) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(producer_.verify_chain());
+}
+
+TEST_F(BlockTest, EachTransactionSealedExactlyOnce) {
+  producer_.start();
+  std::vector<TxId> txs;
+  for (int i = 0; i < 10; ++i) {
+    txs.push_back(ledger_.submit(
+        TransferPayload{alice_, bob_, Amount::from_tokens(0.1)}));
+    queue_.run_until(queue_.now() + 0.4);
+  }
+  queue_.run_until(12.0);
+  for (TxId tx : txs) {
+    int count = 0;
+    for (const Block& block : producer_.blocks()) {
+      for (TxId id : block.transactions) {
+        if (id == tx) ++count;
+      }
+    }
+    EXPECT_EQ(count, 1) << "tx " << tx.value;
+  }
+}
+
+TEST_F(BlockTest, HashChainLinksBlocks) {
+  producer_.start();
+  ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(1.0)});
+  queue_.run_until(6.0);
+  const auto& blocks = producer_.blocks();
+  ASSERT_GE(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].previous_hash, crypto::Digest256{});
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].previous_hash, blocks[i - 1].hash());
+  }
+}
+
+TEST_F(BlockTest, InclusionProofRoundTrip) {
+  producer_.start();
+  std::vector<TxId> txs;
+  for (int i = 0; i < 5; ++i) {
+    txs.push_back(ledger_.submit(
+        TransferPayload{alice_, bob_, Amount::from_tokens(0.5)}));
+  }
+  queue_.run_until(5.0);
+  for (TxId tx : txs) {
+    const auto proof = producer_.prove_inclusion(tx);
+    ASSERT_TRUE(proof.has_value()) << "tx " << tx.value;
+    EXPECT_TRUE(producer_.verify_inclusion(ledger_.transaction(tx), *proof));
+  }
+}
+
+TEST_F(BlockTest, ProofForUnsealedTransactionIsNull) {
+  producer_.start();
+  const TxId tx =
+      ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(1.0)});
+  queue_.run_until(0.5);  // neither confirmed nor sealed
+  EXPECT_FALSE(producer_.prove_inclusion(tx).has_value());
+}
+
+TEST_F(BlockTest, ProofDoesNotVerifyAgainstDifferentTransaction) {
+  producer_.start();
+  const TxId tx1 =
+      ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(1.0)});
+  const TxId tx2 =
+      ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(2.0)});
+  queue_.run_until(5.0);
+  const auto proof = producer_.prove_inclusion(tx1);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(producer_.verify_inclusion(ledger_.transaction(tx2), *proof));
+}
+
+TEST_F(BlockTest, TransactionDigestCoversPayloadFields) {
+  // Different amounts must produce different digests (the Merkle leaf
+  // commits to payload content, not just the id).
+  Transaction a;
+  a.id = TxId{1};
+  a.payload = TransferPayload{alice_, bob_, Amount::from_tokens(1.0)};
+  Transaction b = a;
+  b.payload = TransferPayload{alice_, bob_, Amount::from_tokens(2.0)};
+  EXPECT_NE(transaction_digest(a), transaction_digest(b));
+
+  // HTLC kinds are also committed.
+  math::Xoshiro256 rng(3);
+  const crypto::Secret secret = crypto::Secret::generate(rng);
+  Transaction c;
+  c.id = TxId{2};
+  c.payload = DeployHtlcPayload{alice_, bob_, Amount::from_tokens(1.0),
+                                secret.commitment(), 10.0, HtlcKind::kStandard};
+  Transaction d = c;
+  d.payload = DeployHtlcPayload{alice_, bob_, Amount::from_tokens(1.0),
+                                secret.commitment(), 10.0, HtlcKind::kInverse};
+  EXPECT_NE(transaction_digest(c), transaction_digest(d));
+}
+
+TEST_F(BlockTest, StartTwiceThrows) {
+  producer_.start();
+  EXPECT_THROW(producer_.start(), std::logic_error);
+}
+
+TEST_F(BlockTest, RejectsNonPositiveInterval) {
+  EXPECT_THROW(BlockProducer(ledger_, queue_, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::chain

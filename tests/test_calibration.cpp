@@ -1,0 +1,101 @@
+// Tests for GBM calibration (src/model/calibration): round-trip recovery,
+// standard errors, validation.
+#include "model/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swapgame::model {
+namespace {
+
+TEST(FitGbm, ValidatesInput) {
+  math::Xoshiro256 rng(1);
+  const std::vector<double> two = {1.0, 1.1};
+  EXPECT_THROW((void)fit_gbm(two, 1.0), std::invalid_argument);
+  const std::vector<double> bad = {1.0, -1.0, 1.2};
+  EXPECT_THROW((void)fit_gbm(bad, 1.0), std::invalid_argument);
+  const std::vector<double> ok = {1.0, 1.1, 1.05};
+  EXPECT_THROW((void)fit_gbm(ok, 0.0), std::invalid_argument);
+  const std::vector<double> flat = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW((void)fit_gbm(flat, 1.0), std::invalid_argument);
+}
+
+TEST(FitGbm, RecoversParametersFromLongSeries) {
+  // Round trip: simulate the paper's Table III dynamics, fit, recover.
+  const math::GbmParams truth{0.002, 0.1};
+  math::Xoshiro256 rng(42);
+  const std::vector<double> prices =
+      simulate_price_series(truth, 2.0, 1.0, 20000, rng);
+  const GbmFit fit = fit_gbm(prices, 1.0);
+  EXPECT_EQ(fit.increments, 20000u);
+  // Sigma is tightly identified...
+  EXPECT_NEAR(fit.params.sigma, truth.sigma, 3.0 * fit.sigma_stderr);
+  EXPECT_NEAR(fit.params.sigma, 0.1, 0.005);
+  // ...drift much less so (standard for diffusions); check the CI covers.
+  EXPECT_NEAR(fit.params.mu, truth.mu, 3.0 * fit.mu_stderr);
+}
+
+TEST(FitGbm, StderrShrinksWithSampleSize) {
+  const math::GbmParams truth{0.002, 0.1};
+  math::Xoshiro256 rng(7);
+  const auto short_series = simulate_price_series(truth, 2.0, 1.0, 500, rng);
+  const auto long_series = simulate_price_series(truth, 2.0, 1.0, 8000, rng);
+  const GbmFit fs = fit_gbm(short_series, 1.0);
+  const GbmFit fl = fit_gbm(long_series, 1.0);
+  EXPECT_LT(fl.sigma_stderr, fs.sigma_stderr);
+  EXPECT_LT(fl.mu_stderr, fs.mu_stderr);
+}
+
+TEST(FitGbm, HandlesDifferentSamplingIntervals) {
+  // The same process sampled at dt = 0.25h must fit the same per-hour
+  // parameters.
+  const math::GbmParams truth{0.002, 0.1};
+  math::Xoshiro256 rng(11);
+  const auto prices = simulate_price_series(truth, 2.0, 0.25, 40000, rng);
+  const GbmFit fit = fit_gbm(prices, 0.25);
+  EXPECT_NEAR(fit.params.sigma, 0.1, 0.005);
+  EXPECT_NEAR(fit.params.mu, truth.mu, 3.0 * fit.mu_stderr);
+}
+
+TEST(FitGbm, ExactTwoIncrementCase) {
+  // Deterministic check of the estimator formulas on a tiny series.
+  const std::vector<double> prices = {1.0, std::exp(0.1), std::exp(0.1)};
+  const GbmFit fit = fit_gbm(prices, 1.0);
+  // Log increments: {0.1, 0.0}; mean 0.05, MLE var 0.0025.
+  EXPECT_NEAR(fit.params.sigma, std::sqrt(0.0025), 1e-12);
+  EXPECT_NEAR(fit.params.mu, 0.05 + 0.5 * 0.0025, 1e-12);
+}
+
+TEST(FitGbm, LogLikelihoodIsFinite) {
+  const math::GbmParams truth{0.0, 0.2};
+  math::Xoshiro256 rng(3);
+  const auto prices = simulate_price_series(truth, 1.0, 1.0, 100, rng);
+  const GbmFit fit = fit_gbm(prices, 1.0);
+  EXPECT_TRUE(std::isfinite(fit.log_likelihood));
+  EXPECT_EQ(fit.increments, 100u);
+}
+
+TEST(SimulatePriceSeries, ShapeAndPositivity) {
+  math::Xoshiro256 rng(5);
+  const auto prices =
+      simulate_price_series(math::GbmParams{0.002, 0.1}, 2.0, 1.0, 50, rng);
+  ASSERT_EQ(prices.size(), 51u);
+  EXPECT_EQ(prices[0], 2.0);
+  for (double p : prices) EXPECT_GT(p, 0.0);
+  EXPECT_THROW(
+      (void)simulate_price_series(math::GbmParams{0.0, 0.1}, 0.0, 1.0, 5, rng),
+      std::invalid_argument);
+}
+
+TEST(SimulatePriceSeries, DeterministicPerSeed) {
+  math::Xoshiro256 a(9), b(9);
+  const auto pa = simulate_price_series(math::GbmParams{0.002, 0.1}, 2.0, 1.0,
+                                        20, a);
+  const auto pb = simulate_price_series(math::GbmParams{0.002, 0.1}, 2.0, 1.0,
+                                        20, b);
+  EXPECT_EQ(pa, pb);
+}
+
+}  // namespace
+}  // namespace swapgame::model

@@ -1,0 +1,101 @@
+// Tests for collateral sizing (src/model/collateral_optimizer).
+#include "model/collateral_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/collateral_game.hpp"
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(OptimizeCollateral, ValidatesArguments) {
+  EXPECT_THROW((void)optimize_collateral(defaults(), 2.0,
+                                         CollateralObjective::kSuccessRate,
+                                         1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)optimize_collateral(defaults(), 2.0,
+                                         CollateralObjective::kSuccessRate,
+                                         -1.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)optimize_collateral(defaults(), 2.0,
+                                         CollateralObjective::kSuccessRate,
+                                         0.0, 2.0, 1),
+               std::invalid_argument);
+}
+
+TEST(OptimizeCollateral, SuccessRateObjectivePushesQUp) {
+  // SR is monotone in Q at defaults, so the SR-optimal Q is near q_hi.
+  const CollateralChoice best = optimize_collateral(
+      defaults(), 2.0, CollateralObjective::kSuccessRate, 0.0, 2.0, 32);
+  EXPECT_GT(best.collateral, 1.5);
+  EXPECT_NEAR(best.success_rate, 1.0, 5e-3);
+  EXPECT_GE(best.objective_value, best.success_rate - 1e-12);
+}
+
+TEST(OptimizeCollateral, JointSurplusHasInteriorOptimum) {
+  const CollateralChoice best = optimize_collateral(
+      defaults(), 2.0, CollateralObjective::kJointSurplus, 0.0, 4.0, 64);
+  EXPECT_TRUE(best.engaged);
+  EXPECT_GT(best.collateral, 0.0);
+  EXPECT_LT(best.collateral, 4.0);
+  // The optimum must beat both endpoints.
+  const CollateralGame none(defaults(), 2.0, 0.0);
+  const double surplus_none = (none.alice_t1_cont() - none.alice_t1_stop()) +
+                              (none.bob_t1_cont() - none.bob_t1_stop());
+  EXPECT_GE(best.objective_value, surplus_none - 1e-9);
+}
+
+TEST(OptimizeCollateral, ObjectiveValueConsistentWithDirectEvaluation) {
+  const CollateralChoice best = optimize_collateral(
+      defaults(), 2.0, CollateralObjective::kJointSurplus, 0.0, 4.0, 32);
+  const CollateralGame game(defaults(), 2.0, best.collateral);
+  const double direct = (game.alice_t1_cont() - game.alice_t1_stop()) +
+                        (game.bob_t1_cont() - game.bob_t1_stop());
+  EXPECT_NEAR(best.objective_value, direct, 1e-9);
+  EXPECT_NEAR(best.success_rate, game.success_rate(), 1e-9);
+}
+
+TEST(MinCollateralForSr, FindsMinimalQ) {
+  const auto q = min_collateral_for_sr(defaults(), 2.0, 0.95);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_GT(*q, 0.0);
+  // Achieves the target...
+  EXPECT_GE(CollateralGame(defaults(), 2.0, *q).success_rate(), 0.95 - 1e-6);
+  // ...and is minimal up to tolerance.
+  EXPECT_LT(CollateralGame(defaults(), 2.0, *q - 0.01).success_rate(), 0.95);
+}
+
+TEST(MinCollateralForSr, ZeroWhenAlreadyAchieved) {
+  // SR at Q=0 is ~0.714, so a 0.5 target needs no collateral.
+  const auto q = min_collateral_for_sr(defaults(), 2.0, 0.5);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, 0.0);
+}
+
+TEST(MinCollateralForSr, NulloptWhenUnreachable) {
+  // A hopeless parameterization: Bob never continues regardless of Q?  Use
+  // an absurd target above 1 - impossible; instead use tiny q_hi with a
+  // high target.
+  const auto q = min_collateral_for_sr(defaults(), 2.0, 0.9999, /*q_hi=*/0.05);
+  EXPECT_FALSE(q.has_value());
+}
+
+TEST(MinCollateralForSr, ValidatesTarget) {
+  EXPECT_THROW((void)min_collateral_for_sr(defaults(), 2.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)min_collateral_for_sr(defaults(), 2.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(MinCollateralForSr, MonotoneInTarget) {
+  const auto q90 = min_collateral_for_sr(defaults(), 2.0, 0.90);
+  const auto q99 = min_collateral_for_sr(defaults(), 2.0, 0.99);
+  ASSERT_TRUE(q90.has_value());
+  ASSERT_TRUE(q99.has_value());
+  EXPECT_LT(*q90, *q99);
+}
+
+}  // namespace
+}  // namespace swapgame::model

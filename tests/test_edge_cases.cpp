@@ -1,0 +1,173 @@
+// Edge-case and invariance tests across the model and protocol:
+// scale invariance (the game is homogeneous of degree zero in prices),
+// asymmetric chain timings, extreme magnitudes, and protocol behaviour at
+// unusual but valid parameter corners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "agents/naive.hpp"
+#include "agents/rational.hpp"
+#include "model/basic_game.hpp"
+#include "model/collateral_game.hpp"
+#include "model/premium_game.hpp"
+#include "proto/swap_protocol.hpp"
+
+namespace swapgame {
+namespace {
+
+model::SwapParams defaults() { return model::SwapParams::table3_defaults(); }
+
+TEST(ScaleInvariance, SuccessRateIsHomogeneousOfDegreeZero) {
+  // Rescaling the numeraire (P_t0, P*, and any deposits by a common factor)
+  // must leave every decision, and hence SR, unchanged: utilities are
+  // linear in prices and decisions compare like against like.
+  for (double lambda : {0.001, 0.1, 10.0, 1000.0}) {
+    model::SwapParams scaled = defaults();
+    scaled.p_t0 *= lambda;
+    const model::BasicGame base(defaults(), 2.0);
+    const model::BasicGame big(scaled, 2.0 * lambda);
+    EXPECT_NEAR(big.success_rate(), base.success_rate(), 1e-6)
+        << "lambda=" << lambda;
+    EXPECT_NEAR(big.alice_t3_cutoff(), base.alice_t3_cutoff() * lambda,
+                1e-9 * lambda);
+    EXPECT_NEAR(big.alice_t1_cont(), base.alice_t1_cont() * lambda,
+                1e-6 * lambda);
+  }
+}
+
+TEST(ScaleInvariance, CollateralAndPremiumScaleWithPrices) {
+  const double lambda = 50.0;
+  model::SwapParams scaled = defaults();
+  scaled.p_t0 *= lambda;
+  const model::CollateralGame base_c(defaults(), 2.0, 0.5);
+  const model::CollateralGame big_c(scaled, 2.0 * lambda, 0.5 * lambda);
+  EXPECT_NEAR(big_c.success_rate(), base_c.success_rate(), 1e-6);
+  const model::PremiumGame base_p(defaults(), 2.0, 0.3);
+  const model::PremiumGame big_p(scaled, 2.0 * lambda, 0.3 * lambda);
+  EXPECT_NEAR(big_p.success_rate(), base_p.success_rate(), 1e-6);
+}
+
+TEST(AsymmetricTimings, FastChainBSlowChainA) {
+  // tau_b < tau_a inverts the paper's default ordering; everything must
+  // still hold together (Eq. 3 only constrains eps_b < tau_b).
+  model::SwapParams p = defaults();
+  p.tau_a = 5.0;
+  p.tau_b = 1.5;
+  p.eps_b = 0.5;
+  const model::BasicGame game(p, 2.0);
+  const double sr = game.success_rate();
+  EXPECT_GT(sr, 0.0);
+  EXPECT_LE(sr, 1.0);
+  // Protocol agrees with the model on a deterministic path.
+  agents::RationalStrategy alice(agents::Role::kAlice, p, 2.0);
+  agents::RationalStrategy bob(agents::Role::kBob, p, 2.0);
+  proto::SwapSetup setup;
+  setup.params = p;
+  setup.p_star = 2.0;
+  const proto::ConstantPricePath path(2.0);
+  const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+  EXPECT_EQ(r.outcome, proto::SwapOutcome::kSuccess);
+  EXPECT_TRUE(r.conservation_ok);
+  // Timeline identities still hold (Eq. 13 with these taus).
+  EXPECT_DOUBLE_EQ(r.schedule.t5, p.tau_a + 2.0 * p.tau_b);
+}
+
+TEST(AsymmetricTimings, SubHourChains) {
+  // Fast-finality chains (minutes-scale): the model is unit-agnostic.
+  model::SwapParams p = defaults();
+  p.tau_a = 0.05;
+  p.tau_b = 0.08;
+  p.eps_b = 0.01;
+  // Rescale rates so the discounting per step stays comparable.
+  p.alice.r = 0.6;
+  p.bob.r = 0.6;
+  const model::BasicGame game(p, 2.0);
+  EXPECT_GT(game.success_rate(), 0.0);
+  EXPECT_LE(game.success_rate(), 1.0);
+  const auto band = game.bob_t2_band();
+  ASSERT_TRUE(band.has_value());
+  EXPECT_GT(band->hi, band->lo);
+}
+
+TEST(ExtremePreferences, HugePremiumNearCertainReveal) {
+  model::SwapParams p = defaults();
+  p.alice.alpha = 10.0;  // Alice desperately wants token-b
+  const model::BasicGame game(p, 2.0);
+  // Her cutoff collapses toward zero and SR approaches Bob's band mass.
+  EXPECT_LT(game.alice_t3_cutoff(), 0.2);
+  EXPECT_GT(game.success_rate(), 0.8);
+}
+
+TEST(ExtremePreferences, NearZeroPremiumStillWellDefined) {
+  model::SwapParams p = defaults();
+  p.alice.alpha = 1e-9;
+  p.bob.alpha = 1e-9;
+  const model::BasicGame game(p, 2.0);
+  const double sr = game.success_rate();
+  EXPECT_GE(sr, 0.0);
+  EXPECT_LE(sr, 1.0);
+}
+
+TEST(ProtocolEdge, TinyAmountsSurviveFixedPointRounding) {
+  // P* near the fixed-point resolution: the ledger rounds to 1e-9 tokens;
+  // balances must stay consistent.
+  proto::SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 1e-6;
+  agents::HonestStrategy alice, bob;
+  const proto::ConstantPricePath path(2.0);
+  const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+  EXPECT_EQ(r.outcome, proto::SwapOutcome::kSuccess);
+  EXPECT_TRUE(r.conservation_ok);
+  EXPECT_NEAR(r.bob.final_token_a, 1e-6, 1e-12);
+}
+
+TEST(ProtocolEdge, LargeAmounts) {
+  proto::SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 1e6;
+  agents::HonestStrategy alice, bob;
+  const proto::ConstantPricePath path(2.0);
+  const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+  EXPECT_EQ(r.outcome, proto::SwapOutcome::kSuccess);
+  EXPECT_TRUE(r.conservation_ok);
+  EXPECT_DOUBLE_EQ(r.bob.final_token_a, 1e6);
+}
+
+TEST(ProtocolEdge, EpsilonCloseToTauStillOrdersEvents) {
+  model::SwapParams p = defaults();
+  p.eps_b = 3.999;  // just under tau_b = 4 (Eq. 3 boundary)
+  agents::HonestStrategy alice, bob;
+  proto::SwapSetup setup;
+  setup.params = p;
+  setup.p_star = 2.0;
+  const proto::ConstantPricePath path(2.0);
+  const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+  EXPECT_EQ(r.outcome, proto::SwapOutcome::kSuccess);
+  EXPECT_TRUE(r.conservation_ok);
+}
+
+TEST(ModelEdge, CutoffIndifferenceUnderRandomDepositsEverywhere) {
+  // Region-boundary indifference for the deposit games across a grid of
+  // (P*, deposit) corners, including where the cutoff clamps to zero.
+  for (double p_star : {0.7, 2.0, 3.5}) {
+    for (double d : {0.01, 0.7, 3.0}) {
+      const model::CollateralGame cg(defaults(), p_star, d);
+      if (cg.alice_t3_cutoff() > 0.0) {
+        EXPECT_NEAR(cg.alice_t3_cont(cg.alice_t3_cutoff()),
+                    cg.alice_t3_stop(), 1e-9 * (1.0 + cg.alice_t3_stop()))
+            << "collateral p*=" << p_star << " d=" << d;
+      }
+      const model::PremiumGame pg(defaults(), p_star, d);
+      if (pg.alice_t3_cutoff() > 0.0) {
+        EXPECT_NEAR(pg.alice_t3_cont(pg.alice_t3_cutoff()),
+                    pg.alice_t3_stop(), 1e-9 * (1.0 + pg.alice_t3_stop()))
+            << "premium p*=" << p_star << " d=" << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swapgame

@@ -1,0 +1,112 @@
+// Unit tests for the discrete-event scheduler (src/chain/event_queue).
+#include "chain/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace swapgame::chain {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleNewEvents) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule_at(1.0, [&] {
+    fired.push_back(q.now());
+    q.schedule_at(2.0, [&] { fired.push_back(q.now()); });
+  });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(5.0, [&] {
+    q.schedule_in(2.5, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  q.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  q.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  EXPECT_EQ(q.run_until(3.0), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(q.now(), 3.0);   // clock advanced even with no event at 3.0
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired.back(), 5.0);
+}
+
+TEST(EventQueue, RunUntilIncludesEventsAtBoundary) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(2.0, [&] { fired = true; });
+  q.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RunWithLimit) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, RejectsPastAndInvalidScheduling) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run();
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule_at(2.0, [] {}));  // "now" is allowed
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(3.0, EventQueue::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilRejectsPast) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_THROW((void)q.run_until(4.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::chain

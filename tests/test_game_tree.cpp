@@ -1,0 +1,119 @@
+// Cross-validation tests: the discretized extensive-form solver
+// (src/model/game_tree) must independently reproduce the analytic backward
+// induction of BasicGame / CollateralGame.
+#include "model/game_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/gbm.hpp"
+#include "model/basic_game.hpp"
+#include "model/collateral_game.hpp"
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(GameTree, ValidatesInputs) {
+  EXPECT_THROW((void)solve_game_tree(defaults(), 0.0), std::invalid_argument);
+  GameTreeConfig bad;
+  bad.strata = 1;
+  EXPECT_THROW((void)solve_game_tree(defaults(), 2.0, bad),
+               std::invalid_argument);
+  bad.strata = 100;
+  bad.collateral = -1.0;
+  EXPECT_THROW((void)solve_game_tree(defaults(), 2.0, bad),
+               std::invalid_argument);
+}
+
+TEST(GameTree, MatchesAnalyticBasicGameAtDefaults) {
+  const BasicGame analytic(defaults(), 2.0);
+  GameTreeConfig cfg;
+  cfg.strata = 600;
+  const GameTreeSolution tree = solve_game_tree(defaults(), 2.0, cfg);
+  EXPECT_NEAR(tree.alice_t1_cont, analytic.alice_t1_cont(), 2e-3);
+  EXPECT_NEAR(tree.bob_t1_cont, analytic.bob_t1_cont(), 2e-3);
+  EXPECT_NEAR(tree.success_rate, analytic.success_rate(), 3e-3);
+  EXPECT_DOUBLE_EQ(tree.alice_t1_stop, 2.0);
+  EXPECT_DOUBLE_EQ(tree.bob_t1_stop, 2.0);
+}
+
+TEST(GameTree, MatchesAnalyticAcrossExchangeRates) {
+  GameTreeConfig cfg;
+  cfg.strata = 500;
+  for (double p_star : {1.6, 2.0, 2.4}) {
+    const BasicGame analytic(defaults(), p_star);
+    const GameTreeSolution tree = solve_game_tree(defaults(), p_star, cfg);
+    EXPECT_NEAR(tree.success_rate, analytic.success_rate(), 5e-3)
+        << "p_star=" << p_star;
+    EXPECT_NEAR(tree.alice_t1_cont, analytic.alice_t1_cont(), 5e-3)
+        << "p_star=" << p_star;
+  }
+}
+
+TEST(GameTree, MatchesAnalyticCollateralGame) {
+  GameTreeConfig cfg;
+  cfg.strata = 600;
+  for (double q : {0.2, 0.5, 1.0}) {
+    cfg.collateral = q;
+    const CollateralGame analytic(defaults(), 2.0, q);
+    const GameTreeSolution tree = solve_game_tree(defaults(), 2.0, cfg);
+    EXPECT_NEAR(tree.success_rate, analytic.success_rate(), 5e-3) << "q=" << q;
+    EXPECT_DOUBLE_EQ(tree.alice_t1_stop, 2.0 + q);
+  }
+}
+
+TEST(GameTree, ConvergesWithStrataRefinement) {
+  // The *value* estimates converge monotonically with the stratification
+  // (success_rate at a coarse grid can be luckily close, so the convergence
+  // check uses the t1 value, whose stratification bias is one-sided).
+  const BasicGame analytic(defaults(), 2.0);
+  const auto value_err = [&](int strata) {
+    GameTreeConfig cfg;
+    cfg.strata = strata;
+    const GameTreeSolution sol = solve_game_tree(defaults(), 2.0, cfg);
+    return std::abs(sol.alice_t1_cont - analytic.alice_t1_cont()) +
+           std::abs(sol.bob_t1_cont - analytic.bob_t1_cont());
+  };
+  const double coarse = value_err(25);
+  const double fine = value_err(1000);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 2e-3);
+  // And the SR estimate at the fine grid is accurate in absolute terms.
+  GameTreeConfig cfg;
+  cfg.strata = 1000;
+  EXPECT_NEAR(solve_game_tree(defaults(), 2.0, cfg).success_rate,
+              analytic.success_rate(), 2e-3);
+}
+
+TEST(GameTree, BobContFractionTracksBandProbability) {
+  // The fraction of equal-probability t2 strata where Bob continues is an
+  // estimate of P[P_t2 in band].
+  const BasicGame analytic(defaults(), 2.0);
+  const auto band = analytic.bob_t2_band();
+  ASSERT_TRUE(band.has_value());
+  const math::GbmLaw law(defaults().gbm, defaults().p_t0, defaults().tau_a);
+  const double band_prob = law.cdf(band->hi) - law.cdf(band->lo);
+  GameTreeConfig cfg;
+  cfg.strata = 800;
+  const GameTreeSolution tree = solve_game_tree(defaults(), 2.0, cfg);
+  EXPECT_NEAR(tree.bob_cont_fraction, band_prob, 5e-3);
+}
+
+TEST(GameTree, SuccessRateIncreasesWithCollateralInTree) {
+  // The Fig. 9 monotonicity must also emerge from the independent solver.
+  GameTreeConfig cfg;
+  cfg.strata = 300;
+  double prev = -1.0;
+  for (double q : {0.0, 0.5, 1.0, 2.0}) {
+    cfg.collateral = q;
+    const double sr = solve_game_tree(defaults(), 2.0, cfg).success_rate;
+    EXPECT_GE(sr, prev - 5e-3) << "q=" << q;
+    prev = sr;
+  }
+}
+
+}  // namespace
+}  // namespace swapgame::model

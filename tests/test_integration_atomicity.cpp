@@ -1,0 +1,199 @@
+// Integration property tests: atomicity of the HTLC swap under EVERY
+// strategy pairing and a battery of price paths.
+//
+// The protocol's safety claim (paper Section I): either both parties
+// receive each other's assets, or each keeps/regains their own -- the only
+// way to lose principal is Bob irrationally failing to claim after the
+// secret is public (Section II-B's explicit warning), which requires a
+// DefectorStrategy(kT4Claim).  Conservation of ledger supply must hold in
+// every single run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/naive.hpp"
+#include "agents/rational.hpp"
+#include "proto/swap_protocol.hpp"
+
+namespace swapgame::proto {
+namespace {
+
+model::SwapParams defaults() { return model::SwapParams::table3_defaults(); }
+
+enum class Kind {
+  kRational,
+  kHonest,
+  kDefectT1,
+  kDefectT2,
+  kDefectT3,
+  kDefectT4,
+  kTrigger,
+  kNoisy,
+};
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kRational: return "rational";
+    case Kind::kHonest: return "honest";
+    case Kind::kDefectT1: return "defect-t1";
+    case Kind::kDefectT2: return "defect-t2";
+    case Kind::kDefectT3: return "defect-t3";
+    case Kind::kDefectT4: return "defect-t4";
+    case Kind::kTrigger: return "trigger";
+    case Kind::kNoisy: return "noisy";
+  }
+  return "?";
+}
+
+std::unique_ptr<agents::Strategy> make_strategy(Kind kind, agents::Role role,
+                                                double q,
+                                                std::uint64_t seed) {
+  switch (kind) {
+    case Kind::kRational:
+      if (q > 0.0) {
+        return std::make_unique<agents::CollateralRationalStrategy>(
+            role, defaults(), 2.0, q);
+      }
+      return std::make_unique<agents::RationalStrategy>(role, defaults(), 2.0);
+    case Kind::kHonest:
+      return std::make_unique<agents::HonestStrategy>();
+    case Kind::kDefectT1:
+      return std::make_unique<agents::DefectorStrategy>(
+          agents::Stage::kT1Initiate);
+    case Kind::kDefectT2:
+      return std::make_unique<agents::DefectorStrategy>(agents::Stage::kT2Lock);
+    case Kind::kDefectT3:
+      return std::make_unique<agents::DefectorStrategy>(
+          agents::Stage::kT3Reveal);
+    case Kind::kDefectT4:
+      return std::make_unique<agents::DefectorStrategy>(
+          agents::Stage::kT4Claim);
+    case Kind::kTrigger:
+      return std::make_unique<agents::TriggerStrategy>(0.15);
+    case Kind::kNoisy:
+      return std::make_unique<agents::NoisyStrategy>(
+          std::make_unique<agents::HonestStrategy>(), 0.3, seed);
+  }
+  return nullptr;
+}
+
+struct PathCase {
+  const char* name;
+  std::map<chain::Hours, double> knots;
+};
+
+std::vector<PathCase> price_paths() {
+  return {
+      {"flat", {{0.0, 2.0}}},
+      {"rally", {{0.0, 2.0}, {2.5, 2.6}, {6.5, 3.4}}},
+      {"crash", {{0.0, 2.0}, {2.5, 1.4}, {6.5, 0.9}}},
+      {"spike-then-revert", {{0.0, 2.0}, {2.5, 3.2}, {6.5, 2.0}}},
+      {"dip-then-revert", {{0.0, 2.0}, {2.5, 1.1}, {6.5, 2.1}}},
+      {"late-crash", {{0.0, 2.0}, {10.0, 0.5}}},
+  };
+}
+
+struct GridCase {
+  Kind alice;
+  Kind bob;
+  double collateral;
+};
+
+class AtomicityGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(AtomicityGrid, NoPrincipalLossExceptDocumentedT4Miss) {
+  const GridCase grid = GetParam();
+  for (const PathCase& pc : price_paths()) {
+    SwapSetup setup;
+    setup.params = defaults();
+    setup.p_star = 2.0;
+    setup.collateral = grid.collateral;
+    const auto alice =
+        make_strategy(grid.alice, agents::Role::kAlice, grid.collateral, 77);
+    const auto bob =
+        make_strategy(grid.bob, agents::Role::kBob, grid.collateral, 78);
+    const SteppedPricePath path(pc.knots);
+    const SwapResult r = run_swap(setup, *alice, *bob, path);
+
+    const std::string label = std::string(kind_name(grid.alice)) + " vs " +
+                              kind_name(grid.bob) + " on " + pc.name;
+
+    // Invariant 1: ledger conservation, always.
+    EXPECT_TRUE(r.conservation_ok) << label;
+
+    // Invariant 2: principal safety.  Alice's principal: P* token-a came
+    // back OR she holds the token-b.  (Collateral forfeiture is a separate,
+    // intended penalty.)
+    const bool alice_has_principal =
+        r.alice.final_token_a >= setup.p_star - 1e-9 ||
+        r.alice.final_token_b >= 1.0 - 1e-9;
+    EXPECT_TRUE(alice_has_principal) << label;
+
+    // Bob's principal: the token-b (his own or refunded) OR the token-a
+    // proceeds -- except the documented irrational t4 miss.
+    const bool bob_has_principal =
+        r.bob.final_token_b >= 1.0 - 1e-9 ||
+        r.bob.final_token_a >= setup.p_star - 1e-9 + grid.collateral * 0.0;
+    if (r.outcome == SwapOutcome::kBobMissedT4) {
+      EXPECT_FALSE(bob_has_principal) << label << " (documented loss path)";
+      EXPECT_TRUE(grid.bob == Kind::kDefectT4 || grid.bob == Kind::kNoisy)
+          << label << ": only an irrational Bob may reach kBobMissedT4";
+    } else {
+      EXPECT_TRUE(bob_has_principal) << label;
+    }
+
+    // Invariant 3: success <=> Table I balance change.
+    if (r.outcome == SwapOutcome::kSuccess) {
+      EXPECT_NEAR(r.alice.final_token_b, 1.0, 1e-9) << label;
+      EXPECT_NEAR(r.bob.final_token_a, setup.p_star + r.bob_collateral_back,
+                  1e-9)
+          << label;
+    }
+
+    // Invariant 4: collateral accounting -- what left the vault equals what
+    // was charged (2Q total) whenever the swap was engaged with Q > 0.
+    if (grid.collateral > 0.0 && r.outcome != SwapOutcome::kNotInitiated) {
+      EXPECT_NEAR(r.alice_collateral_back + r.bob_collateral_back,
+                  2.0 * grid.collateral, 1e-9)
+          << label;
+    }
+  }
+}
+
+std::vector<GridCase> all_pairings() {
+  const std::vector<Kind> kinds = {Kind::kRational, Kind::kHonest,
+                                   Kind::kDefectT1, Kind::kDefectT2,
+                                   Kind::kDefectT3, Kind::kDefectT4,
+                                   Kind::kTrigger,  Kind::kNoisy};
+  std::vector<GridCase> cases;
+  for (Kind a : kinds) {
+    for (Kind b : kinds) {
+      cases.push_back({a, b, 0.0});
+    }
+  }
+  // A collateralized subset (full cross is covered at Q = 0).
+  for (Kind a : {Kind::kRational, Kind::kHonest, Kind::kDefectT3}) {
+    for (Kind b : {Kind::kRational, Kind::kDefectT2, Kind::kDefectT4}) {
+      cases.push_back({a, b, 0.5});
+    }
+  }
+  return cases;
+}
+
+std::string grid_name(const ::testing::TestParamInfo<GridCase>& info) {
+  std::string name = std::string(kind_name(info.param.alice)) + "_vs_" +
+                     kind_name(info.param.bob);
+  if (info.param.collateral > 0.0) name += "_Q";
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairings, AtomicityGrid,
+                         ::testing::ValuesIn(all_pairings()), grid_name);
+
+}  // namespace
+}  // namespace swapgame::proto

@@ -1,0 +1,143 @@
+// Tests for the INVERSE HTLC escrow semantics (src/chain/ledger): the
+// premium mechanism's contract type, where the preimage path refunds the
+// SENDER and the timeout path pays the RECIPIENT.
+#include <gtest/gtest.h>
+
+#include "chain/ledger.hpp"
+#include "crypto/secret.hpp"
+#include "math/rng.hpp"
+
+namespace swapgame::chain {
+namespace {
+
+class InverseHtlcTest : public ::testing::Test {
+ protected:
+  InverseHtlcTest() : ledger_({ChainId::kChainA, 3.0, 1.0}, queue_) {
+    ledger_.create_account(alice_, Amount::from_tokens(10.0));
+    ledger_.create_account(bob_, Amount::from_tokens(10.0));
+    math::Xoshiro256 rng(17);
+    secret_ = crypto::Secret::generate(rng);
+  }
+
+  HtlcId deploy_inverse(double amount, double expiry) {
+    const TxId tx = ledger_.submit(
+        DeployHtlcPayload{alice_, bob_, Amount::from_tokens(amount),
+                          secret_.commitment(), expiry, HtlcKind::kInverse});
+    return ledger_.pending_contract_of(tx);
+  }
+
+  EventQueue queue_;
+  Ledger ledger_;
+  const Address alice_{"alice"};
+  const Address bob_{"bob"};
+  crypto::Secret secret_;
+};
+
+TEST_F(InverseHtlcTest, PreimageClaimRefundsSender) {
+  const HtlcId escrow = deploy_inverse(0.5, 50.0);
+  queue_.run_until(3.0);
+  EXPECT_EQ(ledger_.htlc(escrow).kind, HtlcKind::kInverse);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(9.5));
+  // Alice reveals: HER balance is restored, not Bob's.
+  ledger_.submit(ClaimHtlcPayload{escrow, secret_, alice_});
+  queue_.run_until(6.0);
+  EXPECT_EQ(ledger_.htlc(escrow).state, HtlcState::kClaimed);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(10.0));
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(10.0));
+}
+
+TEST_F(InverseHtlcTest, TimeoutPaysRecipient) {
+  const HtlcId escrow = deploy_inverse(0.5, 6.0);
+  queue_.run();  // auto-refund fires at expiry, confirms at expiry + tau
+  EXPECT_EQ(ledger_.htlc(escrow).state, HtlcState::kRefunded);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(9.5));
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(10.5));
+}
+
+TEST_F(InverseHtlcTest, TimeoutReceiptAtExpiryPlusTau) {
+  const double expiry = 6.0;
+  deploy_inverse(0.5, expiry);
+  queue_.run_until(expiry + 3.0 - 0.001);
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(10.0));
+  queue_.run_until(expiry + 3.0);
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(10.5));
+}
+
+TEST_F(InverseHtlcTest, CancelReturnsDepositBeforeExpiry) {
+  const HtlcId escrow = deploy_inverse(0.5, 50.0);
+  queue_.run_until(3.0);
+  const TxId cancel = ledger_.submit(CancelHtlcPayload{escrow, alice_});
+  queue_.run_until(6.0);
+  EXPECT_EQ(ledger_.transaction(cancel).status, TxStatus::kConfirmed);
+  EXPECT_EQ(ledger_.htlc(escrow).state, HtlcState::kCancelled);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(10.0));
+}
+
+TEST_F(InverseHtlcTest, CancelAfterExpiryFails) {
+  const HtlcId escrow = deploy_inverse(0.5, 5.0);
+  queue_.run_until(4.0);
+  // Cancel submitted at 4.0 confirms at 7.0, after the 5.0 expiry.
+  const TxId cancel = ledger_.submit(CancelHtlcPayload{escrow, alice_});
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(cancel).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.transaction(cancel).failure_reason,
+            "cancel: escrow already expired");
+  // The timeout path won instead.
+  EXPECT_EQ(ledger_.htlc(escrow).state, HtlcState::kRefunded);
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(10.5));
+}
+
+TEST_F(InverseHtlcTest, CancelOnStandardHtlcFails) {
+  const TxId tx = ledger_.submit(
+      DeployHtlcPayload{alice_, bob_, Amount::from_tokens(1.0),
+                        secret_.commitment(), 50.0, HtlcKind::kStandard});
+  const HtlcId contract = ledger_.pending_contract_of(tx);
+  queue_.run_until(3.0);
+  const TxId cancel = ledger_.submit(CancelHtlcPayload{contract, alice_});
+  queue_.run_until(6.0);
+  EXPECT_EQ(ledger_.transaction(cancel).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.transaction(cancel).failure_reason,
+            "cancel: only inverse escrows can be cancelled");
+}
+
+TEST_F(InverseHtlcTest, CancelOnSettledEscrowFails) {
+  const HtlcId escrow = deploy_inverse(0.5, 50.0);
+  queue_.run_until(3.0);
+  ledger_.submit(ClaimHtlcPayload{escrow, secret_, alice_});
+  queue_.run_until(6.0);
+  const TxId cancel = ledger_.submit(CancelHtlcPayload{escrow, alice_});
+  queue_.run_until(9.0);
+  EXPECT_EQ(ledger_.transaction(cancel).status, TxStatus::kFailed);
+}
+
+TEST_F(InverseHtlcTest, WrongPreimageStillRejected) {
+  const HtlcId escrow = deploy_inverse(0.5, 50.0);
+  queue_.run_until(3.0);
+  math::Xoshiro256 rng(18);
+  const crypto::Secret wrong = crypto::Secret::generate(rng);
+  const TxId claim = ledger_.submit(ClaimHtlcPayload{escrow, wrong, alice_});
+  queue_.run_until(6.0);
+  EXPECT_EQ(ledger_.transaction(claim).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.htlc(escrow).state, HtlcState::kLocked);
+}
+
+TEST_F(InverseHtlcTest, ConservationHoldsThroughAllPaths) {
+  const Amount initial = ledger_.total_supply();
+  deploy_inverse(0.5, 5.0);                     // timeout path
+  const HtlcId e2 = deploy_inverse(0.7, 50.0);  // claim path
+  const HtlcId e3 = deploy_inverse(0.9, 50.0);  // cancel path
+  queue_.run_until(3.0);
+  ledger_.submit(ClaimHtlcPayload{e2, secret_, alice_});
+  ledger_.submit(CancelHtlcPayload{e3, alice_});
+  queue_.run();
+  EXPECT_EQ(ledger_.total_supply(), initial);
+}
+
+TEST(HtlcKindNames, ToString) {
+  EXPECT_STREQ(to_string(HtlcKind::kStandard), "standard");
+  EXPECT_STREQ(to_string(HtlcKind::kInverse), "inverse");
+  EXPECT_STREQ(to_string(HtlcState::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace swapgame::chain

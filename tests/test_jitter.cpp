@@ -1,0 +1,170 @@
+// Robustness tests: stochastic confirmation delays (relaxing the paper's
+// constant-tau assumption 1) and the atomicity failures they enable --
+// the Zakhary et al. critique (paper Section II-C) made concrete.
+#include <gtest/gtest.h>
+
+#include "agents/naive.hpp"
+#include "chain/ledger.hpp"
+#include "proto/swap_protocol.hpp"
+
+namespace swapgame::proto {
+namespace {
+
+model::SwapParams defaults() { return model::SwapParams::table3_defaults(); }
+
+TEST(LedgerJitter, RequiresRngWhenEnabled) {
+  chain::EventQueue queue;
+  chain::ChainParams params{chain::ChainId::kChainA, 3.0, 1.0, 0.5};
+  EXPECT_THROW(chain::Ledger(params, queue, nullptr), std::invalid_argument);
+  math::Xoshiro256 rng(1);
+  EXPECT_NO_THROW(chain::Ledger(params, queue, &rng));
+  chain::ChainParams bad{chain::ChainId::kChainA, 3.0, 1.0, -0.1};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(LedgerJitter, ConfirmationDelaysWithinBounds) {
+  chain::EventQueue queue;
+  math::Xoshiro256 rng(7);
+  chain::Ledger ledger({chain::ChainId::kChainA, 3.0, 1.0, 2.0}, queue, &rng);
+  ledger.create_account({"a"}, chain::Amount::from_tokens(100.0));
+  ledger.create_account({"b"}, chain::Amount{});
+  bool saw_extra = false;
+  for (int i = 0; i < 50; ++i) {
+    const chain::TxId id = ledger.submit(chain::TransferPayload{
+        {"a"}, {"b"}, chain::Amount::from_tokens(0.1)});
+    const double delay =
+        ledger.transaction(id).confirmed_at - ledger.transaction(id).submitted_at;
+    EXPECT_GE(delay, 3.0);
+    EXPECT_LT(delay, 5.0);
+    if (delay > 3.1) saw_extra = true;
+  }
+  EXPECT_TRUE(saw_extra);
+}
+
+TEST(ProtocolJitter, ZeroJitterIsUnchanged) {
+  // The reconciliation pass must be a no-op on deterministic runs.
+  agents::HonestStrategy alice, bob;
+  const ConstantPricePath path(2.0);
+  SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  const SwapResult r = run_swap(setup, alice, bob, path);
+  EXPECT_EQ(r.outcome, SwapOutcome::kSuccess);
+  EXPECT_TRUE(r.conservation_ok);
+}
+
+TEST(ProtocolJitter, ZeroMarginAnyJitterBreaksClaims) {
+  // With the idealized schedule, claims confirm EXACTLY at expiry; any
+  // positive jitter pushes them past the lock.  Without a margin the swap
+  // cannot complete -- but conservation and (here) atomicity still hold:
+  // both legs refund.
+  agents::HonestStrategy alice, bob;
+  const ConstantPricePath path(2.0);
+  SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  setup.confirmation_jitter_a = 0.5;
+  setup.confirmation_jitter_b = 0.5;
+  setup.expiry_margin = 0.0;
+  setup.latency_seed = 99;
+  const SwapResult r = run_swap(setup, alice, bob, path);
+  EXPECT_NE(r.outcome, SwapOutcome::kSuccess);
+  EXPECT_TRUE(r.conservation_ok);
+}
+
+TEST(ProtocolJitter, AmpleMarginRestoresSuccess) {
+  agents::HonestStrategy alice, bob;
+  const ConstantPricePath path(2.0);
+  SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  setup.confirmation_jitter_a = 0.5;
+  setup.confirmation_jitter_b = 0.5;
+  setup.expiry_margin = 2.0;  // >> max total jitter along either leg
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    setup.latency_seed = seed;
+    const SwapResult r = run_swap(setup, alice, bob, path);
+    EXPECT_EQ(r.outcome, SwapOutcome::kSuccess) << "seed=" << seed;
+    EXPECT_TRUE(r.conservation_ok);
+  }
+}
+
+TEST(ProtocolJitter, OneSidedLossIsReachable) {
+  // Asymmetric jitter: Chain_b is very jittery (Alice's claim often late)
+  // while Chain_a is punctual with a generous margin so Bob's claim always
+  // lands.  Some seed must produce Alice's one-sided loss -- the exact
+  // failure Zakhary et al. warn about with honest participants.
+  agents::HonestStrategy alice, bob;
+  const ConstantPricePath path(2.0);
+  SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  setup.confirmation_jitter_a = 0.0;
+  setup.confirmation_jitter_b = 3.0;
+  setup.expiry_margin = 1.0;  // absorbs Chain_a's needs; < jitter_b though
+  int alice_losses = 0;
+  int successes = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    setup.latency_seed = seed;
+    const SwapResult r = run_swap(setup, alice, bob, path);
+    ASSERT_TRUE(r.conservation_ok);
+    if (r.outcome == SwapOutcome::kAliceLostAtomicity) {
+      ++alice_losses;
+      // She lost her principal: no token-a, no token-b.
+      EXPECT_DOUBLE_EQ(r.alice.final_token_a, 0.0);
+      EXPECT_DOUBLE_EQ(r.alice.final_token_b, 0.0);
+      EXPECT_DOUBLE_EQ(r.bob.final_token_a, 2.0);
+      EXPECT_DOUBLE_EQ(r.bob.final_token_b, 1.0);
+    } else if (r.outcome == SwapOutcome::kSuccess) {
+      ++successes;
+    }
+  }
+  EXPECT_GT(alice_losses, 0) << "expected at least one atomicity violation";
+  EXPECT_GT(successes, 0) << "expected some successes too";
+}
+
+TEST(ProtocolJitter, DeterministicPerLatencySeed) {
+  agents::HonestStrategy alice, bob;
+  const ConstantPricePath path(2.0);
+  SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  setup.confirmation_jitter_a = 1.0;
+  setup.confirmation_jitter_b = 1.0;
+  setup.expiry_margin = 1.0;
+  setup.latency_seed = 42;
+  const SwapResult r1 = run_swap(setup, alice, bob, path);
+  const SwapResult r2 = run_swap(setup, alice, bob, path);
+  EXPECT_EQ(r1.outcome, r2.outcome);
+  EXPECT_EQ(r1.alice.final_token_a, r2.alice.final_token_a);
+}
+
+TEST(ProtocolJitter, MarginShiftsFailureReceipts) {
+  // The refund receipts move out with the margin: t8 = t_a + tau_a where
+  // t_a = idealized + margin.
+  agents::DefectorStrategy alice(agents::Stage::kT3Reveal);
+  agents::HonestStrategy bob;
+  const ConstantPricePath path(2.0);
+  SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  setup.expiry_margin = 2.0;
+  const SwapResult r = run_swap(setup, alice, bob, path);
+  EXPECT_EQ(r.outcome, SwapOutcome::kAliceDeclinedT3);
+  EXPECT_DOUBLE_EQ(r.schedule.t_a, 13.0);  // 11 + 2
+  EXPECT_DOUBLE_EQ(r.alice.receipt_time, 16.0);  // t_a + tau_a
+  EXPECT_DOUBLE_EQ(r.bob.receipt_time, 17.0);    // t_b + tau_b
+  EXPECT_TRUE(r.conservation_ok);
+}
+
+TEST(ProtocolJitter, ValidatesMargin) {
+  agents::HonestStrategy alice, bob;
+  const ConstantPricePath path(2.0);
+  SwapSetup setup;
+  setup.params = defaults();
+  setup.expiry_margin = -1.0;
+  EXPECT_THROW((void)run_swap(setup, alice, bob, path), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::proto

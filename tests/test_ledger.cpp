@@ -1,0 +1,353 @@
+// Unit and property tests for the simulated ledger (src/chain/ledger):
+// transaction lifecycle, HTLC semantics, vault operations and the supply
+// conservation invariant.
+#include "chain/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secret.hpp"
+#include "math/rng.hpp"
+
+namespace swapgame::chain {
+namespace {
+
+constexpr double kTau = 3.0;
+constexpr double kEps = 1.0;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() : ledger_(make_params(), queue_) {
+    ledger_.create_account(alice_, Amount::from_tokens(10.0));
+    ledger_.create_account(bob_, Amount::from_tokens(5.0));
+  }
+
+  static ChainParams make_params() {
+    return {ChainId::kChainA, kTau, kEps};
+  }
+
+  crypto::Secret make_secret(std::uint64_t seed = 1) {
+    math::Xoshiro256 rng(seed);
+    return crypto::Secret::generate(rng);
+  }
+
+  EventQueue queue_;
+  Ledger ledger_;
+  const Address alice_{"alice"};
+  const Address bob_{"bob"};
+};
+
+TEST_F(LedgerTest, ChainParamsValidation) {
+  EXPECT_THROW((ChainParams{ChainId::kChainA, 0.0, 1.0}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((ChainParams{ChainId::kChainA, 3.0, 0.0}.validate()),
+               std::invalid_argument);
+  // Eq. (3): epsilon must be strictly less than tau.
+  EXPECT_THROW((ChainParams{ChainId::kChainA, 3.0, 3.0}.validate()),
+               std::invalid_argument);
+  EXPECT_NO_THROW((ChainParams{ChainId::kChainA, 3.0, 2.9}.validate()));
+}
+
+TEST_F(LedgerTest, AccountLifecycle) {
+  EXPECT_TRUE(ledger_.has_account(alice_));
+  EXPECT_FALSE(ledger_.has_account(Address{"carol"}));
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(10.0));
+  EXPECT_THROW((void)ledger_.balance(Address{"carol"}), std::out_of_range);
+  EXPECT_THROW(ledger_.create_account(alice_, Amount{}), std::invalid_argument);
+}
+
+TEST_F(LedgerTest, TransferConfirmsAfterTau) {
+  const TxId id =
+      ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(2.0)});
+  EXPECT_EQ(ledger_.transaction(id).status, TxStatus::kPending);
+  // Funds do not move before confirmation.
+  queue_.run_until(kTau - 0.001);
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(5.0));
+  queue_.run_until(kTau);
+  EXPECT_EQ(ledger_.transaction(id).status, TxStatus::kConfirmed);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(8.0));
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(7.0));
+}
+
+TEST_F(LedgerTest, TransferInsufficientFundsFails) {
+  const TxId id =
+      ledger_.submit(TransferPayload{bob_, alice_, Amount::from_tokens(50.0)});
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(id).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.transaction(id).failure_reason,
+            "transfer: insufficient funds");
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(5.0));
+}
+
+TEST_F(LedgerTest, TransferUnknownAccountFails) {
+  const TxId id = ledger_.submit(
+      TransferPayload{alice_, Address{"nobody"}, Amount::from_tokens(1.0)});
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(id).status, TxStatus::kFailed);
+}
+
+TEST_F(LedgerTest, ValidationHappensAtConfirmationTime) {
+  // Two transfers submitted back-to-back; the first empties the account, so
+  // the second -- valid at submission -- fails at its confirmation.
+  ledger_.submit(TransferPayload{bob_, alice_, Amount::from_tokens(5.0)});
+  const TxId second =
+      ledger_.submit(TransferPayload{bob_, alice_, Amount::from_tokens(5.0)});
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(second).status, TxStatus::kFailed);
+}
+
+TEST_F(LedgerTest, HtlcSuccessfulClaim) {
+  const crypto::Secret secret = make_secret();
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), 20.0});
+  const HtlcId contract = ledger_.pending_contract_of(deploy);
+  queue_.run_until(kTau);
+  ASSERT_TRUE(ledger_.has_htlc(contract));
+  EXPECT_EQ(ledger_.htlc(contract).state, HtlcState::kLocked);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(8.0));
+
+  ledger_.submit(ClaimHtlcPayload{contract, secret, bob_});
+  queue_.run_until(2.0 * kTau);
+  EXPECT_EQ(ledger_.htlc(contract).state, HtlcState::kClaimed);
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(7.0));
+  ASSERT_TRUE(ledger_.htlc(contract).revealed_secret.has_value());
+  EXPECT_EQ(*ledger_.htlc(contract).revealed_secret, secret);
+}
+
+TEST_F(LedgerTest, HtlcWrongPreimageFails) {
+  const crypto::Secret secret = make_secret(1);
+  const crypto::Secret wrong = make_secret(2);
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), 20.0});
+  const HtlcId contract = ledger_.pending_contract_of(deploy);
+  queue_.run_until(kTau);
+  const TxId claim = ledger_.submit(ClaimHtlcPayload{contract, wrong, bob_});
+  queue_.run_until(2.0 * kTau);
+  EXPECT_EQ(ledger_.transaction(claim).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.transaction(claim).failure_reason, "claim: wrong preimage");
+  EXPECT_EQ(ledger_.htlc(contract).state, HtlcState::kLocked);
+}
+
+TEST_F(LedgerTest, HtlcClaimConfirmingAfterExpiryFails) {
+  const crypto::Secret secret = make_secret();
+  const double expiry = 5.0;
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), expiry});
+  const HtlcId contract = ledger_.pending_contract_of(deploy);
+  queue_.run_until(kTau);
+  // Claim submitted at 3.0 confirms at 6.0 > expiry 5.0 -> rejected; the
+  // auto-refund at expiry wins instead.
+  const TxId claim = ledger_.submit(ClaimHtlcPayload{contract, secret, bob_});
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(claim).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.htlc(contract).state, HtlcState::kRefunded);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(10.0));
+}
+
+TEST_F(LedgerTest, HtlcAutoRefundTimesMatchPaper) {
+  // The sender's funds return at expiry + tau (paper Eqs. (10)/(11)).
+  const crypto::Secret secret = make_secret();
+  const double expiry = 8.0;
+  ledger_.submit(DeployHtlcPayload{alice_, bob_, Amount::from_tokens(2.0),
+                                   secret.commitment(), expiry});
+  queue_.run_until(expiry + kTau - 0.001);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(8.0));
+  queue_.run_until(expiry + kTau);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(10.0));
+}
+
+TEST_F(LedgerTest, HtlcRefundBeforeExpiryFails) {
+  const crypto::Secret secret = make_secret();
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), 50.0});
+  const HtlcId contract = ledger_.pending_contract_of(deploy);
+  queue_.run_until(kTau);
+  const TxId refund = ledger_.submit(RefundHtlcPayload{contract, alice_});
+  queue_.run_until(2.0 * kTau);
+  EXPECT_EQ(ledger_.transaction(refund).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.transaction(refund).failure_reason,
+            "refund: time lock still active");
+}
+
+TEST_F(LedgerTest, HtlcDoubleClaimFails) {
+  const crypto::Secret secret = make_secret();
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), 50.0});
+  const HtlcId contract = ledger_.pending_contract_of(deploy);
+  queue_.run_until(kTau);
+  ledger_.submit(ClaimHtlcPayload{contract, secret, bob_});
+  queue_.run_until(2.0 * kTau);
+  const TxId second = ledger_.submit(ClaimHtlcPayload{contract, secret, bob_});
+  queue_.run_until(3.0 * kTau);
+  EXPECT_EQ(ledger_.transaction(second).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(7.0));  // only once
+}
+
+TEST_F(LedgerTest, HtlcDeployWithPastExpiryFails) {
+  const crypto::Secret secret = make_secret();
+  queue_.run_until(10.0);
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), 10.5});
+  // Confirms at 13.0 > expiry 10.5: the expiry is not in the future then.
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(deploy).status, TxStatus::kFailed);
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(10.0));
+}
+
+TEST_F(LedgerTest, HtlcInsufficientFundsFails) {
+  const crypto::Secret secret = make_secret();
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      bob_, alice_, Amount::from_tokens(100.0), secret.commitment(), 20.0});
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(deploy).status, TxStatus::kFailed);
+}
+
+TEST_F(LedgerTest, MempoolSecretVisibilityRespectsEpsilon) {
+  const crypto::Secret secret = make_secret();
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), 50.0});
+  const HtlcId contract = ledger_.pending_contract_of(deploy);
+  queue_.run_until(kTau);
+  const double claim_time = queue_.now();
+  ledger_.submit(ClaimHtlcPayload{contract, secret, bob_});
+  // Not yet visible...
+  queue_.run_until(claim_time + kEps - 0.001);
+  EXPECT_TRUE(ledger_.visible_secrets().empty());
+  // ... visible at epsilon, well before confirmation at tau.
+  queue_.run_until(claim_time + kEps);
+  const auto secrets = ledger_.visible_secrets();
+  ASSERT_EQ(secrets.size(), 1u);
+  EXPECT_EQ(secrets[0].secret, secret);
+  EXPECT_EQ(secrets[0].contract, contract);
+  EXPECT_LT(kEps, kTau);
+}
+
+TEST_F(LedgerTest, FailedClaimStillLeaksSecret) {
+  // Broadcasting a claim is irreversible: even if it confirms too late, the
+  // preimage became public at visibility time.
+  const crypto::Secret secret = make_secret();
+  const double expiry = 5.0;
+  const TxId deploy = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(2.0), secret.commitment(), expiry});
+  const HtlcId contract = ledger_.pending_contract_of(deploy);
+  queue_.run_until(kTau);
+  ledger_.submit(ClaimHtlcPayload{contract, secret, bob_});  // will fail
+  queue_.run();
+  EXPECT_FALSE(ledger_.visible_secrets().empty());
+}
+
+TEST_F(LedgerTest, VaultDepositAndRelease) {
+  const TxId dep = ledger_.submit(
+      DepositCollateralPayload{alice_, Amount::from_tokens(3.0)});
+  queue_.run_until(kTau);
+  EXPECT_EQ(ledger_.transaction(dep).status, TxStatus::kConfirmed);
+  EXPECT_EQ(ledger_.vault_deposit_of(alice_), Amount::from_tokens(3.0));
+  EXPECT_EQ(ledger_.vault_total(), Amount::from_tokens(3.0));
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(7.0));
+
+  ledger_.submit(ReleaseCollateralPayload{bob_, Amount::from_tokens(3.0)});
+  queue_.run();
+  EXPECT_EQ(ledger_.vault_total(), Amount{});
+  EXPECT_EQ(ledger_.balance(bob_), Amount::from_tokens(8.0));
+}
+
+TEST_F(LedgerTest, VaultReleaseUnderfundedFails) {
+  const TxId rel = ledger_.submit(
+      ReleaseCollateralPayload{bob_, Amount::from_tokens(1.0)});
+  queue_.run();
+  EXPECT_EQ(ledger_.transaction(rel).status, TxStatus::kFailed);
+}
+
+TEST_F(LedgerTest, ChargeCollateralIsSynchronous) {
+  ledger_.charge_collateral(alice_, Amount::from_tokens(2.0));
+  EXPECT_EQ(ledger_.balance(alice_), Amount::from_tokens(8.0));
+  EXPECT_EQ(ledger_.vault_total(), Amount::from_tokens(2.0));
+  EXPECT_THROW(ledger_.charge_collateral(alice_, Amount::from_tokens(100.0)),
+               std::invalid_argument);
+  EXPECT_THROW(ledger_.charge_collateral(Address{"nobody"}, Amount{}),
+               std::out_of_range);
+}
+
+TEST_F(LedgerTest, FindHtlcByHash) {
+  const crypto::Secret s1 = make_secret(1);
+  const crypto::Secret s2 = make_secret(2);
+  EXPECT_EQ(ledger_.find_htlc_by_hash(s1.commitment()), nullptr);
+  ledger_.submit(DeployHtlcPayload{alice_, bob_, Amount::from_tokens(1.0),
+                                   s1.commitment(), 50.0});
+  ledger_.submit(DeployHtlcPayload{alice_, bob_, Amount::from_tokens(1.0),
+                                   s2.commitment(), 50.0});
+  queue_.run_until(kTau);
+  const HtlcContract* found = ledger_.find_htlc_by_hash(s2.commitment());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->hash_lock, s2.commitment());
+}
+
+TEST_F(LedgerTest, ConservationAcrossRandomizedWorkload) {
+  // Property: total supply (balances + locked HTLCs + vault) never changes,
+  // whatever mix of valid and invalid operations is thrown at the ledger.
+  const Amount initial = ledger_.total_supply();
+  math::Xoshiro256 rng(2024);
+  std::vector<HtlcId> contracts;
+  const crypto::Secret secret = make_secret(7);
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t pick = rng() % 6;
+    const double amt = 0.1 + 3.0 * math::uniform01(rng);
+    switch (pick) {
+      case 0:
+        ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(amt)});
+        break;
+      case 1:
+        ledger_.submit(TransferPayload{bob_, alice_, Amount::from_tokens(amt)});
+        break;
+      case 2: {
+        const TxId id = ledger_.submit(
+            DeployHtlcPayload{alice_, bob_, Amount::from_tokens(amt),
+                              secret.commitment(), queue_.now() + 5.0});
+        contracts.push_back(ledger_.pending_contract_of(id));
+        break;
+      }
+      case 3:
+        if (!contracts.empty()) {
+          ledger_.submit(ClaimHtlcPayload{
+              contracts[rng() % contracts.size()], secret, bob_});
+        }
+        break;
+      case 4:
+        if (!contracts.empty()) {
+          ledger_.submit(RefundHtlcPayload{
+              contracts[rng() % contracts.size()], alice_});
+        }
+        break;
+      case 5:
+        ledger_.submit(
+            DepositCollateralPayload{bob_, Amount::from_tokens(amt)});
+        break;
+    }
+    queue_.run_until(queue_.now() + 0.7);
+    ASSERT_EQ(ledger_.total_supply(), initial) << "step " << step;
+  }
+  queue_.run();
+  EXPECT_EQ(ledger_.total_supply(), initial);
+}
+
+TEST_F(LedgerTest, ConfirmationLogOrdersConfirmedTransactions) {
+  ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(1.0)});
+  queue_.run_until(0.5);
+  ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(1.0)});
+  queue_.run();
+  ASSERT_EQ(ledger_.confirmation_log().size(), 2u);
+  const auto& first = ledger_.transaction(ledger_.confirmation_log()[0]);
+  const auto& second = ledger_.transaction(ledger_.confirmation_log()[1]);
+  EXPECT_LE(first.confirmed_at, second.confirmed_at);
+}
+
+TEST_F(LedgerTest, UnknownLookupsThrow) {
+  EXPECT_THROW((void)ledger_.transaction(TxId{999}), std::out_of_range);
+  EXPECT_THROW((void)ledger_.htlc(HtlcId{999}), std::out_of_range);
+  const TxId transfer =
+      ledger_.submit(TransferPayload{alice_, bob_, Amount::from_tokens(1.0)});
+  EXPECT_THROW((void)ledger_.pending_contract_of(transfer),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::chain

@@ -1,0 +1,168 @@
+// Tests for the DEX match-making layer (src/market): order book semantics
+// and HTLC settlement of matches.
+#include <gtest/gtest.h>
+
+#include "market/order_book.hpp"
+#include "market/settlement.hpp"
+
+namespace swapgame::market {
+namespace {
+
+model::AgentParams prefs(double alpha = 0.3, double r = 0.01) {
+  return {alpha, r};
+}
+
+TEST(OrderBook, ValidatesInput) {
+  OrderBook book;
+  EXPECT_THROW((void)book.submit(Side::kBuyTokenB, "t", 0.0, prefs()),
+               std::invalid_argument);
+  EXPECT_THROW((void)book.submit(Side::kBuyTokenB, "", 2.0, prefs()),
+               std::invalid_argument);
+  EXPECT_THROW((void)book.submit(Side::kBuyTokenB, "t", 2.0, prefs(0.3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(OrderBook, RestingOrdersDoNotMatchWithoutCross) {
+  OrderBook book;
+  book.submit(Side::kBuyTokenB, "buyer", 1.9, prefs());
+  book.submit(Side::kSellTokenB, "seller", 2.1, prefs());
+  EXPECT_FALSE(book.take_match().has_value());
+  EXPECT_EQ(book.depth(Side::kBuyTokenB), 1u);
+  EXPECT_EQ(book.depth(Side::kSellTokenB), 1u);
+  EXPECT_DOUBLE_EQ(*book.best_bid(), 1.9);
+  EXPECT_DOUBLE_EQ(*book.best_ask(), 2.1);
+}
+
+TEST(OrderBook, CrossMatchesAtMakerPrice) {
+  OrderBook book;
+  book.submit(Side::kSellTokenB, "maker", 2.0, prefs());
+  book.submit(Side::kBuyTokenB, "taker", 2.3, prefs());
+  const auto match = book.take_match();
+  ASSERT_TRUE(match.has_value());
+  EXPECT_DOUBLE_EQ(match->rate, 2.0);  // maker's (resting) price
+  EXPECT_EQ(match->buy.trader, "taker");
+  EXPECT_EQ(match->sell.trader, "maker");
+  EXPECT_EQ(book.depth(Side::kSellTokenB), 0u);
+}
+
+TEST(OrderBook, PricePriorityBestOppositeFirst) {
+  OrderBook book;
+  book.submit(Side::kSellTokenB, "expensive", 2.2, prefs());
+  book.submit(Side::kSellTokenB, "cheap", 1.8, prefs());
+  book.submit(Side::kBuyTokenB, "buyer", 2.5, prefs());
+  const auto match = book.take_match();
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->sell.trader, "cheap");
+  EXPECT_DOUBLE_EQ(match->rate, 1.8);
+  EXPECT_EQ(book.depth(Side::kSellTokenB), 1u);
+}
+
+TEST(OrderBook, TimePriorityAtEqualPrice) {
+  OrderBook book;
+  book.submit(Side::kSellTokenB, "first", 2.0, prefs());
+  book.submit(Side::kSellTokenB, "second", 2.0, prefs());
+  book.submit(Side::kBuyTokenB, "buyer", 2.0, prefs());
+  const auto match = book.take_match();
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->sell.trader, "first");
+}
+
+TEST(OrderBook, SellTakerCrossesBestBid) {
+  OrderBook book;
+  book.submit(Side::kBuyTokenB, "low", 1.9, prefs());
+  book.submit(Side::kBuyTokenB, "high", 2.1, prefs());
+  book.submit(Side::kSellTokenB, "seller", 2.0, prefs());
+  const auto match = book.take_match();
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->buy.trader, "high");
+  EXPECT_DOUBLE_EQ(match->rate, 2.1);  // maker bid
+  EXPECT_EQ(book.depth(Side::kBuyTokenB), 1u);
+}
+
+TEST(OrderBook, CancelRemovesRestingOrder) {
+  OrderBook book;
+  const auto id = book.submit(Side::kBuyTokenB, "buyer", 1.9, prefs());
+  EXPECT_TRUE(book.cancel(id));
+  EXPECT_FALSE(book.cancel(id));
+  EXPECT_EQ(book.depth(Side::kBuyTokenB), 0u);
+  // A later crossing sell no longer matches.
+  book.submit(Side::kSellTokenB, "seller", 1.8, prefs());
+  EXPECT_FALSE(book.take_match().has_value());
+}
+
+TEST(OrderBook, MatchesAreFifo) {
+  OrderBook book;
+  book.submit(Side::kSellTokenB, "s1", 2.0, prefs());
+  book.submit(Side::kBuyTokenB, "b1", 2.0, prefs());
+  book.submit(Side::kSellTokenB, "s2", 2.0, prefs());
+  book.submit(Side::kBuyTokenB, "b2", 2.0, prefs());
+  EXPECT_EQ(book.matches_produced(), 2u);
+  EXPECT_EQ(book.take_match()->buy.trader, "b1");
+  EXPECT_EQ(book.take_match()->buy.trader, "b2");
+  EXPECT_FALSE(book.take_match().has_value());
+}
+
+// ---- Settlement. ------------------------------------------------------------
+
+Match make_match(double rate, double buyer_alpha = 0.3,
+                 double seller_alpha = 0.3) {
+  OrderBook book;
+  book.submit(Side::kSellTokenB, "seller", rate, prefs(seller_alpha));
+  book.submit(Side::kBuyTokenB, "buyer", rate, prefs(buyer_alpha));
+  return *book.take_match();
+}
+
+TEST(Settlement, ParamsInheritTraderPreferences) {
+  const Match match = make_match(2.0, 0.45, 0.25);
+  const model::SwapParams params = params_for_match(match, SettlementConfig{});
+  EXPECT_DOUBLE_EQ(params.alice.alpha, 0.45);  // buyer plays Alice
+  EXPECT_DOUBLE_EQ(params.bob.alpha, 0.25);
+}
+
+TEST(Settlement, ViableMatchSettlesOnChain) {
+  const Match match = make_match(2.0);
+  math::Xoshiro256 rng(7);
+  const Settlement s = settle_match(match, SettlementConfig{}, rng);
+  EXPECT_NEAR(s.predicted_sr, 0.7143, 2e-3);
+  EXPECT_TRUE(s.initiated);
+  EXPECT_TRUE(s.result.conservation_ok);
+}
+
+TEST(Settlement, OffBandRateNeverInitiates) {
+  const Match match = make_match(5.0);  // far above the feasible band
+  math::Xoshiro256 rng(7);
+  const Settlement s = settle_match(match, SettlementConfig{}, rng);
+  EXPECT_FALSE(s.initiated);
+  EXPECT_EQ(s.result.outcome, proto::SwapOutcome::kNotInitiated);
+}
+
+TEST(Settlement, EmpiricalCompletionTracksPrediction) {
+  // Settle the same viable match across many sampled paths; the realized
+  // completion rate approximates the analytic SR.
+  const Match match = make_match(2.0);
+  math::Xoshiro256 rng(11);
+  std::vector<Settlement> settlements;
+  for (int i = 0; i < 400; ++i) {
+    settlements.push_back(settle_match(match, SettlementConfig{}, rng));
+  }
+  const MarketStats stats = aggregate(settlements);
+  EXPECT_EQ(stats.matches, 400u);
+  EXPECT_EQ(stats.initiated, 400u);
+  EXPECT_NEAR(stats.completion_rate(), stats.mean_predicted_sr, 0.07);
+}
+
+TEST(Settlement, CollateralRaisesCompletion) {
+  const Match match = make_match(2.0);
+  SettlementConfig with_q;
+  with_q.collateral = 1.0;
+  math::Xoshiro256 rng_a(13), rng_b(13);
+  int base = 0, coll = 0;
+  for (int i = 0; i < 250; ++i) {
+    if (settle_match(match, SettlementConfig{}, rng_a).result.success) ++base;
+    if (settle_match(match, with_q, rng_b).result.success) ++coll;
+  }
+  EXPECT_GT(coll, base);
+}
+
+}  // namespace
+}  // namespace swapgame::market

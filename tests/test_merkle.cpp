@@ -1,0 +1,103 @@
+// Unit tests for the Merkle tree (src/crypto/merkle).
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace swapgame::crypto {
+namespace {
+
+std::vector<Digest256> make_leaves(int n) {
+  std::vector<Digest256> leaves;
+  for (int i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::hash("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTree, EmptyTreeHasZeroRoot) {
+  const MerkleTree tree({});
+  EXPECT_EQ(tree.root(), Digest256{});
+  EXPECT_EQ(tree.leaf_count(), 0u);
+  EXPECT_THROW((void)tree.prove(0), std::out_of_range);
+}
+
+TEST(MerkleTree, SingleLeafRootIsTheLeaf) {
+  const auto leaves = make_leaves(1);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  const MerkleProof proof = tree.prove(0);
+  EXPECT_TRUE(proof.steps.empty());
+  EXPECT_TRUE(MerkleTree::verify(leaves[0], proof, tree.root()));
+}
+
+TEST(MerkleTree, TwoLeavesRootIsParent) {
+  const auto leaves = make_leaves(2);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::parent(leaves[0], leaves[1]));
+}
+
+TEST(MerkleTree, OddLeafCountDuplicatesLast) {
+  const auto leaves = make_leaves(3);
+  const MerkleTree tree(leaves);
+  const Digest256 left = MerkleTree::parent(leaves[0], leaves[1]);
+  const Digest256 right = MerkleTree::parent(leaves[2], leaves[2]);
+  EXPECT_EQ(tree.root(), MerkleTree::parent(left, right));
+}
+
+TEST(MerkleTree, AllProofsVerifyAcrossSizes) {
+  for (int n : {1, 2, 3, 4, 5, 7, 8, 13, 16, 33}) {
+    const auto leaves = make_leaves(n);
+    const MerkleTree tree(leaves);
+    for (int i = 0; i < n; ++i) {
+      const MerkleProof proof = tree.prove(i);
+      EXPECT_TRUE(MerkleTree::verify(leaves[i], proof, tree.root()))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(MerkleTree, WrongLeafFailsVerification) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(3);
+  EXPECT_FALSE(MerkleTree::verify(leaves[4], proof, tree.root()));
+  EXPECT_FALSE(MerkleTree::verify(Sha256::hash("evil"), proof, tree.root()));
+}
+
+TEST(MerkleTree, WrongRootFailsVerification) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(3);
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, Sha256::hash("other")));
+}
+
+TEST(MerkleTree, TamperedProofStepFailsVerification) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(3);
+  proof.steps[1].sibling = Sha256::hash("tampered");
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
+  // Flipping a side bit also breaks it.
+  MerkleProof flipped = tree.prove(3);
+  flipped.steps[0].sibling_on_left = !flipped.steps[0].sibling_on_left;
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], flipped, tree.root()));
+}
+
+TEST(MerkleTree, RootDependsOnLeafOrder) {
+  auto leaves = make_leaves(4);
+  const MerkleTree tree1(leaves);
+  std::swap(leaves[0], leaves[1]);
+  const MerkleTree tree2(leaves);
+  EXPECT_NE(tree1.root(), tree2.root());
+}
+
+TEST(MerkleTree, ProofSizeIsLogarithmic) {
+  const auto leaves = make_leaves(1024);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.prove(0).steps.size(), 10u);  // log2(1024)
+}
+
+}  // namespace
+}  // namespace swapgame::crypto

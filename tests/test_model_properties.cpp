@@ -1,0 +1,158 @@
+// Randomized property tests over the model family: for parameter sets
+// drawn from realistic ranges, the structural identities of the solvers
+// must hold -- indifference at every threshold, equivalence of the reduced
+// models, agreement between analytic and simulated success rates
+// (differential testing via run_profile_mc), and cross-solver consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "model/basic_game.hpp"
+#include "model/collateral_game.hpp"
+#include "model/commitment_game.hpp"
+#include "model/extended_game.hpp"
+#include "model/game_tree.hpp"
+#include "model/premium_game.hpp"
+#include "model/strategy_value.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace swapgame {
+namespace {
+
+/// Draws a random but valid parameter set from realistic ranges.
+model::SwapParams random_params(math::Xoshiro256& rng) {
+  const auto uniform = [&rng](double lo, double hi) {
+    return lo + (hi - lo) * math::uniform01(rng);
+  };
+  model::SwapParams p;
+  p.alice.alpha = uniform(0.15, 0.6);
+  p.bob.alpha = uniform(0.15, 0.6);
+  p.alice.r = uniform(0.004, 0.014);
+  p.bob.r = uniform(0.004, 0.014);
+  p.tau_a = uniform(1.0, 5.0);
+  p.tau_b = uniform(1.0, 5.0);
+  p.eps_b = uniform(0.2, 0.8) * p.tau_b;
+  p.p_t0 = uniform(0.5, 4.0);
+  p.gbm.mu = uniform(-0.004, 0.006);
+  p.gbm.sigma = uniform(0.04, 0.14);
+  return p;
+}
+
+class RandomizedModelProperties : public ::testing::TestWithParam<int> {
+ protected:
+  RandomizedModelProperties() : rng_(static_cast<std::uint64_t>(GetParam())) {
+    params_ = random_params(rng_);
+    p_star_ = params_.p_t0 * (0.8 + 0.4 * math::uniform01(rng_));
+  }
+
+  math::Xoshiro256 rng_;
+  model::SwapParams params_;
+  double p_star_ = 2.0;
+};
+
+TEST_P(RandomizedModelProperties, ThresholdIndifferenceIdentities) {
+  const model::BasicGame game(params_, p_star_);
+  const double cut = game.alice_t3_cutoff();
+  EXPECT_NEAR(game.alice_t3_cont(cut), game.alice_t3_stop(),
+              1e-10 * (1.0 + game.alice_t3_stop()));
+  if (const auto band = game.bob_t2_band()) {
+    // lo == 0 is the domain boundary (mu >= r regime), not an indifference
+    // point; only strictly interior endpoints satisfy cont == stop.
+    if (band->lo > 0.0) {
+      EXPECT_NEAR(game.bob_t2_cont(band->lo), band->lo,
+                  1e-5 * (1.0 + band->lo));
+    }
+    EXPECT_NEAR(game.bob_t2_cont(band->hi), band->hi, 1e-5 * (1.0 + band->hi));
+  }
+}
+
+TEST_P(RandomizedModelProperties, SuccessRateIsAProbabilityEverywhere) {
+  const model::BasicGame basic(params_, p_star_);
+  const model::CollateralGame coll(params_, p_star_, 0.4);
+  const model::PremiumGame prem(params_, p_star_, 0.4);
+  const model::CommitmentGame comm(params_, p_star_);
+  for (double sr : {basic.success_rate(), coll.success_rate(),
+                    prem.success_rate(), comm.success_rate()}) {
+    EXPECT_GE(sr, -1e-12);
+    EXPECT_LE(sr, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(RandomizedModelProperties, ReducedModelsCoincide) {
+  // Q = 0 collateral game == pr = 0 premium game == basic game; the
+  // neutral extended game == basic game.
+  const model::BasicGame basic(params_, p_star_);
+  const model::CollateralGame coll(params_, p_star_, 0.0);
+  const model::PremiumGame prem(params_, p_star_, 0.0);
+  const model::ExtendedGame ext(model::ExtendedParams::from_basic(params_),
+                                p_star_);
+  EXPECT_NEAR(coll.success_rate(), basic.success_rate(), 1e-6);
+  EXPECT_NEAR(prem.success_rate(), basic.success_rate(), 1e-6);
+  EXPECT_NEAR(ext.success_rate(), basic.success_rate(), 1e-6);
+  EXPECT_NEAR(ext.alice_t3_cutoff(), basic.alice_t3_cutoff(), 1e-10);
+}
+
+TEST_P(RandomizedModelProperties, MechanismOrderingHolds) {
+  // At equal deposit, collateral >= premium >= basic (weakly), and the
+  // commitment protocol beats the basic HTLC.
+  const double d = 0.3;
+  const double basic = model::BasicGame(params_, p_star_).success_rate();
+  const double coll =
+      model::CollateralGame(params_, p_star_, d).success_rate();
+  const double prem = model::PremiumGame(params_, p_star_, d).success_rate();
+  const double comm = model::CommitmentGame(params_, p_star_).success_rate();
+  // Collateral-vs-premium can invert by O(1e-3) in saturated regimes (the
+  // premium is reclaimed one eps_b earlier, shifting Alice's cutoff a hair
+  // lower); the ordering is strict away from saturation (bench X5).
+  EXPECT_GE(coll, prem - 2e-3);
+  EXPECT_GE(prem, basic - 1e-6);
+  EXPECT_GE(comm, basic - 5e-3);
+}
+
+TEST_P(RandomizedModelProperties, EvaluatorMatchesGameOnEquilibrium) {
+  const model::BasicGame game(params_, p_star_);
+  const model::StrategyEvaluator evaluator(params_, p_star_);
+  const model::ThresholdProfile eq = evaluator.equilibrium();
+  EXPECT_NEAR(evaluator.success_rate(eq), game.success_rate(), 1e-6);
+  EXPECT_NEAR(evaluator.alice_value(eq), game.alice_t1_cont(), 1e-5);
+  EXPECT_NEAR(evaluator.bob_value(eq), game.bob_t1_cont(), 1e-5);
+}
+
+TEST_P(RandomizedModelProperties, ProfileMcMatchesEvaluator) {
+  // Differential test: simulate an arbitrary (non-equilibrium) profile and
+  // compare with the closed-form evaluator.
+  const model::StrategyEvaluator evaluator(params_, p_star_);
+  model::ThresholdProfile profile;
+  profile.alice_cutoff = p_star_ * (0.4 + 0.4 * math::uniform01(rng_));
+  const double lo = params_.p_t0 * 0.5 * math::uniform01(rng_);
+  const double hi = lo + params_.p_t0 * (0.5 + math::uniform01(rng_));
+  profile.bob_region = math::IntervalSet({{lo, hi}});
+
+  sim::McConfig cfg;
+  cfg.samples = 60000;
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+  cfg.threads = 1;
+  const sim::McEstimate est = sim::run_profile_mc(params_, profile, cfg);
+  const auto ci = est.success.wilson_interval(0.999);
+  const double analytic = evaluator.success_rate(profile);
+  EXPECT_GE(analytic, ci.lo - 0.01);
+  EXPECT_LE(analytic, ci.hi + 0.01);
+}
+
+TEST_P(RandomizedModelProperties, GameTreeAgreesOnRandomParams) {
+  const model::BasicGame game(params_, p_star_);
+  model::GameTreeConfig cfg;
+  cfg.strata = 400;
+  const model::GameTreeSolution tree =
+      model::solve_game_tree(params_, p_star_, cfg);
+  EXPECT_NEAR(tree.success_rate, game.success_rate(), 0.01);
+  EXPECT_NEAR(tree.alice_t1_cont, game.alice_t1_cont(),
+              0.01 * (1.0 + game.alice_t1_cont()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedModelProperties,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace swapgame

@@ -1,0 +1,170 @@
+// Tests for the Monte-Carlo estimators (src/sim/monte_carlo): determinism,
+// agreement with the analytic success rate, and estimate plumbing.
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/naive.hpp"
+#include "model/basic_game.hpp"
+#include "model/collateral_game.hpp"
+
+namespace swapgame::sim {
+namespace {
+
+model::SwapParams defaults() { return model::SwapParams::table3_defaults(); }
+
+TEST(McEstimate, ConditionalSuccessRate) {
+  McEstimate e;
+  for (int i = 0; i < 10; ++i) e.initiated.add(i < 8);
+  for (int i = 0; i < 10; ++i) e.success.add(i < 4);
+  EXPECT_DOUBLE_EQ(e.conditional_success_rate(), 0.5);  // 4 of 8 initiated
+  McEstimate empty;
+  EXPECT_EQ(empty.conditional_success_rate(), 0.0);
+}
+
+TEST(McEstimate, MergeAggregates) {
+  McEstimate a, b;
+  a.success.add(true);
+  a.initiated.add(true);
+  a.alice_utility.add(2.0);
+  a.outcomes[proto::SwapOutcome::kSuccess] = 1;
+  b.success.add(false);
+  b.initiated.add(true);
+  b.alice_utility.add(3.0);
+  b.outcomes[proto::SwapOutcome::kSuccess] = 4;
+  b.outcomes[proto::SwapOutcome::kBobDeclinedT2] = 2;
+  a.merge(b);
+  EXPECT_EQ(a.success.trials(), 2u);
+  EXPECT_EQ(a.alice_utility.count(), 2u);
+  EXPECT_EQ(a.outcomes[proto::SwapOutcome::kSuccess], 5u);
+  EXPECT_EQ(a.outcomes[proto::SwapOutcome::kBobDeclinedT2], 2u);
+}
+
+TEST(ModelMc, MatchesAnalyticSuccessRate) {
+  const model::BasicGame game(defaults(), 2.0);
+  McConfig cfg;
+  cfg.samples = 100000;
+  cfg.seed = 5;
+  const McEstimate est = run_model_mc(defaults(), 2.0, 0.0, cfg);
+  const auto ci = est.success.wilson_interval(0.999);
+  EXPECT_GE(game.success_rate(), ci.lo);
+  EXPECT_LE(game.success_rate(), ci.hi);
+}
+
+TEST(ModelMc, MatchesAnalyticCollateralSuccessRate) {
+  const model::CollateralGame game(defaults(), 2.0, 0.5);
+  McConfig cfg;
+  cfg.samples = 100000;
+  cfg.seed = 6;
+  const McEstimate est = run_model_mc(defaults(), 2.0, 0.5, cfg);
+  const auto ci = est.success.wilson_interval(0.999);
+  EXPECT_GE(game.success_rate(), ci.lo);
+  EXPECT_LE(game.success_rate(), ci.hi);
+}
+
+TEST(ModelMc, DeterministicAcrossThreadCounts) {
+  McConfig one;
+  one.samples = 5000;
+  one.seed = 9;
+  one.threads = 1;
+  McConfig four = one;
+  four.threads = 4;
+  const McEstimate a = run_model_mc(defaults(), 2.0, 0.0, one);
+  const McEstimate b = run_model_mc(defaults(), 2.0, 0.0, four);
+  // Per-worker RNG streams are seeded identically; the partition changes
+  // but whole-run totals with the same worker count assignment may differ.
+  // Identical thread counts must match exactly.
+  const McEstimate c = run_model_mc(defaults(), 2.0, 0.0, four);
+  EXPECT_EQ(b.success.successes(), c.success.successes());
+  EXPECT_EQ(a.success.trials(), b.success.trials());
+}
+
+TEST(ModelMc, NonViableRateNeverInitiates) {
+  McConfig cfg;
+  cfg.samples = 100;
+  const McEstimate est = run_model_mc(defaults(), 5.0, 0.0, cfg);
+  EXPECT_EQ(est.initiated.successes(), 0u);
+  EXPECT_EQ(est.conditional_success_rate(), 0.0);
+  EXPECT_EQ(est.outcomes.at(proto::SwapOutcome::kNotInitiated), 100u);
+}
+
+TEST(ProtocolMc, MatchesAnalyticSuccessRate) {
+  // Full end-to-end validation: HTLCs, mempool leaks, refunds and all.
+  const model::BasicGame game(defaults(), 2.0);
+  proto::SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  McConfig cfg;
+  cfg.samples = 3000;
+  cfg.seed = 11;
+  const McEstimate est =
+      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
+                      rational_factory(defaults(), 2.0), cfg);
+  const auto ci = est.success.wilson_interval(0.999);
+  EXPECT_GE(game.success_rate(), ci.lo - 0.01);
+  EXPECT_LE(game.success_rate(), ci.hi + 0.01);
+  // Realized mean utilities approximate the model's t1 values.
+  EXPECT_NEAR(est.alice_utility.mean(), game.alice_t1_cont(), 0.08);
+  EXPECT_NEAR(est.bob_utility.mean(), game.bob_t1_cont(), 0.08);
+}
+
+TEST(ProtocolMc, CollateralRaisesEmpiricalSuccessRate) {
+  proto::SwapSetup plain;
+  plain.params = defaults();
+  plain.p_star = 2.0;
+  proto::SwapSetup collateralized = plain;
+  collateralized.collateral = 1.0;
+  McConfig cfg;
+  cfg.samples = 1500;
+  cfg.seed = 21;
+  const McEstimate base =
+      run_protocol_mc(plain, rational_factory(defaults(), 2.0),
+                      rational_factory(defaults(), 2.0), cfg);
+  const McEstimate coll = run_protocol_mc(
+      collateralized, rational_factory(defaults(), 2.0, 1.0),
+      rational_factory(defaults(), 2.0, 1.0), cfg);
+  EXPECT_GT(coll.conditional_success_rate(),
+            base.conditional_success_rate());
+}
+
+TEST(ProtocolMc, HonestAliceAgainstRationalBobFaresWorse) {
+  // The optionality asymmetry: an honest Alice (reveals even after adverse
+  // moves) hands Bob the upside; her realized utility is lower than the
+  // rational Alice's.
+  proto::SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  McConfig cfg;
+  cfg.samples = 2000;
+  cfg.seed = 31;
+  const McEstimate rational =
+      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
+                      rational_factory(defaults(), 2.0), cfg);
+  const McEstimate honest =
+      run_protocol_mc(setup, honest_factory(),
+                      rational_factory(defaults(), 2.0), cfg);
+  EXPECT_LT(honest.alice_utility.mean(), rational.alice_utility.mean());
+  // But the swap succeeds more often with an honest Alice.
+  EXPECT_GT(honest.conditional_success_rate(),
+            rational.conditional_success_rate());
+}
+
+TEST(ProtocolMc, AllOutcomesAccounted) {
+  proto::SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  McConfig cfg;
+  cfg.samples = 1000;
+  cfg.seed = 41;
+  const McEstimate est =
+      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
+                      rational_factory(defaults(), 2.0), cfg);
+  std::uint64_t total = 0;
+  for (const auto& [outcome, count] : est.outcomes) total += count;
+  EXPECT_EQ(total, cfg.samples);
+  // Rational agents never hit the irrational kBobMissedT4 path.
+  EXPECT_EQ(est.outcomes.count(proto::SwapOutcome::kBobMissedT4), 0u);
+}
+
+}  // namespace
+}  // namespace swapgame::sim

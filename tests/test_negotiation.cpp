@@ -1,0 +1,105 @@
+// Tests for the t0 rate negotiation (src/model/negotiation).
+#include "model/negotiation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(Negotiation, RuleNames) {
+  EXPECT_STREQ(to_string(BargainingRule::kNashBargaining), "nash-bargaining");
+  EXPECT_STREQ(to_string(BargainingRule::kMaxSuccessRate), "max-success-rate");
+  EXPECT_STREQ(to_string(BargainingRule::kMidpoint), "midpoint");
+}
+
+TEST(Negotiation, AgreesAtDefaultsUnderEveryRule) {
+  for (BargainingRule rule :
+       {BargainingRule::kNashBargaining, BargainingRule::kMaxSuccessRate,
+        BargainingRule::kMidpoint}) {
+    const NegotiationResult r = negotiate_rate(defaults(), rule);
+    EXPECT_TRUE(r.agreed) << to_string(rule);
+    EXPECT_GT(r.p_star, 1.0) << to_string(rule);
+    EXPECT_LT(r.p_star, 3.0) << to_string(rule);
+    EXPECT_GT(r.alice_surplus, 0.0) << to_string(rule);
+    EXPECT_GT(r.bob_surplus, 0.0) << to_string(rule);
+    EXPECT_GT(r.success_rate, 0.5) << to_string(rule);
+  }
+}
+
+TEST(Negotiation, ChosenRateLiesInMutualSet) {
+  const NegotiationResult r =
+      negotiate_rate(defaults(), BargainingRule::kNashBargaining);
+  ASSERT_TRUE(r.agreed);
+  EXPECT_TRUE(r.mutual.contains(r.p_star));
+  EXPECT_TRUE(r.alice_acceptable.contains(r.p_star));
+  EXPECT_TRUE(r.bob_acceptable.contains(r.p_star));
+}
+
+TEST(Negotiation, MutualSetIsIntersection) {
+  const NegotiationResult r =
+      negotiate_rate(defaults(), BargainingRule::kMidpoint);
+  EXPECT_TRUE(
+      r.mutual.equals(r.alice_acceptable.intersect(r.bob_acceptable), 1e-12));
+}
+
+TEST(Negotiation, NashBeatsOthersOnNashProduct) {
+  const NegotiationResult nash =
+      negotiate_rate(defaults(), BargainingRule::kNashBargaining);
+  const NegotiationResult mid =
+      negotiate_rate(defaults(), BargainingRule::kMidpoint);
+  const NegotiationResult sr =
+      negotiate_rate(defaults(), BargainingRule::kMaxSuccessRate);
+  const double nash_product = nash.alice_surplus * nash.bob_surplus;
+  EXPECT_GE(nash_product, mid.alice_surplus * mid.bob_surplus - 1e-9);
+  EXPECT_GE(nash_product, sr.alice_surplus * sr.bob_surplus - 1e-9);
+}
+
+TEST(Negotiation, MaxSrRuleBeatsOthersOnSuccessRate) {
+  const NegotiationResult sr =
+      negotiate_rate(defaults(), BargainingRule::kMaxSuccessRate);
+  const NegotiationResult nash =
+      negotiate_rate(defaults(), BargainingRule::kNashBargaining);
+  EXPECT_GE(sr.success_rate, nash.success_rate - 1e-9);
+}
+
+TEST(Negotiation, ImpatientAgentsCannotAgree) {
+  SwapParams p = defaults();
+  p.alice.r = 0.05;
+  p.bob.r = 0.05;
+  const NegotiationResult r =
+      negotiate_rate(p, BargainingRule::kNashBargaining);
+  EXPECT_FALSE(r.agreed);
+  EXPECT_TRUE(r.mutual.empty());
+}
+
+TEST(Negotiation, AsymmetricPremiumsTiltTheRate) {
+  // A more eager Alice (higher alpha) concedes a lower rate under Nash
+  // bargaining than a more eager Bob setup concedes a higher one.
+  SwapParams eager_alice = defaults();
+  eager_alice.alice.alpha = 0.5;
+  eager_alice.bob.alpha = 0.2;
+  SwapParams eager_bob = defaults();
+  eager_bob.alice.alpha = 0.2;
+  eager_bob.bob.alpha = 0.5;
+  const NegotiationResult ra =
+      negotiate_rate(eager_alice, BargainingRule::kNashBargaining);
+  const NegotiationResult rb =
+      negotiate_rate(eager_bob, BargainingRule::kNashBargaining);
+  ASSERT_TRUE(ra.agreed);
+  ASSERT_TRUE(rb.agreed);
+  // Alice pays P*; when she is the eager side the agreed rate is higher
+  // (she accepts worse terms), and vice versa.
+  EXPECT_GT(ra.p_star, rb.p_star);
+}
+
+TEST(Negotiation, ValidatesGrid) {
+  EXPECT_THROW(
+      (void)negotiate_rate(defaults(), BargainingRule::kMidpoint, 0.05, 10.0,
+                           400, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::model

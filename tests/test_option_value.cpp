@@ -1,0 +1,107 @@
+// Tests for the optionality decomposition (src/model/option_value).
+#include "model/option_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/premium_game.hpp"
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(OptionalityDecomposition, OwnOptionsAreNonNegative) {
+  // By optimality, playing the rational threshold cannot be worse than
+  // committing, against the same (re-optimizing) opponent.
+  const OptionalityDecomposition d = decompose_optionality(defaults(), 2.0);
+  EXPECT_GE(d.alice_option_value(), -1e-9);
+  EXPECT_GE(d.bob_option_value(), -1e-9);
+  EXPECT_GT(d.alice_option_value(), 0.001);  // strictly valuable at defaults
+  EXPECT_GT(d.bob_option_value(), 0.001);
+}
+
+TEST(OptionalityDecomposition, OptionsImposeLargerCostsOnCounterparty) {
+  // The paper-relevant asymmetry: each side's option is worth little to its
+  // holder but costs the counterparty several times more -- optionality is
+  // a negative-sum feature of the protocol.
+  const OptionalityDecomposition d = decompose_optionality(defaults(), 2.0);
+  EXPECT_GT(d.alice_option_cost_to_bob(), d.alice_option_value());
+  EXPECT_GT(d.bob_option_cost_to_alice(), d.bob_option_value());
+}
+
+TEST(OptionalityDecomposition, CommittedProtocolAlwaysCompletes) {
+  const OptionalityDecomposition d = decompose_optionality(defaults(), 2.0);
+  EXPECT_NEAR(d.success_rate_cc, 1.0, 1e-6);
+  EXPECT_LT(d.success_rate_rr, 1.0);
+  EXPECT_NEAR(d.success_rate_rr, 0.7143, 2e-3);
+}
+
+TEST(OptionalityDecomposition, PrisonersDilemmaStructure) {
+  const OptionalityDecomposition d = decompose_optionality(defaults(), 2.0);
+  // (C,C) Pareto-dominates (R,R)...
+  EXPECT_GT(d.alice_cc, d.alice_rr);
+  EXPECT_GT(d.bob_cc, d.bob_rr);
+  // ...but each side gains by unilateral deviation from (C,C).
+  EXPECT_GT(d.alice_rc, d.alice_cc);  // Alice defects vs committed Bob
+  EXPECT_GT(d.bob_cr, d.bob_cc);      // Bob defects vs committed Alice
+}
+
+TEST(OptionalityDecomposition, RegressionValuesAtDefaults) {
+  const OptionalityDecomposition d = decompose_optionality(defaults(), 2.0);
+  EXPECT_NEAR(d.alice_rr, 2.2206, 2e-3);
+  EXPECT_NEAR(d.bob_rr, 2.1861, 2e-3);
+  EXPECT_NEAR(d.alice_option_value(), 0.0241, 2e-3);
+  EXPECT_NEAR(d.bob_option_value(), 0.0303, 2e-3);
+  EXPECT_NEAR(d.alice_option_cost_to_bob(), 0.1727, 2e-3);
+  EXPECT_NEAR(d.bob_option_cost_to_alice(), 0.1911, 2e-3);
+}
+
+TEST(OptionalityDecomposition, HigherVolatilityInflatesOptionValues) {
+  // Options are worth more in volatile markets (standard option theory;
+  // the channel behind the paper's SR-vs-sigma result).
+  SwapParams calm = defaults();
+  calm.gbm.sigma = 0.05;
+  SwapParams wild = defaults();
+  wild.gbm.sigma = 0.15;
+  const OptionalityDecomposition dc = decompose_optionality(calm, 2.0);
+  const OptionalityDecomposition dw = decompose_optionality(wild, 2.0);
+  EXPECT_GT(dw.alice_option_value(), dc.alice_option_value());
+  EXPECT_GT(dw.bob_option_value(), dc.bob_option_value());
+}
+
+TEST(CompensatingPremium, ExistsAndCompensatesBob) {
+  const auto pr = compensating_premium(defaults(), 2.0);
+  ASSERT_TRUE(pr.has_value());
+  EXPECT_GT(*pr, 0.0);
+  // At the compensating premium Bob's equilibrium value matches (to search
+  // tolerance) his value against a committed Alice.
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  ThresholdProfile alice_committed;
+  alice_committed.alice_cutoff = 0.0;
+  alice_committed.bob_region = evaluator.bob_best_response(0.0);
+  const double target = evaluator.bob_value(alice_committed);
+  const PremiumGame game(defaults(), 2.0, *pr);
+  EXPECT_NEAR(game.bob_t1_cont(), target, 5e-3);
+}
+
+TEST(CompensatingPremium, ShrinksWhenAliceIsIntrinsicallyHonest) {
+  // A huge alpha^A collapses Alice's walk-away region, so less premium is
+  // needed to make Bob whole than at the default premium (~1.61).
+  SwapParams honest_alice = defaults();
+  honest_alice.alice.alpha = 5.0;
+  const auto pr_honest = compensating_premium(honest_alice, 2.0);
+  const auto pr_default = compensating_premium(defaults(), 2.0);
+  ASSERT_TRUE(pr_honest.has_value());
+  ASSERT_TRUE(pr_default.has_value());
+  EXPECT_LT(*pr_honest, *pr_default);
+}
+
+TEST(CompensatingPremium, ValidatesArguments) {
+  EXPECT_THROW((void)compensating_premium(defaults(), 2.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)compensating_premium(defaults(), 2.0, 4.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::model

@@ -1,0 +1,126 @@
+// Standalone tests of the collateral Oracle's settlement rules
+// (src/proto/oracle), exercised directly against two ledgers.
+#include "proto/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secret.hpp"
+#include "math/rng.hpp"
+#include "model/params.hpp"
+
+namespace swapgame::proto {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest()
+      : chain_a_({chain::ChainId::kChainA, 3.0, 1.0}, queue_),
+        chain_b_({chain::ChainId::kChainB, 4.0, 1.0}, queue_) {
+    chain_a_.create_account(alice_, chain::Amount::from_tokens(5.0));
+    chain_a_.create_account(bob_, chain::Amount::from_tokens(5.0));
+    chain_b_.create_account(alice_, chain::Amount{});
+    chain_b_.create_account(bob_, chain::Amount::from_tokens(1.0));
+    math::Xoshiro256 rng(555);
+    secret_ = crypto::Secret::generate(rng);
+    schedule_ = model::idealized_schedule(model::SwapParams::table3_defaults(), 0.0);
+    chain_a_.charge_collateral(alice_, q_);
+    chain_a_.charge_collateral(bob_, q_);
+  }
+
+  CollateralOracle make_oracle() {
+    return CollateralOracle(queue_, chain_a_, chain_b_, alice_, bob_, q_);
+  }
+
+  void bob_locks() {
+    chain_b_.submit(chain::DeployHtlcPayload{
+        bob_, alice_, chain::Amount::from_tokens(1.0), secret_.commitment(),
+        schedule_.t_b});
+  }
+
+  void alice_reveals(chain::Hours at) {
+    queue_.run_until(at);
+    const chain::HtlcContract* contract =
+        chain_b_.find_htlc_by_hash(secret_.commitment());
+    ASSERT_NE(contract, nullptr);
+    chain_b_.submit(chain::ClaimHtlcPayload{contract->id, secret_, alice_});
+  }
+
+  chain::EventQueue queue_;
+  chain::Ledger chain_a_;
+  chain::Ledger chain_b_;
+  const chain::Address alice_{"alice"};
+  const chain::Address bob_{"bob"};
+  const chain::Amount q_ = chain::Amount::from_tokens(0.5);
+  crypto::Secret secret_;
+  model::Schedule schedule_;
+};
+
+TEST_F(OracleTest, BothFulfilledReturnsBothCollaterals) {
+  CollateralOracle oracle = make_oracle();
+  oracle.arm(secret_.commitment(), schedule_);
+  queue_.run_until(schedule_.t2);
+  bob_locks();
+  alice_reveals(schedule_.t3);
+  queue_.run();
+  EXPECT_DOUBLE_EQ(oracle.released_to_alice(), 0.5);
+  EXPECT_DOUBLE_EQ(oracle.released_to_bob(), 0.5);
+  EXPECT_EQ(chain_a_.vault_total(), chain::Amount{});
+  // alice: 5 - 0.5 charged + 0.5 back = 5.
+  EXPECT_EQ(chain_a_.balance(alice_), chain::Amount::from_tokens(4.5 + 0.5));
+}
+
+TEST_F(OracleTest, BobNeverLocksAliceGetsBoth) {
+  CollateralOracle oracle = make_oracle();
+  oracle.arm(secret_.commitment(), schedule_);
+  queue_.run();
+  EXPECT_DOUBLE_EQ(oracle.released_to_alice(), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.released_to_bob(), 0.0);
+  EXPECT_EQ(chain_a_.balance(alice_), chain::Amount::from_tokens(5.5));
+  EXPECT_EQ(chain_a_.balance(bob_), chain::Amount::from_tokens(4.5));
+}
+
+TEST_F(OracleTest, AliceNeverRevealsBobGetsHers) {
+  CollateralOracle oracle = make_oracle();
+  oracle.arm(secret_.commitment(), schedule_);
+  queue_.run_until(schedule_.t2);
+  bob_locks();
+  queue_.run();
+  EXPECT_DOUBLE_EQ(oracle.released_to_alice(), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.released_to_bob(), 1.0);  // own Q + Alice's Q
+  EXPECT_EQ(chain_a_.balance(bob_), chain::Amount::from_tokens(5.5));
+}
+
+TEST_F(OracleTest, ReleaseTimingMatchesPaper) {
+  // Bob's collateral releases at t3 and confirms tau_a later; Alice's at
+  // t4 + tau_a (paper Section IV-1/2).
+  CollateralOracle oracle = make_oracle();
+  oracle.arm(secret_.commitment(), schedule_);
+  queue_.run_until(schedule_.t2);
+  bob_locks();
+  alice_reveals(schedule_.t3);
+  // Just before t3 + tau_a: bob not yet paid.
+  queue_.run_until(schedule_.t3 + 3.0 - 0.001);
+  EXPECT_EQ(chain_a_.balance(bob_), chain::Amount::from_tokens(4.5));
+  queue_.run_until(schedule_.t3 + 3.0);
+  EXPECT_EQ(chain_a_.balance(bob_), chain::Amount::from_tokens(5.0));
+  // Alice's release confirms at t4 + tau_a.
+  queue_.run_until(schedule_.t4 + 3.0 - 0.001);
+  EXPECT_EQ(chain_a_.balance(alice_), chain::Amount::from_tokens(4.5));
+  queue_.run_until(schedule_.t4 + 3.0);
+  EXPECT_EQ(chain_a_.balance(alice_), chain::Amount::from_tokens(5.0));
+}
+
+TEST_F(OracleTest, SecretVisibleOnlyAfterEpsilonStillCounts) {
+  // Alice reveals right at t3; the claim is visible at t3 + eps_b = t4,
+  // exactly when the oracle checks -- she must be credited.
+  CollateralOracle oracle = make_oracle();
+  oracle.arm(secret_.commitment(), schedule_);
+  queue_.run_until(schedule_.t2);
+  bob_locks();
+  alice_reveals(schedule_.t3);
+  queue_.run();
+  EXPECT_DOUBLE_EQ(oracle.released_to_alice(), 0.5);
+}
+
+}  // namespace
+}  // namespace swapgame::proto

@@ -1,0 +1,140 @@
+// Tests for parameter validation (src/model/params) and the decision
+// timeline (src/model/timeline): Eqs. (3)-(13) and Fig. 2.
+#include <gtest/gtest.h>
+
+#include "model/params.hpp"
+#include "model/timeline.hpp"
+
+namespace swapgame::model {
+namespace {
+
+TEST(AgentParams, Validation) {
+  EXPECT_NO_THROW((AgentParams{0.3, 0.01}.validate()));
+  EXPECT_NO_THROW((AgentParams{0.0, 0.01}.validate()));   // alpha may be 0
+  EXPECT_NO_THROW((AgentParams{-0.5, 0.01}.validate()));  // or negative > -1
+  EXPECT_THROW((AgentParams{-1.5, 0.01}.validate()), std::invalid_argument);
+  EXPECT_THROW((AgentParams{0.3, 0.0}.validate()), std::invalid_argument);
+  EXPECT_THROW((AgentParams{0.3, -0.01}.validate()), std::invalid_argument);
+}
+
+TEST(SwapParams, Table3DefaultsAreValidAndMatchPaper) {
+  const SwapParams p = SwapParams::table3_defaults();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.alice.alpha, 0.3);
+  EXPECT_DOUBLE_EQ(p.bob.alpha, 0.3);
+  EXPECT_DOUBLE_EQ(p.alice.r, 0.01);
+  EXPECT_DOUBLE_EQ(p.bob.r, 0.01);
+  EXPECT_DOUBLE_EQ(p.tau_a, 3.0);
+  EXPECT_DOUBLE_EQ(p.tau_b, 4.0);
+  EXPECT_DOUBLE_EQ(p.eps_b, 1.0);
+  EXPECT_DOUBLE_EQ(p.p_t0, 2.0);
+  EXPECT_DOUBLE_EQ(p.gbm.mu, 0.002);
+  EXPECT_DOUBLE_EQ(p.gbm.sigma, 0.1);
+}
+
+TEST(SwapParams, ValidationRejectsEq3Violation) {
+  SwapParams p = SwapParams::table3_defaults();
+  p.eps_b = p.tau_b;  // Eq. (3) requires eps_b < tau_b
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.eps_b = 5.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(SwapParams, ValidationRejectsNonPositiveTimes) {
+  SwapParams p = SwapParams::table3_defaults();
+  p.tau_a = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SwapParams::table3_defaults();
+  p.tau_b = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SwapParams::table3_defaults();
+  p.p_t0 = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Action, Names) {
+  EXPECT_STREQ(to_string(Action::kCont), "cont");
+  EXPECT_STREQ(to_string(Action::kStop), "stop");
+}
+
+TEST(Timeline, IdealizedScheduleMatchesEq13) {
+  const SwapParams p = SwapParams::table3_defaults();
+  const Schedule s = idealized_schedule(p, 0.0);
+  EXPECT_DOUBLE_EQ(s.t0, 0.0);
+  EXPECT_DOUBLE_EQ(s.t1, 0.0);                    // t1 = t0
+  EXPECT_DOUBLE_EQ(s.t2, 3.0);                    // t1 + tau_a
+  EXPECT_DOUBLE_EQ(s.t3, 7.0);                    // t2 + tau_b
+  EXPECT_DOUBLE_EQ(s.t4, 8.0);                    // t3 + eps_b
+  EXPECT_DOUBLE_EQ(s.t5, 11.0);                   // t3 + tau_b = t_b
+  EXPECT_DOUBLE_EQ(s.t_b, 11.0);
+  EXPECT_DOUBLE_EQ(s.t6, 11.0);                   // t4 + tau_a = t_a
+  EXPECT_DOUBLE_EQ(s.t_a, 11.0);
+  EXPECT_DOUBLE_EQ(s.t7, 15.0);                   // t_b + tau_b
+  EXPECT_DOUBLE_EQ(s.t8, 14.0);                   // t_a + tau_a
+}
+
+TEST(Timeline, IdealizedScheduleSatisfiesConstraintSystem) {
+  for (double tau_a : {0.5, 3.0, 6.0}) {
+    for (double tau_b : {0.8, 4.0, 9.0}) {
+      SwapParams p = SwapParams::table3_defaults();
+      p.tau_a = tau_a;
+      p.tau_b = tau_b;
+      p.eps_b = 0.5 * tau_b;
+      const Schedule s = idealized_schedule(p, 2.5);
+      const auto violation = check_schedule(s, p.tau_a, p.tau_b, p.eps_b);
+      EXPECT_FALSE(violation.has_value())
+          << "tau_a=" << tau_a << " tau_b=" << tau_b << ": " << *violation;
+    }
+  }
+}
+
+TEST(Timeline, IdealizedScheduleAnchorsAtT0) {
+  const SwapParams p = SwapParams::table3_defaults();
+  const Schedule s = idealized_schedule(p, 100.0);
+  EXPECT_DOUBLE_EQ(s.t1, 100.0);
+  EXPECT_DOUBLE_EQ(s.t8, 114.0);
+}
+
+TEST(Timeline, CheckScheduleReportsSpecificViolations) {
+  const SwapParams p = SwapParams::table3_defaults();
+  Schedule s = idealized_schedule(p, 0.0);
+
+  Schedule bad = s;
+  bad.t2 = s.t1 + p.tau_a - 0.1;  // Bob locks before Alice's confirmation
+  auto v = check_schedule(bad, p.tau_a, p.tau_b, p.eps_b);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("Eq. 5"), std::string::npos);
+
+  bad = s;
+  bad.t4 = s.t3 + 0.5 * p.eps_b;  // Bob claims before the secret is visible
+  v = check_schedule(bad, p.tau_a, p.tau_b, p.eps_b);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("Eq. 7"), std::string::npos);
+
+  bad = s;
+  bad.t_b = s.t5 - 0.5;  // Alice's claim cannot confirm before expiry
+  v = check_schedule(bad, p.tau_a, p.tau_b, p.eps_b);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("Eq. 8"), std::string::npos);
+
+  // Eq. (3) violation surfaces first.
+  v = check_schedule(s, p.tau_a, p.tau_b, /*eps_b=*/p.tau_b + 1.0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("Eq. 3"), std::string::npos);
+}
+
+TEST(Timeline, StageDelaysMatchScheduleDifferences) {
+  // The hard-coded utility exponents must equal the schedule differences --
+  // this pins Eqs. (14)-(17) receipt times to Eq. (13).
+  const SwapParams p = SwapParams::table3_defaults();
+  const Schedule s = idealized_schedule(p, 0.0);
+  const StageDelays d = stage_delays(p);
+  EXPECT_DOUBLE_EQ(d.alice_cont_from_t3, s.t5 - s.t3);
+  EXPECT_DOUBLE_EQ(d.bob_cont_from_t3, s.t6 - s.t3);
+  EXPECT_DOUBLE_EQ(d.alice_stop_from_t3, s.t8 - s.t3);
+  EXPECT_DOUBLE_EQ(d.bob_stop_from_t3, s.t7 - s.t3);
+  EXPECT_DOUBLE_EQ(d.alice_stop_from_t2, s.t8 - s.t2);
+}
+
+}  // namespace
+}  // namespace swapgame::model

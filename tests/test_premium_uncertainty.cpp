@@ -1,0 +1,118 @@
+// Tests for the success-premium-uncertainty extension
+// (src/model/premium_uncertainty).
+#include "model/premium_uncertainty.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/basic_game.hpp"
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(AlphaPrior, ValidationAndNormalization) {
+  AlphaPrior p{{0.1, 0.3}, {2.0, 6.0}};
+  p.validate_and_normalize();
+  EXPECT_NEAR(p.weights[0], 0.25, 1e-12);
+  EXPECT_NEAR(p.weights[1], 0.75, 1e-12);
+  EXPECT_NEAR(p.mean(), 0.25 * 0.1 + 0.75 * 0.3, 1e-12);
+
+  AlphaPrior empty{{}, {}};
+  EXPECT_THROW(empty.validate_and_normalize(), std::invalid_argument);
+  AlphaPrior mismatch{{0.1}, {1.0, 2.0}};
+  EXPECT_THROW(mismatch.validate_and_normalize(), std::invalid_argument);
+  AlphaPrior negative{{0.1}, {-1.0}};
+  EXPECT_THROW(negative.validate_and_normalize(), std::invalid_argument);
+  AlphaPrior zero_mass{{0.1, 0.2}, {0.0, 0.0}};
+  EXPECT_THROW(zero_mass.validate_and_normalize(), std::invalid_argument);
+  AlphaPrior bad_alpha{{-2.0}, {1.0}};
+  EXPECT_THROW(bad_alpha.validate_and_normalize(), std::invalid_argument);
+}
+
+TEST(AlphaPrior, PointMass) {
+  const AlphaPrior p = AlphaPrior::point(0.3);
+  EXPECT_EQ(p.alphas.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.3);
+}
+
+TEST(UncertainPremiumGame, PointPriorsRecoverCompleteInformation) {
+  // Degenerate priors at the true premiums must reproduce the basic game.
+  const SwapParams p = defaults();
+  const UncertainPremiumGame u(p, AlphaPrior::point(p.alice.alpha),
+                               AlphaPrior::point(p.bob.alpha), 2.0);
+  const BasicGame complete(p, 2.0);
+
+  for (double price : {1.0, 1.5, 2.0, 2.5}) {
+    EXPECT_NEAR(u.bob_t2_cont_bayes(price), complete.bob_t2_cont(price), 1e-9)
+        << "price=" << price;
+  }
+  const auto u_band = u.bob_t2_band_bayes();
+  const auto c_band = complete.bob_t2_band();
+  ASSERT_TRUE(u_band.has_value());
+  ASSERT_TRUE(c_band.has_value());
+  EXPECT_NEAR(u_band->lo, c_band->lo, 1e-6);
+  EXPECT_NEAR(u_band->hi, c_band->hi, 1e-6);
+  EXPECT_NEAR(u.realized_success_rate(), complete.success_rate(), 1e-6);
+  EXPECT_NEAR(u.believed_success_rate(), complete.success_rate(), 1e-6);
+  EXPECT_NEAR(u.alice_t1_cont_bayes(), complete.alice_t1_cont(), 1e-6);
+}
+
+TEST(UncertainPremiumGame, RealizedVsBelievedGapUnderMiscalibration) {
+  // Bob believes Alice might have low alpha; Alice actually has the default
+  // 0.3.  Believed SR (averaging over pessimistic cutoffs) differs from the
+  // realized one.
+  const SwapParams p = defaults();
+  const AlphaPrior spread{{0.1, 0.3, 0.5}, {1.0, 1.0, 1.0}};
+  const UncertainPremiumGame u(p, spread, AlphaPrior::point(p.bob.alpha), 2.0);
+  const double realized = u.realized_success_rate();
+  const double believed = u.believed_success_rate();
+  EXPECT_GT(realized, 0.0);
+  EXPECT_GT(believed, 0.0);
+  EXPECT_NE(realized, believed);
+}
+
+TEST(UncertainPremiumGame, UncertaintyLowersRealizedSuccessRate) {
+  // A mean-preserving spread over alpha^A distorts Bob's band relative to
+  // the complete-information equilibrium; at Table III defaults this costs
+  // success probability (regression-pinned from the validated build).
+  const SwapParams p = defaults();
+  const BasicGame complete(p, 2.0);
+  const AlphaPrior spread{{0.1, 0.3, 0.5}, {1.0, 1.0, 1.0}};
+  const UncertainPremiumGame u(p, spread, spread, 2.0);
+  EXPECT_LT(u.realized_success_rate(), complete.success_rate());
+}
+
+TEST(UncertainPremiumGame, AliceStillInitiatesAtViableRate) {
+  const SwapParams p = defaults();
+  const AlphaPrior spread{{0.2, 0.4}, {1.0, 1.0}};
+  const UncertainPremiumGame u(p, spread, spread, 2.0);
+  EXPECT_EQ(u.alice_decision_t1(), Action::kCont);
+  EXPECT_DOUBLE_EQ(u.alice_t1_stop(), 2.0);
+}
+
+TEST(UncertainPremiumGame, ValidatesInputs) {
+  const SwapParams p = defaults();
+  EXPECT_THROW(UncertainPremiumGame(p, AlphaPrior::point(0.3),
+                                    AlphaPrior::point(0.3), 0.0),
+               std::invalid_argument);
+  AlphaPrior bad{{0.1}, {0.0}};
+  EXPECT_THROW(UncertainPremiumGame(p, bad, AlphaPrior::point(0.3), 2.0),
+               std::invalid_argument);
+}
+
+TEST(UncertainPremiumGame, HopelessPriorKillsBand) {
+  // If Bob is sure Alice has a huge premium but HE has none and is very
+  // impatient, no band exists and SR is zero.
+  SwapParams p = defaults();
+  p.bob.alpha = 0.0;
+  p.bob.r = 0.05;
+  const UncertainPremiumGame u(p, AlphaPrior::point(0.3),
+                               AlphaPrior::point(0.0), 2.0);
+  EXPECT_FALSE(u.bob_t2_band_bayes().has_value());
+  EXPECT_EQ(u.realized_success_rate(), 0.0);
+  EXPECT_EQ(u.believed_success_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace swapgame::model

@@ -1,0 +1,121 @@
+// Unit tests for root finding (src/math/roots).
+#include "math/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swapgame::math {
+namespace {
+
+TEST(Brent, FindsSimpleRoot) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  EXPECT_NEAR(brent(f, {0.0, 2.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Brent, FindsTranscendentalRoot) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  EXPECT_NEAR(brent(f, {0.0, 1.0}), 0.7390851332151607, 1e-12);
+}
+
+TEST(Brent, AcceptsRootAtEndpoint) {
+  const auto f = [](double x) { return x - 1.0; };
+  EXPECT_EQ(brent(f, {1.0, 2.0}), 1.0);
+  EXPECT_EQ(brent(f, {0.0, 1.0}), 1.0);
+}
+
+TEST(Brent, ThrowsOnInvalidBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)brent(f, {-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Brent, HandlesSteepFunctions) {
+  const auto f = [](double x) { return std::exp(50.0 * x) - 1.0; };
+  EXPECT_NEAR(brent(f, {-1.0, 1.0}), 0.0, 1e-10);
+}
+
+TEST(Bisect, AgreesWithBrent) {
+  const auto f = [](double x) { return x * x * x - x - 2.0; };
+  const double rb = brent(f, {1.0, 2.0});
+  const double rbis = bisect(f, {1.0, 2.0});
+  EXPECT_NEAR(rb, rbis, 1e-9);
+  EXPECT_NEAR(f(rb), 0.0, 1e-10);
+}
+
+TEST(Bisect, ThrowsOnInvalidBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)bisect(f, {-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ScanSignChanges, FindsAllBracketsOfSine) {
+  // sin has zeros at pi, 2pi, 3pi within (0.5, 10).
+  const auto brackets =
+      scan_sign_changes([](double x) { return std::sin(x); }, 0.5, 10.0, 500);
+  ASSERT_EQ(brackets.size(), 3u);
+  EXPECT_LT(brackets[0].lo, M_PI);
+  EXPECT_GT(brackets[0].hi, M_PI);
+  EXPECT_LT(brackets[1].lo, 2.0 * M_PI);
+  EXPECT_GT(brackets[1].hi, 2.0 * M_PI);
+}
+
+TEST(ScanSignChanges, ValidatesArguments) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)scan_sign_changes(f, 1.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)scan_sign_changes(f, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(FindAllRoots, PolishedSineRoots) {
+  const auto roots =
+      find_all_roots([](double x) { return std::sin(x); }, 0.5, 10.0, 500);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], M_PI, 1e-10);
+  EXPECT_NEAR(roots[1], 2.0 * M_PI, 1e-10);
+  EXPECT_NEAR(roots[2], 3.0 * M_PI, 1e-10);
+}
+
+TEST(FindAllRoots, CubicWithThreeRoots) {
+  // (x+2)(x)(x-3) = x^3 - x^2 - 6x
+  const auto f = [](double x) { return x * x * x - x * x - 6.0 * x; };
+  const auto roots = find_all_roots(f, -5.0, 5.0, 1000);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], -2.0, 1e-10);
+  EXPECT_NEAR(roots[1], 0.0, 1e-10);
+  EXPECT_NEAR(roots[2], 3.0, 1e-10);
+}
+
+TEST(FindAllRoots, NoRoots) {
+  const auto roots =
+      find_all_roots([](double x) { return x * x + 1.0; }, -5.0, 5.0, 100);
+  EXPECT_TRUE(roots.empty());
+}
+
+TEST(FindAllRoots, RootOnGridNodeNotDuplicated) {
+  // Root at exactly 0, which lands on a grid node for even sample counts
+  // spanning symmetric ranges.
+  const auto roots =
+      find_all_roots([](double x) { return x; }, -1.0, 1.0, 201);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 0.0, 1e-10);
+}
+
+TEST(ExpandBracketUpward, FindsDistantSignChange) {
+  const auto f = [](double x) { return x - 100.0; };
+  const auto bracket = expand_bracket_upward(f, 0.0, 1.0);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_LE(bracket->lo, 100.0);
+  EXPECT_GE(bracket->hi, 100.0);
+  EXPECT_NEAR(brent(f, *bracket), 100.0, 1e-9);
+}
+
+TEST(ExpandBracketUpward, ReturnsNulloptWhenNoSignChange) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_FALSE(expand_bracket_upward(f, 0.0, 1.0, 10).has_value());
+}
+
+TEST(ExpandBracketUpward, RejectsNonPositiveStep) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)expand_bracket_upward(f, 0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::math

@@ -1,0 +1,93 @@
+// Tests for the success-rate sensitivity analysis (src/model/sensitivity).
+#include "model/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/basic_game.hpp"
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(Sensitivity, ValidatesInput) {
+  EXPECT_THROW((void)success_rate_sensitivities(defaults(), 2.0, 0.0),
+               std::invalid_argument);
+  // Non-viable point: SR = 0 (tiny alpha kills the band).
+  SwapParams dead = defaults();
+  dead.bob.alpha = 0.0;
+  dead.bob.r = 0.05;
+  EXPECT_THROW((void)success_rate_sensitivities(dead, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, SignsMatchSectionIIIF) {
+  const SensitivityReport report = success_rate_sensitivities(defaults(), 2.0);
+  EXPECT_NEAR(report.success_rate, 0.7143, 2e-3);
+  EXPECT_LT(report["sigma"].derivative, 0.0);    // volatility hurts
+  EXPECT_GT(report["mu"].derivative, 0.0);       // drift helps
+  EXPECT_GT(report["alpha_A"].derivative, 0.0);  // premiums help
+  EXPECT_GT(report["alpha_B"].derivative, 0.0);
+  // Bob's impatience hurts (narrows his lock band)...
+  EXPECT_LT(report["r_B"].derivative, 0.0);
+  // ...but Alice's impatience RAISES the post-initiation SR: her refund
+  // arrives later (eps_b + 2 tau_a) than the token-b (tau_b), so a more
+  // impatient Alice has a LOWER reveal cutoff and defects less.  The
+  // Section III-F claim "higher r narrows the viable range" is about the
+  // feasibility band, which is a different object than conditional SR.
+  EXPECT_GT(report["r_A"].derivative, 0.0);
+  EXPECT_LT(report["tau_a"].derivative, 0.0);    // slow chains hurt
+  EXPECT_LT(report["tau_b"].derivative, 0.0);
+}
+
+TEST(Sensitivity, VolatilityIsTheDominantLever) {
+  // The paper's headline sensitivity claim: sigma "significantly affects"
+  // SR.  In elasticity terms it tops the market parameters.
+  const SensitivityReport report = success_rate_sensitivities(defaults(), 2.0);
+  const double sigma_el = std::abs(report["sigma"].elasticity);
+  EXPECT_GT(sigma_el, std::abs(report["mu"].elasticity));
+  EXPECT_GT(sigma_el, std::abs(report["r_A"].elasticity));
+  EXPECT_GT(sigma_el, std::abs(report["tau_a"].elasticity));
+  EXPECT_GT(sigma_el, std::abs(report["eps_b"].elasticity));
+}
+
+TEST(Sensitivity, SortedByAbsoluteElasticity) {
+  const SensitivityReport report = success_rate_sensitivities(defaults(), 2.0);
+  for (std::size_t i = 1; i < report.parameters.size(); ++i) {
+    EXPECT_GE(std::abs(report.parameters[i - 1].elasticity),
+              std::abs(report.parameters[i].elasticity) - 1e-12);
+  }
+}
+
+TEST(Sensitivity, DerivativesMatchDirectRecomputation) {
+  // Spot-check sigma against an independent wide finite difference.
+  const SensitivityReport report = success_rate_sensitivities(defaults(), 2.0);
+  SwapParams up = defaults();
+  up.gbm.sigma = 0.105;
+  SwapParams down = defaults();
+  down.gbm.sigma = 0.095;
+  const double wide = (BasicGame(up, 2.0).success_rate() -
+                       BasicGame(down, 2.0).success_rate()) /
+                      0.01;
+  EXPECT_NEAR(report["sigma"].derivative, wide,
+              0.05 * std::abs(wide) + 1e-3);
+}
+
+TEST(Sensitivity, PStarDerivativeChangesSignAcrossTheOptimum) {
+  // SR is concave in P*: the derivative is positive below the optimum
+  // (~2.08) and negative above it.
+  const SensitivityReport low = success_rate_sensitivities(defaults(), 1.8);
+  const SensitivityReport high = success_rate_sensitivities(defaults(), 2.4);
+  EXPECT_GT(low["p_star"].derivative, 0.0);
+  EXPECT_LT(high["p_star"].derivative, 0.0);
+}
+
+TEST(Sensitivity, UnknownParameterThrows) {
+  const SensitivityReport report = success_rate_sensitivities(defaults(), 2.0);
+  EXPECT_THROW((void)report["bogus"], std::out_of_range);
+}
+
+}  // namespace
+}  // namespace swapgame::model

@@ -1,0 +1,80 @@
+// Unit tests for the standard normal primitives (src/math/special).
+#include "math/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swapgame::math {
+namespace {
+
+TEST(NormalPdf, PeakValueAtZero) {
+  // 1/sqrt(2 pi)
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+}
+
+TEST(NormalPdf, SymmetricInZ) {
+  for (double z : {0.1, 0.5, 1.0, 2.5, 7.0}) {
+    EXPECT_DOUBLE_EQ(normal_pdf(z), normal_pdf(-z));
+  }
+}
+
+TEST(NormalPdf, KnownValueAtOne) {
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-14);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-14);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalCdf, ComplementIdentity) {
+  for (double z : {-8.0, -2.0, -0.3, 0.0, 0.7, 3.0, 8.0}) {
+    EXPECT_NEAR(normal_cdf(z) + normal_sf(z), 1.0, 1e-15) << "z=" << z;
+  }
+}
+
+TEST(NormalSf, NoCancellationInFarTail) {
+  // 1 - Phi(10) ~ 7.6e-24: the survival function must retain precision
+  // where the naive 1 - cdf(z) would return exactly 0.
+  const double sf = normal_sf(10.0);
+  EXPECT_GT(sf, 7.0e-24);
+  EXPECT_LT(sf, 8.0e-24);
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-13) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, TailRoundTrips) {
+  for (double p : {1e-12, 1e-9, 1e-6, 1.0 - 1e-6, 1.0 - 1e-9}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)) / p, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-15);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.84134474606854293), 1.0, 1e-12);
+}
+
+TEST(NormalQuantile, BoundaryAndInvalidInputs) {
+  EXPECT_EQ(normal_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_quantile(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(normal_quantile(-0.1)));
+  EXPECT_TRUE(std::isnan(normal_quantile(1.1)));
+  EXPECT_TRUE(std::isnan(normal_quantile(std::nan(""))));
+}
+
+TEST(NormalQuantile, AntisymmetricAroundHalf) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace swapgame::math

@@ -1,0 +1,151 @@
+// Unit tests for streaming statistics (src/math/stats).
+#include "math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace swapgame::math {
+namespace {
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingleton) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.standard_error(), 0.0);
+  stats.add(3.0);
+  EXPECT_EQ(stats.mean(), 3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  // Classic catastrophic-cancellation case for naive sum-of-squares.
+  RunningStats stats;
+  const double offset = 1e9;
+  for (double x : {4.0, 7.0, 13.0, 16.0}) stats.add(offset + x);
+  EXPECT_NEAR(stats.variance(), 30.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 3.0 + i * 0.01;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs: becomes rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, CiHalfWidthScalesWithConfidence) {
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) stats.add(i % 10);
+  const double ci90 = stats.ci_half_width(0.90);
+  const double ci99 = stats.ci_half_width(0.99);
+  EXPECT_GT(ci99, ci90);
+  EXPECT_THROW((void)stats.ci_half_width(0.0), std::invalid_argument);
+  EXPECT_THROW((void)stats.ci_half_width(1.0), std::invalid_argument);
+}
+
+TEST(BinomialCounter, ProportionAndMerge) {
+  BinomialCounter c;
+  EXPECT_EQ(c.proportion(), 0.0);
+  for (int i = 0; i < 30; ++i) c.add(i % 3 == 0);
+  EXPECT_EQ(c.trials(), 30u);
+  EXPECT_EQ(c.successes(), 10u);
+  EXPECT_NEAR(c.proportion(), 1.0 / 3.0, 1e-12);
+
+  BinomialCounter d;
+  for (int i = 0; i < 10; ++i) d.add(true);
+  c.merge(d);
+  EXPECT_EQ(c.trials(), 40u);
+  EXPECT_EQ(c.successes(), 20u);
+}
+
+TEST(BinomialCounter, WilsonIntervalCoversProportion) {
+  BinomialCounter c;
+  for (int i = 0; i < 100; ++i) c.add(i < 70);
+  const auto ci = c.wilson_interval(0.95);
+  EXPECT_LT(ci.lo, 0.7);
+  EXPECT_GT(ci.hi, 0.7);
+  EXPECT_GT(ci.lo, 0.59);
+  EXPECT_LT(ci.hi, 0.79);
+}
+
+TEST(BinomialCounter, WilsonIntervalEdgeCases) {
+  BinomialCounter empty;
+  const auto ci = empty.wilson_interval();
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 0.0);
+
+  BinomialCounter all;
+  for (int i = 0; i < 50; ++i) all.add(true);
+  const auto ca = all.wilson_interval();
+  EXPECT_GT(ca.lo, 0.9);
+  EXPECT_LE(ca.hi, 1.0 + 1e-12);
+
+  EXPECT_THROW((void)all.wilson_interval(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, BinsCountsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i * 0.1);  // 0.0 .. 9.9 uniform
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    EXPECT_EQ(h.count(b), 10u) << "bin " << b;
+    EXPECT_NEAR(h.density(b), 0.1, 1e-12);
+  }
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame::math

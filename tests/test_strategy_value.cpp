@@ -1,0 +1,142 @@
+// Tests for arbitrary-profile valuation and best responses
+// (src/model/strategy_value), including the mutual-best-response
+// (equilibrium) verification of the backward-induction solution.
+#include "model/strategy_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swapgame::model {
+namespace {
+
+SwapParams defaults() { return SwapParams::table3_defaults(); }
+
+TEST(StrategyEvaluator, EquilibriumProfileMatchesBasicGame) {
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  const BasicGame game(defaults(), 2.0);
+  const ThresholdProfile eq = evaluator.equilibrium();
+  EXPECT_NEAR(evaluator.alice_value(eq), game.alice_t1_cont(), 1e-6);
+  EXPECT_NEAR(evaluator.bob_value(eq), game.bob_t1_cont(), 1e-6);
+  EXPECT_NEAR(evaluator.success_rate(eq), game.success_rate(), 1e-6);
+}
+
+TEST(StrategyEvaluator, HonestProfileAlwaysSucceeds) {
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  const ThresholdProfile honest = ThresholdProfile::honest();
+  EXPECT_NEAR(evaluator.success_rate(honest), 1.0, 1e-6);
+}
+
+TEST(StrategyEvaluator, AliceBestResponseIsDominant) {
+  // Alice's optimal cutoff does not depend on Bob's region: it is the
+  // pointwise-optimal Eq. (18) threshold.
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  const BasicGame game(defaults(), 2.0);
+  EXPECT_NEAR(evaluator.alice_best_response_cutoff(), game.alice_t3_cutoff(),
+              1e-12);
+}
+
+TEST(StrategyEvaluator, BobBestResponseToEquilibriumCutoffIsTheBand) {
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  const BasicGame game(defaults(), 2.0);
+  const math::IntervalSet response =
+      evaluator.bob_best_response(game.alice_t3_cutoff());
+  const auto band = game.bob_t2_band();
+  ASSERT_TRUE(band.has_value());
+  ASSERT_EQ(response.size(), 1u);
+  EXPECT_NEAR(response.intervals()[0].lo, band->lo, 1e-5);
+  EXPECT_NEAR(response.intervals()[0].hi, band->hi, 1e-5);
+}
+
+TEST(StrategyEvaluator, EquilibriumIsMutualBestResponse) {
+  // No profitable unilateral deviation in threshold space.
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  const ThresholdProfile eq = evaluator.equilibrium();
+  const double alice_eq_value = evaluator.alice_value(eq);
+  const double bob_eq_value = evaluator.bob_value(eq);
+
+  // Alice deviations: alternative cutoffs against Bob's equilibrium region.
+  for (double cutoff : {0.0, 0.8, 1.2, 1.6, 2.0, 3.0}) {
+    ThresholdProfile deviation = eq;
+    deviation.alice_cutoff = cutoff;
+    EXPECT_LE(evaluator.alice_value(deviation), alice_eq_value + 1e-7)
+        << "cutoff=" << cutoff;
+  }
+  // Bob deviations: alternative bands against Alice's equilibrium cutoff.
+  const auto band = eq.bob_region.intervals()[0];
+  const struct {
+    double lo;
+    double hi;
+  } bands[] = {{0.0, band.hi},           // lock at all low prices
+               {band.lo, band.hi * 2.0}, // lock at all high prices
+               {band.lo * 1.3, band.hi * 0.8},  // too narrow
+               {0.0, 100.0},             // honest
+               {band.lo * 0.5, band.hi * 1.2}};
+  for (const auto& alt : bands) {
+    ThresholdProfile deviation = eq;
+    deviation.bob_region = math::IntervalSet({{alt.lo, alt.hi}});
+    EXPECT_LE(evaluator.bob_value(deviation), bob_eq_value + 1e-7)
+        << "band=(" << alt.lo << "," << alt.hi << ")";
+  }
+}
+
+TEST(StrategyEvaluator, CommitmentSquareIsPrisonersDilemma) {
+  // Both-committed dominates both-rational for BOTH agents, yet each has a
+  // unilateral incentive to deviate -- the structural reason the paper's
+  // Section IV collateral is needed.
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  const ThresholdProfile rational = evaluator.equilibrium();
+  const ThresholdProfile honest = ThresholdProfile::honest();
+
+  const double alice_rr = evaluator.alice_value(rational);
+  const double bob_rr = evaluator.bob_value(rational);
+  const double alice_cc = evaluator.alice_value(honest);
+  const double bob_cc = evaluator.bob_value(honest);
+  EXPECT_GT(alice_cc, alice_rr);
+  EXPECT_GT(bob_cc, bob_rr);
+
+  // Unilateral deviation from (C, C) pays.
+  ThresholdProfile alice_deviates = honest;
+  alice_deviates.alice_cutoff = evaluator.alice_best_response_cutoff();
+  EXPECT_GT(evaluator.alice_value(alice_deviates), alice_cc);
+
+  ThresholdProfile bob_deviates = honest;
+  bob_deviates.bob_region = evaluator.bob_best_response(0.0);
+  EXPECT_GT(evaluator.bob_value(bob_deviates), bob_cc);
+}
+
+TEST(StrategyEvaluator, NeverLockRegionGivesBobOutsideOption) {
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  ThresholdProfile never;
+  never.alice_cutoff = evaluator.alice_best_response_cutoff();
+  never.bob_region = math::IntervalSet();  // Bob never locks
+  EXPECT_EQ(evaluator.success_rate(never), 0.0);
+  // Bob's value = discounted expected token-b price (he just holds).
+  const math::GbmLaw law(defaults().gbm, defaults().p_t0, defaults().tau_a);
+  EXPECT_NEAR(evaluator.bob_value(never),
+              law.expectation() * std::exp(-defaults().bob.r * defaults().tau_a),
+              1e-9);
+  // Alice's value = discounted refund.
+  const BasicGame game(defaults(), 2.0);
+  EXPECT_NEAR(evaluator.alice_value(never),
+              game.alice_t2_stop() *
+                  std::exp(-defaults().alice.r * defaults().tau_a),
+              1e-9);
+}
+
+TEST(StrategyEvaluator, SuccessRateMonotoneInCommitment) {
+  // Lowering Alice's cutoff (more honest) weakly raises completion.
+  const StrategyEvaluator evaluator(defaults(), 2.0);
+  const ThresholdProfile eq = evaluator.equilibrium();
+  double prev = -1.0;
+  for (double cutoff : {2.0, 1.5, 1.0, 0.5, 0.0}) {
+    ThresholdProfile profile = eq;
+    profile.alice_cutoff = cutoff;
+    const double sr = evaluator.success_rate(profile);
+    EXPECT_GE(sr, prev - 1e-9) << "cutoff=" << cutoff;
+    prev = sr;
+  }
+}
+
+}  // namespace
+}  // namespace swapgame::model
