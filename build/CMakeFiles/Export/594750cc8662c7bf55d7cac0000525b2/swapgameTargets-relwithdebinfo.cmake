@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "swapgame::swapgame_math" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_math APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_math PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_math.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_math )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_math "${_IMPORT_PREFIX}/lib/libswapgame_math.a" )
+
+# Import target "swapgame::swapgame_crypto" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_crypto APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_crypto PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_crypto.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_crypto )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_crypto "${_IMPORT_PREFIX}/lib/libswapgame_crypto.a" )
+
+# Import target "swapgame::swapgame_chain" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_chain APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_chain PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_chain.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_chain )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_chain "${_IMPORT_PREFIX}/lib/libswapgame_chain.a" )
+
+# Import target "swapgame::swapgame_model" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_model APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_model PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_model.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_model )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_model "${_IMPORT_PREFIX}/lib/libswapgame_model.a" )
+
+# Import target "swapgame::swapgame_agents" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_agents APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_agents PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_agents.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_agents )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_agents "${_IMPORT_PREFIX}/lib/libswapgame_agents.a" )
+
+# Import target "swapgame::swapgame_proto" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_proto APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_proto PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_proto.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_proto )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_proto "${_IMPORT_PREFIX}/lib/libswapgame_proto.a" )
+
+# Import target "swapgame::swapgame_sim" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_sim )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_sim "${_IMPORT_PREFIX}/lib/libswapgame_sim.a" )
+
+# Import target "swapgame::swapgame_market" for configuration "RelWithDebInfo"
+set_property(TARGET swapgame::swapgame_market APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(swapgame::swapgame_market PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libswapgame_market.a"
+  )
+
+list(APPEND _cmake_import_check_targets swapgame::swapgame_market )
+list(APPEND _cmake_import_check_files_for_swapgame::swapgame_market "${_IMPORT_PREFIX}/lib/libswapgame_market.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

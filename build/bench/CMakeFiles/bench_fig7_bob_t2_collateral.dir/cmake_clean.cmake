@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_bob_t2_collateral.dir/bench_fig7_bob_t2_collateral.cpp.o"
+  "CMakeFiles/bench_fig7_bob_t2_collateral.dir/bench_fig7_bob_t2_collateral.cpp.o.d"
+  "bench_fig7_bob_t2_collateral"
+  "bench_fig7_bob_t2_collateral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bob_t2_collateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_bob_t2_collateral.
+# This may be replaced when dependencies are built.

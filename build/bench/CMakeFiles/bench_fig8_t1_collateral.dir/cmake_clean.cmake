@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_t1_collateral.dir/bench_fig8_t1_collateral.cpp.o"
+  "CMakeFiles/bench_fig8_t1_collateral.dir/bench_fig8_t1_collateral.cpp.o.d"
+  "bench_fig8_t1_collateral"
+  "bench_fig8_t1_collateral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_t1_collateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_t1_collateral.
+# This may be replaced when dependencies are built.

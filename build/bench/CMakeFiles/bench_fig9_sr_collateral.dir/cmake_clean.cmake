@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sr_collateral.dir/bench_fig9_sr_collateral.cpp.o"
+  "CMakeFiles/bench_fig9_sr_collateral.dir/bench_fig9_sr_collateral.cpp.o.d"
+  "bench_fig9_sr_collateral"
+  "bench_fig9_sr_collateral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sr_collateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_balances.dir/bench_table1_balances.cpp.o"
+  "CMakeFiles/bench_table1_balances.dir/bench_table1_balances.cpp.o.d"
+  "bench_table1_balances"
+  "bench_table1_balances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_balances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

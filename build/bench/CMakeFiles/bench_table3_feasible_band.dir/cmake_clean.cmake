@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_feasible_band.dir/bench_table3_feasible_band.cpp.o"
+  "CMakeFiles/bench_table3_feasible_band.dir/bench_table3_feasible_band.cpp.o.d"
+  "bench_table3_feasible_band"
+  "bench_table3_feasible_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_feasible_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x10_viability_atlas.dir/bench_x10_viability_atlas.cpp.o"
+  "CMakeFiles/bench_x10_viability_atlas.dir/bench_x10_viability_atlas.cpp.o.d"
+  "bench_x10_viability_atlas"
+  "bench_x10_viability_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x10_viability_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

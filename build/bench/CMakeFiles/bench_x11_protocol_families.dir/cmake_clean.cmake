@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x11_protocol_families.dir/bench_x11_protocol_families.cpp.o"
+  "CMakeFiles/bench_x11_protocol_families.dir/bench_x11_protocol_families.cpp.o.d"
+  "bench_x11_protocol_families"
+  "bench_x11_protocol_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x11_protocol_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x12_multihop.dir/bench_x12_multihop.cpp.o"
+  "CMakeFiles/bench_x12_multihop.dir/bench_x12_multihop.cpp.o.d"
+  "bench_x12_multihop"
+  "bench_x12_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x12_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

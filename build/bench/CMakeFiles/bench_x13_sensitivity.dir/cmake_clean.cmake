@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x13_sensitivity.dir/bench_x13_sensitivity.cpp.o"
+  "CMakeFiles/bench_x13_sensitivity.dir/bench_x13_sensitivity.cpp.o.d"
+  "bench_x13_sensitivity"
+  "bench_x13_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x13_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x2_solver_ablation.
+# This may be replaced when dependencies are built.

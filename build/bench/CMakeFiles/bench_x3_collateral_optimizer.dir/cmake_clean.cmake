@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_collateral_optimizer.dir/bench_x3_collateral_optimizer.cpp.o"
+  "CMakeFiles/bench_x3_collateral_optimizer.dir/bench_x3_collateral_optimizer.cpp.o.d"
+  "bench_x3_collateral_optimizer"
+  "bench_x3_collateral_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_collateral_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_alpha_uncertainty.dir/bench_x4_alpha_uncertainty.cpp.o"
+  "CMakeFiles/bench_x4_alpha_uncertainty.dir/bench_x4_alpha_uncertainty.cpp.o.d"
+  "bench_x4_alpha_uncertainty"
+  "bench_x4_alpha_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_alpha_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

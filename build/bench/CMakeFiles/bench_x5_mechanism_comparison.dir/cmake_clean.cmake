@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_mechanism_comparison.dir/bench_x5_mechanism_comparison.cpp.o"
+  "CMakeFiles/bench_x5_mechanism_comparison.dir/bench_x5_mechanism_comparison.cpp.o.d"
+  "bench_x5_mechanism_comparison"
+  "bench_x5_mechanism_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_mechanism_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x6_fees_and_rates.dir/bench_x6_fees_and_rates.cpp.o"
+  "CMakeFiles/bench_x6_fees_and_rates.dir/bench_x6_fees_and_rates.cpp.o.d"
+  "bench_x6_fees_and_rates"
+  "bench_x6_fees_and_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x6_fees_and_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x6_fees_and_rates.
+# This may be replaced when dependencies are built.

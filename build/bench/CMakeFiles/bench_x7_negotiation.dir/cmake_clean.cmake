@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x7_negotiation.dir/bench_x7_negotiation.cpp.o"
+  "CMakeFiles/bench_x7_negotiation.dir/bench_x7_negotiation.cpp.o.d"
+  "bench_x7_negotiation"
+  "bench_x7_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x7_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x8_optionality.dir/bench_x8_optionality.cpp.o"
+  "CMakeFiles/bench_x8_optionality.dir/bench_x8_optionality.cpp.o.d"
+  "bench_x8_optionality"
+  "bench_x8_optionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x8_optionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x9_timing_robustness.dir/bench_x9_timing_robustness.cpp.o"
+  "CMakeFiles/bench_x9_timing_robustness.dir/bench_x9_timing_robustness.cpp.o.d"
+  "bench_x9_timing_robustness"
+  "bench_x9_timing_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x9_timing_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_analyze.dir/calibrate_and_analyze.cpp.o"
+  "CMakeFiles/calibrate_and_analyze.dir/calibrate_and_analyze.cpp.o.d"
+  "calibrate_and_analyze"
+  "calibrate_and_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collateral_design.dir/collateral_design.cpp.o"
+  "CMakeFiles/collateral_design.dir/collateral_design.cpp.o.d"
+  "collateral_design"
+  "collateral_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collateral_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_marketplace.dir/dex_marketplace.cpp.o"
+  "CMakeFiles/dex_marketplace.dir/dex_marketplace.cpp.o.d"
+  "dex_marketplace"
+  "dex_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

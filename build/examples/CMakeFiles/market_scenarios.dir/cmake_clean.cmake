@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_scenarios.dir/market_scenarios.cpp.o"
+  "CMakeFiles/market_scenarios.dir/market_scenarios.cpp.o.d"
+  "market_scenarios"
+  "market_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_chooser.dir/mechanism_chooser.cpp.o"
+  "CMakeFiles/mechanism_chooser.dir/mechanism_chooser.cpp.o.d"
+  "mechanism_chooser"
+  "mechanism_chooser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_chooser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_simulation.dir/swap_simulation.cpp.o"
+  "CMakeFiles/swap_simulation.dir/swap_simulation.cpp.o.d"
+  "swap_simulation"
+  "swap_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_cli.dir/swapgame_cli.cpp.o"
+  "CMakeFiles/swapgame_cli.dir/swapgame_cli.cpp.o.d"
+  "swapgame_cli"
+  "swapgame_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

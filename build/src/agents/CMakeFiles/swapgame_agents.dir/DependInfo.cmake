@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/naive.cpp" "src/agents/CMakeFiles/swapgame_agents.dir/naive.cpp.o" "gcc" "src/agents/CMakeFiles/swapgame_agents.dir/naive.cpp.o.d"
+  "/root/repo/src/agents/rational.cpp" "src/agents/CMakeFiles/swapgame_agents.dir/rational.cpp.o" "gcc" "src/agents/CMakeFiles/swapgame_agents.dir/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/swapgame_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/swapgame_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_agents.dir/naive.cpp.o"
+  "CMakeFiles/swapgame_agents.dir/naive.cpp.o.d"
+  "CMakeFiles/swapgame_agents.dir/rational.cpp.o"
+  "CMakeFiles/swapgame_agents.dir/rational.cpp.o.d"
+  "libswapgame_agents.a"
+  "libswapgame_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/swapgame_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/swapgame_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/event_queue.cpp" "src/chain/CMakeFiles/swapgame_chain.dir/event_queue.cpp.o" "gcc" "src/chain/CMakeFiles/swapgame_chain.dir/event_queue.cpp.o.d"
+  "/root/repo/src/chain/ledger.cpp" "src/chain/CMakeFiles/swapgame_chain.dir/ledger.cpp.o" "gcc" "src/chain/CMakeFiles/swapgame_chain.dir/ledger.cpp.o.d"
+  "/root/repo/src/chain/types.cpp" "src/chain/CMakeFiles/swapgame_chain.dir/types.cpp.o" "gcc" "src/chain/CMakeFiles/swapgame_chain.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/swapgame_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/swapgame_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_chain.dir/block.cpp.o"
+  "CMakeFiles/swapgame_chain.dir/block.cpp.o.d"
+  "CMakeFiles/swapgame_chain.dir/event_queue.cpp.o"
+  "CMakeFiles/swapgame_chain.dir/event_queue.cpp.o.d"
+  "CMakeFiles/swapgame_chain.dir/ledger.cpp.o"
+  "CMakeFiles/swapgame_chain.dir/ledger.cpp.o.d"
+  "CMakeFiles/swapgame_chain.dir/types.cpp.o"
+  "CMakeFiles/swapgame_chain.dir/types.cpp.o.d"
+  "libswapgame_chain.a"
+  "libswapgame_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

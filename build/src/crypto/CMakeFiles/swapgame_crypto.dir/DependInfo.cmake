@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/digest.cpp" "src/crypto/CMakeFiles/swapgame_crypto.dir/digest.cpp.o" "gcc" "src/crypto/CMakeFiles/swapgame_crypto.dir/digest.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/swapgame_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/swapgame_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/secret.cpp" "src/crypto/CMakeFiles/swapgame_crypto.dir/secret.cpp.o" "gcc" "src/crypto/CMakeFiles/swapgame_crypto.dir/secret.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/swapgame_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/swapgame_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/swapgame_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

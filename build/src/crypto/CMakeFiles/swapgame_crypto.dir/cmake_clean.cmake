@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_crypto.dir/digest.cpp.o"
+  "CMakeFiles/swapgame_crypto.dir/digest.cpp.o.d"
+  "CMakeFiles/swapgame_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/swapgame_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/swapgame_crypto.dir/secret.cpp.o"
+  "CMakeFiles/swapgame_crypto.dir/secret.cpp.o.d"
+  "CMakeFiles/swapgame_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/swapgame_crypto.dir/sha256.cpp.o.d"
+  "libswapgame_crypto.a"
+  "libswapgame_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

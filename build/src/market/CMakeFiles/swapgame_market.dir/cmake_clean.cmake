@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_market.dir/order_book.cpp.o"
+  "CMakeFiles/swapgame_market.dir/order_book.cpp.o.d"
+  "CMakeFiles/swapgame_market.dir/settlement.cpp.o"
+  "CMakeFiles/swapgame_market.dir/settlement.cpp.o.d"
+  "libswapgame_market.a"
+  "libswapgame_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/gbm.cpp" "src/math/CMakeFiles/swapgame_math.dir/gbm.cpp.o" "gcc" "src/math/CMakeFiles/swapgame_math.dir/gbm.cpp.o.d"
+  "/root/repo/src/math/interval.cpp" "src/math/CMakeFiles/swapgame_math.dir/interval.cpp.o" "gcc" "src/math/CMakeFiles/swapgame_math.dir/interval.cpp.o.d"
+  "/root/repo/src/math/quadrature.cpp" "src/math/CMakeFiles/swapgame_math.dir/quadrature.cpp.o" "gcc" "src/math/CMakeFiles/swapgame_math.dir/quadrature.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/swapgame_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/swapgame_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/roots.cpp" "src/math/CMakeFiles/swapgame_math.dir/roots.cpp.o" "gcc" "src/math/CMakeFiles/swapgame_math.dir/roots.cpp.o.d"
+  "/root/repo/src/math/special.cpp" "src/math/CMakeFiles/swapgame_math.dir/special.cpp.o" "gcc" "src/math/CMakeFiles/swapgame_math.dir/special.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/swapgame_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/swapgame_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

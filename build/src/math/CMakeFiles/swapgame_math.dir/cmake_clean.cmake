@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_math.dir/gbm.cpp.o"
+  "CMakeFiles/swapgame_math.dir/gbm.cpp.o.d"
+  "CMakeFiles/swapgame_math.dir/interval.cpp.o"
+  "CMakeFiles/swapgame_math.dir/interval.cpp.o.d"
+  "CMakeFiles/swapgame_math.dir/quadrature.cpp.o"
+  "CMakeFiles/swapgame_math.dir/quadrature.cpp.o.d"
+  "CMakeFiles/swapgame_math.dir/rng.cpp.o"
+  "CMakeFiles/swapgame_math.dir/rng.cpp.o.d"
+  "CMakeFiles/swapgame_math.dir/roots.cpp.o"
+  "CMakeFiles/swapgame_math.dir/roots.cpp.o.d"
+  "CMakeFiles/swapgame_math.dir/special.cpp.o"
+  "CMakeFiles/swapgame_math.dir/special.cpp.o.d"
+  "CMakeFiles/swapgame_math.dir/stats.cpp.o"
+  "CMakeFiles/swapgame_math.dir/stats.cpp.o.d"
+  "libswapgame_math.a"
+  "libswapgame_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/basic_game.cpp" "src/model/CMakeFiles/swapgame_model.dir/basic_game.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/basic_game.cpp.o.d"
+  "/root/repo/src/model/calibration.cpp" "src/model/CMakeFiles/swapgame_model.dir/calibration.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/calibration.cpp.o.d"
+  "/root/repo/src/model/collateral_game.cpp" "src/model/CMakeFiles/swapgame_model.dir/collateral_game.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/collateral_game.cpp.o.d"
+  "/root/repo/src/model/collateral_optimizer.cpp" "src/model/CMakeFiles/swapgame_model.dir/collateral_optimizer.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/collateral_optimizer.cpp.o.d"
+  "/root/repo/src/model/commitment_game.cpp" "src/model/CMakeFiles/swapgame_model.dir/commitment_game.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/commitment_game.cpp.o.d"
+  "/root/repo/src/model/extended_game.cpp" "src/model/CMakeFiles/swapgame_model.dir/extended_game.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/extended_game.cpp.o.d"
+  "/root/repo/src/model/game_tree.cpp" "src/model/CMakeFiles/swapgame_model.dir/game_tree.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/game_tree.cpp.o.d"
+  "/root/repo/src/model/negotiation.cpp" "src/model/CMakeFiles/swapgame_model.dir/negotiation.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/negotiation.cpp.o.d"
+  "/root/repo/src/model/option_value.cpp" "src/model/CMakeFiles/swapgame_model.dir/option_value.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/option_value.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/swapgame_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/params.cpp.o.d"
+  "/root/repo/src/model/premium_game.cpp" "src/model/CMakeFiles/swapgame_model.dir/premium_game.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/premium_game.cpp.o.d"
+  "/root/repo/src/model/premium_uncertainty.cpp" "src/model/CMakeFiles/swapgame_model.dir/premium_uncertainty.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/premium_uncertainty.cpp.o.d"
+  "/root/repo/src/model/sensitivity.cpp" "src/model/CMakeFiles/swapgame_model.dir/sensitivity.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/model/strategy_value.cpp" "src/model/CMakeFiles/swapgame_model.dir/strategy_value.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/strategy_value.cpp.o.d"
+  "/root/repo/src/model/timeline.cpp" "src/model/CMakeFiles/swapgame_model.dir/timeline.cpp.o" "gcc" "src/model/CMakeFiles/swapgame_model.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/swapgame_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

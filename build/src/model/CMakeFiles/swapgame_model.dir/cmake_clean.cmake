@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_model.dir/basic_game.cpp.o"
+  "CMakeFiles/swapgame_model.dir/basic_game.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/calibration.cpp.o"
+  "CMakeFiles/swapgame_model.dir/calibration.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/collateral_game.cpp.o"
+  "CMakeFiles/swapgame_model.dir/collateral_game.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/collateral_optimizer.cpp.o"
+  "CMakeFiles/swapgame_model.dir/collateral_optimizer.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/commitment_game.cpp.o"
+  "CMakeFiles/swapgame_model.dir/commitment_game.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/extended_game.cpp.o"
+  "CMakeFiles/swapgame_model.dir/extended_game.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/game_tree.cpp.o"
+  "CMakeFiles/swapgame_model.dir/game_tree.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/negotiation.cpp.o"
+  "CMakeFiles/swapgame_model.dir/negotiation.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/option_value.cpp.o"
+  "CMakeFiles/swapgame_model.dir/option_value.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/params.cpp.o"
+  "CMakeFiles/swapgame_model.dir/params.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/premium_game.cpp.o"
+  "CMakeFiles/swapgame_model.dir/premium_game.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/premium_uncertainty.cpp.o"
+  "CMakeFiles/swapgame_model.dir/premium_uncertainty.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/sensitivity.cpp.o"
+  "CMakeFiles/swapgame_model.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/strategy_value.cpp.o"
+  "CMakeFiles/swapgame_model.dir/strategy_value.cpp.o.d"
+  "CMakeFiles/swapgame_model.dir/timeline.cpp.o"
+  "CMakeFiles/swapgame_model.dir/timeline.cpp.o.d"
+  "libswapgame_model.a"
+  "libswapgame_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

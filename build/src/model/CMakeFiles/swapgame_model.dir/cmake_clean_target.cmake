@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswapgame_model.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/multihop_protocol.cpp" "src/proto/CMakeFiles/swapgame_proto.dir/multihop_protocol.cpp.o" "gcc" "src/proto/CMakeFiles/swapgame_proto.dir/multihop_protocol.cpp.o.d"
+  "/root/repo/src/proto/oracle.cpp" "src/proto/CMakeFiles/swapgame_proto.dir/oracle.cpp.o" "gcc" "src/proto/CMakeFiles/swapgame_proto.dir/oracle.cpp.o.d"
+  "/root/repo/src/proto/swap_protocol.cpp" "src/proto/CMakeFiles/swapgame_proto.dir/swap_protocol.cpp.o" "gcc" "src/proto/CMakeFiles/swapgame_proto.dir/swap_protocol.cpp.o.d"
+  "/root/repo/src/proto/witness_protocol.cpp" "src/proto/CMakeFiles/swapgame_proto.dir/witness_protocol.cpp.o" "gcc" "src/proto/CMakeFiles/swapgame_proto.dir/witness_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agents/CMakeFiles/swapgame_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/swapgame_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/swapgame_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/swapgame_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/swapgame_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_proto.dir/multihop_protocol.cpp.o"
+  "CMakeFiles/swapgame_proto.dir/multihop_protocol.cpp.o.d"
+  "CMakeFiles/swapgame_proto.dir/oracle.cpp.o"
+  "CMakeFiles/swapgame_proto.dir/oracle.cpp.o.d"
+  "CMakeFiles/swapgame_proto.dir/swap_protocol.cpp.o"
+  "CMakeFiles/swapgame_proto.dir/swap_protocol.cpp.o.d"
+  "CMakeFiles/swapgame_proto.dir/witness_protocol.cpp.o"
+  "CMakeFiles/swapgame_proto.dir/witness_protocol.cpp.o.d"
+  "libswapgame_proto.a"
+  "libswapgame_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

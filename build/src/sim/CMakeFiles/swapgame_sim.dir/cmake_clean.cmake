@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapgame_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/swapgame_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/swapgame_sim.dir/path_simulator.cpp.o"
+  "CMakeFiles/swapgame_sim.dir/path_simulator.cpp.o.d"
+  "CMakeFiles/swapgame_sim.dir/scenario.cpp.o"
+  "CMakeFiles/swapgame_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/swapgame_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/swapgame_sim.dir/thread_pool.cpp.o.d"
+  "libswapgame_sim.a"
+  "libswapgame_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapgame_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amount.dir/test_amount.cpp.o"
+  "CMakeFiles/test_amount.dir/test_amount.cpp.o.d"
+  "test_amount"
+  "test_amount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_game.dir/test_basic_game.cpp.o"
+  "CMakeFiles/test_basic_game.dir/test_basic_game.cpp.o.d"
+  "test_basic_game"
+  "test_basic_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collateral_game.dir/test_collateral_game.cpp.o"
+  "CMakeFiles/test_collateral_game.dir/test_collateral_game.cpp.o.d"
+  "test_collateral_game"
+  "test_collateral_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collateral_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

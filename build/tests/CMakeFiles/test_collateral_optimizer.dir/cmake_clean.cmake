@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collateral_optimizer.dir/test_collateral_optimizer.cpp.o"
+  "CMakeFiles/test_collateral_optimizer.dir/test_collateral_optimizer.cpp.o.d"
+  "test_collateral_optimizer"
+  "test_collateral_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collateral_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game_tree.dir/test_game_tree.cpp.o"
+  "CMakeFiles/test_game_tree.dir/test_game_tree.cpp.o.d"
+  "test_game_tree"
+  "test_game_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

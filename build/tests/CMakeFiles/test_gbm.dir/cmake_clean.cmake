@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbm.dir/test_gbm.cpp.o"
+  "CMakeFiles/test_gbm.dir/test_gbm.cpp.o.d"
+  "test_gbm"
+  "test_gbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

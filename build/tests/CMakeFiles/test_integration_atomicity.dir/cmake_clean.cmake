@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_atomicity.dir/test_integration_atomicity.cpp.o"
+  "CMakeFiles/test_integration_atomicity.dir/test_integration_atomicity.cpp.o.d"
+  "test_integration_atomicity"
+  "test_integration_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

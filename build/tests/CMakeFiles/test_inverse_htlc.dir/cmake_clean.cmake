@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inverse_htlc.dir/test_inverse_htlc.cpp.o"
+  "CMakeFiles/test_inverse_htlc.dir/test_inverse_htlc.cpp.o.d"
+  "test_inverse_htlc"
+  "test_inverse_htlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inverse_htlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitter.dir/test_jitter.cpp.o"
+  "CMakeFiles/test_jitter.dir/test_jitter.cpp.o.d"
+  "test_jitter"
+  "test_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

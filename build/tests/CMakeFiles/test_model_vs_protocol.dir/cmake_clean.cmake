@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_vs_protocol.dir/test_model_vs_protocol.cpp.o"
+  "CMakeFiles/test_model_vs_protocol.dir/test_model_vs_protocol.cpp.o.d"
+  "test_model_vs_protocol"
+  "test_model_vs_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_vs_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

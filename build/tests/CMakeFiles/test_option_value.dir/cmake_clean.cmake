@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_option_value.dir/test_option_value.cpp.o"
+  "CMakeFiles/test_option_value.dir/test_option_value.cpp.o.d"
+  "test_option_value"
+  "test_option_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_option_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_params_timeline.dir/test_params_timeline.cpp.o"
+  "CMakeFiles/test_params_timeline.dir/test_params_timeline.cpp.o.d"
+  "test_params_timeline"
+  "test_params_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_params_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

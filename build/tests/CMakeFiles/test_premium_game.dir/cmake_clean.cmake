@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_premium_game.dir/test_premium_game.cpp.o"
+  "CMakeFiles/test_premium_game.dir/test_premium_game.cpp.o.d"
+  "test_premium_game"
+  "test_premium_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_premium_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_premium_protocol.cpp" "tests/CMakeFiles/test_premium_protocol.dir/test_premium_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_premium_protocol.dir/test_premium_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/swapgame_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swapgame_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/swapgame_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/swapgame_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/swapgame_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/swapgame_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/swapgame_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/swapgame_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_premium_protocol.dir/test_premium_protocol.cpp.o"
+  "CMakeFiles/test_premium_protocol.dir/test_premium_protocol.cpp.o.d"
+  "test_premium_protocol"
+  "test_premium_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_premium_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

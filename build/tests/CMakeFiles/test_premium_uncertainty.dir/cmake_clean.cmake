@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_premium_uncertainty.dir/test_premium_uncertainty.cpp.o"
+  "CMakeFiles/test_premium_uncertainty.dir/test_premium_uncertainty.cpp.o.d"
+  "test_premium_uncertainty"
+  "test_premium_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_premium_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

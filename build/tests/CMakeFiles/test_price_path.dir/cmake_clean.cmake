@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_price_path.dir/test_price_path.cpp.o"
+  "CMakeFiles/test_price_path.dir/test_price_path.cpp.o.d"
+  "test_price_path"
+  "test_price_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_price_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

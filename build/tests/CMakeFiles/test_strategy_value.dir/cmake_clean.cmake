@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_value.dir/test_strategy_value.cpp.o"
+  "CMakeFiles/test_strategy_value.dir/test_strategy_value.cpp.o.d"
+  "test_strategy_value"
+  "test_strategy_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_protocol.dir/test_swap_protocol.cpp.o"
+  "CMakeFiles/test_swap_protocol.dir/test_swap_protocol.cpp.o.d"
+  "test_swap_protocol"
+  "test_swap_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
