@@ -5,9 +5,12 @@
 // the flat discounted refund (Eq. 16); their crossing is the Eq. (18)
 // cutoff, which shifts right as P* grows.
 #include <cmath>
+#include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -19,12 +22,19 @@ int main() {
   const model::SwapParams p = model::SwapParams::table3_defaults();
   const double p_stars[] = {1.5, 2.0, 2.5};
 
+  // Solve the three games in parallel; emit from the solved set in order.
+  const auto games =
+      sweep::parallel_map<std::shared_ptr<const model::BasicGame>>(
+          std::size(p_stars), [&p, &p_stars](std::size_t i) {
+            return std::make_shared<const model::BasicGame>(p, p_stars[i]);
+          });
+
   report.csv_begin("utility_curves", "p_star,p_t3,U_cont,U_stop");
-  for (double p_star : p_stars) {
-    const model::BasicGame game(p, p_star);
+  for (std::size_t i = 0; i < std::size(p_stars); ++i) {
+    const model::BasicGame& game = *games[i];
     for (double x = 0.0; x <= 3.0 + 1e-9; x += 0.1) {
       const double cont = x > 0.0 ? game.alice_t3_cont(x) : 0.0;
-      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%.6f", p_star, x, cont,
+      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%.6f", p_stars[i], x, cont,
                                 game.alice_t3_stop()));
     }
   }
@@ -33,10 +43,10 @@ int main() {
   double prev_cut = 0.0;
   bool cutoffs_increase = true;
   bool indifference_exact = true;
-  for (double p_star : p_stars) {
-    const model::BasicGame game(p, p_star);
+  for (std::size_t i = 0; i < std::size(p_stars); ++i) {
+    const model::BasicGame& game = *games[i];
     const double cut = game.alice_t3_cutoff();
-    report.csv_row(bench::fmt("%.1f,%.6f", p_star, cut));
+    report.csv_row(bench::fmt("%.1f,%.6f", p_stars[i], cut));
     if (cut <= prev_cut) cutoffs_increase = false;
     prev_cut = cut;
     if (std::abs(game.alice_t3_cont(cut) - game.alice_t3_stop()) > 1e-9) {
@@ -50,7 +60,6 @@ int main() {
   report.claim("cutoff equates cont and stop utilities (Eq. 18)",
                indifference_exact);
   report.claim("cutoff at P*=2 is ~1.481",
-               std::abs(model::BasicGame(p, 2.0).alice_t3_cutoff() - 1.4811) <
-                   1e-3);
+               std::abs(games[1]->alice_t3_cutoff() - 1.4811) < 1e-3);
   return report.exit_code();
 }

@@ -4,8 +4,12 @@
 // cont: Eq. (21) (expectation over Alice's t3 behaviour); stop: Eq. (23)
 // (the 45-degree line).  The two crossings bound Bob's continuation band
 // (Eq. 24), which expands and shifts right with larger P*.
+#include <memory>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -17,11 +21,18 @@ int main() {
   const model::SwapParams p = model::SwapParams::table3_defaults();
   const double p_stars[] = {1.5, 2.0, 2.5};
 
+  // Solve the three games in parallel; emit from the solved set in order.
+  const auto games =
+      sweep::parallel_map<std::shared_ptr<const model::BasicGame>>(
+          std::size(p_stars), [&p, &p_stars](std::size_t i) {
+            return std::make_shared<const model::BasicGame>(p, p_stars[i]);
+          });
+
   report.csv_begin("utility_curves", "p_star,p_t2,U_cont,U_stop");
-  for (double p_star : p_stars) {
-    const model::BasicGame game(p, p_star);
+  for (std::size_t i = 0; i < std::size(p_stars); ++i) {
+    const model::BasicGame& game = *games[i];
     for (double x = 0.05; x <= 4.0 + 1e-9; x += 0.05) {
-      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%.6f", p_star, x,
+      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%.6f", p_stars[i], x,
                                 game.bob_t2_cont(x), game.bob_t2_stop(x)));
     }
   }
@@ -29,8 +40,9 @@ int main() {
   report.csv_begin("bands", "p_star,P_t2_lo,P_t2_hi,width");
   double prev_width = 0.0, prev_hi = 0.0;
   bool widens = true, shifts_right = true, all_exist = true;
-  for (double p_star : p_stars) {
-    const model::BasicGame game(p, p_star);
+  for (std::size_t i = 0; i < std::size(p_stars); ++i) {
+    const double p_star = p_stars[i];
+    const model::BasicGame& game = *games[i];
     const auto band = game.bob_t2_band();
     if (!band) {
       all_exist = false;
@@ -50,7 +62,7 @@ int main() {
   report.claim("band expands with larger P* (paper: Fig. 4 discussion)",
                widens);
   report.claim("band shifts to the higher end with larger P*", shifts_right);
-  const auto band2 = model::BasicGame(p, 2.0).bob_t2_band();
+  const auto band2 = games[1]->bob_t2_band();
   report.claim("band at P*=2 is ~(1.18, 2.39)",
                band2 && std::abs(band2->lo - 1.1818) < 5e-3 &&
                    std::abs(band2->hi - 2.3887) < 5e-3);

@@ -4,8 +4,13 @@
 // cont: Eq. (25) (expectation over Bob's t2 band and her own t3 option);
 // stop: Eq. (27), the 45-degree line U = P*.  The crossings are the
 // feasible band (P*_lo, P*_hi) of Eq. (29).
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
+#include "model/solver_cache.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -17,13 +22,21 @@ int main() {
   const model::SwapParams p = model::SwapParams::table3_defaults();
 
   report.csv_begin("utility_curves", "p_star,U_cont,U_stop");
+  std::vector<double> grid;
   for (double p_star = 0.8; p_star <= 3.4 + 1e-9; p_star += 0.05) {
-    const model::BasicGame game(p, p_star);
-    report.csv_row(bench::fmt("%.2f,%.6f,%.6f", p_star, game.alice_t1_cont(),
-                              game.alice_t1_stop()));
+    grid.push_back(p_star);
   }
+  // One warm-chained sweeper per worker chunk; rows come back in grid order.
+  const auto rows = sweep::parallel_map_stateful<std::string>(
+      grid.size(), [&p] { return model::BasicGameSweeper(p); },
+      [&grid](model::BasicGameSweeper& sweeper, std::size_t i) {
+        const auto game = sweeper.at(grid[i]);
+        return bench::fmt("%.2f,%.6f,%.6f", grid[i], game->alice_t1_cont(),
+                          game->alice_t1_stop());
+      });
+  for (const std::string& row : rows) report.csv_row(row);
 
-  const model::FeasibleBand band = model::alice_feasible_band(p);
+  const model::FeasibleBand band = model::cached_feasible_band(p);
   report.csv_begin("feasible_band", "P_star_lo,P_star_hi");
   report.csv_row(bench::fmt("%.4f,%.4f", band.lo, band.hi));
 

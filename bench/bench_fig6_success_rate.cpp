@@ -13,10 +13,13 @@
 //   * higher mu -> higher SR; higher sigma -> lower max SR.
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
+#include "model/solver_cache.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -35,29 +38,52 @@ struct SeriesResult {
   double argmax_p_star = 0.0;
 };
 
-SeriesResult emit_series(bench::Report& report, const Variant& variant) {
+/// A computed series: the summary plus the pre-formatted CSV rows, so the
+/// solve can run on a worker while emission stays serial and in order.
+struct SeriesData {
   SeriesResult result;
-  const model::FeasibleBand band = model::alice_feasible_band(variant.params);
+  std::vector<std::string> rows;
+};
+
+SeriesData compute_series(const Variant& variant) {
+  SeriesData data;
+  const model::FeasibleBand band = model::cached_feasible_band(variant.params);
   if (!band.viable) {
-    report.csv_row(bench::fmt("%s,nonviable,,", variant.label.c_str()));
-    return result;
+    data.rows.push_back(bench::fmt("%s,nonviable,,", variant.label.c_str()));
+    return data;
   }
-  result.viable = true;
-  result.band_lo = band.lo;
-  result.band_hi = band.hi;
+  data.result.viable = true;
+  data.result.band_lo = band.lo;
+  data.result.band_hi = band.hi;
   const int grid = 25;
+  model::BasicGameSweeper sweeper(variant.params);
   for (int i = 0; i <= grid; ++i) {
     const double p_star = band.lo + (band.hi - band.lo) * i / grid;
-    const model::BasicGame game(variant.params, p_star);
-    const double sr = game.success_rate();
-    report.csv_row(
+    const double sr = sweeper.at(p_star)->success_rate();
+    data.rows.push_back(
         bench::fmt("%s,%.4f,%.6f,", variant.label.c_str(), p_star, sr));
-    if (sr > result.max_sr) {
-      result.max_sr = sr;
-      result.argmax_p_star = p_star;
+    if (sr > data.result.max_sr) {
+      data.result.max_sr = sr;
+      data.result.argmax_p_star = p_star;
     }
   }
-  return result;
+  return data;
+}
+
+/// Solves all variants of a panel in parallel (one warm-chained sweeper
+/// each), then emits their rows serially in input order.
+std::vector<SeriesResult> emit_panel(bench::Report& report,
+                                     const std::vector<Variant>& variants) {
+  const auto series = sweep::parallel_map<SeriesData>(
+      variants.size(),
+      [&variants](std::size_t i) { return compute_series(variants[i]); });
+  std::vector<SeriesResult> results;
+  results.reserve(series.size());
+  for (const SeriesData& data : series) {
+    for (const std::string& row : data.rows) report.csv_row(row);
+    results.push_back(data.result);
+  }
+  return results;
 }
 
 }  // namespace
@@ -77,17 +103,17 @@ int main() {
 
   // --- Panel 1: success premium alpha. ------------------------------------
   report.csv_begin("panel_alpha", "variant,p_star,SR,");
-  const SeriesResult a_def = emit_series(report, {"alphaA=0.3(default)", def});
-  const SeriesResult a_lo = emit_series(
-      report, {"alphaA=0.15", with([](auto& p) { p.alice.alpha = 0.15; })});
-  const SeriesResult a_hi = emit_series(
-      report, {"alphaA=0.5", with([](auto& p) { p.alice.alpha = 0.5; })});
-  const SeriesResult a_tiny = emit_series(
-      report, {"alphaA=0.01", with([](auto& p) { p.alice.alpha = 0.01; })});
-  const SeriesResult b_lo = emit_series(
-      report, {"alphaB=0.15", with([](auto& p) { p.bob.alpha = 0.15; })});
-  const SeriesResult b_hi = emit_series(
-      report, {"alphaB=0.5", with([](auto& p) { p.bob.alpha = 0.5; })});
+  const std::vector<SeriesResult> alpha_panel = emit_panel(
+      report,
+      {{"alphaA=0.3(default)", def},
+       {"alphaA=0.15", with([](auto& p) { p.alice.alpha = 0.15; })},
+       {"alphaA=0.5", with([](auto& p) { p.alice.alpha = 0.5; })},
+       {"alphaA=0.01", with([](auto& p) { p.alice.alpha = 0.01; })},
+       {"alphaB=0.15", with([](auto& p) { p.bob.alpha = 0.15; })},
+       {"alphaB=0.5", with([](auto& p) { p.bob.alpha = 0.5; })}});
+  const SeriesResult &a_def = alpha_panel[0], &a_lo = alpha_panel[1],
+                     &a_hi = alpha_panel[2], &a_tiny = alpha_panel[3],
+                     &b_lo = alpha_panel[4], &b_hi = alpha_panel[5];
 
   report.claim("higher alpha^A raises max SR",
                a_lo.viable && a_hi.viable && a_lo.max_sr < a_def.max_sr &&
@@ -102,15 +128,18 @@ int main() {
 
   // --- Panel 2: time preference r. -----------------------------------------
   report.csv_begin("panel_r", "variant,p_star,SR,");
-  const SeriesResult r_def = emit_series(report, {"r=0.010(default)", def});
-  const SeriesResult r_mid = emit_series(report, {"r=0.014", with([](auto& p) {
-                                            p.alice.r = 0.014;
-                                            p.bob.r = 0.014;
-                                          })});
-  const SeriesResult r_hi = emit_series(report, {"r=0.020", with([](auto& p) {
-                                           p.alice.r = 0.020;
-                                           p.bob.r = 0.020;
-                                         })});
+  const std::vector<SeriesResult> r_panel =
+      emit_panel(report, {{"r=0.010(default)", def},
+                          {"r=0.014", with([](auto& p) {
+                             p.alice.r = 0.014;
+                             p.bob.r = 0.014;
+                           })},
+                          {"r=0.020", with([](auto& p) {
+                             p.alice.r = 0.020;
+                             p.bob.r = 0.020;
+                           })}});
+  const SeriesResult &r_def = r_panel[0], &r_mid = r_panel[1],
+                     &r_hi = r_panel[2];
   report.claim("higher r narrows the feasible band",
                r_mid.viable &&
                    r_mid.band_hi - r_mid.band_lo <
@@ -119,23 +148,23 @@ int main() {
 
   // --- Panel 3: confirmation times tau. -------------------------------------
   report.csv_begin("panel_tau", "variant,p_star,SR,");
-  const SeriesResult tau_def = emit_series(report, {"tau=(3,4)(default)", def});
-  const SeriesResult tau_fast = emit_series(
-      report, {"tau=(1.5,2)", with([](auto& p) {
-                 p.tau_a = 1.5;
-                 p.tau_b = 2.0;
-                 p.eps_b = 0.5;
-               })});
-  const SeriesResult tau_slow = emit_series(
-      report, {"tau=(3.6,4.8)", with([](auto& p) {
-                 p.tau_a = 3.6;
-                 p.tau_b = 4.8;
-               })});
-  const SeriesResult tau_glacial = emit_series(
-      report, {"tau=(6,8)", with([](auto& p) {
-                 p.tau_a = 6.0;
-                 p.tau_b = 8.0;
-               })});
+  const std::vector<SeriesResult> tau_panel =
+      emit_panel(report, {{"tau=(3,4)(default)", def},
+                          {"tau=(1.5,2)", with([](auto& p) {
+                             p.tau_a = 1.5;
+                             p.tau_b = 2.0;
+                             p.eps_b = 0.5;
+                           })},
+                          {"tau=(3.6,4.8)", with([](auto& p) {
+                             p.tau_a = 3.6;
+                             p.tau_b = 4.8;
+                           })},
+                          {"tau=(6,8)", with([](auto& p) {
+                             p.tau_a = 6.0;
+                             p.tau_b = 8.0;
+                           })}});
+  const SeriesResult &tau_def = tau_panel[0], &tau_fast = tau_panel[1],
+                     &tau_slow = tau_panel[2], &tau_glacial = tau_panel[3];
   report.claim("lower tau raises the optimal SR",
                tau_fast.viable && tau_fast.max_sr > tau_def.max_sr);
   report.claim("higher tau lowers the optimal SR",
@@ -145,13 +174,13 @@ int main() {
 
   // --- Panel 4: drift mu. ----------------------------------------------------
   report.csv_begin("panel_mu", "variant,p_star,SR,");
-  const SeriesResult mu_neg = emit_series(
-      report, {"mu=-0.002", with([](auto& p) { p.gbm.mu = -0.002; })});
-  const SeriesResult mu_zero =
-      emit_series(report, {"mu=0", with([](auto& p) { p.gbm.mu = 0.0; })});
-  const SeriesResult mu_def = emit_series(report, {"mu=0.002(default)", def});
-  const SeriesResult mu_pos = emit_series(
-      report, {"mu=0.006", with([](auto& p) { p.gbm.mu = 0.006; })});
+  const std::vector<SeriesResult> mu_panel = emit_panel(
+      report, {{"mu=-0.002", with([](auto& p) { p.gbm.mu = -0.002; })},
+               {"mu=0", with([](auto& p) { p.gbm.mu = 0.0; })},
+               {"mu=0.002(default)", def},
+               {"mu=0.006", with([](auto& p) { p.gbm.mu = 0.006; })}});
+  const SeriesResult &mu_neg = mu_panel[0], &mu_zero = mu_panel[1],
+                     &mu_def = mu_panel[2], &mu_pos = mu_panel[3];
   report.claim("upward drift raises max SR (mu- < mu0 < mu+ ordering)",
                mu_neg.viable && mu_zero.viable && mu_pos.viable &&
                    mu_neg.max_sr < mu_zero.max_sr &&
@@ -160,14 +189,13 @@ int main() {
 
   // --- Panel 5: volatility sigma. --------------------------------------------
   report.csv_begin("panel_sigma", "variant,p_star,SR,");
-  const SeriesResult sig_lo = emit_series(
-      report, {"sigma=0.05", with([](auto& p) { p.gbm.sigma = 0.05; })});
-  const SeriesResult sig_def =
-      emit_series(report, {"sigma=0.10(default)", def});
-  const SeriesResult sig_hi = emit_series(
-      report, {"sigma=0.15", with([](auto& p) { p.gbm.sigma = 0.15; })});
-  const SeriesResult sig_wild = emit_series(
-      report, {"sigma=0.20", with([](auto& p) { p.gbm.sigma = 0.20; })});
+  const std::vector<SeriesResult> sigma_panel = emit_panel(
+      report, {{"sigma=0.05", with([](auto& p) { p.gbm.sigma = 0.05; })},
+               {"sigma=0.10(default)", def},
+               {"sigma=0.15", with([](auto& p) { p.gbm.sigma = 0.15; })},
+               {"sigma=0.20", with([](auto& p) { p.gbm.sigma = 0.20; })}});
+  const SeriesResult &sig_lo = sigma_panel[0], &sig_def = sigma_panel[1],
+                     &sig_hi = sigma_panel[2], &sig_wild = sigma_panel[3];
   report.claim("higher sigma lowers max SR (paper Section III-F4)",
                sig_lo.viable && sig_hi.viable &&
                    sig_lo.max_sr > sig_def.max_sr &&
@@ -179,10 +207,11 @@ int main() {
   bool concave_shaped = true;
   {
     std::vector<double> sr;
+    model::BasicGameSweeper sweeper(def);
     for (int i = 0; i <= 30; ++i) {
       const double p_star =
           a_def.band_lo + (a_def.band_hi - a_def.band_lo) * i / 30.0;
-      sr.push_back(model::BasicGame(def, p_star).success_rate());
+      sr.push_back(sweeper.at(p_star)->success_rate());
     }
     int sign_changes = 0;
     for (std::size_t i = 2; i < sr.size(); ++i) {

@@ -5,9 +5,14 @@
 // -- 1 or 3 -- because with collateral at stake Bob continues at near-zero
 // prices (to recover Q) and stops at high prices (to keep the token).
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/collateral_game.hpp"
+#include "model/solver_cache.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -20,33 +25,44 @@ int main() {
   const double q_values[] = {0.05, 0.1, 0.3, 0.6};
   const double p_stars[] = {1.5, 2.0, 2.5};
 
-  report.csv_begin("utility_curves", "q,p_star,p_t2,U_cont,U_stop");
+  // Solve the (Q, P*) grid in parallel once; both blocks below read the
+  // solved games in grid order.
+  std::vector<std::pair<double, double>> cells;  // (q, p_star)
   for (double q : q_values) {
-    for (double p_star : p_stars) {
-      const model::CollateralGame game(p, p_star, q);
-      for (double x = 0.02; x <= 4.0 + 1e-9; x += 0.07) {
-        report.csv_row(bench::fmt("%.2f,%.1f,%.2f,%.6f,%.6f", q, p_star, x,
-                                  game.bob_t2_cont(x), game.bob_t2_stop(x)));
-      }
+    for (double p_star : p_stars) cells.emplace_back(q, p_star);
+  }
+  const auto games = sweep::parallel_map_stateful<
+      std::shared_ptr<const model::CollateralGame>>(
+      cells.size(), [&p] { return model::CollateralGameSweeper(p); },
+      [&cells](model::CollateralGameSweeper& sweeper, std::size_t i) {
+        return sweeper.at(cells[i].second, cells[i].first);
+      });
+
+  report.csv_begin("utility_curves", "q,p_star,p_t2,U_cont,U_stop");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& [q, p_star] = cells[i];
+    const model::CollateralGame& game = *games[i];
+    for (double x = 0.02; x <= 4.0 + 1e-9; x += 0.07) {
+      report.csv_row(bench::fmt("%.2f,%.1f,%.2f,%.6f,%.6f", q, p_star, x,
+                                game.bob_t2_cont(x), game.bob_t2_stop(x)));
     }
   }
 
   report.csv_begin("indifference_points", "q,p_star,roots,region");
   bool all_odd = true;
   bool zero_always_inside = true;
-  for (double q : q_values) {
-    for (double p_star : p_stars) {
-      const model::CollateralGame game(p, p_star, q);
-      int roots = 0;
-      for (const math::Interval& piece : game.bob_t2_region().intervals()) {
-        if (piece.lo > 0.0) ++roots;
-        if (std::isfinite(piece.hi)) ++roots;
-      }
-      report.csv_row(bench::fmt("%.2f,%.1f,%d,%s", q, p_star, roots,
-                                game.bob_t2_region().to_string().c_str()));
-      if (roots % 2 == 0) all_odd = false;
-      if (!game.bob_t2_region().contains(1e-9)) zero_always_inside = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& [q, p_star] = cells[i];
+    const model::CollateralGame& game = *games[i];
+    int roots = 0;
+    for (const math::Interval& piece : game.bob_t2_region().intervals()) {
+      if (piece.lo > 0.0) ++roots;
+      if (std::isfinite(piece.hi)) ++roots;
     }
+    report.csv_row(bench::fmt("%.2f,%.1f,%d,%s", q, p_star, roots,
+                              game.bob_t2_region().to_string().c_str()));
+    if (roots % 2 == 0) all_odd = false;
+    if (!game.bob_t2_region().contains(1e-9)) zero_always_inside = false;
   }
 
   report.claim("indifference equation always has an odd root count (1 or 3)",

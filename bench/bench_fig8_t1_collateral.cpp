@@ -5,9 +5,13 @@
 // BOTH agents prefer cont (the paper prints a union, but initiation
 // requires both -- see DESIGN.md errata notes).
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/collateral_game.hpp"
+#include "model/solver_cache.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -21,12 +25,19 @@ int main() {
 
   report.csv_begin("utility_curves",
                    "p_star,UA_cont,UA_stop,UB_cont,UB_stop");
+  std::vector<double> grid;
   for (double p_star = 0.8; p_star <= 3.4 + 1e-9; p_star += 0.1) {
-    const model::CollateralGame game(p, p_star, q);
-    report.csv_row(bench::fmt("%.2f,%.6f,%.6f,%.6f,%.6f", p_star,
-                              game.alice_t1_cont(), game.alice_t1_stop(),
-                              game.bob_t1_cont(), game.bob_t1_stop()));
+    grid.push_back(p_star);
   }
+  const auto rows = sweep::parallel_map_stateful<std::string>(
+      grid.size(), [&p] { return model::CollateralGameSweeper(p); },
+      [&grid, q](model::CollateralGameSweeper& sweeper, std::size_t i) {
+        const auto game = sweeper.at(grid[i], q);
+        return bench::fmt("%.2f,%.6f,%.6f,%.6f,%.6f", grid[i],
+                          game->alice_t1_cont(), game->alice_t1_stop(),
+                          game->bob_t1_cont(), game->bob_t1_stop());
+      });
+  for (const std::string& row : rows) report.csv_row(row);
 
   const model::CollateralViability v = model::collateral_viable_rates(p, q);
   report.csv_begin("viability_sets", "agent,set");

@@ -6,9 +6,13 @@
 #include <vector>
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "bench_util.hpp"
 #include "model/collateral_game.hpp"
+#include "model/solver_cache.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -20,19 +24,41 @@ int main() {
   const std::vector<double> q_values = {0.0, 0.2, 0.5, 1.0, 2.0};
 
   report.csv_begin("sr_curves", "q,p_star,SR,engaged");
+  std::vector<std::pair<double, double>> cells;  // (q, p_star), row order
+  for (double q : q_values) {
+    for (double p_star = 1.2; p_star <= 3.0 + 1e-9; p_star += 0.1) {
+      cells.emplace_back(q, p_star);
+    }
+  }
+  struct SrCell {
+    double sr = 0.0;
+    bool engaged = false;
+  };
+  const auto solved = sweep::parallel_map_stateful<SrCell>(
+      cells.size(), [&p] { return model::CollateralGameSweeper(p); },
+      [&cells](model::CollateralGameSweeper& sweeper, std::size_t i) {
+        const auto game = sweeper.at(cells[i].second, cells[i].first);
+        return SrCell{game->success_rate(), game->engaged()};
+      });
+  const auto defaults_solved = sweep::parallel_map<double>(
+      q_values.size(), [&p, &q_values](std::size_t i) {
+        return model::CollateralGame(p, 2.0, q_values[i]).success_rate();
+      });
   std::vector<double> sr_at_default;  // SR at P* = 2 per Q
   std::vector<double> max_sr;
-  for (double q : q_values) {
+  std::size_t cell = 0;
+  for (std::size_t qi = 0; qi < q_values.size(); ++qi) {
     double best = 0.0;
-    for (double p_star = 1.2; p_star <= 3.0 + 1e-9; p_star += 0.1) {
-      const model::CollateralGame game(p, p_star, q);
-      const double sr = game.success_rate();
-      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%d", q, p_star, sr,
-                                game.engaged() ? 1 : 0));
-      if (game.engaged() && sr > best) best = sr;
+    while (cell < cells.size() && cells[cell].first == q_values[qi]) {
+      const SrCell& sc = solved[cell];
+      report.csv_row(bench::fmt("%.1f,%.2f,%.6f,%d", cells[cell].first,
+                                cells[cell].second, sc.sr,
+                                sc.engaged ? 1 : 0));
+      if (sc.engaged && sc.sr > best) best = sc.sr;
+      ++cell;
     }
     max_sr.push_back(best);
-    sr_at_default.push_back(model::CollateralGame(p, 2.0, q).success_rate());
+    sr_at_default.push_back(defaults_solved[qi]);
   }
 
   report.csv_begin("sr_at_default_rate", "q,SR");

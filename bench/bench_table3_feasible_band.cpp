@@ -4,9 +4,13 @@
 // defaults.  This bench recomputes the band, prints Alice's t1 cont/stop
 // gap over a P* grid, and checks the calibration.
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
+#include "model/solver_cache.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -30,14 +34,20 @@ int main() {
   report.csv_row(bench::fmt("sigma_per_sqrt_hour,%.2f", p.gbm.sigma));
 
   report.csv_begin("alice_t1_gap", "p_star,U_t1_cont,U_t1_stop,gap");
+  std::vector<double> grid;
   for (double p_star = 1.0; p_star <= 3.2; p_star += 0.1) {
-    const model::BasicGame game(p, p_star);
-    const double cont = game.alice_t1_cont();
-    report.csv_row(bench::fmt("%.2f,%.6f,%.6f,%+.6f", p_star, cont, p_star,
-                              cont - p_star));
+    grid.push_back(p_star);
   }
+  const auto rows = sweep::parallel_map_stateful<std::string>(
+      grid.size(), [&p] { return model::BasicGameSweeper(p); },
+      [&grid](model::BasicGameSweeper& sweeper, std::size_t i) {
+        const double cont = sweeper.at(grid[i])->alice_t1_cont();
+        return bench::fmt("%.2f,%.6f,%.6f,%+.6f", grid[i], cont, grid[i],
+                          cont - grid[i]);
+      });
+  for (const std::string& row : rows) report.csv_row(row);
 
-  const model::FeasibleBand band = model::alice_feasible_band(p);
+  const model::FeasibleBand band = model::cached_feasible_band(p);
   report.csv_begin("feasible_band", "quantity,value");
   report.csv_row(bench::fmt("P_star_lo,%.4f", band.lo));
   report.csv_row(bench::fmt("P_star_hi,%.4f", band.hi));

@@ -6,27 +6,43 @@
 // about that artifact, evaluated on the data just produced.  A bench exits
 // nonzero if any claim fails, so `for b in build/bench/*; do $b; done`
 // doubles as a reproduction gate.
+//
+// Timing telemetry: Report measures wall-clock (steady_clock) time per CSV
+// block -- from its csv_begin to the next csv_begin or to exit_code() --
+// plus the binary's total runtime.  exit_code() appends TIME lines after
+// the CHECK lines (so the data blocks above stay byte-comparable across
+// runs) and writes BENCH_<slug>.json into the current directory with the
+// same numbers for machine consumption.  See docs/PERF.md for the format.
 #pragma once
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace swapgame::bench {
 
-/// Tracks claim failures for the process exit code.
+/// Tracks claim failures for the process exit code and wall-clock timing
+/// per CSV block.
 class Report {
  public:
-  Report(const std::string& artifact, const std::string& description) {
+  Report(const std::string& artifact, const std::string& description)
+      : artifact_(artifact), start_(Clock::now()) {
     std::printf("==============================================================\n");
     std::printf("%s\n", artifact.c_str());
     std::printf("%s\n", description.c_str());
     std::printf("==============================================================\n");
   }
 
-  /// Begins a CSV block: prints "# <name>" then the header row.
+  /// Begins a CSV block: prints "# <name>" then the header row.  Also
+  /// closes the timing window of the previous block and opens this one's,
+  /// so per-block times cover everything computed while the block is open.
   void csv_begin(const std::string& name, const std::string& header) {
+    close_block();
+    block_name_ = name;
+    block_start_ = Clock::now();
     std::printf("\n# %s\n%s\n", name.c_str(), header.c_str());
   }
 
@@ -40,21 +56,133 @@ class Report {
 
   void note(const std::string& text) { std::printf("NOTE  %s\n", text.c_str()); }
 
-  /// Exit code for main(): 0 iff all claims held.
-  [[nodiscard]] int exit_code() const noexcept { return failures_ == 0 ? 0 : 1; }
+  /// Exit code for main(): 0 iff all claims held.  The first call closes
+  /// the last CSV block, prints the TIME lines and writes BENCH_<slug>.json.
+  [[nodiscard]] int exit_code() {
+    finalize();
+    return failures_ == 0 ? 0 : 1;
+  }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct BlockTime {
+    std::string name;
+    double seconds = 0.0;
+  };
+
+  static double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  void close_block() {
+    if (block_name_.empty()) return;
+    blocks_.push_back({std::move(block_name_), seconds_since(block_start_)});
+    block_name_.clear();
+  }
+
+  /// Slug for the JSON filename: the artifact prefix before " -- "
+  /// lowercased with runs of non-alphanumerics collapsed to '_'
+  /// ("Fig. 6 -- ..." -> "fig_6", "Table III / Eq. (29) -- ..." ->
+  /// "table_iii_eq_29").
+  [[nodiscard]] std::string slug() const {
+    std::string head = artifact_;
+    if (const auto cut = head.find(" -- "); cut != std::string::npos) {
+      head.resize(cut);
+    }
+    std::string out;
+    for (const char c : head) {
+      if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+        out.push_back(c);
+      } else if (c >= 'A' && c <= 'Z') {
+        out.push_back(static_cast<char>(c - 'A' + 'a'));
+      } else if (!out.empty() && out.back() != '_') {
+        out.push_back('_');
+      }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out.empty() ? std::string("bench") : out;
+  }
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  void finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    close_block();
+    const double total = seconds_since(start_);
+
+    std::printf("\n");
+    for (const BlockTime& block : blocks_) {
+      std::printf("TIME  %-60s %10.3f s\n", block.name.c_str(), block.seconds);
+    }
+    std::printf("TIME  %-60s %10.3f s\n", "total", total);
+
+    const std::string path = "BENCH_" + slug() + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "{\n  \"artifact\": \"%s\",\n",
+                   json_escape(artifact_).c_str());
+      std::fprintf(f, "  \"failures\": %d,\n", failures_);
+      std::fprintf(f, "  \"total_seconds\": %.6f,\n  \"blocks\": [", total);
+      for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        std::fprintf(f, "%s\n    {\"name\": \"%s\", \"seconds\": %.6f}",
+                     i == 0 ? "" : ",", json_escape(blocks_[i].name).c_str(),
+                     blocks_[i].seconds);
+      }
+      std::fprintf(f, "\n  ]\n}\n");
+      std::fclose(f);
+      std::printf("TIME  wrote %s\n", path.c_str());
+    }
+  }
+
+  std::string artifact_;
+  Clock::time_point start_;
+  std::string block_name_;
+  Clock::time_point block_start_;
+  std::vector<BlockTime> blocks_;
   int failures_ = 0;
+  bool finalized_ = false;
 };
 
-/// printf-style float formatting into std::string.
+/// printf-style float formatting into std::string.  Never truncates: if the
+/// formatted output exceeds the stack buffer, the string is regrown to
+/// vsnprintf's reported length and formatted again.
 inline std::string fmt(const char* format, ...) {
   va_list args;
   va_start(args, format);
+  va_list retry;
+  va_copy(retry, args);
   char buffer[512];
-  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  const int needed = std::vsnprintf(buffer, sizeof(buffer), format, args);
   va_end(args);
-  return buffer;
+  if (needed < 0) {
+    va_end(retry);
+    return {};
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(buffer)) {
+    va_end(retry);
+    return buffer;
+  }
+  std::string grown(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(grown.data(), grown.size() + 1, format, retry);
+  va_end(retry);
+  return grown;
 }
 
 }  // namespace swapgame::bench

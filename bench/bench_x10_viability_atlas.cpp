@@ -7,11 +7,28 @@
 // impatience, is there ANY rate at which a swap starts, and how good can
 // it get?").
 #include <cmath>
+#include <optional>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
+
+namespace {
+
+/// Solves every cell of a (param mutation) grid in parallel -- each cell is
+/// an independent sr_maximizing_rate call -- and returns the optima in
+/// input order for serial emission.
+std::vector<std::optional<model::OptimalRate>> solve_cells(
+    const std::vector<model::SwapParams>& cells) {
+  return sweep::parallel_map<std::optional<model::OptimalRate>>(
+      cells.size(),
+      [&cells](std::size_t i) { return model::sr_maximizing_rate(cells[i]); });
+}
+
+}  // namespace
 
 int main() {
   bench::Report report(
@@ -22,17 +39,27 @@ int main() {
 
   // --- (sigma, r) plane. ------------------------------------------------------
   report.csv_begin("sigma_r_atlas", "sigma,r,viable,max_SR,best_p_star");
-  int viable_cells = 0, total_cells = 0;
-  bool frontier_monotone = true;  // viable sigma range shrinks as r grows
-  double prev_max_sigma = 1e9;
-  for (double r : {0.006, 0.010, 0.014, 0.018}) {
-    double max_viable_sigma = 0.0;
-    for (double sigma : {0.04, 0.07, 0.10, 0.13, 0.16, 0.19}) {
+  const std::vector<double> r_grid = {0.006, 0.010, 0.014, 0.018};
+  const std::vector<double> sigma_r_grid = {0.04, 0.07, 0.10, 0.13, 0.16, 0.19};
+  std::vector<model::SwapParams> sr_cells;
+  for (double r : r_grid) {
+    for (double sigma : sigma_r_grid) {
       model::SwapParams p = def;
       p.alice.r = r;
       p.bob.r = r;
       p.gbm.sigma = sigma;
-      const auto best = model::sr_maximizing_rate(p);
+      sr_cells.push_back(p);
+    }
+  }
+  const auto sr_best = solve_cells(sr_cells);
+  int viable_cells = 0, total_cells = 0;
+  bool frontier_monotone = true;  // viable sigma range shrinks as r grows
+  double prev_max_sigma = 1e9;
+  std::size_t cell = 0;
+  for (double r : r_grid) {
+    double max_viable_sigma = 0.0;
+    for (double sigma : sigma_r_grid) {
+      const auto& best = sr_best[cell++];
       ++total_cells;
       if (best) {
         ++viable_cells;
@@ -53,16 +80,27 @@ int main() {
 
   // --- (sigma, alpha) plane. ---------------------------------------------------
   report.csv_begin("sigma_alpha_atlas", "sigma,alpha,viable,max_SR");
-  bool alpha_extends_frontier = true;
-  double prev_max = 0.0;
-  for (double alpha : {0.15, 0.30, 0.45, 0.60}) {
-    double max_viable_sigma = 0.0;
-    for (double sigma : {0.04, 0.08, 0.12, 0.16, 0.20, 0.24}) {
+  const std::vector<double> alpha_grid = {0.15, 0.30, 0.45, 0.60};
+  const std::vector<double> sigma_a_grid = {0.04, 0.08, 0.12,
+                                            0.16, 0.20, 0.24};
+  std::vector<model::SwapParams> sa_cells;
+  for (double alpha : alpha_grid) {
+    for (double sigma : sigma_a_grid) {
       model::SwapParams p = def;
       p.alice.alpha = alpha;
       p.bob.alpha = alpha;
       p.gbm.sigma = sigma;
-      const auto best = model::sr_maximizing_rate(p);
+      sa_cells.push_back(p);
+    }
+  }
+  const auto sa_best = solve_cells(sa_cells);
+  bool alpha_extends_frontier = true;
+  double prev_max = 0.0;
+  cell = 0;
+  for (double alpha : alpha_grid) {
+    double max_viable_sigma = 0.0;
+    for (double sigma : sigma_a_grid) {
+      const auto& best = sa_best[cell++];
       if (best) {
         max_viable_sigma = sigma;
         report.csv_row(bench::fmt("%.2f,%.2f,1,%.4f", sigma, alpha,
@@ -81,15 +119,21 @@ int main() {
   // "increasing during periods of higher market volatility".  Find the
   // volatility at which the model's optimal-rate failure rate crosses 3-5%.
   report.csv_begin("bisq_anecdote", "sigma,fail_rate_at_optimal_rate");
-  double sigma_3pct = -1.0;
+  std::vector<double> bisq_sigmas;
+  std::vector<model::SwapParams> bisq_cells;
   for (double sigma = 0.01; sigma <= 0.08 + 1e-9; sigma += 0.01) {
+    bisq_sigmas.push_back(sigma);
     model::SwapParams p = def;
     p.gbm.sigma = sigma;
-    const auto best = model::sr_maximizing_rate(p);
-    if (!best) break;
-    const double fail = 1.0 - best->success_rate;
-    report.csv_row(bench::fmt("%.2f,%.4f", sigma, fail));
-    if (sigma_3pct < 0.0 && fail >= 0.03) sigma_3pct = sigma;
+    bisq_cells.push_back(p);
+  }
+  const auto bisq_best = solve_cells(bisq_cells);
+  double sigma_3pct = -1.0;
+  for (std::size_t i = 0; i < bisq_best.size(); ++i) {
+    if (!bisq_best[i]) break;  // emission stops at the first non-viable sigma
+    const double fail = 1.0 - bisq_best[i]->success_rate;
+    report.csv_row(bench::fmt("%.2f,%.4f", bisq_sigmas[i], fail));
+    if (sigma_3pct < 0.0 && fail >= 0.03) sigma_3pct = bisq_sigmas[i];
   }
   report.claim("a 3-5% failure rate corresponds to a plausible volatility",
                sigma_3pct > 0.0 && sigma_3pct <= 0.08);

@@ -12,6 +12,7 @@
 //     rates her option is valuable and she prefers the HTLC.  Protocol
 //     selection is a bargaining problem above the crossover.
 #include <cmath>
+#include <vector>
 
 #include "agents/rational.hpp"
 #include "bench_util.hpp"
@@ -20,6 +21,7 @@
 #include "proto/witness_protocol.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sim/path_simulator.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -75,25 +77,36 @@ int main() {
   bool alice_prefers_htlc_when_rich = true;   // at P* >= 2.0
   bool alice_prefers_commit_when_cheap = true;  // at P* <= 1.9
   bool bob_prefers_commit = true;
-  for (double p_star : {1.7, 1.9, 2.0, 2.1, 2.3}) {
-    const model::BasicGame htlc(p, p_star);
-    const model::CommitmentGame commit(p, p_star);
+  struct FamilyRow {
+    double sr_h = 0.0, sr_c = 0.0;
+    double ua_h = 0.0, ua_c = 0.0;
+    double ub_h = 0.0, ub_c = 0.0;
+  };
+  const std::vector<double> p_stars = {1.7, 1.9, 2.0, 2.1, 2.3};
+  const auto rows = sweep::parallel_map<FamilyRow>(
+      p_stars.size(), [&p, &p_stars](std::size_t i) {
+        const model::BasicGame htlc(p, p_stars[i]);
+        const model::CommitmentGame commit(p, p_stars[i]);
+        return FamilyRow{htlc.success_rate(),  commit.success_rate(),
+                         htlc.alice_t1_cont(), commit.alice_t1_cont(),
+                         htlc.bob_t1_cont(),   commit.bob_t1_cont()};
+      });
+  for (std::size_t i = 0; i < p_stars.size(); ++i) {
+    const double p_star = p_stars[i];
+    const FamilyRow& row = rows[i];
     report.csv_row(bench::fmt("%.1f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f", p_star,
-                              htlc.success_rate(), commit.success_rate(),
-                              htlc.alice_t1_cont(), commit.alice_t1_cont(),
-                              htlc.bob_t1_cont(), commit.bob_t1_cont()));
-    if (commit.success_rate() < htlc.success_rate() - 1e-9) {
+                              row.sr_h, row.sr_c, row.ua_h, row.ua_c,
+                              row.ub_h, row.ub_c));
+    if (row.sr_c < row.sr_h - 1e-9) {
       commit_sr_dominates = false;
     }
-    if (p_star >= 2.0 - 1e-9 &&
-        commit.alice_t1_cont() > htlc.alice_t1_cont() + 1e-9) {
+    if (p_star >= 2.0 - 1e-9 && row.ua_c > row.ua_h + 1e-9) {
       alice_prefers_htlc_when_rich = false;
     }
-    if (p_star <= 1.9 + 1e-9 &&
-        commit.alice_t1_cont() < htlc.alice_t1_cont() - 1e-9) {
+    if (p_star <= 1.9 + 1e-9 && row.ua_c < row.ua_h - 1e-9) {
       alice_prefers_commit_when_cheap = false;
     }
-    if (commit.bob_t1_cont() < htlc.bob_t1_cont() - 1e-9) {
+    if (row.ub_c < row.ub_h - 1e-9) {
       bob_prefers_commit = false;
     }
   }

@@ -10,10 +10,12 @@
 //     LAST -- the optionality asymmetry the paper analyzes for 2 parties
 //     compounds with cycle length.
 #include <string>
+#include <vector>
 
 #include "agents/naive.hpp"
 #include "bench_util.hpp"
 #include "proto/multihop_protocol.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -40,9 +42,15 @@ int main() {
   report.csv_begin("scaling", "parties,completion_hours,leader_lock_hours");
   bool linear = true;
   double prev_completion = 0.0;
-  for (std::size_t n : {2u, 3u, 4u, 6u, 8u, 12u}) {
-    proto::MultihopSetup setup = make_cycle(n);
-    const proto::MultihopResult r = proto::run_multihop_swap(setup, path);
+  const std::vector<std::size_t> cycle_sizes = {2, 3, 4, 6, 8, 12};
+  const auto scaling = sweep::parallel_map<proto::MultihopResult>(
+      cycle_sizes.size(), [&path, &cycle_sizes](std::size_t i) {
+        const proto::MultihopSetup setup = make_cycle(cycle_sizes[i]);
+        return proto::run_multihop_swap(setup, path);
+      });
+  for (std::size_t i = 0; i < cycle_sizes.size(); ++i) {
+    const std::size_t n = cycle_sizes[i];
+    const proto::MultihopResult& r = scaling[i];
     if (r.outcome != proto::MultihopOutcome::kAllCommitted) {
       report.claim("honest cycle committed", false);
       return 1;
@@ -60,12 +68,16 @@ int main() {
   report.csv_begin("lock_defection", "defector_position,locks_deployed,"
                                      "legs_claimed,anyone_lost");
   bool lock_aborts_atomic = true;
+  const auto lock_runs = sweep::parallel_map<proto::MultihopResult>(
+      5, [&path](std::size_t pos) {
+        proto::MultihopSetup setup = make_cycle(5);
+        agents::DefectorStrategy defect(pos == 0 ? agents::Stage::kT1Initiate
+                                                 : agents::Stage::kT2Lock);
+        setup.parties[pos].strategy = &defect;
+        return proto::run_multihop_swap(setup, path);
+      });
   for (std::size_t pos = 0; pos < 5; ++pos) {
-    proto::MultihopSetup setup = make_cycle(5);
-    agents::DefectorStrategy defect(pos == 0 ? agents::Stage::kT1Initiate
-                                             : agents::Stage::kT2Lock);
-    setup.parties[pos].strategy = &defect;
-    const proto::MultihopResult r = proto::run_multihop_swap(setup, path);
+    const proto::MultihopResult& r = lock_runs[pos];
     bool anyone_lost = false;
     for (std::size_t i = 0; i < 5; ++i) {
       if (r.paid[i] > 1e-12 && r.received[i] < 1e-12) anyone_lost = true;
@@ -84,11 +96,16 @@ int main() {
   report.csv_begin("claim_skip", "skipper,legs_claimed,skipper_paid,"
                                  "skipper_received,others_lost");
   bool only_skipper_loses = true;
+  const auto skip_runs = sweep::parallel_map<proto::MultihopResult>(
+      4, [&path](std::size_t i) {
+        const std::size_t pos = i + 1;
+        proto::MultihopSetup setup = make_cycle(5);
+        agents::DefectorStrategy skip(agents::Stage::kT4Claim);
+        setup.parties[pos].strategy = &skip;
+        return proto::run_multihop_swap(setup, path);
+      });
   for (std::size_t pos = 1; pos < 5; ++pos) {
-    proto::MultihopSetup setup = make_cycle(5);
-    agents::DefectorStrategy skip(agents::Stage::kT4Claim);
-    setup.parties[pos].strategy = &skip;
-    const proto::MultihopResult r = proto::run_multihop_swap(setup, path);
+    const proto::MultihopResult& r = skip_runs[pos - 1];
     bool others_lost = false;
     for (std::size_t i = 0; i < 5; ++i) {
       if (i == pos) continue;

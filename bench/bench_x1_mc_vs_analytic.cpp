@@ -10,11 +10,14 @@
 // The protocol estimate must fall inside (a slightly padded) Wilson
 // interval around the analytic value.
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
 #include "sim/monte_carlo.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -28,31 +31,47 @@ int main() {
   report.csv_begin("sr_comparison",
                    "p_star,analytic,model_mc,protocol_mc,protocol_ci_lo,"
                    "protocol_ci_hi");
+  struct SrRow {
+    std::string row;
+    bool within = false;
+  };
+  const std::vector<double> p_stars = {1.6, 1.8, 2.0, 2.2, 2.4};
+  // Each rate runs its own model-MC and protocol-MC; the rates fan out over
+  // the sweep pool and the nested MC parallel_for falls back to serial
+  // inline on pool workers (no deadlock, identical estimates).
+  const auto sr_rows = sweep::parallel_map<SrRow>(
+      p_stars.size(), [&p, &p_stars](std::size_t i) {
+        const double p_star = p_stars[i];
+        const model::BasicGame game(p, p_star);
+        const double analytic = game.success_rate();
+
+        sim::McConfig fast_cfg;
+        fast_cfg.samples = 200000;
+        fast_cfg.seed = 1001;
+        const sim::McEstimate fast =
+            sim::run_model_mc(p, p_star, 0.0, fast_cfg);
+
+        proto::SwapSetup setup;
+        setup.params = p;
+        setup.p_star = p_star;
+        sim::McConfig full_cfg;
+        full_cfg.samples = 4000;
+        full_cfg.seed = 2002;
+        const sim::McEstimate full = sim::run_protocol_mc(
+            setup, sim::rational_factory(p, p_star),
+            sim::rational_factory(p, p_star), full_cfg);
+        const auto ci = full.success.wilson_interval(0.999);
+
+        return SrRow{
+            bench::fmt("%.1f,%.5f,%.5f,%.5f,%.5f,%.5f", p_star, analytic,
+                       fast.conditional_success_rate(),
+                       full.conditional_success_rate(), ci.lo, ci.hi),
+            analytic >= ci.lo - 0.01 && analytic <= ci.hi + 0.01};
+      });
   bool all_within = true;
-  for (double p_star : {1.6, 1.8, 2.0, 2.2, 2.4}) {
-    const model::BasicGame game(p, p_star);
-    const double analytic = game.success_rate();
-
-    sim::McConfig fast_cfg;
-    fast_cfg.samples = 200000;
-    fast_cfg.seed = 1001;
-    const sim::McEstimate fast = sim::run_model_mc(p, p_star, 0.0, fast_cfg);
-
-    proto::SwapSetup setup;
-    setup.params = p;
-    setup.p_star = p_star;
-    sim::McConfig full_cfg;
-    full_cfg.samples = 4000;
-    full_cfg.seed = 2002;
-    const sim::McEstimate full = sim::run_protocol_mc(
-        setup, sim::rational_factory(p, p_star),
-        sim::rational_factory(p, p_star), full_cfg);
-    const auto ci = full.success.wilson_interval(0.999);
-
-    report.csv_row(bench::fmt("%.1f,%.5f,%.5f,%.5f,%.5f,%.5f", p_star,
-                              analytic, fast.conditional_success_rate(),
-                              full.conditional_success_rate(), ci.lo, ci.hi));
-    if (analytic < ci.lo - 0.01 || analytic > ci.hi + 0.01) all_within = false;
+  for (const SrRow& r : sr_rows) {
+    report.csv_row(r.row);
+    if (!r.within) all_within = false;
   }
   report.claim("analytic SR within protocol-MC 99.9% CI at every rate",
                all_within);
@@ -89,25 +108,34 @@ int main() {
   // Collateralized variant: protocol MC reproduces the Fig. 9 ordering.
   {
     report.csv_begin("collateral_protocol_mc", "q,protocol_SR,analytic_SR");
+    struct QRow {
+      double sr = 0.0;
+      double analytic = 0.0;
+    };
+    const std::vector<double> qs = {0.0, 0.5, 1.0};
+    const auto q_rows = sweep::parallel_map<QRow>(
+        qs.size(), [&p, &qs](std::size_t i) {
+          const double q = qs[i];
+          proto::SwapSetup setup;
+          setup.params = p;
+          setup.p_star = 2.0;
+          setup.collateral = q;
+          sim::McConfig cfg;
+          cfg.samples = 2500;
+          cfg.seed = 4004;
+          const sim::McEstimate est = sim::run_protocol_mc(
+              setup, sim::rational_factory(p, 2.0, q),
+              sim::rational_factory(p, 2.0, q), cfg);
+          return QRow{est.conditional_success_rate(),
+                      model::CollateralGame(p, 2.0, q).success_rate()};
+        });
     double prev = -1.0;
     bool monotone = true;
-    for (double q : {0.0, 0.5, 1.0}) {
-      proto::SwapSetup setup;
-      setup.params = p;
-      setup.p_star = 2.0;
-      setup.collateral = q;
-      sim::McConfig cfg;
-      cfg.samples = 2500;
-      cfg.seed = 4004;
-      const sim::McEstimate est = sim::run_protocol_mc(
-          setup, sim::rational_factory(p, 2.0, q),
-          sim::rational_factory(p, 2.0, q), cfg);
-      const double sr = est.conditional_success_rate();
-      const double analytic =
-          model::CollateralGame(p, 2.0, q).success_rate();
-      report.csv_row(bench::fmt("%.1f,%.5f,%.5f", q, sr, analytic));
-      if (sr < prev - 0.02) monotone = false;
-      prev = sr;
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      report.csv_row(bench::fmt("%.1f,%.5f,%.5f", qs[i], q_rows[i].sr,
+                                q_rows[i].analytic));
+      if (q_rows[i].sr < prev - 0.02) monotone = false;
+      prev = q_rows[i].sr;
     }
     report.claim("protocol-MC SR increases with Q (Fig. 9, end-to-end)",
                  monotone);

@@ -12,6 +12,7 @@
 #include "math/quadrature.hpp"
 #include "model/basic_game.hpp"
 #include "model/game_tree.hpp"
+#include "model/solver_cache.hpp"
 #include "sim/monte_carlo.hpp"
 
 using namespace swapgame;
@@ -109,6 +110,35 @@ void BM_ProtocolMonteCarlo(benchmark::State& state) {
 }
 BENCHMARK(BM_ProtocolMonteCarlo)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
+
+// Cold vs warm-chained sweep over a P* grid: the ablation for the sweep
+// engine's solver cache (solver_cache.hpp).  Cold rebuilds every game from
+// a full 2048-sample root isolation; warm brackets around the previous grid
+// point's roots.
+void BM_ColdSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int i = 0; i < 32; ++i) {
+      const double p_star = 1.6 + 0.8 * i / 31.0;
+      acc += model::BasicGame(defaults(), p_star).success_rate();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ColdSweep)->Unit(benchmark::kMillisecond);
+
+void BM_WarmSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    model::BasicGameSweeper sweeper(defaults());
+    double acc = 0.0;
+    for (int i = 0; i < 32; ++i) {
+      const double p_star = 1.6 + 0.8 * i / 31.0;
+      acc += sweeper.at(p_star)->success_rate();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_WarmSweep)->Unit(benchmark::kMillisecond);
 
 void BM_GbmPartialExpectation(benchmark::State& state) {
   const math::GbmLaw law(defaults().gbm, 2.0, 4.0);

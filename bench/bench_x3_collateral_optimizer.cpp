@@ -5,9 +5,14 @@
 // For a grid of exchange rates, computes (a) the SR-maximizing Q, (b) the
 // joint-surplus-maximizing Q (which nets out the cost of locked liquidity)
 // and (c) the minimal Q reaching a 95% success target.
+#include <optional>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "model/collateral_game.hpp"
 #include "model/collateral_optimizer.hpp"
+#include "model/solver_cache.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -21,18 +26,33 @@ int main() {
   report.csv_begin("optimal_collateral",
                    "p_star,q_surplus_opt,surplus,SR_at_surplus_opt,"
                    "q_min_for_95pct,SR_no_collateral");
+  struct RateRow {
+    model::CollateralChoice surplus;
+    std::optional<double> min_q;
+    double sr0 = 0.0;
+  };
+  const std::vector<double> p_stars = {1.7, 1.9, 2.0, 2.1, 2.3};
+  const auto rate_rows = sweep::parallel_map<RateRow>(
+      p_stars.size(), [&p, &p_stars](std::size_t i) {
+        const double p_star = p_stars[i];
+        return RateRow{
+            model::optimize_collateral(
+                p, p_star, model::CollateralObjective::kJointSurplus, 0.0,
+                4.0, 48),
+            model::min_collateral_for_sr(p, p_star, 0.95),
+            model::CollateralGame(p, p_star, 0.0).success_rate()};
+      });
   bool surplus_interior = true;
   bool min_q_tracks_rate = true;
   double prev_min_q = -1.0;
-  for (double p_star : {1.7, 1.9, 2.0, 2.1, 2.3}) {
-    const model::CollateralChoice surplus = model::optimize_collateral(
-        p, p_star, model::CollateralObjective::kJointSurplus, 0.0, 4.0, 48);
-    const auto min_q = model::min_collateral_for_sr(p, p_star, 0.95);
-    const double sr0 = model::CollateralGame(p, p_star, 0.0).success_rate();
+  for (std::size_t i = 0; i < p_stars.size(); ++i) {
+    const double p_star = p_stars[i];
+    const model::CollateralChoice& surplus = rate_rows[i].surplus;
+    const std::optional<double>& min_q = rate_rows[i].min_q;
     report.csv_row(bench::fmt("%.1f,%.4f,%.4f,%.4f,%.4f,%.4f", p_star,
                               surplus.collateral, surplus.objective_value,
                               surplus.success_rate,
-                              min_q ? *min_q : -1.0, sr0));
+                              min_q ? *min_q : -1.0, rate_rows[i].sr0));
     if (surplus.collateral <= 0.0 || surplus.collateral >= 4.0) {
       surplus_interior = false;
     }
@@ -52,11 +72,17 @@ int main() {
   // The SR objective saturates: past some Q, SR ~ 1 and more collateral
   // buys nothing.
   report.csv_begin("sr_saturation", "q,SR");
+  std::vector<double> q_grid;
+  for (double q = 0.0; q <= 3.0 + 1e-9; q += 0.25) q_grid.push_back(q);
+  const auto sat = sweep::parallel_map_stateful<double>(
+      q_grid.size(), [&p] { return model::CollateralGameSweeper(p); },
+      [&q_grid](model::CollateralGameSweeper& sweeper, std::size_t i) {
+        return sweeper.at(2.0, q_grid[i])->success_rate();
+      });
   double q99 = -1.0;
-  for (double q = 0.0; q <= 3.0 + 1e-9; q += 0.25) {
-    const double sr = model::CollateralGame(p, 2.0, q).success_rate();
-    report.csv_row(bench::fmt("%.2f,%.6f", q, sr));
-    if (q99 < 0.0 && sr >= 0.99) q99 = q;
+  for (std::size_t i = 0; i < q_grid.size(); ++i) {
+    report.csv_row(bench::fmt("%.2f,%.6f", q_grid[i], sat[i]));
+    if (q99 < 0.0 && sat[i] >= 0.99) q99 = q_grid[i];
   }
   report.claim("SR saturates near 1 well before Q = 3",
                q99 > 0.0 && q99 < 2.0);

@@ -6,10 +6,13 @@
 // alpha and reports believed vs realized success rates, quantifying the
 // cost of belief mis-calibration relative to complete information.
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
 #include "model/premium_uncertainty.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -24,20 +27,26 @@ int main() {
 
   report.csv_begin("uncertainty_sweep",
                    "prior_halfwidth,believed_SR,realized_SR,complete_info_SR");
+  const std::vector<double> widths = {0.0, 0.05, 0.1, 0.15, 0.2, 0.25};
+  const auto sweep_rows = sweep::parallel_map<std::pair<double, double>>(
+      widths.size(), [&p, &widths](std::size_t i) {
+        const double w = widths[i];
+        model::AlphaPrior prior;
+        if (w == 0.0) {
+          prior = model::AlphaPrior::point(0.3);
+        } else {
+          prior = model::AlphaPrior{{0.3 - w, 0.3, 0.3 + w}, {1.0, 1.0, 1.0}};
+        }
+        const model::UncertainPremiumGame game(p, prior, prior, 2.0);
+        return std::pair<double, double>{game.believed_success_rate(),
+                                         game.realized_success_rate()};
+      });
   bool realized_never_exceeds_complete = true;
   double widest_realized = sr_complete;
-  for (double w : {0.0, 0.05, 0.1, 0.15, 0.2, 0.25}) {
-    model::AlphaPrior prior;
-    if (w == 0.0) {
-      prior = model::AlphaPrior::point(0.3);
-    } else {
-      prior = model::AlphaPrior{{0.3 - w, 0.3, 0.3 + w}, {1.0, 1.0, 1.0}};
-    }
-    const model::UncertainPremiumGame game(p, prior, prior, 2.0);
-    const double believed = game.believed_success_rate();
-    const double realized = game.realized_success_rate();
-    report.csv_row(
-        bench::fmt("%.2f,%.5f,%.5f,%.5f", w, believed, realized, sr_complete));
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const auto& [believed, realized] = sweep_rows[i];
+    report.csv_row(bench::fmt("%.2f,%.5f,%.5f,%.5f", widths[i], believed,
+                              realized, sr_complete));
     if (realized > sr_complete + 1e-9) realized_never_exceeds_complete = false;
     widest_realized = realized;
   }
@@ -57,16 +66,20 @@ int main() {
   // Asymmetric mis-calibration: Bob is pessimistic about alpha^A (believes
   // it low) while Alice actually has the default premium.
   report.csv_begin("pessimistic_bob", "believed_alpha_A,realized_SR");
+  const std::vector<double> beliefs = {0.3, 0.2, 0.1, 0.05};
+  const auto pessimistic = sweep::parallel_map<double>(
+      beliefs.size(), [&p, &beliefs](std::size_t i) {
+        const model::UncertainPremiumGame game(
+            p, model::AlphaPrior::point(beliefs[i]),
+            model::AlphaPrior::point(p.bob.alpha), 2.0);
+        return game.realized_success_rate();
+      });
   double prev = 2.0;
   bool pessimism_hurts = true;
-  for (double believed_alpha : {0.3, 0.2, 0.1, 0.05}) {
-    const model::UncertainPremiumGame game(
-        p, model::AlphaPrior::point(believed_alpha),
-        model::AlphaPrior::point(p.bob.alpha), 2.0);
-    const double realized = game.realized_success_rate();
-    report.csv_row(bench::fmt("%.2f,%.5f", believed_alpha, realized));
-    if (realized > prev + 1e-9) pessimism_hurts = false;
-    prev = realized;
+  for (std::size_t i = 0; i < beliefs.size(); ++i) {
+    report.csv_row(bench::fmt("%.2f,%.5f", beliefs[i], pessimistic[i]));
+    if (pessimistic[i] > prev + 1e-9) pessimism_hurts = false;
+    prev = pessimistic[i];
   }
   report.claim("the more pessimistic Bob's belief, the lower the realized SR",
                pessimism_hurts);

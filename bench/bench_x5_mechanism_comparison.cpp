@@ -12,11 +12,13 @@
 // and therefore saturates strictly below collateral, which also disciplines
 // Bob's t2 walk-away.
 #include <cmath>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/collateral_game.hpp"
 #include "model/premium_game.hpp"
 #include "sim/scenario.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -29,13 +31,25 @@ int main() {
 
   // --- Analytic SR over a deposit grid. ------------------------------------
   report.csv_begin("analytic_sr", "deposit,htlc,htlc_collateral,htlc_premium");
+  struct DepositRow {
+    double sr_coll = 0.0;
+    double sr_prem = 0.0;
+  };
+  std::vector<double> deposits;
+  for (double d = 0.0; d <= 2.0 + 1e-9; d += 0.25) deposits.push_back(d);
+  const auto deposit_rows = sweep::parallel_map<DepositRow>(
+      deposits.size(), [&p, &deposits](std::size_t i) {
+        return DepositRow{
+            model::CollateralGame(p, 2.0, deposits[i]).success_rate(),
+            model::PremiumGame(p, 2.0, deposits[i]).success_rate()};
+      });
   bool collateral_dominates = true;
   bool premium_helps = true;
   double premium_max = 0.0;
   const double sr_base = model::BasicGame(p, 2.0).success_rate();
-  for (double d = 0.0; d <= 2.0 + 1e-9; d += 0.25) {
-    const double sr_coll = model::CollateralGame(p, 2.0, d).success_rate();
-    const double sr_prem = model::PremiumGame(p, 2.0, d).success_rate();
+  for (std::size_t i = 0; i < deposits.size(); ++i) {
+    const double d = deposits[i];
+    const auto& [sr_coll, sr_prem] = deposit_rows[i];
     report.csv_row(bench::fmt("%.2f,%.5f,%.5f,%.5f", d, sr_base, sr_coll,
                               sr_prem));
     if (d > 0.0) {
@@ -56,14 +70,26 @@ int main() {
   report.csv_begin("threshold_shift",
                    "deposit,alice_cutoff_coll,alice_cutoff_prem,"
                    "bob_hi_coll,bob_hi_prem");
-  for (double d : {0.0, 0.5, 1.0}) {
-    const model::CollateralGame cg(p, 2.0, d);
-    const model::PremiumGame pg(p, 2.0, d);
-    const double bob_hi_c = cg.bob_t2_region().intervals().back().hi;
-    const double bob_hi_p = pg.bob_t2_region().intervals().back().hi;
-    report.csv_row(bench::fmt("%.1f,%.4f,%.4f,%.4f,%.4f", d,
-                              cg.alice_t3_cutoff(), pg.alice_t3_cutoff(),
-                              bob_hi_c, bob_hi_p));
+  struct ShiftRow {
+    double a_cut_coll = 0.0;
+    double a_cut_prem = 0.0;
+    double bob_hi_c = 0.0;
+    double bob_hi_p = 0.0;
+  };
+  const std::vector<double> shift_deposits = {0.0, 0.5, 1.0};
+  const auto shift_rows = sweep::parallel_map<ShiftRow>(
+      shift_deposits.size(), [&p, &shift_deposits](std::size_t i) {
+        const model::CollateralGame cg(p, 2.0, shift_deposits[i]);
+        const model::PremiumGame pg(p, 2.0, shift_deposits[i]);
+        return ShiftRow{cg.alice_t3_cutoff(), pg.alice_t3_cutoff(),
+                        cg.bob_t2_region().intervals().back().hi,
+                        pg.bob_t2_region().intervals().back().hi};
+      });
+  for (std::size_t i = 0; i < shift_deposits.size(); ++i) {
+    const ShiftRow& row = shift_rows[i];
+    report.csv_row(bench::fmt("%.1f,%.4f,%.4f,%.4f,%.4f", shift_deposits[i],
+                              row.a_cut_coll, row.a_cut_prem, row.bob_hi_c,
+                              row.bob_hi_p));
   }
   {
     const model::CollateralGame cg(p, 2.0, 1.0);

@@ -2,9 +2,11 @@
 // rates (paper Section V future work: Garman-Kohlhagen two-rate setting,
 // "blockchain transaction fees or coin stacking ... may have an impact").
 #include <cmath>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/extended_game.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -27,15 +29,27 @@ int main() {
 
   // --- Fee sweep. ------------------------------------------------------------
   report.csv_begin("fee_sweep", "fee,SR,band_lo,band_hi,viable");
+  struct BandRow {
+    double sr = 0.0;
+    model::FeasibleBand band;
+  };
+  std::vector<double> fees;
+  for (double fee = 0.0; fee <= 0.12 + 1e-9; fee += 0.02) fees.push_back(fee);
+  const auto fee_rows = sweep::parallel_map<BandRow>(
+      fees.size(), [&plain, &fees](std::size_t i) {
+        model::ExtendedParams ext = plain;
+        ext.fee_a = fees[i];
+        ext.fee_b = fees[i];
+        return BandRow{model::ExtendedGame(ext, 2.0).success_rate(),
+                       model::extended_feasible_band(ext)};
+      });
   double prev_sr = 2.0;
   bool sr_monotone_down = true;
   double kill_fee = -1.0;
-  for (double fee = 0.0; fee <= 0.12 + 1e-9; fee += 0.02) {
-    model::ExtendedParams ext = plain;
-    ext.fee_a = fee;
-    ext.fee_b = fee;
-    const double sr = model::ExtendedGame(ext, 2.0).success_rate();
-    const model::FeasibleBand band = model::extended_feasible_band(ext);
+  for (std::size_t i = 0; i < fees.size(); ++i) {
+    const double fee = fees[i];
+    const double sr = fee_rows[i].sr;
+    const model::FeasibleBand& band = fee_rows[i].band;
     report.csv_row(bench::fmt("%.2f,%.5f,%.4f,%.4f,%d", fee, sr,
                               band.viable ? band.lo : 0.0,
                               band.viable ? band.hi : 0.0,
@@ -52,30 +66,45 @@ int main() {
 
   // --- Token-b staking yield (r_b = r - y). -----------------------------------
   report.csv_begin("yield_sweep", "yield_b,SR,alice_t3_cutoff");
+  struct YieldRow {
+    double sr = 0.0;
+    double cutoff = 0.0;
+  };
+  std::vector<double> yields;
+  for (double y = 0.0; y <= 0.008 + 1e-9; y += 0.002) yields.push_back(y);
+  const auto yield_rows = sweep::parallel_map<YieldRow>(
+      yields.size(), [&plain, &base, &yields](std::size_t i) {
+        model::ExtendedParams ext = plain;
+        ext.alice.r_b = base.alice.r - yields[i];
+        ext.bob.r_b = base.bob.r - yields[i];
+        const model::ExtendedGame game(ext, 2.0);
+        return YieldRow{game.success_rate(), game.alice_t3_cutoff()};
+      });
   double prev = -1.0;
   bool yield_monotone_up = true;
-  for (double y = 0.0; y <= 0.008 + 1e-9; y += 0.002) {
-    model::ExtendedParams ext = plain;
-    ext.alice.r_b = base.alice.r - y;
-    ext.bob.r_b = base.bob.r - y;
-    const model::ExtendedGame game(ext, 2.0);
-    report.csv_row(bench::fmt("%.3f,%.5f,%.4f", y, game.success_rate(),
-                              game.alice_t3_cutoff()));
-    if (game.success_rate() < prev - 1e-9) yield_monotone_up = false;
-    prev = game.success_rate();
+  for (std::size_t i = 0; i < yields.size(); ++i) {
+    report.csv_row(bench::fmt("%.3f,%.5f,%.4f", yields[i], yield_rows[i].sr,
+                              yield_rows[i].cutoff));
+    if (yield_rows[i].sr < prev - 1e-9) yield_monotone_up = false;
+    prev = yield_rows[i].sr;
   }
   report.claim("token-b staking yield raises SR (cutoff falls)",
                yield_monotone_up);
 
   // --- GK asymmetry: carry cost on token-a. -----------------------------------
   report.csv_begin("rate_asymmetry", "r_a,SR,band_lo,band_hi,viable");
-  for (double ra : {0.010, 0.013, 0.016, 0.020}) {
-    model::ExtendedParams ext = plain;
-    ext.alice.r_a = ra;
-    ext.bob.r_a = ra;
-    const model::FeasibleBand band = model::extended_feasible_band(ext);
-    const double sr = model::ExtendedGame(ext, 2.0).success_rate();
-    report.csv_row(bench::fmt("%.3f,%.5f,%.4f,%.4f,%d", ra, sr,
+  const std::vector<double> r_as = {0.010, 0.013, 0.016, 0.020};
+  const auto ra_rows = sweep::parallel_map<BandRow>(
+      r_as.size(), [&plain, &r_as](std::size_t i) {
+        model::ExtendedParams ext = plain;
+        ext.alice.r_a = r_as[i];
+        ext.bob.r_a = r_as[i];
+        return BandRow{model::ExtendedGame(ext, 2.0).success_rate(),
+                       model::extended_feasible_band(ext)};
+      });
+  for (std::size_t i = 0; i < r_as.size(); ++i) {
+    const model::FeasibleBand& band = ra_rows[i].band;
+    report.csv_row(bench::fmt("%.3f,%.5f,%.4f,%.4f,%d", r_as[i], ra_rows[i].sr,
                               band.viable ? band.lo : 0.0,
                               band.viable ? band.hi : 0.0,
                               band.viable ? 1 : 0));

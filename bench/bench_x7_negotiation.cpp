@@ -4,9 +4,11 @@
 // bench shows what each bargaining rule selects across market regimes, and
 // how preference asymmetry moves the agreed rate (who concedes).
 #include <cmath>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/negotiation.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -24,10 +26,16 @@ int main() {
 
   report.csv_begin("rules_at_defaults",
                    "rule,agreed,p_star,SR,alice_surplus,bob_surplus");
+  const auto rule_results = sweep::parallel_map<model::NegotiationResult>(
+      std::size(rules),
+      [&base, &rules](std::size_t i) {
+        return model::negotiate_rate(base, rules[i]);
+      });
   double nash_product = 0.0, best_other_product = 0.0;
   double srmax_sr = 0.0, best_other_sr = 0.0;
-  for (model::BargainingRule rule : rules) {
-    const model::NegotiationResult r = model::negotiate_rate(base, rule);
+  for (std::size_t i = 0; i < std::size(rules); ++i) {
+    const model::BargainingRule rule = rules[i];
+    const model::NegotiationResult& r = rule_results[i];
     report.csv_row(bench::fmt("%s,%d,%.4f,%.4f,%.4f,%.4f", to_string(rule),
                               r.agreed ? 1 : 0, r.p_star, r.success_rate,
                               r.alice_surplus, r.bob_surplus));
@@ -58,12 +66,18 @@ int main() {
   } cases[] = {{0.5, 0.2, &eager_alice_rate},
                {0.3, 0.3, &symmetric_rate},
                {0.2, 0.5, &eager_bob_rate}};
-  for (const auto& c : cases) {
-    model::SwapParams p = base;
-    p.alice.alpha = c.a;
-    p.bob.alpha = c.b;
-    const model::NegotiationResult r =
-        model::negotiate_rate(p, model::BargainingRule::kNashBargaining);
+  const auto case_results = sweep::parallel_map<model::NegotiationResult>(
+      std::size(cases),
+      [&base, &cases](std::size_t i) {
+        model::SwapParams p = base;
+        p.alice.alpha = cases[i].a;
+        p.bob.alpha = cases[i].b;
+        return model::negotiate_rate(p,
+                                     model::BargainingRule::kNashBargaining);
+      });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const auto& c = cases[i];
+    const model::NegotiationResult& r = case_results[i];
     report.csv_row(bench::fmt("%.1f,%.1f,%d,%.4f,%.4f", c.a, c.b,
                               r.agreed ? 1 : 0, r.p_star, r.success_rate));
     *c.out = r.agreed ? r.p_star : -1.0;
@@ -83,15 +97,21 @@ int main() {
                  {"base", 0.002, 0.10, 0.01},
                  {"volatile", 0.002, 0.15, 0.01},
                  {"impatient", 0.002, 0.10, 0.02}};
+  const auto regime_results = sweep::parallel_map<model::NegotiationResult>(
+      std::size(regimes),
+      [&base, &regimes](std::size_t i) {
+        model::SwapParams p = base;
+        p.gbm.mu = regimes[i].mu;
+        p.gbm.sigma = regimes[i].sigma;
+        p.alice.r = regimes[i].r;
+        p.bob.r = regimes[i].r;
+        return model::negotiate_rate(p,
+                                     model::BargainingRule::kNashBargaining);
+      });
   bool impatient_fails = false;
-  for (const auto& regime : regimes) {
-    model::SwapParams p = base;
-    p.gbm.mu = regime.mu;
-    p.gbm.sigma = regime.sigma;
-    p.alice.r = regime.r;
-    p.bob.r = regime.r;
-    const model::NegotiationResult r =
-        model::negotiate_rate(p, model::BargainingRule::kNashBargaining);
+  for (std::size_t i = 0; i < std::size(regimes); ++i) {
+    const auto& regime = regimes[i];
+    const model::NegotiationResult& r = regime_results[i];
     report.csv_row(bench::fmt("%s,%d,%.4f,%.4f", regime.name, r.agreed ? 1 : 0,
                               r.p_star, r.success_rate));
     if (std::string(regime.name) == "impatient" && !r.agreed) {

@@ -7,9 +7,11 @@
 // prisoner's-dilemma structure that motivates Section IV's collateral, and
 // the option values' growth with volatility.
 #include <cmath>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "model/option_value.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -56,14 +58,19 @@ int main() {
   // --- Volatility sweep: option values grow with sigma. ---------------------
   report.csv_begin("volatility_sweep",
                    "sigma,alice_option,bob_option,SR_rational");
+  const std::vector<double> sigmas = {0.05, 0.08, 0.10, 0.12, 0.15};
+  const auto decomps =
+      sweep::parallel_map<model::OptionalityDecomposition>(
+          sigmas.size(), [&p, &sigmas](std::size_t i) {
+            model::SwapParams ps = p;
+            ps.gbm.sigma = sigmas[i];
+            return model::decompose_optionality(ps, 2.0);
+          });
   double prev_a = -1.0, prev_b = -1.0;
   bool monotone = true;
-  for (double sigma : {0.05, 0.08, 0.10, 0.12, 0.15}) {
-    model::SwapParams ps = p;
-    ps.gbm.sigma = sigma;
-    const model::OptionalityDecomposition ds =
-        model::decompose_optionality(ps, 2.0);
-    report.csv_row(bench::fmt("%.2f,%.4f,%.4f,%.4f", sigma,
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
+    const model::OptionalityDecomposition& ds = decomps[i];
+    report.csv_row(bench::fmt("%.2f,%.4f,%.4f,%.4f", sigmas[i],
                               ds.alice_option_value(), ds.bob_option_value(),
                               ds.success_rate_rr));
     if (ds.alice_option_value() < prev_a - 1e-6 ||

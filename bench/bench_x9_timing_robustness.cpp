@@ -17,10 +17,13 @@
 // deploy_b, then the claim), so safety requires margin >= 3x jitter --
 // time locks must be provisioned for worst-case, not mean, confirmation.
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "agents/naive.hpp"
 #include "bench_util.hpp"
 #include "proto/swap_protocol.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace swapgame;
 
@@ -83,9 +86,21 @@ int main() {
   bool full_margin_safe = true;         // margin >= 3x jitter
   double worst_partial_violation = 0.0;
 
+  std::vector<std::pair<double, double>> cells;  // (jitter, margin)
   for (double jitter : {0.0, 0.5, 1.0, 2.0}) {
     for (double margin : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-      const Tally t = run_grid_cell(jitter, margin, jitter == 0.0 ? 1 : kRuns);
+      cells.emplace_back(jitter, margin);
+    }
+  }
+  const auto tallies = sweep::parallel_map<Tally>(
+      cells.size(), [&cells](std::size_t i) {
+        return run_grid_cell(cells[i].first, cells[i].second,
+                             cells[i].first == 0.0 ? 1 : kRuns);
+      });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    {
+      const auto& [jitter, margin] = cells[i];
+      const Tally& t = tallies[i];
       report.csv_row(bench::fmt("%.1f,%.1f,%.3f,%.3f,%.3f,%.3f", jitter,
                                 margin,
                                 static_cast<double>(t.success) / t.runs,
@@ -124,26 +139,36 @@ int main() {
   report.csv_begin("asymmetric_jitter",
                    "jitter_b,success,alice_lost,bob_lost");
   int alice_total = 0, bob_total = 0;
-  for (double jb : {1.0, 2.0, 3.0}) {
-    agents::HonestStrategy alice, bob;
-    const proto::ConstantPricePath path(2.0);
-    proto::SwapSetup setup;
-    setup.params = model::SwapParams::table3_defaults();
-    setup.p_star = 2.0;
-    setup.confirmation_jitter_b = jb;
-    setup.expiry_margin = 1.0;
-    Tally t;
-    for (int seed = 1; seed <= kRuns; ++seed) {
-      setup.latency_seed = static_cast<std::uint64_t>(seed) * 104729;
-      const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
-      ++t.runs;
-      if (r.outcome == proto::SwapOutcome::kSuccess) ++t.success;
-      if (r.outcome == proto::SwapOutcome::kAliceLostAtomicity) ++t.alice_lost;
-      if (r.outcome == proto::SwapOutcome::kBobLostAtomicity) ++t.bob_lost;
-    }
+  const std::vector<double> jbs = {1.0, 2.0, 3.0};
+  const auto asym_tallies = sweep::parallel_map<Tally>(
+      jbs.size(), [&jbs](std::size_t i) {
+        agents::HonestStrategy alice, bob;
+        const proto::ConstantPricePath path(2.0);
+        proto::SwapSetup setup;
+        setup.params = model::SwapParams::table3_defaults();
+        setup.p_star = 2.0;
+        setup.confirmation_jitter_b = jbs[i];
+        setup.expiry_margin = 1.0;
+        Tally t;
+        for (int seed = 1; seed <= kRuns; ++seed) {
+          setup.latency_seed = static_cast<std::uint64_t>(seed) * 104729;
+          const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+          ++t.runs;
+          if (r.outcome == proto::SwapOutcome::kSuccess) ++t.success;
+          if (r.outcome == proto::SwapOutcome::kAliceLostAtomicity) {
+            ++t.alice_lost;
+          }
+          if (r.outcome == proto::SwapOutcome::kBobLostAtomicity) {
+            ++t.bob_lost;
+          }
+        }
+        return t;
+      });
+  for (std::size_t i = 0; i < jbs.size(); ++i) {
+    const Tally& t = asym_tallies[i];
     alice_total += t.alice_lost;
     bob_total += t.bob_lost;
-    report.csv_row(bench::fmt("%.1f,%.3f,%.3f,%.3f", jb,
+    report.csv_row(bench::fmt("%.1f,%.3f,%.3f,%.3f", jbs[i],
                               static_cast<double>(t.success) / t.runs,
                               static_cast<double>(t.alice_lost) / t.runs,
                               static_cast<double>(t.bob_lost) / t.runs));

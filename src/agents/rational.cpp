@@ -1,5 +1,8 @@
 #include "rational.hpp"
 
+#include <memory>
+#include <utility>
+
 namespace swapgame::agents {
 
 const char* to_string(Stage stage) noexcept {
@@ -18,21 +21,26 @@ const char* to_string(Stage stage) noexcept {
 
 RationalStrategy::RationalStrategy(Role role, const model::SwapParams& params,
                                    double p_star)
-    : role_(role), game_(params, p_star) {}
+    : role_(role),
+      game_(std::make_shared<const model::BasicGame>(params, p_star)) {}
+
+RationalStrategy::RationalStrategy(Role role,
+                                   std::shared_ptr<const model::BasicGame> game)
+    : role_(role), game_(std::move(game)) {}
 
 model::Action RationalStrategy::decide(Stage stage, const DecisionContext& ctx) {
   switch (stage) {
     case Stage::kT1Initiate:
-      if (role_ == Role::kAlice) return game_.alice_decision_t1();
+      if (role_ == Role::kAlice) return game_->alice_decision_t1();
       return model::Action::kCont;  // Bob has no t1 move in the basic game
     case Stage::kT2Lock:
-      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      if (role_ == Role::kBob) return game_->bob_decision_t2(ctx.price);
       return model::Action::kCont;
     case Stage::kT3Reveal:
-      if (role_ == Role::kAlice) return game_.alice_decision_t3(ctx.price);
+      if (role_ == Role::kAlice) return game_->alice_decision_t3(ctx.price);
       return model::Action::kCont;
     case Stage::kT4Claim:
-      return game_.bob_decision_t4();  // always cont (dominant)
+      return game_->bob_decision_t4();  // always cont (dominant)
   }
   return model::Action::kStop;
 }
@@ -40,19 +48,25 @@ model::Action RationalStrategy::decide(Stage stage, const DecisionContext& ctx) 
 CollateralRationalStrategy::CollateralRationalStrategy(
     Role role, const model::SwapParams& params, double p_star,
     double collateral)
-    : role_(role), game_(params, p_star, collateral) {}
+    : role_(role),
+      game_(std::make_shared<const model::CollateralGame>(params, p_star,
+                                                          collateral)) {}
+
+CollateralRationalStrategy::CollateralRationalStrategy(
+    Role role, std::shared_ptr<const model::CollateralGame> game)
+    : role_(role), game_(std::move(game)) {}
 
 model::Action CollateralRationalStrategy::decide(Stage stage,
                                                  const DecisionContext& ctx) {
   switch (stage) {
     case Stage::kT1Initiate:
-      return role_ == Role::kAlice ? game_.alice_decision_t1()
-                                   : game_.bob_decision_t1();
+      return role_ == Role::kAlice ? game_->alice_decision_t1()
+                                   : game_->bob_decision_t1();
     case Stage::kT2Lock:
-      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      if (role_ == Role::kBob) return game_->bob_decision_t2(ctx.price);
       return model::Action::kCont;
     case Stage::kT3Reveal:
-      if (role_ == Role::kAlice) return game_.alice_decision_t3(ctx.price);
+      if (role_ == Role::kAlice) return game_->alice_decision_t3(ctx.price);
       return model::Action::kCont;
     case Stage::kT4Claim:
       return model::Action::kCont;
@@ -63,20 +77,26 @@ model::Action CollateralRationalStrategy::decide(Stage stage,
 PremiumRationalStrategy::PremiumRationalStrategy(Role role,
                                                  const model::SwapParams& params,
                                                  double p_star, double premium)
-    : role_(role), game_(params, p_star, premium) {}
+    : role_(role),
+      game_(std::make_shared<const model::PremiumGame>(params, p_star,
+                                                       premium)) {}
+
+PremiumRationalStrategy::PremiumRationalStrategy(
+    Role role, std::shared_ptr<const model::PremiumGame> game)
+    : role_(role), game_(std::move(game)) {}
 
 model::Action PremiumRationalStrategy::decide(Stage stage,
                                               const DecisionContext& ctx) {
   switch (stage) {
     case Stage::kT1Initiate:
       // Only the initiator posts; Bob has no t1 stake in the premium game.
-      if (role_ == Role::kAlice) return game_.alice_decision_t1();
+      if (role_ == Role::kAlice) return game_->alice_decision_t1();
       return model::Action::kCont;
     case Stage::kT2Lock:
-      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      if (role_ == Role::kBob) return game_->bob_decision_t2(ctx.price);
       return model::Action::kCont;
     case Stage::kT3Reveal:
-      if (role_ == Role::kAlice) return game_.alice_decision_t3(ctx.price);
+      if (role_ == Role::kAlice) return game_->alice_decision_t3(ctx.price);
       return model::Action::kCont;
     case Stage::kT4Claim:
       return model::Action::kCont;
@@ -86,16 +106,21 @@ model::Action PremiumRationalStrategy::decide(Stage stage,
 
 CommitmentRationalStrategy::CommitmentRationalStrategy(
     Role role, const model::SwapParams& params, double p_star)
-    : role_(role), game_(params, p_star) {}
+    : role_(role),
+      game_(std::make_shared<const model::CommitmentGame>(params, p_star)) {}
+
+CommitmentRationalStrategy::CommitmentRationalStrategy(
+    Role role, std::shared_ptr<const model::CommitmentGame> game)
+    : role_(role), game_(std::move(game)) {}
 
 model::Action CommitmentRationalStrategy::decide(Stage stage,
                                                  const DecisionContext& ctx) {
   switch (stage) {
     case Stage::kT1Initiate:
-      if (role_ == Role::kAlice) return game_.alice_decision_t1();
+      if (role_ == Role::kAlice) return game_->alice_decision_t1();
       return model::Action::kCont;
     case Stage::kT2Lock:
-      if (role_ == Role::kBob) return game_.bob_decision_t2(ctx.price);
+      if (role_ == Role::kBob) return game_->bob_decision_t2(ctx.price);
       return model::Action::kCont;
     case Stage::kT3Reveal:
     case Stage::kT4Claim:

@@ -24,17 +24,22 @@ class RationalStrategy final : public Strategy {
  public:
   RationalStrategy(Role role, const model::SwapParams& params, double p_star);
 
+  /// Shares an already-solved game: the backward induction runs once and
+  /// its thresholds serve every strategy instance (both roles, all
+  /// Monte-Carlo samples) instead of once per instance.
+  RationalStrategy(Role role, std::shared_ptr<const model::BasicGame> game);
+
   [[nodiscard]] model::Action decide(Stage stage,
                                      const DecisionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rational";
   }
 
-  [[nodiscard]] const model::BasicGame& game() const noexcept { return game_; }
+  [[nodiscard]] const model::BasicGame& game() const noexcept { return *game_; }
 
  private:
   Role role_;
-  model::BasicGame game_;
+  std::shared_ptr<const model::BasicGame> game_;
 };
 
 /// Rational strategy for the collateralized game (Section IV thresholds;
@@ -44,6 +49,10 @@ class CollateralRationalStrategy final : public Strategy {
   CollateralRationalStrategy(Role role, const model::SwapParams& params,
                              double p_star, double collateral);
 
+  /// Shares an already-solved game across strategy instances.
+  CollateralRationalStrategy(Role role,
+                             std::shared_ptr<const model::CollateralGame> game);
+
   [[nodiscard]] model::Action decide(Stage stage,
                                      const DecisionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -51,12 +60,12 @@ class CollateralRationalStrategy final : public Strategy {
   }
 
   [[nodiscard]] const model::CollateralGame& game() const noexcept {
-    return game_;
+    return *game_;
   }
 
  private:
   Role role_;
-  model::CollateralGame game_;
+  std::shared_ptr<const model::CollateralGame> game_;
 };
 
 /// Rational strategy for the premium game (Han et al. baseline): Alice's
@@ -68,6 +77,10 @@ class PremiumRationalStrategy final : public Strategy {
   PremiumRationalStrategy(Role role, const model::SwapParams& params,
                           double p_star, double premium);
 
+  /// Shares an already-solved game across strategy instances.
+  PremiumRationalStrategy(Role role,
+                          std::shared_ptr<const model::PremiumGame> game);
+
   [[nodiscard]] model::Action decide(Stage stage,
                                      const DecisionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -75,12 +88,12 @@ class PremiumRationalStrategy final : public Strategy {
   }
 
   [[nodiscard]] const model::PremiumGame& game() const noexcept {
-    return game_;
+    return *game_;
   }
 
  private:
   Role role_;
-  model::PremiumGame game_;
+  std::shared_ptr<const model::PremiumGame> game_;
 };
 
 /// Rational strategy for the witness-commitment game (AC^3TW): lock
@@ -91,6 +104,10 @@ class CommitmentRationalStrategy final : public Strategy {
   CommitmentRationalStrategy(Role role, const model::SwapParams& params,
                              double p_star);
 
+  /// Shares an already-solved game across strategy instances.
+  CommitmentRationalStrategy(Role role,
+                             std::shared_ptr<const model::CommitmentGame> game);
+
   [[nodiscard]] model::Action decide(Stage stage,
                                      const DecisionContext& ctx) override;
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -98,12 +115,12 @@ class CommitmentRationalStrategy final : public Strategy {
   }
 
   [[nodiscard]] const model::CommitmentGame& game() const noexcept {
-    return game_;
+    return *game_;
   }
 
  private:
   Role role_;
-  model::CommitmentGame game_;
+  std::shared_ptr<const model::CommitmentGame> game_;
 };
 
 }  // namespace swapgame::agents

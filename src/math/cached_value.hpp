@@ -1,0 +1,61 @@
+// A lazily-memoized double for immutable solver objects.
+//
+// The game classes expose quadrature-backed quantities (t1 utilities,
+// success rate) through const accessors.  When a game instance is shared --
+// across Monte-Carlo samples or across sweep threads -- each quantity should
+// be integrated once, not once per caller.  CachedDouble gives that with a
+// copyable, thread-safe (TSan-clean) fill-once slot: concurrent first
+// readers may both run the deterministic compute (benign duplicated work,
+// identical result) but publish through an atomic value + release flag, so
+// no reader ever observes a torn or half-initialized double.
+#pragma once
+
+#include <atomic>
+
+namespace swapgame::math {
+
+class CachedDouble {
+ public:
+  CachedDouble() = default;
+
+  // Copying snapshots the source's state; a copy taken mid-fill simply
+  // starts empty and recomputes.
+  CachedDouble(const CachedDouble& other) noexcept {
+    if (other.ready_.load(std::memory_order_acquire)) {
+      value_.store(other.value_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      ready_.store(true, std::memory_order_release);
+    }
+  }
+  CachedDouble& operator=(const CachedDouble& other) noexcept {
+    if (this == &other) return *this;
+    if (other.ready_.load(std::memory_order_acquire)) {
+      value_.store(other.value_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      ready_.store(true, std::memory_order_release);
+    } else {
+      ready_.store(false, std::memory_order_release);
+    }
+    return *this;
+  }
+
+  /// Returns the cached value, computing it with `compute` on first use.
+  /// `compute` must be deterministic: concurrent first callers may each run
+  /// it and both publish the (identical) result.
+  template <typename F>
+  double get(F&& compute) const {
+    if (ready_.load(std::memory_order_acquire)) {
+      return value_.load(std::memory_order_relaxed);
+    }
+    const double v = compute();
+    value_.store(v, std::memory_order_relaxed);
+    ready_.store(true, std::memory_order_release);
+    return v;
+  }
+
+ private:
+  mutable std::atomic<bool> ready_{false};
+  mutable std::atomic<double> value_{0.0};
+};
+
+}  // namespace swapgame::math

@@ -169,4 +169,98 @@ std::optional<Bracket> expand_bracket_upward(const ScalarFn& f, double start,
   return std::nullopt;
 }
 
+std::optional<Bracket> bracket_around(const ScalarFn& f, double center,
+                                      double half_width, double lo_limit,
+                                      double hi_limit, int max_expand) {
+  if (!(half_width > 0.0)) {
+    throw std::invalid_argument("bracket_around: half_width must be positive");
+  }
+  double w = half_width;
+  for (int i = 0; i < max_expand; ++i) {
+    const double lo = std::max(lo_limit, center - w);
+    const double hi = std::min(hi_limit, center + w);
+    if (hi > lo) {
+      const double flo = f(lo);
+      const double fhi = f(hi);
+      if (std::isfinite(flo) && std::isfinite(fhi) &&
+          opposite_signs(flo, fhi)) {
+        return Bracket{lo, hi};
+      }
+    }
+    if (lo <= lo_limit && hi >= hi_limit) break;  // cannot grow further
+    w *= 2.0;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<double>> find_all_roots_warm(
+    const ScalarFn& f, double lo, double hi, const std::vector<double>& hints,
+    int verify_samples, const RootOptions& opts) {
+  if (!(hi > lo) || verify_samples < 2) {
+    throw std::invalid_argument(
+        "find_all_roots_warm: need hi > lo and verify_samples >= 2");
+  }
+  if (hints.empty()) return std::nullopt;
+
+  std::vector<double> sorted = hints;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Re-bracket each hint inside a corridor bounded by the midpoints to its
+  // neighbouring hints, so each polished root stays attached to its hint and
+  // two hints cannot converge onto the same crossing.
+  std::vector<double> roots;
+  roots.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double h = sorted[i];
+    if (!(h > lo) || !(h < hi)) return std::nullopt;  // hint left the domain
+    const double corridor_lo =
+        (i == 0) ? lo : 0.5 * (sorted[i - 1] + h);
+    const double corridor_hi =
+        (i + 1 == sorted.size()) ? hi : 0.5 * (h + sorted[i + 1]);
+    const double span = corridor_hi - corridor_lo;
+    if (!(span > 0.0)) return std::nullopt;
+    const auto br =
+        bracket_around(f, h, 1e-3 * span, corridor_lo, corridor_hi, 8);
+    if (!br) return std::nullopt;
+    roots.push_back(brent(f, *br, opts));
+  }
+  std::sort(roots.begin(), roots.end());
+
+  // Coarse verification: every sign change on the verify grid must be
+  // explained by one of the polished roots, and consecutive roots must
+  // actually alternate sign between them.  Any unexplained crossing means
+  // the root structure changed between grid points -> cold rescan.
+  const double h_step = (hi - lo) / (verify_samples - 1);
+  const double attach_tol = h_step;  // a crossing within one cell of a root
+  std::size_t crossings_seen = 0;
+  double x_prev = lo;
+  double f_prev = f(lo);
+  for (int i = 1; i < verify_samples; ++i) {
+    const double x = (i + 1 == verify_samples) ? hi : lo + i * h_step;
+    const double fx = f(x);
+    if (std::isfinite(f_prev) && std::isfinite(fx) &&
+        opposite_signs(f_prev, fx) && !(f_prev == 0.0 && fx == 0.0)) {
+      const double mid = 0.5 * (x_prev + x);
+      bool explained = false;
+      for (const double r : roots) {
+        if (r >= x_prev - attach_tol && r <= x + attach_tol) {
+          explained = true;
+          break;
+        }
+      }
+      if (!explained) return std::nullopt;
+      ++crossings_seen;
+      (void)mid;
+    }
+    x_prev = x;
+    f_prev = fx;
+  }
+  // Every root must also have been seen as a crossing unless it sits inside
+  // one verify cell together with another root (root pair too close for the
+  // coarse grid to resolve) -- in that case fall back to the cold scan, since
+  // the coarse grid cannot certify the structure.
+  if (crossings_seen != roots.size()) return std::nullopt;
+  return roots;
+}
+
 }  // namespace swapgame::math

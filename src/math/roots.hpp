@@ -57,4 +57,30 @@ struct Bracket {
                                                            double step,
                                                            int max_expand = 60);
 
+/// Expands a bracket symmetrically around `center` (growing the half-width
+/// geometrically up to `max_expand` times) until f changes sign across it.
+/// The bracket never leaves [lo_limit, hi_limit].  Returns nullopt when no
+/// sign change is found within the limits.
+[[nodiscard]] std::optional<Bracket> bracket_around(const ScalarFn& f,
+                                                    double center,
+                                                    double half_width,
+                                                    double lo_limit,
+                                                    double hi_limit,
+                                                    int max_expand = 6);
+
+/// Warm-started variant of find_all_roots for parameter sweeps: `hints` are
+/// the (sorted) roots of a nearby problem.  Each hint is re-bracketed
+/// locally (bounded by the midpoints to its neighbours, so two hints cannot
+/// collapse onto the same root) and polished with Brent; a coarse
+/// `verify_samples`-point sign scan then confirms that no additional
+/// crossing appeared anywhere in [lo, hi].  Returns nullopt -- meaning the
+/// caller must fall back to a full cold scan -- whenever any hint fails to
+/// re-bracket or the verification scan finds a sign change away from the
+/// known roots.  On success the result is Brent-converged on exactly the
+/// same gap function as the cold path, so roots agree with the cold scan to
+/// solver tolerance.
+[[nodiscard]] std::optional<std::vector<double>> find_all_roots_warm(
+    const ScalarFn& f, double lo, double hi, const std::vector<double>& hints,
+    int verify_samples, const RootOptions& opts = {});
+
 }  // namespace swapgame::math

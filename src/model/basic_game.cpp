@@ -9,6 +9,7 @@
 #include "math/gbm.hpp"
 #include "math/quadrature.hpp"
 #include "math/roots.hpp"
+#include "solver_cache.hpp"
 #include "timeline.hpp"
 
 namespace swapgame::model {
@@ -20,6 +21,12 @@ namespace {
 // grid plus Brent polishing is ample.
 constexpr int kBandScanSamples = 2048;
 
+// Verification resolution for warm-started solves: coarse enough to be
+// cheap, fine enough that a structural change between neighbouring sweep
+// points (a crossing appearing or vanishing) is detected and triggers the
+// cold-scan fallback.
+constexpr int kWarmVerifySamples = 257;
+
 }  // namespace
 
 BasicGame::BasicGame(const SwapParams& params, double p_star)
@@ -29,7 +36,18 @@ BasicGame::BasicGame(const SwapParams& params, double p_star)
     throw std::invalid_argument("BasicGame: p_star must be positive and finite");
   }
   compute_t3_cutoff();
-  compute_t2_region();
+  compute_t2_region(nullptr);
+}
+
+BasicGame::BasicGame(const SwapParams& params, double p_star,
+                     const std::vector<double>& t2_root_hints)
+    : params_(params), p_star_(p_star) {
+  params_.validate();
+  if (!(p_star > 0.0) || !std::isfinite(p_star)) {
+    throw std::invalid_argument("BasicGame: p_star must be positive and finite");
+  }
+  compute_t3_cutoff();
+  compute_t2_region(&t2_root_hints);
 }
 
 // ---------------------------------------------------------------- t3 stage
@@ -117,7 +135,7 @@ double BasicGame::bob_t2_stop(double p_t2) const {
   return p_t2;
 }
 
-void BasicGame::compute_t2_region() {
+void BasicGame::compute_t2_region(const std::vector<double>* hints) {
   // Roots of g(p) = bob_t2_cont(p) - p.  In the paper's mu < r regime g < 0
   // both as p -> 0 (token-b worthless, but Alice will not reveal either)
   // and as p -> inf (Bob keeps the valuable token-b), so the cont region
@@ -139,11 +157,17 @@ void BasicGame::compute_t2_region() {
   const double scan_lo = 1e-7 * scan_hi;
   const double tie = 1e-10 * scan_hi;
   const auto gap = [&raw_gap, tie](double p) { return raw_gap(p) - tie; };
-  const std::vector<double> roots =
-      math::find_all_roots(gap, scan_lo, scan_hi, kBandScanSamples);
+  std::optional<std::vector<double>> warm;
+  if (hints != nullptr && !hints->empty()) {
+    warm = math::find_all_roots_warm(gap, scan_lo, scan_hi, *hints,
+                                     kWarmVerifySamples);
+  }
+  t2_roots_ = warm ? std::move(*warm)
+                   : math::find_all_roots(gap, scan_lo, scan_hi,
+                                          kBandScanSamples);
   const bool starts_inside = gap(scan_lo) > 0.0;
   t2_region_ = math::IntervalSet::from_alternating_roots(
-      roots, 0.0, std::numeric_limits<double>::infinity(), starts_inside);
+      t2_roots_, 0.0, std::numeric_limits<double>::infinity(), starts_inside);
   // g < 0 at +inf always (stop grows linearly); an unbounded inside piece
   // means the scan missed the last crossing -- trim defensively.
   if (!t2_region_.empty() && std::isinf(t2_region_.intervals().back().hi)) {
@@ -166,6 +190,10 @@ Action BasicGame::bob_decision_t2(double p_t2) const {
 // ---------------------------------------------------------------- t1 stage
 
 double BasicGame::alice_t1_cont() const {
+  return alice_t1_cont_cache_.get([this] { return compute_alice_t1_cont(); });
+}
+
+double BasicGame::compute_alice_t1_cont() const {
   // Eq. (25): integrate Alice's t2 value over the tau_a price law (summed
   // over the region's pieces; a single piece in the paper's regime).
   const math::GbmLaw law(params_.gbm, params_.p_t0, params_.tau_a);
@@ -190,6 +218,10 @@ double BasicGame::alice_t1_stop() const {
 }
 
 double BasicGame::bob_t1_cont() const {
+  return bob_t1_cont_cache_.get([this] { return compute_bob_t1_cont(); });
+}
+
+double BasicGame::compute_bob_t1_cont() const {
   // Eq. (26): inside the region Bob's t2 value is bob_t2_cont; outside he
   // keeps token-b worth the realized price x.
   const math::GbmLaw law(params_.gbm, params_.p_t0, params_.tau_a);
@@ -221,6 +253,10 @@ Action BasicGame::alice_decision_t1() const {
 // ------------------------------------------------------------ success rate
 
 double BasicGame::success_rate() const {
+  return success_rate_cache_.get([this] { return compute_success_rate(); });
+}
+
+double BasicGame::compute_success_rate() const {
   // Eq. (31): P[P_t2 in region] weighted by P[Alice reveals at t3 | P_t2].
   if (t2_region_.empty()) return 0.0;
   const math::GbmLaw law_a(params_.gbm, params_.p_t0, params_.tau_a);
@@ -244,8 +280,13 @@ double BasicGame::success_rate() const {
 FeasibleBand alice_feasible_band(const SwapParams& params, double scan_lo,
                                  double scan_hi, int scan_samples) {
   params.validate();
-  const auto gap = [&params](double p_star) {
-    const BasicGame game(params, p_star);
+  // The scan evaluates the gap at closely spaced P* values; chain each
+  // game's t2 roots into the next construction as warm-start hints so the
+  // inner region solve skips the full cold scan at almost every point.
+  std::vector<double> last_roots;
+  const auto gap = [&params, &last_roots](double p_star) {
+    const BasicGame game(params, p_star, last_roots);
+    last_roots = game.t2_roots();
     return game.alice_t1_cont() - game.alice_t1_stop();
   };
   const std::vector<double> roots =
@@ -261,15 +302,17 @@ FeasibleBand alice_feasible_band(const SwapParams& params, double scan_lo,
 
 std::optional<OptimalRate> sr_maximizing_rate(const SwapParams& params,
                                               int grid) {
-  const FeasibleBand band = alice_feasible_band(params);
+  const FeasibleBand band = cached_feasible_band(params);
   if (!band.viable || grid < 2) return std::nullopt;
   OptimalRate best;
   bool found = false;
+  std::vector<double> last_roots;
   for (int i = 0; i <= grid; ++i) {
     const double p_star =
         band.lo + (band.hi - band.lo) * static_cast<double>(i) / grid;
     if (!(p_star > 0.0)) continue;
-    const BasicGame game(params, p_star);
+    const BasicGame game(params, p_star, last_roots);
+    last_roots = game.t2_roots();
     const double sr = game.success_rate();
     if (!found || sr > best.success_rate) {
       best = {p_star, sr};

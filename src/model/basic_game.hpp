@@ -13,7 +13,9 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
+#include "math/cached_value.hpp"
 #include "math/interval.hpp"
 #include "params.hpp"
 
@@ -25,6 +27,16 @@ class BasicGame {
  public:
   /// @throws std::invalid_argument on invalid params or p_star <= 0.
   BasicGame(const SwapParams& params, double p_star);
+
+  /// Warm-started construction for parameter sweeps: `t2_root_hints` are the
+  /// t2-region roots (see t2_roots()) of a game at nearby parameters.  The
+  /// hints only accelerate the root isolation -- each hinted root is
+  /// re-bracketed locally, Brent-polished on this game's own indifference
+  /// function, and cross-checked by a coarse verification scan; on any
+  /// mismatch the solver falls back to the full cold scan.  Results agree
+  /// with the cold constructor to solver tolerance (~1e-12).
+  BasicGame(const SwapParams& params, double p_star,
+            const std::vector<double>& t2_root_hints);
 
   [[nodiscard]] const SwapParams& params() const noexcept { return params_; }
   [[nodiscard]] double p_star() const noexcept { return p_star_; }
@@ -61,6 +73,11 @@ class BasicGame {
   [[nodiscard]] const math::IntervalSet& bob_t2_region() const noexcept {
     return t2_region_;
   }
+  /// The sorted indifference roots defining bob_t2_region(); feed these to
+  /// the warm-start constructor of a game at nearby parameters.
+  [[nodiscard]] const std::vector<double>& t2_roots() const noexcept {
+    return t2_roots_;
+  }
   [[nodiscard]] Action bob_decision_t2(double p_t2) const;  ///< Eq. (24)
 
   // --- t1: Alice's initiation decision (Eqs. (25)-(30)). ------------------
@@ -77,12 +94,21 @@ class BasicGame {
 
  private:
   void compute_t3_cutoff();
-  void compute_t2_region();
+  void compute_t2_region(const std::vector<double>* hints);
+  [[nodiscard]] double compute_alice_t1_cont() const;
+  [[nodiscard]] double compute_bob_t1_cont() const;
+  [[nodiscard]] double compute_success_rate() const;
 
   SwapParams params_;
   double p_star_;
   double t3_cutoff_ = 0.0;
   math::IntervalSet t2_region_;
+  std::vector<double> t2_roots_;
+  // Quadrature-backed t1 quantities, integrated once per game instance even
+  // when the game is shared across Monte-Carlo samples or sweep threads.
+  math::CachedDouble alice_t1_cont_cache_;
+  math::CachedDouble bob_t1_cont_cache_;
+  math::CachedDouble success_rate_cache_;
 };
 
 /// Alice's feasible exchange-rate band (P*_lo, P*_hi) at t1: the set of

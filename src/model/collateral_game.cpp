@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "math/gbm.hpp"
@@ -16,6 +20,10 @@ namespace {
 
 constexpr int kRegionScanSamples = 4096;
 
+// Verification resolution for warm-started solves (finer than the basic
+// game's: the collateral gap can have 3 crossings, Fig. 7).
+constexpr int kWarmVerifySamples = 513;
+
 }  // namespace
 
 CollateralGame::CollateralGame(const SwapParams& params, double p_star,
@@ -27,7 +35,21 @@ CollateralGame::CollateralGame(const SwapParams& params, double p_star,
         "CollateralGame: collateral must be >= 0 and finite");
   }
   compute_t3_cutoff();
-  compute_t2_region();
+  compute_t2_region(nullptr);
+}
+
+CollateralGame::CollateralGame(const SwapParams& params, double p_star,
+                               double collateral,
+                               const std::vector<double>& basic_t2_root_hints,
+                               const std::vector<double>& t2_root_hints)
+    : params_(params), p_star_(p_star), q_(collateral),
+      basic_(params, p_star, basic_t2_root_hints) {
+  if (!(collateral >= 0.0) || !std::isfinite(collateral)) {
+    throw std::invalid_argument(
+        "CollateralGame: collateral must be >= 0 and finite");
+  }
+  compute_t3_cutoff();
+  compute_t2_region(&t2_root_hints);
 }
 
 // ---------------------------------------------------------------- t3 stage
@@ -103,7 +125,7 @@ double CollateralGame::bob_t2_stop(double p_t2) const {
   return p_t2;
 }
 
-void CollateralGame::compute_t2_region() {
+void CollateralGame::compute_t2_region(const std::vector<double>* hints) {
   // Roots of bob_t2_cont(p) - p.  With Q > 0 the gap is positive as p -> 0
   // (recovering 2 discounted Q beats keeping a worthless token) and
   // negative as p -> inf, so there is an odd number of crossings (Fig. 7).
@@ -121,11 +143,17 @@ void CollateralGame::compute_t2_region() {
   const double scan_lo = 1e-7 * scan_hi;
   const double tie = 1e-10 * scan_hi;
   const auto gap = [&raw_gap, tie](double p) { return raw_gap(p) - tie; };
-  const std::vector<double> roots =
-      math::find_all_roots(gap, scan_lo, scan_hi, kRegionScanSamples);
+  std::optional<std::vector<double>> warm;
+  if (hints != nullptr && !hints->empty()) {
+    warm = math::find_all_roots_warm(gap, scan_lo, scan_hi, *hints,
+                                     kWarmVerifySamples);
+  }
+  t2_roots_ = warm ? std::move(*warm)
+                   : math::find_all_roots(gap, scan_lo, scan_hi,
+                                          kRegionScanSamples);
   const bool starts_inside = gap(scan_lo) > 0.0;
   t2_region_ = math::IntervalSet::from_alternating_roots(
-      roots, 0.0, std::numeric_limits<double>::infinity(), starts_inside);
+      t2_roots_, 0.0, std::numeric_limits<double>::infinity(), starts_inside);
   // The unbounded last piece is "inside" only if the gap is positive there;
   // with an even root count and starts_inside (or odd and !starts_inside)
   // the alternation already encodes that, and the gap is always negative at
@@ -146,6 +174,10 @@ Action CollateralGame::bob_decision_t2(double p_t2) const {
 // ---------------------------------------------------------------- t1 stage
 
 double CollateralGame::alice_t1_cont() const {
+  return alice_t1_cont_cache_.get([this] { return compute_alice_t1_cont(); });
+}
+
+double CollateralGame::compute_alice_t1_cont() const {
   // Eq. (36).  Where Bob will lock, Alice's value is alice_t2_cont; where
   // Bob will stop, Alice is refunded (Eq. 22) and receives both collaterals
   // 2Q at t3 (decided) + tau_a (confirmation), i.e. tau_b + tau_a after t2.
@@ -175,6 +207,10 @@ double CollateralGame::alice_t1_stop() const {
 }
 
 double CollateralGame::bob_t1_cont() const {
+  return bob_t1_cont_cache_.get([this] { return compute_bob_t1_cont(); });
+}
+
+double CollateralGame::compute_bob_t1_cont() const {
   // Eq. (37) (with the r^A typo read as r^B; see DESIGN.md): inside the
   // region Bob's value is bob_t2_cont; outside he keeps token-b worth the
   // realized price and forfeits his collateral.
@@ -216,6 +252,10 @@ bool CollateralGame::engaged() const {
 // ------------------------------------------------------------ success rate
 
 double CollateralGame::success_rate() const {
+  return success_rate_cache_.get([this] { return compute_success_rate(); });
+}
+
+double CollateralGame::compute_success_rate() const {
   // Eq. (40): integrate Alice's reveal probability over Bob's t2 region.
   if (t2_region_.empty()) return 0.0;
   const math::GbmLaw law_a(params_.gbm, params_.p_t0, params_.tau_a);
@@ -243,13 +283,33 @@ CollateralViability collateral_viable_rates(const SwapParams& params,
                                             double collateral, double scan_lo,
                                             double scan_hi, int scan_samples) {
   params.validate();
+  // Alice's and Bob's gap functions are scanned over the same P* grid, and
+  // consecutive evaluations sit close together: share one warm-chained,
+  // memoized game per P* so each (P*, Q) is solved exactly once across both
+  // scans instead of cold twice.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CollateralGame>>
+      memo;
+  std::vector<double> last_basic_roots;
+  std::vector<double> last_roots;
+  const auto game_at = [&](double p_star) {
+    std::uint64_t key = 0;
+    static_assert(sizeof(key) == sizeof(p_star));
+    std::memcpy(&key, &p_star, sizeof(key));
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    auto g = std::make_shared<const CollateralGame>(
+        params, p_star, collateral, last_basic_roots, last_roots);
+    last_basic_roots = g->basic().t2_roots();
+    last_roots = g->t2_roots();
+    memo.emplace(key, g);
+    return g;
+  };
   const auto alice_gap = [&](double p_star) {
-    const CollateralGame g(params, p_star, collateral);
-    return g.alice_t1_cont() - g.alice_t1_stop();
+    const auto g = game_at(p_star);
+    return g->alice_t1_cont() - g->alice_t1_stop();
   };
   const auto bob_gap = [&](double p_star) {
-    const CollateralGame g(params, p_star, collateral);
-    return g.bob_t1_cont() - g.bob_t1_stop();
+    const auto g = game_at(p_star);
+    return g->bob_t1_cont() - g->bob_t1_stop();
   };
   const std::vector<double> a_roots =
       math::find_all_roots(alice_gap, scan_lo, scan_hi, scan_samples);

@@ -20,8 +20,10 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "basic_game.hpp"
+#include "math/cached_value.hpp"
 #include "math/interval.hpp"
 #include "params.hpp"
 
@@ -32,6 +34,16 @@ class CollateralGame {
  public:
   /// @throws std::invalid_argument on invalid params, p_star <= 0 or Q < 0.
   CollateralGame(const SwapParams& params, double p_star, double collateral);
+
+  /// Warm-started construction for parameter sweeps: hints are the
+  /// t2-region roots of the embedded basic game and of this game at nearby
+  /// parameters (see t2_roots()).  Hints only accelerate root isolation --
+  /// every hinted root is re-polished on this game's own indifference
+  /// function and structurally verified, with a cold-scan fallback -- so
+  /// results agree with the cold constructor to solver tolerance (~1e-12).
+  CollateralGame(const SwapParams& params, double p_star, double collateral,
+                 const std::vector<double>& basic_t2_root_hints,
+                 const std::vector<double>& t2_root_hints);
 
   [[nodiscard]] const SwapParams& params() const noexcept { return params_; }
   [[nodiscard]] double p_star() const noexcept { return p_star_; }
@@ -59,6 +71,11 @@ class CollateralGame {
   [[nodiscard]] const math::IntervalSet& bob_t2_region() const noexcept {
     return t2_region_;
   }
+  /// The sorted indifference roots defining bob_t2_region(); feed these to
+  /// the warm-start constructor of a game at nearby parameters.
+  [[nodiscard]] const std::vector<double>& t2_roots() const noexcept {
+    return t2_roots_;
+  }
   [[nodiscard]] Action bob_decision_t2(double p_t2) const;
 
   // --- t1: simultaneous engagement decision (Eqs. (36)-(39)). --------------
@@ -76,7 +93,10 @@ class CollateralGame {
 
  private:
   void compute_t3_cutoff();
-  void compute_t2_region();
+  void compute_t2_region(const std::vector<double>* hints);
+  [[nodiscard]] double compute_alice_t1_cont() const;
+  [[nodiscard]] double compute_bob_t1_cont() const;
+  [[nodiscard]] double compute_success_rate() const;
 
   SwapParams params_;
   double p_star_;
@@ -84,6 +104,12 @@ class CollateralGame {
   BasicGame basic_;
   double t3_cutoff_ = 0.0;
   math::IntervalSet t2_region_;
+  std::vector<double> t2_roots_;
+  // Quadrature-backed t1 quantities, integrated once per game instance even
+  // when the game is shared across Monte-Carlo samples or sweep threads.
+  math::CachedDouble alice_t1_cont_cache_;
+  math::CachedDouble bob_t1_cont_cache_;
+  math::CachedDouble success_rate_cache_;
 };
 
 /// Viable exchange-rate sets at t1 for a given collateral: the set of P*

@@ -1,9 +1,11 @@
 #include "collateral_optimizer.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "collateral_game.hpp"
+#include "solver_cache.hpp"
 
 namespace swapgame::model {
 
@@ -29,24 +31,27 @@ CollateralChoice optimize_collateral(const SwapParams& params, double p_star,
     throw std::invalid_argument(
         "optimize_collateral: need 0 <= q_lo < q_hi and grid >= 2");
   }
+  // Q moves smoothly along the grid and golden-section iterates, so one
+  // warm-chained sweeper serves the whole optimization.
+  CollateralGameSweeper sweeper(params);
   CollateralChoice best;
   bool found = false;
   for (int i = 0; i <= grid; ++i) {
     const double q = q_lo + (q_hi - q_lo) * static_cast<double>(i) / grid;
-    const CollateralGame game(params, p_star, q);
-    const bool engaged = game.engaged();
+    const auto game = sweeper.at(p_star, q);
+    const bool engaged = game->engaged();
     if (objective == CollateralObjective::kJointSurplus && !engaged) continue;
-    const double value = objective_of(game, objective);
+    const double value = objective_of(*game, objective);
     if (!found || value > best.objective_value) {
-      best = {q, value, game.success_rate(), engaged};
+      best = {q, value, game->success_rate(), engaged};
       found = true;
     }
   }
   if (!found) {
     // No engagement-feasible Q: report the unconstrained Q = q_lo outcome.
-    const CollateralGame game(params, p_star, q_lo);
-    best = {q_lo, objective_of(game, objective), game.success_rate(),
-            game.engaged()};
+    const auto game = sweeper.at(p_star, q_lo);
+    best = {q_lo, objective_of(*game, objective), game->success_rate(),
+            game->engaged()};
   }
 
   // Golden-section refinement around the best grid cell (the objective is
@@ -58,12 +63,12 @@ CollateralChoice optimize_collateral(const SwapParams& params, double p_star,
   for (int iter = 0; iter < 40 && hi - lo > 1e-6; ++iter) {
     const double m1 = hi - kPhi * (hi - lo);
     const double m2 = lo + kPhi * (hi - lo);
-    const CollateralGame g1(params, p_star, m1);
-    const CollateralGame g2(params, p_star, m2);
-    const bool ok1 = objective != CollateralObjective::kJointSurplus || g1.engaged();
-    const bool ok2 = objective != CollateralObjective::kJointSurplus || g2.engaged();
-    const double v1 = ok1 ? objective_of(g1, objective) : -1e300;
-    const double v2 = ok2 ? objective_of(g2, objective) : -1e300;
+    const auto g1 = sweeper.at(p_star, m1);
+    const auto g2 = sweeper.at(p_star, m2);
+    const bool ok1 = objective != CollateralObjective::kJointSurplus || g1->engaged();
+    const bool ok2 = objective != CollateralObjective::kJointSurplus || g2->engaged();
+    const double v1 = ok1 ? objective_of(*g1, objective) : -1e300;
+    const double v2 = ok2 ? objective_of(*g2, objective) : -1e300;
     if (v1 < v2) {
       lo = m1;
     } else {
@@ -71,12 +76,12 @@ CollateralChoice optimize_collateral(const SwapParams& params, double p_star,
     }
   }
   const double q_refined = 0.5 * (lo + hi);
-  const CollateralGame refined(params, p_star, q_refined);
-  const bool engaged = refined.engaged();
+  const auto refined = sweeper.at(p_star, q_refined);
+  const bool engaged = refined->engaged();
   if (objective != CollateralObjective::kJointSurplus || engaged) {
-    const double value = objective_of(refined, objective);
+    const double value = objective_of(*refined, objective);
     if (value > best.objective_value) {
-      best = {q_refined, value, refined.success_rate(), engaged};
+      best = {q_refined, value, refined->success_rate(), engaged};
     }
   }
   return best;
@@ -88,8 +93,9 @@ std::optional<double> min_collateral_for_sr(const SwapParams& params,
   if (!(target_sr > 0.0 && target_sr <= 1.0)) {
     throw std::invalid_argument("min_collateral_for_sr: target in (0, 1]");
   }
+  CollateralGameSweeper sweeper(params);
   const auto sr_of = [&](double q) {
-    return CollateralGame(params, p_star, q).success_rate();
+    return sweeper.at(p_star, q)->success_rate();
   };
   if (sr_of(0.0) >= target_sr) return 0.0;
   if (sr_of(q_hi) < target_sr) return std::nullopt;

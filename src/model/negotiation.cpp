@@ -3,10 +3,12 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "math/roots.hpp"
+#include "solver_cache.hpp"
 
 namespace swapgame::model {
 
@@ -24,21 +26,9 @@ const char* to_string(BargainingRule rule) noexcept {
 
 namespace {
 
-double alice_gap(const SwapParams& params, double p_star) {
-  const BasicGame game(params, p_star);
-  return game.alice_t1_cont() - game.alice_t1_stop();
-}
-
-double bob_gap(const SwapParams& params, double p_star) {
-  const BasicGame game(params, p_star);
-  return game.bob_t1_cont() - game.bob_t1_stop();
-}
-
-math::IntervalSet acceptable_set(const SwapParams& params,
-                                 const std::function<double(double)>& gap,
+math::IntervalSet acceptable_set(const std::function<double(double)>& gap,
                                  double scan_lo, double scan_hi,
                                  int scan_samples) {
-  (void)params;
   const std::vector<double> roots =
       math::find_all_roots(gap, scan_lo, scan_hi, scan_samples);
   return math::IntervalSet::from_alternating_roots(roots, scan_lo, scan_hi,
@@ -54,13 +44,23 @@ NegotiationResult negotiate_rate(const SwapParams& params, BargainingRule rule,
   if (grid < 2) {
     throw std::invalid_argument("negotiate_rate: grid must be >= 2");
   }
+  // Both acceptability scans and the selection grid query games over the
+  // same P* range: a single warm-chained, memoizing sweeper solves each
+  // rate once instead of cold three times.
+  BasicGameSweeper sweeper(params);
   NegotiationResult result;
   result.alice_acceptable = acceptable_set(
-      params, [&](double p) { return alice_gap(params, p); }, scan_lo, scan_hi,
-      scan_samples);
+      [&](double p) {
+        const auto g = sweeper.at(p);
+        return g->alice_t1_cont() - g->alice_t1_stop();
+      },
+      scan_lo, scan_hi, scan_samples);
   result.bob_acceptable = acceptable_set(
-      params, [&](double p) { return bob_gap(params, p); }, scan_lo, scan_hi,
-      scan_samples);
+      [&](double p) {
+        const auto g = sweeper.at(p);
+        return g->bob_t1_cont() - g->bob_t1_stop();
+      },
+      scan_lo, scan_hi, scan_samples);
   result.mutual = result.alice_acceptable.intersect(result.bob_acceptable);
   if (result.mutual.empty()) return result;  // no agreement possible
 
@@ -72,9 +72,9 @@ NegotiationResult negotiate_rate(const SwapParams& params, BargainingRule rule,
       const double p_star =
           piece.lo + (piece.hi - piece.lo) * static_cast<double>(i) / grid;
       if (!(p_star > 0.0)) continue;
-      const BasicGame game(params, p_star);
-      const double sa = game.alice_t1_cont() - game.alice_t1_stop();
-      const double sb = game.bob_t1_cont() - game.bob_t1_stop();
+      const auto game = sweeper.at(p_star);
+      const double sa = game->alice_t1_cont() - game->alice_t1_stop();
+      const double sb = game->bob_t1_cont() - game->bob_t1_stop();
       if (sa <= 0.0 || sb <= 0.0) continue;  // boundary numeric noise
       double score = 0.0;
       switch (rule) {
@@ -82,7 +82,7 @@ NegotiationResult negotiate_rate(const SwapParams& params, BargainingRule rule,
           score = sa * sb;
           break;
         case BargainingRule::kMaxSuccessRate:
-          score = game.success_rate();
+          score = game->success_rate();
           break;
         case BargainingRule::kMidpoint: {
           const double mid = 0.5 * (piece.lo + piece.hi);
@@ -98,12 +98,12 @@ NegotiationResult negotiate_rate(const SwapParams& params, BargainingRule rule,
   }
   if (!(best_score > -std::numeric_limits<double>::infinity())) return result;
 
-  const BasicGame chosen(params, best_rate);
+  const auto chosen = sweeper.at(best_rate);
   result.agreed = true;
   result.p_star = best_rate;
-  result.alice_surplus = chosen.alice_t1_cont() - chosen.alice_t1_stop();
-  result.bob_surplus = chosen.bob_t1_cont() - chosen.bob_t1_stop();
-  result.success_rate = chosen.success_rate();
+  result.alice_surplus = chosen->alice_t1_cont() - chosen->alice_t1_stop();
+  result.bob_surplus = chosen->bob_t1_cont() - chosen->bob_t1_stop();
+  result.success_rate = chosen->success_rate();
   return result;
 }
 

@@ -133,6 +133,10 @@ Action PremiumGame::bob_decision_t2(double p_t2) const {
 // ---------------------------------------------------------------- t1 stage
 
 double PremiumGame::alice_t1_cont() const {
+  return alice_t1_cont_cache_.get([this] { return compute_alice_t1_cont(); });
+}
+
+double PremiumGame::compute_alice_t1_cont() const {
   const math::GbmLaw law(params_.gbm, params_.p_t0, params_.tau_a);
   // If Bob stops at t2 the escrow is cancelled at t3 and Alice receives her
   // premium back tau_a later, i.e. tau_b + tau_a after t2.
@@ -155,6 +159,10 @@ double PremiumGame::alice_t1_cont() const {
 double PremiumGame::alice_t1_stop() const { return p_star_ + pr_; }
 
 double PremiumGame::bob_t1_cont() const {
+  return bob_t1_cont_cache_.get([this] { return compute_bob_t1_cont(); });
+}
+
+double PremiumGame::compute_bob_t1_cont() const {
   const math::GbmLaw law(params_.gbm, params_.p_t0, params_.tau_a);
   double inside = 0.0;
   double inside_pe = 0.0;
@@ -178,6 +186,10 @@ Action PremiumGame::alice_decision_t1() const {
 // ------------------------------------------------------------ success rate
 
 double PremiumGame::success_rate() const {
+  return success_rate_cache_.get([this] { return compute_success_rate(); });
+}
+
+double PremiumGame::compute_success_rate() const {
   if (t2_region_.empty()) return 0.0;
   const math::GbmLaw law_a(params_.gbm, params_.p_t0, params_.tau_a);
   const double L = t3_cutoff_;

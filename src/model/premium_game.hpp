@@ -23,6 +23,7 @@
 #pragma once
 
 #include "basic_game.hpp"
+#include "math/cached_value.hpp"
 #include "math/interval.hpp"
 #include "params.hpp"
 
@@ -71,6 +72,9 @@ class PremiumGame {
  private:
   void compute_t3_cutoff();
   void compute_t2_region();
+  [[nodiscard]] double compute_alice_t1_cont() const;
+  [[nodiscard]] double compute_bob_t1_cont() const;
+  [[nodiscard]] double compute_success_rate() const;
 
   SwapParams params_;
   double p_star_;
@@ -78,6 +82,11 @@ class PremiumGame {
   BasicGame basic_;
   double t3_cutoff_ = 0.0;
   math::IntervalSet t2_region_;
+  // Quadrature-backed t1 quantities, integrated once per game instance even
+  // when the game is shared across Monte-Carlo samples or sweep threads.
+  math::CachedDouble alice_t1_cont_cache_;
+  math::CachedDouble bob_t1_cont_cache_;
+  math::CachedDouble success_rate_cache_;
 };
 
 /// Alice's feasible rate set under a given premium (she must prefer

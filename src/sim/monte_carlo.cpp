@@ -1,6 +1,6 @@
 #include "monte_carlo.hpp"
 
-#include <mutex>
+#include <algorithm>
 #include <vector>
 
 #include "agents/naive.hpp"
@@ -9,7 +9,7 @@
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
 #include "path_simulator.hpp"
-#include "thread_pool.hpp"
+#include "sweep/sweep.hpp"
 
 namespace swapgame::sim {
 
@@ -32,22 +32,32 @@ void McEstimate::merge(const McEstimate& other) {
 
 StrategyFactory rational_factory(const model::SwapParams& params,
                                  double p_star, double collateral) {
+  // Solve the backward induction once per factory, not once per sample:
+  // thresholds depend only on (params, p_star, collateral), so every
+  // strategy instance can share one immutable game.  Pre-touch the lazy t1
+  // quantities so worker threads start from a fully materialized game.
   if (collateral > 0.0) {
-    return [params, p_star, collateral](agents::Role role, std::uint64_t) {
-      return std::make_unique<agents::CollateralRationalStrategy>(
-          role, params, p_star, collateral);
+    auto game = std::make_shared<const model::CollateralGame>(params, p_star,
+                                                              collateral);
+    (void)game->engaged();
+    return [game](agents::Role role, std::uint64_t) {
+      return std::make_unique<agents::CollateralRationalStrategy>(role, game);
     };
   }
-  return [params, p_star](agents::Role role, std::uint64_t) {
-    return std::make_unique<agents::RationalStrategy>(role, params, p_star);
+  auto game = std::make_shared<const model::BasicGame>(params, p_star);
+  (void)game->alice_decision_t1();
+  return [game](agents::Role role, std::uint64_t) {
+    return std::make_unique<agents::RationalStrategy>(role, game);
   };
 }
 
 StrategyFactory premium_rational_factory(const model::SwapParams& params,
                                           double p_star, double premium) {
-  return [params, p_star, premium](agents::Role role, std::uint64_t) {
-    return std::make_unique<agents::PremiumRationalStrategy>(role, params,
-                                                             p_star, premium);
+  auto game =
+      std::make_shared<const model::PremiumGame>(params, p_star, premium);
+  (void)game->alice_decision_t1();
+  return [game](agents::Role role, std::uint64_t) {
+    return std::make_unique<agents::PremiumRationalStrategy>(role, game);
   };
 }
 
@@ -59,24 +69,36 @@ StrategyFactory honest_factory() {
 
 namespace {
 
-/// Splits `total` samples into per-worker chunks and merges the partial
-/// estimates produced by `run_chunk(worker, first_index, count, out)`.
+// Fixed Monte-Carlo chunk sizes.  The partition and the per-chunk RNG
+// streams are keyed by the chunk INDEX, never by the runtime worker count,
+// so the merged estimate is bit-identical at threads=1 and threads=N (and
+// across machines with different core counts).  Protocol samples are ~1000x
+// costlier than model samples, hence the smaller protocol chunk.
+constexpr std::size_t kModelMcChunk = 8192;
+constexpr std::size_t kProtocolMcChunk = 256;
+
+/// Splits `total` samples into fixed-size chunks, runs
+/// `run_chunk(chunk_index, first_index, count, out)` for each over the
+/// sweep engine, and merges the partial estimates in ascending chunk order.
 template <typename RunChunk>
-McEstimate parallel_mc(std::size_t total, unsigned threads,
-                       const RunChunk& run_chunk) {
-  ThreadPool pool(threads);
-  const unsigned workers = pool.size();
-  const std::size_t chunk = (total + workers - 1) / workers;
-  std::vector<McEstimate> partials(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::size_t first = static_cast<std::size_t>(w) * chunk;
-    if (first >= total) break;
-    const std::size_t count = std::min(chunk, total - first);
-    pool.submit([&run_chunk, &partials, w, first, count] {
-      run_chunk(w, first, count, partials[w]);
-    });
-  }
-  pool.wait_idle();
+McEstimate parallel_mc(std::size_t total, std::size_t chunk_size,
+                       unsigned threads, const RunChunk& run_chunk) {
+  if (total == 0) return {};
+  const std::size_t n_chunks = (total + chunk_size - 1) / chunk_size;
+  std::vector<McEstimate> partials(n_chunks);
+  sweep::SweepOptions opts;
+  opts.threads = threads;
+  opts.fixed_chunk = 1;  // one pool task per Monte-Carlo chunk
+  sweep::parallel_for(
+      n_chunks,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          const std::size_t first = c * chunk_size;
+          const std::size_t count = std::min(chunk_size, total - first);
+          run_chunk(c, first, count, partials[c]);
+        }
+      },
+      opts);
   McEstimate merged;
   for (const McEstimate& partial : partials) merged.merge(partial);
   return merged;
@@ -94,10 +116,10 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
   const math::Xoshiro256 base_rng(config.seed);
 
   return parallel_mc(
-      config.samples, config.threads,
-      [&](unsigned worker, std::size_t first, std::size_t count,
+      config.samples, kProtocolMcChunk, config.threads,
+      [&](std::size_t chunk, std::size_t first, std::size_t count,
           McEstimate& out) {
-        math::Xoshiro256 rng = base_rng.stream(worker);
+        math::Xoshiro256 rng = base_rng.stream(chunk);
         for (std::size_t i = 0; i < count; ++i) {
           const std::uint64_t index = first + i;
           const proto::SteppedPricePath path =
@@ -135,10 +157,12 @@ McEstimate run_model_mc(const model::SwapParams& params, double p_star,
           : game.basic().alice_decision_t1() == model::Action::kCont;
   const math::Xoshiro256 base_rng(config.seed);
 
+  // The t2 sampling law is loop-invariant; hoist it out of the sample loop.
+  const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
   return parallel_mc(
-      config.samples, config.threads,
-      [&](unsigned worker, std::size_t, std::size_t count, McEstimate& out) {
-        math::Xoshiro256 rng = base_rng.stream(worker);
+      config.samples, kModelMcChunk, config.threads,
+      [&](std::size_t chunk, std::size_t, std::size_t count, McEstimate& out) {
+        math::Xoshiro256 rng = base_rng.stream(chunk);
         for (std::size_t i = 0; i < count; ++i) {
           out.initiated.add(initiated);
           if (!initiated) {
@@ -146,7 +170,6 @@ McEstimate run_model_mc(const model::SwapParams& params, double p_star,
             out.outcomes[proto::SwapOutcome::kNotInitiated] += 1;
             continue;
           }
-          const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
           const double p_t2 =
               law_a.sample_from_normal(math::normal_inverse_cdf_draw(rng));
           if (game.bob_decision_t2(p_t2) != model::Action::kCont) {
@@ -173,13 +196,13 @@ McEstimate run_profile_mc(const model::SwapParams& params,
                           const McConfig& config) {
   params.validate();
   const math::Xoshiro256 base_rng(config.seed);
+  const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
   return parallel_mc(
-      config.samples, config.threads,
-      [&](unsigned worker, std::size_t, std::size_t count, McEstimate& out) {
-        math::Xoshiro256 rng = base_rng.stream(worker);
+      config.samples, kModelMcChunk, config.threads,
+      [&](std::size_t chunk, std::size_t, std::size_t count, McEstimate& out) {
+        math::Xoshiro256 rng = base_rng.stream(chunk);
         for (std::size_t i = 0; i < count; ++i) {
           out.initiated.add(true);
-          const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
           const double p_t2 =
               law_a.sample_from_normal(math::normal_inverse_cdf_draw(rng));
           if (!profile.bob_region.contains(p_t2)) {

@@ -10,9 +10,11 @@
 //    validates that the protocol implementation realizes the model (bench
 //    X1, the paper's proposed follow-up simulation study).
 //
-// Both partition samples across a thread pool with per-worker RNG streams
-// (xoshiro long jumps), so results are deterministic for a given seed and
-// independent of thread count.
+// Both partition samples into FIXED-size chunks with per-chunk RNG streams
+// (xoshiro long jumps keyed by the chunk index, never by the runtime worker
+// count) and merge partial estimates in ascending chunk order, so for a
+// given seed the merged estimate is bit-identical at threads=1 and
+// threads=N, and across machines with different core counts.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,81 @@
+#include "sweep.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace swapgame::sweep {
+
+unsigned default_threads() {
+  if (const char* env = std::getenv("SWAPGAME_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& shared_pool() {
+  // Leaked on purpose: bench binaries use the pool up to their last output
+  // line, and a static-destruction-order race against other globals is the
+  // classic way to hang at exit.
+  static ThreadPool* pool = new ThreadPool(default_threads());
+  return *pool;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> plan_chunks(
+    std::size_t n, unsigned workers, std::size_t min_chunk,
+    std::size_t fixed_chunk) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (n == 0) return chunks;
+  std::size_t chunk = 0;
+  if (fixed_chunk > 0) {
+    chunk = fixed_chunk;
+  } else {
+    if (workers == 0) workers = 1;
+    if (min_chunk == 0) min_chunk = 1;
+    // Aim for a few chunks per worker so a slow chunk (e.g. a cold solve
+    // that warm ones then chain off) doesn't serialize the tail, while
+    // respecting the minimum chunk size.
+    const std::size_t target = static_cast<std::size_t>(workers) * 4;
+    chunk = std::max(min_chunk, (n + target - 1) / target);
+  }
+  chunks.reserve((n + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    chunks.emplace_back(begin, std::min(n, begin + chunk));
+  }
+  return chunks;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                  const SweepOptions& opts) {
+  if (n == 0) return;
+  ThreadPool* pool = opts.pool;
+  const unsigned pool_width =
+      opts.threads != 0 ? opts.threads
+                        : (pool != nullptr ? pool->size() : default_threads());
+  const auto chunks =
+      plan_chunks(n, pool_width, opts.min_chunk, opts.fixed_chunk);
+  if (pool == nullptr && chunks.size() > 1 && pool_width > 1) {
+    pool = &shared_pool();
+  }
+  // Serial inline path: one chunk / one worker gains nothing from the
+  // pool, and a nested sweep issued from a pool worker MUST run inline --
+  // a worker blocking in wait_idle() counts itself busy and would
+  // deadlock.  Chunk boundaries are identical either way, so results are
+  // too.
+  if (chunks.size() == 1 || pool_width == 1 || pool->is_worker_thread()) {
+    for (const auto& [begin, end] : chunks) chunk_fn(begin, end);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks.size());
+  for (const auto& [begin, end] : chunks) {
+    tasks.emplace_back([&chunk_fn, begin, end] { chunk_fn(begin, end); });
+  }
+  pool->submit_bulk(std::move(tasks));
+  pool->wait_idle();
+}
+
+}  // namespace swapgame::sweep

@@ -1,0 +1,102 @@
+// Parallel sweep primitives for parameter grids and Monte-Carlo batches.
+//
+// Every figure/table artifact evaluates the analytic game over a grid of
+// (P*, Q, ...) points, and the Monte-Carlo engines fan samples out over
+// workers.  Both are the same shape of work: N independent indices, chunked
+// over a reusable thread pool.  This header provides that shape once:
+//
+//   * parallel_for   -- run chunk_fn(begin, end) over [0, n), chunked;
+//   * parallel_map   -- order-preserving results vector, one R per index;
+//   * parallel_map_stateful -- like parallel_map but with one state object
+//     per chunk (e.g. a warm-chained model::BasicGameSweeper, which is not
+//     thread-safe but thrives on contiguous grid points).
+//
+// Guarantees:
+//   * order-preserving: result i is fn(i), independent of scheduling;
+//   * exception-propagating: the first exception thrown by any chunk is
+//     rethrown on the calling thread (remaining chunks still run);
+//   * serial when trivial: one chunk or one worker executes inline on the
+//     calling thread -- no pool round-trip, identical results;
+//   * deterministic partition on demand: SweepOptions::fixed_chunk pins the
+//     chunk boundaries independently of the worker count, which is what
+//     makes the Monte-Carlo engines bit-identical at threads=1 and
+//     threads=N.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "thread_pool.hpp"
+
+namespace swapgame::sweep {
+
+struct SweepOptions {
+  /// Parallelism cap: 0 = use the pool's full width; 1 = run serial inline.
+  unsigned threads = 0;
+  /// Lower bound on chunk size when the partition is worker-derived; keeps
+  /// tiny grids from paying per-chunk overhead.
+  std::size_t min_chunk = 1;
+  /// When nonzero, partition [0, n) into ceil(n / fixed_chunk) chunks of
+  /// exactly this size (last one ragged), REGARDLESS of worker count.  Use
+  /// whenever per-chunk state must be reproducible across machines.
+  std::size_t fixed_chunk = 0;
+  /// Pool to run on; nullptr = the process-wide shared_pool().
+  ThreadPool* pool = nullptr;
+};
+
+/// The process-wide pool (lazily constructed, never destroyed before exit).
+/// Width: SWAPGAME_THREADS env var if set and positive, else hardware
+/// concurrency.
+[[nodiscard]] ThreadPool& shared_pool();
+
+/// The worker count shared_pool() was (or would be) built with.
+[[nodiscard]] unsigned default_threads();
+
+/// Half-open index ranges partitioning [0, n).
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> plan_chunks(
+    std::size_t n, unsigned workers, std::size_t min_chunk,
+    std::size_t fixed_chunk);
+
+/// Runs chunk_fn(begin, end) over a partition of [0, n).  Blocks until all
+/// chunks finish; rethrows the first chunk exception.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_fn,
+                  const SweepOptions& opts = {});
+
+/// Order-preserving map: out[i] = fn(i).  R must be default-constructible
+/// (each slot is overwritten exactly once).
+template <typename R, typename Fn>
+std::vector<R> parallel_map(std::size_t n, Fn&& fn,
+                            const SweepOptions& opts = {}) {
+  std::vector<R> out(n);
+  parallel_for(
+      n,
+      [&out, &fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      opts);
+  return out;
+}
+
+/// Order-preserving map with one state object per chunk: out[i] =
+/// fn(state, i), where state = make_state() once per chunk.  The state
+/// never crosses threads, so it may be stateless-unsafe (warm-chained
+/// sweepers, RNGs).  With opts.fixed_chunk set, the (state, indices)
+/// pairing -- and therefore the result -- is independent of worker count.
+template <typename R, typename MakeState, typename Fn>
+std::vector<R> parallel_map_stateful(std::size_t n, MakeState&& make_state,
+                                     Fn&& fn, const SweepOptions& opts = {}) {
+  std::vector<R> out(n);
+  parallel_for(
+      n,
+      [&out, &make_state, &fn](std::size_t begin, std::size_t end) {
+        auto state = make_state();
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(state, i);
+      },
+      opts);
+  return out;
+}
+
+}  // namespace swapgame::sweep

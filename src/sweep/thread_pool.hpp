@@ -1,0 +1,74 @@
+// Fixed-size thread pool underpinning the sweep engine.
+//
+// Deliberately simple: submit()/submit_bulk() enqueue tasks, wait_idle()
+// blocks until every submitted task has finished.  Exceptions thrown by
+// tasks are captured and rethrown from wait_idle() (first one wins), so
+// failures in worker threads are never silently dropped.  The pool is
+// reusable across batches: after wait_idle() returns (or throws) the pool
+// is quiescent and accepts the next batch, which is what lets one shared
+// pool serve every grid sweep in a bench binary.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace swapgame::sweep {
+
+class ThreadPool {
+ public:
+  /// @param threads  worker count; 0 means std::thread::hardware_concurrency
+  ///                 (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers (after draining the queue).
+  ~ThreadPool();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// True when called from one of this pool's worker threads.  Nested
+  /// fan-out onto the same pool must run inline instead: a worker blocking
+  /// in wait_idle() counts itself as busy and would deadlock.
+  [[nodiscard]] bool is_worker_thread() const noexcept {
+    const std::thread::id me = std::this_thread::get_id();
+    for (const std::thread& worker : workers_) {
+      if (worker.get_id() == me) return true;
+    }
+    return false;
+  }
+
+  /// Enqueues a task.  Must not be called after destruction begins.
+  void submit(std::function<void()> task);
+
+  /// Enqueues a whole batch under a single lock acquisition and wakes every
+  /// worker once -- the fast path for sweeps that fan out dozens of chunks.
+  void submit_bulk(std::vector<std::function<void()>> tasks);
+
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first captured task exception, if any.  The pool remains
+  /// usable for further batches afterwards.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  unsigned busy_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace swapgame::sweep

@@ -63,20 +63,48 @@ TEST(ModelMc, MatchesAnalyticCollateralSuccessRate) {
 }
 
 TEST(ModelMc, DeterministicAcrossThreadCounts) {
+  // RNG streams and sample chunks are keyed by fixed chunk indices, so the
+  // merged estimate is bit-identical regardless of thread count.  Use
+  // enough samples to span several chunks.
   McConfig one;
-  one.samples = 5000;
+  one.samples = 20'000;
   one.seed = 9;
   one.threads = 1;
   McConfig four = one;
   four.threads = 4;
   const McEstimate a = run_model_mc(defaults(), 2.0, 0.0, one);
   const McEstimate b = run_model_mc(defaults(), 2.0, 0.0, four);
-  // Per-worker RNG streams are seeded identically; the partition changes
-  // but whole-run totals with the same worker count assignment may differ.
-  // Identical thread counts must match exactly.
-  const McEstimate c = run_model_mc(defaults(), 2.0, 0.0, four);
-  EXPECT_EQ(b.success.successes(), c.success.successes());
   EXPECT_EQ(a.success.trials(), b.success.trials());
+  EXPECT_EQ(a.success.successes(), b.success.successes());
+  EXPECT_EQ(a.initiated.successes(), b.initiated.successes());
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  // Bitwise-equal merged moments, not just statistically close.
+  EXPECT_EQ(a.alice_utility.mean(), b.alice_utility.mean());
+  EXPECT_EQ(a.bob_utility.mean(), b.bob_utility.mean());
+}
+
+TEST(ProtocolMc, DeterministicAcrossThreadCounts) {
+  const model::SwapParams params = defaults();
+  proto::SwapSetup setup;
+  setup.params = params;
+  setup.p_star = 2.0;
+  McConfig one;
+  one.samples = 1500;  // spans several protocol chunks
+  one.seed = 77;
+  one.threads = 1;
+  McConfig eight = one;
+  eight.threads = 8;
+  const StrategyFactory alice = rational_factory(params, 2.0);
+  const StrategyFactory bob = rational_factory(params, 2.0);
+  const McEstimate a = run_protocol_mc(setup, alice, bob, one);
+  const McEstimate b = run_protocol_mc(setup, alice, bob, eight);
+  EXPECT_EQ(a.success.trials(), b.success.trials());
+  EXPECT_EQ(a.success.successes(), b.success.successes());
+  EXPECT_EQ(a.initiated.successes(), b.initiated.successes());
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.alice_utility.mean(), b.alice_utility.mean());
+  EXPECT_EQ(a.alice_utility.variance(), b.alice_utility.variance());
+  EXPECT_EQ(a.bob_utility.mean(), b.bob_utility.mean());
 }
 
 TEST(ModelMc, NonViableRateNeverInitiates) {

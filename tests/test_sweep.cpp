@@ -1,0 +1,225 @@
+// Tests for the parallel sweep engine (src/sweep/sweep) and the solver
+// cache it feeds (src/model/solver_cache): ordering, exception
+// propagation, serial equivalence, deterministic chunking, and warm-vs-cold
+// solver agreement.
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model/basic_game.hpp"
+#include "model/solver_cache.hpp"
+
+namespace swapgame::sweep {
+namespace {
+
+TEST(PlanChunks, CoversRangeExactlyOnce) {
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (unsigned workers : {1u, 3u, 8u}) {
+      const auto chunks = plan_chunks(n, workers, 1, 0);
+      std::size_t covered = 0;
+      std::size_t expect_begin = 0;
+      for (const auto& [begin, end] : chunks) {
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_LT(begin, end);
+        covered += end - begin;
+        expect_begin = end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(PlanChunks, FixedChunkIgnoresWorkerCount) {
+  const auto a = plan_chunks(100, 1, 1, 32);
+  const auto b = plan_chunks(100, 16, 1, 32);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 4u);  // 32 + 32 + 32 + 4
+  EXPECT_EQ(a.back().second - a.back().first, 4u);
+}
+
+TEST(PlanChunks, MinChunkBoundsPartition) {
+  for (const auto& [begin, end] : plan_chunks(10, 8, 4, 0)) {
+    // Only the final chunk may be smaller than min_chunk.
+    if (end != 10) {
+      EXPECT_GE(end - begin, 4u);
+    }
+  }
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  const std::size_t n = 1000;
+  const auto out =
+      parallel_map<std::size_t>(n, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, MatchesSerialReferenceExactly) {
+  // Same floating-point work serial and parallel must agree bitwise: the
+  // engine only partitions indices, it never reorders the per-index math.
+  const std::size_t n = 257;
+  const auto work = [](std::size_t i) {
+    double acc = 0.0;
+    for (int k = 1; k <= 20; ++k) {
+      acc += std::sin(static_cast<double>(i) / k) / k;
+    }
+    return acc;
+  };
+  std::vector<double> serial(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = work(i);
+
+  SweepOptions parallel_opts;
+  parallel_opts.threads = 4;
+  const auto parallel = parallel_map<double>(n, work, parallel_opts);
+  SweepOptions inline_opts;
+  inline_opts.threads = 1;
+  const auto inline_run = parallel_map<double>(n, work, inline_opts);
+
+  ASSERT_EQ(parallel.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(parallel[i], serial[i]);
+    EXPECT_EQ(inline_run[i], serial[i]);
+  }
+}
+
+TEST(ParallelMap, PropagatesFirstException) {
+  ThreadPool pool(4);
+  SweepOptions opts;
+  opts.pool = &pool;
+  opts.min_chunk = 1;
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      parallel_map<int>(
+          64,
+          [&executed](std::size_t i) {
+            executed.fetch_add(1);
+            if (i % 16 == 3) throw std::runtime_error("boom at " +
+                                                      std::to_string(i));
+            return static_cast<int>(i);
+          },
+          opts),
+      std::runtime_error);
+  // The pool stays usable after a throwing batch.
+  const auto out = parallel_map<int>(
+      8, [](std::size_t i) { return static_cast<int>(i); }, opts);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[7], 7);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for(0, [&ran](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelMapStateful, OneStatePerChunkAndOrderPreserved) {
+  std::atomic<int> states_created{0};
+  SweepOptions opts;
+  opts.fixed_chunk = 16;
+  const std::size_t n = 100;
+  const auto out = parallel_map_stateful<std::size_t>(
+      n,
+      [&states_created] {
+        states_created.fetch_add(1);
+        return std::size_t{0};
+      },
+      [](std::size_t& count, std::size_t i) {
+        ++count;  // chunk-local: no synchronization needed
+        return i + count - count + i;
+      },
+      opts);
+  EXPECT_EQ(states_created.load(), 7);  // ceil(100 / 16)
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(ParallelMapStateful, FixedChunkResultIndependentOfThreads) {
+  // With pinned chunk boundaries the (state, index) pairing -- and thus any
+  // state-dependent result -- must not depend on the worker count.
+  const std::size_t n = 64;
+  const auto run = [n](unsigned threads) {
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.fixed_chunk = 10;
+    return parallel_map_stateful<int>(
+        n, [] { return 0; },
+        [](int& calls, std::size_t) { return calls++; }, opts);
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(SharedPool, IsStableAndSized) {
+  ThreadPool& a = shared_pool();
+  ThreadPool& b = shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), default_threads());
+  EXPECT_GE(a.size(), 1u);
+}
+
+// --- Solver cache: warm-started sweeps agree with cold construction. ------
+
+TEST(SolverCache, WarmSweepMatchesColdAcrossRateGrid) {
+  const model::SwapParams params = model::SwapParams::table3_defaults();
+  model::BasicGameSweeper sweeper(params);
+  for (double p_star = 1.6; p_star <= 2.6 + 1e-9; p_star += 0.02) {
+    const model::BasicGame cold(params, p_star);
+    const auto warm = sweeper.at(p_star);
+    ASSERT_NE(warm, nullptr);
+    EXPECT_NEAR(warm->success_rate(), cold.success_rate(), 1e-10);
+    EXPECT_NEAR(warm->alice_t1_cont(), cold.alice_t1_cont(), 1e-10);
+    EXPECT_NEAR(warm->bob_t1_cont(), cold.bob_t1_cont(), 1e-10);
+    EXPECT_NEAR(warm->alice_t3_cutoff(), cold.alice_t3_cutoff(), 1e-10);
+    ASSERT_EQ(warm->t2_roots().size(), cold.t2_roots().size());
+    for (std::size_t i = 0; i < cold.t2_roots().size(); ++i) {
+      EXPECT_NEAR(warm->t2_roots()[i], cold.t2_roots()[i], 1e-10);
+    }
+  }
+}
+
+TEST(SolverCache, SweeperMemoizesRepeatQueries) {
+  model::BasicGameSweeper sweeper(model::SwapParams::table3_defaults());
+  const auto first = sweeper.at(2.0);
+  const auto again = sweeper.at(2.0);
+  EXPECT_EQ(first.get(), again.get());
+}
+
+TEST(SolverCache, CollateralWarmSweepMatchesCold) {
+  const model::SwapParams params = model::SwapParams::table3_defaults();
+  model::CollateralGameSweeper sweeper(params);
+  for (double q : {0.0, 0.5, 1.0}) {
+    for (double p_star = 1.8; p_star <= 2.4 + 1e-9; p_star += 0.1) {
+      const model::CollateralGame cold(params, p_star, q);
+      const auto warm = sweeper.at(p_star, q);
+      ASSERT_NE(warm, nullptr);
+      EXPECT_NEAR(warm->success_rate(), cold.success_rate(), 1e-10);
+      EXPECT_NEAR(warm->alice_t1_cont(), cold.alice_t1_cont(), 1e-10);
+      EXPECT_NEAR(warm->bob_t1_cont(), cold.bob_t1_cont(), 1e-10);
+    }
+  }
+}
+
+TEST(SolverCache, CachedFeasibleBandMatchesDirect) {
+  const model::SwapParams params = model::SwapParams::table3_defaults();
+  const model::FeasibleBand direct = model::alice_feasible_band(params);
+  const model::FeasibleBand cached = model::cached_feasible_band(params);
+  EXPECT_EQ(cached.lo, direct.lo);
+  EXPECT_EQ(cached.hi, direct.hi);
+  // Distinct parameters are distinct keys, never stale hits.
+  model::SwapParams other = params;
+  other.gbm.sigma += 0.01;
+  const model::FeasibleBand other_cached = model::cached_feasible_band(other);
+  const model::FeasibleBand other_direct = model::alice_feasible_band(other);
+  EXPECT_EQ(other_cached.lo, other_direct.lo);
+  EXPECT_EQ(other_cached.hi, other_direct.hi);
+  EXPECT_NE(other_cached.lo, cached.lo);
+}
+
+}  // namespace
+}  // namespace swapgame::sweep

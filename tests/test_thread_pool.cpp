@@ -1,12 +1,14 @@
-// Tests for the Monte-Carlo thread pool (src/sim/thread_pool).
-#include "sim/thread_pool.hpp"
+// Tests for the sweep-engine thread pool (src/sweep/thread_pool).
+#include "sweep/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <stdexcept>
+#include <vector>
 
-namespace swapgame::sim {
+namespace swapgame::sweep {
 namespace {
 
 TEST(ThreadPool, ExecutesAllTasks) {
@@ -75,6 +77,42 @@ TEST(ThreadPool, TasksMayRunConcurrently) {
   EXPECT_TRUE(b_started);
 }
 
+TEST(ThreadPool, SubmitBulkExecutesAllTasksUnderOneLock) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.submit_bulk(std::move(tasks));
+  pool.submit_bulk({});  // empty batch is a no-op
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, IsWorkerThreadDistinguishesInsideFromOutside) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.is_worker_thread());
+  std::atomic<bool> inside{false};
+  pool.submit([&] { inside = pool.is_worker_thread(); });
+  pool.wait_idle();
+  EXPECT_TRUE(inside);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.emplace_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.submit_bulk(std::move(tasks));
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 160);
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> counter{0};
   {
@@ -87,4 +125,4 @@ TEST(ThreadPool, DestructorDrainsQueue) {
 }
 
 }  // namespace
-}  // namespace swapgame::sim
+}  // namespace swapgame::sweep
