@@ -1,0 +1,220 @@
+// X14 -- robustness experiment: swap outcomes under chain faults beyond
+// timing (relaxing assumption 1 the rest of the way).
+//
+// X9 relaxed only the confirmation-delay half of assumption 1.  This
+// experiment adds the failure modes that actually lose money in deployed
+// HTLCs (Section II-C critique; Herlihy 2018; Mazumdar 2022): transaction
+// drops with sender re-broadcast, mempool censorship windows, chain halts,
+// heavy-tailed confirmation delays and party outages -- all injected by
+// chain::FaultInjector with the InvariantAuditor watching every applied
+// transaction.  Measured over full protocol runs:
+//   * success rate vs drop probability (rational agents),
+//   * recovery of SR by expiry margins under extra delays,
+//   * deterministic censorship / outage case studies,
+//   * and, across EVERY cell, that no fault pattern ever breaks supply
+//     conservation or the audited ledger invariants.
+// Takeaway: faults degrade success monotonically but never atomicity of
+// accounting; margins buy back most of the loss, exactly as they did for
+// pure jitter in X9.
+#include <cstdint>
+#include <vector>
+
+#include "agents/naive.hpp"
+#include "bench_util.hpp"
+#include "model/basic_game.hpp"
+#include "sim/monte_carlo.hpp"
+
+using namespace swapgame;
+
+namespace {
+
+proto::SwapSetup base_setup() {
+  proto::SwapSetup setup;
+  setup.params = model::SwapParams::table3_defaults();
+  setup.p_star = 2.0;
+  return setup;
+}
+
+}  // namespace
+
+int main() {
+  bench::Report report(
+      "X14 fault robustness -- drops, censorship, halts and outages "
+      "(assumption 1 relaxed beyond timing)",
+      "FaultInjector on both chains; InvariantAuditor on every run.");
+
+  // ---- Block 1: success rate vs drop probability (rational agents). ------
+  // At drop=0 this must reproduce the fig6 zero-fault baseline; as the drop
+  // probability rises, re-broadcasts save fewer runs and SR decays.
+  const model::SwapParams params = model::SwapParams::table3_defaults();
+  const model::BasicGame game(params, 2.0);
+  const double analytic_sr = game.success_rate();
+  const sim::StrategyFactory rational = sim::rational_factory(params, 2.0);
+
+  report.csv_begin("sr_vs_drop_prob",
+                   "drop_prob,initiated,sr,ci_lo,ci_hi,alice_util,bob_util,"
+                   "dropped_txs,rebroadcasts,violations");
+  const std::vector<double> drops = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
+  std::vector<sim::McEstimate> drop_cells;
+  for (const double drop : drops) {
+    proto::SwapSetup setup = base_setup();
+    setup.expiry_margin = 8.0;  // room for re-broadcasts to land
+    setup.faults.chain_a.drop_prob = drop;
+    setup.faults.chain_b.drop_prob = drop;
+    sim::McConfig config;
+    config.samples = 2000;
+    config.seed = 14;
+    const sim::McEstimate e =
+        sim::run_protocol_mc(setup, rational, rational, config);
+    const auto ci = e.success.wilson_interval();
+    report.csv_row(bench::fmt(
+        "%.2f,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%llu", drop,
+        static_cast<double>(e.initiated.successes()) /
+            static_cast<double>(e.initiated.trials()),
+        e.conditional_success_rate(), ci.lo, ci.hi, e.alice_utility.mean(),
+        e.bob_utility.mean(),
+        static_cast<unsigned long long>(e.dropped_txs),
+        static_cast<unsigned long long>(e.rebroadcasts),
+        static_cast<unsigned long long>(e.conservation_failures +
+                                        e.invariant_failures)));
+    drop_cells.push_back(e);
+  }
+
+  const sim::McEstimate& zero_fault = drop_cells.front();
+  const auto zero_ci = zero_fault.success.wilson_interval();
+  report.claim(
+      "drop=0 reproduces the fig6 zero-fault baseline (analytic SR)",
+      analytic_sr >= zero_ci.lo - 0.02 && analytic_sr <= zero_ci.hi + 0.02);
+  bool monotone = true;
+  for (std::size_t i = 1; i < drop_cells.size(); ++i) {
+    if (drop_cells[i].conditional_success_rate() >
+        drop_cells[i - 1].conditional_success_rate() + 0.02) {
+      monotone = false;
+    }
+  }
+  report.claim("SR degrades monotonically with drop probability", monotone);
+  // Utilities are compared within faulted cells only (faulted runs value
+  // final balances; exact flow accounting applies at drop=0).
+  report.claim("heavy drops cost both parties utility (0.5 vs 0.05)",
+               drop_cells.back().alice_utility.mean() <
+                       drop_cells[1].alice_utility.mean() &&
+                   drop_cells.back().bob_utility.mean() <
+                       drop_cells[1].bob_utility.mean());
+  report.claim("re-broadcasts engaged wherever drops occurred",
+               drop_cells[1].rebroadcasts > 0 && drop_cells[0].dropped_txs == 0);
+
+  // ---- Block 2: expiry margins buy back SR under heavy-tailed delays. ----
+  report.csv_begin("sr_vs_extra_delay_and_margin",
+                   "extra_delay_max,margin,sr,ci_lo,ci_hi,violations");
+  bool margin_recovers = true;
+  std::uint64_t block2_violations = 0;
+  for (const double delay_max : {2.0, 4.0, 6.0}) {
+    double sr_by_margin[2] = {0.0, 0.0};
+    int slot = 0;
+    for (const double margin : {0.0, 6.0}) {
+      proto::SwapSetup setup = base_setup();
+      setup.expiry_margin = margin;
+      setup.faults.chain_a.extra_delay_prob = 0.3;
+      setup.faults.chain_a.extra_delay_max = delay_max;
+      setup.faults.chain_b.extra_delay_prob = 0.3;
+      setup.faults.chain_b.extra_delay_max = delay_max;
+      sim::McConfig config;
+      config.samples = 800;
+      config.seed = 15;
+      const sim::StrategyFactory honest = sim::honest_factory();
+      const sim::McEstimate e =
+          sim::run_protocol_mc(setup, honest, honest, config);
+      const auto ci = e.success.wilson_interval();
+      block2_violations += e.conservation_failures + e.invariant_failures;
+      report.csv_row(bench::fmt("%.1f,%.1f,%.4f,%.4f,%.4f,%llu", delay_max,
+                                margin, e.conditional_success_rate(), ci.lo,
+                                ci.hi,
+                                static_cast<unsigned long long>(
+                                    e.conservation_failures +
+                                    e.invariant_failures)));
+      sr_by_margin[slot++] = e.conditional_success_rate();
+    }
+    if (!(sr_by_margin[1] > sr_by_margin[0])) margin_recovers = false;
+  }
+  report.claim("a 6h expiry margin recovers SR at every delay level",
+               margin_recovers);
+
+  // ---- Block 3: deterministic censorship case studies. -------------------
+  // Single honest runs on a constant path: a short mempool blackout on
+  // Chain_b is absorbed by a modest margin; a blackout spanning Bob's whole
+  // deploy window kills the swap on the wire -- but benignly (Alice's leg
+  // auto-refunds, nothing is lost).
+  report.csv_begin("censorship_case_studies",
+                   "window_end,outcome,alice_a,alice_b,bob_a,bob_b,"
+                   "conservation_ok,invariants_ok");
+  bool short_window_absorbed = false;
+  bool long_window_benign = false;
+  for (const double window_end : {4.0, 10.5}) {
+    agents::HonestStrategy alice, bob;
+    const proto::ConstantPricePath path(2.0);
+    proto::SwapSetup setup = base_setup();
+    setup.expiry_margin = 2.0;
+    setup.faults.chain_b.censorship.push_back({2.5, window_end});
+    const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+    report.csv_row(bench::fmt(
+        "%.1f,%s,%.1f,%.1f,%.1f,%.1f,%d,%d", window_end,
+        proto::to_string(r.outcome), r.alice.final_token_a,
+        r.alice.final_token_b, r.bob.final_token_a, r.bob.final_token_b,
+        r.conservation_ok ? 1 : 0, r.invariants_ok ? 1 : 0));
+    if (window_end < 5.0) {
+      short_window_absorbed = r.outcome == proto::SwapOutcome::kSuccess &&
+                              r.conservation_ok && r.invariants_ok;
+    } else {
+      long_window_benign = r.outcome == proto::SwapOutcome::kFaultAborted &&
+                           r.alice.final_token_a == 2.0 &&
+                           r.bob.final_token_b == 1.0 && r.conservation_ok &&
+                           r.invariants_ok;
+    }
+  }
+  report.claim("a short Chain_b blackout is absorbed by the margin",
+               short_window_absorbed);
+  report.claim("a blackout over Bob's deploy aborts benignly (full refunds)",
+               long_window_benign);
+
+  // ---- Block 4: party outages across Bob's claim epoch. ------------------
+  report.csv_begin("offline_case_studies",
+                   "margin,outcome,alice_a,alice_b,bob_a,bob_b");
+  bool tight_outage_one_sided = false;
+  bool covered_outage_completes = false;
+  for (const double margin : {0.0, 2.0}) {
+    agents::HonestStrategy alice, bob;
+    const proto::ConstantPricePath path(2.0);
+    proto::SwapSetup setup = base_setup();
+    setup.expiry_margin = margin;
+    setup.faults.bob_offline.push_back({7.5, 9.0});
+    const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+    report.csv_row(bench::fmt(
+        "%.1f,%s,%.1f,%.1f,%.1f,%.1f", margin, proto::to_string(r.outcome),
+        r.alice.final_token_a, r.alice.final_token_b, r.bob.final_token_a,
+        r.bob.final_token_b));
+    if (margin == 0.0) {
+      tight_outage_one_sided =
+          r.outcome == proto::SwapOutcome::kBobLostAtomicity &&
+          r.alice.final_token_a == 2.0 && r.alice.final_token_b == 1.0;
+    } else {
+      covered_outage_completes = r.outcome == proto::SwapOutcome::kSuccess;
+    }
+  }
+  report.claim("an outage past t_a puts the loss on the sleeping claimer",
+               tight_outage_one_sided);
+  report.claim("a margin covering the outage completes the same swap",
+               covered_outage_completes);
+
+  // ---- The audit gate: every cell above ran with auditors attached. ------
+  std::uint64_t total_violations = block2_violations;
+  for (const sim::McEstimate& e : drop_cells) {
+    total_violations += e.conservation_failures + e.invariant_failures;
+  }
+  report.claim("NO fault pattern broke conservation or ledger invariants",
+               total_violations == 0);
+  report.note(bench::fmt(
+      "analytic zero-fault SR %.4f; faults attack liveness, margins restore "
+      "it, and the accounting invariants hold under every pattern tried",
+      analytic_sr));
+  return report.exit_code();
+}

@@ -1,0 +1,85 @@
+#include "faults.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swapgame::chain {
+
+void FaultWindow::validate() const {
+  if (!std::isfinite(begin) || !std::isfinite(end)) {
+    throw std::invalid_argument("FaultWindow: bounds must be finite");
+  }
+  if (begin < 0.0) {
+    throw std::invalid_argument("FaultWindow: begin must be >= 0");
+  }
+  if (end < begin) {
+    throw std::invalid_argument("FaultWindow: end must be >= begin");
+  }
+}
+
+Hours first_time_outside(const std::vector<FaultWindow>& windows,
+                         Hours t) noexcept {
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const FaultWindow& w : windows) {
+      if (w.contains(t)) {
+        t = w.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+void FaultModel::validate() const {
+  const auto check_prob = [](double p, const char* what) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument(std::string("FaultModel: ") + what +
+                                  " must be in [0, 1]");
+    }
+  };
+  check_prob(drop_prob, "drop_prob");
+  check_prob(extra_delay_prob, "extra_delay_prob");
+  if (!(extra_delay_max >= 0.0) || !std::isfinite(extra_delay_max)) {
+    throw std::invalid_argument(
+        "FaultModel: extra_delay_max must be finite and >= 0");
+  }
+  for (const FaultWindow& w : censorship) w.validate();
+  for (const FaultWindow& w : halts) w.validate();
+}
+
+bool FaultModel::any() const noexcept {
+  return drop_prob > 0.0 ||
+         (extra_delay_prob > 0.0 && extra_delay_max > 0.0) ||
+         !censorship.empty() || !halts.empty();
+}
+
+FaultInjector::FaultInjector(FaultModel model, std::uint64_t seed)
+    : model_(std::move(model)), rng_(seed) {
+  model_.validate();
+}
+
+FaultInjector::SubmissionFate FaultInjector::on_submit(Hours now) {
+  SubmissionFate fate;
+  fate.mempool_entry = now;
+  if (model_.drop_prob > 0.0 && math::uniform01(rng_) < model_.drop_prob) {
+    fate.dropped = true;
+    ++dropped_;
+    return fate;
+  }
+  fate.mempool_entry = first_time_outside(model_.censorship, now);
+  if (fate.mempool_entry > now) ++censored_;
+  if (model_.extra_delay_prob > 0.0 && model_.extra_delay_max > 0.0 &&
+      math::uniform01(rng_) < model_.extra_delay_prob) {
+    fate.extra_delay = model_.extra_delay_max * math::uniform01(rng_);
+    ++delayed_;
+  }
+  return fate;
+}
+
+Hours FaultInjector::delay_past_halts(Hours confirm_at) const noexcept {
+  return first_time_outside(model_.halts, confirm_at);
+}
+
+}  // namespace swapgame::chain

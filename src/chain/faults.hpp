@@ -1,0 +1,123 @@
+// Fault injection for the two-chain substrate: everything the paper's
+// assumption 1 (deterministic confirmation, honest inclusion) abstracts
+// away.  Bench X9 relaxes only the *timing* of confirmations; the
+// FaultModel here additionally covers the failure modes Herlihy (2018) and
+// Mazumdar (2022) identify as where HTLC protocols actually lose money:
+//
+//   * tx drops        -- a broadcast transaction never reaches the mempool
+//                        (crash faults, eviction, propagation failure);
+//   * extra delays    -- occasional confirmation delays far beyond the
+//                        uniform jitter of ChainParams::confirmation_jitter
+//                        (fee spikes, reorgs);
+//   * censorship      -- intervals during which no new transaction enters
+//                        the mempool (miner censorship, eclipse attacks);
+//                        submissions during a window are deferred to its end;
+//   * chain halts     -- intervals during which nothing confirms
+//                        (consensus outages); confirmations inside a halt
+//                        slip to the halt's end;
+//   * party outages   -- per-party offline windows, modeled at the protocol
+//                        layer (proto::SwapFaults) with next_online().
+//
+// A FaultInjector owns its own seeded RNG, independent of the ledger's
+// confirmation-jitter RNG, so (a) a given seed reproduces the exact same
+// fault pattern, and (b) enabling faults never perturbs the jitter stream.
+// Runs stay bit-identical across thread counts because each Monte-Carlo
+// sample derives its own injector seed from the sample index (see
+// sim/monte_carlo.cpp), never from worker identity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "types.hpp"
+
+namespace swapgame::chain {
+
+/// A half-open time interval [begin, end) during which a fault condition
+/// (censorship, halt, party offline) is active.
+struct FaultWindow {
+  Hours begin = 0.0;
+  Hours end = 0.0;
+
+  [[nodiscard]] bool contains(Hours t) const noexcept {
+    return t >= begin && t < end;
+  }
+
+  /// Throws std::invalid_argument on non-finite bounds, negative begin or
+  /// end < begin.
+  void validate() const;
+};
+
+/// Earliest time >= t outside every window (iterated until stable, so
+/// overlapping/adjacent windows chain correctly).
+[[nodiscard]] Hours first_time_outside(const std::vector<FaultWindow>& windows,
+                                       Hours t) noexcept;
+
+/// Per-chain fault intensities.  Default-constructed = no faults at all
+/// (any() == false), in which case a Ledger behaves exactly as without an
+/// injector.
+struct FaultModel {
+  /// Probability a submitted transaction is silently lost before reaching
+  /// the mempool.  The sender can detect the loss (the tx never becomes
+  /// visible) and re-broadcast.
+  double drop_prob = 0.0;
+  /// Probability a transaction that does enter the mempool suffers an extra
+  /// confirmation delay uniform in [0, extra_delay_max], on top of tau and
+  /// any confirmation_jitter.
+  double extra_delay_prob = 0.0;
+  Hours extra_delay_max = 0.0;
+  /// Mempool censorship windows: submissions during a window only enter the
+  /// mempool at the window's end (visibility and confirmation both count
+  /// from the deferred entry).
+  std::vector<FaultWindow> censorship;
+  /// Chain-halt windows: any confirmation that would land inside a halt
+  /// slips to the halt's end.
+  std::vector<FaultWindow> halts;
+
+  /// Throws std::invalid_argument on probabilities outside [0, 1], negative
+  /// or non-finite delays, or invalid windows.
+  void validate() const;
+
+  /// True iff any knob is active; false for a default-constructed model.
+  [[nodiscard]] bool any() const noexcept;
+};
+
+/// Draws per-submission fault outcomes for one Ledger.  Attach with
+/// Ledger::set_fault_injector; the injector must outlive the ledger's use.
+class FaultInjector {
+ public:
+  /// Validates the model.  `seed` fully determines the drop/delay draws.
+  FaultInjector(FaultModel model, std::uint64_t seed);
+
+  /// What happened to one submission.
+  struct SubmissionFate {
+    bool dropped = false;      ///< lost; never visible, never confirms
+    Hours mempool_entry = 0.0; ///< actual mempool entry time (>= submission)
+    Hours extra_delay = 0.0;   ///< extra confirmation delay beyond tau+jitter
+  };
+
+  /// Rolls the dice for a transaction submitted at `now`.  Consumes RNG
+  /// draws only for the knobs that are enabled, so disabling a knob leaves
+  /// the remaining stream unchanged.
+  [[nodiscard]] SubmissionFate on_submit(Hours now);
+
+  /// Pushes a nominal confirmation time past any halt windows.
+  [[nodiscard]] Hours delay_past_halts(Hours confirm_at) const noexcept;
+
+  [[nodiscard]] const FaultModel& model() const noexcept { return model_; }
+
+  // Telemetry (per injector, i.e. per chain per run).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t censored() const noexcept { return censored_; }
+  [[nodiscard]] std::uint64_t delayed() const noexcept { return delayed_; }
+
+ private:
+  FaultModel model_;
+  math::Xoshiro256 rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t censored_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace swapgame::chain

@@ -1,8 +1,13 @@
 #include "ledger.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "auditor.hpp"
+#include "faults.hpp"
 
 namespace swapgame::chain {
 
@@ -14,6 +19,8 @@ const char* to_string(TxStatus status) noexcept {
       return "confirmed";
     case TxStatus::kFailed:
       return "failed";
+    case TxStatus::kDropped:
+      return "dropped";
   }
   return "unknown";
 }
@@ -93,18 +100,41 @@ TxId Ledger::submit(TxPayload payload) {
   tx.id = id;
   tx.payload = std::move(payload);
   tx.submitted_at = queue_->now();
-  tx.visible_at = tx.submitted_at + params_.mempool_visibility;
+  // Assign the contract id a deploy will create, so the counterparty can be
+  // pointed at it before confirmation.
+  if (std::holds_alternative<DeployHtlcPayload>(tx.payload)) {
+    tx.created_contract = HtlcId{next_htlc_++};
+  }
+
+  // Fault model (if attached): the submission may be dropped outright,
+  // deferred past a censorship window, or tagged with extra delay.
+  Hours mempool_entry = tx.submitted_at;
+  Hours extra_delay = 0.0;
+  if (faults_ != nullptr) {
+    const FaultInjector::SubmissionFate fate =
+        faults_->on_submit(tx.submitted_at);
+    if (fate.dropped) {
+      tx.status = TxStatus::kDropped;
+      tx.failure_reason = "dropped: never reached the mempool";
+      tx.visible_at = std::numeric_limits<Hours>::infinity();
+      tx.confirmed_at = std::numeric_limits<Hours>::infinity();
+      transactions_.emplace(id.value, std::move(tx));
+      return id;  // never scheduled for application
+    }
+    mempool_entry = fate.mempool_entry;
+    extra_delay = fate.extra_delay;
+  }
+
+  tx.visible_at = mempool_entry + params_.mempool_visibility;
   // Constant base delay (paper assumption 1) plus optional uniform jitter
   // (relaxation used by the robustness experiments, bench X9).
   double delay = params_.confirmation_time;
   if (params_.confirmation_jitter > 0.0) {
     delay += params_.confirmation_jitter * math::uniform01(*rng_);
   }
-  tx.confirmed_at = tx.submitted_at + delay;
-  // Assign the contract id a deploy will create, so the counterparty can be
-  // pointed at it before confirmation.
-  if (std::holds_alternative<DeployHtlcPayload>(tx.payload)) {
-    tx.created_contract = HtlcId{next_htlc_++};
+  tx.confirmed_at = mempool_entry + delay + extra_delay;
+  if (faults_ != nullptr) {
+    tx.confirmed_at = faults_->delay_past_halts(tx.confirmed_at);
   }
   transactions_.emplace(id.value, std::move(tx));
 
@@ -158,9 +188,17 @@ std::vector<ObservedSecret> Ledger::visible_secrets() const {
 
 const HtlcContract* Ledger::find_htlc_by_hash(
     const crypto::Digest256& hash) const noexcept {
+  // "Most recently deployed" means highest deployed_at, which with
+  // confirmation jitter is NOT the same as highest id (a later-submitted
+  // deploy can confirm earlier); ties break towards the higher id.
   const HtlcContract* latest = nullptr;
   for (const auto& [id, contract] : htlcs_) {
-    if (contract.hash_lock == hash) latest = &contract;
+    if (contract.hash_lock != hash) continue;
+    if (latest == nullptr || contract.deployed_at > latest->deployed_at ||
+        (contract.deployed_at == latest->deployed_at &&
+         contract.id.value > latest->id.value)) {
+      latest = &contract;
+    }
   }
   return latest;
 }
@@ -219,6 +257,7 @@ void Ledger::apply(Transaction& tx) {
     tx.status = TxStatus::kConfirmed;
     confirmation_log_.push_back(tx.id);
   }
+  if (auditor_ != nullptr) auditor_->on_transaction_applied(*this, tx);
 }
 
 void Ledger::fail(Transaction& tx, std::string reason) {
@@ -372,6 +411,25 @@ void Ledger::apply_release(Transaction& tx, const ReleaseCollateralPayload& p) {
   if (vault_total_ < p.amount) {
     return fail(tx, "release: vault underfunded");
   }
+  // Attribution: a release first returns the recipient's own deposit; any
+  // remainder is a forfeiture awarded from the other depositors, drawn in
+  // ascending address order.  Deterministic, and keeps the per-depositor
+  // breakdown summing to vault_total_ (the auditor's vault invariant).
+  Amount remaining = p.amount;
+  if (const auto own = vault_deposits_.find(p.recipient);
+      own != vault_deposits_.end()) {
+    const Amount take = std::min(own->second, remaining);
+    own->second -= take;
+    remaining -= take;
+    if (own->second.is_zero()) vault_deposits_.erase(own);
+  }
+  for (auto it = vault_deposits_.begin();
+       it != vault_deposits_.end() && !remaining.is_zero();) {
+    const Amount take = std::min(it->second, remaining);
+    it->second -= take;
+    remaining -= take;
+    it = it->second.is_zero() ? vault_deposits_.erase(it) : std::next(it);
+  }
   vault_total_ -= p.amount;
   recipient->second += p.amount;
 }
@@ -380,11 +438,24 @@ void Ledger::schedule_auto_refund(HtlcId id, Hours expiry) {
   // The contract refunds itself when the lock lapses: the refund transaction
   // enters the chain at expiry and confirms tau later, so the sender
   // receives funds at expiry + tau (paper Eqs. (10)/(11)).
-  queue_->schedule_at(expiry, [this, id] {
-    const auto it = htlcs_.find(id.value);
-    if (it == htlcs_.end() || it->second.state != HtlcState::kLocked) return;
-    submit(RefundHtlcPayload{id, it->second.sender});
-  });
+  queue_->schedule_at(expiry, [this, id] { try_auto_refund(id, 0); });
+}
+
+void Ledger::try_auto_refund(HtlcId id, int attempt) {
+  const auto it = htlcs_.find(id.value);
+  if (it == htlcs_.end() || it->second.state != HtlcState::kLocked) return;
+  const TxId refund = submit(RefundHtlcPayload{id, it->second.sender});
+  // Under a fault model the refund broadcast itself can be dropped; the
+  // watcher retries each confirmation period.  The attempt cap bounds the
+  // event queue at drop_prob = 1 (funds then stay locked, which
+  // total_supply() still counts, so conservation holds regardless).
+  constexpr int kMaxAutoRefundAttempts = 16;
+  if (transactions_.at(refund.value).status == TxStatus::kDropped &&
+      attempt + 1 < kMaxAutoRefundAttempts) {
+    queue_->schedule_at(
+        queue_->now() + params_.confirmation_time,
+        [this, id, attempt] { try_auto_refund(id, attempt + 1); });
+  }
 }
 
 }  // namespace swapgame::chain

@@ -26,6 +26,9 @@
 
 namespace swapgame::chain {
 
+class FaultInjector;    // faults.hpp
+class InvariantAuditor; // auditor.hpp
+
 /// Static parameters of one chain.
 struct ChainParams {
   ChainId id = ChainId::kChainA;
@@ -103,6 +106,28 @@ class Ledger {
   /// Collateral vault inspection.
   [[nodiscard]] Amount vault_deposit_of(const Address& depositor) const noexcept;
   [[nodiscard]] Amount vault_total() const noexcept { return vault_total_; }
+  [[nodiscard]] const std::map<Address, Amount>& vault_deposits()
+      const noexcept {
+    return vault_deposits_;
+  }
+
+  /// All contracts ever created, keyed by HtlcId.value (read-only; used by
+  /// the InvariantAuditor and tests).
+  [[nodiscard]] const std::map<std::uint64_t, HtlcContract>& htlcs()
+      const noexcept {
+    return htlcs_;
+  }
+
+  /// Attaches a fault injector consulted on every submission (drops,
+  /// censorship deferral, extra delays, halts); nullptr detaches.  The
+  /// injector must outlive the ledger's use.  Without one, submissions
+  /// follow the paper's assumption-1 behaviour exactly.
+  void set_fault_injector(FaultInjector* faults) noexcept { faults_ = faults; }
+
+  /// Registers an auditor notified after every applied transaction; nullptr
+  /// detaches.  Use InvariantAuditor::attach rather than calling this
+  /// directly (it also snapshots the baseline state).
+  void set_auditor(InvariantAuditor* auditor) noexcept { auditor_ = auditor; }
 
   /// The Section IV "special permission": the trusted contract charges the
   /// depositor synchronously (no confirmation delay), moving funds from the
@@ -135,10 +160,13 @@ class Ledger {
   void apply_release(Transaction& tx, const ReleaseCollateralPayload& p);
   void fail(Transaction& tx, std::string reason);
   void schedule_auto_refund(HtlcId id, Hours expiry);
+  void try_auto_refund(HtlcId id, int attempt);
 
   ChainParams params_;
   EventQueue* queue_;
   math::Xoshiro256* rng_ = nullptr;
+  FaultInjector* faults_ = nullptr;
+  InvariantAuditor* auditor_ = nullptr;
   std::map<Address, Amount> accounts_;
   std::map<std::uint64_t, Transaction> transactions_;  // keyed by TxId.value
   std::map<std::uint64_t, HtlcContract> htlcs_;        // keyed by HtlcId.value

@@ -113,6 +113,8 @@ enum class TxStatus : std::uint8_t {
   kPending,    ///< submitted, not yet confirmed
   kConfirmed,  ///< applied successfully
   kFailed,     ///< reached confirmation but validation rejected it
+  kDropped,    ///< lost before reaching the mempool (FaultModel::drop_prob);
+               ///< never becomes visible and never confirms
 };
 
 [[nodiscard]] const char* to_string(TxStatus status) noexcept;
@@ -122,8 +124,11 @@ struct Transaction {
   TxId id;
   TxPayload payload;
   Hours submitted_at = 0.0;
-  Hours visible_at = 0.0;    ///< submitted_at + epsilon
-  Hours confirmed_at = 0.0;  ///< submitted_at + tau (set on submission)
+  /// mempool-entry + epsilon; +infinity for dropped transactions.  Entry
+  /// normally equals submitted_at but can be deferred by censorship windows.
+  Hours visible_at = 0.0;
+  /// mempool-entry + tau (+ jitter + fault delays); +infinity when dropped.
+  Hours confirmed_at = 0.0;
   TxStatus status = TxStatus::kPending;
   std::string failure_reason;  ///< populated when status == kFailed
   /// For DeployHtlc transactions: the id assigned to the new contract.

@@ -79,13 +79,24 @@ BinomialCounter::Interval BinomialCounter::wilson_interval(
   return {center - half, center + half};
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
-  if (!(hi > lo) || bins == 0) {
+namespace {
+
+// Validates BEFORE any member is initialized: the width used to live in the
+// member-initializer list ahead of the constructor-body checks, so a
+// degenerate (lo, hi, bins) computed a zero/negative/non-finite width (and
+// a potential division by zero) before the throw fired.
+double checked_bin_width(double lo, double hi, std::size_t bins) {
+  if (!(hi > lo) || bins == 0 || !std::isfinite(hi - lo)) {
     throw std::invalid_argument("Histogram: need hi > lo and bins >= 1");
   }
+  return (hi - lo) / static_cast<double>(bins);
 }
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_(checked_bin_width(lo, hi, bins)),
+      counts_(bins, 0) {}
 
 void Histogram::add(double x) noexcept {
   ++total_;

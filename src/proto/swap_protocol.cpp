@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "chain/auditor.hpp"
 #include "crypto/secret.hpp"
 #include "oracle.hpp"
 
@@ -29,11 +33,15 @@ const char* to_string(SwapOutcome outcome) noexcept {
       return "bob-lost-atomicity";
     case SwapOutcome::kTimelockExpiredBoth:
       return "timelock-expired-both";
+    case SwapOutcome::kFaultAborted:
+      return "fault-aborted";
   }
   return "unknown";
 }
 
 namespace {
+
+using chain::Hours;
 
 /// One protocol execution.  Owns the event queue, both ledgers and (when
 /// collateralized) the oracle; drives the four decision steps.
@@ -75,6 +83,22 @@ class SwapRun {
     chain_b_.create_account(kBob, chain::Amount::from_tokens(1.0));
     initial_supply_a_ = chain_a_.total_supply();
     initial_supply_b_ = chain_b_.total_supply();
+
+    // Fault injectors are attached only when their model is active, so a
+    // zero-fault run is byte-identical to one without any fault plumbing.
+    if (setup_.faults.chain_a.any()) {
+      injector_a_.emplace(setup_.faults.chain_a, setup_.faults.seed);
+      chain_a_.set_fault_injector(&*injector_a_);
+    }
+    if (setup_.faults.chain_b.any()) {
+      injector_b_.emplace(setup_.faults.chain_b,
+                          setup_.faults.seed ^ 0x9E3779B97F4A7C15ULL);
+      chain_b_.set_fault_injector(&*injector_b_);
+    }
+    if (setup_.audit) {
+      auditor_a_.attach(chain_a_);
+      auditor_b_.attach(chain_b_);
+    }
   }
 
   SwapResult execute() {
@@ -117,8 +141,111 @@ class SwapRun {
     return {path_->price_at(queue_.now()), setup_.p_star, queue_.now()};
   }
 
+  // --- Fault-tolerant broadcasting. ---------------------------------------
+  /// A tracked transaction is re-submitted (with backoff) when the fault
+  /// model drops it; `id` always points at the most recent broadcast.
+  struct TrackedTx {
+    chain::TxId id;
+    int rebroadcasts = 0;
+    bool abandoned = false;  ///< gave up re-broadcasting before the deadline
+  };
+  using TrackedPtr = std::shared_ptr<TrackedTx>;
+
+  TrackedPtr submit_tracked(chain::Ledger& chain, chain::TxPayload payload,
+                            Hours deadline) {
+    auto tracked = std::make_shared<TrackedTx>();
+    tracked->id = chain.submit(payload);
+    watch_broadcast(chain, tracked, std::move(payload), deadline, 0);
+    return tracked;
+  }
+
+  /// The sender detects a drop once the transaction fails to appear in the
+  /// mempool (one visibility period after broadcast) and re-broadcasts with
+  /// exponential backoff until `deadline` (the relevant HTLC expiry, past
+  /// which a landing would be useless anyway).
+  void watch_broadcast(chain::Ledger& chain, const TrackedPtr& tracked,
+                       chain::TxPayload payload, Hours deadline, int attempt) {
+    if (chain.transaction(tracked->id).status != chain::TxStatus::kDropped) {
+      return;
+    }
+    const Hours eps = chain.params().mempool_visibility;
+    const Hours backoff = eps * static_cast<double>(1 << std::min(attempt, 4));
+    const Hours retry_at = queue_.now() + eps + backoff;
+    if (retry_at >= deadline) {
+      tracked->abandoned = true;
+      log("broadcast lost and deadline too close to retry; giving up");
+      return;
+    }
+    queue_.schedule_at(
+        retry_at, [this, &chain, tracked, payload = std::move(payload),
+                   deadline, attempt]() mutable {
+          tracked->id = chain.submit(payload);
+          ++tracked->rebroadcasts;
+          ++rebroadcasts_;
+          log("re-broadcast after drop (attempt " +
+              std::to_string(attempt + 1) + ")");
+          watch_broadcast(chain, tracked, std::move(payload), deadline,
+                          attempt + 1);
+        });
+  }
+
+  enum class WaitFor { kConfirmation, kVisibility };
+
+  /// Schedules `step` for when `tracked` is confirmed (or failed) /
+  /// mempool-visible.  Without a drop this is exactly max(earliest, ready
+  /// time) -- identical to the pre-fault scheduling, so zero-fault runs are
+  /// unchanged.  While re-broadcasts are in flight it polls each eps+tau;
+  /// once the horizon passes (or re-broadcasting was abandoned) it runs the
+  /// step regardless, letting the normal verification-failure / timeout
+  /// paths classify the wreckage.
+  void advance_when(WaitFor what, chain::Ledger& chain,
+                    const TrackedPtr& tracked, Hours earliest, Hours horizon,
+                    std::function<void()> step) {
+    const chain::Transaction& tx = chain.transaction(tracked->id);
+    if (tx.status != chain::TxStatus::kDropped) {
+      const Hours ready =
+          what == WaitFor::kConfirmation ? tx.confirmed_at : tx.visible_at;
+      queue_.schedule_at(std::max({earliest, ready, queue_.now()}),
+                         std::move(step));
+      return;
+    }
+    if (tracked->abandoned || queue_.now() >= horizon) {
+      queue_.schedule_at(std::max(earliest, queue_.now()), std::move(step));
+      return;
+    }
+    const Hours recheck = queue_.now() + chain.params().mempool_visibility +
+                          chain.params().confirmation_time;
+    queue_.schedule_at(recheck,
+                       [this, what, &chain, tracked, earliest, horizon,
+                        step = std::move(step)]() mutable {
+                         advance_when(what, chain, tracked, earliest, horizon,
+                                      std::move(step));
+                       });
+  }
+
+  /// True (and the epoch re-scheduled for the window's end) when the acting
+  /// party is inside one of its offline windows.
+  bool defer_while_offline(const std::vector<chain::FaultWindow>& windows,
+                           void (SwapRun::*step)(), const char* who) {
+    const Hours online = chain::first_time_outside(windows, queue_.now());
+    if (online <= queue_.now()) return false;
+    log(std::string(who) + " is offline; epoch deferred to t=" +
+        std::to_string(online));
+    queue_.schedule_at(online, [this, step] { (this->*step)(); });
+    return true;
+  }
+
   // --- t1: Alice initiates (and with collateral, both engage). ------------
   void at_t1() {
+    if (defer_while_offline(setup_.faults.alice_offline, &SwapRun::at_t1,
+                            "alice")) {
+      return;
+    }
+    if (setup_.collateral > 0.0 &&
+        defer_while_offline(setup_.faults.bob_offline, &SwapRun::at_t1,
+                            "bob")) {
+      return;
+    }
     const agents::DecisionContext ctx = context();
     const model::Action alice_move =
         alice_strategy_->decide(agents::Stage::kT1Initiate, ctx);
@@ -149,9 +276,12 @@ class SwapRun {
     hash_ = secret_.commitment();
     if (oracle_) oracle_->arm(hash_, schedule_);
 
-    deploy_a_ = chain_a_.submit(chain::DeployHtlcPayload{
-        kAlice, kBob, chain::Amount::from_tokens(setup_.p_star), hash_,
-        schedule_.t_a});
+    deploy_a_ = submit_tracked(
+        chain_a_,
+        chain::DeployHtlcPayload{kAlice, kBob,
+                                 chain::Amount::from_tokens(setup_.p_star),
+                                 hash_, schedule_.t_a},
+        schedule_.t_a);
     log("t1: alice deployed HTLC on Chain_a (amount=" +
         std::to_string(setup_.p_star) + ", expiry=t_a=" +
         std::to_string(schedule_.t_a) + ", hash=" + hash_.to_hex().substr(0, 16) +
@@ -160,21 +290,28 @@ class SwapRun {
       // Han et al. premium: an inverse escrow that refunds Alice on reveal
       // and pays Bob if she waives after commitment.  It is cancelled back
       // to Alice if Bob never locks (see at_t2).
-      premium_escrow_ = chain_a_.submit(chain::DeployHtlcPayload{
-          kAlice, kBob, chain::Amount::from_tokens(setup_.premium), hash_,
-          schedule_.t_a, chain::HtlcKind::kInverse});
+      premium_escrow_ = submit_tracked(
+          chain_a_,
+          chain::DeployHtlcPayload{kAlice, kBob,
+                                   chain::Amount::from_tokens(setup_.premium),
+                                   hash_, schedule_.t_a,
+                                   chain::HtlcKind::kInverse},
+          schedule_.t_a);
       log("t1: alice escrowed premium " + std::to_string(setup_.premium) +
           " in an inverse HTLC on Chain_a");
     }
     // Bob acts when he OBSERVES Alice's confirmation: with zero jitter this
     // is exactly t2 = t1 + tau_a; with jitter the epoch shifts accordingly.
-    queue_.schedule_at(
-        std::max(schedule_.t2, chain_a_.transaction(*deploy_a_).confirmed_at),
-        [this] { at_t2(); });
+    advance_when(WaitFor::kConfirmation, chain_a_, deploy_a_, schedule_.t2,
+                 schedule_.t_a, [this] { at_t2(); });
   }
 
   // --- t2: Bob verifies and locks. ----------------------------------------
   void at_t2() {
+    if (defer_while_offline(setup_.faults.bob_offline, &SwapRun::at_t2,
+                            "bob")) {
+      return;
+    }
     if (!verify_alice_contract()) {
       outcome_ = SwapOutcome::kBobDeclinedT2;
       log("t2: alice's contract failed verification; bob walks away");
@@ -190,18 +327,24 @@ class SwapRun {
       cancel_premium_escrow();
       return;
     }
-    deploy_b_ = chain_b_.submit(chain::DeployHtlcPayload{
-        kBob, kAlice, chain::Amount::from_tokens(1.0), hash_, schedule_.t_b});
+    deploy_b_ = submit_tracked(
+        chain_b_,
+        chain::DeployHtlcPayload{kBob, kAlice, chain::Amount::from_tokens(1.0),
+                                 hash_, schedule_.t_b},
+        schedule_.t_b);
     log("t2: bob deployed HTLC on Chain_b (amount=1, expiry=t_b=" +
         std::to_string(schedule_.t_b) + ")");
     // Alice acts when she observes Bob's confirmation.
-    queue_.schedule_at(
-        std::max(schedule_.t3, chain_b_.transaction(*deploy_b_).confirmed_at),
-        [this] { at_t3(); });
+    advance_when(WaitFor::kConfirmation, chain_b_, deploy_b_, schedule_.t3,
+                 schedule_.t_b, [this] { at_t3(); });
   }
 
   // --- t3: Alice verifies and reveals. -------------------------------------
   void at_t3() {
+    if (defer_while_offline(setup_.faults.alice_offline, &SwapRun::at_t3,
+                            "alice")) {
+      return;
+    }
     if (!verify_bob_contract()) {
       outcome_ = SwapOutcome::kAliceDeclinedT3;
       log("t3: bob's contract failed verification; alice withholds the secret");
@@ -215,22 +358,31 @@ class SwapRun {
           std::to_string(path_->price_at(queue_.now())) + ")");
       return;
     }
-    claim_b_ = chain_b_.submit(chain::ClaimHtlcPayload{
-        chain_b_.pending_contract_of(*deploy_b_), secret_, kAlice});
+    claim_b_ = submit_tracked(
+        chain_b_,
+        chain::ClaimHtlcPayload{chain_b_.pending_contract_of(deploy_b_->id),
+                                secret_, kAlice},
+        schedule_.t_b);
     log("t3: alice claimed on Chain_b, revealing the secret");
     if (premium_escrow_) {
-      chain_a_.submit(chain::ClaimHtlcPayload{
-          chain_a_.pending_contract_of(*premium_escrow_), secret_, kAlice});
+      submit_tracked(chain_a_,
+                     chain::ClaimHtlcPayload{
+                         chain_a_.pending_contract_of(premium_escrow_->id),
+                         secret_, kAlice},
+                     schedule_.t_a);
       log("t3: alice reclaimed her premium escrow on Chain_a");
     }
     // Bob acts when the secret becomes mempool-visible.
-    queue_.schedule_at(
-        std::max(schedule_.t4, chain_b_.transaction(*claim_b_).visible_at),
-        [this] { at_t4(); });
+    advance_when(WaitFor::kVisibility, chain_b_, claim_b_, schedule_.t4,
+                 schedule_.t_b, [this] { at_t4(); });
   }
 
   // --- t4: Bob extracts the secret from the mempool and claims. -----------
   void at_t4() {
+    if (defer_while_offline(setup_.faults.bob_offline, &SwapRun::at_t4,
+                            "bob")) {
+      return;
+    }
     std::optional<crypto::Secret> observed;
     for (const chain::ObservedSecret& s : chain_b_.visible_secrets()) {
       if (s.secret.opens(hash_)) {
@@ -250,8 +402,11 @@ class SwapRun {
       log("t4: bob (irrationally) declined to claim");
       return;
     }
-    claim_a_ = chain_a_.submit(chain::ClaimHtlcPayload{
-        chain_a_.pending_contract_of(*deploy_a_), *observed, kBob});
+    claim_a_ = submit_tracked(
+        chain_a_,
+        chain::ClaimHtlcPayload{chain_a_.pending_contract_of(deploy_a_->id),
+                                *observed, kBob},
+        schedule_.t_a);
     outcome_ = SwapOutcome::kSuccess;
     log("t4: bob claimed on Chain_a with the observed secret");
   }
@@ -261,8 +416,11 @@ class SwapRun {
   // Bob's walk-away is known.
   void cancel_premium_escrow() {
     if (!premium_escrow_) return;
-    chain_a_.submit(chain::CancelHtlcPayload{
-        chain_a_.pending_contract_of(*premium_escrow_), kAlice});
+    submit_tracked(chain_a_,
+                   chain::CancelHtlcPayload{
+                       chain_a_.pending_contract_of(premium_escrow_->id),
+                       kAlice},
+                   schedule_.t_a);
     log("premium watcher cancelled the escrow (bob never locked)");
   }
 
@@ -270,7 +428,7 @@ class SwapRun {
     // Bob checks the *confirmed* contract: existence, funding, terms
     // (Section II-B Step 2).
     if (!deploy_a_) return false;
-    const chain::Transaction& tx = chain_a_.transaction(*deploy_a_);
+    const chain::Transaction& tx = chain_a_.transaction(deploy_a_->id);
     if (tx.status != chain::TxStatus::kConfirmed) return false;
     const chain::HtlcContract& c = chain_a_.htlc(*tx.created_contract);
     return c.state == chain::HtlcState::kLocked && c.recipient == kBob &&
@@ -280,7 +438,7 @@ class SwapRun {
 
   bool verify_bob_contract() {
     if (!deploy_b_) return false;
-    const chain::Transaction& tx = chain_b_.transaction(*deploy_b_);
+    const chain::Transaction& tx = chain_b_.transaction(deploy_b_->id);
     if (tx.status != chain::TxStatus::kConfirmed) return false;
     const chain::HtlcContract& c = chain_b_.htlc(*tx.created_contract);
     return c.state == chain::HtlcState::kLocked && c.recipient == kAlice &&
@@ -293,17 +451,38 @@ class SwapRun {
   /// after its time lock; the state-machine outcome (decided at broadcast
   /// time) is reconciled against the contracts' final settlement.  With
   /// zero jitter this never changes anything (asserted by tests).
+  /// True when the deploy created a live contract on `chain`.
+  bool contract_created(const chain::Ledger& chain,
+                        const TrackedPtr& deploy) const {
+    if (!deploy) return false;
+    const chain::Transaction& tx = chain.transaction(deploy->id);
+    return tx.created_contract && chain.has_htlc(*tx.created_contract);
+  }
+
   void reconcile_outcome() {
-    if (!deploy_a_ || !deploy_b_) return;
-    const chain::Transaction& ta = chain_a_.transaction(*deploy_a_);
-    const chain::Transaction& tb = chain_b_.transaction(*deploy_b_);
-    if (!ta.created_contract || !tb.created_contract) return;
-    if (!chain_a_.has_htlc(*ta.created_contract) ||
-        !chain_b_.has_htlc(*tb.created_contract)) {
+    // A deploy that was broadcast but never produced a contract (every
+    // re-broadcast dropped, or confirmation slipped past the expiry) is a
+    // fault abort: the swap died on the wire, not by a party's choice.
+    if (setup_.faults.any()) {
+      const bool a_dead = deploy_a_ && !contract_created(chain_a_, deploy_a_);
+      const bool b_dead = deploy_b_ && !contract_created(chain_b_, deploy_b_);
+      if (a_dead || b_dead) {
+        outcome_ = SwapOutcome::kFaultAborted;
+        log(std::string("reconcile: ") + (a_dead ? "alice's" : "bob's") +
+            " deploy never took effect; fault abort");
+        return;
+      }
+    }
+    if (!contract_created(chain_a_, deploy_a_) ||
+        !contract_created(chain_b_, deploy_b_)) {
       return;
     }
-    const chain::HtlcState sa = chain_a_.htlc(*ta.created_contract).state;
-    const chain::HtlcState sb = chain_b_.htlc(*tb.created_contract).state;
+    const chain::HtlcState sa =
+        chain_a_.htlc(*chain_a_.transaction(deploy_a_->id).created_contract)
+            .state;
+    const chain::HtlcState sb =
+        chain_b_.htlc(*chain_b_.transaction(deploy_b_->id).created_contract)
+            .state;
     if (sa == chain::HtlcState::kClaimed && sb == chain::HtlcState::kClaimed) {
       outcome_ = SwapOutcome::kSuccess;
     } else if (sa == chain::HtlcState::kClaimed &&
@@ -317,10 +496,13 @@ class SwapRun {
       log("reconcile: bob's claim missed t_a while alice's succeeded");
     } else if (sa == chain::HtlcState::kRefunded &&
                sb == chain::HtlcState::kRefunded &&
-               outcome_ == SwapOutcome::kSuccess) {
-      // Both claims were broadcast but both confirmed too late.
+               (outcome_ == SwapOutcome::kSuccess ||
+                outcome_ == SwapOutcome::kBobMissedT4)) {
+      // Both claims were broadcast but both confirmed too late -- or (under
+      // faults) alice's claim was swallowed so no secret ever surfaced and
+      // both legs timed out.  Either way both refunded: benign failure.
       outcome_ = SwapOutcome::kTimelockExpiredBoth;
-      log("reconcile: both claims missed their time locks; both refunded");
+      log("reconcile: both legs refunded; benign timeout for both");
     }
   }
 
@@ -341,7 +523,28 @@ class SwapRun {
     result.conservation_ok = chain_a_.total_supply() == initial_supply_a_ &&
                              chain_b_.total_supply() == initial_supply_b_;
 
-    compute_realized_values(result);
+    if (setup_.audit) {
+      result.invariants_ok = auditor_a_.ok() && auditor_b_.ok();
+      for (const chain::InvariantAuditor* auditor :
+           {&auditor_a_, &auditor_b_}) {
+        for (const chain::InvariantAuditor::Violation& v :
+             auditor->violations()) {
+          result.invariant_violations.push_back(
+              "[t=" + std::to_string(v.at) + "h tx " +
+              std::to_string(v.tx.value) + "] " + v.what);
+        }
+      }
+    }
+    result.dropped_txs =
+        static_cast<int>((injector_a_ ? injector_a_->dropped() : 0) +
+                         (injector_b_ ? injector_b_->dropped() : 0));
+    result.rebroadcasts = rebroadcasts_;
+
+    if (setup_.faults.any()) {
+      compute_faulted_values(result);
+    } else {
+      compute_realized_values(result);
+    }
     result.audit = std::move(audit_);
     return result;
   }
@@ -495,6 +698,10 @@ class SwapRun {
         alice_receipt = s.t8;
         bob_receipt = s.t1;
         break;
+      case SwapOutcome::kFaultAborted:
+        // Only reachable under an active fault model, which routes through
+        // compute_faulted_values instead of this exact-flow accounting.
+        break;
       case SwapOutcome::kSuccess:
         alice_swap = price(s.t5) * disc(rA, s.t1, s.t5);
         bob_swap = p_star * disc(rB, s.t1, s.t6);
@@ -530,6 +737,51 @@ class SwapRun {
     result.bob_premium_gain = bob_prem_gain;
   }
 
+  /// Valuation under an active fault model.  Re-broadcasts, deferred
+  /// mempool entries and halts shift every settlement time, so the exact
+  /// per-outcome receipt algebra above no longer applies.  Instead each
+  /// party's FINAL ledger holdings are valued: token-a at face value,
+  /// token-b at the price of the party's terminal receipt epoch
+  /// (approximated by the idealized schedule), discounted to t1; the
+  /// utility premium (1 + alpha) applies on success per Eq. (2)/(32).
+  /// Oracle-released collateral is already inside the final balances; the
+  /// per-component *_back breakdowns are not attributed under faults.
+  void compute_faulted_values(SwapResult& result) const {
+    const model::SwapParams& p = setup_.params;
+    const model::Schedule& s = schedule_;
+    const auto price = [this](double t) { return path_->price_at(t); };
+
+    // Terminal receipt epochs: success settles at t5/t6, a never-initiated
+    // swap leaves everything liquid at t1, every failure path waits out the
+    // last refund (t8 for Alice's chain-a lock, t7 for Bob's chain-b lock).
+    double alice_receipt = s.t8;
+    double bob_receipt = s.t7;
+    if (outcome_ == SwapOutcome::kNotInitiated) {
+      alice_receipt = s.t1;
+      bob_receipt = s.t1;
+    } else if (outcome_ == SwapOutcome::kSuccess) {
+      alice_receipt = s.t5;
+      bob_receipt = s.t6;
+    }
+
+    const double alice_value =
+        (result.alice.final_token_a +
+         result.alice.final_token_b * price(alice_receipt)) *
+        disc(p.alice.r, s.t1, alice_receipt);
+    const double bob_value =
+        (result.bob.final_token_a +
+         result.bob.final_token_b * price(bob_receipt)) *
+        disc(p.bob.r, s.t1, bob_receipt);
+    const double sA = result.success ? p.alice.alpha : 0.0;
+    const double sB = result.success ? p.bob.alpha : 0.0;
+    result.alice.realized_value = alice_value;
+    result.bob.realized_value = bob_value;
+    result.alice.realized_utility = (1.0 + sA) * alice_value;
+    result.bob.realized_utility = (1.0 + sB) * bob_value;
+    result.alice.receipt_time = alice_receipt;
+    result.bob.receipt_time = bob_receipt;
+  }
+
   const chain::Address kAlice{"alice"};
   const chain::Address kBob{"bob"};
 
@@ -544,16 +796,22 @@ class SwapRun {
   chain::Ledger chain_a_;
   chain::Ledger chain_b_;
   std::optional<CollateralOracle> oracle_;
+  std::optional<chain::FaultInjector> injector_a_;
+  std::optional<chain::FaultInjector> injector_b_;
+  // Declared after the ledgers so they detach before the ledgers die.
+  chain::InvariantAuditor auditor_a_;
+  chain::InvariantAuditor auditor_b_;
   crypto::Secret secret_;
   crypto::Digest256 hash_;
-  std::optional<chain::TxId> deploy_a_;
-  std::optional<chain::TxId> premium_escrow_;
-  std::optional<chain::TxId> deploy_b_;
-  std::optional<chain::TxId> claim_b_;
-  std::optional<chain::TxId> claim_a_;
+  TrackedPtr deploy_a_;
+  TrackedPtr premium_escrow_;
+  TrackedPtr deploy_b_;
+  TrackedPtr claim_b_;
+  TrackedPtr claim_a_;
   chain::Amount initial_supply_a_;
   chain::Amount initial_supply_b_;
   SwapOutcome outcome_ = SwapOutcome::kNotInitiated;
+  int rebroadcasts_ = 0;
   std::vector<std::string> audit_;
 };
 

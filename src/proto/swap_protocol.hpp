@@ -22,12 +22,14 @@
 // Chain_a vault at t1 and lets a CollateralOracle settle it (see oracle.hpp).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "agents/strategy.hpp"
 #include "chain/event_queue.hpp"
+#include "chain/faults.hpp"
 #include "chain/ledger.hpp"
 #include "model/params.hpp"
 #include "model/timeline.hpp"
@@ -56,9 +58,34 @@ enum class SwapOutcome : std::uint8_t {
   kTimelockExpiredBoth, ///< both claims missed their locks (extreme
                         ///< jitter): both legs refunded -- benign failure,
                         ///< atomicity preserved.
+  kFaultAborted,        ///< a deploy was swallowed by the fault model (all
+                        ///< re-broadcasts dropped / confirmed past expiry):
+                        ///< the swap died on the wire, not by choice.  Only
+                        ///< reachable when SwapFaults::any().
 };
 
 [[nodiscard]] const char* to_string(SwapOutcome outcome) noexcept;
+
+/// Fault environment of one swap run (see chain/faults.hpp and
+/// docs/FAULTS.md): per-chain fault models plus per-party offline windows.
+/// Default-constructed = assumption-1 behaviour, bit-identical to a run
+/// without any fault plumbing.
+struct SwapFaults {
+  chain::FaultModel chain_a;
+  chain::FaultModel chain_b;
+  /// While a party is inside an offline window it cannot act: its decision
+  /// epochs are deferred to the window's end (possibly past an expiry, in
+  /// which case the usual timeout paths fire).
+  std::vector<chain::FaultWindow> alice_offline;
+  std::vector<chain::FaultWindow> bob_offline;
+  /// Seed for the fault draws, independent of secret/latency seeds.
+  std::uint64_t seed = 0xFA017;
+
+  [[nodiscard]] bool any() const noexcept {
+    return chain_a.any() || chain_b.any() || !alice_offline.empty() ||
+           !bob_offline.empty();
+  }
+};
 
 /// Per-agent realized result, token-denominated.
 struct AgentResult {
@@ -91,6 +118,14 @@ struct SwapResult {
   /// Premium settlement (tokens): back to Alice, or forfeited to Bob.
   double alice_premium_back = 0.0;
   double bob_premium_gain = 0.0;
+  /// InvariantAuditor verdict over both chains (always true when auditing
+  /// is disabled via SwapSetup::audit = false).
+  bool invariants_ok = true;
+  std::vector<std::string> invariant_violations;
+  /// Fault telemetry: submissions the fault model swallowed, and how many
+  /// re-broadcasts the parties issued after detecting a drop.
+  int dropped_txs = 0;
+  int rebroadcasts = 0;
 };
 
 /// Static setup of one swap.
@@ -119,6 +154,16 @@ struct SwapSetup {
   double expiry_margin = 0.0;
   /// Seed for the confirmation-jitter draws.
   std::uint64_t latency_seed = 0x1A7E4C1;
+
+  // --- Fault model (bench X14): relax assumption 1 beyond timing. ---------
+  /// Crash faults, censorship, halts and party outages; default = none.
+  /// When active, parties re-broadcast dropped transactions with backoff
+  /// and realized values are computed from final ledger balances (see
+  /// docs/FAULTS.md).
+  SwapFaults faults;
+  /// Attach an InvariantAuditor to both ledgers for the run (cheap; on by
+  /// default).  Verdict lands in SwapResult::invariants_ok.
+  bool audit = true;
 };
 
 /// Runs one complete swap and returns the audited result.  The function

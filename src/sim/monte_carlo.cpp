@@ -28,6 +28,10 @@ void McEstimate::merge(const McEstimate& other) {
   for (const auto& [outcome, count] : other.outcomes) {
     outcomes[outcome] += count;
   }
+  conservation_failures += other.conservation_failures;
+  invariant_failures += other.invariant_failures;
+  dropped_txs += other.dropped_txs;
+  rebroadcasts += other.rebroadcasts;
 }
 
 StrategyFactory rational_factory(const model::SwapParams& params,
@@ -130,6 +134,11 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
               bob(agents::Role::kBob, index);
           proto::SwapSetup sample_setup = setup;
           sample_setup.secret_seed = config.seed ^ (index * 0x9E3779B9ULL + 1);
+          // Per-sample fault stream, keyed by the sample index (never by
+          // worker identity) so faulted runs stay bit-identical across
+          // thread counts, like the price-path streams.
+          sample_setup.faults.seed =
+              setup.faults.seed ^ (index * 0xD1B54A32D192ED03ULL + 0x2545F491ULL);
           const proto::SwapResult result =
               proto::run_swap(sample_setup, *a, *b, path);
 
@@ -142,6 +151,10 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
             out.alice_utility.add(result.alice.realized_utility);
             out.bob_utility.add(result.bob.realized_utility);
           }
+          if (!result.conservation_ok) ++out.conservation_failures;
+          if (!result.invariants_ok) ++out.invariant_failures;
+          out.dropped_txs += static_cast<std::uint64_t>(result.dropped_txs);
+          out.rebroadcasts += static_cast<std::uint64_t>(result.rebroadcasts);
         }
       });
 }

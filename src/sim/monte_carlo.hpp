@@ -43,6 +43,13 @@ struct McEstimate {
   math::RunningStats alice_utility;    ///< realized utilities (Eq. 2/32)
   math::RunningStats bob_utility;
   std::map<proto::SwapOutcome, std::uint64_t> outcomes;
+  /// Protocol-MC only: runs whose ledger supply check / InvariantAuditor
+  /// flagged a breach (always 0 unless the substrate itself is broken).
+  std::uint64_t conservation_failures = 0;
+  std::uint64_t invariant_failures = 0;
+  /// Protocol-MC fault telemetry, summed over samples (0 without faults).
+  std::uint64_t dropped_txs = 0;
+  std::uint64_t rebroadcasts = 0;
 
   /// Success rate conditional on initiation -- the paper's SR definition
   /// ("after it has been initiated", Section III-F).

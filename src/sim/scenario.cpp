@@ -32,6 +32,7 @@ std::vector<ScenarioResult> run_scenarios(
     proto::SwapSetup setup;
     setup.params = point.params;
     setup.p_star = point.p_star;
+    setup.faults = point.faults;
     StrategyFactory factory;
     switch (point.mechanism) {
       case Mechanism::kNone: {
@@ -70,6 +71,8 @@ std::vector<ScenarioResult> run_scenarios(
     result.protocol_sr_ci_hi = ci.hi;
     result.alice_utility = estimate.alice_utility.mean();
     result.bob_utility = estimate.bob_utility.mean();
+    result.conservation_failures = estimate.conservation_failures;
+    result.invariant_failures = estimate.invariant_failures;
     results.push_back(std::move(result));
   }
   return results;

@@ -28,6 +28,10 @@ struct ScenarioPoint {
   double p_star = 2.0;
   Mechanism mechanism = Mechanism::kNone;
   double deposit = 0.0;  ///< Q or pr depending on mechanism
+  /// Fault environment for the protocol runs of this cell (default: none,
+  /// i.e. the paper's assumption-1 substrate).  The analytic column always
+  /// reflects the fault-free model.
+  proto::SwapFaults faults;
 };
 
 /// Per-cell results.
@@ -40,6 +44,9 @@ struct ScenarioResult {
   double alice_utility = 0.0;    ///< mean realized utility (initiated runs)
   double bob_utility = 0.0;
   bool initiated = false;        ///< whether the swap starts at all
+  /// Substrate health over the cell's Monte-Carlo runs (see McEstimate).
+  std::uint64_t conservation_failures = 0;
+  std::uint64_t invariant_failures = 0;
 };
 
 /// Runs every cell: analytic SR from the matching game solver, empirical SR

@@ -1,0 +1,207 @@
+// Tests for the runtime invariant auditor (src/chain/auditor): clean runs
+// across every payload type, detection of supply/vault breaches (including
+// the vault-release attribution bug the auditor originally caught), strict
+// throw-on-violation mode, and whole-protocol audits.
+#include "chain/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/naive.hpp"
+#include "chain/ledger.hpp"
+#include "crypto/secret.hpp"
+#include "math/rng.hpp"
+#include "proto/swap_protocol.hpp"
+
+namespace swapgame {
+namespace {
+
+constexpr double kTau = 3.0;
+constexpr double kEps = 1.0;
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  AuditorTest()
+      : ledger_({chain::ChainId::kChainA, kTau, kEps}, queue_) {
+    ledger_.create_account(alice_, chain::Amount::from_tokens(10.0));
+    ledger_.create_account(bob_, chain::Amount::from_tokens(5.0));
+  }
+
+  crypto::Secret make_secret(std::uint64_t seed = 1) {
+    math::Xoshiro256 rng(seed);
+    return crypto::Secret::generate(rng);
+  }
+
+  chain::EventQueue queue_;
+  chain::Ledger ledger_;
+  chain::InvariantAuditor auditor_;
+  const chain::Address alice_{"alice"};
+  const chain::Address bob_{"bob"};
+};
+
+TEST_F(AuditorTest, CleanAcrossEveryPayloadType) {
+  // Property: a workload exercising every payload type -- success AND
+  // failure paths -- keeps the auditor silent, and the supply conserved.
+  auditor_.attach(ledger_);
+  const chain::Amount supply = ledger_.total_supply();
+  const crypto::Secret s1 = make_secret(1);
+  const crypto::Secret s2 = make_secret(2);
+  const crypto::Secret wrong = make_secret(3);
+
+  // Transfers: one good, one bouncing.
+  ledger_.submit(chain::TransferPayload{alice_, bob_,
+                                        chain::Amount::from_tokens(1.0)});
+  ledger_.submit(chain::TransferPayload{bob_, alice_,
+                                        chain::Amount::from_tokens(50.0)});
+  // Standard HTLC claimed with the right preimage after a failed attempt.
+  const chain::TxId d1 = ledger_.submit(chain::DeployHtlcPayload{
+      alice_, bob_, chain::Amount::from_tokens(2.0), s1.commitment(), 30.0});
+  const chain::HtlcId c1 = ledger_.pending_contract_of(d1);
+  // Standard HTLC left to its auto-refund at expiry.
+  ledger_.submit(chain::DeployHtlcPayload{
+      alice_, bob_, chain::Amount::from_tokens(1.5), s2.commitment(), 12.0});
+  // Inverse escrow cancelled back before expiry.
+  const chain::TxId d3 = ledger_.submit(chain::DeployHtlcPayload{
+      alice_, bob_, chain::Amount::from_tokens(0.5), s2.commitment(), 30.0,
+      chain::HtlcKind::kInverse});
+  const chain::HtlcId c3 = ledger_.pending_contract_of(d3);
+  queue_.run_until(kTau);
+  ledger_.submit(chain::ClaimHtlcPayload{c1, wrong, bob_});   // fails
+  ledger_.submit(chain::ClaimHtlcPayload{c1, s1, bob_});      // lands
+  ledger_.submit(chain::RefundHtlcPayload{c1, alice_});       // too early
+  ledger_.submit(chain::CancelHtlcPayload{c3, alice_});
+  // Vault: deposit, partial release, and an underfunded release.
+  ledger_.submit(chain::DepositCollateralPayload{
+      bob_, chain::Amount::from_tokens(2.0)});
+  queue_.run_until(2.0 * kTau);
+  ledger_.submit(chain::ReleaseCollateralPayload{
+      alice_, chain::Amount::from_tokens(1.0)});
+  ledger_.submit(chain::ReleaseCollateralPayload{
+      alice_, chain::Amount::from_tokens(99.0)});              // fails
+  queue_.run();
+
+  EXPECT_TRUE(auditor_.ok()) << (auditor_.violations().empty()
+                                     ? ""
+                                     : auditor_.violations().front().what);
+  EXPECT_GT(auditor_.checks_run(), 8u);
+  EXPECT_EQ(ledger_.total_supply(), supply);
+}
+
+TEST_F(AuditorTest, VaultReleaseAttributionStaysConsistent) {
+  // Regression for the apply_release bug: releases used to decrement the
+  // pool total but not the per-depositor map, so vault_deposits drifted
+  // away from vault_total.  The auditor's vault check fails loudly if the
+  // bug is reintroduced.
+  auditor_.attach(ledger_);
+  ledger_.submit(chain::DepositCollateralPayload{
+      alice_, chain::Amount::from_tokens(3.0)});
+  ledger_.submit(chain::DepositCollateralPayload{
+      bob_, chain::Amount::from_tokens(2.0)});
+  queue_.run_until(kTau);
+  // 4 tokens to Bob: his own 2 come back first, the remaining 2 are drawn
+  // from Alice's deposit.
+  ledger_.submit(chain::ReleaseCollateralPayload{
+      bob_, chain::Amount::from_tokens(4.0)});
+  queue_.run();
+
+  EXPECT_TRUE(auditor_.ok()) << (auditor_.violations().empty()
+                                     ? ""
+                                     : auditor_.violations().front().what);
+  EXPECT_EQ(ledger_.vault_total(), chain::Amount::from_tokens(1.0));
+  EXPECT_EQ(ledger_.vault_deposit_of(bob_), chain::Amount{});
+  EXPECT_EQ(ledger_.vault_deposit_of(alice_), chain::Amount::from_tokens(1.0));
+  // The breakdown map carries no zeroed-out entries and sums to the total.
+  chain::Amount sum;
+  for (const auto& [who, amount] : ledger_.vault_deposits()) {
+    EXPECT_FALSE(amount.is_zero()) << who.value;
+    sum += amount;
+  }
+  EXPECT_EQ(sum, ledger_.vault_total());
+  EXPECT_EQ(ledger_.balance(bob_), chain::Amount::from_tokens(7.0));
+}
+
+TEST_F(AuditorTest, DetectsSupplyViolation) {
+  auditor_.attach(ledger_);
+  // Minting mid-run (illegitimate after attach) breaks the conserved
+  // baseline; the very next applied transaction exposes it.
+  ledger_.create_account(chain::Address{"minter"},
+                         chain::Amount::from_tokens(1.0));
+  ledger_.submit(chain::TransferPayload{alice_, bob_,
+                                        chain::Amount::from_tokens(1.0)});
+  queue_.run();
+  ASSERT_FALSE(auditor_.ok());
+  EXPECT_NE(auditor_.violations().front().what.find("supply"),
+            std::string::npos);
+}
+
+TEST_F(AuditorTest, StrictModeThrowsAtFirstViolation) {
+  auditor_.attach(ledger_);
+  auditor_.set_throw_on_violation(true);
+  ledger_.create_account(chain::Address{"minter"},
+                         chain::Amount::from_tokens(1.0));
+  ledger_.submit(chain::TransferPayload{alice_, bob_,
+                                        chain::Amount::from_tokens(1.0)});
+  EXPECT_THROW(queue_.run(), std::logic_error);
+  // Recorded as well as thrown.
+  EXPECT_FALSE(auditor_.ok());
+}
+
+TEST_F(AuditorTest, DetachStopsAuditing) {
+  auditor_.attach(ledger_);
+  auditor_.detach();
+  ledger_.create_account(chain::Address{"minter"},
+                         chain::Amount::from_tokens(1.0));
+  ledger_.submit(chain::TransferPayload{alice_, bob_,
+                                        chain::Amount::from_tokens(1.0)});
+  queue_.run();
+  EXPECT_TRUE(auditor_.ok());
+  EXPECT_EQ(auditor_.checks_run(), 0u);
+}
+
+TEST(AuditorProtocol, WholeProtocolRunsStayClean) {
+  // run_swap attaches auditors by default; every mechanism and every
+  // decision path must come back invariant-clean.
+  const proto::ConstantPricePath path(2.0);
+  proto::SwapSetup setup;
+  setup.params = model::SwapParams::table3_defaults();
+  setup.p_star = 2.0;
+
+  struct Case {
+    double collateral;
+    double premium;
+    agents::Stage defect_stage;
+    bool defect = false;
+  };
+  const Case cases[] = {
+      {0.0, 0.0, agents::Stage::kT1Initiate, false},   // basic success
+      {0.5, 0.0, agents::Stage::kT1Initiate, false},   // collateralized
+      {0.0, 0.1, agents::Stage::kT1Initiate, false},   // premium escrow
+      {0.0, 0.1, agents::Stage::kT2Lock, true},        // bob walks away
+      {0.5, 0.0, agents::Stage::kT3Reveal, true},      // alice withholds
+      {0.0, 0.0, agents::Stage::kT4Claim, true},       // bob crashes at t4
+  };
+  for (const Case& c : cases) {
+    setup.collateral = c.collateral;
+    setup.premium = c.premium;
+    agents::HonestStrategy honest_alice, honest_bob;
+    proto::SwapResult r = [&] {
+      if (!c.defect) {
+        return proto::run_swap(setup, honest_alice, honest_bob, path);
+      }
+      agents::DefectorStrategy defector(c.defect_stage);
+      const bool alice_defects = c.defect_stage == agents::Stage::kT1Initiate ||
+                                 c.defect_stage == agents::Stage::kT3Reveal;
+      return alice_defects
+                 ? proto::run_swap(setup, defector, honest_bob, path)
+                 : proto::run_swap(setup, honest_alice, defector, path);
+    }();
+    EXPECT_TRUE(r.invariants_ok)
+        << "Q=" << c.collateral << " pr=" << c.premium
+        << (r.invariant_violations.empty() ? ""
+                                           : r.invariant_violations.front());
+    EXPECT_TRUE(r.invariant_violations.empty());
+    EXPECT_TRUE(r.conservation_ok);
+  }
+}
+
+}  // namespace
+}  // namespace swapgame

@@ -1,0 +1,413 @@
+// Tests for the fault-injection layer (src/chain/faults) and its protocol
+// integration: drops, censorship, halts, extra delays, party outages,
+// re-broadcast recovery, and the bit-identity guarantees (zero-fault runs
+// unchanged; faulted Monte Carlo identical across thread counts).
+#include "chain/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+
+#include "agents/naive.hpp"
+#include "chain/ledger.hpp"
+#include "crypto/secret.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace swapgame {
+namespace {
+
+constexpr double kTau = 3.0;
+constexpr double kEps = 1.0;
+
+chain::ChainParams fault_test_params() {
+  return {chain::ChainId::kChainA, kTau, kEps};
+}
+
+// --- FaultWindow / FaultModel validation. ----------------------------------
+
+TEST(FaultWindow, ValidationRejectsDegenerateWindows) {
+  EXPECT_NO_THROW((chain::FaultWindow{0.0, 5.0}.validate()));
+  EXPECT_NO_THROW((chain::FaultWindow{2.0, 2.0}.validate()));  // empty is fine
+  EXPECT_THROW((chain::FaultWindow{-1.0, 5.0}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((chain::FaultWindow{5.0, 2.0}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (chain::FaultWindow{0.0, std::numeric_limits<double>::infinity()}
+           .validate()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (chain::FaultWindow{std::numeric_limits<double>::quiet_NaN(), 1.0}
+           .validate()),
+      std::invalid_argument);
+}
+
+TEST(FaultWindow, ContainsIsHalfOpen) {
+  const chain::FaultWindow w{1.0, 4.0};
+  EXPECT_FALSE(w.contains(0.999));
+  EXPECT_TRUE(w.contains(1.0));
+  EXPECT_TRUE(w.contains(3.999));
+  EXPECT_FALSE(w.contains(4.0));
+}
+
+TEST(FaultWindow, FirstTimeOutsideChainsOverlappingWindows) {
+  // [0,5) and [4,8) overlap: escaping the first lands inside the second, so
+  // the earliest free time from t=1 is 8, not 5.
+  const std::vector<chain::FaultWindow> windows = {{0.0, 5.0}, {4.0, 8.0}};
+  EXPECT_DOUBLE_EQ(chain::first_time_outside(windows, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(chain::first_time_outside(windows, 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(chain::first_time_outside(windows, 9.0), 9.0);
+  EXPECT_DOUBLE_EQ(chain::first_time_outside({}, 3.0), 3.0);
+}
+
+TEST(FaultModel, ValidationRejectsBadKnobs) {
+  chain::FaultModel m;
+  EXPECT_NO_THROW(m.validate());
+  m.drop_prob = 1.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.drop_prob = -0.1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.drop_prob = 0.0;
+  m.extra_delay_prob = 2.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.extra_delay_prob = 0.5;
+  m.extra_delay_max = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.extra_delay_max = 2.0;
+  EXPECT_NO_THROW(m.validate());
+  m.censorship.push_back({5.0, 2.0});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  // The injector constructor validates too.
+  EXPECT_THROW(chain::FaultInjector(m, 1), std::invalid_argument);
+}
+
+TEST(FaultModel, AnyReflectsActiveKnobs) {
+  chain::FaultModel m;
+  EXPECT_FALSE(m.any());
+  m.drop_prob = 0.1;
+  EXPECT_TRUE(m.any());
+  m = {};
+  // A delay probability without a max delay (or vice versa) is inert.
+  m.extra_delay_prob = 0.5;
+  EXPECT_FALSE(m.any());
+  m.extra_delay_max = 2.0;
+  EXPECT_TRUE(m.any());
+  m = {};
+  m.censorship.push_back({0.0, 1.0});
+  EXPECT_TRUE(m.any());
+  m = {};
+  m.halts.push_back({0.0, 1.0});
+  EXPECT_TRUE(m.any());
+}
+
+// --- Ledger-level fault semantics. -----------------------------------------
+
+TEST(FaultInjection, DroppedTransactionNeverConfirms) {
+  chain::EventQueue queue;
+  chain::Ledger ledger(fault_test_params(), queue);
+  ledger.create_account(chain::Address{"alice"}, chain::Amount::from_tokens(10.0));
+  ledger.create_account(chain::Address{"bob"}, chain::Amount::from_tokens(5.0));
+  chain::FaultModel model;
+  model.drop_prob = 1.0;
+  chain::FaultInjector injector(model, 7);
+  ledger.set_fault_injector(&injector);
+
+  const chain::TxId id = ledger.submit(chain::TransferPayload{
+      chain::Address{"alice"}, chain::Address{"bob"},
+      chain::Amount::from_tokens(2.0)});
+  // The loss is synchronous: the tx is marked dropped at submission and no
+  // confirmation event is ever scheduled.
+  EXPECT_EQ(ledger.transaction(id).status, chain::TxStatus::kDropped);
+  EXPECT_TRUE(std::isinf(ledger.transaction(id).visible_at));
+  EXPECT_TRUE(std::isinf(ledger.transaction(id).confirmed_at));
+  queue.run();
+  EXPECT_EQ(ledger.transaction(id).status, chain::TxStatus::kDropped);
+  EXPECT_EQ(ledger.balance(chain::Address{"alice"}),
+            chain::Amount::from_tokens(10.0));
+  EXPECT_EQ(ledger.balance(chain::Address{"bob"}),
+            chain::Amount::from_tokens(5.0));
+  EXPECT_EQ(injector.dropped(), 1u);
+  EXPECT_TRUE(ledger.confirmation_log().empty());
+}
+
+TEST(FaultInjection, DroppedClaimLeaksNoSecret) {
+  // A claim that never reaches the mempool must not reveal the preimage --
+  // the visibility leak of Section II-B Step 3 requires actual propagation.
+  chain::EventQueue queue;
+  chain::Ledger ledger(fault_test_params(), queue);
+  const chain::Address alice{"alice"}, bob{"bob"};
+  ledger.create_account(alice, chain::Amount::from_tokens(10.0));
+  ledger.create_account(bob, chain::Amount::from_tokens(5.0));
+  math::Xoshiro256 rng(1);
+  const crypto::Secret secret = crypto::Secret::generate(rng);
+  const chain::TxId deploy = ledger.submit(chain::DeployHtlcPayload{
+      alice, bob, chain::Amount::from_tokens(2.0), secret.commitment(), 20.0});
+  const chain::HtlcId contract = ledger.pending_contract_of(deploy);
+  queue.run_until(kTau);
+  ASSERT_TRUE(ledger.has_htlc(contract));
+
+  // Faults switch on only after the deploy landed: every claim (and every
+  // auto-refund retry) from here on is swallowed.
+  chain::FaultModel model;
+  model.drop_prob = 1.0;
+  chain::FaultInjector injector(model, 7);
+  ledger.set_fault_injector(&injector);
+  ledger.submit(chain::ClaimHtlcPayload{contract, secret, bob});
+  const chain::Amount supply = ledger.total_supply();
+  queue.run();
+  EXPECT_TRUE(ledger.visible_secrets().empty());
+  // The claim was lost and the auto-refund retries all dropped too (capped,
+  // so the run terminates): the contract stays locked, supply conserved.
+  EXPECT_EQ(ledger.htlc(contract).state, chain::HtlcState::kLocked);
+  EXPECT_EQ(ledger.total_supply(), supply);
+  EXPECT_GE(injector.dropped(), 2u);
+}
+
+TEST(FaultInjection, CensorshipDefersMempoolEntry) {
+  chain::EventQueue queue;
+  chain::Ledger ledger(fault_test_params(), queue);
+  const chain::Address alice{"alice"}, bob{"bob"};
+  ledger.create_account(alice, chain::Amount::from_tokens(10.0));
+  ledger.create_account(bob, chain::Amount::from_tokens(5.0));
+  chain::FaultModel model;
+  model.censorship.push_back({0.0, 5.0});
+  chain::FaultInjector injector(model, 7);
+  ledger.set_fault_injector(&injector);
+
+  queue.run_until(1.0);
+  const chain::TxId id = ledger.submit(chain::TransferPayload{
+      alice, bob, chain::Amount::from_tokens(2.0)});
+  // Mempool entry slips to the window end (t=5): visible 5+eps, confirmed
+  // 5+tau, as if broadcast at the window's end.
+  EXPECT_DOUBLE_EQ(ledger.transaction(id).visible_at, 5.0 + kEps);
+  EXPECT_DOUBLE_EQ(ledger.transaction(id).confirmed_at, 5.0 + kTau);
+  queue.run_until(5.0 + kTau - 0.001);
+  EXPECT_EQ(ledger.balance(bob), chain::Amount::from_tokens(5.0));
+  queue.run();
+  EXPECT_EQ(ledger.transaction(id).status, chain::TxStatus::kConfirmed);
+  EXPECT_EQ(ledger.balance(bob), chain::Amount::from_tokens(7.0));
+  EXPECT_EQ(injector.censored(), 1u);
+}
+
+TEST(FaultInjection, HaltSlipsConfirmationToWindowEnd) {
+  chain::EventQueue queue;
+  chain::Ledger ledger(fault_test_params(), queue);
+  const chain::Address alice{"alice"}, bob{"bob"};
+  ledger.create_account(alice, chain::Amount::from_tokens(10.0));
+  ledger.create_account(bob, chain::Amount::from_tokens(5.0));
+  chain::FaultModel model;
+  model.halts.push_back({2.0, 6.0});
+  model.halts.push_back({5.5, 9.0});  // overlapping outage
+  chain::FaultInjector injector(model, 7);
+  ledger.set_fault_injector(&injector);
+
+  // Nominal confirmation at tau=3 falls inside the first halt, whose end is
+  // inside the second: the confirmation chains out to t=9.
+  const chain::TxId id = ledger.submit(chain::TransferPayload{
+      alice, bob, chain::Amount::from_tokens(2.0)});
+  EXPECT_DOUBLE_EQ(ledger.transaction(id).confirmed_at, 9.0);
+  // Visibility is a mempool property, unaffected by confirmation halts.
+  EXPECT_DOUBLE_EQ(ledger.transaction(id).visible_at, kEps);
+  queue.run();
+  EXPECT_EQ(ledger.balance(bob), chain::Amount::from_tokens(7.0));
+
+  // A confirmation landing after every halt is untouched.
+  queue.run_until(10.0);
+  const chain::TxId late = ledger.submit(chain::TransferPayload{
+      alice, bob, chain::Amount::from_tokens(1.0)});
+  EXPECT_DOUBLE_EQ(ledger.transaction(late).confirmed_at, 13.0);
+}
+
+TEST(FaultInjection, ExtraDelayStaysWithinBounds) {
+  std::set<double> confirm_times;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    chain::EventQueue queue;
+    chain::Ledger ledger(fault_test_params(), queue);
+    const chain::Address alice{"alice"}, bob{"bob"};
+    ledger.create_account(alice, chain::Amount::from_tokens(10.0));
+    ledger.create_account(bob, chain::Amount::from_tokens(5.0));
+    chain::FaultModel model;
+    model.extra_delay_prob = 1.0;
+    model.extra_delay_max = 2.0;
+    chain::FaultInjector injector(model, seed);
+    ledger.set_fault_injector(&injector);
+    const chain::TxId id = ledger.submit(chain::TransferPayload{
+        alice, bob, chain::Amount::from_tokens(2.0)});
+    const double at = ledger.transaction(id).confirmed_at;
+    EXPECT_GE(at, kTau);
+    EXPECT_LE(at, kTau + model.extra_delay_max);
+    EXPECT_EQ(injector.delayed(), 1u);
+    confirm_times.insert(at);
+  }
+  // The delay draw actually varies with the seed.
+  EXPECT_GT(confirm_times.size(), 1u);
+}
+
+TEST(FaultInjection, SameSeedReproducesSameFates) {
+  chain::FaultModel model;
+  model.drop_prob = 0.4;
+  model.extra_delay_prob = 0.5;
+  model.extra_delay_max = 3.0;
+  chain::FaultInjector a(model, 12345);
+  chain::FaultInjector b(model, 12345);
+  for (int i = 0; i < 64; ++i) {
+    const auto fa = a.on_submit(static_cast<double>(i));
+    const auto fb = b.on_submit(static_cast<double>(i));
+    EXPECT_EQ(fa.dropped, fb.dropped);
+    EXPECT_DOUBLE_EQ(fa.mempool_entry, fb.mempool_entry);
+    EXPECT_DOUBLE_EQ(fa.extra_delay, fb.extra_delay);
+  }
+}
+
+// --- Protocol-level fault behaviour. ---------------------------------------
+
+proto::SwapSetup faulted_setup(double drop_prob, double margin) {
+  proto::SwapSetup setup;
+  setup.params = model::SwapParams::table3_defaults();
+  setup.p_star = 2.0;
+  setup.expiry_margin = margin;
+  setup.faults.chain_a.drop_prob = drop_prob;
+  setup.faults.chain_b.drop_prob = drop_prob;
+  return setup;
+}
+
+TEST(FaultedSwap, CertainDropAbortsTheSwapSafely) {
+  // Every broadcast is lost: Alice's deploy never takes effect, and the run
+  // is classified as a fault abort with all funds exactly where they began.
+  agents::HonestStrategy alice, bob;
+  const proto::ConstantPricePath path(2.0);
+  const proto::SwapResult r =
+      proto::run_swap(faulted_setup(1.0, 0.0), alice, bob, path);
+  EXPECT_EQ(r.outcome, proto::SwapOutcome::kFaultAborted);
+  EXPECT_FALSE(r.success);
+  EXPECT_DOUBLE_EQ(r.alice.final_token_a, 2.0);
+  EXPECT_DOUBLE_EQ(r.alice.final_token_b, 0.0);
+  EXPECT_DOUBLE_EQ(r.bob.final_token_b, 1.0);
+  EXPECT_GE(r.dropped_txs, 1);
+  EXPECT_GT(r.rebroadcasts, 0);  // the sender did try again
+  EXPECT_TRUE(r.conservation_ok);
+  EXPECT_TRUE(r.invariants_ok);
+}
+
+TEST(FaultedSwap, RebroadcastRecoversFromOccasionalDrops) {
+  // Statistical property over many fault seeds: with a healthy expiry
+  // margin, a 25% drop rate is mostly survivable because senders detect the
+  // loss and re-broadcast; and no fault pattern ever breaks conservation or
+  // the audited invariants.
+  agents::HonestStrategy alice, bob;
+  const proto::ConstantPricePath path(2.0);
+  proto::SwapSetup setup = faulted_setup(0.25, 8.0);
+  int successes = 0;
+  int recovered = 0;  // successes that needed at least one re-broadcast
+  int dropped_total = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    setup.faults.seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
+    ASSERT_TRUE(r.conservation_ok) << "fault seed " << seed;
+    ASSERT_TRUE(r.invariants_ok) << "fault seed " << seed;
+    dropped_total += r.dropped_txs;
+    if (r.success) {
+      ++successes;
+      if (r.rebroadcasts > 0) ++recovered;
+    }
+  }
+  EXPECT_GT(dropped_total, 0);
+  EXPECT_GT(successes, 20);  // well above half survive a 25% drop rate
+  EXPECT_GT(recovered, 0);   // and some only because of re-broadcasting
+}
+
+TEST(FaultedSwap, BobOfflineWindowDefersOrLosesHisClaim) {
+  // Bob is offline across t4 = 8h.  Without expiry slack his deferred claim
+  // confirms past t_a and the refund wins: Alice keeps both assets (the
+  // Section II-B crash-failure warning).  With a margin covering the outage
+  // the same run completes.
+  agents::HonestStrategy alice, bob;
+  const proto::ConstantPricePath path(2.0);
+  proto::SwapSetup setup = faulted_setup(0.0, 0.0);
+  setup.faults.bob_offline.push_back({7.5, 9.0});
+
+  const proto::SwapResult tight = proto::run_swap(setup, alice, bob, path);
+  EXPECT_EQ(tight.outcome, proto::SwapOutcome::kBobLostAtomicity);
+  EXPECT_DOUBLE_EQ(tight.alice.final_token_a, 2.0);
+  EXPECT_DOUBLE_EQ(tight.alice.final_token_b, 1.0);
+  EXPECT_DOUBLE_EQ(tight.bob.final_token_a, 0.0);
+  EXPECT_TRUE(tight.conservation_ok);
+  EXPECT_TRUE(tight.invariants_ok);
+
+  setup.expiry_margin = 2.0;
+  const proto::SwapResult slack = proto::run_swap(setup, alice, bob, path);
+  EXPECT_EQ(slack.outcome, proto::SwapOutcome::kSuccess);
+  EXPECT_DOUBLE_EQ(slack.bob.final_token_a, 2.0);
+  EXPECT_TRUE(slack.conservation_ok);
+  EXPECT_TRUE(slack.invariants_ok);
+}
+
+TEST(FaultedSwap, ZeroIntensityFaultsAreBitIdenticalToPlainRuns) {
+  // The fault plumbing only attaches when a knob is active, so a setup with
+  // a fault seed but no intensities (and auditing toggled either way) must
+  // reproduce the plain run exactly, jitter included.
+  agents::HonestStrategy alice, bob;
+  const proto::ConstantPricePath path(2.0);
+  proto::SwapSetup plain;
+  plain.params = model::SwapParams::table3_defaults();
+  plain.p_star = 2.0;
+  plain.confirmation_jitter_a = 1.0;
+  plain.confirmation_jitter_b = 1.0;
+  plain.expiry_margin = 4.0;
+  proto::SwapSetup inert = plain;
+  inert.faults.seed = 0xDEADBEEF;  // unused: no knob is active
+  inert.audit = false;
+
+  const proto::SwapResult a = proto::run_swap(plain, alice, bob, path);
+  const proto::SwapResult b = proto::run_swap(inert, alice, bob, path);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.alice.final_token_a, b.alice.final_token_a);
+  EXPECT_EQ(a.alice.final_token_b, b.alice.final_token_b);
+  EXPECT_EQ(a.bob.final_token_a, b.bob.final_token_a);
+  EXPECT_EQ(a.bob.final_token_b, b.bob.final_token_b);
+  EXPECT_EQ(a.alice.realized_utility, b.alice.realized_utility);
+  EXPECT_EQ(a.bob.realized_utility, b.bob.realized_utility);
+  EXPECT_EQ(a.dropped_txs, 0);
+  EXPECT_EQ(b.dropped_txs, 0);
+}
+
+TEST(FaultedMonteCarlo, BitIdenticalAcrossThreadCounts) {
+  // PR 1's fixed-chunk guarantee must survive fault injection: the per-
+  // sample fault streams are keyed by the sample index, never by worker
+  // identity, so threads=1 and threads=4 merge to the same estimate bit for
+  // bit.
+  proto::SwapSetup setup;
+  setup.params = model::SwapParams::table3_defaults();
+  setup.p_star = 2.0;
+  setup.expiry_margin = 6.0;
+  setup.faults.chain_a.drop_prob = 0.2;
+  setup.faults.chain_b.drop_prob = 0.1;
+  setup.faults.chain_b.extra_delay_prob = 0.5;
+  setup.faults.chain_b.extra_delay_max = 3.0;
+  const sim::StrategyFactory honest = sim::honest_factory();
+
+  sim::McConfig serial{384, 42, 1};
+  sim::McConfig parallel{384, 42, 4};
+  const sim::McEstimate a = sim::run_protocol_mc(setup, honest, honest, serial);
+  const sim::McEstimate b =
+      sim::run_protocol_mc(setup, honest, honest, parallel);
+
+  EXPECT_EQ(a.success.successes(), b.success.successes());
+  EXPECT_EQ(a.success.trials(), b.success.trials());
+  EXPECT_EQ(a.initiated.successes(), b.initiated.successes());
+  EXPECT_EQ(a.alice_utility.mean(), b.alice_utility.mean());
+  EXPECT_EQ(a.bob_utility.mean(), b.bob_utility.mean());
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.dropped_txs, b.dropped_txs);
+  EXPECT_EQ(a.rebroadcasts, b.rebroadcasts);
+  // Faults must degrade outcomes, never accounting.
+  EXPECT_EQ(a.conservation_failures, 0u);
+  EXPECT_EQ(a.invariant_failures, 0u);
+  EXPECT_GT(a.dropped_txs, 0u);
+}
+
+}  // namespace
+}  // namespace swapgame

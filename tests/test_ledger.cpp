@@ -267,6 +267,22 @@ TEST_F(LedgerTest, ChargeCollateralIsSynchronous) {
                std::out_of_range);
 }
 
+TEST_F(LedgerTest, VaultReleaseUpdatesDepositorMap) {
+  // Regression: apply_release used to decrement vault_total_ without
+  // touching the per-depositor breakdown, leaving vault_deposit_of stale
+  // and the map's sum above the pool total.
+  ledger_.submit(
+      DepositCollateralPayload{alice_, Amount::from_tokens(3.0)});
+  queue_.run_until(kTau);
+  ledger_.submit(ReleaseCollateralPayload{bob_, Amount::from_tokens(2.0)});
+  queue_.run();
+  EXPECT_EQ(ledger_.vault_total(), Amount::from_tokens(1.0));
+  EXPECT_EQ(ledger_.vault_deposit_of(alice_), Amount::from_tokens(1.0));
+  Amount sum;
+  for (const auto& [who, amount] : ledger_.vault_deposits()) sum += amount;
+  EXPECT_EQ(sum, ledger_.vault_total());
+}
+
 TEST_F(LedgerTest, FindHtlcByHash) {
   const crypto::Secret s1 = make_secret(1);
   const crypto::Secret s2 = make_secret(2);
@@ -279,6 +295,55 @@ TEST_F(LedgerTest, FindHtlcByHash) {
   const HtlcContract* found = ledger_.find_htlc_by_hash(s2.commitment());
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->hash_lock, s2.commitment());
+}
+
+TEST_F(LedgerTest, FindHtlcByHashPrefersLatestDeployed) {
+  // Regression: the lookup used to return whichever matching contract the
+  // map iterated first (ascending id), even when a later deploy created a
+  // fresher contract under the same hash lock.  With confirmation jitter
+  // the submission order and the deployment order can disagree; the lookup
+  // must follow deployed_at, not id.
+  const crypto::Secret secret = make_secret(5);
+  bool exercised_inversion = false;
+  for (std::uint64_t seed = 1; seed <= 64 && !exercised_inversion; ++seed) {
+    EventQueue queue;
+    math::Xoshiro256 rng(seed);
+    Ledger ledger({ChainId::kChainA, kTau, kEps, 2.0}, queue, &rng);
+    ledger.create_account(alice_, Amount::from_tokens(10.0));
+    ledger.create_account(bob_, Amount::from_tokens(5.0));
+    const TxId first = ledger.submit(DeployHtlcPayload{
+        alice_, bob_, Amount::from_tokens(1.0), secret.commitment(), 50.0});
+    const TxId second = ledger.submit(DeployHtlcPayload{
+        alice_, bob_, Amount::from_tokens(1.0), secret.commitment(), 50.0});
+    queue.run_until(20.0);
+    // Look for a jitter draw where the FIRST submission confirmed LAST.
+    if (!(ledger.transaction(first).confirmed_at >
+          ledger.transaction(second).confirmed_at)) {
+      continue;
+    }
+    exercised_inversion = true;
+    const HtlcContract* found = ledger.find_htlc_by_hash(secret.commitment());
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->id.value, ledger.pending_contract_of(first).value);
+    EXPECT_DOUBLE_EQ(found->deployed_at,
+                     ledger.transaction(first).confirmed_at);
+  }
+  ASSERT_TRUE(exercised_inversion)
+      << "no jitter seed inverted the confirmation order";
+}
+
+TEST_F(LedgerTest, FindHtlcByHashTieBreaksOnHigherId) {
+  // Without jitter both deploys confirm at the same instant; the younger
+  // contract (higher id) wins the tie deterministically.
+  const crypto::Secret secret = make_secret(6);
+  ledger_.submit(DeployHtlcPayload{alice_, bob_, Amount::from_tokens(1.0),
+                                   secret.commitment(), 50.0});
+  const TxId second = ledger_.submit(DeployHtlcPayload{
+      alice_, bob_, Amount::from_tokens(1.0), secret.commitment(), 50.0});
+  queue_.run_until(kTau);
+  const HtlcContract* found = ledger_.find_htlc_by_hash(secret.commitment());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id.value, ledger_.pending_contract_of(second).value);
 }
 
 TEST_F(LedgerTest, ConservationAcrossRandomizedWorkload) {

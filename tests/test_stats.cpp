@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace swapgame::math {
@@ -145,6 +146,14 @@ TEST(Histogram, RejectsDegenerateConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
   EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  // Non-finite bounds must throw instead of poisoning width_ -- the ctor
+  // used to compute the bin width before validating anything.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Histogram(0.0, inf, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(-inf, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(nan, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, nan, 10), std::invalid_argument);
 }
 
 }  // namespace
