@@ -63,6 +63,19 @@ class Report {
     return failures_ == 0 ? 0 : 1;
   }
 
+  /// Writes a structured trace stream (obs::TraceCollector::jsonl) to
+  /// TRACE_<slug>.jsonl next to BENCH_<slug>.json, so a bench run leaves
+  /// both its timing telemetry and a replayable event sample behind.  See
+  /// docs/OBSERVABILITY.md for the line schema.
+  void write_trace_jsonl(const std::string& jsonl) {
+    const std::string path = "TRACE_" + slug() + ".jsonl";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+      std::printf("TRACE wrote %s (%zu bytes)\n", path.c_str(), jsonl.size());
+    }
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 

@@ -22,6 +22,7 @@
 #include "agents/naive.hpp"
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
+#include "obs/trace.hpp"
 #include "sim/monte_carlo.hpp"
 
 using namespace swapgame;
@@ -56,6 +57,7 @@ int main() {
                    "dropped_txs,rebroadcasts,violations");
   const std::vector<double> drops = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
   std::vector<sim::McEstimate> drop_cells;
+  obs::TraceCollector traces;
   for (const double drop : drops) {
     proto::SwapSetup setup = base_setup();
     setup.expiry_margin = 8.0;  // room for re-broadcasts to land
@@ -64,6 +66,13 @@ int main() {
     sim::McConfig config;
     config.samples = 2000;
     config.seed = 14;
+    if (drop == 0.1) {
+      // Export event streams from one faulted cell: every 500th run shows
+      // drops, re-broadcasts and deferred confirmations end to end
+      // (TRACE_x14_fault_robustness.jsonl; see docs/OBSERVABILITY.md).
+      config.trace_stride = 500;
+      config.traces = &traces;
+    }
     const sim::McEstimate e =
         sim::run_protocol_mc(setup, rational, rational, config);
     const auto ci = e.success.wilson_interval();
@@ -79,6 +88,7 @@ int main() {
                                         e.invariant_failures)));
     drop_cells.push_back(e);
   }
+  report.write_trace_jsonl(traces.jsonl());
 
   const sim::McEstimate& zero_fault = drop_cells.front();
   const auto zero_ci = zero_fault.success.wilson_interval();

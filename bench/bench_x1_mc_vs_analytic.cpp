@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
+#include "obs/trace.hpp"
 #include "sim/monte_carlo.hpp"
 #include "sweep/sweep.hpp"
 
@@ -85,9 +86,15 @@ int main() {
     sim::McConfig cfg;
     cfg.samples = 6000;
     cfg.seed = 3003;
+    // Export a structured trace sample alongside the numbers: every 1000th
+    // run's full event stream lands in TRACE_x1.jsonl (docs/OBSERVABILITY.md).
+    obs::TraceCollector traces;
+    cfg.trace_stride = 1000;
+    cfg.traces = &traces;
     const sim::McEstimate est = sim::run_protocol_mc(
         setup, sim::rational_factory(p, 2.0), sim::rational_factory(p, 2.0),
         cfg);
+    report.write_trace_jsonl(traces.jsonl());
     report.csv_begin("realized_utilities",
                      "agent,protocol_mean,protocol_ci,model_t1_value");
     report.csv_row(bench::fmt("alice,%.5f,%.5f,%.5f",

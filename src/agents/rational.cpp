@@ -1,9 +1,22 @@
 #include "rational.hpp"
 
+#include <cstdio>
 #include <memory>
 #include <utility>
 
 namespace swapgame::agents {
+
+namespace {
+
+/// Compact "%.6g" rendering for decision-rule strings (trace annotations,
+/// not data: the exact thresholds live in the game objects).
+std::string num(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", x);
+  return buf;
+}
+
+}  // namespace
 
 const char* to_string(Stage stage) noexcept {
   switch (stage) {
@@ -45,6 +58,24 @@ model::Action RationalStrategy::decide(Stage stage, const DecisionContext& ctx) 
   return model::Action::kStop;
 }
 
+std::string RationalStrategy::decision_rule(Stage stage) const {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      if (role_ != Role::kAlice) return {};
+      return "cont iff U_t1(cont)=" + num(game_->alice_t1_cont()) +
+             " > P*=" + num(game_->alice_t1_stop());
+    case Stage::kT2Lock:
+      if (role_ != Role::kBob) return {};
+      return "cont iff p in " + game_->bob_t2_region().to_string();
+    case Stage::kT3Reveal:
+      if (role_ != Role::kAlice) return {};
+      return "cont iff p > " + num(game_->alice_t3_cutoff());
+    case Stage::kT4Claim:
+      return role_ == Role::kBob ? "always cont (dominant)" : std::string();
+  }
+  return {};
+}
+
 CollateralRationalStrategy::CollateralRationalStrategy(
     Role role, const model::SwapParams& params, double p_star,
     double collateral)
@@ -72,6 +103,26 @@ model::Action CollateralRationalStrategy::decide(Stage stage,
       return model::Action::kCont;
   }
   return model::Action::kStop;
+}
+
+std::string CollateralRationalStrategy::decision_rule(Stage stage) const {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      return role_ == Role::kAlice
+                 ? "cont iff U_t1(cont)=" + num(game_->alice_t1_cont()) +
+                       " > P*+Q=" + num(game_->alice_t1_stop())
+                 : "cont iff U_t1(cont)=" + num(game_->bob_t1_cont()) +
+                       " > P_t1+Q=" + num(game_->bob_t1_stop());
+    case Stage::kT2Lock:
+      if (role_ != Role::kBob) return {};
+      return "cont iff p in " + game_->bob_t2_region().to_string();
+    case Stage::kT3Reveal:
+      if (role_ != Role::kAlice) return {};
+      return "cont iff p > " + num(game_->alice_t3_cutoff());
+    case Stage::kT4Claim:
+      return role_ == Role::kBob ? "always cont (dominant)" : std::string();
+  }
+  return {};
 }
 
 PremiumRationalStrategy::PremiumRationalStrategy(Role role,
@@ -104,6 +155,24 @@ model::Action PremiumRationalStrategy::decide(Stage stage,
   return model::Action::kStop;
 }
 
+std::string PremiumRationalStrategy::decision_rule(Stage stage) const {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      if (role_ != Role::kAlice) return {};
+      return "cont iff U_t1(cont)=" + num(game_->alice_t1_cont()) +
+             " > P*+pr=" + num(game_->alice_t1_stop());
+    case Stage::kT2Lock:
+      if (role_ != Role::kBob) return {};
+      return "cont iff p in " + game_->bob_t2_region().to_string();
+    case Stage::kT3Reveal:
+      if (role_ != Role::kAlice) return {};
+      return "cont iff p > " + num(game_->alice_t3_cutoff());
+    case Stage::kT4Claim:
+      return role_ == Role::kBob ? "always cont (dominant)" : std::string();
+  }
+  return {};
+}
+
 CommitmentRationalStrategy::CommitmentRationalStrategy(
     Role role, const model::SwapParams& params, double p_star)
     : role_(role),
@@ -129,6 +198,22 @@ model::Action CommitmentRationalStrategy::decide(Stage stage,
       return model::Action::kCont;
   }
   return model::Action::kStop;
+}
+
+std::string CommitmentRationalStrategy::decision_rule(Stage stage) const {
+  switch (stage) {
+    case Stage::kT1Initiate:
+      if (role_ != Role::kAlice) return {};
+      return "cont iff U_t1(cont)=" + num(game_->alice_t1_cont()) +
+             " > P*=" + num(game_->alice_t1_stop());
+    case Stage::kT2Lock:
+      if (role_ != Role::kBob) return {};
+      return "cont iff p <= " + num(game_->bob_t2_threshold());
+    case Stage::kT3Reveal:
+    case Stage::kT4Claim:
+      return {};  // never reached under a witness
+  }
+  return {};
 }
 
 }  // namespace swapgame::agents

@@ -34,6 +34,7 @@ class RationalStrategy final : public Strategy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rational";
   }
+  [[nodiscard]] std::string decision_rule(Stage stage) const override;
 
   [[nodiscard]] const model::BasicGame& game() const noexcept { return *game_; }
 
@@ -58,6 +59,7 @@ class CollateralRationalStrategy final : public Strategy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rational-collateral";
   }
+  [[nodiscard]] std::string decision_rule(Stage stage) const override;
 
   [[nodiscard]] const model::CollateralGame& game() const noexcept {
     return *game_;
@@ -86,6 +88,7 @@ class PremiumRationalStrategy final : public Strategy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rational-premium";
   }
+  [[nodiscard]] std::string decision_rule(Stage stage) const override;
 
   [[nodiscard]] const model::PremiumGame& game() const noexcept {
     return *game_;
@@ -113,6 +116,7 @@ class CommitmentRationalStrategy final : public Strategy {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "rational-commitment";
   }
+  [[nodiscard]] std::string decision_rule(Stage stage) const override;
 
   [[nodiscard]] const model::CommitmentGame& game() const noexcept {
     return *game_;

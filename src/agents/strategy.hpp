@@ -7,6 +7,7 @@
 // (everything else is common knowledge baked into the strategy itself).
 #pragma once
 
+#include <string>
 #include <string_view>
 
 #include "model/params.hpp"
@@ -45,6 +46,16 @@ class Strategy {
 
   /// Short human-readable name for audit logs and bench output.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Human-readable rendering of the rule this strategy applies at `stage`
+  /// (e.g. "cont iff p in [1.2, 3.4)"), used to annotate trace events with
+  /// the game-theoretic context of a decision.  Empty when the strategy has
+  /// no closed-form rule.  Only invoked on traced runs, so implementations
+  /// may format on demand.
+  [[nodiscard]] virtual std::string decision_rule(Stage stage) const {
+    (void)stage;
+    return {};
+  }
 };
 
 }  // namespace swapgame::agents

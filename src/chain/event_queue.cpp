@@ -4,7 +4,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace swapgame::chain {
+
+void EventQueue::set_metrics(obs::MetricsRegistry* metrics) {
+  scheduled_counter_ =
+      metrics == nullptr ? nullptr : &metrics->counter("queue.events_scheduled");
+  processed_counter_ =
+      metrics == nullptr ? nullptr : &metrics->counter("queue.events_processed");
+}
 
 void EventQueue::schedule_at(Hours when, Callback cb) {
   if (!std::isfinite(when)) {
@@ -16,6 +25,7 @@ void EventQueue::schedule_at(Hours when, Callback cb) {
   if (!cb) {
     throw std::invalid_argument("EventQueue::schedule_at: empty callback");
   }
+  if (scheduled_counter_ != nullptr) scheduled_counter_->inc();
   heap_.push(Event{when, next_seq_++, std::move(cb)});
 }
 
@@ -28,10 +38,14 @@ void EventQueue::schedule_in(Hours delay, Callback cb) {
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // Copy out before pop so the callback may schedule new events.
-  Event ev = heap_.top();
+  // Move out before pop so the callback may schedule new events.  top() is
+  // const, but moving from it is safe here: the comparator only reads the
+  // scalar (when, seq) fields, which moving the std::function leaves intact,
+  // and the element is popped before anything can observe it again.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
   heap_.pop();
   now_ = ev.when;
+  if (processed_counter_ != nullptr) processed_counter_->inc();
   ev.cb();
   return true;
 }

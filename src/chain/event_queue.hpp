@@ -14,6 +14,11 @@
 
 #include "types.hpp"
 
+namespace swapgame::obs {
+class MetricsRegistry;
+class Counter;
+}  // namespace swapgame::obs
+
 namespace swapgame::chain {
 
 /// Deterministic discrete-event scheduler.
@@ -46,6 +51,12 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Optional metrics sink (nullptr = disabled, the default): counts
+  /// `queue.events_scheduled` / `queue.events_processed`.  The counter
+  /// references are resolved once here so the hot path pays a single
+  /// null check, never a registry lookup.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
 
  private:
@@ -64,6 +75,8 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   Hours now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  obs::Counter* scheduled_counter_ = nullptr;
+  obs::Counter* processed_counter_ = nullptr;
 };
 
 }  // namespace swapgame::chain

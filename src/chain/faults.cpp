@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace swapgame::chain {
 
 void FaultWindow::validate() const {
@@ -66,14 +68,30 @@ FaultInjector::SubmissionFate FaultInjector::on_submit(Hours now) {
   if (model_.drop_prob > 0.0 && math::uniform01(rng_) < model_.drop_prob) {
     fate.dropped = true;
     ++dropped_;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceKind::kFaultDrop,
+                     {{"chain", chain_label_}});
+    }
     return fate;
   }
   fate.mempool_entry = first_time_outside(model_.censorship, now);
-  if (fate.mempool_entry > now) ++censored_;
+  if (fate.mempool_entry > now) {
+    ++censored_;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceKind::kFaultCensor,
+                     {{"chain", chain_label_},
+                      {"deferred_to", fate.mempool_entry}});
+    }
+  }
   if (model_.extra_delay_prob > 0.0 && model_.extra_delay_max > 0.0 &&
       math::uniform01(rng_) < model_.extra_delay_prob) {
     fate.extra_delay = model_.extra_delay_max * math::uniform01(rng_);
     ++delayed_;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::TraceKind::kFaultDelay,
+                     {{"chain", chain_label_},
+                      {"extra_delay", fate.extra_delay}});
+    }
   }
   return fate;
 }

@@ -32,6 +32,10 @@
 #include "math/rng.hpp"
 #include "types.hpp"
 
+namespace swapgame::obs {
+class TraceRecorder;
+}  // namespace swapgame::obs
+
 namespace swapgame::chain {
 
 /// A half-open time interval [begin, end) during which a fault condition
@@ -112,12 +116,22 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t censored() const noexcept { return censored_; }
   [[nodiscard]] std::uint64_t delayed() const noexcept { return delayed_; }
 
+  /// Optional structured trace sink (nullptr = disabled, the default).
+  /// `chain_label` tags every emitted event ("Chain_a"/"Chain_b"); it must
+  /// point at storage that outlives the injector's use.
+  void set_trace(obs::TraceRecorder* trace, const char* chain_label) noexcept {
+    trace_ = trace;
+    chain_label_ = chain_label;
+  }
+
  private:
   FaultModel model_;
   math::Xoshiro256 rng_;
   std::uint64_t dropped_ = 0;
   std::uint64_t censored_ = 0;
   std::uint64_t delayed_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  const char* chain_label_ = "";
 };
 
 }  // namespace swapgame::chain

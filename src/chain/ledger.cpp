@@ -8,8 +8,31 @@
 
 #include "auditor.hpp"
 #include "faults.hpp"
+#include "obs/trace.hpp"
 
 namespace swapgame::chain {
+
+namespace {
+
+/// Short payload tag for trace events.
+const char* payload_name(const TxPayload& payload) noexcept {
+  struct Visitor {
+    const char* operator()(const TransferPayload&) const { return "transfer"; }
+    const char* operator()(const DeployHtlcPayload&) const { return "deploy"; }
+    const char* operator()(const ClaimHtlcPayload&) const { return "claim"; }
+    const char* operator()(const RefundHtlcPayload&) const { return "refund"; }
+    const char* operator()(const CancelHtlcPayload&) const { return "cancel"; }
+    const char* operator()(const DepositCollateralPayload&) const {
+      return "deposit";
+    }
+    const char* operator()(const ReleaseCollateralPayload&) const {
+      return "release";
+    }
+  };
+  return std::visit(Visitor{}, payload);
+}
+
+}  // namespace
 
 const char* to_string(TxStatus status) noexcept {
   switch (status) {
@@ -118,6 +141,13 @@ TxId Ledger::submit(TxPayload payload) {
       tx.failure_reason = "dropped: never reached the mempool";
       tx.visible_at = std::numeric_limits<Hours>::infinity();
       tx.confirmed_at = std::numeric_limits<Hours>::infinity();
+      if (trace_ != nullptr) {
+        trace_->record(tx.submitted_at, obs::TraceKind::kBroadcast,
+                       {{"chain", to_string(params_.id)},
+                        {"tx", id.value},
+                        {"payload", payload_name(tx.payload)},
+                        {"status", "dropped"}});
+      }
       transactions_.emplace(id.value, std::move(tx));
       return id;  // never scheduled for application
     }
@@ -135,6 +165,14 @@ TxId Ledger::submit(TxPayload payload) {
   tx.confirmed_at = mempool_entry + delay + extra_delay;
   if (faults_ != nullptr) {
     tx.confirmed_at = faults_->delay_past_halts(tx.confirmed_at);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(tx.submitted_at, obs::TraceKind::kBroadcast,
+                   {{"chain", to_string(params_.id)},
+                    {"tx", id.value},
+                    {"payload", payload_name(tx.payload)},
+                    {"visible_at", tx.visible_at},
+                    {"confirm_at", tx.confirmed_at}});
   }
   transactions_.emplace(id.value, std::move(tx));
 
@@ -256,6 +294,18 @@ void Ledger::apply(Transaction& tx) {
   if (tx.status != TxStatus::kFailed) {
     tx.status = TxStatus::kConfirmed;
     confirmation_log_.push_back(tx.id);
+    if (trace_ != nullptr) {
+      trace_->record(queue_->now(), obs::TraceKind::kConfirm,
+                     {{"chain", to_string(params_.id)},
+                      {"tx", tx.id.value},
+                      {"payload", payload_name(tx.payload)}});
+    }
+  } else if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kTxFailed,
+                   {{"chain", to_string(params_.id)},
+                    {"tx", tx.id.value},
+                    {"payload", payload_name(tx.payload)},
+                    {"reason", tx.failure_reason}});
   }
   if (auditor_ != nullptr) auditor_->on_transaction_applied(*this, tx);
 }
@@ -304,6 +354,16 @@ void Ledger::apply_deploy(Transaction& tx, const DeployHtlcPayload& p) {
   contract.expiry = p.expiry;
   contract.deployed_at = queue_->now();
   htlcs_.emplace(contract.id.value, contract);
+  if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kHtlcDeployed,
+                   {{"chain", to_string(params_.id)},
+                    {"htlc", contract.id.value},
+                    {"contract", to_string(p.kind)},
+                    {"sender", p.sender.value},
+                    {"recipient", p.recipient.value},
+                    {"amount", p.amount.tokens()},
+                    {"expiry", p.expiry}});
+  }
   schedule_auto_refund(contract.id, p.expiry);
 }
 
@@ -337,6 +397,13 @@ void Ledger::apply_claim(Transaction& tx, const ClaimHtlcPayload& p) {
   contract.revealed_secret = p.secret;
   contract.settled_at = queue_->now();
   account->second += contract.amount;
+  if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kHtlcClaimed,
+                   {{"chain", to_string(params_.id)},
+                    {"htlc", contract.id.value},
+                    {"beneficiary", beneficiary.value},
+                    {"amount", contract.amount.tokens()}});
+  }
 }
 
 void Ledger::apply_refund(Transaction& tx, const RefundHtlcPayload& p) {
@@ -364,6 +431,13 @@ void Ledger::apply_refund(Transaction& tx, const RefundHtlcPayload& p) {
   contract.state = HtlcState::kRefunded;
   contract.settled_at = queue_->now();
   account->second += contract.amount;
+  if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kHtlcRefunded,
+                   {{"chain", to_string(params_.id)},
+                    {"htlc", contract.id.value},
+                    {"beneficiary", beneficiary.value},
+                    {"amount", contract.amount.tokens()}});
+  }
 }
 
 void Ledger::apply_cancel(Transaction& tx, const CancelHtlcPayload& p) {
@@ -388,6 +462,12 @@ void Ledger::apply_cancel(Transaction& tx, const CancelHtlcPayload& p) {
   contract.state = HtlcState::kCancelled;
   contract.settled_at = queue_->now();
   sender->second += contract.amount;
+  if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kHtlcCancelled,
+                   {{"chain", to_string(params_.id)},
+                    {"htlc", contract.id.value},
+                    {"amount", contract.amount.tokens()}});
+  }
 }
 
 void Ledger::apply_deposit(Transaction& tx, const DepositCollateralPayload& p) {
@@ -401,6 +481,13 @@ void Ledger::apply_deposit(Transaction& tx, const DepositCollateralPayload& p) {
   depositor->second -= p.amount;
   vault_deposits_[p.depositor] += p.amount;
   vault_total_ += p.amount;
+  if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kVaultDeposit,
+                   {{"chain", to_string(params_.id)},
+                    {"depositor", p.depositor.value},
+                    {"amount", p.amount.tokens()},
+                    {"vault_total", vault_total_.tokens()}});
+  }
 }
 
 void Ledger::apply_release(Transaction& tx, const ReleaseCollateralPayload& p) {
@@ -432,6 +519,13 @@ void Ledger::apply_release(Transaction& tx, const ReleaseCollateralPayload& p) {
   }
   vault_total_ -= p.amount;
   recipient->second += p.amount;
+  if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kVaultRelease,
+                   {{"chain", to_string(params_.id)},
+                    {"recipient", p.recipient.value},
+                    {"amount", p.amount.tokens()},
+                    {"vault_total", vault_total_.tokens()}});
+  }
 }
 
 void Ledger::schedule_auto_refund(HtlcId id, Hours expiry) {

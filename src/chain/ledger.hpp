@@ -24,6 +24,10 @@
 #include "transaction.hpp"
 #include "types.hpp"
 
+namespace swapgame::obs {
+class TraceRecorder;
+}  // namespace swapgame::obs
+
 namespace swapgame::chain {
 
 class FaultInjector;    // faults.hpp
@@ -129,6 +133,11 @@ class Ledger {
   /// directly (it also snapshots the baseline state).
   void set_auditor(InvariantAuditor* auditor) noexcept { auditor_ = auditor; }
 
+  /// Attaches a structured trace sink recording broadcasts, confirmations
+  /// and every HTLC/vault settlement (docs/OBSERVABILITY.md); nullptr
+  /// (the default) disables tracing with no cost beyond a null check.
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+
   /// The Section IV "special permission": the trusted contract charges the
   /// depositor synchronously (no confirmation delay), moving funds from the
   /// account into the vault.  Throws on insufficient balance.
@@ -167,6 +176,7 @@ class Ledger {
   math::Xoshiro256* rng_ = nullptr;
   FaultInjector* faults_ = nullptr;
   InvariantAuditor* auditor_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   std::map<Address, Amount> accounts_;
   std::map<std::uint64_t, Transaction> transactions_;  // keyed by TxId.value
   std::map<std::uint64_t, HtlcContract> htlcs_;        // keyed by HtlcId.value

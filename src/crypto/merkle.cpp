@@ -23,6 +23,17 @@ MerkleTree::MerkleTree(std::vector<Digest256> leaves) {
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
     const std::vector<Digest256>& below = levels_.back();
+    // CVE-2012-2459 guard: an even-length level whose final two nodes are
+    // equal is exactly the image of the odd-level duplication rule applied
+    // to the one-node-shorter list, so e.g. [A,B,C] and [A,B,C,C] would
+    // hash to the same root and a block id could be mutated by appending a
+    // copy of its last transaction.  Such a level can never arise from
+    // distinct transaction digests; reject it at every level.
+    if (below.size() % 2 == 0 && below[below.size() - 2] == below.back()) {
+      throw std::invalid_argument(
+          "MerkleTree: final node duplicated (root-ambiguity mutation, "
+          "CVE-2012-2459 pattern)");
+    }
     std::vector<Digest256> level;
     level.reserve((below.size() + 1) / 2);
     for (std::size_t i = 0; i < below.size(); i += 2) {
@@ -55,12 +66,23 @@ MerkleProof MerkleTree::prove(std::size_t index) const {
 
 bool MerkleTree::verify(const Digest256& leaf, const MerkleProof& proof,
                         const Digest256& root) {
+  // Direction bits are recomputed from the claimed leaf_index, never taken
+  // from the prover: at depth d the node sits at position `pos`, and its
+  // sibling is on the left iff pos is odd.  A proof whose flags disagree
+  // with its claimed position is rejected outright, and the position must
+  // be exhausted (pos == 0) by the final step -- otherwise a proof for
+  // index i would also verify for any index with the same low direction
+  // bits (e.g. i + 2^steps).
   Digest256 current = leaf;
+  std::size_t pos = proof.leaf_index;
   for (const MerkleStep& step : proof.steps) {
-    current = step.sibling_on_left ? parent(step.sibling, current)
-                                   : parent(current, step.sibling);
+    const bool sibling_on_left = pos % 2 == 1;
+    if (step.sibling_on_left != sibling_on_left) return false;
+    current = sibling_on_left ? parent(step.sibling, current)
+                              : parent(current, step.sibling);
+    pos /= 2;
   }
-  return current == root;
+  return pos == 0 && current == root;
 }
 
 }  // namespace swapgame::crypto

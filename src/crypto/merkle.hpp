@@ -31,6 +31,10 @@ class MerkleTree {
  public:
   /// Builds the tree.  An empty leaf list yields the all-zero root
   /// (conventional for empty blocks).
+  /// @throws std::invalid_argument when any level has an even node count
+  ///   with its last two nodes equal -- the CVE-2012-2459 mutation image
+  ///   ([A,B,C] vs [A,B,C,C] would otherwise share a root).  Distinct
+  ///   transaction digests never produce such a level.
   explicit MerkleTree(std::vector<Digest256> leaves);
 
   [[nodiscard]] const Digest256& root() const noexcept { return root_; }
@@ -42,7 +46,11 @@ class MerkleTree {
   /// @throws std::out_of_range for an invalid index.
   [[nodiscard]] MerkleProof prove(std::size_t index) const;
 
-  /// Verifies that `leaf` at the proof's position hashes up to `root`.
+  /// Verifies that `leaf` at the proof's CLAIMED position (leaf_index)
+  /// hashes up to `root`.  Direction bits are derived from leaf_index, so
+  /// the proof is bound to that position: steps whose sibling_on_left flag
+  /// disagrees with the claimed index, or an index too large for the step
+  /// count, fail verification.
   [[nodiscard]] static bool verify(const Digest256& leaf,
                                    const MerkleProof& proof,
                                    const Digest256& root);

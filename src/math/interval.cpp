@@ -30,15 +30,25 @@ IntervalSet IntervalSet::from_alternating_roots(const std::vector<double>& roots
     throw std::invalid_argument("from_alternating_roots: empty domain");
   }
   std::vector<double> cuts;
+  bool inside = first_piece_inside;
   cuts.push_back(domain_lo);
   for (double r : roots) {
-    if (r > domain_lo && r < domain_hi) cuts.push_back(r);
+    if (r < domain_lo || r > domain_hi) continue;  // truly outside
+    if (r == domain_lo) {
+      // A root exactly on the lower boundary is a zero-width first piece:
+      // the sign the caller sampled at domain_lo is the sign *at* the root,
+      // so the parity flips immediately instead of being silently dropped
+      // (which would invert every piece).
+      inside = !inside;
+      continue;
+    }
+    if (r == domain_hi) continue;  // flips parity only past the domain
+    cuts.push_back(r);
   }
   cuts.push_back(domain_hi);
   std::sort(cuts.begin(), cuts.end());
 
   std::vector<Interval> pieces;
-  bool inside = first_piece_inside;
   for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
     if (inside) pieces.push_back({cuts[i], cuts[i + 1]});
     inside = !inside;

@@ -42,6 +42,12 @@ class IntervalSet {
   /// the set alternates starting with `first_piece_inside`.
   /// Example: roots {a, b, c} with first_piece_inside=false gives
   /// [a,b) U [c, domain_hi).
+  ///
+  /// Boundary-coincident roots are NOT dropped: a root exactly at
+  /// domain_lo toggles the starting parity (the first piece is zero-width),
+  /// and a root exactly at domain_hi is a no-op (the flip happens past the
+  /// domain).  Duplicate interior roots produce empty pieces that normalize
+  /// away, preserving the parity of a tangency (double root).
   static IntervalSet from_alternating_roots(const std::vector<double>& roots,
                                             double domain_lo, double domain_hi,
                                             bool first_piece_inside);

@@ -1,0 +1,296 @@
+#include "metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "trace.hpp"  // format_json_number / append_json_escaped
+
+namespace swapgame::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins) {
+  if (!(lo < hi) || !std::isfinite(lo) || !std::isfinite(hi)) {
+    throw std::invalid_argument("HistogramMetric: need finite lo < hi");
+  }
+  if (bins == 0) {
+    throw std::invalid_argument("HistogramMetric: need at least one bin");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bins);
+}
+
+void HistogramMetric::observe(double x) noexcept {
+  if (std::isnan(x) || x < lo_) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= hi_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::size_t bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= bins_) bin = bins_ - 1;  // guard the x -> hi rounding edge
+  counts_[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramMetric::bin_count(std::size_t bin) const {
+  if (bin >= bins_) {
+    throw std::out_of_range("HistogramMetric::bin_count: bin out of range");
+  }
+  return counts_[bin].load(std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramMetric::total() const noexcept {
+  std::uint64_t total = underflow() + overflow();
+  for (std::size_t i = 0; i < bins_; ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t bins) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second.lo() != lo || it->second.hi() != hi ||
+        it->second.bins() != bins) {
+      throw std::invalid_argument(
+          "MetricsRegistry: histogram re-registered with a different shape: " +
+          std::string(name));
+    }
+    return it->second;
+  }
+  return histograms_
+      .try_emplace(std::string(name), lo, hi, bins)
+      .first->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter.value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::Histogram h;
+    h.lo = hist.lo();
+    h.hi = hist.hi();
+    h.underflow = hist.underflow();
+    h.overflow = hist.overflow();
+    h.counts.reserve(hist.bins());
+    for (std::size_t i = 0; i < hist.bins(); ++i) {
+      h.counts.push_back(hist.bin_count(i));
+    }
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, name);
+    out += "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, name);
+    out += "\": {\"lo\": " + format_json_number(h.lo) +
+           ", \"hi\": " + format_json_number(h.hi) +
+           ", \"underflow\": " + std::to_string(h.underflow) +
+           ", \"overflow\": " + std::to_string(h.overflow) + ", \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal cursor-based parser for the exact shape to_json() emits (plus
+/// arbitrary whitespace).  Not a general JSON parser.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw std::invalid_argument(
+          std::string("parse_snapshot: expected '") + c + "' at offset " +
+          std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] bool consume_if(char c) {
+    if (!peek_is(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          if (pos_ + 4 > text_.size()) {
+            throw std::invalid_argument("parse_snapshot: truncated \\u escape");
+          }
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          out.push_back(
+              static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16)));
+          continue;
+        }
+        c = esc;  // the escaper only emits \", backslash and \u00xx
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  [[nodiscard]] double parse_double() {
+    skip_ws();
+    // Non-finite numbers were serialized as quoted strings.
+    if (peek_is('"')) {
+      const std::string s = parse_string();
+      if (s == "nan") return std::nan("");
+      if (s == "inf") return HUGE_VAL;
+      if (s == "-inf") return -HUGE_VAL;
+      throw std::invalid_argument("parse_snapshot: bad quoted number: " + s);
+    }
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      throw std::invalid_argument("parse_snapshot: expected a number");
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t parse_u64() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(begin, &end, 10);
+    if (end == begin) {
+      throw std::invalid_argument("parse_snapshot: expected an integer");
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+MetricsRegistry::Snapshot MetricsRegistry::parse_snapshot(
+    const std::string& json) {
+  JsonCursor cur(json);
+  Snapshot snap;
+  cur.expect('{');
+
+  if (cur.parse_string() != "counters") {
+    throw std::invalid_argument("parse_snapshot: expected \"counters\"");
+  }
+  cur.expect(':');
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      std::string name = cur.parse_string();
+      cur.expect(':');
+      snap.counters[std::move(name)] = cur.parse_u64();
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  cur.expect(',');
+
+  if (cur.parse_string() != "histograms") {
+    throw std::invalid_argument("parse_snapshot: expected \"histograms\"");
+  }
+  cur.expect(':');
+  cur.expect('{');
+  if (!cur.consume_if('}')) {
+    do {
+      std::string name = cur.parse_string();
+      cur.expect(':');
+      cur.expect('{');
+      Snapshot::Histogram h;
+      do {
+        const std::string key = cur.parse_string();
+        cur.expect(':');
+        if (key == "lo") {
+          h.lo = cur.parse_double();
+        } else if (key == "hi") {
+          h.hi = cur.parse_double();
+        } else if (key == "underflow") {
+          h.underflow = cur.parse_u64();
+        } else if (key == "overflow") {
+          h.overflow = cur.parse_u64();
+        } else if (key == "counts") {
+          cur.expect('[');
+          if (!cur.consume_if(']')) {
+            do {
+              h.counts.push_back(cur.parse_u64());
+            } while (cur.consume_if(','));
+            cur.expect(']');
+          }
+        } else {
+          throw std::invalid_argument("parse_snapshot: unknown key: " + key);
+        }
+      } while (cur.consume_if(','));
+      cur.expect('}');
+      snap.histograms[std::move(name)] = std::move(h);
+    } while (cur.consume_if(','));
+    cur.expect('}');
+  }
+  cur.expect('}');
+  return snap;
+}
+
+}  // namespace swapgame::obs

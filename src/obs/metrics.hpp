@@ -1,0 +1,126 @@
+// Thread-safe metrics registry (docs/OBSERVABILITY.md).
+//
+// Counters are relaxed atomics (inc() is lock-free and wait-free on the
+// hot path); histograms keep atomic per-bin counts over a fixed [lo, hi)
+// range.  Registration is mutex-guarded and returns stable references --
+// node-based storage means a Counter& handed out once stays valid for the
+// registry's lifetime, so producers resolve names once and increment
+// pointers thereafter.
+//
+// snapshot() produces a deterministic, name-sorted view, to_json() renders
+// it canonically, and parse_snapshot() reads that same format back -- the
+// round-trip is asserted by tests/test_obs.cpp and makes snapshots safe to
+// diff byte-wise across runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swapgame::obs {
+
+/// A monotonically increasing counter.  inc() is safe from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-range histogram with `bins` equal-width buckets over [lo, hi);
+/// out-of-range observations land in underflow/overflow.  observe() is
+/// safe from any thread (atomic bin counts).
+class HistogramMetric {
+ public:
+  /// Throws std::invalid_argument unless lo < hi (finite) and bins >= 1.
+  HistogramMetric(double lo, double hi, std::size_t bins);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  /// Total observations, including under/overflow.
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::size_t bins_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+/// Named counters + histograms with create-on-first-use registration.
+class MetricsRegistry {
+ public:
+  /// The counter registered under `name`, created (at zero) on first use.
+  /// The reference stays valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(std::string_view name);
+
+  /// The histogram registered under `name`, created with the given shape on
+  /// first use.  Throws std::invalid_argument if `name` already names a
+  /// histogram with a different (lo, hi, bins) shape.
+  [[nodiscard]] HistogramMetric& histogram(std::string_view name, double lo,
+                                           double hi, std::size_t bins);
+
+  /// A deterministic point-in-time view (all maps name-sorted).
+  struct Snapshot {
+    struct Histogram {
+      double lo = 0.0;
+      double hi = 0.0;
+      std::vector<std::uint64_t> counts;
+      std::uint64_t underflow = 0;
+      std::uint64_t overflow = 0;
+
+      [[nodiscard]] bool operator==(const Histogram&) const = default;
+    };
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, Histogram> histograms;
+
+    [[nodiscard]] bool operator==(const Snapshot&) const = default;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Canonical JSON rendering of a snapshot (sorted keys, "%.17g" doubles).
+  [[nodiscard]] static std::string to_json(const Snapshot& snapshot);
+
+  /// Parses the exact format to_json() writes.  Throws
+  /// std::invalid_argument on malformed input.  parse_snapshot(to_json(s))
+  /// == s for every snapshot s (the round-trip test).
+  [[nodiscard]] static Snapshot parse_snapshot(const std::string& json);
+
+  /// Shorthand: to_json(snapshot()).
+  [[nodiscard]] std::string snapshot_json() const {
+    return to_json(snapshot());
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: element addresses survive later insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, HistogramMetric, std::less<>> histograms_;
+};
+
+}  // namespace swapgame::obs

@@ -1,0 +1,142 @@
+#include "trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace swapgame::obs {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kRunStart:
+      return "run-start";
+    case TraceKind::kDecision:
+      return "decision";
+    case TraceKind::kOffline:
+      return "offline";
+    case TraceKind::kBroadcast:
+      return "broadcast";
+    case TraceKind::kRebroadcast:
+      return "rebroadcast";
+    case TraceKind::kBroadcastAbandoned:
+      return "broadcast-abandoned";
+    case TraceKind::kFaultDrop:
+      return "fault-drop";
+    case TraceKind::kFaultCensor:
+      return "fault-censor";
+    case TraceKind::kFaultDelay:
+      return "fault-delay";
+    case TraceKind::kConfirm:
+      return "confirm";
+    case TraceKind::kTxFailed:
+      return "tx-failed";
+    case TraceKind::kHtlcDeployed:
+      return "htlc-deployed";
+    case TraceKind::kHtlcClaimed:
+      return "htlc-claimed";
+    case TraceKind::kHtlcRefunded:
+      return "htlc-refunded";
+    case TraceKind::kHtlcCancelled:
+      return "htlc-cancelled";
+    case TraceKind::kVaultDeposit:
+      return "vault-deposit";
+    case TraceKind::kVaultRelease:
+      return "vault-release";
+    case TraceKind::kSecretObserved:
+      return "secret-observed";
+    case TraceKind::kOutcome:
+      return "outcome";
+  }
+  return "unknown";
+}
+
+std::string format_json_number(double x) {
+  if (std::isnan(x)) return "\"nan\"";
+  if (std::isinf(x)) return x > 0.0 ? "\"inf\"" : "\"-inf\"";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+namespace {
+
+void append_value(std::string& out, const TraceValue& value) {
+  struct Visitor {
+    std::string& out;
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(std::int64_t i) const { out += std::to_string(i); }
+    void operator()(std::uint64_t u) const { out += std::to_string(u); }
+    void operator()(double d) const { out += format_json_number(d); }
+    void operator()(const std::string& s) const {
+      out.push_back('"');
+      append_json_escaped(out, s);
+      out.push_back('"');
+    }
+  };
+  std::visit(Visitor{out}, value.value);
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_jsonl(const std::string& prefix) const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out.push_back('{');
+    out += prefix;
+    out += "\"t\":";
+    out += format_json_number(event.t);
+    out += ",\"kind\":\"";
+    out += to_string(event.kind);
+    out.push_back('"');
+    for (const TraceField& field : event.fields) {
+      out += ",\"";
+      append_json_escaped(out, field.key);
+      out += "\":";
+      append_value(out, field.value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+void TraceCollector::add(std::uint64_t sample_index,
+                         const TraceRecorder& trace) {
+  // Serialize outside the lock; only the map insert is contended.
+  std::string jsonl =
+      trace.to_jsonl("\"sample\":" + std::to_string(sample_index) + ",");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_[sample_index] = std::move(jsonl);
+}
+
+std::string TraceCollector::jsonl() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [index, lines] : samples_) out += lines;
+  return out;
+}
+
+std::size_t TraceCollector::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+}  // namespace swapgame::obs

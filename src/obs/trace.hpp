@@ -1,0 +1,156 @@
+// Structured swap tracing (docs/OBSERVABILITY.md).
+//
+// A TraceRecorder captures a time-ordered stream of structured events for
+// ONE protocol execution: broadcasts, mempool entry, confirmations,
+// HTLC settlements, fault injections, re-broadcast attempts and the agents'
+// decision epochs annotated with their game-theoretic context (observed
+// price vs. the rational threshold that drove the choice).  The recorder is
+// plain storage -- no locking, no clock reads -- because one swap run is
+// strictly single-threaded; Monte-Carlo parallelism hands each traced
+// sample its own recorder and merges via TraceCollector, keyed by sample
+// index, so the combined JSONL is bit-identical across thread counts.
+//
+// Zero-cost when disabled: producers hold a `TraceRecorder*` that defaults
+// to nullptr and guard every record() behind a pointer check, so a run
+// without tracing performs no allocation, no formatting and no branch
+// beyond that single null test.
+//
+// Serialization is JSONL with a fixed key order (insertion order) and
+// printf "%.17g" doubles, which makes equal event streams byte-equal --
+// the property the trace_diff determinism gate asserts.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace swapgame::obs {
+
+/// What happened.  One enumerator per event family; the payload fields
+/// carry the specifics (see docs/OBSERVABILITY.md for the schema).
+enum class TraceKind : std::uint8_t {
+  kRunStart,            ///< swap terms, schedule and fault summary
+  kDecision,            ///< an agent's epoch: stage, action, price vs rule
+  kOffline,             ///< a party's epoch deferred by an outage window
+  kBroadcast,           ///< transaction submitted to a chain
+  kRebroadcast,         ///< re-submission after a detected drop
+  kBroadcastAbandoned,  ///< sender gave up re-broadcasting (deadline)
+  kFaultDrop,           ///< injector swallowed a submission
+  kFaultCensor,         ///< injector deferred mempool entry past a window
+  kFaultDelay,          ///< injector added extra confirmation delay
+  kConfirm,             ///< transaction confirmed (applied successfully)
+  kTxFailed,            ///< transaction applied but rejected (with reason)
+  kHtlcDeployed,        ///< contract created and funded
+  kHtlcClaimed,         ///< preimage path paid out
+  kHtlcRefunded,        ///< timeout path paid out
+  kHtlcCancelled,       ///< inverse escrow cancelled back
+  kVaultDeposit,        ///< collateral moved into the vault
+  kVaultRelease,        ///< oracle released vault funds
+  kSecretObserved,      ///< a party extracted a preimage from the mempool
+  kOutcome,             ///< terminal classification + final balances
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+/// A typed field value.  The constructors cover the literal types used at
+/// record() call sites; strings are copied (only ever on the traced path).
+struct TraceValue {
+  using Variant =
+      std::variant<bool, std::int64_t, std::uint64_t, double, std::string>;
+
+  TraceValue(bool b) : value(b) {}  // NOLINT(google-explicit-constructor)
+  TraceValue(int i)  // NOLINT(google-explicit-constructor)
+      : value(static_cast<std::int64_t>(i)) {}
+  TraceValue(std::int64_t i) : value(i) {}   // NOLINT
+  TraceValue(std::uint64_t u) : value(u) {}  // NOLINT
+  TraceValue(double d) : value(d) {}         // NOLINT
+  TraceValue(const char* s) : value(std::string(s)) {}  // NOLINT
+  TraceValue(std::string s) : value(std::move(s)) {}    // NOLINT
+
+  Variant value;
+
+  [[nodiscard]] bool operator==(const TraceValue&) const = default;
+};
+
+/// One key/value pair of an event payload.  Keys are serialized in the
+/// order given at record(), which fixes the byte layout.
+struct TraceField {
+  std::string key;
+  TraceValue value;
+
+  [[nodiscard]] bool operator==(const TraceField&) const = default;
+};
+
+/// One recorded event.
+struct TraceEvent {
+  double t = 0.0;  ///< simulation time (hours)
+  TraceKind kind = TraceKind::kRunStart;
+  std::vector<TraceField> fields;
+};
+
+/// Deterministic "%.17g" rendering of a double (round-trips exactly);
+/// non-finite values render as quoted strings to keep the JSON valid.
+[[nodiscard]] std::string format_json_number(double x);
+
+/// Appends `s` JSON-escaped (quotes, backslashes, control chars) to `out`.
+void append_json_escaped(std::string& out, const std::string& s);
+
+/// Event sink for one protocol execution.  Not thread-safe by design (one
+/// run = one thread); see TraceCollector for cross-sample aggregation.
+class TraceRecorder {
+ public:
+  /// Records one event at simulation time `t` with payload `fields`
+  /// (serialized in the given order).
+  void record(double t, TraceKind kind, std::vector<TraceField> fields) {
+    events_.push_back({t, kind, std::move(fields)});
+  }
+  void record(double t, TraceKind kind,
+              std::initializer_list<TraceField> fields) {
+    events_.push_back({t, kind, std::vector<TraceField>(fields)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Serializes every event as one JSON object per line:
+  ///   {<prefix>"t":<num>,"kind":"<kind>",<fields...>}\n
+  /// `prefix` is a pre-rendered fragment (e.g. "\"sample\":42,") injected
+  /// right after the opening brace of every line; empty for none.
+  [[nodiscard]] std::string to_jsonl(const std::string& prefix = {}) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Thread-safe aggregation of per-sample traces for Monte-Carlo runs.
+/// Workers serialize their recorder outside the lock and insert the JSONL
+/// keyed by the GLOBAL sample index; jsonl() emits samples in ascending
+/// index order, so the aggregate is byte-identical no matter how samples
+/// were scheduled across threads.
+class TraceCollector {
+ public:
+  /// Serializes `trace` with a `"sample":<index>` prefix on every line and
+  /// stores it under `index`.  Re-adding an index overwrites (idempotent
+  /// for deterministic re-runs).
+  void add(std::uint64_t sample_index, const TraceRecorder& trace);
+
+  /// All collected samples, ascending by sample index, concatenated.
+  [[nodiscard]] std::string jsonl() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::string> samples_;
+};
+
+}  // namespace swapgame::obs

@@ -11,6 +11,8 @@
 
 #include "chain/auditor.hpp"
 #include "crypto/secret.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "oracle.hpp"
 
 namespace swapgame::proto {
@@ -99,6 +101,27 @@ class SwapRun {
       auditor_a_.attach(chain_a_);
       auditor_b_.attach(chain_b_);
     }
+    if (setup_.metrics != nullptr) queue_.set_metrics(setup_.metrics);
+    if (setup_.trace != nullptr) {
+      chain_a_.set_trace(setup_.trace);
+      chain_b_.set_trace(setup_.trace);
+      if (injector_a_) {
+        injector_a_->set_trace(setup_.trace,
+                               chain::to_string(chain::ChainId::kChainA));
+      }
+      if (injector_b_) {
+        injector_b_->set_trace(setup_.trace,
+                               chain::to_string(chain::ChainId::kChainB));
+      }
+      setup_.trace->record(0.0, obs::TraceKind::kRunStart,
+                           {{"p_star", setup_.p_star},
+                            {"collateral", setup_.collateral},
+                            {"premium", setup_.premium},
+                            {"t_a", schedule_.t_a},
+                            {"t_b", schedule_.t_b},
+                            {"expiry_margin", setup_.expiry_margin},
+                            {"faults", setup_.faults.any()}});
+    }
   }
 
   SwapResult execute() {
@@ -141,6 +164,24 @@ class SwapRun {
     return {path_->price_at(queue_.now()), setup_.p_star, queue_.now()};
   }
 
+  /// Records a decision epoch with its full game-theoretic context: who
+  /// moved, at which stage, what they saw (price vs. the agreed rate) and
+  /// the closed-form rule that produced the action.  The rule string is
+  /// only computed on traced runs.
+  void trace_decision(const char* party, agents::Strategy& strategy,
+                      agents::Stage stage, const agents::DecisionContext& ctx,
+                      model::Action action) {
+    if (setup_.trace == nullptr) return;
+    setup_.trace->record(queue_.now(), obs::TraceKind::kDecision,
+                         {{"party", party},
+                          {"stage", agents::to_string(stage)},
+                          {"strategy", std::string(strategy.name())},
+                          {"action", std::string(model::to_string(action))},
+                          {"price", ctx.price},
+                          {"p_star", ctx.p_star},
+                          {"rule", strategy.decision_rule(stage)}});
+  }
+
   // --- Fault-tolerant broadcasting. ---------------------------------------
   /// A tracked transaction is re-submitted (with backoff) when the fault
   /// model drops it; `id` always points at the most recent broadcast.
@@ -174,6 +215,12 @@ class SwapRun {
     if (retry_at >= deadline) {
       tracked->abandoned = true;
       log("broadcast lost and deadline too close to retry; giving up");
+      if (setup_.trace != nullptr) {
+        setup_.trace->record(queue_.now(), obs::TraceKind::kBroadcastAbandoned,
+                             {{"chain", chain::to_string(chain.params().id)},
+                              {"attempts", tracked->rebroadcasts},
+                              {"deadline", deadline}});
+      }
       return;
     }
     queue_.schedule_at(
@@ -184,6 +231,12 @@ class SwapRun {
           ++rebroadcasts_;
           log("re-broadcast after drop (attempt " +
               std::to_string(attempt + 1) + ")");
+          if (setup_.trace != nullptr) {
+            setup_.trace->record(queue_.now(), obs::TraceKind::kRebroadcast,
+                                 {{"chain", chain::to_string(chain.params().id)},
+                                  {"tx", tracked->id.value},
+                                  {"attempt", attempt + 1}});
+          }
           watch_broadcast(chain, tracked, std::move(payload), deadline,
                           attempt + 1);
         });
@@ -231,6 +284,10 @@ class SwapRun {
     if (online <= queue_.now()) return false;
     log(std::string(who) + " is offline; epoch deferred to t=" +
         std::to_string(online));
+    if (setup_.trace != nullptr) {
+      setup_.trace->record(queue_.now(), obs::TraceKind::kOffline,
+                           {{"party", who}, {"until", online}});
+    }
     queue_.schedule_at(online, [this, step] { (this->*step)(); });
     return true;
   }
@@ -249,10 +306,14 @@ class SwapRun {
     const agents::DecisionContext ctx = context();
     const model::Action alice_move =
         alice_strategy_->decide(agents::Stage::kT1Initiate, ctx);
+    trace_decision("alice", *alice_strategy_, agents::Stage::kT1Initiate, ctx,
+                   alice_move);
     model::Action bob_move = model::Action::kCont;
     if (setup_.collateral > 0.0) {
       // Section IV: engagement is a simultaneous decision at t1.
       bob_move = bob_strategy_->decide(agents::Stage::kT1Initiate, ctx);
+      trace_decision("bob", *bob_strategy_, agents::Stage::kT1Initiate, ctx,
+                     bob_move);
     }
     if (alice_move == model::Action::kStop || bob_move == model::Action::kStop) {
       outcome_ = SwapOutcome::kNotInitiated;
@@ -318,8 +379,10 @@ class SwapRun {
       cancel_premium_escrow();
       return;
     }
+    const agents::DecisionContext ctx = context();
     const model::Action move =
-        bob_strategy_->decide(agents::Stage::kT2Lock, context());
+        bob_strategy_->decide(agents::Stage::kT2Lock, ctx);
+    trace_decision("bob", *bob_strategy_, agents::Stage::kT2Lock, ctx, move);
     if (move == model::Action::kStop) {
       outcome_ = SwapOutcome::kBobDeclinedT2;
       log("t2: bob declined to lock (price=" +
@@ -350,8 +413,11 @@ class SwapRun {
       log("t3: bob's contract failed verification; alice withholds the secret");
       return;
     }
+    const agents::DecisionContext ctx = context();
     const model::Action move =
-        alice_strategy_->decide(agents::Stage::kT3Reveal, context());
+        alice_strategy_->decide(agents::Stage::kT3Reveal, ctx);
+    trace_decision("alice", *alice_strategy_, agents::Stage::kT3Reveal, ctx,
+                   move);
     if (move == model::Action::kStop) {
       outcome_ = SwapOutcome::kAliceDeclinedT3;
       log("t3: alice withheld the secret (price=" +
@@ -395,8 +461,15 @@ class SwapRun {
       log("t4: no secret visible in Chain_b mempool; bob cannot claim");
       return;
     }
+    if (setup_.trace != nullptr) {
+      setup_.trace->record(queue_.now(), obs::TraceKind::kSecretObserved,
+                           {{"party", "bob"},
+                            {"chain", chain::to_string(chain_b_.params().id)}});
+    }
+    const agents::DecisionContext ctx = context();
     const model::Action move =
-        bob_strategy_->decide(agents::Stage::kT4Claim, context());
+        bob_strategy_->decide(agents::Stage::kT4Claim, ctx);
+    trace_decision("bob", *bob_strategy_, agents::Stage::kT4Claim, ctx, move);
     if (move == model::Action::kStop) {
       outcome_ = SwapOutcome::kBobMissedT4;
       log("t4: bob (irrationally) declined to claim");
@@ -544,6 +617,39 @@ class SwapRun {
       compute_faulted_values(result);
     } else {
       compute_realized_values(result);
+    }
+    if (setup_.trace != nullptr) {
+      setup_.trace->record(queue_.now(), obs::TraceKind::kOutcome,
+                           {{"outcome", to_string(result.outcome)},
+                            {"success", result.success},
+                            {"alice_utility", result.alice.realized_utility},
+                            {"bob_utility", result.bob.realized_utility},
+                            {"dropped_txs", result.dropped_txs},
+                            {"rebroadcasts", result.rebroadcasts},
+                            {"conservation_ok", result.conservation_ok},
+                            {"invariants_ok", result.invariants_ok}});
+    }
+    if (setup_.metrics != nullptr) {
+      obs::MetricsRegistry& m = *setup_.metrics;
+      m.counter("swap.runs").inc();
+      m.counter(std::string("swap.outcome.") + to_string(result.outcome))
+          .inc();
+      if (result.dropped_txs > 0) {
+        m.counter("swap.dropped_txs")
+            .inc(static_cast<std::uint64_t>(result.dropped_txs));
+      }
+      if (result.rebroadcasts > 0) {
+        m.counter("swap.rebroadcasts")
+            .inc(static_cast<std::uint64_t>(result.rebroadcasts));
+      }
+      if (!result.conservation_ok) m.counter("swap.conservation_failures").inc();
+      if (!result.invariants_ok) m.counter("swap.invariant_failures").inc();
+      // Realized-utility range: the paper's Table III utilities live well
+      // inside [-4, 12) for every bench configuration.
+      m.histogram("swap.alice_utility", -4.0, 12.0, 32)
+          .observe(result.alice.realized_utility);
+      m.histogram("swap.bob_utility", -4.0, 12.0, 32)
+          .observe(result.bob.realized_utility);
     }
     result.audit = std::move(audit_);
     return result;

@@ -35,6 +35,11 @@
 #include "model/timeline.hpp"
 #include "price_path.hpp"
 
+namespace swapgame::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace swapgame::obs
+
 namespace swapgame::proto {
 
 /// How the swap ended.
@@ -164,6 +169,16 @@ struct SwapSetup {
   /// Attach an InvariantAuditor to both ledgers for the run (cheap; on by
   /// default).  Verdict lands in SwapResult::invariants_ok.
   bool audit = true;
+
+  // --- Observability (docs/OBSERVABILITY.md). -----------------------------
+  /// Structured event sink for this run: broadcasts, confirmations, HTLC
+  /// settlements, fault injections and every agent decision epoch with its
+  /// game-theoretic context.  nullptr (the default) disables tracing at
+  /// zero cost (a single null check per would-be event).
+  obs::TraceRecorder* trace = nullptr;
+  /// Aggregate counters/histograms across runs (thread-safe; shareable by
+  /// concurrent run_swap calls).  nullptr disables.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs one complete swap and returns the audited result.  The function

@@ -1,6 +1,7 @@
 #include "monte_carlo.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "agents/naive.hpp"
@@ -8,14 +9,17 @@
 #include "math/gbm.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
+#include "obs/trace.hpp"
 #include "path_simulator.hpp"
 #include "sweep/sweep.hpp"
 
 namespace swapgame::sim {
 
 double McEstimate::conditional_success_rate() const noexcept {
-  return initiated.trials() == 0 || initiated.successes() == 0
-             ? 0.0
+  // "No initiated sample" leaves the conditional undefined -- signal that
+  // with NaN rather than a fake 0 (which reads as "initiated, always lost").
+  return initiated.successes() == 0
+             ? std::numeric_limits<double>::quiet_NaN()
              : static_cast<double>(success.successes()) /
                    static_cast<double>(initiated.successes());
 }
@@ -139,8 +143,18 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
           // thread counts, like the price-path streams.
           sample_setup.faults.seed =
               setup.faults.seed ^ (index * 0xD1B54A32D192ED03ULL + 0x2545F491ULL);
+          sample_setup.metrics = config.metrics;
+          // Trace-sampled runs get a per-sample recorder; the collector
+          // keys the serialized stream by sample index, so the exported
+          // JSONL is independent of the worker that ran the sample.
+          obs::TraceRecorder recorder;
+          const bool traced = config.traces != nullptr &&
+                              config.trace_stride != 0 &&
+                              index % config.trace_stride == 0;
+          if (traced) sample_setup.trace = &recorder;
           const proto::SwapResult result =
               proto::run_swap(sample_setup, *a, *b, path);
+          if (traced) config.traces->add(index, recorder);
 
           const bool started =
               result.outcome != proto::SwapOutcome::kNotInitiated;

@@ -27,6 +27,11 @@
 #include "model/strategy_value.hpp"
 #include "proto/swap_protocol.hpp"
 
+namespace swapgame::obs {
+class TraceCollector;
+class MetricsRegistry;
+}  // namespace swapgame::obs
+
 namespace swapgame::sim {
 
 /// Monte-Carlo configuration.
@@ -34,6 +39,18 @@ struct McConfig {
   std::size_t samples = 10'000;
   std::uint64_t seed = 1;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+
+  /// Protocol-MC trace sampling: when `traces` is set and `trace_stride`
+  /// is nonzero, every sample whose index is a multiple of the stride runs
+  /// with a TraceRecorder attached and its serialized event stream is added
+  /// to the collector keyed by the SAMPLE INDEX -- so the exported JSONL is
+  /// bit-identical across thread counts, like the estimates themselves.
+  /// All other samples keep the null-recorder fast path.
+  std::size_t trace_stride = 0;
+  obs::TraceCollector* traces = nullptr;
+  /// Optional metrics sink attached to EVERY protocol sample (counters are
+  /// commutative, so thread count does not affect the final snapshot).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Aggregated estimates over all samples.
@@ -52,7 +69,11 @@ struct McEstimate {
   std::uint64_t rebroadcasts = 0;
 
   /// Success rate conditional on initiation -- the paper's SR definition
-  /// ("after it has been initiated", Section III-F).
+  /// ("after it has been initiated", Section III-F).  Returns quiet NaN
+  /// when NO sample initiated: "conditioned on an empty event" is not the
+  /// same observation as "initiated and always failed" (a true 0), and
+  /// conflating them used to make never-initiating cells look maximally
+  /// fragile in the fault benches.
   [[nodiscard]] double conditional_success_rate() const noexcept;
 
   void merge(const McEstimate& other);

@@ -84,6 +84,71 @@ TEST(IntervalSet, FromAlternatingRootsIgnoresOutOfDomainRoots) {
   EXPECT_EQ(set.intervals()[0].hi, 10.0);
 }
 
+// Regression: roots landing exactly ON a domain endpoint used to be
+// discarded like out-of-domain ones, silently losing a parity flip.  The
+// indifference functions do hit the sweep boundaries (e.g. a cont-region
+// edge exactly at p_min when collateral makes Bob indifferent there), and
+// dropping that root inverted the whole region.
+TEST(IntervalSet, RootAtDomainLoTogglesStartingParity) {
+  // First piece "inside" but zero-width: the real set starts OUTSIDE.
+  const auto set =
+      IntervalSet::from_alternating_roots({0.0, 2.0}, 0.0, 10.0, true);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0].lo, 2.0);
+  EXPECT_EQ(set.intervals()[0].hi, 10.0);
+  EXPECT_FALSE(set.contains(1.0));
+
+  // Starting outside, a root at lo means inside from the very start.
+  const auto flipped =
+      IntervalSet::from_alternating_roots({0.0, 2.0}, 0.0, 10.0, false);
+  ASSERT_EQ(flipped.size(), 1u);
+  EXPECT_EQ(flipped.intervals()[0].lo, 0.0);
+  EXPECT_EQ(flipped.intervals()[0].hi, 2.0);
+}
+
+TEST(IntervalSet, RootAtDomainHiIsANoOp) {
+  // The flip happens past the domain; [1, hi) must not collapse.
+  const auto set =
+      IntervalSet::from_alternating_roots({1.0, 10.0}, 0.0, 10.0, false);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0].lo, 1.0);
+  EXPECT_EQ(set.intervals()[0].hi, 10.0);
+}
+
+TEST(IntervalSet, RootsAtBothEndpointsCompose) {
+  // {lo, hi} starting inside: parity flips at lo (-> outside for the whole
+  // domain) and the hi root changes nothing.
+  const auto set =
+      IntervalSet::from_alternating_roots({0.0, 10.0}, 0.0, 10.0, true);
+  EXPECT_TRUE(set.empty());
+  const auto inv =
+      IntervalSet::from_alternating_roots({0.0, 10.0}, 0.0, 10.0, false);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv.intervals()[0].lo, 0.0);
+  EXPECT_EQ(inv.intervals()[0].hi, 10.0);
+}
+
+TEST(IntervalSet, TangentDoubleRootPreservesParity) {
+  // A double root (tangency) flips twice: inside stays inside (the
+  // zero-width gap normalizes away), outside stays outside.
+  const auto inside =
+      IntervalSet::from_alternating_roots({2.0, 2.0}, 0.0, 10.0, true);
+  ASSERT_EQ(inside.size(), 1u);
+  EXPECT_EQ(inside.intervals()[0].lo, 0.0);
+  EXPECT_EQ(inside.intervals()[0].hi, 10.0);
+  EXPECT_TRUE(
+      IntervalSet::from_alternating_roots({2.0, 2.0}, 0.0, 10.0, false)
+          .empty());
+}
+
+TEST(IntervalSet, DoubleRootAtDomainLoCancelsOut) {
+  const auto set =
+      IntervalSet::from_alternating_roots({0.0, 0.0, 3.0}, 0.0, 10.0, true);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0].lo, 0.0);
+  EXPECT_EQ(set.intervals()[0].hi, 3.0);
+}
+
 TEST(IntervalSet, FromAlternatingRootsRejectsEmptyDomain) {
   EXPECT_THROW(IntervalSet::from_alternating_roots({}, 1.0, 1.0, true),
                std::invalid_argument);

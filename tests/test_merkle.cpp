@@ -85,6 +85,87 @@ TEST(MerkleTree, TamperedProofStepFailsVerification) {
   EXPECT_FALSE(MerkleTree::verify(leaves[3], flipped, tree.root()));
 }
 
+// Regression: verify() used to ignore proof.leaf_index entirely and walk
+// whatever direction bits the steps carried, so a valid proof could be
+// presented as proving ANY position.  Direction bits are now recomputed
+// from the claimed index and must agree with the steps.
+TEST(MerkleTree, ProofIsBoundToItsClaimedPosition) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(3);
+  ASSERT_TRUE(MerkleTree::verify(leaves[3], proof, tree.root()));
+
+  // Claiming a different position with the same steps must fail, even
+  // though the hash walk itself would still reach the root.
+  proof.leaf_index = 2;
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
+  proof.leaf_index = 5;
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
+}
+
+// Regression: an index beyond the tree (claimed index + 2^steps) leaves
+// residual position bits after consuming every step; such proofs must be
+// rejected rather than treated as position 3's.
+TEST(MerkleTree, OverlargeLeafIndexAliasFailsVerification) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(3);
+  proof.leaf_index = 3 + 8;  // same low bits, out of range
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
+}
+
+TEST(MerkleTree, ProofsAtEveryPositionRejectEveryOtherClaimedIndex) {
+  const auto leaves = make_leaves(5);
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    MerkleProof proof = tree.prove(i);
+    for (std::size_t claimed = 0; claimed < leaves.size(); ++claimed) {
+      proof.leaf_index = claimed;
+      EXPECT_EQ(MerkleTree::verify(leaves[i], proof, tree.root()),
+                claimed == i)
+          << "i=" << i << " claimed=" << claimed;
+    }
+  }
+}
+
+// Regression (CVE-2012-2459 pattern): [A,B,C] and [A,B,C,C] used to hash
+// to the SAME root, because the odd-count duplication of C is
+// indistinguishable from an explicit duplicate leaf.  A mutated block
+// could then carry a bogus duplicated transaction under a valid root.
+// The constructor now rejects any level whose even node count ends in two
+// equal digests.
+TEST(MerkleTree, DuplicateFinalLeafMutationIsRejected) {
+  auto leaves = make_leaves(3);
+  const MerkleTree honest(leaves);
+  leaves.push_back(leaves.back());  // the mutation image [A,B,C,C]
+  EXPECT_THROW((void)MerkleTree(leaves), std::invalid_argument);
+  EXPECT_EQ(honest.leaf_count(), 3u);
+}
+
+TEST(MerkleTree, DuplicateFinalPairAtInnerLevelIsRejected) {
+  // The mutation can also live one level up: duplicating the last PAIR of
+  // leaves ([A,B,C,D,E,F] -> [A,B,C,D,E,F,E,F]) leaves level 0 free of
+  // adjacent duplicates but makes level 1 end in two equal parents --
+  // exactly the image the 6-leaf tree's odd level 1 self-pairs to.
+  auto leaves = make_leaves(6);
+  leaves.push_back(leaves[4]);
+  leaves.push_back(leaves[5]);
+  EXPECT_THROW((void)MerkleTree(leaves), std::invalid_argument);
+}
+
+TEST(MerkleTree, OddCountSelfPairingStillWorks) {
+  // The guard must not reject the LEGITIMATE odd-count duplication that
+  // Bitcoin-style trees perform internally ([A,B,C] pairs C with itself).
+  for (int n : {3, 5, 7, 9, 33}) {
+    const auto leaves = make_leaves(n);
+    const MerkleTree tree(leaves);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(MerkleTree::verify(leaves[i], tree.prove(i), tree.root()))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 TEST(MerkleTree, RootDependsOnLeafOrder) {
   auto leaves = make_leaves(4);
   const MerkleTree tree1(leaves);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "agents/naive.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
@@ -18,8 +20,14 @@ TEST(McEstimate, ConditionalSuccessRate) {
   for (int i = 0; i < 10; ++i) e.initiated.add(i < 8);
   for (int i = 0; i < 10; ++i) e.success.add(i < 4);
   EXPECT_DOUBLE_EQ(e.conditional_success_rate(), 0.5);  // 4 of 8 initiated
+  // Regression: "no sample ever initiated" used to report 0.0, conflating
+  // an empty conditioning event with "initiated and always failed".
   McEstimate empty;
-  EXPECT_EQ(empty.conditional_success_rate(), 0.0);
+  EXPECT_TRUE(std::isnan(empty.conditional_success_rate()));
+  McEstimate all_failed;
+  all_failed.initiated.add(true);
+  all_failed.success.add(false);
+  EXPECT_EQ(all_failed.conditional_success_rate(), 0.0);  // a true zero
 }
 
 TEST(McEstimate, MergeAggregates) {
@@ -112,7 +120,7 @@ TEST(ModelMc, NonViableRateNeverInitiates) {
   cfg.samples = 100;
   const McEstimate est = run_model_mc(defaults(), 5.0, 0.0, cfg);
   EXPECT_EQ(est.initiated.successes(), 0u);
-  EXPECT_EQ(est.conditional_success_rate(), 0.0);
+  EXPECT_TRUE(std::isnan(est.conditional_success_rate()));
   EXPECT_EQ(est.outcomes.at(proto::SwapOutcome::kNotInitiated), 100u);
 }
 

@@ -1,0 +1,144 @@
+// The determinism contract of the tracing layer (docs/OBSERVABILITY.md):
+// running the SAME Monte-Carlo scenario at different thread counts must
+// produce byte-identical aggregated trace JSONL and equal metrics
+// snapshots, because traces are keyed by sample index and every per-sample
+// RNG stream derives from that index, never from worker identity.  This is
+// the in-suite version of the `trace_diff --gate` CI job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "agents/naive.hpp"
+#include "model/params.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "proto/price_path.hpp"
+#include "proto/swap_protocol.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace swapgame;
+
+/// Every fault knob on at once, so the equality check covers the
+/// fault-injection and re-broadcast trace paths too.
+proto::SwapSetup faulted_setup() {
+  proto::SwapSetup setup;
+  setup.params = model::SwapParams::table3_defaults();
+  setup.p_star = 2.0;
+  setup.expiry_margin = 8.0;
+  setup.faults.chain_a.drop_prob = 0.1;
+  setup.faults.chain_b.drop_prob = 0.1;
+  setup.faults.chain_a.extra_delay_prob = 0.2;
+  setup.faults.chain_a.extra_delay_max = 3.0;
+  setup.faults.chain_b.extra_delay_prob = 0.2;
+  setup.faults.chain_b.extra_delay_max = 3.0;
+  setup.faults.chain_b.censorship.push_back({2.5, 3.5});
+  setup.faults.bob_offline.push_back({7.5, 8.5});
+  return setup;
+}
+
+struct TracedRun {
+  std::string jsonl;
+  std::size_t traced_samples = 0;
+  obs::MetricsRegistry::Snapshot metrics;
+  sim::McEstimate estimate;
+};
+
+TracedRun run_traced(const proto::SwapSetup& setup, unsigned threads,
+                     std::size_t samples, std::size_t stride) {
+  const sim::StrategyFactory rational =
+      sim::rational_factory(setup.params, setup.p_star);
+  obs::TraceCollector collector;
+  obs::MetricsRegistry metrics;
+  sim::McConfig config;
+  config.samples = samples;
+  config.seed = 2026;
+  config.threads = threads;
+  config.trace_stride = stride;
+  config.traces = &collector;
+  config.metrics = &metrics;
+  TracedRun run;
+  run.estimate = sim::run_protocol_mc(setup, rational, rational, config);
+  run.jsonl = collector.jsonl();
+  run.traced_samples = collector.size();
+  run.metrics = metrics.snapshot();
+  return run;
+}
+
+TEST(TraceDeterminism, FaultedRunIsByteIdenticalAcrossThreadCounts) {
+  // 415 samples: spans two kProtocolMcChunk=256 chunks with a ragged tail.
+  const proto::SwapSetup setup = faulted_setup();
+  const TracedRun one = run_traced(setup, 1, 415, 7);
+  const TracedRun many = run_traced(setup, 8, 415, 7);
+
+  EXPECT_EQ(one.traced_samples, (415 + 6) / 7);  // indices 0,7,...,413
+  EXPECT_EQ(one.traced_samples, many.traced_samples);
+  EXPECT_EQ(one.jsonl, many.jsonl);  // THE byte-equality contract
+  EXPECT_EQ(one.metrics, many.metrics);
+
+  // And the estimates themselves stay bit-identical, as before tracing.
+  EXPECT_EQ(one.estimate.success.successes(), many.estimate.success.successes());
+  EXPECT_EQ(one.estimate.initiated.trials(), many.estimate.initiated.trials());
+  EXPECT_EQ(one.estimate.dropped_txs, many.estimate.dropped_txs);
+  EXPECT_EQ(one.estimate.rebroadcasts, many.estimate.rebroadcasts);
+}
+
+TEST(TraceDeterminism, TraceStreamCarriesTheExpectedEventFamilies) {
+  const proto::SwapSetup setup = faulted_setup();
+  const TracedRun run = run_traced(setup, 4, 203, 7);
+
+  // Every traced sample opens with run-start and closes with an outcome.
+  EXPECT_NE(run.jsonl.find("\"kind\":\"run-start\""), std::string::npos);
+  EXPECT_NE(run.jsonl.find("\"kind\":\"outcome\""), std::string::npos);
+  // Decision epochs carry game-theoretic context.
+  EXPECT_NE(run.jsonl.find("\"kind\":\"decision\""), std::string::npos);
+  EXPECT_NE(run.jsonl.find("\"p_star\":"), std::string::npos);
+  // The fault knobs really fired somewhere in 29 traced samples.
+  EXPECT_NE(run.jsonl.find("\"kind\":\"fault-"), std::string::npos);
+
+  // Metrics cover every run, not only the traced stride.
+  EXPECT_EQ(run.metrics.counters.at("swap.runs"), 203u);
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbTheEstimate) {
+  // Attaching the trace/metrics sinks must not consume RNG draws or change
+  // scheduling: the estimate with sinks equals the estimate without.
+  const proto::SwapSetup setup = faulted_setup();
+  const sim::StrategyFactory rational =
+      sim::rational_factory(setup.params, setup.p_star);
+  sim::McConfig plain;
+  plain.samples = 203;
+  plain.seed = 2026;
+  plain.threads = 2;
+  const sim::McEstimate bare =
+      sim::run_protocol_mc(setup, rational, rational, plain);
+
+  const TracedRun traced = run_traced(setup, 2, 203, 7);
+  EXPECT_EQ(bare.success.successes(), traced.estimate.success.successes());
+  EXPECT_EQ(bare.success.trials(), traced.estimate.success.trials());
+  EXPECT_EQ(bare.alice_utility.mean(), traced.estimate.alice_utility.mean());
+  EXPECT_EQ(bare.bob_utility.mean(), traced.estimate.bob_utility.mean());
+  EXPECT_EQ(bare.dropped_txs, traced.estimate.dropped_txs);
+}
+
+TEST(TraceDeterminism, SingleRunTraceIsReproducible) {
+  // Two single-threaded executions of one run_swap produce identical
+  // streams -- the base case the MC contract builds on.
+  proto::SwapSetup setup = faulted_setup();
+  std::string streams[2];
+  for (std::string& out : streams) {
+    obs::TraceRecorder trace;
+    setup.trace = &trace;
+    agents::HonestStrategy alice;
+    agents::HonestStrategy bob;
+    const proto::ConstantPricePath path(2.0);
+    (void)proto::run_swap(setup, alice, bob, path);
+    EXPECT_FALSE(trace.empty());
+    out = trace.to_jsonl();
+  }
+  EXPECT_EQ(streams[0], streams[1]);
+}
+
+}  // namespace

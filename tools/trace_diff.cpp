@@ -1,0 +1,168 @@
+// trace_diff -- byte-level comparison of structured swap traces.
+//
+// Two modes:
+//
+//   trace_diff A.jsonl B.jsonl
+//     Compares two trace files line by line.  Exit 0 iff they are
+//     byte-identical; otherwise prints the first differing line of each
+//     side and exits 1.
+//
+//   trace_diff --gate [out_prefix]
+//     The CI determinism gate: runs the SAME faulted Monte-Carlo scenario
+//     (drops + censorship + extra delays + a Bob outage -- every fault
+//     knob the injector has) at threads=1 and threads=8, collecting traces
+//     for every 7th sample, and asserts the two aggregated JSONL streams
+//     are byte-identical.  Also asserts the metrics snapshots match.  When
+//     `out_prefix` is given, writes <out_prefix>_t1.jsonl and
+//     <out_prefix>_t8.jsonl for offline inspection.  Exit 0 iff identical.
+//
+// The gate exists because the determinism contract (docs/OBSERVABILITY.md)
+// is the kind that silently rots: any code path that keys an RNG stream or
+// an event ordering on worker identity instead of sample index breaks it,
+// and nothing else in the test suite looks at full event streams.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace {
+
+using namespace swapgame;
+
+/// Prints the first line where `a` and `b` diverge (1-based line number).
+/// Returns 0 if the strings are byte-identical.
+int diff_streams(const std::string& a, const std::string& b,
+                 const char* label_a, const char* label_b) {
+  if (a == b) return 0;
+  std::istringstream sa(a);
+  std::istringstream sb(b);
+  std::string la;
+  std::string lb;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) break;  // only a missing trailing byte differs
+    if (!ga || !gb || la != lb) {
+      std::fprintf(stderr, "trace_diff: first difference at line %zu\n", line);
+      std::fprintf(stderr, "  %s: %s\n", label_a, ga ? la.c_str() : "<eof>");
+      std::fprintf(stderr, "  %s: %s\n", label_b, gb ? lb.c_str() : "<eof>");
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "trace_diff: streams differ (same lines, different bytes)\n");
+  return 1;
+}
+
+int diff_files(const char* path_a, const char* path_b) {
+  std::ifstream fa(path_a, std::ios::binary);
+  std::ifstream fb(path_b, std::ios::binary);
+  if (!fa) {
+    std::fprintf(stderr, "trace_diff: cannot open %s\n", path_a);
+    return 2;
+  }
+  if (!fb) {
+    std::fprintf(stderr, "trace_diff: cannot open %s\n", path_b);
+    return 2;
+  }
+  std::ostringstream a;
+  std::ostringstream b;
+  a << fa.rdbuf();
+  b << fb.rdbuf();
+  return diff_streams(a.str(), b.str(), path_a, path_b);
+}
+
+/// The gate scenario: every fault knob active at once, so the byte-equality
+/// assertion covers the fault-injection trace events too.
+proto::SwapSetup gate_setup() {
+  proto::SwapSetup setup;
+  setup.params = model::SwapParams::table3_defaults();
+  setup.p_star = 2.0;
+  setup.expiry_margin = 8.0;
+  setup.faults.chain_a.drop_prob = 0.1;
+  setup.faults.chain_b.drop_prob = 0.1;
+  setup.faults.chain_a.extra_delay_prob = 0.2;
+  setup.faults.chain_a.extra_delay_max = 3.0;
+  setup.faults.chain_b.extra_delay_prob = 0.2;
+  setup.faults.chain_b.extra_delay_max = 3.0;
+  setup.faults.chain_b.censorship.push_back({2.5, 3.5});
+  setup.faults.bob_offline.push_back({7.5, 8.5});
+  return setup;
+}
+
+struct GateRun {
+  std::string jsonl;
+  obs::MetricsRegistry::Snapshot metrics;
+};
+
+GateRun run_gate(unsigned threads) {
+  const proto::SwapSetup setup = gate_setup();
+  const sim::StrategyFactory rational =
+      sim::rational_factory(setup.params, setup.p_star);
+  obs::TraceCollector collector;
+  obs::MetricsRegistry metrics;
+  sim::McConfig config;
+  config.samples = 602;  // not a chunk multiple: exercises the ragged tail
+  config.seed = 2026;
+  config.threads = threads;
+  config.trace_stride = 7;
+  config.traces = &collector;
+  config.metrics = &metrics;
+  (void)sim::run_protocol_mc(setup, rational, rational, config);
+  return {collector.jsonl(), metrics.snapshot()};
+}
+
+int run_gate_mode(const char* out_prefix) {
+  std::printf("trace_diff --gate: faulted MC, threads=1 vs threads=8\n");
+  const GateRun one = run_gate(1);
+  const GateRun many = run_gate(8);
+
+  if (out_prefix != nullptr) {
+    const std::string base(out_prefix);
+    std::ofstream(base + "_t1.jsonl", std::ios::binary) << one.jsonl;
+    std::ofstream(base + "_t8.jsonl", std::ios::binary) << many.jsonl;
+    std::printf("trace_diff: wrote %s_t1.jsonl and %s_t8.jsonl\n",
+                out_prefix, out_prefix);
+  }
+
+  const int trace_rc = diff_streams(one.jsonl, many.jsonl, "threads=1",
+                                    "threads=8");
+  const bool metrics_ok = one.metrics == many.metrics;
+  if (!metrics_ok) {
+    std::fprintf(stderr, "trace_diff: metrics snapshots differ\n");
+    std::fprintf(stderr, "--- threads=1 ---\n%s",
+                 obs::MetricsRegistry::to_json(one.metrics).c_str());
+    std::fprintf(stderr, "--- threads=8 ---\n%s",
+                 obs::MetricsRegistry::to_json(many.metrics).c_str());
+  }
+  if (trace_rc == 0 && metrics_ok) {
+    std::size_t lines = 0;
+    for (const char c : one.jsonl) lines += c == '\n' ? 1 : 0;
+    std::printf(
+        "trace_diff: OK -- %zu trace lines and the metrics snapshot are "
+        "byte-identical across thread counts\n",
+        lines);
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--gate") {
+    return run_gate_mode(argc >= 3 ? argv[2] : nullptr);
+  }
+  if (argc == 3) return diff_files(argv[1], argv[2]);
+  std::fprintf(stderr,
+               "usage: trace_diff A.jsonl B.jsonl   -- compare two traces\n"
+               "       trace_diff --gate [prefix]   -- determinism gate\n");
+  return 2;
+}
