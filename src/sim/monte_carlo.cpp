@@ -1,6 +1,7 @@
 #include "monte_carlo.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -186,6 +187,12 @@ McEstimate run_model_mc(const model::SwapParams& params, double p_star,
 
   // The t2 sampling law is loop-invariant; hoist it out of the sample loop.
   const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
+  // The t3 leg is a log-increment from p_t2: constructing a GbmLaw per
+  // sample only re-derived these two loop-invariant constants.
+  const double drift_b =
+      (params.gbm.mu - 0.5 * params.gbm.sigma * params.gbm.sigma) *
+      params.tau_b;
+  const double sd_b = params.gbm.sigma * std::sqrt(params.tau_b);
   return parallel_mc(
       config.samples, kModelMcChunk, config.threads,
       [&](std::size_t chunk, std::size_t, std::size_t count, McEstimate& out) {
@@ -204,9 +211,9 @@ McEstimate run_model_mc(const model::SwapParams& params, double p_star,
             out.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
             continue;
           }
-          const math::GbmLaw law_b(params.gbm, p_t2, params.tau_b);
           const double p_t3 =
-              law_b.sample_from_normal(math::normal_inverse_cdf_draw(rng));
+              p_t2 *
+              std::exp(drift_b + sd_b * math::normal_inverse_cdf_draw(rng));
           if (game.alice_decision_t3(p_t3) != model::Action::kCont) {
             out.success.add(false);
             out.outcomes[proto::SwapOutcome::kAliceDeclinedT3] += 1;
@@ -224,6 +231,10 @@ McEstimate run_profile_mc(const model::SwapParams& params,
   params.validate();
   const math::Xoshiro256 base_rng(config.seed);
   const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
+  const double drift_b =
+      (params.gbm.mu - 0.5 * params.gbm.sigma * params.gbm.sigma) *
+      params.tau_b;
+  const double sd_b = params.gbm.sigma * std::sqrt(params.tau_b);
   return parallel_mc(
       config.samples, kModelMcChunk, config.threads,
       [&](std::size_t chunk, std::size_t, std::size_t count, McEstimate& out) {
@@ -237,9 +248,9 @@ McEstimate run_profile_mc(const model::SwapParams& params,
             out.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
             continue;
           }
-          const math::GbmLaw law_b(params.gbm, p_t2, params.tau_b);
           const double p_t3 =
-              law_b.sample_from_normal(math::normal_inverse_cdf_draw(rng));
+              p_t2 *
+              std::exp(drift_b + sd_b * math::normal_inverse_cdf_draw(rng));
           if (!(p_t3 > profile.alice_cutoff)) {
             out.success.add(false);
             out.outcomes[proto::SwapOutcome::kAliceDeclinedT3] += 1;
