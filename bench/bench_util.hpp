@@ -15,14 +15,53 @@
 // same numbers for machine consumption.  See docs/PERF.md for the format.
 #pragma once
 
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace swapgame::bench {
+
+/// Output directory for BENCH_/TRACE_ artifacts: `SWAPGAME_BENCH_DIR` when
+/// set (created on demand, best effort), the current directory otherwise.
+/// Lets CI and baseline refreshes redirect telemetry to a committed path
+/// (bench/baselines/) instead of losing it to the gitignored cwd.
+inline std::string out_path(const std::string& filename) {
+  const char* dir = std::getenv("SWAPGAME_BENCH_DIR");
+  if (dir == nullptr || dir[0] == '\0') return filename;
+  std::string prefix(dir);
+  // Best-effort recursive mkdir (POSIX); existing components are fine.
+  for (std::size_t pos = 1; pos <= prefix.size(); ++pos) {
+    if (pos == prefix.size() || prefix[pos] == '/') {
+      ::mkdir(prefix.substr(0, pos).c_str(), 0777);
+    }
+  }
+  if (prefix.back() != '/') prefix.push_back('/');
+  return prefix + filename;
+}
+
+/// Sample-count scaling for smoke runs: `SWAPGAME_MC_SCALE=k` divides
+/// protocol-level Monte-Carlo budgets by k (>= 1).  Benches apply it via
+/// scaled() to their expensive protocol loops ONLY -- model-level metric
+/// blocks (samples-to-target-CI) stay at full scale so the numbers CI
+/// gates on are machine- and scale-independent.
+inline std::size_t mc_scale() {
+  const char* env = std::getenv("SWAPGAME_MC_SCALE");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 1 ? static_cast<std::size_t>(v) : 1;
+}
+
+/// `n / mc_scale()`, floored at `floor_n` so scaled runs stay meaningful.
+inline std::size_t scaled(std::size_t n, std::size_t floor_n = 64) {
+  const std::size_t s = n / mc_scale();
+  return s > floor_n ? s : floor_n;
+}
 
 /// Tracks claim failures for the process exit code and wall-clock timing
 /// per CSV block.
@@ -56,6 +95,16 @@ class Report {
 
   void note(const std::string& text) { std::printf("NOTE  %s\n", text.c_str()); }
 
+  /// Records a named scalar metric (e.g. samples-to-target-CI).  Metrics
+  /// are printed as METRIC lines at finalize and land in a "metrics"
+  /// object in BENCH_<slug>.json, where tools/bench_gate.py compares them
+  /// against the committed baselines.  Only DETERMINISTIC quantities
+  /// belong here (sample counts, estimator half-widths) -- wall clock goes
+  /// in the TIME blocks, which the comparison tooling ignores.
+  void metric(const std::string& name, double value) {
+    metrics_.push_back({name, value});
+  }
+
   /// Exit code for main(): 0 iff all claims held.  The first call closes
   /// the last CSV block, prints the TIME lines and writes BENCH_<slug>.json.
   [[nodiscard]] int exit_code() {
@@ -68,7 +117,7 @@ class Report {
   /// both its timing telemetry and a replayable event sample behind.  See
   /// docs/OBSERVABILITY.md for the line schema.
   void write_trace_jsonl(const std::string& jsonl) {
-    const std::string path = "TRACE_" + slug() + ".jsonl";
+    const std::string path = out_path("TRACE_" + slug() + ".jsonl");
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       std::fwrite(jsonl.data(), 1, jsonl.size(), f);
       std::fclose(f);
@@ -82,6 +131,11 @@ class Report {
   struct BlockTime {
     std::string name;
     double seconds = 0.0;
+  };
+
+  struct Metric {
+    std::string name;
+    double value = 0.0;
   };
 
   static double seconds_since(Clock::time_point t0) {
@@ -142,16 +196,26 @@ class Report {
     const double total = seconds_since(start_);
 
     std::printf("\n");
+    for (const Metric& m : metrics_) {
+      std::printf("METRIC %-59s %14.6f\n", m.name.c_str(), m.value);
+    }
     for (const BlockTime& block : blocks_) {
       std::printf("TIME  %-60s %10.3f s\n", block.name.c_str(), block.seconds);
     }
     std::printf("TIME  %-60s %10.3f s\n", "total", total);
 
-    const std::string path = "BENCH_" + slug() + ".json";
+    const std::string path = out_path("BENCH_" + slug() + ".json");
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       std::fprintf(f, "{\n  \"artifact\": \"%s\",\n",
                    json_escape(artifact_).c_str());
       std::fprintf(f, "  \"failures\": %d,\n", failures_);
+      std::fprintf(f, "  \"metrics\": {");
+      for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
+                     json_escape(metrics_[i].name).c_str(),
+                     metrics_[i].value);
+      }
+      std::fprintf(f, "%s},\n", metrics_.empty() ? "" : "\n  ");
       std::fprintf(f, "  \"total_seconds\": %.6f,\n  \"blocks\": [", total);
       for (std::size_t i = 0; i < blocks_.size(); ++i) {
         std::fprintf(f, "%s\n    {\"name\": \"%s\", \"seconds\": %.6f}",
@@ -169,6 +233,7 @@ class Report {
   std::string block_name_;
   Clock::time_point block_start_;
   std::vector<BlockTime> blocks_;
+  std::vector<Metric> metrics_;
   int failures_ = 0;
   bool finalized_ = false;
 };

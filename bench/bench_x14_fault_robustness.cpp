@@ -54,17 +54,25 @@ int main() {
 
   report.csv_begin("sr_vs_drop_prob",
                    "drop_prob,initiated,sr,ci_lo,ci_hi,alice_util,bob_util,"
-                   "dropped_txs,rebroadcasts,violations");
+                   "dropped_txs,rebroadcasts,violations,samples");
   const std::vector<double> drops = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
   std::vector<sim::McEstimate> drop_cells;
   obs::TraceCollector traces;
+  std::uint64_t drop_samples_total = 0;
   for (const double drop : drops) {
     proto::SwapSetup setup = base_setup();
     setup.expiry_margin = 8.0;  // room for re-broadcasts to land
     setup.faults.chain_a.drop_prob = drop;
     setup.faults.chain_b.drop_prob = drop;
     sim::McConfig config;
-    config.samples = 2000;
+    // CI-targeted cells: each runs rounds of protocol chunks until the
+    // Wilson half-width of the success proportion is under 0.025 (or the
+    // budget caps out) -- near-deterministic cells settle early, noisy
+    // ones use the full budget, and the stop rule is thread-count
+    // independent (see sim/mc_driver.hpp).
+    config.samples = bench::scaled(4096, 512);
+    config.target_half_width = 0.025;
+    config.min_samples = 1024;
     config.seed = 14;
     if (drop == 0.1) {
       // Export event streams from one faulted cell: every 500th run shows
@@ -76,8 +84,9 @@ int main() {
     const sim::McEstimate e =
         sim::run_protocol_mc(setup, rational, rational, config);
     const auto ci = e.success.wilson_interval();
+    drop_samples_total += e.success.trials();
     report.csv_row(bench::fmt(
-        "%.2f,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%llu", drop,
+        "%.2f,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%llu,%llu", drop,
         static_cast<double>(e.initiated.successes()) /
             static_cast<double>(e.initiated.trials()),
         e.conditional_success_rate(), ci.lo, ci.hi, e.alice_utility.mean(),
@@ -85,10 +94,13 @@ int main() {
         static_cast<unsigned long long>(e.dropped_txs),
         static_cast<unsigned long long>(e.rebroadcasts),
         static_cast<unsigned long long>(e.conservation_failures +
-                                        e.invariant_failures)));
+                                        e.invariant_failures),
+        static_cast<unsigned long long>(e.success.trials())));
     drop_cells.push_back(e);
   }
   report.write_trace_jsonl(traces.jsonl());
+  report.metric("drop_block_samples_total",
+                static_cast<double>(drop_samples_total));
 
   const sim::McEstimate& zero_fault = drop_cells.front();
   const auto zero_ci = zero_fault.success.wilson_interval();
@@ -129,7 +141,9 @@ int main() {
       setup.faults.chain_b.extra_delay_prob = 0.3;
       setup.faults.chain_b.extra_delay_max = delay_max;
       sim::McConfig config;
-      config.samples = 800;
+      config.samples = bench::scaled(1600, 256);
+      config.target_half_width = 0.03;
+      config.min_samples = 512;
       config.seed = 15;
       const sim::StrategyFactory honest = sim::honest_factory();
       const sim::McEstimate e =

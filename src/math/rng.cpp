@@ -78,6 +78,21 @@ double normal_inverse_cdf_draw(Xoshiro256& rng) noexcept {
   return normal_quantile(u);
 }
 
+void fill_uniform01(Xoshiro256& rng, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<double>(rng() >> 11) + 0.5) * 0x1.0p-53;
+  }
+}
+
+void fill_normal_inverse_cdf(Xoshiro256& rng, double* out,
+                             std::size_t n) noexcept {
+  // Two passes over the buffer: a tight RNG-only loop, then the quantile
+  // transform -- keeps the generator state updates branch-free and lets the
+  // transform loop vectorize over plain doubles.
+  fill_uniform01(rng, out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = normal_quantile(out[i]);
+}
+
 NormalPair normal_box_muller(Xoshiro256& rng) noexcept {
   double u, v, s;
   do {

@@ -52,6 +52,17 @@ class Xoshiro256 {
 /// underlying uniform; one uniform consumed per deviate).
 [[nodiscard]] double normal_inverse_cdf_draw(Xoshiro256& rng) noexcept;
 
+/// Block fill of `n` uniforms in (0, 1), one RNG word each, identical to
+/// `n` scalar draws of the shifted uniform used by normal_inverse_cdf_draw.
+void fill_uniform01(Xoshiro256& rng, double* out, std::size_t n) noexcept;
+
+/// Block fill of `n` standard normals via the inverse CDF, bit-identical to
+/// `n` sequential normal_inverse_cdf_draw calls on the same RNG state.  The
+/// batched Monte-Carlo engine fills structure-of-arrays buffers with this
+/// instead of interleaving draws with payoff logic.
+void fill_normal_inverse_cdf(Xoshiro256& rng, double* out,
+                             std::size_t n) noexcept;
+
 /// Standard normal deviates via the polar Box-Muller method.  Stateless
 /// helper returning a pair to avoid hidden caching.
 struct NormalPair {

@@ -79,6 +79,80 @@ BinomialCounter::Interval BinomialCounter::wilson_interval(
   return {center - half, center + half};
 }
 
+void ControlVariateAccumulator::add(double y, double x) noexcept {
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double dy = y - mean_y_;
+  const double dx = x - mean_x_;
+  mean_y_ += dy / n;
+  mean_x_ += dx / n;
+  m2y_ += dy * (y - mean_y_);
+  m2x_ += dx * (x - mean_x_);
+  cxy_ += dx * (y - mean_y_);
+}
+
+void ControlVariateAccumulator::merge(
+    const ControlVariateAccumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  const double dy = other.mean_y_ - mean_y_;
+  const double dx = other.mean_x_ - mean_x_;
+  m2y_ += other.m2y_ + dy * dy * na * nb / nt;
+  m2x_ += other.m2x_ + dx * dx * na * nb / nt;
+  cxy_ += other.cxy_ + dx * dy * na * nb / nt;
+  mean_y_ += dy * nb / nt;
+  mean_x_ += dx * nb / nt;
+  n_ += other.n_;
+}
+
+double ControlVariateAccumulator::variance_y() const noexcept {
+  return n_ < 2 ? 0.0 : m2y_ / static_cast<double>(n_ - 1);
+}
+
+double ControlVariateAccumulator::beta() const noexcept {
+  return m2x_ > 0.0 ? cxy_ / m2x_ : 0.0;
+}
+
+double ControlVariateAccumulator::adjusted_mean(
+    double control_mean) const noexcept {
+  return mean_y_ - beta() * (mean_x_ - control_mean);
+}
+
+double ControlVariateAccumulator::adjusted_variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  // Residual sum of squares of y on x; clamp tiny negative fp residue.
+  const double rss = m2x_ > 0.0 ? m2y_ - cxy_ * cxy_ / m2x_ : m2y_;
+  return rss > 0.0 ? rss / static_cast<double>(n_ - 1) : 0.0;
+}
+
+namespace {
+
+double mean_half_width(double variance, std::size_t n, double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("half_width: confidence must be in (0, 1)");
+  }
+  if (n < 2) return 0.0;
+  const double z = normal_quantile(0.5 + 0.5 * confidence);
+  return z * std::sqrt(variance / static_cast<double>(n));
+}
+
+}  // namespace
+
+double ControlVariateAccumulator::plain_half_width(double confidence) const {
+  return mean_half_width(variance_y(), n_, confidence);
+}
+
+double ControlVariateAccumulator::adjusted_half_width(
+    double confidence) const {
+  return mean_half_width(adjusted_variance(), n_, confidence);
+}
+
 namespace {
 
 // Validates BEFORE any member is initialized: the width used to live in the

@@ -70,6 +70,50 @@ class BinomialCounter {
   std::uint64_t successes_ = 0;
 };
 
+/// Bivariate Welford accumulator for control-variate estimation.
+///
+/// Streams observations (y, x) where y is the payoff of interest and x a
+/// control whose true mean m = E[X] is known analytically.  The regression
+/// estimator
+///   theta_hat = mean(y) - beta * (mean(x) - m),   beta = Cov(X,Y)/Var(X)
+/// is unbiased up to an O(1/n) term from estimating beta on the same data,
+/// and its variance is the residual variance (1 - rho^2) * Var(Y) -- the
+/// whole point of the control.  Observations under antithetic pairing
+/// should be PAIR AVERAGES (one add per pair), so the i.i.d. variance
+/// formula stays honest despite the within-pair dependence.
+///
+/// merge() combines accumulators exactly (parallel reduction in ascending
+/// chunk order keeps results bit-identical across thread counts).
+class ControlVariateAccumulator {
+ public:
+  void add(double y, double x) noexcept;
+  void merge(const ControlVariateAccumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean_y() const noexcept { return mean_y_; }
+  [[nodiscard]] double mean_x() const noexcept { return mean_x_; }
+  /// Sample variance of y (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance_y() const noexcept;
+  /// Regression coefficient Cov(X,Y)/Var(X); 0 when Var(X) = 0.
+  [[nodiscard]] double beta() const noexcept;
+  /// Control-adjusted mean: mean_y - beta * (mean_x - control_mean).
+  [[nodiscard]] double adjusted_mean(double control_mean) const noexcept;
+  /// Residual variance of the adjusted estimator, (1 - rho^2) Var(Y).
+  [[nodiscard]] double adjusted_variance() const noexcept;
+  /// Normal-approximation CI half-width of the PLAIN mean estimate.
+  [[nodiscard]] double plain_half_width(double confidence = 0.95) const;
+  /// Normal-approximation CI half-width of the ADJUSTED mean estimate.
+  [[nodiscard]] double adjusted_half_width(double confidence = 0.95) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_y_ = 0.0;
+  double mean_x_ = 0.0;
+  double m2y_ = 0.0;  // sum (y - mean_y)^2
+  double m2x_ = 0.0;  // sum (x - mean_x)^2
+  double cxy_ = 0.0;  // sum (x - mean_x)(y - mean_y)
+};
+
 /// Fixed-range histogram with uniform bins plus underflow/overflow counters.
 class Histogram {
  public:

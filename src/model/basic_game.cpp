@@ -275,6 +275,19 @@ double BasicGame::compute_success_rate() const {
   return sr;
 }
 
+double BasicGame::bob_t2_cont_probability() const {
+  if (t2_region_.empty()) return 0.0;
+  const math::GbmLaw law_a(params_.gbm, params_.p_t0, params_.tau_a);
+  double prob = 0.0;
+  for (const math::Interval& iv : t2_region_.intervals()) {
+    const double lo = std::max(iv.lo, 1e-12);
+    if (!(iv.hi > lo)) continue;
+    prob += std::isinf(iv.hi) ? law_a.survival(lo)
+                              : law_a.cdf(iv.hi) - law_a.cdf(lo);
+  }
+  return std::min(1.0, std::max(0.0, prob));
+}
+
 // ------------------------------------------------------------- free helpers
 
 FeasibleBand alice_feasible_band(const SwapParams& params, double scan_lo,

@@ -92,6 +92,13 @@ class BasicGame {
   /// (Eq. (31)).  Zero when Bob's t2 band is empty.
   [[nodiscard]] double success_rate() const;
 
+  /// P[P_t2 in Bob's cont region] under the tau_a transition law from P_t0:
+  /// the first factor of the Eq. (31) integral, in closed form (lognormal
+  /// CDF differences).  This is the analytic mean of the "Bob locked at t2"
+  /// indicator, which the variance-reduced Monte-Carlo engine uses as its
+  /// control variate (sim/estimators.hpp).
+  [[nodiscard]] double bob_t2_cont_probability() const;
+
  private:
   void compute_t3_cutoff();
   void compute_t2_region(const std::vector<double>* hints);

@@ -91,6 +91,12 @@ class CollateralGame {
   // --- Success rate (Eq. (40)). --------------------------------------------
   [[nodiscard]] double success_rate() const;
 
+  /// P[P_t2 in Bob's cont region] under the tau_a law from P_t0 -- the
+  /// analytic control-variate mean for the VR Monte-Carlo engine, exactly
+  /// as BasicGame::bob_t2_cont_probability but over the collateralized
+  /// (odd-root interval set) region.
+  [[nodiscard]] double bob_t2_cont_probability() const;
+
  private:
   void compute_t3_cutoff();
   void compute_t2_region(const std::vector<double>* hints);

@@ -1,0 +1,253 @@
+#include "estimators.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "math/gbm.hpp"
+#include "math/rng.hpp"
+#include "mc_driver.hpp"
+#include "model/collateral_game.hpp"
+
+namespace swapgame::sim {
+
+double VrEstimate::success_rate() const noexcept {
+  if (mc.initiated.successes() == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return control_variate ? acc.adjusted_mean(control_mean) : acc.mean_y();
+}
+
+double VrEstimate::half_width() const {
+  return control_variate ? acc.adjusted_half_width(confidence)
+                         : acc.plain_half_width(confidence);
+}
+
+namespace {
+
+/// The swap payoff reduced to z-space: with lp2 = la_mean + la_sd * z2 the
+/// t2 region becomes intervals on z2 directly, and Alice's reveal condition
+/// ln P_t3 = lp2 + drift_b + sd_b * z3 > ln L becomes the linear threshold
+/// z3 > c0 + c1 * z2.  No per-sample GbmLaw, log or exp survives.
+struct ZKernel {
+  struct ZInterval {
+    double lo;
+    double hi;
+  };
+  std::vector<ZInterval> region;  // at most a few pieces (Fig. 7)
+  double c0 = 0.0;
+  double c1 = 0.0;
+  bool always_reveal = false;
+
+  static ZKernel build(const model::SwapParams& params,
+                       const math::IntervalSet& region_p, double cutoff) {
+    const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
+    const double la_mean = law_a.log_mean();
+    const double la_sd = law_a.log_stddev();
+    ZKernel k;
+    k.region.reserve(region_p.size());
+    for (const math::Interval& iv : region_p.intervals()) {
+      ZInterval z;
+      z.lo = iv.lo <= 0.0 ? -std::numeric_limits<double>::infinity()
+                          : (std::log(iv.lo) - la_mean) / la_sd;
+      z.hi = std::isinf(iv.hi) ? std::numeric_limits<double>::infinity()
+                               : (std::log(iv.hi) - la_mean) / la_sd;
+      if (z.hi > z.lo) k.region.push_back(z);
+    }
+    const double drift_b =
+        (params.gbm.mu - 0.5 * params.gbm.sigma * params.gbm.sigma) *
+        params.tau_b;
+    const double sd_b = params.gbm.sigma * std::sqrt(params.tau_b);
+    if (cutoff <= 0.0) {
+      k.always_reveal = true;
+    } else {
+      k.c0 = (std::log(cutoff) - drift_b - la_mean) / sd_b;
+      k.c1 = -la_sd / sd_b;
+    }
+    return k;
+  }
+
+  [[nodiscard]] bool in_region(double z2) const noexcept {
+    for (const ZInterval& iv : region) {
+      if (z2 >= iv.lo && z2 < iv.hi) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool reveals(double z2, double z3) const noexcept {
+    return always_reveal || z3 > c0 + c1 * z2;
+  }
+
+  /// Exact P[reveal | z2] = Phi-bar(c0 + c1 z2): the t3 stage conditioned
+  /// on the t2 draw has a closed-form tail probability, so the
+  /// control-variate estimator can observe this SMOOTHED payoff
+  /// (conditional Monte Carlo) instead of the raw z3 Bernoulli --
+  /// removing the reveal-stage noise entirely, which is what lets the
+  /// t2-lock control explain nearly all of the remaining variance.
+  [[nodiscard]] double reveal_probability(double z2) const noexcept {
+    if (always_reveal) return 1.0;
+    return 0.5 * std::erfc((c0 + c1 * z2) * 0.7071067811865475244);
+  }
+};
+
+/// Mergeable per-chunk partial: counters plus the success/control sums.
+struct VrPartial {
+  McEstimate mc;
+  math::ControlVariateAccumulator acc;
+
+  void merge(const VrPartial& other) {
+    mc.merge(other.mc);
+    acc.merge(other.acc);
+  }
+};
+
+/// Evaluates one (z2, z3) skeleton against the kernel.  The realized
+/// outcome always feeds the counters/outcomes map; the accumulator
+/// observation (y, x) is either the raw success indicator or, under the
+/// control-variate estimator, the conditionally-smoothed success
+/// probability (`smooth`) with the t2-lock indicator as control.
+inline void eval_sample(const ZKernel& k, double z2, double z3, bool smooth,
+                        VrPartial& out, double& y, double& x) {
+  out.mc.initiated.add(true);
+  const bool locked = k.in_region(z2);
+  x = locked ? 1.0 : 0.0;
+  if (!locked) {
+    out.mc.success.add(false);
+    out.mc.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
+    y = 0.0;
+    return;
+  }
+  const bool ok = k.reveals(z2, z3);
+  out.mc.success.add(ok);
+  out.mc.outcomes[ok ? proto::SwapOutcome::kSuccess
+                     : proto::SwapOutcome::kAliceDeclinedT3] += 1;
+  y = smooth ? k.reveal_probability(z2) : (ok ? 1.0 : 0.0);
+}
+
+void run_vr_chunk(const ZKernel& k, const McConfig& config,
+                  const math::Xoshiro256& base_rng, std::size_t chunk,
+                  std::size_t count, VrPartial& out) {
+  math::Xoshiro256 rng = base_rng.stream(static_cast<unsigned>(chunk));
+  // SoA draw buffers, reused across the chunks a worker executes.
+  thread_local std::vector<double> z2_buf;
+  thread_local std::vector<double> z3_buf;
+  const std::size_t base_n = config.antithetic ? (count + 1) / 2 : count;
+  z2_buf.resize(base_n);
+  z3_buf.resize(base_n);
+  math::fill_normal_inverse_cdf(rng, z2_buf.data(), base_n);
+  math::fill_normal_inverse_cdf(rng, z3_buf.data(), base_n);
+
+  const bool smooth = config.control_variate;
+  if (!config.antithetic) {
+    for (std::size_t i = 0; i < count; ++i) {
+      double y, x;
+      eval_sample(k, z2_buf[i], z3_buf[i], smooth, out, y, x);
+      out.acc.add(y, x);
+    }
+    return;
+  }
+  // Antithetic: replay each base draw mirrored; the PAIR AVERAGE is one
+  // accumulator observation.  A ragged final pair (odd count) degrades to
+  // a single unpaired observation -- still unbiased.
+  std::size_t produced = 0;
+  for (std::size_t j = 0; j < base_n; ++j) {
+    double y1, x1;
+    eval_sample(k, z2_buf[j], z3_buf[j], smooth, out, y1, x1);
+    ++produced;
+    if (produced < count) {
+      double y2, x2;
+      eval_sample(k, -z2_buf[j], -z3_buf[j], smooth, out, y2, x2);
+      ++produced;
+      out.acc.add(0.5 * (y1 + y2), 0.5 * (x1 + x2));
+    } else {
+      out.acc.add(y1, x1);
+    }
+  }
+}
+
+/// Shared engine body: kernelizes (region, cutoff), fans chunks out over
+/// the adaptive driver, and assembles the VrEstimate.
+VrEstimate run_batched(const model::SwapParams& params,
+                       const math::IntervalSet& region, double cutoff,
+                       double control_mean, bool initiated,
+                       const McConfig& config) {
+  VrEstimate est;
+  est.control_variate = config.control_variate;
+  est.confidence = config.ci_confidence;
+  if (config.control_variate) est.control_mean = control_mean;
+  if (!initiated) {
+    // No randomness to draw: every sample is kNotInitiated.
+    for (std::size_t i = 0; i < config.samples; ++i) {
+      est.mc.initiated.add(false);
+      est.mc.success.add(false);
+    }
+    if (config.samples > 0) {
+      est.mc.outcomes[proto::SwapOutcome::kNotInitiated] = config.samples;
+      est.rounds = 1;
+    }
+    est.samples = config.samples;
+    return est;
+  }
+
+  const ZKernel kernel = ZKernel::build(params, region, cutoff);
+  const math::Xoshiro256 base_rng(config.seed);
+  VrPartial merged;
+  const auto should_stop = [&config](const VrPartial& m, std::size_t done) {
+    if (config.target_half_width <= 0.0) return false;
+    if (done < config.min_samples || m.acc.count() < 2) return false;
+    const double hw = config.control_variate
+                          ? m.acc.adjusted_half_width(config.ci_confidence)
+                          : m.acc.plain_half_width(config.ci_confidence);
+    return hw <= config.target_half_width;
+  };
+  const std::size_t round_chunks =
+      config.target_half_width > 0.0 ? detail::kVrRoundChunks : 0;
+  const detail::DriverResult run = detail::adaptive_parallel_mc(
+      config.samples, detail::kModelMcChunk, config.threads, round_chunks,
+      merged,
+      [&](std::size_t chunk, std::size_t, std::size_t count, VrPartial& out) {
+        run_vr_chunk(kernel, config, base_rng, chunk, count, out);
+      },
+      should_stop);
+  est.mc = merged.mc;
+  est.acc = merged.acc;
+  est.samples = run.samples;
+  est.rounds = run.rounds;
+  return est;
+}
+
+}  // namespace
+
+VrEstimate run_model_mc_vr(const model::SwapParams& params, double p_star,
+                           double collateral, const McConfig& config) {
+  params.validate();
+  // Thresholds are identical across samples; solve the game once.
+  const model::CollateralGame game(params, p_star, collateral);
+  const bool initiated =
+      collateral > 0.0
+          ? game.engaged()
+          : game.basic().alice_decision_t1() == model::Action::kCont;
+  return run_batched(params, game.bob_t2_region(), game.alice_t3_cutoff(),
+                     game.bob_t2_cont_probability(), initiated, config);
+}
+
+VrEstimate run_profile_mc_vr(const model::SwapParams& params,
+                             const model::ThresholdProfile& profile,
+                             const McConfig& config) {
+  params.validate();
+  // Analytic control mean for an arbitrary region: lognormal CDF mass of
+  // the profile's t2 region (the profile analogue of
+  // bob_t2_cont_probability).
+  const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
+  double control_mean = 0.0;
+  for (const math::Interval& iv : profile.bob_region.intervals()) {
+    const double lo = std::max(iv.lo, 1e-12);
+    if (!(iv.hi > lo)) continue;
+    control_mean += std::isinf(iv.hi) ? law_a.survival(lo)
+                                      : law_a.cdf(iv.hi) - law_a.cdf(lo);
+  }
+  control_mean = std::min(1.0, std::max(0.0, control_mean));
+  return run_batched(params, profile.bob_region, profile.alice_cutoff,
+                     control_mean, /*initiated=*/true, config);
+}
+
+}  // namespace swapgame::sim

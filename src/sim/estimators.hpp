@@ -1,0 +1,84 @@
+// Variance-reduced, batched model-level Monte Carlo.
+//
+// The scalar engines in monte_carlo.hpp interleave one RNG draw with one
+// payoff evaluation and spend a fixed sample budget.  This layer replaces
+// that with:
+//
+//  * a BATCHED sampler -- per chunk, xoshiro fills structure-of-arrays
+//    buffers of uniforms that are transformed to normals in a block
+//    (math::fill_normal_inverse_cdf), and the swap payoff reduces to two
+//    branch-light threshold checks in z-space (the per-sample GbmLaw
+//    construction is gone: both the t2 region and Alice's t3 cutoff are
+//    precomputed as linear thresholds on the standard normal draws);
+//  * ANTITHETIC pairing -- each base draw (z2, z3) is replayed as
+//    (-z2, -z3); pair AVERAGES enter the accumulator so the i.i.d. CI is
+//    honest despite within-pair dependence;
+//  * a CONTROL VARIATE with conditional smoothing -- the accumulator
+//    observes the EXACT conditional success probability given the t2 draw
+//    (the t3 stage has a closed-form normal tail, so the z3 Bernoulli
+//    noise integrates out: conditional Monte Carlo), with the "Bob locks
+//    at t2" indicator as the control, whose exact mean is known
+//    analytically (bob_t2_cont_probability).  Smoothing removes the
+//    reveal-stage variance; the regression then removes nearly all of the
+//    lock-stage variance;
+//  * COMMON RANDOM NUMBERS across sweep points for free -- every sample
+//    consumes exactly two normals regardless of early outcome (no
+//    consumption skew), so equal (seed, sample index) means equal draws at
+//    every parameter point and sweep curves are smooth point-to-point;
+//  * CI-TARGETED ADAPTIVE STOPPING -- rounds of fixed chunks run until the
+//    estimator's half-width hits McConfig::target_half_width, preserving
+//    the bit-identical-across-thread-counts contract (mc_driver.hpp).
+//
+// run_model_mc / run_profile_mc (monte_carlo.hpp) are thin wrappers over
+// this engine with the variance-reduction flags off.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "math/stats.hpp"
+#include "model/strategy_value.hpp"
+#include "monte_carlo.hpp"
+
+namespace swapgame::sim {
+
+/// A variance-reduced estimate: the familiar McEstimate counters plus the
+/// control-variate accumulator the CI and the adjusted point estimate are
+/// computed from.
+struct VrEstimate {
+  McEstimate mc;  ///< per-sample counters/outcomes (protocol-MC compatible)
+  /// Success observations: one entry per sample, or per antithetic PAIR
+  /// (the pair average) when pairing is on.
+  math::ControlVariateAccumulator acc;
+  /// Analytic E[control]; NaN when the control variate is disabled.
+  double control_mean = std::numeric_limits<double>::quiet_NaN();
+  bool control_variate = false;  ///< whether success_rate() adjusts
+  double confidence = 0.95;      ///< confidence used by half_width()
+  std::size_t samples = 0;       ///< price skeletons actually evaluated
+  std::size_t rounds = 0;        ///< adaptive rounds issued
+
+  /// Success rate conditional on initiation: the control-adjusted mean
+  /// when the control variate is enabled, the plain mean otherwise.  NaN
+  /// when no sample initiated (same convention as McEstimate).
+  [[nodiscard]] double success_rate() const noexcept;
+
+  /// CI half-width of success_rate() at `confidence` (normal approx on
+  /// the adjusted/pair-averaged observations).
+  [[nodiscard]] double half_width() const;
+};
+
+/// Variance-reduced batched counterpart of run_model_mc: rational
+/// thresholds of the (collateralized) game on sampled GBM skeletons.
+/// Respects every McConfig field including antithetic / control_variate /
+/// target_half_width; bit-identical across thread counts.
+[[nodiscard]] VrEstimate run_model_mc_vr(const model::SwapParams& params,
+                                         double p_star, double collateral,
+                                         const McConfig& config);
+
+/// Variance-reduced batched counterpart of run_profile_mc: an arbitrary
+/// threshold profile played on sampled skeletons.
+[[nodiscard]] VrEstimate run_profile_mc_vr(
+    const model::SwapParams& params, const model::ThresholdProfile& profile,
+    const McConfig& config);
+
+}  // namespace swapgame::sim

@@ -1,18 +1,15 @@
 #include "monte_carlo.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
-#include <vector>
 
 #include "agents/naive.hpp"
 #include "agents/rational.hpp"
-#include "math/gbm.hpp"
+#include "estimators.hpp"
+#include "mc_driver.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
 #include "obs/trace.hpp"
 #include "path_simulator.hpp"
-#include "sweep/sweep.hpp"
 
 namespace swapgame::sim {
 
@@ -76,45 +73,6 @@ StrategyFactory honest_factory() {
   };
 }
 
-namespace {
-
-// Fixed Monte-Carlo chunk sizes.  The partition and the per-chunk RNG
-// streams are keyed by the chunk INDEX, never by the runtime worker count,
-// so the merged estimate is bit-identical at threads=1 and threads=N (and
-// across machines with different core counts).  Protocol samples are ~1000x
-// costlier than model samples, hence the smaller protocol chunk.
-constexpr std::size_t kModelMcChunk = 8192;
-constexpr std::size_t kProtocolMcChunk = 256;
-
-/// Splits `total` samples into fixed-size chunks, runs
-/// `run_chunk(chunk_index, first_index, count, out)` for each over the
-/// sweep engine, and merges the partial estimates in ascending chunk order.
-template <typename RunChunk>
-McEstimate parallel_mc(std::size_t total, std::size_t chunk_size,
-                       unsigned threads, const RunChunk& run_chunk) {
-  if (total == 0) return {};
-  const std::size_t n_chunks = (total + chunk_size - 1) / chunk_size;
-  std::vector<McEstimate> partials(n_chunks);
-  sweep::SweepOptions opts;
-  opts.threads = threads;
-  opts.fixed_chunk = 1;  // one pool task per Monte-Carlo chunk
-  sweep::parallel_for(
-      n_chunks,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t c = begin; c < end; ++c) {
-          const std::size_t first = c * chunk_size;
-          const std::size_t count = std::min(chunk_size, total - first);
-          run_chunk(c, first, count, partials[c]);
-        }
-      },
-      opts);
-  McEstimate merged;
-  for (const McEstimate& partial : partials) merged.merge(partial);
-  return merged;
-}
-
-}  // namespace
-
 McEstimate run_protocol_mc(const proto::SwapSetup& setup,
                            const StrategyFactory& alice,
                            const StrategyFactory& bob,
@@ -124,11 +82,32 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
       model::idealized_schedule(setup.params, 0.0);
   const math::Xoshiro256 base_rng(config.seed);
 
-  return parallel_mc(
-      config.samples, kProtocolMcChunk, config.threads,
+  // Adaptive stopping gates on the Wilson half-width of the UNCONDITIONAL
+  // success proportion (the quantity every bench reports).  The predicate
+  // sees only the merged estimate after whole rounds, so the stop decision
+  // -- and hence the result -- is the same at any thread count.
+  const auto should_stop = [&config](const McEstimate& m, std::size_t done) {
+    if (config.target_half_width <= 0.0) return false;
+    if (done < config.min_samples || m.success.trials() < 2) return false;
+    const math::BinomialCounter::Interval ci =
+        m.success.wilson_interval(config.ci_confidence);
+    return 0.5 * (ci.hi - ci.lo) <= config.target_half_width;
+  };
+  const std::size_t round_chunks =
+      config.target_half_width > 0.0 ? detail::kProtocolRoundChunks : 0;
+
+  McEstimate merged;
+  detail::adaptive_parallel_mc(
+      config.samples, detail::kProtocolMcChunk, config.threads, round_chunks,
+      merged,
       [&](std::size_t chunk, std::size_t first, std::size_t count,
           McEstimate& out) {
-        math::Xoshiro256 rng = base_rng.stream(chunk);
+        math::Xoshiro256 rng = base_rng.stream(static_cast<unsigned>(chunk));
+        // Per-CHUNK workspace: one SwapSetup copy per chunk instead of per
+        // sample; only the per-sample seeds and the trace pointer mutate
+        // inside the loop.
+        proto::SwapSetup sample_setup = setup;
+        sample_setup.metrics = config.metrics;
         for (std::size_t i = 0; i < count; ++i) {
           const std::uint64_t index = first + i;
           const proto::SteppedPricePath path =
@@ -137,14 +116,12 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
               alice(agents::Role::kAlice, index);
           const std::unique_ptr<agents::Strategy> b =
               bob(agents::Role::kBob, index);
-          proto::SwapSetup sample_setup = setup;
           sample_setup.secret_seed = config.seed ^ (index * 0x9E3779B9ULL + 1);
           // Per-sample fault stream, keyed by the sample index (never by
           // worker identity) so faulted runs stay bit-identical across
           // thread counts, like the price-path streams.
           sample_setup.faults.seed =
               setup.faults.seed ^ (index * 0xD1B54A32D192ED03ULL + 0x2545F491ULL);
-          sample_setup.metrics = config.metrics;
           // Trace-sampled runs get a per-sample recorder; the collector
           // keys the serialized stream by sample index, so the exported
           // JSONL is independent of the worker that ran the sample.
@@ -152,7 +129,7 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
           const bool traced = config.traces != nullptr &&
                               config.trace_stride != 0 &&
                               index % config.trace_stride == 0;
-          if (traced) sample_setup.trace = &recorder;
+          sample_setup.trace = traced ? &recorder : nullptr;
           const proto::SwapResult result =
               proto::run_swap(sample_setup, *a, *b, path);
           if (traced) config.traces->add(index, recorder);
@@ -171,95 +148,23 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
           out.dropped_txs += static_cast<std::uint64_t>(result.dropped_txs);
           out.rebroadcasts += static_cast<std::uint64_t>(result.rebroadcasts);
         }
-      });
+      },
+      should_stop);
+  return merged;
 }
 
 McEstimate run_model_mc(const model::SwapParams& params, double p_star,
                         double collateral, const McConfig& config) {
-  params.validate();
-  // Thresholds are identical across samples; compute once.
-  const model::CollateralGame game(params, p_star, collateral);
-  const bool initiated =
-      collateral > 0.0
-          ? game.engaged()
-          : game.basic().alice_decision_t1() == model::Action::kCont;
-  const math::Xoshiro256 base_rng(config.seed);
-
-  // The t2 sampling law is loop-invariant; hoist it out of the sample loop.
-  const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
-  // The t3 leg is a log-increment from p_t2: constructing a GbmLaw per
-  // sample only re-derived these two loop-invariant constants.
-  const double drift_b =
-      (params.gbm.mu - 0.5 * params.gbm.sigma * params.gbm.sigma) *
-      params.tau_b;
-  const double sd_b = params.gbm.sigma * std::sqrt(params.tau_b);
-  return parallel_mc(
-      config.samples, kModelMcChunk, config.threads,
-      [&](std::size_t chunk, std::size_t, std::size_t count, McEstimate& out) {
-        math::Xoshiro256 rng = base_rng.stream(chunk);
-        for (std::size_t i = 0; i < count; ++i) {
-          out.initiated.add(initiated);
-          if (!initiated) {
-            out.success.add(false);
-            out.outcomes[proto::SwapOutcome::kNotInitiated] += 1;
-            continue;
-          }
-          const double p_t2 =
-              law_a.sample_from_normal(math::normal_inverse_cdf_draw(rng));
-          if (game.bob_decision_t2(p_t2) != model::Action::kCont) {
-            out.success.add(false);
-            out.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
-            continue;
-          }
-          const double p_t3 =
-              p_t2 *
-              std::exp(drift_b + sd_b * math::normal_inverse_cdf_draw(rng));
-          if (game.alice_decision_t3(p_t3) != model::Action::kCont) {
-            out.success.add(false);
-            out.outcomes[proto::SwapOutcome::kAliceDeclinedT3] += 1;
-            continue;
-          }
-          out.success.add(true);
-          out.outcomes[proto::SwapOutcome::kSuccess] += 1;
-        }
-      });
+  // Thin wrapper over the batched engine (estimators.cpp); the VR flags in
+  // `config` are honored, callers that want the richer estimate (CI of the
+  // adjusted mean, samples-to-target) use run_model_mc_vr directly.
+  return run_model_mc_vr(params, p_star, collateral, config).mc;
 }
 
 McEstimate run_profile_mc(const model::SwapParams& params,
                           const model::ThresholdProfile& profile,
                           const McConfig& config) {
-  params.validate();
-  const math::Xoshiro256 base_rng(config.seed);
-  const math::GbmLaw law_a(params.gbm, params.p_t0, params.tau_a);
-  const double drift_b =
-      (params.gbm.mu - 0.5 * params.gbm.sigma * params.gbm.sigma) *
-      params.tau_b;
-  const double sd_b = params.gbm.sigma * std::sqrt(params.tau_b);
-  return parallel_mc(
-      config.samples, kModelMcChunk, config.threads,
-      [&](std::size_t chunk, std::size_t, std::size_t count, McEstimate& out) {
-        math::Xoshiro256 rng = base_rng.stream(chunk);
-        for (std::size_t i = 0; i < count; ++i) {
-          out.initiated.add(true);
-          const double p_t2 =
-              law_a.sample_from_normal(math::normal_inverse_cdf_draw(rng));
-          if (!profile.bob_region.contains(p_t2)) {
-            out.success.add(false);
-            out.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
-            continue;
-          }
-          const double p_t3 =
-              p_t2 *
-              std::exp(drift_b + sd_b * math::normal_inverse_cdf_draw(rng));
-          if (!(p_t3 > profile.alice_cutoff)) {
-            out.success.add(false);
-            out.outcomes[proto::SwapOutcome::kAliceDeclinedT3] += 1;
-            continue;
-          }
-          out.success.add(true);
-          out.outcomes[proto::SwapOutcome::kSuccess] += 1;
-        }
-      });
+  return run_profile_mc_vr(params, profile, config).mc;
 }
 
 }  // namespace swapgame::sim

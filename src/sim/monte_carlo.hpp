@@ -36,9 +36,34 @@ namespace swapgame::sim {
 
 /// Monte-Carlo configuration.
 struct McConfig {
-  std::size_t samples = 10'000;
+  std::size_t samples = 10'000;  ///< budget (cap under adaptive stopping)
   std::uint64_t seed = 1;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+
+  /// --- CI-targeted adaptive stopping ---------------------------------
+  /// When > 0, samples are drawn in ROUNDS of fixed-size chunks until the
+  /// success-rate CI half-width reaches this target (or `samples` is
+  /// exhausted).  Rounds are chunk-index-keyed and merge in ascending
+  /// order, so adaptive runs stay bit-identical across thread counts.
+  /// The protocol engine measures the Wilson half-width of the success
+  /// proportion; the VR model engine measures the normal half-width of
+  /// its (control-adjusted, pair-averaged) estimator -- estimators.hpp.
+  double target_half_width = 0.0;
+  double ci_confidence = 0.95;   ///< confidence for the stopping CI
+  std::size_t min_samples = 0;   ///< never stop before this many samples
+
+  /// --- variance reduction (model-level engines only) -----------------
+  /// Antithetic pairing: each base draw (z2, z3) is replayed mirrored as
+  /// (-z2, -z3), exploiting the monotone inverse-CDF map from uniforms to
+  /// normals.  Pair averages enter the variance accumulator.
+  bool antithetic = false;
+  /// Control variate: the accumulator observes the conditionally-smoothed
+  /// success probability given the t2 draw (the t3 Bernoulli integrates
+  /// out in closed form), with the "Bob locks at t2" indicator as the
+  /// control, whose analytic mean is
+  /// BasicGame/CollateralGame::bob_t2_cont_probability().  The realized
+  /// per-sample outcome counters are unaffected.
+  bool control_variate = false;
 
   /// Protocol-MC trace sampling: when `traces` is set and `trace_stride`
   /// is nonzero, every sample whose index is a multiple of the stride runs

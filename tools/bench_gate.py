@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_*.json metric telemetry.
+
+Compares the "metrics" object of freshly produced bench JSON against the
+committed baselines in bench/baselines/.  Only EFFICIENCY metrics are
+gated -- the sample/run counts an estimator needs to hit its target CI
+(seed-deterministic and machine-independent, unlike wall clock):
+
+  * samples_to_ci_*            (x1 variance-reduction ladder)
+  * adaptive_samples_to_target (x1 adaptive stopping)
+  * grid_runs_total            (x9 adaptive grid)
+  * drop_block_samples_total   (x14 adaptive fault cells)
+
+A gated metric may not exceed its baseline by more than --tolerance
+(default 25%).  Other metrics (e.g. mc_validation_max_abs_err) are
+reported informationally.  Wall-clock TIME telemetry is never gated.
+
+Usage:
+  python3 tools/bench_gate.py --fresh <dir-with-new-BENCH-json> \
+      [--baseline bench/baselines] [--tolerance 0.25]
+
+Exit status: 0 = no regression, 1 = regression or missing fresh file.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+GATED_PREFIXES = (
+    "samples_to_ci_",
+    "adaptive_samples_to_target",
+    "grid_runs_total",
+    "drop_block_samples_total",
+)
+
+
+def is_gated(name: str) -> bool:
+    return any(name.startswith(p) for p in GATED_PREFIXES)
+
+
+def load_metrics(path: pathlib.Path) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics", {})
+    if doc.get("failures", 0):
+        raise SystemExit(f"{path}: bench reported {doc['failures']} failed "
+                         "claim(s); fix those before gating perf")
+    return metrics
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True, type=pathlib.Path,
+                    help="directory holding freshly generated BENCH_*.json")
+    ap.add_argument("--baseline", default=pathlib.Path("bench/baselines"),
+                    type=pathlib.Path)
+    ap.add_argument("--tolerance", default=0.25, type=float,
+                    help="allowed relative increase over baseline")
+    args = ap.parse_args()
+
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench_gate: no baselines under {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    compared = 0
+    for base_path in baselines:
+        fresh_path = args.fresh / base_path.name
+        base = load_metrics(base_path)
+        gated_names = [k for k in base if is_gated(k)]
+        if not gated_names:
+            continue  # bench exports no efficiency metrics; nothing to gate
+        if not fresh_path.is_file():
+            # The smoke job runs a subset of benches; only gate what ran.
+            print(f"skip {base_path.name}: no fresh run in {args.fresh}")
+            continue
+        fresh = load_metrics(fresh_path)
+        for name in sorted(base):
+            if name not in fresh:
+                print(f"FAIL {base_path.name}: metric '{name}' disappeared")
+                failures += 1
+                continue
+            b, f = base[name], fresh[name]
+            if not is_gated(name):
+                print(f"info {base_path.name}: {name} = {f:g} "
+                      f"(baseline {b:g}, not gated)")
+                continue
+            compared += 1
+            limit = b * (1.0 + args.tolerance)
+            status = "ok  " if f <= limit else "FAIL"
+            if f > limit:
+                failures += 1
+            print(f"{status} {base_path.name}: {name} = {f:g} vs baseline "
+                  f"{b:g} (limit {limit:g})")
+
+    if compared == 0:
+        print("bench_gate: no gated metrics compared", file=sys.stderr)
+        return 1
+    print(f"bench_gate: {compared} gated metric(s), {failures} regression(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
