@@ -11,17 +11,21 @@
 //   * higher r -> narrower band; too high -> non-viable;
 //   * higher tau -> lower optimal SR;
 //   * higher mu -> higher SR; higher sigma -> lower max SR.
+//
+// Every series is one kSrGrid RunSpec on the BatchEngine (docs/ENGINE.md):
+// the warm-chained sweeper lives inside the cell, panels evaluate their
+// variants in parallel, and the default-parameter series -- which five
+// panels share -- is solved once and deduplicated by content hash.
 #include <cmath>
 #include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench_engine.hpp"
 #include "bench_util.hpp"
-#include "model/basic_game.hpp"
-#include "model/solver_cache.hpp"
-#include "sim/estimators.hpp"
-#include "sweep/sweep.hpp"
+#include "engine/run_spec.hpp"
+#include "model/params.hpp"
+#include "sim/mc_runner.hpp"
 
 using namespace swapgame;
 
@@ -40,50 +44,54 @@ struct SeriesResult {
   double argmax_p_star = 0.0;
 };
 
-/// A computed series: the summary plus the pre-formatted CSV rows, so the
-/// solve can run on a worker while emission stays serial and in order.
-struct SeriesData {
-  SeriesResult result;
-  std::vector<std::string> rows;
-};
-
-SeriesData compute_series(const Variant& variant) {
-  SeriesData data;
-  const model::FeasibleBand band = model::cached_feasible_band(variant.params);
-  if (!band.viable) {
-    data.rows.push_back(bench::fmt("%s,nonviable,,", variant.label.c_str()));
-    return data;
-  }
-  data.result.viable = true;
-  data.result.band_lo = band.lo;
-  data.result.band_hi = band.hi;
-  const int grid = 25;
-  model::BasicGameSweeper sweeper(variant.params);
-  for (int i = 0; i <= grid; ++i) {
-    const double p_star = band.lo + (band.hi - band.lo) * i / grid;
-    const double sr = sweeper.at(p_star)->success_rate();
-    data.rows.push_back(
-        bench::fmt("%s,%.4f,%.6f,", variant.label.c_str(), p_star, sr));
-    if (sr > data.result.max_sr) {
-      data.result.max_sr = sr;
-      data.result.argmax_p_star = p_star;
-    }
-  }
-  return data;
+/// The kSrGrid cell for one variant: 26 points across the feasible band.
+engine::RunSpec series_spec(const Variant& variant) {
+  engine::RunSpec spec;
+  spec.kind = engine::CellKind::kSrGrid;
+  spec.label = "fig6:" + variant.label;
+  spec.mc.params = variant.params;
+  spec.grid_count = 25;
+  spec.grid_denom = 25;
+  return spec;
 }
 
-/// Solves all variants of a panel in parallel (one warm-chained sweeper
-/// each), then emits their rows serially in input order.
+/// Rebuilds the summary + CSV rows from a kSrGrid cell's (p:i, sr:i)
+/// series; emission stays serial and in input order.
+SeriesResult emit_series(bench::Report& report, const Variant& variant,
+                         const engine::RunResult& cell) {
+  SeriesResult result;
+  if (cell.at("viable") == 0.0) {
+    report.csv_row(bench::fmt("%s,nonviable,,", variant.label.c_str()));
+    return result;
+  }
+  result.viable = true;
+  result.band_lo = cell.at("band_lo");
+  result.band_hi = cell.at("band_hi");
+  for (int i = 0; i <= 25; ++i) {
+    const double p_star = cell.at("p:" + std::to_string(i));
+    const double sr = cell.at("sr:" + std::to_string(i));
+    report.csv_row(
+        bench::fmt("%s,%.4f,%.6f,", variant.label.c_str(), p_star, sr));
+    if (sr > result.max_sr) {
+      result.max_sr = sr;
+      result.argmax_p_star = p_star;
+    }
+  }
+  return result;
+}
+
+/// Solves all variants of a panel as one engine batch, then emits rows.
 std::vector<SeriesResult> emit_panel(bench::Report& report,
+                                     engine::BatchEngine& batch,
                                      const std::vector<Variant>& variants) {
-  const auto series = sweep::parallel_map<SeriesData>(
-      variants.size(),
-      [&variants](std::size_t i) { return compute_series(variants[i]); });
+  std::vector<engine::RunSpec> specs;
+  specs.reserve(variants.size());
+  for (const Variant& v : variants) specs.push_back(series_spec(v));
+  const std::vector<engine::RunResult> cells = batch.run_batch(specs);
   std::vector<SeriesResult> results;
-  results.reserve(series.size());
-  for (const SeriesData& data : series) {
-    for (const std::string& row : data.rows) report.csv_row(row);
-    results.push_back(data.result);
+  results.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    results.push_back(emit_series(report, variants[i], cells[i]));
   }
   return results;
 }
@@ -96,6 +104,7 @@ int main() {
       "One series per parameter variant; 'nonviable' = no feasible P* "
       "(the paper's square markers).");
 
+  engine::BatchEngine batch(bench::engine_config_from_env("fig6"));
   const model::SwapParams def = model::SwapParams::table3_defaults();
   const auto with = [&def](const std::function<void(model::SwapParams&)>& mod) {
     model::SwapParams p = def;
@@ -106,7 +115,7 @@ int main() {
   // --- Panel 1: success premium alpha. ------------------------------------
   report.csv_begin("panel_alpha", "variant,p_star,SR,");
   const std::vector<SeriesResult> alpha_panel = emit_panel(
-      report,
+      report, batch,
       {{"alphaA=0.3(default)", def},
        {"alphaA=0.15", with([](auto& p) { p.alice.alpha = 0.15; })},
        {"alphaA=0.5", with([](auto& p) { p.alice.alpha = 0.5; })},
@@ -131,15 +140,16 @@ int main() {
   // --- Panel 2: time preference r. -----------------------------------------
   report.csv_begin("panel_r", "variant,p_star,SR,");
   const std::vector<SeriesResult> r_panel =
-      emit_panel(report, {{"r=0.010(default)", def},
-                          {"r=0.014", with([](auto& p) {
-                             p.alice.r = 0.014;
-                             p.bob.r = 0.014;
-                           })},
-                          {"r=0.020", with([](auto& p) {
-                             p.alice.r = 0.020;
-                             p.bob.r = 0.020;
-                           })}});
+      emit_panel(report, batch,
+                 {{"r=0.010(default)", def},
+                  {"r=0.014", with([](auto& p) {
+                     p.alice.r = 0.014;
+                     p.bob.r = 0.014;
+                   })},
+                  {"r=0.020", with([](auto& p) {
+                     p.alice.r = 0.020;
+                     p.bob.r = 0.020;
+                   })}});
   const SeriesResult &r_def = r_panel[0], &r_mid = r_panel[1],
                      &r_hi = r_panel[2];
   report.claim("higher r narrows the feasible band",
@@ -151,20 +161,21 @@ int main() {
   // --- Panel 3: confirmation times tau. -------------------------------------
   report.csv_begin("panel_tau", "variant,p_star,SR,");
   const std::vector<SeriesResult> tau_panel =
-      emit_panel(report, {{"tau=(3,4)(default)", def},
-                          {"tau=(1.5,2)", with([](auto& p) {
-                             p.tau_a = 1.5;
-                             p.tau_b = 2.0;
-                             p.eps_b = 0.5;
-                           })},
-                          {"tau=(3.6,4.8)", with([](auto& p) {
-                             p.tau_a = 3.6;
-                             p.tau_b = 4.8;
-                           })},
-                          {"tau=(6,8)", with([](auto& p) {
-                             p.tau_a = 6.0;
-                             p.tau_b = 8.0;
-                           })}});
+      emit_panel(report, batch,
+                 {{"tau=(3,4)(default)", def},
+                  {"tau=(1.5,2)", with([](auto& p) {
+                     p.tau_a = 1.5;
+                     p.tau_b = 2.0;
+                     p.eps_b = 0.5;
+                   })},
+                  {"tau=(3.6,4.8)", with([](auto& p) {
+                     p.tau_a = 3.6;
+                     p.tau_b = 4.8;
+                   })},
+                  {"tau=(6,8)", with([](auto& p) {
+                     p.tau_a = 6.0;
+                     p.tau_b = 8.0;
+                   })}});
   const SeriesResult &tau_def = tau_panel[0], &tau_fast = tau_panel[1],
                      &tau_slow = tau_panel[2], &tau_glacial = tau_panel[3];
   report.claim("lower tau raises the optimal SR",
@@ -177,10 +188,11 @@ int main() {
   // --- Panel 4: drift mu. ----------------------------------------------------
   report.csv_begin("panel_mu", "variant,p_star,SR,");
   const std::vector<SeriesResult> mu_panel = emit_panel(
-      report, {{"mu=-0.002", with([](auto& p) { p.gbm.mu = -0.002; })},
-               {"mu=0", with([](auto& p) { p.gbm.mu = 0.0; })},
-               {"mu=0.002(default)", def},
-               {"mu=0.006", with([](auto& p) { p.gbm.mu = 0.006; })}});
+      report, batch,
+      {{"mu=-0.002", with([](auto& p) { p.gbm.mu = -0.002; })},
+       {"mu=0", with([](auto& p) { p.gbm.mu = 0.0; })},
+       {"mu=0.002(default)", def},
+       {"mu=0.006", with([](auto& p) { p.gbm.mu = 0.006; })}});
   const SeriesResult &mu_neg = mu_panel[0], &mu_zero = mu_panel[1],
                      &mu_def = mu_panel[2], &mu_pos = mu_panel[3];
   report.claim("upward drift raises max SR (mu- < mu0 < mu+ ordering)",
@@ -192,10 +204,11 @@ int main() {
   // --- Panel 5: volatility sigma. --------------------------------------------
   report.csv_begin("panel_sigma", "variant,p_star,SR,");
   const std::vector<SeriesResult> sigma_panel = emit_panel(
-      report, {{"sigma=0.05", with([](auto& p) { p.gbm.sigma = 0.05; })},
-               {"sigma=0.10(default)", def},
-               {"sigma=0.15", with([](auto& p) { p.gbm.sigma = 0.15; })},
-               {"sigma=0.20", with([](auto& p) { p.gbm.sigma = 0.20; })}});
+      report, batch,
+      {{"sigma=0.05", with([](auto& p) { p.gbm.sigma = 0.05; })},
+       {"sigma=0.10(default)", def},
+       {"sigma=0.15", with([](auto& p) { p.gbm.sigma = 0.15; })},
+       {"sigma=0.20", with([](auto& p) { p.gbm.sigma = 0.20; })}});
   const SeriesResult &sig_lo = sigma_panel[0], &sig_def = sigma_panel[1],
                      &sig_hi = sigma_panel[2], &sig_wild = sigma_panel[3];
   report.claim("higher sigma lowers max SR (paper Section III-F4)",
@@ -208,12 +221,18 @@ int main() {
   // --- Shape check on the default curve. -------------------------------------
   bool concave_shaped = true;
   {
+    engine::RunSpec spec;
+    spec.kind = engine::CellKind::kSrGrid;
+    spec.label = "fig6:shape_check";
+    spec.mc.params = def;
+    spec.grid_count = 30;
+    spec.grid_denom = 30;
+    spec.grid_lo = a_def.band_lo;
+    spec.grid_hi = a_def.band_hi;
+    const engine::RunResult cell = batch.run(spec);
     std::vector<double> sr;
-    model::BasicGameSweeper sweeper(def);
     for (int i = 0; i <= 30; ++i) {
-      const double p_star =
-          a_def.band_lo + (a_def.band_hi - a_def.band_lo) * i / 30.0;
-      sr.push_back(sweeper.at(p_star)->success_rate());
+      sr.push_back(cell.at("sr:" + std::to_string(i)));
     }
     int sign_changes = 0;
     for (std::size_t i = 2; i < sr.size(); ++i) {
@@ -235,28 +254,49 @@ int main() {
   {
     report.csv_begin("mc_validation_crn",
                      "p_star,analytic_SR,mc_anti_cv,ci_half_width_999");
-    model::BasicGameSweeper sweeper(def);
+    // Midpoint grid: strictly interior to the feasible band (at the
+    // exact endpoints the swap is not initiated and SR is undefined).
+    engine::RunSpec analytic_spec;
+    analytic_spec.kind = engine::CellKind::kSrGrid;
+    analytic_spec.label = "fig6:mc_validation:analytic";
+    analytic_spec.mc.params = def;
+    analytic_spec.grid_count = 8;
+    analytic_spec.grid_denom = 9;
+    analytic_spec.grid_offset = 0.5;
+    analytic_spec.grid_lo = a_def.band_lo;
+    analytic_spec.grid_hi = a_def.band_hi;
+    std::vector<engine::BatchNode> nodes;
+    nodes.push_back({analytic_spec, {}});
+    for (int i = 0; i < 9; ++i) {
+      const double p_star =
+          a_def.band_lo + (a_def.band_hi - a_def.band_lo) * (i + 0.5) / 9.0;
+      engine::RunSpec mc_spec;
+      mc_spec.kind = engine::CellKind::kMc;
+      mc_spec.label = bench::fmt("fig6:mc_validation:p%.4f", p_star);
+      mc_spec.mc.evaluator = sim::McEvaluator::kModel;
+      mc_spec.mc.params = def;
+      mc_spec.mc.p_star = p_star;
+      mc_spec.mc.config.samples = 1u << 16;
+      mc_spec.mc.config.seed = 66;
+      mc_spec.mc.config.antithetic = true;
+      mc_spec.mc.config.control_variate = true;
+      mc_spec.mc.config.ci_confidence = 0.999;
+      nodes.push_back({std::move(mc_spec), {}});
+    }
+    const std::vector<engine::RunResult> cells = batch.run_batch(nodes);
     bool all_within = true;
     double max_err = 0.0;
     for (int i = 0; i < 9; ++i) {
-      // Midpoint grid: strictly interior to the feasible band (at the
-      // exact endpoints the swap is not initiated and SR is undefined).
-      const double p_star =
-          a_def.band_lo + (a_def.band_hi - a_def.band_lo) * (i + 0.5) / 9.0;
-      const double analytic = sweeper.at(p_star)->success_rate();
-      sim::McConfig cfg;
-      cfg.samples = 1u << 16;
-      cfg.seed = 66;
-      cfg.antithetic = true;
-      cfg.control_variate = true;
-      cfg.ci_confidence = 0.999;
-      const sim::VrEstimate est = sim::run_model_mc_vr(def, p_star, 0.0, cfg);
-      const double err = std::abs(est.success_rate() - analytic);
+      const double p_star = cells[0].at("p:" + std::to_string(i));
+      const double analytic = cells[0].at("sr:" + std::to_string(i));
+      const double mc_sr = cells[1 + i].at("sr");
+      const double half_width = cells[1 + i].at("half_width");
+      const double err = std::abs(mc_sr - analytic);
       if (err > max_err) max_err = err;
       // NaN-safe: a not-initiated point (NaN estimate) must FAIL the claim.
-      if (!(err <= est.half_width() + 1e-4)) all_within = false;
+      if (!(err <= half_width + 1e-4)) all_within = false;
       report.csv_row(bench::fmt("%.4f,%.6f,%.6f,%.6f", p_star, analytic,
-                                est.success_rate(), est.half_width()));
+                                mc_sr, half_width));
     }
     report.metric("mc_validation_max_abs_err", max_err);
     report.claim("anti+CV MC matches analytic SR (99.9% CI) across the band",
@@ -264,5 +304,6 @@ int main() {
   }
   report.note(bench::fmt("default curve: max SR %.4f at P* = %.3f",
                          a_def.max_sr, a_def.argmax_p_star));
+  bench::report_engine_metrics(report, batch);
   return report.exit_code();
 }

@@ -17,6 +17,7 @@
 
 #include <sys/stat.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -35,11 +36,28 @@ inline std::string out_path(const std::string& filename) {
   const char* dir = std::getenv("SWAPGAME_BENCH_DIR");
   if (dir == nullptr || dir[0] == '\0') return filename;
   std::string prefix(dir);
-  // Best-effort recursive mkdir (POSIX); existing components are fine.
+  // Recursive mkdir (POSIX).  Component boundaries skip the leading '/'
+  // of absolute paths and duplicate separators (mkdir("") / mkdir("/")
+  // would fail spuriously); EEXIST is fine.  Rather than checking each
+  // mkdir, the stat below decides whether the full path is usable.
   for (std::size_t pos = 1; pos <= prefix.size(); ++pos) {
     if (pos == prefix.size() || prefix[pos] == '/') {
-      ::mkdir(prefix.substr(0, pos).c_str(), 0777);
+      const std::string component = prefix.substr(0, pos);
+      if (component.empty() || component == "/") continue;
+      ::mkdir(component.c_str(), 0777);
     }
+  }
+  struct ::stat st {};
+  if (::stat(prefix.c_str(), &st) != 0) {
+    std::perror(("swapgame: SWAPGAME_BENCH_DIR " + prefix).c_str());
+    std::fprintf(stderr, "swapgame: falling back to the current directory\n");
+    return filename;
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    errno = ENOTDIR;
+    std::perror(("swapgame: SWAPGAME_BENCH_DIR " + prefix).c_str());
+    std::fprintf(stderr, "swapgame: falling back to the current directory\n");
+    return filename;
   }
   if (prefix.back() != '/') prefix.push_back('/');
   return prefix + filename;

@@ -19,7 +19,7 @@
 #include "model/basic_game.hpp"
 #include "model/commitment_game.hpp"
 #include "proto/witness_protocol.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 #include "sim/path_simulator.hpp"
 #include "sweep/sweep.hpp"
 
@@ -120,15 +120,13 @@ int main() {
   // --- End-to-end protocol MC. ---------------------------------------------------
   const std::size_t samples = 3000;
   const WitnessMcResult witness = witness_mc(p, 2.0, samples, 606);
-  proto::SwapSetup setup;
-  setup.params = p;
-  setup.p_star = 2.0;
-  sim::McConfig cfg;
-  cfg.samples = samples;
-  cfg.seed = 606;
-  const sim::McEstimate htlc_mc = sim::run_protocol_mc(
-      setup, sim::rational_factory(p, 2.0), sim::rational_factory(p, 2.0),
-      cfg);
+  sim::McRunSpec htlc_spec;
+  htlc_spec.evaluator = sim::McEvaluator::kProtocol;
+  htlc_spec.params = p;
+  htlc_spec.p_star = 2.0;
+  htlc_spec.config.samples = samples;
+  htlc_spec.config.seed = 606;
+  const sim::McEstimate htlc_mc = sim::McRunner::run(htlc_spec).estimate;
   report.csv_begin("protocol_mc", "protocol,SR,U_alice,U_bob");
   report.csv_row(bench::fmt("htlc,%.4f,%.4f,%.4f",
                             htlc_mc.conditional_success_rate(),

@@ -3,15 +3,54 @@
 //
 // Central-difference derivatives and elasticities of SR with respect to
 // every model parameter, at the Table III default point, plus how the
-// ranking shifts in a calm market.
+// ranking shifts in a calm market.  Cells run as kSensitivity RunSpecs on
+// the BatchEngine (docs/ENGINE.md): default and calm-market reports are
+// independent, so they evaluate in parallel and reruns hit the cache.
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "bench_engine.hpp"
 #include "bench_util.hpp"
-#include "model/sensitivity.hpp"
-#include "sweep/sweep.hpp"
+#include "engine/run_spec.hpp"
+#include "model/params.hpp"
 
 using namespace swapgame;
+
+namespace {
+
+/// One parameter row recovered from a kSensitivity cell (the evaluator
+/// emits "value:/deriv:/elast:<name>" triplets in ranking order).
+struct SensRow {
+  std::string name;
+  double value = 0.0;
+  double derivative = 0.0;
+  double elasticity = 0.0;
+};
+
+std::vector<SensRow> unpack_rows(const engine::RunResult& result) {
+  std::vector<SensRow> rows;
+  for (const auto& [key, v] : result.values) {
+    if (key.rfind("value:", 0) == 0) {
+      rows.push_back({key.substr(6), v, 0.0, 0.0});
+    } else if (key.rfind("deriv:", 0) == 0) {
+      rows.back().derivative = v;
+    } else if (key.rfind("elast:", 0) == 0) {
+      rows.back().elasticity = v;
+    }
+  }
+  return rows;
+}
+
+const SensRow& row(const std::vector<SensRow>& rows, const std::string& name) {
+  for (const SensRow& r : rows) {
+    if (r.name == name) return r;
+  }
+  throw std::out_of_range("no sensitivity row: " + name);
+}
+
+}  // namespace
 
 int main() {
   bench::Report report(
@@ -21,47 +60,54 @@ int main() {
   const model::SwapParams p = model::SwapParams::table3_defaults();
   model::SwapParams calm_params = p;
   calm_params.gbm.sigma = 0.04;
-  // Default and calm-market reports are independent; solve both at once.
-  const std::vector<model::SwapParams> points = {p, calm_params};
-  const auto reports = sweep::parallel_map<model::SensitivityReport>(
-      points.size(), [&points](std::size_t i) {
-        return model::success_rate_sensitivities(points[i], 2.0);
-      });
-  const model::SensitivityReport& base = reports[0];
+
+  engine::BatchEngine batch(bench::engine_config_from_env("x13"));
+  std::vector<engine::RunSpec> specs(2);
+  specs[0].kind = engine::CellKind::kSensitivity;
+  specs[0].label = "sensitivities:default";
+  specs[0].mc.params = p;
+  specs[0].mc.p_star = 2.0;
+  specs[1] = specs[0];
+  specs[1].label = "sensitivities:calm";
+  specs[1].mc.params = calm_params;
+  const std::vector<engine::RunResult> results = batch.run_batch(specs);
+  const std::vector<SensRow> base = unpack_rows(results[0]);
 
   report.csv_begin("sensitivities", "parameter,value,dSR_dx,elasticity");
-  for (const model::ParameterSensitivity& s : base.parameters) {
+  for (const SensRow& s : base) {
     report.csv_row(bench::fmt("%s,%.4f,%.4f,%.4f", s.name.c_str(), s.value,
                               s.derivative, s.elasticity));
   }
 
   report.claim("volatility has the largest elasticity of all parameters",
-               base.parameters.front().name == "sigma");
+               base.front().name == "sigma");
   report.claim("signs: sigma-, mu+, alpha+, r_B-, tau-",
-               base["sigma"].derivative < 0.0 && base["mu"].derivative > 0.0 &&
-                   base["alpha_A"].derivative > 0.0 &&
-                   base["alpha_B"].derivative > 0.0 &&
-                   base["r_B"].derivative < 0.0 &&
-                   base["tau_a"].derivative < 0.0 &&
-                   base["tau_b"].derivative < 0.0);
+               row(base, "sigma").derivative < 0.0 &&
+                   row(base, "mu").derivative > 0.0 &&
+                   row(base, "alpha_A").derivative > 0.0 &&
+                   row(base, "alpha_B").derivative > 0.0 &&
+                   row(base, "r_B").derivative < 0.0 &&
+                   row(base, "tau_a").derivative < 0.0 &&
+                   row(base, "tau_b").derivative < 0.0);
   // The non-obvious one: Alice's impatience RAISES conditional SR (her
   // refund arrives later than the token-b, so higher r_A lowers her reveal
   // cutoff).  Fig. 6's r-claim concerns the feasibility band instead.
   report.claim("r_A has a POSITIVE conditional-SR derivative (subtlety)",
-               base["r_A"].derivative > 0.0);
+               row(base, "r_A").derivative > 0.0);
 
   // Calm-market comparison: with little volatility at stake, the
   // preference parameters take over the ranking.
-  const model::SensitivityReport& calm_report = reports[1];
+  const std::vector<SensRow> calm = unpack_rows(results[1]);
   report.csv_begin("calm_market", "parameter,elasticity");
-  for (const model::ParameterSensitivity& s : calm_report.parameters) {
+  for (const SensRow& s : calm) {
     report.csv_row(bench::fmt("%s,%.4f", s.name.c_str(), s.elasticity));
   }
   report.claim("sigma's elasticity shrinks in the calm market",
-               std::abs(calm_report["sigma"].elasticity) <
-                   std::abs(base["sigma"].elasticity));
+               std::abs(row(calm, "sigma").elasticity) <
+                   std::abs(row(base, "sigma").elasticity));
   report.note(bench::fmt(
       "at defaults: a 1%% relative increase in sigma costs ~%.2f%% of SR",
-      -base["sigma"].elasticity));
+      -row(base, "sigma").elasticity));
+  bench::report_engine_metrics(report, batch);
   return report.exit_code();
 }

@@ -16,14 +16,22 @@
 // Takeaway: faults degrade success monotonically but never atomicity of
 // accounting; margins buy back most of the loss, exactly as they did for
 // pure jitter in X9.
+//
+// The two Monte-Carlo sweeps run as kMc RunSpecs on the BatchEngine
+// (docs/ENGINE.md), fault model and CI-stopping config included in the
+// cell hash; the traced drop=0.1 cell carries its TRACE JSONL inside the
+// cached result.  The deterministic single-run case studies (blocks 3/4)
+// are direct proto::run_swap calls -- one swap each, nothing to batch.
 #include <cstdint>
 #include <vector>
 
 #include "agents/naive.hpp"
+#include "bench_engine.hpp"
 #include "bench_util.hpp"
+#include "engine/run_spec.hpp"
+#include "math/stats.hpp"
 #include "model/basic_game.hpp"
-#include "obs/trace.hpp"
-#include "sim/monte_carlo.hpp"
+#include "proto/swap_protocol.hpp"
 
 using namespace swapgame;
 
@@ -36,6 +44,41 @@ proto::SwapSetup base_setup() {
   return setup;
 }
 
+/// The per-cell numbers the claims below compare, recovered from a kMc
+/// protocol cell.
+struct FaultCell {
+  double initiated_frac = 0.0;
+  double sr = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  double alice_util = 0.0;
+  double bob_util = 0.0;
+  std::uint64_t dropped_txs = 0;
+  std::uint64_t rebroadcasts = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t samples = 0;
+};
+
+FaultCell unpack_cell(const engine::RunResult& r) {
+  FaultCell c;
+  c.initiated_frac = r.at("initiated_successes") / r.at("initiated_trials");
+  c.sr = r.at("sr_cond");
+  const auto ci = math::BinomialCounter::from_counts(
+                      static_cast<std::uint64_t>(r.at("success_successes")),
+                      static_cast<std::uint64_t>(r.at("success_trials")))
+                      .wilson_interval();
+  c.ci_lo = ci.lo;
+  c.ci_hi = ci.hi;
+  c.alice_util = r.at("alice_mean");
+  c.bob_util = r.at("bob_mean");
+  c.dropped_txs = static_cast<std::uint64_t>(r.at("dropped_txs"));
+  c.rebroadcasts = static_cast<std::uint64_t>(r.at("rebroadcasts"));
+  c.violations = static_cast<std::uint64_t>(r.at("conservation_failures") +
+                                            r.at("invariant_failures"));
+  c.samples = static_cast<std::uint64_t>(r.at("success_trials"));
+  return c;
+}
+
 }  // namespace
 
 int main() {
@@ -44,119 +87,128 @@ int main() {
       "(assumption 1 relaxed beyond timing)",
       "FaultInjector on both chains; InvariantAuditor on every run.");
 
+  engine::BatchEngine batch(bench::engine_config_from_env("x14"));
+
   // ---- Block 1: success rate vs drop probability (rational agents). ------
   // At drop=0 this must reproduce the fig6 zero-fault baseline; as the drop
   // probability rises, re-broadcasts save fewer runs and SR decays.
   const model::SwapParams params = model::SwapParams::table3_defaults();
   const model::BasicGame game(params, 2.0);
   const double analytic_sr = game.success_rate();
-  const sim::StrategyFactory rational = sim::rational_factory(params, 2.0);
 
   report.csv_begin("sr_vs_drop_prob",
                    "drop_prob,initiated,sr,ci_lo,ci_hi,alice_util,bob_util,"
                    "dropped_txs,rebroadcasts,violations,samples");
   const std::vector<double> drops = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
-  std::vector<sim::McEstimate> drop_cells;
-  obs::TraceCollector traces;
-  std::uint64_t drop_samples_total = 0;
+  std::vector<engine::RunSpec> drop_specs;
   for (const double drop : drops) {
-    proto::SwapSetup setup = base_setup();
-    setup.expiry_margin = 8.0;  // room for re-broadcasts to land
-    setup.faults.chain_a.drop_prob = drop;
-    setup.faults.chain_b.drop_prob = drop;
-    sim::McConfig config;
+    engine::RunSpec spec;
+    spec.kind = engine::CellKind::kMc;
+    spec.label = bench::fmt("x14:drop%.2f", drop);
+    spec.mc.evaluator = sim::McEvaluator::kProtocol;
+    spec.mc.params = params;
+    spec.mc.p_star = 2.0;
+    spec.mc.expiry_margin = 8.0;  // room for re-broadcasts to land
+    spec.mc.faults.chain_a.drop_prob = drop;
+    spec.mc.faults.chain_b.drop_prob = drop;
     // CI-targeted cells: each runs rounds of protocol chunks until the
     // Wilson half-width of the success proportion is under 0.025 (or the
     // budget caps out) -- near-deterministic cells settle early, noisy
     // ones use the full budget, and the stop rule is thread-count
     // independent (see sim/mc_driver.hpp).
-    config.samples = bench::scaled(4096, 512);
-    config.target_half_width = 0.025;
-    config.min_samples = 1024;
-    config.seed = 14;
+    spec.mc.config.samples = bench::scaled(4096, 512);
+    spec.mc.config.target_half_width = 0.025;
+    spec.mc.config.min_samples = 1024;
+    spec.mc.config.seed = 14;
     if (drop == 0.1) {
       // Export event streams from one faulted cell: every 500th run shows
       // drops, re-broadcasts and deferred confirmations end to end
       // (TRACE_x14_fault_robustness.jsonl; see docs/OBSERVABILITY.md).
-      config.trace_stride = 500;
-      config.traces = &traces;
+      spec.mc.config.trace_stride = 500;
     }
-    const sim::McEstimate e =
-        sim::run_protocol_mc(setup, rational, rational, config);
-    const auto ci = e.success.wilson_interval();
-    drop_samples_total += e.success.trials();
-    report.csv_row(bench::fmt(
-        "%.2f,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%llu,%llu", drop,
-        static_cast<double>(e.initiated.successes()) /
-            static_cast<double>(e.initiated.trials()),
-        e.conditional_success_rate(), ci.lo, ci.hi, e.alice_utility.mean(),
-        e.bob_utility.mean(),
-        static_cast<unsigned long long>(e.dropped_txs),
-        static_cast<unsigned long long>(e.rebroadcasts),
-        static_cast<unsigned long long>(e.conservation_failures +
-                                        e.invariant_failures),
-        static_cast<unsigned long long>(e.success.trials())));
-    drop_cells.push_back(e);
+    drop_specs.push_back(spec);
   }
-  report.write_trace_jsonl(traces.jsonl());
+  const std::vector<engine::RunResult> drop_results =
+      batch.run_batch(drop_specs);
+  std::vector<FaultCell> drop_cells;
+  std::string trace_jsonl;
+  std::uint64_t drop_samples_total = 0;
+  for (std::size_t i = 0; i < drops.size(); ++i) {
+    const FaultCell c = unpack_cell(drop_results[i]);
+    if (!drop_results[i].trace.empty()) trace_jsonl = drop_results[i].trace;
+    drop_samples_total += c.samples;
+    report.csv_row(bench::fmt(
+        "%.2f,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%llu,%llu", drops[i],
+        c.initiated_frac, c.sr, c.ci_lo, c.ci_hi, c.alice_util, c.bob_util,
+        static_cast<unsigned long long>(c.dropped_txs),
+        static_cast<unsigned long long>(c.rebroadcasts),
+        static_cast<unsigned long long>(c.violations),
+        static_cast<unsigned long long>(c.samples)));
+    drop_cells.push_back(c);
+  }
+  report.write_trace_jsonl(trace_jsonl);
   report.metric("drop_block_samples_total",
                 static_cast<double>(drop_samples_total));
 
-  const sim::McEstimate& zero_fault = drop_cells.front();
-  const auto zero_ci = zero_fault.success.wilson_interval();
+  const FaultCell& zero_fault = drop_cells.front();
   report.claim(
       "drop=0 reproduces the fig6 zero-fault baseline (analytic SR)",
-      analytic_sr >= zero_ci.lo - 0.02 && analytic_sr <= zero_ci.hi + 0.02);
+      analytic_sr >= zero_fault.ci_lo - 0.02 &&
+          analytic_sr <= zero_fault.ci_hi + 0.02);
   bool monotone = true;
   for (std::size_t i = 1; i < drop_cells.size(); ++i) {
-    if (drop_cells[i].conditional_success_rate() >
-        drop_cells[i - 1].conditional_success_rate() + 0.02) {
-      monotone = false;
-    }
+    if (drop_cells[i].sr > drop_cells[i - 1].sr + 0.02) monotone = false;
   }
   report.claim("SR degrades monotonically with drop probability", monotone);
   // Utilities are compared within faulted cells only (faulted runs value
   // final balances; exact flow accounting applies at drop=0).
   report.claim("heavy drops cost both parties utility (0.5 vs 0.05)",
-               drop_cells.back().alice_utility.mean() <
-                       drop_cells[1].alice_utility.mean() &&
-                   drop_cells.back().bob_utility.mean() <
-                       drop_cells[1].bob_utility.mean());
+               drop_cells.back().alice_util < drop_cells[1].alice_util &&
+                   drop_cells.back().bob_util < drop_cells[1].bob_util);
   report.claim("re-broadcasts engaged wherever drops occurred",
-               drop_cells[1].rebroadcasts > 0 && drop_cells[0].dropped_txs == 0);
+               drop_cells[1].rebroadcasts > 0 &&
+                   drop_cells[0].dropped_txs == 0);
 
   // ---- Block 2: expiry margins buy back SR under heavy-tailed delays. ----
   report.csv_begin("sr_vs_extra_delay_and_margin",
                    "extra_delay_max,margin,sr,ci_lo,ci_hi,violations");
+  const std::vector<double> delay_maxes = {2.0, 4.0, 6.0};
+  const std::vector<double> margins = {0.0, 6.0};
+  std::vector<engine::RunSpec> delay_specs;
+  for (const double delay_max : delay_maxes) {
+    for (const double margin : margins) {
+      engine::RunSpec spec;
+      spec.kind = engine::CellKind::kMc;
+      spec.label = bench::fmt("x14:delay%.1f:m%.1f", delay_max, margin);
+      spec.mc.evaluator = sim::McEvaluator::kProtocol;
+      spec.mc.params = params;
+      spec.mc.p_star = 2.0;
+      spec.mc.strategy = sim::McStrategy::kHonest;
+      spec.mc.expiry_margin = margin;
+      spec.mc.faults.chain_a.extra_delay_prob = 0.3;
+      spec.mc.faults.chain_a.extra_delay_max = delay_max;
+      spec.mc.faults.chain_b.extra_delay_prob = 0.3;
+      spec.mc.faults.chain_b.extra_delay_max = delay_max;
+      spec.mc.config.samples = bench::scaled(1600, 256);
+      spec.mc.config.target_half_width = 0.03;
+      spec.mc.config.min_samples = 512;
+      spec.mc.config.seed = 15;
+      delay_specs.push_back(spec);
+    }
+  }
+  const std::vector<engine::RunResult> delay_results =
+      batch.run_batch(delay_specs);
   bool margin_recovers = true;
   std::uint64_t block2_violations = 0;
-  for (const double delay_max : {2.0, 4.0, 6.0}) {
+  for (std::size_t d = 0; d < delay_maxes.size(); ++d) {
     double sr_by_margin[2] = {0.0, 0.0};
-    int slot = 0;
-    for (const double margin : {0.0, 6.0}) {
-      proto::SwapSetup setup = base_setup();
-      setup.expiry_margin = margin;
-      setup.faults.chain_a.extra_delay_prob = 0.3;
-      setup.faults.chain_a.extra_delay_max = delay_max;
-      setup.faults.chain_b.extra_delay_prob = 0.3;
-      setup.faults.chain_b.extra_delay_max = delay_max;
-      sim::McConfig config;
-      config.samples = bench::scaled(1600, 256);
-      config.target_half_width = 0.03;
-      config.min_samples = 512;
-      config.seed = 15;
-      const sim::StrategyFactory honest = sim::honest_factory();
-      const sim::McEstimate e =
-          sim::run_protocol_mc(setup, honest, honest, config);
-      const auto ci = e.success.wilson_interval();
-      block2_violations += e.conservation_failures + e.invariant_failures;
-      report.csv_row(bench::fmt("%.1f,%.1f,%.4f,%.4f,%.4f,%llu", delay_max,
-                                margin, e.conditional_success_rate(), ci.lo,
-                                ci.hi,
-                                static_cast<unsigned long long>(
-                                    e.conservation_failures +
-                                    e.invariant_failures)));
-      sr_by_margin[slot++] = e.conditional_success_rate();
+    for (std::size_t m = 0; m < margins.size(); ++m) {
+      const FaultCell c = unpack_cell(delay_results[d * margins.size() + m]);
+      block2_violations += c.violations;
+      report.csv_row(bench::fmt(
+          "%.1f,%.1f,%.4f,%.4f,%.4f,%llu", delay_maxes[d], margins[m], c.sr,
+          c.ci_lo, c.ci_hi, static_cast<unsigned long long>(c.violations)));
+      sr_by_margin[m] = c.sr;
     }
     if (!(sr_by_margin[1] > sr_by_margin[0])) margin_recovers = false;
   }
@@ -231,14 +283,13 @@ int main() {
 
   // ---- The audit gate: every cell above ran with auditors attached. ------
   std::uint64_t total_violations = block2_violations;
-  for (const sim::McEstimate& e : drop_cells) {
-    total_violations += e.conservation_failures + e.invariant_failures;
-  }
+  for (const FaultCell& c : drop_cells) total_violations += c.violations;
   report.claim("NO fault pattern broke conservation or ledger invariants",
                total_violations == 0);
   report.note(bench::fmt(
       "analytic zero-fault SR %.4f; faults attack liveness, margins restore "
       "it, and the accounting invariants hold under every pattern tried",
       analytic_sr));
+  bench::report_engine_metrics(report, batch);
   return report.exit_code();
 }

@@ -9,18 +9,26 @@
 //                  substrate for every sampled path.
 // The protocol estimate must fall inside (a slightly padded) Wilson
 // interval around the analytic value.
+//
+// The comparison/utility/collateral blocks run as RunSpec cells on the
+// BatchEngine (docs/ENGINE.md) -- the analytic cell at P* = 2 is shared
+// between two blocks and deduplicated by content hash, and the traced
+// utility cell stores its TRACE JSONL inside the cached result so warm
+// reruns re-export it byte-for-byte.  The adaptive-vs-fixed block at the
+// bottom deliberately stays OFF the engine: it claims a wall-clock ratio,
+// which a cache hit would fake.
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "bench_engine.hpp"
 #include "bench_util.hpp"
-#include "model/basic_game.hpp"
-#include "model/collateral_game.hpp"
-#include "obs/trace.hpp"
-#include "sim/estimators.hpp"
-#include "sim/monte_carlo.hpp"
-#include "sweep/sweep.hpp"
+#include "engine/run_spec.hpp"
+#include "math/stats.hpp"
+#include "model/params.hpp"
+#include "sim/mc_runner.hpp"
 
 using namespace swapgame;
 
@@ -30,121 +38,132 @@ int main() {
       "Three independent routes to SR(P*) must agree (Table III defaults).");
 
   const model::SwapParams p = model::SwapParams::table3_defaults();
+  engine::BatchEngine batch(bench::engine_config_from_env("x1"));
 
   report.csv_begin("sr_comparison",
                    "p_star,analytic,model_mc,protocol_mc,protocol_ci_lo,"
                    "protocol_ci_hi");
-  struct SrRow {
-    std::string row;
-    bool within = false;
-  };
   const std::vector<double> p_stars = {1.6, 1.8, 2.0, 2.2, 2.4};
-  // Each rate runs its own model-MC and protocol-MC; the rates fan out over
-  // the sweep pool and the nested MC parallel_for falls back to serial
-  // inline on pool workers (no deadlock, identical estimates).
-  const auto sr_rows = sweep::parallel_map<SrRow>(
-      p_stars.size(), [&p, &p_stars](std::size_t i) {
-        const double p_star = p_stars[i];
-        const model::BasicGame game(p, p_star);
-        const double analytic = game.success_rate();
+  // Three cells per rate (analytic, model MC, protocol MC), all
+  // independent: one batch fans the 15 cells out over the pool.
+  std::vector<engine::RunSpec> sr_specs;
+  for (const double p_star : p_stars) {
+    engine::RunSpec analytic;
+    analytic.kind = engine::CellKind::kAnalyticSr;
+    analytic.label = bench::fmt("x1:analytic:p%.1f", p_star);
+    analytic.mc.params = p;
+    analytic.mc.p_star = p_star;
+    sr_specs.push_back(analytic);
 
-        sim::McConfig fast_cfg;
-        fast_cfg.samples = 200000;
-        fast_cfg.seed = 1001;
-        const sim::McEstimate fast =
-            sim::run_model_mc(p, p_star, 0.0, fast_cfg);
+    engine::RunSpec fast;
+    fast.kind = engine::CellKind::kMc;
+    fast.label = bench::fmt("x1:model_mc:p%.1f", p_star);
+    fast.mc.evaluator = sim::McEvaluator::kModel;
+    fast.mc.params = p;
+    fast.mc.p_star = p_star;
+    fast.mc.config.samples = 200000;
+    fast.mc.config.seed = 1001;
+    sr_specs.push_back(fast);
 
-        proto::SwapSetup setup;
-        setup.params = p;
-        setup.p_star = p_star;
-        sim::McConfig full_cfg;
-        full_cfg.samples = bench::scaled(4000);
-        full_cfg.seed = 2002;
-        const sim::McEstimate full = sim::run_protocol_mc(
-            setup, sim::rational_factory(p, p_star),
-            sim::rational_factory(p, p_star), full_cfg);
-        const auto ci = full.success.wilson_interval(0.999);
-
-        return SrRow{
-            bench::fmt("%.1f,%.5f,%.5f,%.5f,%.5f,%.5f", p_star, analytic,
-                       fast.conditional_success_rate(),
-                       full.conditional_success_rate(), ci.lo, ci.hi),
-            analytic >= ci.lo - 0.01 && analytic <= ci.hi + 0.01};
-      });
+    engine::RunSpec full;
+    full.kind = engine::CellKind::kMc;
+    full.label = bench::fmt("x1:protocol_mc:p%.1f", p_star);
+    full.mc.evaluator = sim::McEvaluator::kProtocol;
+    full.mc.params = p;
+    full.mc.p_star = p_star;
+    full.mc.config.samples = bench::scaled(4000);
+    full.mc.config.seed = 2002;
+    sr_specs.push_back(full);
+  }
+  const std::vector<engine::RunResult> sr_cells = batch.run_batch(sr_specs);
   bool all_within = true;
-  for (const SrRow& r : sr_rows) {
-    report.csv_row(r.row);
-    if (!r.within) all_within = false;
+  for (std::size_t i = 0; i < p_stars.size(); ++i) {
+    const double analytic = sr_cells[3 * i].at("sr");
+    const engine::RunResult& fast = sr_cells[3 * i + 1];
+    const engine::RunResult& full = sr_cells[3 * i + 2];
+    const auto ci =
+        math::BinomialCounter::from_counts(
+            static_cast<std::uint64_t>(full.at("success_successes")),
+            static_cast<std::uint64_t>(full.at("success_trials")))
+            .wilson_interval(0.999);
+    report.csv_row(bench::fmt("%.1f,%.5f,%.5f,%.5f,%.5f,%.5f", p_stars[i],
+                              analytic, fast.at("sr_cond"),
+                              full.at("sr_cond"), ci.lo, ci.hi));
+    if (!(analytic >= ci.lo - 0.01 && analytic <= ci.hi + 0.01)) {
+      all_within = false;
+    }
   }
   report.claim("analytic SR within protocol-MC 99.9% CI at every rate",
                all_within);
 
   // Realized utilities from protocol runs vs the model's t1 values.
   {
-    const model::BasicGame game(p, 2.0);
-    proto::SwapSetup setup;
-    setup.params = p;
-    setup.p_star = 2.0;
-    sim::McConfig cfg;
-    cfg.samples = bench::scaled(6000);
-    cfg.seed = 3003;
+    engine::RunSpec analytic;
+    analytic.kind = engine::CellKind::kAnalyticSr;
+    analytic.label = "x1:analytic:p2.0";  // dedups with the block above
+    analytic.mc.params = p;
+    analytic.mc.p_star = 2.0;
+
+    engine::RunSpec traced;
+    traced.kind = engine::CellKind::kMc;
+    traced.label = "x1:realized_utilities";
+    traced.mc.evaluator = sim::McEvaluator::kProtocol;
+    traced.mc.params = p;
+    traced.mc.p_star = 2.0;
+    traced.mc.config.samples = bench::scaled(6000);
+    traced.mc.config.seed = 3003;
     // Export a structured trace sample alongside the numbers: every 1000th
-    // run's full event stream lands in TRACE_x1.jsonl (docs/OBSERVABILITY.md).
-    obs::TraceCollector traces;
-    cfg.trace_stride = 1000;
-    cfg.traces = &traces;
-    const sim::McEstimate est = sim::run_protocol_mc(
-        setup, sim::rational_factory(p, 2.0), sim::rational_factory(p, 2.0),
-        cfg);
-    report.write_trace_jsonl(traces.jsonl());
+    // run's full event stream lands in TRACE_x1.jsonl
+    // (docs/OBSERVABILITY.md).  The JSONL rides inside the cached result.
+    traced.mc.config.trace_stride = 1000;
+
+    const std::vector<engine::RunResult> cells =
+        batch.run_batch(std::vector<engine::RunSpec>{analytic, traced});
+    const engine::RunResult& game = cells[0];
+    const engine::RunResult& est = cells[1];
+    report.write_trace_jsonl(est.trace);
     report.csv_begin("realized_utilities",
                      "agent,protocol_mean,protocol_ci,model_t1_value");
-    report.csv_row(bench::fmt("alice,%.5f,%.5f,%.5f",
-                              est.alice_utility.mean(),
-                              est.alice_utility.ci_half_width(),
-                              game.alice_t1_cont()));
-    report.csv_row(bench::fmt("bob,%.5f,%.5f,%.5f", est.bob_utility.mean(),
-                              est.bob_utility.ci_half_width(),
-                              game.bob_t1_cont()));
+    report.csv_row(bench::fmt("alice,%.5f,%.5f,%.5f", est.at("alice_mean"),
+                              est.at("alice_hw"), game.at("alice_t1_cont")));
+    report.csv_row(bench::fmt("bob,%.5f,%.5f,%.5f", est.at("bob_mean"),
+                              est.at("bob_hw"), game.at("bob_t1_cont")));
     report.claim(
         "protocol-realized mean utilities match model t1 values (5% tol)",
-        std::abs(est.alice_utility.mean() - game.alice_t1_cont()) <
-                0.05 * game.alice_t1_cont() &&
-            std::abs(est.bob_utility.mean() - game.bob_t1_cont()) <
-                0.05 * game.bob_t1_cont());
+        std::abs(est.at("alice_mean") - game.at("alice_t1_cont")) <
+                0.05 * game.at("alice_t1_cont") &&
+            std::abs(est.at("bob_mean") - game.at("bob_t1_cont")) <
+                0.05 * game.at("bob_t1_cont"));
   }
 
   // Collateralized variant: protocol MC reproduces the Fig. 9 ordering.
+  // Each Q is one kScenario cell (CollateralGame analytic + rational
+  // protocol runs with the matching deposit).
   {
     report.csv_begin("collateral_protocol_mc", "q,protocol_SR,analytic_SR");
-    struct QRow {
-      double sr = 0.0;
-      double analytic = 0.0;
-    };
     const std::vector<double> qs = {0.0, 0.5, 1.0};
-    const auto q_rows = sweep::parallel_map<QRow>(
-        qs.size(), [&p, &qs](std::size_t i) {
-          const double q = qs[i];
-          proto::SwapSetup setup;
-          setup.params = p;
-          setup.p_star = 2.0;
-          setup.collateral = q;
-          sim::McConfig cfg;
-          cfg.samples = bench::scaled(2500);
-          cfg.seed = 4004;
-          const sim::McEstimate est = sim::run_protocol_mc(
-              setup, sim::rational_factory(p, 2.0, q),
-              sim::rational_factory(p, 2.0, q), cfg);
-          return QRow{est.conditional_success_rate(),
-                      model::CollateralGame(p, 2.0, q).success_rate()};
-        });
+    std::vector<engine::RunSpec> q_specs;
+    for (const double q : qs) {
+      engine::RunSpec spec;
+      spec.kind = engine::CellKind::kScenario;
+      spec.label = bench::fmt("x1:collateral:q%.1f", q);
+      spec.mc.params = p;
+      spec.mc.p_star = 2.0;
+      spec.mechanism = sim::Mechanism::kCollateral;
+      spec.deposit = q;
+      spec.mc.config.samples = bench::scaled(2500);
+      spec.mc.config.seed = 4004;
+      q_specs.push_back(spec);
+    }
+    const std::vector<engine::RunResult> q_cells = batch.run_batch(q_specs);
     double prev = -1.0;
     bool monotone = true;
     for (std::size_t i = 0; i < qs.size(); ++i) {
-      report.csv_row(bench::fmt("%.1f,%.5f,%.5f", qs[i], q_rows[i].sr,
-                                q_rows[i].analytic));
-      if (q_rows[i].sr < prev - 0.02) monotone = false;
-      prev = q_rows[i].sr;
+      const double sr = q_cells[i].at("protocol_sr");
+      report.csv_row(bench::fmt("%.1f,%.5f,%.5f", qs[i], sr,
+                                q_cells[i].at("analytic_sr")));
+      if (sr < prev - 0.02) monotone = false;
+      prev = sr;
     }
     report.claim("protocol-MC SR increases with Q (Fig. 9, end-to-end)",
                  monotone);
@@ -156,8 +175,8 @@ int main() {
   // reach the 0.002 target follow exactly -- a smooth, seed-deterministic
   // metric (machine-independent, unlike wall clock) that bench_gate.py
   // tracks against the committed baseline.
+  constexpr double kTarget = 0.002;      // 95% CI half-width goal
   {
-    constexpr double kTarget = 0.002;      // 95% CI half-width goal
     constexpr std::size_t kCalib = 1u << 17;
     struct VrCase {
       const char* name;
@@ -170,54 +189,69 @@ int main() {
                                        {"antithetic_cv", true, true}};
     report.csv_begin("variance_reduction",
                      "estimator,sr,half_width_at_131072,samples_for_hw_0.002");
-    std::vector<double> needed;
+    std::vector<engine::RunSpec> vr_specs;
     for (const VrCase& c : cases) {
-      sim::McConfig cfg;
-      cfg.samples = kCalib;
-      cfg.seed = 1001;
-      cfg.antithetic = c.anti;
-      cfg.control_variate = c.cv;
-      const sim::VrEstimate est = sim::run_model_mc_vr(p, 2.0, 0.0, cfg);
-      const double hw = est.half_width();
+      engine::RunSpec spec;
+      spec.kind = engine::CellKind::kMc;
+      spec.label = std::string("x1:vr:") + c.name;
+      spec.mc.evaluator = sim::McEvaluator::kModel;
+      spec.mc.params = p;
+      spec.mc.p_star = 2.0;
+      spec.mc.config.samples = kCalib;
+      spec.mc.config.seed = 1001;
+      spec.mc.config.antithetic = c.anti;
+      spec.mc.config.control_variate = c.cv;
+      vr_specs.push_back(spec);
+    }
+    const std::vector<engine::RunResult> vr_cells = batch.run_batch(vr_specs);
+    std::vector<double> needed;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const double hw = vr_cells[i].at("half_width");
       const double n_needed =
           static_cast<double>(kCalib) * (hw / kTarget) * (hw / kTarget);
       needed.push_back(n_needed);
-      report.csv_row(bench::fmt("%s,%.6f,%.6f,%.0f", c.name,
-                                est.success_rate(), hw, n_needed));
-      report.metric(std::string("samples_to_ci_") + c.name, n_needed);
+      report.csv_row(bench::fmt("%s,%.6f,%.6f,%.0f", cases[i].name,
+                                vr_cells[i].at("sr"), hw, n_needed));
+      report.metric(std::string("samples_to_ci_") + cases[i].name, n_needed);
     }
     report.claim("antithetic+CV reaches the target CI with >=4x fewer samples",
                  needed[0] >= 4.0 * needed[3]);
+  }
 
-    // Adaptive stopping vs an oversized fixed budget at equal precision:
-    // both runs are plain estimators; the adaptive one halts as soon as
-    // whole rounds bring the half-width under the target.
+  // Adaptive stopping vs an oversized fixed budget at equal precision:
+  // both runs are plain estimators; the adaptive one halts as soon as
+  // whole rounds bring the half-width under the target.  Runs DIRECTLY on
+  // sim::McRunner, never through the engine: the claim is about wall
+  // clock, which a result cache would trivially (and meaninglessly) win.
+  {
     using Clock = std::chrono::steady_clock;
-    sim::McConfig fixed_cfg;
-    fixed_cfg.samples = 1u << 21;
-    fixed_cfg.seed = 1001;
+    sim::McRunSpec fixed_spec;
+    fixed_spec.evaluator = sim::McEvaluator::kModel;
+    fixed_spec.params = p;
+    fixed_spec.p_star = 2.0;
+    fixed_spec.config.samples = 1u << 21;
+    fixed_spec.config.seed = 1001;
     report.csv_begin("adaptive_fixed_budget", "mode,samples,half_width");
     const auto t0 = Clock::now();
-    const sim::VrEstimate fixed_est = sim::run_model_mc_vr(p, 2.0, 0.0,
-                                                           fixed_cfg);
+    const sim::McRunResult fixed_est = sim::McRunner::run(fixed_spec);
     const auto t1 = Clock::now();
-    sim::McConfig adapt_cfg = fixed_cfg;
-    adapt_cfg.target_half_width = kTarget;
-    const sim::VrEstimate adapt_est = sim::run_model_mc_vr(p, 2.0, 0.0,
-                                                           adapt_cfg);
+    sim::McRunSpec adapt_spec = fixed_spec;
+    adapt_spec.config.target_half_width = kTarget;
+    const sim::McRunResult adapt_est = sim::McRunner::run(adapt_spec);
     const auto t2 = Clock::now();
     report.csv_row(bench::fmt("fixed,%zu,%.6f", fixed_est.samples,
-                              fixed_est.half_width()));
+                              fixed_est.half_width));
     report.csv_row(bench::fmt("adaptive,%zu,%.6f", adapt_est.samples,
-                              adapt_est.half_width()));
+                              adapt_est.half_width));
     report.metric("adaptive_samples_to_target",
                   static_cast<double>(adapt_est.samples));
     const double fixed_s = std::chrono::duration<double>(t1 - t0).count();
     const double adapt_s = std::chrono::duration<double>(t2 - t1).count();
     report.claim("adaptive run reaches the target half-width",
-                 adapt_est.half_width() <= kTarget);
+                 adapt_est.half_width <= kTarget);
     report.claim("adaptive stopping cuts the fixed-budget wall clock >=2x",
                  adapt_s * 2.0 <= fixed_s);
   }
+  bench::report_engine_metrics(report, batch);
   return report.exit_code();
 }

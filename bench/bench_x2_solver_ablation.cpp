@@ -13,7 +13,7 @@
 #include "model/basic_game.hpp"
 #include "model/game_tree.hpp"
 #include "model/solver_cache.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 
 using namespace swapgame;
 
@@ -42,12 +42,15 @@ void print_accuracy_table() {
                 std::abs(sr - sr_ref));
   }
   for (std::size_t samples : {10'000u, 100'000u}) {
-    sim::McConfig cfg;
-    cfg.samples = samples;
-    cfg.seed = 7;
-    cfg.threads = 1;
-    const double sr = sim::run_model_mc(defaults(), 2.0, 0.0, cfg)
-                          .conditional_success_rate();
+    sim::McRunSpec spec;
+    spec.evaluator = sim::McEvaluator::kModel;
+    spec.params = defaults();
+    spec.p_star = 2.0;
+    spec.config.samples = samples;
+    spec.config.seed = 7;
+    spec.config.threads = 1;
+    const double sr =
+        sim::McRunner::run(spec).estimate.conditional_success_rate();
     std::printf("model-mc-%zu,%.6f,%.2e\n", samples, sr,
                 std::abs(sr - sr_ref));
   }
@@ -82,12 +85,15 @@ BENCHMARK(BM_GameTreeSolve)->Arg(50)->Arg(200)->Arg(800)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ModelMonteCarlo(benchmark::State& state) {
-  sim::McConfig cfg;
-  cfg.samples = static_cast<std::size_t>(state.range(0));
-  cfg.seed = 7;
-  cfg.threads = 1;
+  sim::McRunSpec spec;
+  spec.evaluator = sim::McEvaluator::kModel;
+  spec.params = defaults();
+  spec.p_star = 2.0;
+  spec.config.samples = static_cast<std::size_t>(state.range(0));
+  spec.config.seed = 7;
+  spec.config.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_model_mc(defaults(), 2.0, 0.0, cfg));
+    benchmark::DoNotOptimize(sim::McRunner::run(spec));
   }
   state.SetLabel("samples=" + std::to_string(state.range(0)));
 }
@@ -95,16 +101,15 @@ BENCHMARK(BM_ModelMonteCarlo)->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ProtocolMonteCarlo(benchmark::State& state) {
-  proto::SwapSetup setup;
-  setup.params = defaults();
-  setup.p_star = 2.0;
-  const sim::StrategyFactory factory = sim::rational_factory(defaults(), 2.0);
-  sim::McConfig cfg;
-  cfg.samples = static_cast<std::size_t>(state.range(0));
-  cfg.seed = 7;
-  cfg.threads = 1;
+  sim::McRunSpec spec;
+  spec.evaluator = sim::McEvaluator::kProtocol;
+  spec.params = defaults();
+  spec.p_star = 2.0;
+  spec.config.samples = static_cast<std::size_t>(state.range(0));
+  spec.config.seed = 7;
+  spec.config.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_protocol_mc(setup, factory, factory, cfg));
+    benchmark::DoNotOptimize(sim::McRunner::run(spec));
   }
   state.SetLabel("swaps=" + std::to_string(state.range(0)));
 }

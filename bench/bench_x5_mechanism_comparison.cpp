@@ -14,7 +14,9 @@
 #include <cmath>
 #include <vector>
 
+#include "bench_engine.hpp"
 #include "bench_util.hpp"
+#include "engine/scenario_batch.hpp"
 #include "model/collateral_game.hpp"
 #include "model/premium_game.hpp"
 #include "sim/scenario.hpp"
@@ -117,7 +119,10 @@ int main() {
   sim::McConfig cfg;
   cfg.samples = 3000;
   cfg.seed = 505;
-  const auto results = sim::run_scenarios(points, cfg);
+  // Each mechanism is one kScenario cell on the BatchEngine
+  // (docs/ENGINE.md): cached across reruns and fanned out over the pool.
+  engine::BatchEngine batch(bench::engine_config_from_env("x5"));
+  const auto results = engine::run_scenarios(batch, points, cfg);
   report.csv_begin("protocol_mc",
                    "mechanism,analytic_SR,protocol_SR,ci_lo,ci_hi,"
                    "alice_utility,bob_utility");
@@ -137,5 +142,6 @@ int main() {
   }
   report.claim("protocol-MC within 4pp of analytic for every mechanism",
                mc_matches);
+  bench::report_engine_metrics(report, batch);
   return report.exit_code();
 }

@@ -16,15 +16,21 @@
 // other's misses.  The critical path holds three jitter draws (deploy_a,
 // deploy_b, then the claim), so safety requires margin >= 3x jitter --
 // time locks must be provisioned for worst-case, not mean, confirmation.
+//
+// Cells run as kJitterCell RunSpecs on the BatchEngine (docs/ENGINE.md):
+// each (jitter, margin) cell is one cacheable unit with CI-targeted
+// stopping evaluated inside the cell, exactly as the historical inline
+// loop did (seed k uses latency_seed = k * stride; stop rule on the
+// Wilson half-width of the completion rate every 50 runs).
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
-#include "agents/naive.hpp"
+#include "bench_engine.hpp"
 #include "bench_util.hpp"
-#include "math/stats.hpp"
-#include "proto/swap_protocol.hpp"
-#include "sweep/sweep.hpp"
+#include "engine/run_spec.hpp"
+#include "model/params.hpp"
 
 using namespace swapgame;
 
@@ -38,50 +44,32 @@ struct Tally {
   int runs = 0;
 };
 
-/// CI-targeted cell evaluation: runs land in batches, and once `min_runs`
-/// have accumulated the cell stops as soon as the Wilson half-width of the
-/// completion rate is under 0.02 -- deterministic (the seed sequence and
-/// the stop rule depend only on the tallies), so near-degenerate cells
-/// (all-success, all-benign) settle at `min_runs` while genuinely noisy
-/// cells spend the full `max_runs` budget.
-Tally run_grid_cell(double jitter, double margin, int min_runs,
-                    int max_runs) {
-  Tally tally;
-  agents::HonestStrategy alice, bob;
-  const proto::ConstantPricePath path(2.0);
-  proto::SwapSetup setup;
-  setup.params = model::SwapParams::table3_defaults();
-  setup.p_star = 2.0;
-  setup.confirmation_jitter_a = jitter;
-  setup.confirmation_jitter_b = jitter;
-  setup.expiry_margin = margin;
-  constexpr int kBatch = 50;
-  math::BinomialCounter completed;
-  for (int seed = 1; seed <= max_runs; ++seed) {
-    setup.latency_seed = static_cast<std::uint64_t>(seed) * 7919;
-    const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
-    ++tally.runs;
-    completed.add(r.outcome == proto::SwapOutcome::kSuccess);
-    switch (r.outcome) {
-      case proto::SwapOutcome::kSuccess:
-        ++tally.success;
-        break;
-      case proto::SwapOutcome::kAliceLostAtomicity:
-        ++tally.alice_lost;
-        break;
-      case proto::SwapOutcome::kBobLostAtomicity:
-        ++tally.bob_lost;
-        break;
-      default:
-        ++tally.benign;
-        break;
-    }
-    if (tally.runs >= min_runs && tally.runs % kBatch == 0) {
-      const auto ci = completed.wilson_interval(0.95);
-      if (0.5 * (ci.hi - ci.lo) <= 0.02) break;
-    }
-  }
-  return tally;
+engine::RunSpec jitter_spec(double jitter_a, double jitter_b, double margin,
+                            std::uint64_t seed_stride, std::size_t min_runs,
+                            std::size_t max_runs, double target_half_width) {
+  engine::RunSpec spec;
+  spec.kind = engine::CellKind::kJitterCell;
+  spec.mc.params = model::SwapParams::table3_defaults();
+  spec.mc.p_star = 2.0;
+  spec.mc.strategy = sim::McStrategy::kHonest;
+  spec.mc.confirmation_jitter_a = jitter_a;
+  spec.mc.confirmation_jitter_b = jitter_b;
+  spec.mc.expiry_margin = margin;
+  spec.mc.latency_seed = seed_stride;  // run k draws with seed k * stride
+  spec.mc.config.samples = max_runs;
+  spec.mc.config.min_samples = min_runs;
+  spec.mc.config.target_half_width = target_half_width;
+  return spec;
+}
+
+Tally unpack_tally(const engine::RunResult& result) {
+  Tally t;
+  t.runs = static_cast<int>(result.at("runs"));
+  t.success = static_cast<int>(result.at("success"));
+  t.benign = static_cast<int>(result.at("benign"));
+  t.alice_lost = static_cast<int>(result.at("alice_lost"));
+  t.bob_lost = static_cast<int>(result.at("bob_lost"));
+  return t;
 }
 
 }  // namespace
@@ -91,6 +79,7 @@ int main() {
       "X9 -- atomicity under confirmation jitter (assumption 1 relaxed)",
       "Honest agents; uniform per-tx jitter; expiry margin swept.");
 
+  engine::BatchEngine batch(bench::engine_config_from_env("x9"));
   constexpr int kRuns = 300;
   report.csv_begin("jitter_margin_grid",
                    "jitter,margin,success,benign_fail,alice_lost,bob_lost,"
@@ -108,12 +97,24 @@ int main() {
       cells.emplace_back(jitter, margin);
     }
   }
-  const auto tallies = sweep::parallel_map<Tally>(
-      cells.size(), [&cells](std::size_t i) {
-        const int budget = cells[i].first == 0.0 ? 1 : kRuns;
-        return run_grid_cell(cells[i].first, cells[i].second,
-                             budget == 1 ? 1 : 100, budget);
-      });
+  std::vector<engine::RunSpec> grid_specs;
+  grid_specs.reserve(cells.size());
+  for (const auto& [jitter, margin] : cells) {
+    // Deterministic cells (jitter 0) need one run; noisy cells get the
+    // full budget with the CI stop kicking in from 100 runs.
+    const std::size_t budget = jitter == 0.0 ? 1 : kRuns;
+    grid_specs.push_back(jitter_spec(jitter, jitter, margin, 7919,
+                                     budget == 1 ? 1 : 100, budget, 0.02));
+    grid_specs.back().label =
+        bench::fmt("x9:grid:j%.1f:m%.1f", jitter, margin);
+  }
+  const std::vector<engine::RunResult> grid_results =
+      batch.run_batch(grid_specs);
+  std::vector<Tally> tallies;
+  tallies.reserve(grid_results.size());
+  for (const engine::RunResult& r : grid_results) {
+    tallies.push_back(unpack_tally(r));
+  }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     {
       const auto& [jitter, margin] = cells[i];
@@ -162,32 +163,17 @@ int main() {
                    "jitter_b,success,alice_lost,bob_lost");
   int alice_total = 0, bob_total = 0;
   const std::vector<double> jbs = {1.0, 2.0, 3.0};
-  const auto asym_tallies = sweep::parallel_map<Tally>(
-      jbs.size(), [&jbs](std::size_t i) {
-        agents::HonestStrategy alice, bob;
-        const proto::ConstantPricePath path(2.0);
-        proto::SwapSetup setup;
-        setup.params = model::SwapParams::table3_defaults();
-        setup.p_star = 2.0;
-        setup.confirmation_jitter_b = jbs[i];
-        setup.expiry_margin = 1.0;
-        Tally t;
-        for (int seed = 1; seed <= kRuns; ++seed) {
-          setup.latency_seed = static_cast<std::uint64_t>(seed) * 104729;
-          const proto::SwapResult r = proto::run_swap(setup, alice, bob, path);
-          ++t.runs;
-          if (r.outcome == proto::SwapOutcome::kSuccess) ++t.success;
-          if (r.outcome == proto::SwapOutcome::kAliceLostAtomicity) {
-            ++t.alice_lost;
-          }
-          if (r.outcome == proto::SwapOutcome::kBobLostAtomicity) {
-            ++t.bob_lost;
-          }
-        }
-        return t;
-      });
+  std::vector<engine::RunSpec> asym_specs;
+  asym_specs.reserve(jbs.size());
+  for (const double jb : jbs) {
+    // Fixed 300-run budget, no early stop (target half-width 0).
+    asym_specs.push_back(jitter_spec(0.0, jb, 1.0, 104729, kRuns, kRuns, 0.0));
+    asym_specs.back().label = bench::fmt("x9:asym:jb%.1f", jb);
+  }
+  const std::vector<engine::RunResult> asym_results =
+      batch.run_batch(asym_specs);
   for (std::size_t i = 0; i < jbs.size(); ++i) {
-    const Tally& t = asym_tallies[i];
+    const Tally t = unpack_tally(asym_results[i]);
     alice_total += t.alice_lost;
     bob_total += t.bob_lost;
     report.csv_row(bench::fmt("%.1f,%.3f,%.3f,%.3f", jbs[i],
@@ -201,5 +187,6 @@ int main() {
       "worst one-sided loss rate in the partial-margin danger zone: %.1f%% "
       "-- time locks must cover the WORST-CASE confirmation path",
       100.0 * worst_partial_violation));
+  bench::report_engine_metrics(report, batch);
   return report.exit_code();
 }

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "engine/scenario_batch.hpp"
 #include "model/option_value.hpp"
 #include "sim/scenario.hpp"
 
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   sim::McConfig cfg;
   cfg.samples = samples;
   cfg.seed = 321;
-  const auto results = sim::run_scenarios(points, cfg);
+  const auto results = engine::run_scenarios(points, cfg);
 
   sim::CsvTable table({"mechanism", "analytic_SR", "protocol_SR", "U_alice",
                        "U_bob", "initiated"});

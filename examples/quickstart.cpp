@@ -5,9 +5,12 @@
 // the swap would even start, and report its success probability.
 //
 //   $ ./quickstart
+//
+// Uses only the public façade header -- the one include an installed
+// consumer writes as <swapgame/swapgame.hpp>.
 #include <cstdio>
 
-#include "model/basic_game.hpp"
+#include "swapgame.hpp"
 
 int main() {
   using namespace swapgame::model;

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/scenario_batch.hpp"
 #include "model/collateral_game.hpp"
 #include "model/negotiation.hpp"
 #include "model/premium_game.hpp"
@@ -195,7 +196,7 @@ int main(int argc, char** argv) {
     sim::McConfig cfg;
     cfg.samples = opts.mc_samples;
     cfg.seed = 12345;
-    const auto results = sim::run_scenarios(points, cfg);
+    const auto results = engine::run_scenarios(points, cfg);
     std::printf("protocol-MC success rate:  %.2f%% (95%% CI %.2f-%.2f, n=%zu)\n",
                 100.0 * results[0].protocol_sr,
                 100.0 * results[0].protocol_sr_ci_lo,

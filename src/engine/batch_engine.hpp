@@ -1,0 +1,135 @@
+// BatchEngine: executes a DAG of RunSpecs on a sweep::ThreadPool with a
+// content-addressed result cache and resumable checkpoints.
+//
+// One cell = one pool task (the MC engines inside a cell run serially;
+// parallelism comes from independent cells, which is work-stealing
+// friendly: the central queue hands each finished worker the next ready
+// cell regardless of size).  Results are returned in input order and are
+// bit-identical at any thread count, warm or cold cache, interrupted or
+// not -- every cell is a pure function of its canonical spec
+// (run_spec.hpp), so caching and resumption substitute stored bits for
+// recomputed bits, never different ones.
+//
+// Lookup order per cell: checkpoint manifest (cells completed by a
+// previous, possibly killed, run of the same batch) -> result cache
+// (in-memory LRU, then on-disk store) -> evaluate.  See docs/ENGINE.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "result_cache.hpp"
+#include "run_spec.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace swapgame::engine {
+
+struct EngineConfig {
+  /// Worker count: 0 = the process-wide sweep::shared_pool() (whose width
+  /// honors SWAPGAME_THREADS); 1 = serial inline (no pool); else a private
+  /// pool of that width.
+  unsigned threads = 0;
+  /// In-memory LRU capacity in entries (0 disables the memory tier).
+  std::size_t memory_capacity = 4096;
+  /// On-disk cache directory ("" disables; benches wire SWAPGAME_CACHE_DIR
+  /// here -- see bench/bench_engine.hpp).
+  std::string cache_dir;
+  /// Checkpoint manifest path ("" disables checkpointing).
+  std::string checkpoint_path;
+  /// Rewrite the manifest after this many newly completed cells (and
+  /// always once at the end of a batch).
+  std::size_t checkpoint_every = 16;
+  /// Evaluation budget: stop EVALUATING after this many cells (0 = no
+  /// limit).  Cache/checkpoint hits are free.  Cells past the budget come
+  /// back with RunResult::complete == false; re-running the same batch
+  /// without the budget finishes the remainder from the checkpoint --
+  /// which is exactly how the kill-and-resume test interrupts a batch.
+  std::size_t max_cells = 0;
+  /// Optional metrics sink; the engine increments engine.* counters as it
+  /// runs and records per-batch pool queue depth.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Monotone engine telemetry (lifetime of the engine instance).
+struct EngineStats {
+  std::uint64_t cells_total = 0;     ///< cells requested across batches
+  std::uint64_t cells_run = 0;       ///< cells actually evaluated
+  std::uint64_t memory_hits = 0;     ///< served from the in-memory LRU
+  std::uint64_t disk_hits = 0;       ///< served from the on-disk cache
+  std::uint64_t cells_resumed = 0;   ///< served from a checkpoint manifest
+  std::uint64_t cells_skipped = 0;   ///< unevaluated (max_cells budget)
+  std::uint64_t mc_samples_run = 0;  ///< MC samples inside evaluated cells
+  std::uint64_t mc_samples_cached = 0;  ///< MC samples served from storage
+  std::uint64_t checkpoint_writes = 0;  ///< manifest rewrites
+  std::uint64_t entries_rejected = 0;   ///< stale/corrupt entries ignored
+  /// Pool telemetry for this engine's batches (0 in serial mode).
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_max_queue_depth = 0;
+
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return memory_hits + disk_hits + cells_resumed;
+  }
+};
+
+/// One DAG node: `deps` are indices into the same batch that must complete
+/// first.  Cells are independent computations, so dependencies express
+/// scheduling order (e.g. cheap-first), not data flow.
+struct BatchNode {
+  RunSpec spec;
+  std::vector<std::size_t> deps;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(EngineConfig config = {});
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Evaluates one cell through the cache/checkpoint tiers.
+  [[nodiscard]] RunResult run(const RunSpec& spec);
+
+  /// Executes independent cells (no ordering constraints).
+  [[nodiscard]] std::vector<RunResult> run_batch(
+      const std::vector<RunSpec>& specs);
+
+  /// Executes a DAG; throws std::invalid_argument on out-of-range or
+  /// cyclic dependencies.  Results are in node order.
+  [[nodiscard]] std::vector<RunResult> run_batch(
+      const std::vector<BatchNode>& nodes);
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct BatchState;
+
+  void process_cell(BatchState& state, std::size_t index);
+  void finish_cell(BatchState& state, std::size_t index, RunResult result);
+  void flush_checkpoint_locked();
+  [[nodiscard]] sweep::ThreadPool* pool() const noexcept {
+    return private_pool_ ? private_pool_.get() : shared_pool_;
+  }
+
+  EngineConfig config_;
+  ResultCache cache_;
+  CheckpointFile checkpoint_;
+  /// Completed-cell manifest contents (resumed + newly completed).
+  std::map<std::string, RunResult> manifest_;
+  std::unique_ptr<sweep::ThreadPool> private_pool_;
+  sweep::ThreadPool* shared_pool_ = nullptr;
+  sweep::ThreadPool::Stats pool_base_{};
+
+  mutable std::mutex mutex_;  ///< guards stats_ + manifest_
+  std::mutex io_mutex_;       ///< serializes manifest writes
+  EngineStats stats_;
+  std::size_t pending_checkpoint_ = 0;  ///< completions since last flush
+};
+
+}  // namespace swapgame::engine

@@ -1,0 +1,61 @@
+#include "checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace swapgame::engine {
+
+namespace fs = std::filesystem;
+
+CheckpointFile::CheckpointFile(std::string path) : path_(std::move(path)) {}
+
+std::map<std::string, RunResult> CheckpointFile::load(
+    std::uint64_t* rejected) const {
+  std::map<std::string, RunResult> entries;
+  if (path_.empty()) return entries;
+  std::ifstream in(path_);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto parsed = RunResult::parse_entry(line)) {
+      entries[parsed->first] = std::move(parsed->second);
+    } else if (rejected != nullptr) {
+      ++*rejected;
+    }
+  }
+  return entries;
+}
+
+bool CheckpointFile::write(
+    const std::map<std::string, RunResult>& entries) const {
+  if (path_.empty()) return true;
+  const fs::path target(path_);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+  }
+  const fs::path tmp =
+      target.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    for (const auto& [hash, result] : entries) {
+      out << result.to_entry(hash) << '\n';
+    }
+    if (!out.flush()) return false;
+  }
+  fs::rename(tmp, target, ec);
+  return !ec;
+}
+
+void CheckpointFile::remove() const {
+  if (path_.empty()) return;
+  std::error_code ec;
+  fs::remove(path_, ec);
+}
+
+}  // namespace swapgame::engine

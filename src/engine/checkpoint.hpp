@@ -1,0 +1,45 @@
+// Resumable-batch checkpoints: a JSONL manifest of completed cells.
+//
+// Every line is one RunResult::to_entry() record (same schema-versioned
+// format as cache entries).  The writer REWRITES the whole manifest
+// atomically (temp + rename) every flush instead of appending, so a kill
+// at any instant leaves either the previous complete manifest or the new
+// one -- never a torn line.  On restart, load() returns every parseable
+// current-version entry; the engine then re-runs only cells whose hash is
+// absent.  Because each cell's result is a pure function of its spec, a
+// resumed batch is bit-identical to an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "run_spec.hpp"
+
+namespace swapgame::engine {
+
+class CheckpointFile {
+ public:
+  /// @param path  manifest path; "" disables checkpointing entirely.
+  explicit CheckpointFile(std::string path);
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Parses the manifest (if it exists) into hash -> result.  Lines with
+  /// a different schema version or parse failures are skipped (counted in
+  /// `rejected`): a stale manifest resumes nothing rather than lying.
+  [[nodiscard]] std::map<std::string, RunResult> load(
+      std::uint64_t* rejected = nullptr) const;
+
+  /// Atomically replaces the manifest with `entries` (temp + rename).
+  /// Returns false if the file could not be written.
+  bool write(const std::map<std::string, RunResult>& entries) const;
+
+  /// Deletes the manifest (batch completed; nothing left to resume).
+  void remove() const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace swapgame::engine

@@ -1,0 +1,340 @@
+#include "run_spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "obs/trace.hpp"  // format_json_number / append_json_escaped
+
+namespace swapgame::engine {
+
+const char* to_string(CellKind kind) noexcept {
+  switch (kind) {
+    case CellKind::kAnalyticSr:
+      return "analytic_sr";
+    case CellKind::kSrGrid:
+      return "sr_grid";
+    case CellKind::kSensitivity:
+      return "sensitivity";
+    case CellKind::kJitterCell:
+      return "jitter_cell";
+    case CellKind::kScenario:
+      return "scenario";
+    case CellKind::kMc:
+      return "mc";
+  }
+  return "?";
+}
+
+namespace {
+
+void put(std::string& out, std::string_view key, double v) {
+  out += key;
+  out.push_back('=');
+  out += obs::format_json_number(v);
+  out.push_back('\n');
+}
+
+void put(std::string& out, std::string_view key, std::uint64_t v) {
+  out += key;
+  out.push_back('=');
+  out += std::to_string(v);
+  out.push_back('\n');
+}
+
+void put(std::string& out, std::string_view key, int v) {
+  out += key;
+  out.push_back('=');
+  out += std::to_string(v);
+  out.push_back('\n');
+}
+
+void put(std::string& out, std::string_view key, bool v) {
+  out += key;
+  out += v ? "=1\n" : "=0\n";
+}
+
+void put(std::string& out, std::string_view key, const char* v) {
+  out += key;
+  out.push_back('=');
+  out += v;
+  out.push_back('\n');
+}
+
+void put_windows(std::string& out, std::string_view key,
+                 const std::vector<chain::FaultWindow>& windows) {
+  out += key;
+  out.push_back('=');
+  for (const chain::FaultWindow& w : windows) {
+    out += obs::format_json_number(w.begin);
+    out.push_back(':');
+    out += obs::format_json_number(w.end);
+    out.push_back(';');
+  }
+  out.push_back('\n');
+}
+
+void put_fault_model(std::string& out, std::string_view prefix,
+                     const chain::FaultModel& m) {
+  const std::string p(prefix);
+  put(out, p + ".drop_prob", m.drop_prob);
+  put(out, p + ".extra_delay_prob", m.extra_delay_prob);
+  put(out, p + ".extra_delay_max", m.extra_delay_max);
+  put_windows(out, p + ".censorship", m.censorship);
+  put_windows(out, p + ".halts", m.halts);
+}
+
+}  // namespace
+
+std::string RunSpec::canonical_string() const {
+  std::string out;
+  out.reserve(1600);
+  out += "swapgame.runspec.v";
+  out += std::to_string(kRunSpecSchemaVersion);
+  out.push_back('\n');
+  put(out, "kind", to_string(kind));
+
+  // Parameter point (model/params.hpp).
+  const model::SwapParams& p = mc.params;
+  put(out, "alice.alpha", p.alice.alpha);
+  put(out, "alice.r", p.alice.r);
+  put(out, "bob.alpha", p.bob.alpha);
+  put(out, "bob.r", p.bob.r);
+  put(out, "tau_a", p.tau_a);
+  put(out, "tau_b", p.tau_b);
+  put(out, "eps_b", p.eps_b);
+  put(out, "p_t0", p.p_t0);
+  put(out, "gbm.mu", p.gbm.mu);
+  put(out, "gbm.sigma", p.gbm.sigma);
+
+  // Evaluation point / mechanism terms.
+  put(out, "evaluator", sim::to_string(mc.evaluator));
+  put(out, "p_star", mc.p_star);
+  put(out, "collateral", mc.collateral);
+  put(out, "premium", mc.premium);
+  put(out, "profile.alice_cutoff", mc.profile.alice_cutoff);
+  {
+    std::string region;
+    for (const math::Interval& iv : mc.profile.bob_region.intervals()) {
+      region += obs::format_json_number(iv.lo);
+      region.push_back(':');
+      region += obs::format_json_number(iv.hi);
+      region.push_back(';');
+    }
+    put(out, "profile.bob_region", region.c_str());
+  }
+
+  // Protocol substrate.
+  put(out, "strategy", sim::to_string(mc.strategy));
+  put(out, "alice_extra_token_a", mc.alice_extra_token_a);
+  put(out, "bob_extra_token_a", mc.bob_extra_token_a);
+  put(out, "secret_seed", mc.secret_seed);
+  put(out, "confirmation_jitter_a", mc.confirmation_jitter_a);
+  put(out, "confirmation_jitter_b", mc.confirmation_jitter_b);
+  put(out, "expiry_margin", mc.expiry_margin);
+  put(out, "latency_seed", mc.latency_seed);
+  put_fault_model(out, "faults.chain_a", mc.faults.chain_a);
+  put_fault_model(out, "faults.chain_b", mc.faults.chain_b);
+  put_windows(out, "faults.alice_offline", mc.faults.alice_offline);
+  put_windows(out, "faults.bob_offline", mc.faults.bob_offline);
+  put(out, "faults.seed", mc.faults.seed);
+  put(out, "audit", mc.audit);
+
+  // Sample budget + estimator config (threads and the trace/metrics sinks
+  // are execution details -- they cannot change the result -- and are
+  // deliberately NOT part of the canonical form; trace_stride IS, because
+  // it selects which samples produce the stored trace).
+  const sim::McConfig& c = mc.config;
+  put(out, "config.samples", static_cast<std::uint64_t>(c.samples));
+  put(out, "config.seed", c.seed);
+  put(out, "config.target_half_width", c.target_half_width);
+  put(out, "config.ci_confidence", c.ci_confidence);
+  put(out, "config.min_samples", static_cast<std::uint64_t>(c.min_samples));
+  put(out, "config.antithetic", c.antithetic);
+  put(out, "config.control_variate", c.control_variate);
+  put(out, "config.trace_stride", static_cast<std::uint64_t>(c.trace_stride));
+
+  // Grid coordinates (kSrGrid) and scenario terms (kScenario).
+  put(out, "grid.count", grid_count);
+  put(out, "grid.denom", grid_denom);
+  put(out, "grid.offset", grid_offset);
+  put(out, "grid.lo", grid_lo);
+  put(out, "grid.hi", grid_hi);
+  put(out, "mechanism", sim::to_string(mechanism));
+  put(out, "deposit", deposit);
+  return out;
+}
+
+std::string RunSpec::hash() const {
+  return crypto::Sha256::hash(canonical_string()).to_hex();
+}
+
+void RunResult::set(std::string_view name, double value) {
+  values.emplace_back(std::string(name), value);
+}
+
+bool RunResult::has(std::string_view name) const noexcept {
+  for (const auto& [key, value] : values) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+double RunResult::at(std::string_view name) const {
+  for (const auto& [key, value] : values) {
+    if (key == name) return value;
+  }
+  throw std::out_of_range("RunResult: no value named '" + std::string(name) +
+                          "'");
+}
+
+std::string RunResult::to_entry(const std::string& spec_hash) const {
+  std::string out;
+  out.reserve(256 + 32 * values.size() + trace.size() + trace.size() / 8);
+  out += "{\"v\":";
+  out += std::to_string(kRunSpecSchemaVersion);
+  out += ",\"hash\":\"";
+  out += spec_hash;
+  out += "\",\"samples\":";
+  out += std::to_string(samples);
+  out += ",\"rounds\":";
+  out += std::to_string(rounds);
+  out += ",\"values\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "[\"";
+    obs::append_json_escaped(out, values[i].first);
+    out += "\",";
+    out += obs::format_json_number(values[i].second);
+    out.push_back(']');
+  }
+  out += "],\"trace\":\"";
+  obs::append_json_escaped(out, trace);
+  out += "\"}";
+  return out;
+}
+
+namespace {
+
+/// Minimal cursor parser for the exact line shape to_entry() emits.
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool eat(std::string_view token) {
+    if (s.substr(pos, token.size()) != token) return false;
+    pos += token.size();
+    return true;
+  }
+
+  /// Parses a quoted string with the append_json_escaped escape set.
+  bool string(std::string& out) {
+    if (pos >= s.size() || s[pos] != '"') return false;
+    ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos];
+      if (c == '\\') {
+        if (pos + 1 >= s.size()) return false;
+        const char esc = s[pos + 1];
+        if (esc == '"' || esc == '\\') {
+          c = esc;
+          pos += 2;
+        } else if (esc == 'u') {
+          if (pos + 5 >= s.size()) return false;
+          c = static_cast<char>(
+              std::strtoul(std::string(s.substr(pos + 2, 4)).c_str(),
+                           nullptr, 16));
+          pos += 6;
+        } else {
+          return false;
+        }
+      } else {
+        ++pos;
+      }
+      out.push_back(c);
+    }
+    if (pos >= s.size()) return false;
+    ++pos;  // closing quote
+    return true;
+  }
+
+  /// Parses a format_json_number() value: a bare number or one of the
+  /// quoted non-finite markers.
+  bool number(double& out) {
+    if (pos < s.size() && s[pos] == '"') {
+      if (eat("\"nan\"")) {
+        out = std::numeric_limits<double>::quiet_NaN();
+        return true;
+      }
+      if (eat("\"inf\"")) {
+        out = std::numeric_limits<double>::infinity();
+        return true;
+      }
+      if (eat("\"-inf\"")) {
+        out = -std::numeric_limits<double>::infinity();
+        return true;
+      }
+      return false;
+    }
+    char* end = nullptr;
+    const std::string rest(s.substr(pos));
+    out = std::strtod(rest.c_str(), &end);
+    if (end == rest.c_str()) return false;
+    pos += static_cast<std::size_t>(end - rest.c_str());
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    char* end = nullptr;
+    const std::string rest(s.substr(pos));
+    out = std::strtoull(rest.c_str(), &end, 10);
+    if (end == rest.c_str()) return false;
+    pos += static_cast<std::size_t>(end - rest.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<std::pair<std::string, RunResult>> RunResult::parse_entry(
+    std::string_view line) {
+  Cursor cur{line};
+  std::uint64_t version = 0;
+  if (!cur.eat("{\"v\":") || !cur.u64(version)) return std::nullopt;
+  if (version != static_cast<std::uint64_t>(kRunSpecSchemaVersion)) {
+    return std::nullopt;  // stale schema: reject, never reinterpret
+  }
+  std::string spec_hash;
+  RunResult result;
+  if (!cur.eat(",\"hash\":") || !cur.string(spec_hash)) return std::nullopt;
+  if (!cur.eat(",\"samples\":") || !cur.u64(result.samples)) {
+    return std::nullopt;
+  }
+  if (!cur.eat(",\"rounds\":") || !cur.u64(result.rounds)) {
+    return std::nullopt;
+  }
+  if (!cur.eat(",\"values\":[")) return std::nullopt;
+  if (!cur.eat("]")) {
+    for (;;) {
+      std::string name;
+      double value = 0.0;
+      if (!cur.eat("[\"") ) return std::nullopt;
+      cur.pos -= 1;  // string() expects the opening quote
+      if (!cur.string(name) || !cur.eat(",") || !cur.number(value) ||
+          !cur.eat("]")) {
+        return std::nullopt;
+      }
+      result.values.emplace_back(std::move(name), value);
+      if (cur.eat("]")) break;
+      if (!cur.eat(",")) return std::nullopt;
+    }
+  }
+  if (!cur.eat(",\"trace\":") || !cur.string(result.trace)) {
+    return std::nullopt;
+  }
+  if (!cur.eat("}")) return std::nullopt;
+  return std::make_pair(std::move(spec_hash), std::move(result));
+}
+
+}  // namespace swapgame::engine

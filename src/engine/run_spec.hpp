@@ -1,0 +1,133 @@
+// RunSpec: the canonical, hashable description of ONE evaluation cell.
+//
+// A cell is the unit of work the BatchEngine schedules, caches and
+// checkpoints: a (parameters, grid coordinates, evaluator kind, sample
+// budget, seed, fault/trace config) tuple whose result is a pure function
+// of the spec -- every evaluator below is deterministic given its spec
+// (the MC engines are bit-identical across thread counts, PR 1/4).  That
+// purity is what makes content-addressed caching sound: two specs with
+// equal canonical strings have equal results, bit for bit.
+//
+// Canonical form and hashing (docs/ENGINE.md):
+//   * canonical_string() renders every SEMANTIC field as one key=value
+//     line, doubles as "%.17g" (exact round-trip), in a fixed order, under
+//     a leading schema-version line.  Execution details that cannot change
+//     the result -- thread count, trace/metrics sinks -- are excluded, as
+//     is the presentational `label`.
+//   * hash() is the SHA-256 hex of that string.  Bumping
+//     kRunSpecSchemaVersion (required whenever evaluator semantics or the
+//     canonical format change) changes every hash, so stale cache entries
+//     are unreachable rather than wrong.
+//
+// RunResult is the serializable result envelope: an ordered list of named
+// scalars plus the optional trace JSONL of traced samples.  to_entry() /
+// parse_entry() round-trip it through one JSONL line (the format shared by
+// the on-disk cache and the checkpoint manifest), preserving doubles
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/mc_runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace swapgame::engine {
+
+/// Version of the canonical-spec format AND of the cache-entry schema.
+/// Bump on any change to evaluator semantics, canonical_string() layout,
+/// or the entry format; old entries are then rejected (cache) or ignored
+/// (checkpoint) instead of being misread.
+inline constexpr int kRunSpecSchemaVersion = 1;
+
+/// What computation a cell performs.
+enum class CellKind : std::uint8_t {
+  /// Analytic solve at one point: Basic/Collateral/PremiumGame success
+  /// rate + t1 continuation values.  No sampling.
+  kAnalyticSr,
+  /// Analytic SR over a P* grid with a warm-chained BasicGameSweeper --
+  /// the fig6 panel primitive.  Grid bounds default to the feasible band.
+  kSrGrid,
+  /// Central-difference sensitivity report (model/sensitivity.hpp).
+  kSensitivity,
+  /// X9 jitter-grid cell: honest protocol runs under confirmation jitter
+  /// with CI-targeted stopping on the completion rate.
+  kJitterCell,
+  /// One scenario-sweep cell (sim::detail::scenario_cell).
+  kScenario,
+  /// One Monte-Carlo run through sim::McRunner (model/profile/protocol).
+  kMc,
+};
+[[nodiscard]] const char* to_string(CellKind kind) noexcept;
+
+/// One evaluation cell.  `mc` carries the parameter point, seeds, faults
+/// and sample budget for every kind; the grid/scenario fields only apply
+/// to their kinds but are always serialized (fixed layout).
+struct RunSpec {
+  CellKind kind = CellKind::kMc;
+  /// Display label for logs/progress; EXCLUDED from the canonical string
+  /// (purely presentational, must not split otherwise-identical cells).
+  std::string label;
+
+  /// Parameter point, evaluator, strategy, seeds, faults, budget.
+  sim::McRunSpec mc;
+
+  // --- kSrGrid ---------------------------------------------------------
+  int grid_count = 0;      ///< points are i = 0 .. grid_count (inclusive)
+  int grid_denom = 1;      ///< p(i) = lo + (hi-lo) * (i + offset) / denom
+  double grid_offset = 0.0;
+  /// Explicit grid bounds; NaN = use model::cached_feasible_band(params).
+  double grid_lo = std::numeric_limits<double>::quiet_NaN();
+  double grid_hi = std::numeric_limits<double>::quiet_NaN();
+
+  // --- kScenario -------------------------------------------------------
+  sim::Mechanism mechanism = sim::Mechanism::kNone;
+  double deposit = 0.0;
+
+  /// The versioned canonical key=value rendering (see file comment).
+  [[nodiscard]] std::string canonical_string() const;
+  /// SHA-256 hex digest of canonical_string() -- the cache address.
+  [[nodiscard]] std::string hash() const;
+};
+
+/// Serializable result of one cell.
+struct RunResult {
+  /// False only for budget-skipped placeholders (BatchEngine max_cells);
+  /// incomplete results are never cached or checkpointed.
+  bool complete = true;
+  std::uint64_t samples = 0;  ///< MC samples evaluated (0 for analytic)
+  std::uint64_t rounds = 0;   ///< adaptive rounds issued (model MC)
+  /// Named scalars in evaluator-defined order (order is meaningful for
+  /// grid/sensitivity kinds and preserved by the entry round-trip).
+  std::vector<std::pair<std::string, double>> values;
+  /// Trace JSONL of traced samples ("" when tracing was off).  Stored in
+  /// the result so warm-cache reruns re-export byte-identical TRACE files.
+  std::string trace;
+
+  void set(std::string_view name, double value);
+  [[nodiscard]] bool has(std::string_view name) const noexcept;
+  /// Value by name; throws std::out_of_range if absent.
+  [[nodiscard]] double at(std::string_view name) const;
+
+  /// One JSONL line binding this result to the spec hash that produced it
+  /// (the shared on-disk format of cache entries and checkpoint manifests).
+  [[nodiscard]] std::string to_entry(const std::string& spec_hash) const;
+  /// Parses a to_entry() line into (spec_hash, result).  Returns nullopt
+  /// for malformed lines and for entries with a different schema version
+  /// (stale caches are ignored, not misread).
+  [[nodiscard]] static std::optional<std::pair<std::string, RunResult>>
+  parse_entry(std::string_view line);
+};
+
+/// Evaluates one cell (pure function of the spec; thread-safe).  The MC
+/// budget inside spec.mc.config is honored; spec.mc.config.threads is
+/// forced to 1 because the engine parallelizes ACROSS cells (one cell =
+/// one task on the pool).
+[[nodiscard]] RunResult evaluate_cell(const RunSpec& spec);
+
+}  // namespace swapgame::engine

@@ -1,0 +1,64 @@
+#include "scenario_batch.hpp"
+
+#include <cstdint>
+
+namespace swapgame::engine {
+
+RunSpec scenario_spec(const sim::ScenarioPoint& point,
+                      const sim::McConfig& config) {
+  RunSpec spec;
+  spec.kind = CellKind::kScenario;
+  spec.label = point.label;
+  spec.mc.params = point.params;
+  spec.mc.p_star = point.p_star;
+  spec.mc.faults = point.faults;
+  spec.mc.config = config;
+  spec.mechanism = point.mechanism;
+  spec.deposit = point.deposit;
+  return spec;
+}
+
+sim::ScenarioResult unpack_scenario(const sim::ScenarioPoint& point,
+                                    const RunResult& result) {
+  sim::ScenarioResult out;
+  out.point = point;
+  out.analytic_sr = result.at("analytic_sr");
+  out.protocol_sr = result.at("protocol_sr");
+  out.protocol_sr_ci_lo = result.at("ci_lo");
+  out.protocol_sr_ci_hi = result.at("ci_hi");
+  out.alice_utility = result.at("alice_utility");
+  out.bob_utility = result.at("bob_utility");
+  out.initiated = result.at("initiated") != 0.0;
+  out.conservation_failures =
+      static_cast<std::uint64_t>(result.at("conservation_failures"));
+  out.invariant_failures =
+      static_cast<std::uint64_t>(result.at("invariant_failures"));
+  out.samples = result.samples;
+  return out;
+}
+
+std::vector<sim::ScenarioResult> run_scenarios(
+    BatchEngine& engine, const std::vector<sim::ScenarioPoint>& points,
+    const sim::McConfig& config) {
+  std::vector<RunSpec> specs;
+  specs.reserve(points.size());
+  for (const sim::ScenarioPoint& point : points) {
+    specs.push_back(scenario_spec(point, config));
+  }
+  const std::vector<RunResult> results = engine.run_batch(specs);
+  std::vector<sim::ScenarioResult> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.push_back(unpack_scenario(points[i], results[i]));
+  }
+  return out;
+}
+
+std::vector<sim::ScenarioResult> run_scenarios(
+    const std::vector<sim::ScenarioPoint>& points,
+    const sim::McConfig& config, const EngineConfig& engine_config) {
+  BatchEngine engine(engine_config);
+  return run_scenarios(engine, points, config);
+}
+
+}  // namespace swapgame::engine

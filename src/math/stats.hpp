@@ -44,6 +44,19 @@ class RunningStats {
 /// Binomial proportion with Wilson-score confidence interval.
 class BinomialCounter {
  public:
+  BinomialCounter() = default;
+
+  /// Rebuilds a counter from previously exported (successes, trials) --
+  /// e.g. a cached engine result -- so Wilson intervals can be recomputed
+  /// at any confidence without re-running the experiment.
+  [[nodiscard]] static BinomialCounter from_counts(std::uint64_t successes,
+                                                   std::uint64_t trials) {
+    BinomialCounter c;
+    c.successes_ = successes;
+    c.trials_ = trials;
+    return c;
+  }
+
   void add(bool success) noexcept {
     ++trials_;
     if (success) ++successes_;

@@ -5,6 +5,7 @@
 
 #include "math/gbm.hpp"
 #include "math/rng.hpp"
+#include "mc_detail.hpp"
 #include "mc_driver.hpp"
 #include "model/collateral_game.hpp"
 
@@ -217,8 +218,8 @@ VrEstimate run_batched(const model::SwapParams& params,
 
 }  // namespace
 
-VrEstimate run_model_mc_vr(const model::SwapParams& params, double p_star,
-                           double collateral, const McConfig& config) {
+VrEstimate detail::model_mc_vr(const model::SwapParams& params, double p_star,
+                               double collateral, const McConfig& config) {
   params.validate();
   // Thresholds are identical across samples; solve the game once.
   const model::CollateralGame game(params, p_star, collateral);
@@ -230,9 +231,9 @@ VrEstimate run_model_mc_vr(const model::SwapParams& params, double p_star,
                      game.bob_t2_cont_probability(), initiated, config);
 }
 
-VrEstimate run_profile_mc_vr(const model::SwapParams& params,
-                             const model::ThresholdProfile& profile,
-                             const McConfig& config) {
+VrEstimate detail::profile_mc_vr(const model::SwapParams& params,
+                                 const model::ThresholdProfile& profile,
+                                 const McConfig& config) {
   params.validate();
   // Analytic control mean for an arbitrary region: lognormal CDF mass of
   // the profile's t2 region (the profile analogue of
@@ -248,6 +249,17 @@ VrEstimate run_profile_mc_vr(const model::SwapParams& params,
   control_mean = std::min(1.0, std::max(0.0, control_mean));
   return run_batched(params, profile.bob_region, profile.alice_cutoff,
                      control_mean, /*initiated=*/true, config);
+}
+
+VrEstimate run_model_mc_vr(const model::SwapParams& params, double p_star,
+                           double collateral, const McConfig& config) {
+  return detail::model_mc_vr(params, p_star, collateral, config);
+}
+
+VrEstimate run_profile_mc_vr(const model::SwapParams& params,
+                             const model::ThresholdProfile& profile,
+                             const McConfig& config) {
+  return detail::profile_mc_vr(params, profile, config);
 }
 
 }  // namespace swapgame::sim

@@ -71,14 +71,21 @@ struct VrEstimate {
 /// thresholds of the (collateralized) game on sampled GBM skeletons.
 /// Respects every McConfig field including antithetic / control_variate /
 /// target_half_width; bit-identical across thread counts.
-[[nodiscard]] VrEstimate run_model_mc_vr(const model::SwapParams& params,
-                                         double p_star, double collateral,
-                                         const McConfig& config);
+///
+/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kModel;
+/// this wrapper is removed next cycle (CHANGES.md).
+[[deprecated("use sim::McRunner (McEvaluator::kModel)")]] [[nodiscard]]
+VrEstimate run_model_mc_vr(const model::SwapParams& params, double p_star,
+                           double collateral, const McConfig& config);
 
 /// Variance-reduced batched counterpart of run_profile_mc: an arbitrary
 /// threshold profile played on sampled skeletons.
-[[nodiscard]] VrEstimate run_profile_mc_vr(
-    const model::SwapParams& params, const model::ThresholdProfile& profile,
-    const McConfig& config);
+///
+/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kProfile;
+/// this wrapper is removed next cycle (CHANGES.md).
+[[deprecated("use sim::McRunner (McEvaluator::kProfile)")]] [[nodiscard]]
+VrEstimate run_profile_mc_vr(const model::SwapParams& params,
+                             const model::ThresholdProfile& profile,
+                             const McConfig& config);
 
 }  // namespace swapgame::sim

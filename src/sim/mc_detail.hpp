@@ -1,0 +1,35 @@
+// Internal, non-deprecated entry points of the Monte-Carlo engines.
+//
+// The public free functions in monte_carlo.hpp / estimators.hpp are
+// deprecated thin wrappers over these (one-cycle removal; see CHANGES.md);
+// sim::McRunner and the engine evaluators call the detail functions
+// directly so the supported surface stays warning-free.  Like
+// mc_driver.hpp, this header is internal: include mc_runner.hpp instead.
+#pragma once
+
+#include "estimators.hpp"
+#include "monte_carlo.hpp"
+#include "scenario.hpp"
+
+namespace swapgame::sim::detail {
+
+[[nodiscard]] McEstimate protocol_mc(const proto::SwapSetup& setup,
+                                     const StrategyFactory& alice,
+                                     const StrategyFactory& bob,
+                                     const McConfig& config);
+
+[[nodiscard]] VrEstimate model_mc_vr(const model::SwapParams& params,
+                                     double p_star, double collateral,
+                                     const McConfig& config);
+
+[[nodiscard]] VrEstimate profile_mc_vr(const model::SwapParams& params,
+                                       const model::ThresholdProfile& profile,
+                                       const McConfig& config);
+
+/// One scenario-sweep cell: analytic game + protocol MC for the point's
+/// mechanism (the per-cell body of the historical sim::run_scenarios loop;
+/// the engine's kScenario evaluator calls this directly).
+[[nodiscard]] ScenarioResult scenario_cell(const ScenarioPoint& point,
+                                           const McConfig& config);
+
+}  // namespace swapgame::sim::detail

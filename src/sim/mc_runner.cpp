@@ -1,0 +1,91 @@
+#include "mc_runner.hpp"
+
+#include <stdexcept>
+
+#include "mc_detail.hpp"
+
+namespace swapgame::sim {
+
+const char* to_string(McEvaluator evaluator) noexcept {
+  switch (evaluator) {
+    case McEvaluator::kModel:
+      return "model";
+    case McEvaluator::kProfile:
+      return "profile";
+    case McEvaluator::kProtocol:
+      return "protocol";
+  }
+  return "?";
+}
+
+const char* to_string(McStrategy strategy) noexcept {
+  switch (strategy) {
+    case McStrategy::kRational:
+      return "rational";
+    case McStrategy::kHonest:
+      return "honest";
+    case McStrategy::kPremiumRational:
+      return "premium_rational";
+  }
+  return "?";
+}
+
+proto::SwapSetup McRunSpec::to_setup() const {
+  proto::SwapSetup setup;
+  setup.params = params;
+  setup.p_star = p_star;
+  setup.collateral = collateral;
+  setup.premium = premium;
+  setup.alice_extra_token_a = alice_extra_token_a;
+  setup.bob_extra_token_a = bob_extra_token_a;
+  setup.secret_seed = secret_seed;
+  setup.confirmation_jitter_a = confirmation_jitter_a;
+  setup.confirmation_jitter_b = confirmation_jitter_b;
+  setup.expiry_margin = expiry_margin;
+  setup.latency_seed = latency_seed;
+  setup.faults = faults;
+  setup.audit = audit;
+  return setup;
+}
+
+StrategyFactory McRunSpec::make_strategy() const {
+  switch (strategy) {
+    case McStrategy::kRational:
+      return rational_factory(params, p_star, collateral);
+    case McStrategy::kHonest:
+      return honest_factory();
+    case McStrategy::kPremiumRational:
+      return premium_rational_factory(params, p_star, premium);
+  }
+  throw std::invalid_argument("McRunSpec: unknown strategy");
+}
+
+McRunResult McRunner::run(const McRunSpec& spec) {
+  McRunResult result;
+  switch (spec.evaluator) {
+    case McEvaluator::kModel:
+      result.vr = detail::model_mc_vr(spec.params, spec.p_star,
+                                      spec.collateral, spec.config);
+      break;
+    case McEvaluator::kProfile:
+      result.vr = detail::profile_mc_vr(spec.params, spec.profile,
+                                        spec.config);
+      break;
+    case McEvaluator::kProtocol: {
+      const StrategyFactory factory = spec.make_strategy();
+      result.estimate =
+          detail::protocol_mc(spec.to_setup(), factory, factory, spec.config);
+      result.sr = result.estimate.conditional_success_rate();
+      result.samples = result.estimate.success.trials();
+      return result;
+    }
+  }
+  result.estimate = result.vr.mc;
+  result.sr = result.vr.success_rate();
+  result.half_width = result.vr.half_width();
+  result.samples = result.vr.samples;
+  result.rounds = result.vr.rounds;
+  return result;
+}
+
+}  // namespace swapgame::sim

@@ -1,0 +1,107 @@
+// Unified Monte-Carlo entry point.
+//
+// Historically the simulation layer exported six overlapping free
+// functions (run_model_mc / run_profile_mc / run_protocol_mc and the _vr
+// variants) whose call sites each re-encoded the same choices: which
+// evaluator, which strategy, which variance-reduction flags.  McRunner
+// collapses them behind one value-type spec:
+//
+//   * McEvaluator picks the engine (model skeleton, threshold profile, or
+//     full protocol on simulated ledgers);
+//   * variance reduction stays where it always lived -- the antithetic /
+//     control_variate / target_half_width knobs of McConfig -- so "VR vs
+//     plain" is a flag, not a parallel function family;
+//   * the protocol substrate knobs (jitter, expiry margin, faults, audit,
+//     seeds, extra balances) mirror proto::SwapSetup field-for-field.
+//
+// McRunSpec is a plain value type: every field is comparable and
+// serializable, which is what makes the engine's content-addressed result
+// cache possible (engine/run_spec.hpp embeds an McRunSpec verbatim).
+// Results keep the bit-identical-across-thread-counts contract of the
+// underlying engines (monte_carlo.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "estimators.hpp"
+#include "monte_carlo.hpp"
+
+namespace swapgame::sim {
+
+/// Which Monte-Carlo engine evaluates the spec.
+enum class McEvaluator : std::uint8_t {
+  kModel,     ///< GBM skeleton + rational thresholds (estimators.hpp)
+  kProfile,   ///< GBM skeleton + arbitrary ThresholdProfile
+  kProtocol,  ///< full HTLC protocol on simulated ledgers per sample
+};
+[[nodiscard]] const char* to_string(McEvaluator evaluator) noexcept;
+
+/// Strategy family for protocol-level runs (ignored by the model engines,
+/// which play thresholds directly).
+enum class McStrategy : std::uint8_t {
+  kRational,         ///< rational_factory(params, p_star, collateral)
+  kHonest,           ///< honest_factory()
+  kPremiumRational,  ///< premium_rational_factory(params, p_star, premium)
+};
+[[nodiscard]] const char* to_string(McStrategy strategy) noexcept;
+
+/// Canonical description of one Monte-Carlo evaluation.  Defaults mirror
+/// proto::SwapSetup so a default-constructed spec with only `params`,
+/// `p_star` and `config` filled in reproduces the historical call
+/// run_protocol_mc(SwapSetup{params, p_star}, ...) exactly.
+struct McRunSpec {
+  McEvaluator evaluator = McEvaluator::kModel;
+  model::SwapParams params;
+  double p_star = 2.0;
+  double collateral = 0.0;  ///< Q per agent; 0 disables (model + protocol)
+  double premium = 0.0;     ///< Han et al. premium escrow (protocol)
+  /// kProfile: the threshold profile to play (ignored otherwise).
+  model::ThresholdProfile profile;
+
+  // --- protocol substrate (mirrors proto::SwapSetup) --------------------
+  McStrategy strategy = McStrategy::kRational;
+  double alice_extra_token_a = 0.0;
+  double bob_extra_token_a = 0.0;
+  std::uint64_t secret_seed = 0x5ECE7;
+  double confirmation_jitter_a = 0.0;
+  double confirmation_jitter_b = 0.0;
+  double expiry_margin = 0.0;
+  std::uint64_t latency_seed = 0x1A7E4C1;
+  proto::SwapFaults faults;
+  bool audit = true;
+
+  /// Sample budget, seed, VR flags, adaptive stopping, tracing.
+  McConfig config;
+
+  /// The proto::SwapSetup this spec describes (kProtocol evaluator).
+  [[nodiscard]] proto::SwapSetup to_setup() const;
+  /// The strategy factory `strategy` names, solved for this spec's game.
+  [[nodiscard]] StrategyFactory make_strategy() const;
+};
+
+/// Uniform result envelope.  `estimate` always carries the per-sample
+/// counters; the VR fields are populated by the model engines and NaN/0
+/// for protocol runs (whose CI comes from estimate.success directly).
+struct McRunResult {
+  McEstimate estimate;
+  /// Success rate conditional on initiation.  Model engines: the
+  /// (control-adjusted, pair-averaged) VrEstimate::success_rate();
+  /// protocol engine: estimate.conditional_success_rate().
+  double sr = std::numeric_limits<double>::quiet_NaN();
+  /// CI half-width of `sr` at config.ci_confidence (model engines only;
+  /// NaN for protocol runs).
+  double half_width = std::numeric_limits<double>::quiet_NaN();
+  std::size_t samples = 0;  ///< samples actually evaluated
+  std::size_t rounds = 0;   ///< adaptive rounds issued (model engines)
+  /// Full VR detail for model-engine runs (acc, control_mean, ...).
+  VrEstimate vr;
+};
+
+/// Stateless dispatcher: one call, any evaluator.
+class McRunner {
+ public:
+  [[nodiscard]] static McRunResult run(const McRunSpec& spec);
+};
+
+}  // namespace swapgame::sim

@@ -5,6 +5,7 @@
 #include "agents/naive.hpp"
 #include "agents/rational.hpp"
 #include "estimators.hpp"
+#include "mc_detail.hpp"
 #include "mc_driver.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
@@ -73,10 +74,10 @@ StrategyFactory honest_factory() {
   };
 }
 
-McEstimate run_protocol_mc(const proto::SwapSetup& setup,
-                           const StrategyFactory& alice,
-                           const StrategyFactory& bob,
-                           const McConfig& config) {
+McEstimate detail::protocol_mc(const proto::SwapSetup& setup,
+                               const StrategyFactory& alice,
+                               const StrategyFactory& bob,
+                               const McConfig& config) {
   setup.params.validate();
   const model::Schedule schedule =
       model::idealized_schedule(setup.params, 0.0);
@@ -153,18 +154,25 @@ McEstimate run_protocol_mc(const proto::SwapSetup& setup,
   return merged;
 }
 
+McEstimate run_protocol_mc(const proto::SwapSetup& setup,
+                           const StrategyFactory& alice,
+                           const StrategyFactory& bob,
+                           const McConfig& config) {
+  return detail::protocol_mc(setup, alice, bob, config);
+}
+
 McEstimate run_model_mc(const model::SwapParams& params, double p_star,
                         double collateral, const McConfig& config) {
   // Thin wrapper over the batched engine (estimators.cpp); the VR flags in
   // `config` are honored, callers that want the richer estimate (CI of the
-  // adjusted mean, samples-to-target) use run_model_mc_vr directly.
-  return run_model_mc_vr(params, p_star, collateral, config).mc;
+  // adjusted mean, samples-to-target) use McRunner / detail::model_mc_vr.
+  return detail::model_mc_vr(params, p_star, collateral, config).mc;
 }
 
 McEstimate run_profile_mc(const model::SwapParams& params,
                           const model::ThresholdProfile& profile,
                           const McConfig& config) {
-  return run_profile_mc_vr(params, profile, config).mc;
+  return detail::profile_mc_vr(params, profile, config).mc;
 }
 
 }  // namespace swapgame::sim

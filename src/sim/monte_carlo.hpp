@@ -125,24 +125,34 @@ using StrategyFactory = std::function<std::unique_ptr<agents::Strategy>(
 
 /// Full-protocol Monte Carlo: every sample runs the HTLC protocol on fresh
 /// simulated ledgers over a sampled GBM path.
-[[nodiscard]] McEstimate run_protocol_mc(const proto::SwapSetup& setup,
-                                         const StrategyFactory& alice,
-                                         const StrategyFactory& bob,
-                                         const McConfig& config);
+///
+/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with
+/// McEvaluator::kProtocol; this wrapper is removed next cycle (CHANGES.md).
+[[deprecated("use sim::McRunner (McEvaluator::kProtocol)")]] [[nodiscard]]
+McEstimate run_protocol_mc(const proto::SwapSetup& setup,
+                           const StrategyFactory& alice,
+                           const StrategyFactory& bob, const McConfig& config);
 
 /// Model-level Monte Carlo: samples the (P_t2, P_t3) skeleton and applies
 /// the rational thresholds analytically (no ledgers).  ~1000x faster.
 /// Estimates the success rate conditional on initiation.
-[[nodiscard]] McEstimate run_model_mc(const model::SwapParams& params,
-                                      double p_star, double collateral,
-                                      const McConfig& config);
+///
+/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kModel;
+/// this wrapper is removed next cycle (CHANGES.md).
+[[deprecated("use sim::McRunner (McEvaluator::kModel)")]] [[nodiscard]]
+McEstimate run_model_mc(const model::SwapParams& params, double p_star,
+                        double collateral, const McConfig& config);
 
 /// Model-level Monte Carlo for an ARBITRARY threshold profile (see
 /// model/strategy_value.hpp): plays `profile` on sampled price skeletons
 /// and estimates its success rate -- the simulation counterpart of
 /// StrategyEvaluator::success_rate, used for differential validation.
-[[nodiscard]] McEstimate run_profile_mc(const model::SwapParams& params,
-                                        const model::ThresholdProfile& profile,
-                                        const McConfig& config);
+///
+/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kProfile;
+/// this wrapper is removed next cycle (CHANGES.md).
+[[deprecated("use sim::McRunner (McEvaluator::kProfile)")]] [[nodiscard]]
+McEstimate run_profile_mc(const model::SwapParams& params,
+                          const model::ThresholdProfile& profile,
+                          const McConfig& config);
 
 }  // namespace swapgame::sim

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mc_detail.hpp"
 #include "model/collateral_game.hpp"
 #include "model/premium_game.hpp"
 
@@ -20,60 +21,66 @@ const char* to_string(Mechanism mechanism) noexcept {
   return "unknown";
 }
 
+ScenarioResult detail::scenario_cell(const ScenarioPoint& point,
+                                     const McConfig& config) {
+  point.params.validate();
+  ScenarioResult result;
+  result.point = point;
+
+  proto::SwapSetup setup;
+  setup.params = point.params;
+  setup.p_star = point.p_star;
+  setup.faults = point.faults;
+  StrategyFactory factory;
+  switch (point.mechanism) {
+    case Mechanism::kNone: {
+      const model::BasicGame game(point.params, point.p_star);
+      result.analytic_sr = game.success_rate();
+      result.initiated = game.alice_decision_t1() == model::Action::kCont;
+      factory = rational_factory(point.params, point.p_star);
+      break;
+    }
+    case Mechanism::kCollateral: {
+      const model::CollateralGame game(point.params, point.p_star,
+                                       point.deposit);
+      result.analytic_sr = game.success_rate();
+      result.initiated = game.engaged();
+      setup.collateral = point.deposit;
+      factory = rational_factory(point.params, point.p_star, point.deposit);
+      break;
+    }
+    case Mechanism::kPremium: {
+      const model::PremiumGame game(point.params, point.p_star,
+                                    point.deposit);
+      result.analytic_sr = game.success_rate();
+      result.initiated = game.alice_decision_t1() == model::Action::kCont;
+      setup.premium = point.deposit;
+      factory = premium_rational_factory(point.params, point.p_star,
+                                         point.deposit);
+      break;
+    }
+  }
+
+  const McEstimate estimate =
+      detail::protocol_mc(setup, factory, factory, config);
+  result.protocol_sr = estimate.conditional_success_rate();
+  const auto ci = estimate.success.wilson_interval();
+  result.protocol_sr_ci_lo = ci.lo;
+  result.protocol_sr_ci_hi = ci.hi;
+  result.alice_utility = estimate.alice_utility.mean();
+  result.bob_utility = estimate.bob_utility.mean();
+  result.conservation_failures = estimate.conservation_failures;
+  result.invariant_failures = estimate.invariant_failures;
+  result.samples = estimate.success.trials();
+  return result;
+}
+
 std::vector<ScenarioResult> run_scenarios(
     const std::vector<ScenarioPoint>& points, const McConfig& config) {
   std::vector<ScenarioResult> results;
   results.reserve(points.size());
   for (const ScenarioPoint& point : points) {
-    point.params.validate();
-    ScenarioResult result;
-    result.point = point;
-
-    proto::SwapSetup setup;
-    setup.params = point.params;
-    setup.p_star = point.p_star;
-    setup.faults = point.faults;
-    StrategyFactory factory;
-    switch (point.mechanism) {
-      case Mechanism::kNone: {
-        const model::BasicGame game(point.params, point.p_star);
-        result.analytic_sr = game.success_rate();
-        result.initiated = game.alice_decision_t1() == model::Action::kCont;
-        factory = rational_factory(point.params, point.p_star);
-        break;
-      }
-      case Mechanism::kCollateral: {
-        const model::CollateralGame game(point.params, point.p_star,
-                                         point.deposit);
-        result.analytic_sr = game.success_rate();
-        result.initiated = game.engaged();
-        setup.collateral = point.deposit;
-        factory = rational_factory(point.params, point.p_star, point.deposit);
-        break;
-      }
-      case Mechanism::kPremium: {
-        const model::PremiumGame game(point.params, point.p_star,
-                                      point.deposit);
-        result.analytic_sr = game.success_rate();
-        result.initiated = game.alice_decision_t1() == model::Action::kCont;
-        setup.premium = point.deposit;
-        factory = premium_rational_factory(point.params, point.p_star,
-                                           point.deposit);
-        break;
-      }
-    }
-
-    const McEstimate estimate =
-        run_protocol_mc(setup, factory, factory, config);
-    result.protocol_sr = estimate.conditional_success_rate();
-    const auto ci = estimate.success.wilson_interval();
-    result.protocol_sr_ci_lo = ci.lo;
-    result.protocol_sr_ci_hi = ci.hi;
-    result.alice_utility = estimate.alice_utility.mean();
-    result.bob_utility = estimate.bob_utility.mean();
-    result.conservation_failures = estimate.conservation_failures;
-    result.invariant_failures = estimate.invariant_failures;
-    results.push_back(std::move(result));
+    results.push_back(detail::scenario_cell(point, config));
   }
   return results;
 }

@@ -47,10 +47,19 @@ struct ScenarioResult {
   /// Substrate health over the cell's Monte-Carlo runs (see McEstimate).
   std::uint64_t conservation_failures = 0;
   std::uint64_t invariant_failures = 0;
+  /// Protocol samples the cell actually ran (adaptive stopping may use
+  /// fewer than the budget).
+  std::uint64_t samples = 0;
 };
 
 /// Runs every cell: analytic SR from the matching game solver, empirical SR
-/// and utilities from run_protocol_mc with the matching rational strategy.
+/// and utilities from the protocol MC with the matching rational strategy.
+///
+/// DEPRECATED: use engine::run_scenarios (engine/scenario_batch.hpp), which
+/// runs the same cells through the BatchEngine (parallel across cells, cache
+/// + checkpoint aware); this serial wrapper is removed next cycle
+/// (CHANGES.md).
+[[deprecated("use engine::run_scenarios (engine/scenario_batch.hpp)")]]
 [[nodiscard]] std::vector<ScenarioResult> run_scenarios(
     const std::vector<ScenarioPoint>& points, const McConfig& config);
 

@@ -28,6 +28,10 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
+    ++stats_.submitted;
+    if (tasks_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = tasks_.size();
+    }
   }
   task_available_.notify_one();
 }
@@ -37,6 +41,10 @@ void ThreadPool::submit_bulk(std::vector<std::function<void()>> tasks) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::function<void()>& task : tasks) tasks_.push(std::move(task));
+    stats_.submitted += tasks.size();
+    if (tasks_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = tasks_.size();
+    }
   }
   task_available_.notify_all();
 }
@@ -48,6 +56,11 @@ void ThreadPool::wait_idle() {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     std::rethrow_exception(err);
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 void ThreadPool::worker_loop() {
@@ -71,6 +84,7 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --busy_;
+      ++stats_.executed;
       if (tasks_.empty() && busy_ == 0) all_idle_.notify_all();
     }
   }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -21,6 +22,15 @@ namespace swapgame::sweep {
 
 class ThreadPool {
  public:
+  /// Lifetime telemetry, monotonically increasing (never reset).  Callers
+  /// interested in one batch take a snapshot before and after and diff --
+  /// that is how the batch engine reports queue pressure per run.
+  struct Stats {
+    std::uint64_t submitted = 0;        ///< tasks enqueued so far
+    std::uint64_t executed = 0;         ///< tasks completed (ok or thrown)
+    std::uint64_t max_queue_depth = 0;  ///< high-water queue length observed
+  };
+
   /// @param threads  worker count; 0 means std::thread::hardware_concurrency
   ///                 (at least 1).
   explicit ThreadPool(unsigned threads = 0);
@@ -58,12 +68,16 @@ class ThreadPool {
   /// usable for further batches afterwards.
   void wait_idle();
 
+  /// A consistent snapshot of the lifetime telemetry.
+  [[nodiscard]] Stats stats() const;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  Stats stats_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_idle_;
   unsigned busy_ = 0;

@@ -25,7 +25,7 @@
 #include "model/strategy_value.hpp"
 #include "sim/estimators.hpp"
 #include "sim/mc_driver.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 
 namespace swapgame::sim {
 namespace {
@@ -33,6 +33,27 @@ namespace {
 model::SwapParams defaults() { return model::SwapParams::table3_defaults(); }
 
 constexpr double kPStar = 2.0;
+
+VrEstimate model_vr(const model::SwapParams& params, double p_star,
+                    const McConfig& cfg) {
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kModel;
+  spec.params = params;
+  spec.p_star = p_star;
+  spec.config = cfg;
+  return McRunner::run(spec).vr;
+}
+
+VrEstimate profile_vr(const model::SwapParams& params,
+                      const model::ThresholdProfile& profile,
+                      const McConfig& cfg) {
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kProfile;
+  spec.params = params;
+  spec.profile = profile;
+  spec.config = cfg;
+  return McRunner::run(spec).vr;
+}
 
 McConfig base_config() {
   McConfig cfg;
@@ -65,7 +86,7 @@ TEST(VrEstimators, AllConfigurationsMatchAnalyticWithinCi) {
     cfg.antithetic = c.antithetic;
     cfg.control_variate = c.control_variate;
     cfg.ci_confidence = 0.999;
-    const VrEstimate est = run_model_mc_vr(params, kPStar, 0.0, cfg);
+    const VrEstimate est = model_vr(params, kPStar, cfg);
     ASSERT_EQ(est.samples, cfg.samples) << c.name;
     // NaN-safe: a NaN estimate must fail, not vacuously pass.
     ASSERT_TRUE(std::isfinite(est.success_rate())) << c.name;
@@ -81,13 +102,17 @@ TEST(VrEstimators, AllConfigurationsMatchAnalyticWithinCi) {
 }
 
 TEST(VrEstimators, PlainEngineBacksRunModelMc) {
-  // run_model_mc is a thin wrapper over the VR engine with the flags off:
-  // counters must agree exactly, and the plain accumulator mean must equal
-  // the realized conditional success rate.
+  // Deliberate legacy-equivalence check: run_model_mc is a thin (now
+  // deprecated, see CHANGES.md) wrapper over the VR engine with the flags
+  // off: counters must agree exactly, and the plain accumulator mean must
+  // equal the realized conditional success rate.
   const model::SwapParams params = defaults();
   const McConfig cfg = base_config();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const McEstimate scalar = run_model_mc(params, kPStar, 0.0, cfg);
-  const VrEstimate vr = run_model_mc_vr(params, kPStar, 0.0, cfg);
+#pragma GCC diagnostic pop
+  const VrEstimate vr = model_vr(params, kPStar, cfg);
   EXPECT_EQ(scalar.success.trials(), vr.mc.success.trials());
   EXPECT_EQ(scalar.success.successes(), vr.mc.success.successes());
   EXPECT_EQ(scalar.initiated.successes(), vr.mc.initiated.successes());
@@ -97,15 +122,15 @@ TEST(VrEstimators, PlainEngineBacksRunModelMc) {
 }
 
 TEST(VrEstimators, ProfileEngineMatchesEquilibriumModelEngine) {
-  // Playing the equilibrium profile through run_profile_mc_vr must give
-  // the same draws-to-outcomes map as run_model_mc_vr at the same seed.
+  // Playing the equilibrium profile through the profile engine must give
+  // the same draws-to-outcomes map as the model engine at the same seed.
   const model::SwapParams params = defaults();
   const model::StrategyEvaluator eval(params, kPStar);
   const model::ThresholdProfile eq = eval.equilibrium();
   McConfig cfg = base_config();
   cfg.control_variate = true;
-  const VrEstimate via_profile = run_profile_mc_vr(params, eq, cfg);
-  const VrEstimate via_model = run_model_mc_vr(params, kPStar, 0.0, cfg);
+  const VrEstimate via_profile = profile_vr(params, eq, cfg);
+  const VrEstimate via_model = model_vr(params, kPStar, cfg);
   EXPECT_EQ(via_profile.mc.success.successes(),
             via_model.mc.success.successes());
   // The two engines derive the analytic control mean through different
@@ -119,10 +144,10 @@ TEST(VrEstimators, ProfileEngineMatchesEquilibriumModelEngine) {
 TEST(VrEstimators, ControlVariatePlusAntitheticShrinksHalfWidth) {
   const model::SwapParams params = defaults();
   McConfig cfg = base_config();
-  const VrEstimate plain = run_model_mc_vr(params, kPStar, 0.0, cfg);
+  const VrEstimate plain = model_vr(params, kPStar, cfg);
   cfg.antithetic = true;
   cfg.control_variate = true;
-  const VrEstimate reduced = run_model_mc_vr(params, kPStar, 0.0, cfg);
+  const VrEstimate reduced = model_vr(params, kPStar, cfg);
   ASSERT_GT(plain.half_width(), 0.0);
   // The issue's acceptance bar is >= 4x fewer samples to equal precision,
   // i.e. >= 2x narrower CI at equal samples.  Measured: ~7x narrower.
@@ -143,9 +168,9 @@ TEST(VrEstimators, BitIdenticalAcrossThreadCounts) {
         cfg.target_half_width = c.control_variate ? 0.004 : 0.02;
       }
       cfg.threads = 1;
-      const VrEstimate a = run_model_mc_vr(params, kPStar, 0.0, cfg);
+      const VrEstimate a = model_vr(params, kPStar, cfg);
       cfg.threads = 8;
-      const VrEstimate b = run_model_mc_vr(params, kPStar, 0.0, cfg);
+      const VrEstimate b = model_vr(params, kPStar, cfg);
       EXPECT_EQ(a.samples, b.samples) << c.name << " adaptive=" << adaptive;
       EXPECT_EQ(a.rounds, b.rounds) << c.name << " adaptive=" << adaptive;
       EXPECT_EQ(a.mc.success.successes(), b.mc.success.successes())
@@ -162,20 +187,20 @@ TEST(VrEstimators, BitIdenticalAcrossThreadCounts) {
 }
 
 TEST(VrEstimators, ProtocolAdaptiveBitIdenticalAcrossThreadCounts) {
-  proto::SwapSetup setup;
-  setup.params = defaults();
-  setup.p_star = kPStar;
-  const StrategyFactory rational =
-      rational_factory(setup.params, setup.p_star);
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kProtocol;
+  spec.params = defaults();
+  spec.p_star = kPStar;
   McConfig cfg;
   cfg.samples = 2048;
   cfg.seed = 7;
   cfg.target_half_width = 0.03;
   cfg.min_samples = 512;
   cfg.threads = 1;
-  const McEstimate a = run_protocol_mc(setup, rational, rational, cfg);
-  cfg.threads = 8;
-  const McEstimate b = run_protocol_mc(setup, rational, rational, cfg);
+  spec.config = cfg;
+  const McEstimate a = McRunner::run(spec).estimate;
+  spec.config.threads = 8;
+  const McEstimate b = McRunner::run(spec).estimate;
   EXPECT_EQ(a.success.trials(), b.success.trials());
   EXPECT_EQ(a.success.successes(), b.success.successes());
   EXPECT_EQ(a.alice_utility.mean(), b.alice_utility.mean());
@@ -194,7 +219,7 @@ TEST(VrEstimators, AdaptiveStoppingReachesTargetUnderBudget) {
   cfg.antithetic = true;
   cfg.control_variate = true;
   cfg.target_half_width = 0.002;
-  const VrEstimate est = run_model_mc_vr(params, kPStar, 0.0, cfg);
+  const VrEstimate est = model_vr(params, kPStar, cfg);
   EXPECT_LE(est.half_width(), cfg.target_half_width);
   EXPECT_LT(est.samples, cfg.samples);
   EXPECT_GE(est.rounds, 1u);
@@ -210,7 +235,7 @@ TEST(VrEstimators, MinSamplesFloorIsRespected) {
   cfg.control_variate = true;
   cfg.target_half_width = 0.5;  // trivially reached in the first round
   cfg.min_samples = 3 * detail::kModelMcChunk * detail::kVrRoundChunks;
-  const VrEstimate est = run_model_mc_vr(params, kPStar, 0.0, cfg);
+  const VrEstimate est = model_vr(params, kPStar, cfg);
   EXPECT_GE(est.samples, cfg.min_samples);
 }
 
@@ -223,8 +248,8 @@ TEST(VrEstimators, CommonRandomNumbersKeepSweepCurvesSmooth) {
   // by ~the analytic delta instead of by fresh sampling noise.
   const model::SwapParams params = defaults();
   McConfig cfg = base_config();
-  const VrEstimate at = run_model_mc_vr(params, kPStar, 0.0, cfg);
-  const VrEstimate nudged = run_model_mc_vr(params, kPStar + 1e-4, 0.0, cfg);
+  const VrEstimate at = model_vr(params, kPStar, cfg);
+  const VrEstimate nudged = model_vr(params, kPStar + 1e-4, cfg);
   const model::BasicGame g0(params, kPStar);
   const model::BasicGame g1(params, kPStar + 1e-4);
   const double analytic_delta = g1.success_rate() - g0.success_rate();
@@ -311,7 +336,7 @@ TEST(ControlVariate, AnalyticControlMeanMatchesSimulatedLockRate) {
   const model::BasicGame game(params, kPStar);
   const double analytic_lock = game.bob_t2_cont_probability();
   McConfig cfg = base_config();
-  const VrEstimate est = run_model_mc_vr(params, kPStar, 0.0, cfg);
+  const VrEstimate est = model_vr(params, kPStar, cfg);
   const double n = static_cast<double>(est.acc.count());
   const double se =
       std::sqrt(std::max(analytic_lock * (1.0 - analytic_lock), 1e-12) / n);

@@ -14,7 +14,7 @@
 #include "agents/naive.hpp"
 #include "chain/ledger.hpp"
 #include "crypto/secret.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 
 namespace swapgame {
 namespace {
@@ -379,21 +379,21 @@ TEST(FaultedMonteCarlo, BitIdenticalAcrossThreadCounts) {
   // sample fault streams are keyed by the sample index, never by worker
   // identity, so threads=1 and threads=4 merge to the same estimate bit for
   // bit.
-  proto::SwapSetup setup;
-  setup.params = model::SwapParams::table3_defaults();
-  setup.p_star = 2.0;
-  setup.expiry_margin = 6.0;
-  setup.faults.chain_a.drop_prob = 0.2;
-  setup.faults.chain_b.drop_prob = 0.1;
-  setup.faults.chain_b.extra_delay_prob = 0.5;
-  setup.faults.chain_b.extra_delay_max = 3.0;
-  const sim::StrategyFactory honest = sim::honest_factory();
+  sim::McRunSpec spec;
+  spec.evaluator = sim::McEvaluator::kProtocol;
+  spec.params = model::SwapParams::table3_defaults();
+  spec.p_star = 2.0;
+  spec.strategy = sim::McStrategy::kHonest;
+  spec.expiry_margin = 6.0;
+  spec.faults.chain_a.drop_prob = 0.2;
+  spec.faults.chain_b.drop_prob = 0.1;
+  spec.faults.chain_b.extra_delay_prob = 0.5;
+  spec.faults.chain_b.extra_delay_max = 3.0;
 
-  sim::McConfig serial{384, 42, 1};
-  sim::McConfig parallel{384, 42, 4};
-  const sim::McEstimate a = sim::run_protocol_mc(setup, honest, honest, serial);
-  const sim::McEstimate b =
-      sim::run_protocol_mc(setup, honest, honest, parallel);
+  spec.config = sim::McConfig{384, 42, 1};
+  const sim::McEstimate a = sim::McRunner::run(spec).estimate;
+  spec.config = sim::McConfig{384, 42, 4};
+  const sim::McEstimate b = sim::McRunner::run(spec).estimate;
 
   EXPECT_EQ(a.success.successes(), b.success.successes());
   EXPECT_EQ(a.success.trials(), b.success.trials());

@@ -1,0 +1,173 @@
+// Tests for the unified Monte-Carlo entry point (src/sim/mc_runner): the
+// spec -> SwapSetup mirror, the per-evaluator result-envelope contract,
+// the strategy families, and the remaining deprecated-wrapper equivalence
+// (run_profile_mc; the model/protocol/VR wrappers are covered in
+// test_monte_carlo and test_estimators).
+#include "sim/mc_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/params.hpp"
+#include "model/strategy_value.hpp"
+
+namespace swapgame::sim {
+namespace {
+
+model::SwapParams defaults() { return model::SwapParams::table3_defaults(); }
+
+TEST(McRunSpec, ToSetupMirrorsEveryProtocolField) {
+  McRunSpec spec;
+  spec.params = defaults();
+  spec.p_star = 2.25;
+  spec.collateral = 0.4;
+  spec.premium = 0.3;
+  spec.alice_extra_token_a = 1.5;
+  spec.bob_extra_token_a = 2.5;
+  spec.secret_seed = 111;
+  spec.confirmation_jitter_a = 0.25;
+  spec.confirmation_jitter_b = 0.75;
+  spec.expiry_margin = 6.5;
+  spec.latency_seed = 222;
+  spec.faults.chain_a.drop_prob = 0.05;
+  spec.faults.chain_b.extra_delay_prob = 0.2;
+  spec.faults.chain_b.extra_delay_max = 3.0;
+  spec.faults.bob_offline.push_back({7.0, 8.0});
+  spec.audit = false;
+
+  const proto::SwapSetup setup = spec.to_setup();
+  EXPECT_EQ(setup.params.p_t0, spec.params.p_t0);
+  EXPECT_EQ(setup.p_star, spec.p_star);
+  EXPECT_EQ(setup.collateral, spec.collateral);
+  EXPECT_EQ(setup.premium, spec.premium);
+  EXPECT_EQ(setup.alice_extra_token_a, spec.alice_extra_token_a);
+  EXPECT_EQ(setup.bob_extra_token_a, spec.bob_extra_token_a);
+  EXPECT_EQ(setup.secret_seed, spec.secret_seed);
+  EXPECT_EQ(setup.confirmation_jitter_a, spec.confirmation_jitter_a);
+  EXPECT_EQ(setup.confirmation_jitter_b, spec.confirmation_jitter_b);
+  EXPECT_EQ(setup.expiry_margin, spec.expiry_margin);
+  EXPECT_EQ(setup.latency_seed, spec.latency_seed);
+  EXPECT_EQ(setup.faults.chain_a.drop_prob, spec.faults.chain_a.drop_prob);
+  EXPECT_EQ(setup.faults.chain_b.extra_delay_prob,
+            spec.faults.chain_b.extra_delay_prob);
+  EXPECT_EQ(setup.faults.chain_b.extra_delay_max,
+            spec.faults.chain_b.extra_delay_max);
+  ASSERT_EQ(setup.faults.bob_offline.size(), 1u);
+  EXPECT_EQ(setup.faults.bob_offline[0].begin, 7.0);
+  EXPECT_EQ(setup.faults.bob_offline[0].end, 8.0);
+  EXPECT_EQ(setup.audit, spec.audit);
+}
+
+TEST(McRunner, ModelEvaluatorFillsTheVrEnvelope) {
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kModel;
+  spec.params = defaults();
+  spec.p_star = 2.0;
+  spec.config.samples = 5000;
+  spec.config.seed = 3;
+  const McRunResult r = McRunner::run(spec);
+  // Model engines carry the VR detail; the envelope fields are views of it.
+  EXPECT_EQ(r.sr, r.vr.success_rate());
+  EXPECT_EQ(r.half_width, r.vr.half_width());
+  EXPECT_EQ(r.samples, r.vr.samples);
+  EXPECT_EQ(r.rounds, r.vr.rounds);
+  EXPECT_EQ(r.estimate.success.trials(), r.vr.mc.success.trials());
+  EXPECT_EQ(r.estimate.success.successes(), r.vr.mc.success.successes());
+  EXPECT_GT(r.samples, 0u);
+  EXPECT_GT(r.rounds, 0u);
+  EXPECT_TRUE(std::isfinite(r.half_width));
+}
+
+TEST(McRunner, ProtocolEvaluatorFillsTheCounterEnvelope) {
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kProtocol;
+  spec.params = defaults();
+  spec.p_star = 2.0;
+  spec.config.samples = 600;
+  spec.config.seed = 13;
+  const McRunResult r = McRunner::run(spec);
+  // Protocol runs have no VR machinery: sr is the conditional rate from
+  // the counters, the model-only CI half-width stays NaN.
+  EXPECT_EQ(r.sr, r.estimate.conditional_success_rate());
+  EXPECT_TRUE(std::isnan(r.half_width));
+  EXPECT_EQ(r.samples, r.estimate.success.trials());
+  EXPECT_EQ(r.estimate.success.trials(), 600u);
+}
+
+TEST(McRunner, StrategyFamiliesDiverge) {
+  McRunSpec rational;
+  rational.evaluator = McEvaluator::kProtocol;
+  rational.params = defaults();
+  rational.p_star = 2.0;
+  rational.config.samples = 1200;
+  rational.config.seed = 23;
+  McRunSpec honest = rational;
+  honest.strategy = McStrategy::kHonest;
+  const McRunResult r = McRunner::run(rational);
+  const McRunResult h = McRunner::run(honest);
+  // Honest agents never abandon mid-swap, so their conditional success
+  // rate dominates the rational pair's on the same sample paths.
+  EXPECT_GT(h.sr, r.sr);
+  EXPECT_NE(r.estimate.outcomes, h.estimate.outcomes);
+
+  McRunSpec premium = rational;
+  premium.strategy = McStrategy::kPremiumRational;
+  premium.premium = 0.5;
+  const McRunResult p = McRunner::run(premium);
+  EXPECT_EQ(p.estimate.success.trials(), 1200u);
+  EXPECT_GE(p.sr, r.sr - 0.05);  // the escrow cannot make things much worse
+}
+
+TEST(McRunner, DeprecatedProfileWrapperMatchesRunnerBitwise) {
+  model::ThresholdProfile profile;
+  profile.alice_cutoff = 1.4;
+  profile.bob_region = math::IntervalSet({{0.4, 2.6}});
+  McConfig cfg;
+  cfg.samples = 8000;
+  cfg.seed = 29;
+
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kProfile;
+  spec.params = defaults();
+  spec.profile = profile;
+  spec.config = cfg;
+  const McEstimate via_runner = McRunner::run(spec).estimate;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const McEstimate legacy = run_profile_mc(defaults(), profile, cfg);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(legacy.success.successes(), via_runner.success.successes());
+  EXPECT_EQ(legacy.success.trials(), via_runner.success.trials());
+  EXPECT_EQ(legacy.initiated.successes(), via_runner.initiated.successes());
+  EXPECT_EQ(legacy.alice_utility.mean(), via_runner.alice_utility.mean());
+  EXPECT_EQ(legacy.bob_utility.variance(), via_runner.bob_utility.variance());
+  EXPECT_EQ(legacy.outcomes, via_runner.outcomes);
+}
+
+TEST(McRunner, RunnerIsBitIdenticalAcrossThreadCounts) {
+  // The runner inherits the chunked-RNG determinism contract of the
+  // underlying engines for every evaluator it dispatches to.
+  for (const McEvaluator evaluator :
+       {McEvaluator::kModel, McEvaluator::kProtocol}) {
+    McRunSpec spec;
+    spec.evaluator = evaluator;
+    spec.params = defaults();
+    spec.p_star = 2.0;
+    spec.config.samples = evaluator == McEvaluator::kModel ? 20000 : 700;
+    spec.config.seed = 37;
+    spec.config.threads = 1;
+    McRunSpec wide = spec;
+    wide.config.threads = 8;
+    const McRunResult a = McRunner::run(spec);
+    const McRunResult b = McRunner::run(wide);
+    EXPECT_EQ(a.estimate.success.successes(), b.estimate.success.successes());
+    EXPECT_EQ(a.estimate.success.trials(), b.estimate.success.trials());
+    EXPECT_EQ(a.estimate.alice_utility.mean(), b.estimate.alice_utility.mean());
+    EXPECT_EQ(a.estimate.outcomes, b.estimate.outcomes);
+    EXPECT_EQ(a.samples, b.samples);
+  }
+}
+
+}  // namespace
+}  // namespace swapgame::sim

@@ -2,7 +2,8 @@
 // drawn from realistic ranges, the structural identities of the solvers
 // must hold -- indifference at every threshold, equivalence of the reduced
 // models, agreement between analytic and simulated success rates
-// (differential testing via run_profile_mc), and cross-solver consistency.
+// (differential testing via the profile MC engine), and cross-solver
+// consistency.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -15,7 +16,7 @@
 #include "model/game_tree.hpp"
 #include "model/premium_game.hpp"
 #include "model/strategy_value.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 
 namespace swapgame {
 namespace {
@@ -129,11 +130,14 @@ TEST_P(RandomizedModelProperties, ProfileMcMatchesEvaluator) {
   const double hi = lo + params_.p_t0 * (0.5 + math::uniform01(rng_));
   profile.bob_region = math::IntervalSet({{lo, hi}});
 
-  sim::McConfig cfg;
-  cfg.samples = 60000;
-  cfg.seed = static_cast<std::uint64_t>(GetParam()) + 1000;
-  cfg.threads = 1;
-  const sim::McEstimate est = sim::run_profile_mc(params_, profile, cfg);
+  sim::McRunSpec spec;
+  spec.evaluator = sim::McEvaluator::kProfile;
+  spec.params = params_;
+  spec.profile = profile;
+  spec.config.samples = 60000;
+  spec.config.seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+  spec.config.threads = 1;
+  const sim::McEstimate est = sim::McRunner::run(spec).estimate;
   const auto ci = est.success.wilson_interval(0.999);
   const double analytic = evaluator.success_rate(profile);
   EXPECT_GE(analytic, ci.lo - 0.01);

@@ -1,6 +1,7 @@
-// Tests for the Monte-Carlo estimators (src/sim/monte_carlo): determinism,
-// agreement with the analytic success rate, and estimate plumbing.
-#include "sim/monte_carlo.hpp"
+// Tests for the Monte-Carlo estimators (src/sim/mc_runner over
+// src/sim/monte_carlo): determinism, agreement with the analytic success
+// rate, and estimate plumbing.
+#include "sim/mc_runner.hpp"
 
 #include <gtest/gtest.h>
 
@@ -14,6 +15,28 @@ namespace swapgame::sim {
 namespace {
 
 model::SwapParams defaults() { return model::SwapParams::table3_defaults(); }
+
+McEstimate model_mc(double p_star, double collateral, const McConfig& cfg) {
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kModel;
+  spec.params = defaults();
+  spec.p_star = p_star;
+  spec.collateral = collateral;
+  spec.config = cfg;
+  return McRunner::run(spec).estimate;
+}
+
+McEstimate protocol_mc(double collateral, McStrategy strategy,
+                       const McConfig& cfg) {
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kProtocol;
+  spec.params = defaults();
+  spec.p_star = 2.0;
+  spec.collateral = collateral;
+  spec.strategy = strategy;
+  spec.config = cfg;
+  return McRunner::run(spec).estimate;
+}
 
 TEST(McEstimate, ConditionalSuccessRate) {
   McEstimate e;
@@ -53,7 +76,7 @@ TEST(ModelMc, MatchesAnalyticSuccessRate) {
   McConfig cfg;
   cfg.samples = 100000;
   cfg.seed = 5;
-  const McEstimate est = run_model_mc(defaults(), 2.0, 0.0, cfg);
+  const McEstimate est = model_mc(2.0, 0.0, cfg);
   const auto ci = est.success.wilson_interval(0.999);
   EXPECT_GE(game.success_rate(), ci.lo);
   EXPECT_LE(game.success_rate(), ci.hi);
@@ -64,7 +87,7 @@ TEST(ModelMc, MatchesAnalyticCollateralSuccessRate) {
   McConfig cfg;
   cfg.samples = 100000;
   cfg.seed = 6;
-  const McEstimate est = run_model_mc(defaults(), 2.0, 0.5, cfg);
+  const McEstimate est = model_mc(2.0, 0.5, cfg);
   const auto ci = est.success.wilson_interval(0.999);
   EXPECT_GE(game.success_rate(), ci.lo);
   EXPECT_LE(game.success_rate(), ci.hi);
@@ -80,8 +103,8 @@ TEST(ModelMc, DeterministicAcrossThreadCounts) {
   one.threads = 1;
   McConfig four = one;
   four.threads = 4;
-  const McEstimate a = run_model_mc(defaults(), 2.0, 0.0, one);
-  const McEstimate b = run_model_mc(defaults(), 2.0, 0.0, four);
+  const McEstimate a = model_mc(2.0, 0.0, one);
+  const McEstimate b = model_mc(2.0, 0.0, four);
   EXPECT_EQ(a.success.trials(), b.success.trials());
   EXPECT_EQ(a.success.successes(), b.success.successes());
   EXPECT_EQ(a.initiated.successes(), b.initiated.successes());
@@ -92,20 +115,14 @@ TEST(ModelMc, DeterministicAcrossThreadCounts) {
 }
 
 TEST(ProtocolMc, DeterministicAcrossThreadCounts) {
-  const model::SwapParams params = defaults();
-  proto::SwapSetup setup;
-  setup.params = params;
-  setup.p_star = 2.0;
   McConfig one;
   one.samples = 1500;  // spans several protocol chunks
   one.seed = 77;
   one.threads = 1;
   McConfig eight = one;
   eight.threads = 8;
-  const StrategyFactory alice = rational_factory(params, 2.0);
-  const StrategyFactory bob = rational_factory(params, 2.0);
-  const McEstimate a = run_protocol_mc(setup, alice, bob, one);
-  const McEstimate b = run_protocol_mc(setup, alice, bob, eight);
+  const McEstimate a = protocol_mc(0.0, McStrategy::kRational, one);
+  const McEstimate b = protocol_mc(0.0, McStrategy::kRational, eight);
   EXPECT_EQ(a.success.trials(), b.success.trials());
   EXPECT_EQ(a.success.successes(), b.success.successes());
   EXPECT_EQ(a.initiated.successes(), b.initiated.successes());
@@ -118,7 +135,7 @@ TEST(ProtocolMc, DeterministicAcrossThreadCounts) {
 TEST(ModelMc, NonViableRateNeverInitiates) {
   McConfig cfg;
   cfg.samples = 100;
-  const McEstimate est = run_model_mc(defaults(), 5.0, 0.0, cfg);
+  const McEstimate est = model_mc(5.0, 0.0, cfg);
   EXPECT_EQ(est.initiated.successes(), 0u);
   EXPECT_TRUE(std::isnan(est.conditional_success_rate()));
   EXPECT_EQ(est.outcomes.at(proto::SwapOutcome::kNotInitiated), 100u);
@@ -127,15 +144,10 @@ TEST(ModelMc, NonViableRateNeverInitiates) {
 TEST(ProtocolMc, MatchesAnalyticSuccessRate) {
   // Full end-to-end validation: HTLCs, mempool leaks, refunds and all.
   const model::BasicGame game(defaults(), 2.0);
-  proto::SwapSetup setup;
-  setup.params = defaults();
-  setup.p_star = 2.0;
   McConfig cfg;
   cfg.samples = 3000;
   cfg.seed = 11;
-  const McEstimate est =
-      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
-                      rational_factory(defaults(), 2.0), cfg);
+  const McEstimate est = protocol_mc(0.0, McStrategy::kRational, cfg);
   const auto ci = est.success.wilson_interval(0.999);
   EXPECT_GE(game.success_rate(), ci.lo - 0.01);
   EXPECT_LE(game.success_rate(), ci.hi + 0.01);
@@ -145,20 +157,11 @@ TEST(ProtocolMc, MatchesAnalyticSuccessRate) {
 }
 
 TEST(ProtocolMc, CollateralRaisesEmpiricalSuccessRate) {
-  proto::SwapSetup plain;
-  plain.params = defaults();
-  plain.p_star = 2.0;
-  proto::SwapSetup collateralized = plain;
-  collateralized.collateral = 1.0;
   McConfig cfg;
   cfg.samples = 1500;
   cfg.seed = 21;
-  const McEstimate base =
-      run_protocol_mc(plain, rational_factory(defaults(), 2.0),
-                      rational_factory(defaults(), 2.0), cfg);
-  const McEstimate coll = run_protocol_mc(
-      collateralized, rational_factory(defaults(), 2.0, 1.0),
-      rational_factory(defaults(), 2.0, 1.0), cfg);
+  const McEstimate base = protocol_mc(0.0, McStrategy::kRational, cfg);
+  const McEstimate coll = protocol_mc(1.0, McStrategy::kRational, cfg);
   EXPECT_GT(coll.conditional_success_rate(),
             base.conditional_success_rate());
 }
@@ -166,19 +169,22 @@ TEST(ProtocolMc, CollateralRaisesEmpiricalSuccessRate) {
 TEST(ProtocolMc, HonestAliceAgainstRationalBobFaresWorse) {
   // The optionality asymmetry: an honest Alice (reveals even after adverse
   // moves) hands Bob the upside; her realized utility is lower than the
-  // rational Alice's.
+  // rational Alice's.  The mixed pairing needs per-side factories, which
+  // only the deprecated overload offers -- a deliberate legacy caller
+  // until its removal cycle (CHANGES.md).
   proto::SwapSetup setup;
   setup.params = defaults();
   setup.p_star = 2.0;
   McConfig cfg;
   cfg.samples = 2000;
   cfg.seed = 31;
-  const McEstimate rational =
-      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
-                      rational_factory(defaults(), 2.0), cfg);
+  const McEstimate rational = protocol_mc(0.0, McStrategy::kRational, cfg);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const McEstimate honest =
       run_protocol_mc(setup, honest_factory(),
                       rational_factory(defaults(), 2.0), cfg);
+#pragma GCC diagnostic pop
   EXPECT_LT(honest.alice_utility.mean(), rational.alice_utility.mean());
   // But the swap succeeds more often with an honest Alice.
   EXPECT_GT(honest.conditional_success_rate(),
@@ -186,20 +192,49 @@ TEST(ProtocolMc, HonestAliceAgainstRationalBobFaresWorse) {
 }
 
 TEST(ProtocolMc, AllOutcomesAccounted) {
-  proto::SwapSetup setup;
-  setup.params = defaults();
-  setup.p_star = 2.0;
   McConfig cfg;
   cfg.samples = 1000;
   cfg.seed = 41;
-  const McEstimate est =
-      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
-                      rational_factory(defaults(), 2.0), cfg);
+  const McEstimate est = protocol_mc(0.0, McStrategy::kRational, cfg);
   std::uint64_t total = 0;
   for (const auto& [outcome, count] : est.outcomes) total += count;
   EXPECT_EQ(total, cfg.samples);
   // Rational agents never hit the irrational kBobMissedT4 path.
   EXPECT_EQ(est.outcomes.count(proto::SwapOutcome::kBobMissedT4), 0u);
+}
+
+// Deliberate legacy-equivalence check: the deprecated free functions must
+// keep returning exactly what McRunner returns for the same spec until
+// their scheduled removal (CHANGES.md).
+TEST(McRunnerMigration, DeprecatedWrappersMatchRunnerBitwise) {
+  McConfig cfg;
+  cfg.samples = 4000;
+  cfg.seed = 51;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const McEstimate legacy_model = run_model_mc(defaults(), 2.0, 0.0, cfg);
+  proto::SwapSetup setup;
+  setup.params = defaults();
+  setup.p_star = 2.0;
+  const McEstimate legacy_proto =
+      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
+                      rational_factory(defaults(), 2.0), cfg);
+#pragma GCC diagnostic pop
+  const McEstimate via_runner_model = model_mc(2.0, 0.0, cfg);
+  const McEstimate via_runner_proto =
+      protocol_mc(0.0, McStrategy::kRational, cfg);
+  EXPECT_EQ(legacy_model.success.successes(),
+            via_runner_model.success.successes());
+  EXPECT_EQ(legacy_model.success.trials(), via_runner_model.success.trials());
+  EXPECT_EQ(legacy_model.alice_utility.mean(),
+            via_runner_model.alice_utility.mean());
+  EXPECT_EQ(legacy_proto.success.successes(),
+            via_runner_proto.success.successes());
+  EXPECT_EQ(legacy_proto.outcomes, via_runner_proto.outcomes);
+  EXPECT_EQ(legacy_proto.alice_utility.mean(),
+            via_runner_proto.alice_utility.mean());
+  EXPECT_EQ(legacy_proto.bob_utility.variance(),
+            via_runner_proto.bob_utility.variance());
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
-// Tests for the scenario sweep harness (src/sim/scenario).
+// Tests for the scenario sweep harness (src/sim/scenario) running on the
+// batch engine (src/engine/scenario_batch).
 #include "sim/scenario.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "engine/scenario_batch.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
 #include "model/premium_game.hpp"
@@ -29,7 +31,7 @@ TEST(RunScenarios, AnalyticSrMatchesPerMechanismSolvers) {
   McConfig cfg;
   cfg.samples = 400;
   cfg.seed = 77;
-  const auto results = run_scenarios(points, cfg);
+  const auto results = engine::run_scenarios(points, cfg);
   ASSERT_EQ(results.size(), 3u);
   EXPECT_NEAR(results[0].analytic_sr,
               model::BasicGame(defaults(), 2.0).success_rate(), 1e-9);
@@ -51,7 +53,7 @@ TEST(RunScenarios, ProtocolSrTracksAnalytic) {
   McConfig cfg;
   cfg.samples = 1200;
   cfg.seed = 78;
-  const auto results = run_scenarios(points, cfg);
+  const auto results = engine::run_scenarios(points, cfg);
   for (const ScenarioResult& r : results) {
     EXPECT_NEAR(r.protocol_sr, r.analytic_sr, 0.05) << r.point.label;
     EXPECT_LE(r.protocol_sr_ci_lo, r.protocol_sr + 1e-12);
@@ -68,11 +70,40 @@ TEST(RunScenarios, NonViableCellReportsNotInitiated) {
   McConfig cfg;
   cfg.samples = 50;
   cfg.seed = 79;
-  const auto results = run_scenarios(points, cfg);
+  const auto results = engine::run_scenarios(points, cfg);
   EXPECT_FALSE(results[0].initiated);
   // Never-initiated cells report NaN (conditioning on an empty event), not
   // a fake "always fails" zero.
   EXPECT_TRUE(std::isnan(results[0].protocol_sr));
+}
+
+// Deliberate legacy-equivalence check: the deprecated sim::run_scenarios
+// wrapper must keep producing exactly what the engine path produces until
+// its scheduled removal (see CHANGES.md).
+TEST(RunScenarios, DeprecatedWrapperMatchesEnginePath) {
+  const std::vector<ScenarioPoint> points = {
+      {"plain", defaults(), 2.0, Mechanism::kNone, 0.0},
+      {"premium", defaults(), 2.0, Mechanism::kPremium, 0.75},
+  };
+  McConfig cfg;
+  cfg.samples = 300;
+  cfg.seed = 80;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = run_scenarios(points, cfg);
+#pragma GCC diagnostic pop
+  const auto engine_results = engine::run_scenarios(points, cfg);
+  ASSERT_EQ(legacy.size(), engine_results.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].analytic_sr, engine_results[i].analytic_sr);
+    EXPECT_EQ(legacy[i].protocol_sr, engine_results[i].protocol_sr);
+    EXPECT_EQ(legacy[i].protocol_sr_ci_lo, engine_results[i].protocol_sr_ci_lo);
+    EXPECT_EQ(legacy[i].protocol_sr_ci_hi, engine_results[i].protocol_sr_ci_hi);
+    EXPECT_EQ(legacy[i].alice_utility, engine_results[i].alice_utility);
+    EXPECT_EQ(legacy[i].bob_utility, engine_results[i].bob_utility);
+    EXPECT_EQ(legacy[i].initiated, engine_results[i].initiated);
+    EXPECT_EQ(legacy[i].samples, engine_results[i].samples);
+  }
 }
 
 TEST(CsvTable, RendersHeaderAndRows) {

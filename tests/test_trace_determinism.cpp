@@ -15,7 +15,7 @@
 #include "obs/trace.hpp"
 #include "proto/price_path.hpp"
 #include "proto/swap_protocol.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 
 namespace {
 
@@ -46,21 +46,29 @@ struct TracedRun {
   sim::McEstimate estimate;
 };
 
+sim::McRunSpec spec_for(const proto::SwapSetup& setup) {
+  sim::McRunSpec spec;
+  spec.evaluator = sim::McEvaluator::kProtocol;
+  spec.params = setup.params;
+  spec.p_star = setup.p_star;
+  spec.expiry_margin = setup.expiry_margin;
+  spec.faults = setup.faults;
+  return spec;
+}
+
 TracedRun run_traced(const proto::SwapSetup& setup, unsigned threads,
                      std::size_t samples, std::size_t stride) {
-  const sim::StrategyFactory rational =
-      sim::rational_factory(setup.params, setup.p_star);
   obs::TraceCollector collector;
   obs::MetricsRegistry metrics;
-  sim::McConfig config;
-  config.samples = samples;
-  config.seed = 2026;
-  config.threads = threads;
-  config.trace_stride = stride;
-  config.traces = &collector;
-  config.metrics = &metrics;
+  sim::McRunSpec spec = spec_for(setup);
+  spec.config.samples = samples;
+  spec.config.seed = 2026;
+  spec.config.threads = threads;
+  spec.config.trace_stride = stride;
+  spec.config.traces = &collector;
+  spec.config.metrics = &metrics;
   TracedRun run;
-  run.estimate = sim::run_protocol_mc(setup, rational, rational, config);
+  run.estimate = sim::McRunner::run(spec).estimate;
   run.jsonl = collector.jsonl();
   run.traced_samples = collector.size();
   run.metrics = metrics.snapshot();
@@ -106,14 +114,11 @@ TEST(TraceDeterminism, TracingDoesNotPerturbTheEstimate) {
   // Attaching the trace/metrics sinks must not consume RNG draws or change
   // scheduling: the estimate with sinks equals the estimate without.
   const proto::SwapSetup setup = faulted_setup();
-  const sim::StrategyFactory rational =
-      sim::rational_factory(setup.params, setup.p_star);
-  sim::McConfig plain;
-  plain.samples = 203;
-  plain.seed = 2026;
-  plain.threads = 2;
-  const sim::McEstimate bare =
-      sim::run_protocol_mc(setup, rational, rational, plain);
+  sim::McRunSpec plain = spec_for(setup);
+  plain.config.samples = 203;
+  plain.config.seed = 2026;
+  plain.config.threads = 2;
+  const sim::McEstimate bare = sim::McRunner::run(plain).estimate;
 
   const TracedRun traced = run_traced(setup, 2, 203, 7);
   EXPECT_EQ(bare.success.successes(), traced.estimate.success.successes());

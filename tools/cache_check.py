@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Cache-correctness gate for the BatchEngine result cache (docs/ENGINE.md).
+
+Runs each named bench binary TWICE with a shared SWAPGAME_CACHE_DIR and
+asserts the two contracts the content-addressed cache makes:
+
+  1. Correctness: the second (warm) run's stdout is byte-identical to the
+     first after stripping the lines that legitimately vary per run --
+     wall-clock TIME telemetry, TRACE/METRIC engine_* reporting -- and
+     every TRACE_*.jsonl artifact is byte-identical (traces are stored
+     inside cache entries and replayed on hits).
+  2. Effectiveness: the warm run's BENCH_*.json engine metrics show at
+     least --min-hit-rate (default 0.9) of cells served from the cache
+     and at most (1 - min-hit-rate) of the cold run's MC samples
+     re-evaluated.
+
+Usage:
+  python3 tools/cache_check.py --build-dir build --out cache-check-out \
+      bench_x1_mc_vs_analytic bench_fig6_success_rate ...
+
+Layout under --out: <bench>/run1, <bench>/run2 (bench artifacts) and
+<bench>/run{1,2}.out (stdout); the shared cache lives in <out>/cache.
+Exit status: 0 = all contracts held, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+# Lines whose variation between a cold and a warm run is expected: wall
+# clock, artifact-write notices, and the deliberately cache-dependent
+# engine_* metrics (see bench/bench_engine.hpp).
+VOLATILE_PREFIXES = ("TIME", "TRACE wrote", "METRIC engine_")
+
+
+def stripped(text: str) -> str:
+    return "".join(line + "\n" for line in text.splitlines()
+                   if not line.startswith(VOLATILE_PREFIXES))
+
+
+def engine_metrics(run_dir: pathlib.Path) -> dict:
+    merged = {}
+    for path in sorted(run_dir.glob("BENCH_*.json")):
+        with open(path) as fh:
+            doc = json.load(fh)
+        for name, value in doc.get("metrics", {}).items():
+            if name.startswith("engine_"):
+                merged[name] = merged.get(name, 0.0) + value
+    return merged
+
+
+def check_bench(bench: pathlib.Path, out: pathlib.Path, cache: pathlib.Path,
+                min_hit_rate: float) -> list:
+    errors = []
+    outputs = []
+    for run in (1, 2):
+        run_dir = out / f"run{run}"
+        run_dir.mkdir(parents=True, exist_ok=True)
+        env = dict(os.environ,
+                   SWAPGAME_CACHE_DIR=str(cache),
+                   SWAPGAME_BENCH_DIR=str(run_dir))
+        proc = subprocess.run([str(bench)], env=env, capture_output=True,
+                              text=True)
+        (out / f"run{run}.out").write_text(proc.stdout + proc.stderr)
+        if proc.returncode != 0:
+            errors.append(f"run{run} exited {proc.returncode}")
+        outputs.append(proc.stdout)
+
+    if stripped(outputs[0]) != stripped(outputs[1]):
+        errors.append("warm-run stdout differs from cold run "
+                      f"(see {out}/run1.out vs {out}/run2.out)")
+    for trace1 in sorted((out / "run1").glob("TRACE_*.jsonl")):
+        trace2 = out / "run2" / trace1.name
+        if not trace2.is_file():
+            errors.append(f"{trace1.name} missing from the warm run")
+        elif trace1.read_bytes() != trace2.read_bytes():
+            errors.append(f"{trace1.name} differs between runs")
+
+    cold = engine_metrics(out / "run1")
+    warm = engine_metrics(out / "run2")
+    if not warm:
+        errors.append("no engine_* metrics in the warm run's BENCH json")
+        return errors
+    cells = warm.get("engine_cells_total", 0.0)
+    hits = warm.get("engine_cache_hits", 0.0)
+    if cells <= 0 or hits < min_hit_rate * cells:
+        errors.append(f"cache hit rate {hits:g}/{cells:g} below "
+                      f"{min_hit_rate:.0%}")
+    cold_samples = cold.get("engine_mc_samples_run", 0.0)
+    warm_samples = warm.get("engine_mc_samples_run", 0.0)
+    if cold_samples > 0 and warm_samples > (1.0 - min_hit_rate) * cold_samples:
+        errors.append(f"warm run re-evaluated {warm_samples:g} of "
+                      f"{cold_samples:g} MC samples (> "
+                      f"{1.0 - min_hit_rate:.0%})")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("benches", nargs="+",
+                    help="bench binary names under <build-dir>/bench/")
+    ap.add_argument("--build-dir", default=pathlib.Path("build"),
+                    type=pathlib.Path)
+    ap.add_argument("--out", default=pathlib.Path("cache-check-out"),
+                    type=pathlib.Path)
+    ap.add_argument("--min-hit-rate", default=0.9, type=float)
+    args = ap.parse_args()
+
+    failures = 0
+    for name in args.benches:
+        binary = args.build_dir / "bench" / name
+        if not binary.is_file():
+            print(f"FAIL {name}: {binary} not built")
+            failures += 1
+            continue
+        errors = check_bench(binary, args.out / name, args.out / "cache",
+                             args.min_hit_rate)
+        if errors:
+            failures += 1
+            for err in errors:
+                print(f"FAIL {name}: {err}")
+        else:
+            print(f"ok   {name}: warm rerun byte-identical, "
+                  f">={args.min_hit_rate:.0%} served from cache")
+    print(f"cache_check: {len(args.benches)} bench(es), "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

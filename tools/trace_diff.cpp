@@ -28,7 +28,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 
 namespace {
 
@@ -81,20 +81,21 @@ int diff_files(const char* path_a, const char* path_b) {
 
 /// The gate scenario: every fault knob active at once, so the byte-equality
 /// assertion covers the fault-injection trace events too.
-proto::SwapSetup gate_setup() {
-  proto::SwapSetup setup;
-  setup.params = model::SwapParams::table3_defaults();
-  setup.p_star = 2.0;
-  setup.expiry_margin = 8.0;
-  setup.faults.chain_a.drop_prob = 0.1;
-  setup.faults.chain_b.drop_prob = 0.1;
-  setup.faults.chain_a.extra_delay_prob = 0.2;
-  setup.faults.chain_a.extra_delay_max = 3.0;
-  setup.faults.chain_b.extra_delay_prob = 0.2;
-  setup.faults.chain_b.extra_delay_max = 3.0;
-  setup.faults.chain_b.censorship.push_back({2.5, 3.5});
-  setup.faults.bob_offline.push_back({7.5, 8.5});
-  return setup;
+sim::McRunSpec gate_spec() {
+  sim::McRunSpec spec;
+  spec.evaluator = sim::McEvaluator::kProtocol;
+  spec.params = model::SwapParams::table3_defaults();
+  spec.p_star = 2.0;
+  spec.expiry_margin = 8.0;
+  spec.faults.chain_a.drop_prob = 0.1;
+  spec.faults.chain_b.drop_prob = 0.1;
+  spec.faults.chain_a.extra_delay_prob = 0.2;
+  spec.faults.chain_a.extra_delay_max = 3.0;
+  spec.faults.chain_b.extra_delay_prob = 0.2;
+  spec.faults.chain_b.extra_delay_max = 3.0;
+  spec.faults.chain_b.censorship.push_back({2.5, 3.5});
+  spec.faults.bob_offline.push_back({7.5, 8.5});
+  return spec;
 }
 
 struct GateRun {
@@ -103,19 +104,16 @@ struct GateRun {
 };
 
 GateRun run_gate(unsigned threads) {
-  const proto::SwapSetup setup = gate_setup();
-  const sim::StrategyFactory rational =
-      sim::rational_factory(setup.params, setup.p_star);
+  sim::McRunSpec spec = gate_spec();
   obs::TraceCollector collector;
   obs::MetricsRegistry metrics;
-  sim::McConfig config;
-  config.samples = 602;  // not a chunk multiple: exercises the ragged tail
-  config.seed = 2026;
-  config.threads = threads;
-  config.trace_stride = 7;
-  config.traces = &collector;
-  config.metrics = &metrics;
-  (void)sim::run_protocol_mc(setup, rational, rational, config);
+  spec.config.samples = 602;  // not a chunk multiple: exercises the ragged tail
+  spec.config.seed = 2026;
+  spec.config.threads = threads;
+  spec.config.trace_stride = 7;
+  spec.config.traces = &collector;
+  spec.config.metrics = &metrics;
+  (void)sim::McRunner::run(spec);
   return {collector.jsonl(), metrics.snapshot()};
 }
 
