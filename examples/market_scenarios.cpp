@@ -12,7 +12,7 @@
 #include <cstdlib>
 
 #include "model/basic_game.hpp"
-#include "sim/monte_carlo.hpp"
+#include "sim/mc_runner.hpp"
 
 namespace {
 
@@ -39,37 +39,31 @@ void run_regime(const Regime& regime, std::size_t samples) {
   }
   const double p_star = best->p_star;
 
-  proto::SwapSetup setup;
-  setup.params = params;
-  setup.p_star = p_star;
-  sim::McConfig cfg;
-  cfg.samples = samples;
-  cfg.seed = 99;
+  sim::McRunSpec spec;
+  spec.evaluator = sim::McEvaluator::kProtocol;
+  spec.params = params;
+  spec.p_star = p_star;
+  spec.config.samples = samples;
+  spec.config.seed = 99;
 
   const struct {
     const char* label;
-    sim::StrategyFactory alice;
-    sim::StrategyFactory bob;
+    sim::McStrategy alice;
+    sim::McStrategy bob;
   } pairings[] = {
-      {"rational/rational", sim::rational_factory(params, p_star),
-       sim::rational_factory(params, p_star)},
-      {"honest/rational", sim::honest_factory(),
-       sim::rational_factory(params, p_star)},
-      {"honest/honest", sim::honest_factory(), sim::honest_factory()},
+      {"rational/rational", sim::McStrategy::kRational,
+       sim::McStrategy::kRational},
+      {"honest/rational", sim::McStrategy::kHonest,
+       sim::McStrategy::kRational},
+      {"honest/honest", sim::McStrategy::kHonest, sim::McStrategy::kHonest},
   };
 
   std::printf("%-10s P*=%.3f analytic SR=%.1f%%\n", regime.name, p_star,
               100.0 * best->success_rate);
   for (const auto& pairing : pairings) {
-    // Mixed pairings (honest Alice vs rational Bob) need per-side strategy
-    // factories, which sim::McRunner's single-strategy spec deliberately
-    // does not model -- this is the one caller that stays on the factory
-    // overload until its removal cycle (CHANGES.md).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const sim::McEstimate est =
-        sim::run_protocol_mc(setup, pairing.alice, pairing.bob, cfg);
-#pragma GCC diagnostic pop
+    spec.strategy = pairing.alice;
+    spec.bob_strategy = pairing.bob;
+    const sim::McEstimate est = sim::McRunner::run(spec).estimate;
     std::printf("    %-18s SR %5.1f%%   U_alice %.4f   U_bob %.4f\n",
                 pairing.label, 100.0 * est.conditional_success_rate(),
                 est.alice_utility.mean(), est.bob_utility.mean());

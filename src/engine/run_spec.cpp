@@ -127,6 +127,8 @@ std::string RunSpec::canonical_string() const {
 
   // Protocol substrate.
   put(out, "strategy", sim::to_string(mc.strategy));
+  put(out, "bob_strategy",
+      mc.bob_strategy ? sim::to_string(*mc.bob_strategy) : "inherit");
   put(out, "alice_extra_token_a", mc.alice_extra_token_a);
   put(out, "bob_extra_token_a", mc.bob_extra_token_a);
   put(out, "secret_seed", mc.secret_seed);

@@ -43,7 +43,11 @@ namespace swapgame::engine {
 /// Bump on any change to evaluator semantics, canonical_string() layout,
 /// or the entry format; old entries are then rejected (cache) or ignored
 /// (checkpoint) instead of being misread.
-inline constexpr int kRunSpecSchemaVersion = 1;
+///
+/// v2: lane-interleaved SIMD draw order in the model MC engines (new
+/// normal draws for a given seed) and the bob_strategy line in the
+/// canonical form.
+inline constexpr int kRunSpecSchemaVersion = 2;
 
 /// What computation a cell performs.
 enum class CellKind : std::uint8_t {

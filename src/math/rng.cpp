@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "simd.hpp"
 #include "special.hpp"
 
 namespace swapgame::math {
@@ -62,6 +63,28 @@ void Xoshiro256::long_jump() noexcept {
   s_[3] = s3;
 }
 
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 Xoshiro256 Xoshiro256::stream(unsigned n) const noexcept {
   Xoshiro256 copy = *this;
   for (unsigned i = 0; i < n; ++i) copy.long_jump();
@@ -73,24 +96,26 @@ double uniform01(Xoshiro256& rng) noexcept {
 }
 
 double normal_inverse_cdf_draw(Xoshiro256& rng) noexcept {
-  // Shift into (0, 1) strictly: map 0 to the smallest representable step.
+  // Shift into (0, 1) strictly: map 0 to the smallest representable step,
+  // and clamp the all-ones word (whose +0.5 shift would round UP to
+  // exactly 1.0 and yield +inf) to 1 - 2^-53 -- the same word-to-uniform
+  // map the block fills use.
   const double u = (static_cast<double>(rng() >> 11) + 0.5) * 0x1.0p-53;
-  return normal_quantile(u);
+  return normal_quantile(u < 1.0 ? u : 0x1.fffffffffffffp-1);
 }
 
 void fill_uniform01(Xoshiro256& rng, double* out, std::size_t n) noexcept {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = (static_cast<double>(rng() >> 11) + 0.5) * 0x1.0p-53;
-  }
+  simd::kernels().fill_uniform01(rng, out, n);
 }
 
 void fill_normal_inverse_cdf(Xoshiro256& rng, double* out,
                              std::size_t n) noexcept {
   // Two passes over the buffer: a tight RNG-only loop, then the quantile
-  // transform -- keeps the generator state updates branch-free and lets the
-  // transform loop vectorize over plain doubles.
-  fill_uniform01(rng, out, n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = normal_quantile(out[i]);
+  // transform -- both dispatched through the SIMD kernel table with the
+  // lane-interleaved draw order documented in rng.hpp.
+  const simd::KernelTable& k = simd::kernels();
+  k.fill_uniform01(rng, out, n);
+  k.normal_quantile_transform(out, n);
 }
 
 NormalPair normal_box_muller(Xoshiro256& rng) noexcept {

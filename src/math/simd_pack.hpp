@@ -1,0 +1,432 @@
+// Lane-width abstraction for the deterministic SIMD kernels.
+//
+// Each Pack type exposes the same static operation set over W doubles /
+// W unsigned 64-bit integers / W boolean lanes.  simd_dag.hpp instantiates
+// one shared dataflow graph against these, so the scalar (W = 1), AVX2
+// (W = 4) and AVX-512 (W = 8) kernels are by construction the same
+// sequence of IEEE-754 exactly-rounded operations -- the basis of the
+// bitwise scalar==SIMD determinism contract (simd.hpp).
+//
+// Semantics pinned across implementations:
+//  * fmin/fmax follow vminpd/vmaxpd exactly: (a < b) ? a : b and
+//    (a > b) ? a : b -- the SECOND operand wins on NaN or signed-zero ties.
+//  * comparisons are ordered-quiet (_CMP_*_OQ): any NaN compares false.
+//  * fblend(m, a, b) selects a where the mask lane is true, else b.
+//  * u53_to_f64 requires v < 2^53 (exact in double); small_i64_to_f64
+//    requires |v| < 2^51.  Both are exact conversions at every width.
+//  * sext32 sign-extends the low 32 bits of each 64-bit lane.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace swapgame::math::simd {
+
+struct PackScalar {
+  static constexpr std::size_t kWidth = 1;
+  using F = double;
+  using I = std::uint64_t;
+  using M = bool;
+
+  static F fbroad(double v) noexcept { return v; }
+  static I ibroad(std::uint64_t v) noexcept { return v; }
+  static F fload(const double* p) noexcept { return *p; }
+  static void fstore(double* p, F v) noexcept { *p = v; }
+  static I iload(const std::uint64_t* p) noexcept { return *p; }
+  static void istore(std::uint64_t* p, I v) noexcept { *p = v; }
+
+  static F fadd(F a, F b) noexcept { return a + b; }
+  static F fsub(F a, F b) noexcept { return a - b; }
+  static F fmul(F a, F b) noexcept { return a * b; }
+  static F fdiv(F a, F b) noexcept { return a / b; }
+  static F fsqrt(F a) noexcept { return std::sqrt(a); }
+  static F fmin(F a, F b) noexcept { return a < b ? a : b; }
+  static F fmax(F a, F b) noexcept { return a > b ? a : b; }
+  static F fneg(F a) noexcept { return i2f(f2i(a) ^ 0x8000000000000000ULL); }
+  static F fabs_(F a) noexcept { return i2f(f2i(a) & 0x7FFFFFFFFFFFFFFFULL); }
+
+  static M flt(F a, F b) noexcept { return a < b; }
+  static M fle(F a, F b) noexcept { return a <= b; }
+  static M fgt(F a, F b) noexcept { return a > b; }
+  static M fge(F a, F b) noexcept { return a >= b; }
+  static M feq(F a, F b) noexcept { return a == b; }
+  static F fblend(M m, F a, F b) noexcept { return m ? a : b; }
+
+  static M mfalse() noexcept { return false; }
+  static M mand(M a, M b) noexcept { return a && b; }
+  static M mor(M a, M b) noexcept { return a || b; }
+  static unsigned mbits(M m) noexcept { return m ? 1u : 0u; }
+
+  static I f2i(F a) noexcept {
+    I r;
+    std::memcpy(&r, &a, sizeof(r));
+    return r;
+  }
+  static F i2f(I a) noexcept {
+    F r;
+    std::memcpy(&r, &a, sizeof(r));
+    return r;
+  }
+
+  static I iadd(I a, I b) noexcept { return a + b; }
+  static I isub(I a, I b) noexcept { return a - b; }
+  static I iand(I a, I b) noexcept { return a & b; }
+  static I ior(I a, I b) noexcept { return a | b; }
+  static I ixor(I a, I b) noexcept { return a ^ b; }
+  template <int K>
+  static I ishl(I a) noexcept {
+    return a << K;
+  }
+  template <int K>
+  static I ishr(I a) noexcept {
+    return a >> K;
+  }
+  static I sext32(I a) noexcept {
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a & 0xFFFFFFFFULL))));
+  }
+  static F u53_to_f64(I v) noexcept { return static_cast<double>(v); }
+  static F small_i64_to_f64(I v) noexcept {
+    return static_cast<double>(static_cast<std::int64_t>(v));
+  }
+};
+
+#if defined(__AVX2__)
+
+struct PackAvx2 {
+  static constexpr std::size_t kWidth = 4;
+  using F = __m256d;
+  using I = __m256i;
+  using M = __m256d;  // all-ones / all-zero lanes from vcmppd
+
+  static F fbroad(double v) noexcept { return _mm256_set1_pd(v); }
+  static I ibroad(std::uint64_t v) noexcept {
+    return _mm256_set1_epi64x(static_cast<long long>(v));
+  }
+  static F fload(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void fstore(double* p, F v) noexcept { _mm256_storeu_pd(p, v); }
+  static I iload(const std::uint64_t* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void istore(std::uint64_t* p, I v) noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+
+  static F fadd(F a, F b) noexcept { return _mm256_add_pd(a, b); }
+  static F fsub(F a, F b) noexcept { return _mm256_sub_pd(a, b); }
+  static F fmul(F a, F b) noexcept { return _mm256_mul_pd(a, b); }
+  static F fdiv(F a, F b) noexcept { return _mm256_div_pd(a, b); }
+  static F fsqrt(F a) noexcept { return _mm256_sqrt_pd(a); }
+  static F fmin(F a, F b) noexcept { return _mm256_min_pd(a, b); }
+  static F fmax(F a, F b) noexcept { return _mm256_max_pd(a, b); }
+  static F fneg(F a) noexcept { return _mm256_xor_pd(a, fbroad(-0.0)); }
+  static F fabs_(F a) noexcept { return _mm256_andnot_pd(fbroad(-0.0), a); }
+
+  static M flt(F a, F b) noexcept { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static M fle(F a, F b) noexcept { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static M fgt(F a, F b) noexcept { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static M fge(F a, F b) noexcept { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static M feq(F a, F b) noexcept { return _mm256_cmp_pd(a, b, _CMP_EQ_OQ); }
+  static F fblend(M m, F a, F b) noexcept { return _mm256_blendv_pd(b, a, m); }
+
+  static M mfalse() noexcept { return _mm256_setzero_pd(); }
+  static M mand(M a, M b) noexcept { return _mm256_and_pd(a, b); }
+  static M mor(M a, M b) noexcept { return _mm256_or_pd(a, b); }
+  static unsigned mbits(M m) noexcept {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+
+  static I f2i(F a) noexcept { return _mm256_castpd_si256(a); }
+  static F i2f(I a) noexcept { return _mm256_castsi256_pd(a); }
+
+  static I iadd(I a, I b) noexcept { return _mm256_add_epi64(a, b); }
+  static I isub(I a, I b) noexcept { return _mm256_sub_epi64(a, b); }
+  static I iand(I a, I b) noexcept { return _mm256_and_si256(a, b); }
+  static I ior(I a, I b) noexcept { return _mm256_or_si256(a, b); }
+  static I ixor(I a, I b) noexcept { return _mm256_xor_si256(a, b); }
+  template <int K>
+  static I ishl(I a) noexcept {
+    return _mm256_slli_epi64(a, K);
+  }
+  template <int K>
+  static I ishr(I a) noexcept {
+    return _mm256_srli_epi64(a, K);
+  }
+  static I sext32(I a) noexcept {
+    // No 64-bit arithmetic shift in AVX2: gather the low dwords and use the
+    // widening signed conversion instead.
+    const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    const __m128i lo =
+        _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(a, idx));
+    return _mm256_cvtepi32_epi64(lo);
+  }
+  static F u53_to_f64(I v) noexcept {
+    // Exact u64 -> f64 for v < 2^53 via the magic-number hi/lo split:
+    // (2^84 + hi*2^32) - (2^84 + 2^52) + (2^52 + lo) == v with every
+    // intermediate step exact.
+    const I hi = _mm256_or_si256(_mm256_srli_epi64(v, 32),
+                                 f2i(fbroad(0x1.0p84)));
+    const I lo = _mm256_or_si256(_mm256_and_si256(v, ibroad(0xFFFFFFFFULL)),
+                                 f2i(fbroad(0x1.0p52)));
+    return fadd(fsub(i2f(hi), fbroad(0x1.0p84 + 0x1.0p52)), i2f(lo));
+  }
+  static F small_i64_to_f64(I v) noexcept {
+    // Exact i64 -> f64 for |v| < 2^51: bias into the mantissa of 1.5*2^52.
+    const I t = _mm256_add_epi64(v, f2i(fbroad(0x1.8p52)));
+    return fsub(i2f(t), fbroad(0x1.8p52));
+  }
+};
+
+#endif  // __AVX2__
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+struct PackAvx512 {
+  static constexpr std::size_t kWidth = 8;
+  using F = __m512d;
+  using I = __m512i;
+  using M = __mmask8;
+
+  static F fbroad(double v) noexcept { return _mm512_set1_pd(v); }
+  static I ibroad(std::uint64_t v) noexcept {
+    return _mm512_set1_epi64(static_cast<long long>(v));
+  }
+  static F fload(const double* p) noexcept { return _mm512_loadu_pd(p); }
+  static void fstore(double* p, F v) noexcept { _mm512_storeu_pd(p, v); }
+  static I iload(const std::uint64_t* p) noexcept {
+    return _mm512_loadu_si512(p);
+  }
+  static void istore(std::uint64_t* p, I v) noexcept {
+    _mm512_storeu_si512(p, v);
+  }
+
+  static F fadd(F a, F b) noexcept { return _mm512_add_pd(a, b); }
+  static F fsub(F a, F b) noexcept { return _mm512_sub_pd(a, b); }
+  static F fmul(F a, F b) noexcept { return _mm512_mul_pd(a, b); }
+  static F fdiv(F a, F b) noexcept { return _mm512_div_pd(a, b); }
+  static F fsqrt(F a) noexcept { return _mm512_sqrt_pd(a); }
+  static F fmin(F a, F b) noexcept { return _mm512_min_pd(a, b); }
+  static F fmax(F a, F b) noexcept { return _mm512_max_pd(a, b); }
+  static F fneg(F a) noexcept {
+    return _mm512_castsi512_pd(
+        _mm512_xor_si512(_mm512_castpd_si512(a), f2i(fbroad(-0.0))));
+  }
+  static F fabs_(F a) noexcept { return _mm512_abs_pd(a); }
+
+  static M flt(F a, F b) noexcept {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+  }
+  static M fle(F a, F b) noexcept {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LE_OQ);
+  }
+  static M fgt(F a, F b) noexcept {
+    return _mm512_cmp_pd_mask(a, b, _CMP_GT_OQ);
+  }
+  static M fge(F a, F b) noexcept {
+    return _mm512_cmp_pd_mask(a, b, _CMP_GE_OQ);
+  }
+  static M feq(F a, F b) noexcept {
+    return _mm512_cmp_pd_mask(a, b, _CMP_EQ_OQ);
+  }
+  static F fblend(M m, F a, F b) noexcept {
+    return _mm512_mask_blend_pd(m, b, a);
+  }
+
+  static M mfalse() noexcept { return 0; }
+  static M mand(M a, M b) noexcept { return static_cast<M>(a & b); }
+  static M mor(M a, M b) noexcept { return static_cast<M>(a | b); }
+  static unsigned mbits(M m) noexcept { return m; }
+
+  static I f2i(F a) noexcept { return _mm512_castpd_si512(a); }
+  static F i2f(I a) noexcept { return _mm512_castsi512_pd(a); }
+
+  static I iadd(I a, I b) noexcept { return _mm512_add_epi64(a, b); }
+  static I isub(I a, I b) noexcept { return _mm512_sub_epi64(a, b); }
+  static I iand(I a, I b) noexcept { return _mm512_and_si512(a, b); }
+  static I ior(I a, I b) noexcept { return _mm512_or_si512(a, b); }
+  static I ixor(I a, I b) noexcept { return _mm512_xor_si512(a, b); }
+  template <int K>
+  static I ishl(I a) noexcept {
+    return _mm512_slli_epi64(a, K);
+  }
+  template <int K>
+  static I ishr(I a) noexcept {
+    return _mm512_srli_epi64(a, K);
+  }
+  static I sext32(I a) noexcept {
+    return _mm512_srai_epi64(_mm512_slli_epi64(a, 32), 32);
+  }
+  static F u53_to_f64(I v) noexcept { return _mm512_cvtepu64_pd(v); }
+  static F small_i64_to_f64(I v) noexcept { return _mm512_cvtepi64_pd(v); }
+};
+
+#endif  // __AVX512F__ && __AVX512DQ__
+
+/// K sub-packs of P advanced in lockstep: a Pack of width K * P::kWidth
+/// whose every operation is P's operation applied per sub-pack, so the
+/// per-lane rounding sequence -- and therefore the bitwise determinism
+/// contract -- is exactly that of P.  Purely a scheduling device: the
+/// quantile graph is one long dependency chain (~300 cycles), and a plain
+/// pack-at-a-time loop leaves the out-of-order window holding barely one
+/// iteration.  Interleaving K independent chains at adjacent instructions
+/// keeps the FP ports busy without touching the graph.
+template <class P, std::size_t K>
+struct PackRepeat {
+  static constexpr std::size_t kWidth = K * P::kWidth;
+  struct F {
+    typename P::F v[K];
+  };
+  struct I {
+    typename P::I v[K];
+  };
+  struct M {
+    typename P::M v[K];
+  };
+
+#define SWAPGAME_PACK_LIFT_FF(R, name)                  \
+  static R name(R a, R b) noexcept {                    \
+    R r;                                                \
+    for (std::size_t k = 0; k < K; ++k) {               \
+      r.v[k] = P::name(a.v[k], b.v[k]);                 \
+    }                                                   \
+    return r;                                           \
+  }
+#define SWAPGAME_PACK_LIFT_F(R, name)                   \
+  static R name(R a) noexcept {                         \
+    R r;                                                \
+    for (std::size_t k = 0; k < K; ++k) {               \
+      r.v[k] = P::name(a.v[k]);                         \
+    }                                                   \
+    return r;                                           \
+  }
+
+  static F fbroad(double x) noexcept {
+    F r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::fbroad(x);
+    return r;
+  }
+  static I ibroad(std::uint64_t x) noexcept {
+    I r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::ibroad(x);
+    return r;
+  }
+  static F fload(const double* p) noexcept {
+    F r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::fload(p + k * P::kWidth);
+    return r;
+  }
+  static void fstore(double* p, F x) noexcept {
+    for (std::size_t k = 0; k < K; ++k) P::fstore(p + k * P::kWidth, x.v[k]);
+  }
+  static I iload(const std::uint64_t* p) noexcept {
+    I r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::iload(p + k * P::kWidth);
+    return r;
+  }
+  static void istore(std::uint64_t* p, I x) noexcept {
+    for (std::size_t k = 0; k < K; ++k) P::istore(p + k * P::kWidth, x.v[k]);
+  }
+
+  SWAPGAME_PACK_LIFT_FF(F, fadd)
+  SWAPGAME_PACK_LIFT_FF(F, fsub)
+  SWAPGAME_PACK_LIFT_FF(F, fmul)
+  SWAPGAME_PACK_LIFT_FF(F, fdiv)
+  SWAPGAME_PACK_LIFT_F(F, fsqrt)
+  SWAPGAME_PACK_LIFT_FF(F, fmin)
+  SWAPGAME_PACK_LIFT_FF(F, fmax)
+  SWAPGAME_PACK_LIFT_F(F, fneg)
+  SWAPGAME_PACK_LIFT_F(F, fabs_)
+
+#define SWAPGAME_PACK_LIFT_CMP(name)                    \
+  static M name(F a, F b) noexcept {                    \
+    M r;                                                \
+    for (std::size_t k = 0; k < K; ++k) {               \
+      r.v[k] = P::name(a.v[k], b.v[k]);                 \
+    }                                                   \
+    return r;                                           \
+  }
+  SWAPGAME_PACK_LIFT_CMP(flt)
+  SWAPGAME_PACK_LIFT_CMP(fle)
+  SWAPGAME_PACK_LIFT_CMP(fgt)
+  SWAPGAME_PACK_LIFT_CMP(fge)
+  SWAPGAME_PACK_LIFT_CMP(feq)
+#undef SWAPGAME_PACK_LIFT_CMP
+
+  static F fblend(M m, F a, F b) noexcept {
+    F r;
+    for (std::size_t k = 0; k < K; ++k) {
+      r.v[k] = P::fblend(m.v[k], a.v[k], b.v[k]);
+    }
+    return r;
+  }
+
+  static M mfalse() noexcept {
+    M r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::mfalse();
+    return r;
+  }
+  SWAPGAME_PACK_LIFT_FF(M, mand)
+  SWAPGAME_PACK_LIFT_FF(M, mor)
+  static unsigned mbits(M m) noexcept {
+    unsigned bits = 0;
+    for (std::size_t k = 0; k < K; ++k) {
+      bits |= P::mbits(m.v[k]) << (k * P::kWidth);
+    }
+    return bits;
+  }
+
+  static I f2i(F a) noexcept {
+    I r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::f2i(a.v[k]);
+    return r;
+  }
+  static F i2f(I a) noexcept {
+    F r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::i2f(a.v[k]);
+    return r;
+  }
+
+  SWAPGAME_PACK_LIFT_FF(I, iadd)
+  SWAPGAME_PACK_LIFT_FF(I, isub)
+  SWAPGAME_PACK_LIFT_FF(I, iand)
+  SWAPGAME_PACK_LIFT_FF(I, ior)
+  SWAPGAME_PACK_LIFT_FF(I, ixor)
+  template <int S>
+  static I ishl(I a) noexcept {
+    I r;
+    for (std::size_t k = 0; k < K; ++k) {
+      r.v[k] = P::template ishl<S>(a.v[k]);
+    }
+    return r;
+  }
+  template <int S>
+  static I ishr(I a) noexcept {
+    I r;
+    for (std::size_t k = 0; k < K; ++k) {
+      r.v[k] = P::template ishr<S>(a.v[k]);
+    }
+    return r;
+  }
+  SWAPGAME_PACK_LIFT_F(I, sext32)
+  static F u53_to_f64(I a) noexcept {
+    F r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::u53_to_f64(a.v[k]);
+    return r;
+  }
+  static F small_i64_to_f64(I a) noexcept {
+    F r;
+    for (std::size_t k = 0; k < K; ++k) r.v[k] = P::small_i64_to_f64(a.v[k]);
+    return r;
+  }
+
+#undef SWAPGAME_PACK_LIFT_FF
+#undef SWAPGAME_PACK_LIFT_F
+};
+
+}  // namespace swapgame::math::simd

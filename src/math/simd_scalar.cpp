@@ -1,0 +1,15 @@
+// Scalar (W = 1) instantiation of the deterministic kernel graph: the
+// reference implementation every vector level must match bitwise.
+#include "simd_dag.hpp"
+
+namespace swapgame::math::simd {
+
+extern const KernelTable kScalarTable;
+const KernelTable kScalarTable = {
+    &fill_uniform01_t<PackScalar>,
+    &normal_quantile_transform_t<PackScalar>,
+    &zkernel_eval_t<PackScalar>,
+    &welford_block_t<PackScalar>,
+};
+
+}  // namespace swapgame::math::simd

@@ -2,9 +2,12 @@
 //
 // Provides the standard normal distribution primitives (PDF, CDF, inverse
 // CDF) used by the geometric-Brownian-motion transition law of the paper
-// (Xu et al., ICDCS 2021, Section III-A).  Implemented from scratch on top
-// of std::erfc; the inverse CDF uses the Acklam rational approximation
-// refined by one Halley step, giving ~1e-15 relative accuracy.
+// (Xu et al., ICDCS 2021, Section III-A).  PDF/CDF/SF sit on std::erfc;
+// the inverse CDF is the scalar (width-1) instantiation of the
+// deterministic SIMD kernel graph (simd_dag.hpp) -- Acklam's rational
+// approximation refined by one Halley step off from-scratch erfc/exp
+// kernels -- so the block transforms in math::fill_normal_inverse_cdf are
+// bitwise identical to this function at every dispatch level.
 #pragma once
 
 namespace swapgame::math {

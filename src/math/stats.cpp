@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd.hpp"
 #include "special.hpp"
 
 namespace swapgame::math {
@@ -89,6 +90,24 @@ void ControlVariateAccumulator::add(double y, double x) noexcept {
   m2y_ += dy * (y - mean_y_);
   m2x_ += dx * (x - mean_x_);
   cxy_ += dx * (y - mean_y_);
+}
+
+void ControlVariateAccumulator::add_block(const double* y, const double* x,
+                                          std::size_t n) noexcept {
+  if (n == 0) return;
+  simd::WelfordLanes lanes{};
+  simd::kernels().welford_block(y, x, n, lanes);
+  for (std::size_t l = 0; l < 8; ++l) {
+    if (lanes.n[l] == 0.0) continue;
+    ControlVariateAccumulator lane;
+    lane.n_ = static_cast<std::size_t>(lanes.n[l]);
+    lane.mean_y_ = lanes.mean_y[l];
+    lane.mean_x_ = lanes.mean_x[l];
+    lane.m2y_ = lanes.m2y[l];
+    lane.m2x_ = lanes.m2x[l];
+    lane.cxy_ = lanes.cxy[l];
+    merge(lane);
+  }
 }
 
 void ControlVariateAccumulator::merge(

@@ -100,6 +100,16 @@ class BinomialCounter {
 class ControlVariateAccumulator {
  public:
   void add(double y, double x) noexcept;
+
+  /// Folds a whole block of observations at once through the SIMD
+  /// dispatch: the block is reduced on 8 fixed Welford lanes (lane l sees
+  /// observations l, l + 8, ...) which are then merge()d in ascending
+  /// lane order.  The lane decomposition -- not the register width --
+  /// defines the summation order, so the result is bitwise identical at
+  /// every dispatch level and differs from n sequential add() calls only
+  /// by the (equally valid) reduction tree.
+  void add_block(const double* y, const double* x, std::size_t n) noexcept;
+
   void merge(const ControlVariateAccumulator& other) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }

@@ -5,6 +5,7 @@
 
 #include "math/gbm.hpp"
 #include "math/rng.hpp"
+#include "math/simd.hpp"
 #include "mc_detail.hpp"
 #include "mc_driver.hpp"
 #include "model/collateral_game.hpp"
@@ -28,13 +29,16 @@ namespace {
 /// The swap payoff reduced to z-space: with lp2 = la_mean + la_sd * z2 the
 /// t2 region becomes intervals on z2 directly, and Alice's reveal condition
 /// ln P_t3 = lp2 + drift_b + sd_b * z3 > ln L becomes the linear threshold
-/// z3 > c0 + c1 * z2.  No per-sample GbmLaw, log or exp survives.
+/// z3 > c0 + c1 * z2.  No per-sample GbmLaw, log or exp survives; the
+/// per-sample evaluation itself runs through the SIMD kernel dispatch
+/// (math::simd::KernelTable::zkernel_eval) over masked lanes: an in-region
+/// mask for the t2 lock, a reveal mask for the t3 threshold, and -- under
+/// the control-variate estimator -- an erfc-based smoothed-probability
+/// lane P[reveal | z2] = Phi-bar(c0 + c1 z2) (conditional Monte Carlo; the
+/// closed-form t3 tail integrates the z3 Bernoulli noise out, which is
+/// what lets the t2-lock control explain nearly all remaining variance).
 struct ZKernel {
-  struct ZInterval {
-    double lo;
-    double hi;
-  };
-  std::vector<ZInterval> region;  // at most a few pieces (Fig. 7)
+  std::vector<math::simd::ZIntervalPod> region;  // few pieces (Fig. 7)
   double c0 = 0.0;
   double c1 = 0.0;
   bool always_reveal = false;
@@ -47,7 +51,7 @@ struct ZKernel {
     ZKernel k;
     k.region.reserve(region_p.size());
     for (const math::Interval& iv : region_p.intervals()) {
-      ZInterval z;
+      math::simd::ZIntervalPod z;
       z.lo = iv.lo <= 0.0 ? -std::numeric_limits<double>::infinity()
                           : (std::log(iv.lo) - la_mean) / la_sd;
       z.hi = std::isinf(iv.hi) ? std::numeric_limits<double>::infinity()
@@ -67,26 +71,10 @@ struct ZKernel {
     return k;
   }
 
-  [[nodiscard]] bool in_region(double z2) const noexcept {
-    for (const ZInterval& iv : region) {
-      if (z2 >= iv.lo && z2 < iv.hi) return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] bool reveals(double z2, double z3) const noexcept {
-    return always_reveal || z3 > c0 + c1 * z2;
-  }
-
-  /// Exact P[reveal | z2] = Phi-bar(c0 + c1 z2): the t3 stage conditioned
-  /// on the t2 draw has a closed-form tail probability, so the
-  /// control-variate estimator can observe this SMOOTHED payoff
-  /// (conditional Monte Carlo) instead of the raw z3 Bernoulli --
-  /// removing the reveal-stage noise entirely, which is what lets the
-  /// t2-lock control explain nearly all of the remaining variance.
-  [[nodiscard]] double reveal_probability(double z2) const noexcept {
-    if (always_reveal) return 1.0;
-    return 0.5 * std::erfc((c0 + c1 * z2) * 0.7071067811865475244);
+  /// Plain-data view for the dispatchable evaluator; `smooth` selects the
+  /// conditionally-smoothed payoff lane.  The view borrows `region`.
+  [[nodiscard]] math::simd::ZKernelPod pod(bool smooth) const noexcept {
+    return {region.data(), region.size(), c0, c1, always_reveal, smooth};
   }
 };
 
@@ -101,68 +89,72 @@ struct VrPartial {
   }
 };
 
-/// Evaluates one (z2, z3) skeleton against the kernel.  The realized
-/// outcome always feeds the counters/outcomes map; the accumulator
-/// observation (y, x) is either the raw success indicator or, under the
-/// control-variate estimator, the conditionally-smoothed success
-/// probability (`smooth`) with the t2-lock indicator as control.
-inline void eval_sample(const ZKernel& k, double z2, double z3, bool smooth,
-                        VrPartial& out, double& y, double& x) {
-  out.mc.initiated.add(true);
-  const bool locked = k.in_region(z2);
-  x = locked ? 1.0 : 0.0;
-  if (!locked) {
-    out.mc.success.add(false);
-    out.mc.outcomes[proto::SwapOutcome::kBobDeclinedT2] += 1;
-    y = 0.0;
-    return;
+/// Folds one kernel pass's aggregate lock/reveal counts into the
+/// counters.  Every sample of the pass initiated; n - locked declined at
+/// t2, revealed succeeded, and the locked-but-unrevealed remainder
+/// declined at t3.  Outcome keys are only materialized when hit, matching
+/// the per-sample map behaviour the scalar loop had.
+void apply_counts(const math::simd::ZEvalCounts& c, std::size_t n,
+                  McEstimate& mc) {
+  mc.initiated.merge(math::BinomialCounter::from_counts(n, n));
+  mc.success.merge(math::BinomialCounter::from_counts(c.revealed, n));
+  const std::uint64_t declined_t2 = n - c.locked;
+  const std::uint64_t declined_t3 = c.locked - c.revealed;
+  if (declined_t2 > 0) {
+    mc.outcomes[proto::SwapOutcome::kBobDeclinedT2] += declined_t2;
   }
-  const bool ok = k.reveals(z2, z3);
-  out.mc.success.add(ok);
-  out.mc.outcomes[ok ? proto::SwapOutcome::kSuccess
-                     : proto::SwapOutcome::kAliceDeclinedT3] += 1;
-  y = smooth ? k.reveal_probability(z2) : (ok ? 1.0 : 0.0);
+  if (c.revealed > 0) {
+    mc.outcomes[proto::SwapOutcome::kSuccess] += c.revealed;
+  }
+  if (declined_t3 > 0) {
+    mc.outcomes[proto::SwapOutcome::kAliceDeclinedT3] += declined_t3;
+  }
 }
 
 void run_vr_chunk(const ZKernel& k, const McConfig& config,
                   const math::Xoshiro256& base_rng, std::size_t chunk,
                   std::size_t count, VrPartial& out) {
   math::Xoshiro256 rng = base_rng.stream(static_cast<unsigned>(chunk));
-  // SoA draw buffers, reused across the chunks a worker executes.
+  // SoA draw/observation buffers, reused across the chunks a worker
+  // executes.
   thread_local std::vector<double> z2_buf;
   thread_local std::vector<double> z3_buf;
+  thread_local std::vector<double> y1_buf;
+  thread_local std::vector<double> x1_buf;
   const std::size_t base_n = config.antithetic ? (count + 1) / 2 : count;
   z2_buf.resize(base_n);
   z3_buf.resize(base_n);
+  y1_buf.resize(base_n);
+  x1_buf.resize(base_n);
   math::fill_normal_inverse_cdf(rng, z2_buf.data(), base_n);
   math::fill_normal_inverse_cdf(rng, z3_buf.data(), base_n);
 
-  const bool smooth = config.control_variate;
+  const math::simd::ZKernelPod pod = k.pod(config.control_variate);
+  const math::simd::KernelTable& kt = math::simd::kernels();
+  apply_counts(kt.zkernel_eval(pod, z2_buf.data(), z3_buf.data(), 1.0,
+                               y1_buf.data(), x1_buf.data(), base_n),
+               base_n, out.mc);
   if (!config.antithetic) {
-    for (std::size_t i = 0; i < count; ++i) {
-      double y, x;
-      eval_sample(k, z2_buf[i], z3_buf[i], smooth, out, y, x);
-      out.acc.add(y, x);
-    }
+    out.acc.add_block(y1_buf.data(), x1_buf.data(), count);
     return;
   }
-  // Antithetic: replay each base draw mirrored; the PAIR AVERAGE is one
-  // accumulator observation.  A ragged final pair (odd count) degrades to
-  // a single unpaired observation -- still unbiased.
-  std::size_t produced = 0;
-  for (std::size_t j = 0; j < base_n; ++j) {
-    double y1, x1;
-    eval_sample(k, z2_buf[j], z3_buf[j], smooth, out, y1, x1);
-    ++produced;
-    if (produced < count) {
-      double y2, x2;
-      eval_sample(k, -z2_buf[j], -z3_buf[j], smooth, out, y2, x2);
-      ++produced;
-      out.acc.add(0.5 * (y1 + y2), 0.5 * (x1 + x2));
-    } else {
-      out.acc.add(y1, x1);
-    }
+  // Antithetic: a second, mirrored vector pass over the negated draws;
+  // the PAIR AVERAGE is one accumulator observation.  A ragged final pair
+  // (odd count) degrades to a single unpaired observation -- still
+  // unbiased.
+  thread_local std::vector<double> y2_buf;
+  thread_local std::vector<double> x2_buf;
+  const std::size_t mirrored = count - base_n;  // base_n or base_n - 1
+  y2_buf.resize(base_n);
+  x2_buf.resize(base_n);
+  apply_counts(kt.zkernel_eval(pod, z2_buf.data(), z3_buf.data(), -1.0,
+                               y2_buf.data(), x2_buf.data(), mirrored),
+               mirrored, out.mc);
+  for (std::size_t j = 0; j < mirrored; ++j) {
+    y1_buf[j] = 0.5 * (y1_buf[j] + y2_buf[j]);
+    x1_buf[j] = 0.5 * (x1_buf[j] + x2_buf[j]);
   }
+  out.acc.add_block(y1_buf.data(), x1_buf.data(), base_n);
 }
 
 /// Shared engine body: kernelizes (region, cutoff), fans chunks out over
@@ -249,17 +241,6 @@ VrEstimate detail::profile_mc_vr(const model::SwapParams& params,
   control_mean = std::min(1.0, std::max(0.0, control_mean));
   return run_batched(params, profile.bob_region, profile.alice_cutoff,
                      control_mean, /*initiated=*/true, config);
-}
-
-VrEstimate run_model_mc_vr(const model::SwapParams& params, double p_star,
-                           double collateral, const McConfig& config) {
-  return detail::model_mc_vr(params, p_star, collateral, config);
-}
-
-VrEstimate run_profile_mc_vr(const model::SwapParams& params,
-                             const model::ThresholdProfile& profile,
-                             const McConfig& config) {
-  return detail::profile_mc_vr(params, profile, config);
 }
 
 }  // namespace swapgame::sim

@@ -9,7 +9,10 @@
 //    (math::fill_normal_inverse_cdf), and the swap payoff reduces to two
 //    branch-light threshold checks in z-space (the per-sample GbmLaw
 //    construction is gone: both the t2 region and Alice's t3 cutoff are
-//    precomputed as linear thresholds on the standard normal draws);
+//    precomputed as linear thresholds on the standard normal draws); the
+//    fills, the threshold evaluation, and the Welford accumulation all run
+//    through the runtime-dispatched SIMD kernels (math/simd.hpp), bitwise
+//    identical to the scalar reference at every dispatch level;
 //  * ANTITHETIC pairing -- each base draw (z2, z3) is replayed as
 //    (-z2, -z3); pair AVERAGES enter the accumulator so the i.i.d. CI is
 //    honest despite within-pair dependence;
@@ -29,8 +32,8 @@
 //    estimator's half-width hits McConfig::target_half_width, preserving
 //    the bit-identical-across-thread-counts contract (mc_driver.hpp).
 //
-// run_model_mc / run_profile_mc (monte_carlo.hpp) are thin wrappers over
-// this engine with the variance-reduction flags off.
+// The public entry point is sim::McRunner (mc_runner.hpp); the engines
+// here live in sim::detail and are not called directly.
 #pragma once
 
 #include <cstddef>
@@ -66,26 +69,5 @@ struct VrEstimate {
   /// the adjusted/pair-averaged observations).
   [[nodiscard]] double half_width() const;
 };
-
-/// Variance-reduced batched counterpart of run_model_mc: rational
-/// thresholds of the (collateralized) game on sampled GBM skeletons.
-/// Respects every McConfig field including antithetic / control_variate /
-/// target_half_width; bit-identical across thread counts.
-///
-/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kModel;
-/// this wrapper is removed next cycle (CHANGES.md).
-[[deprecated("use sim::McRunner (McEvaluator::kModel)")]] [[nodiscard]]
-VrEstimate run_model_mc_vr(const model::SwapParams& params, double p_star,
-                           double collateral, const McConfig& config);
-
-/// Variance-reduced batched counterpart of run_profile_mc: an arbitrary
-/// threshold profile played on sampled skeletons.
-///
-/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kProfile;
-/// this wrapper is removed next cycle (CHANGES.md).
-[[deprecated("use sim::McRunner (McEvaluator::kProfile)")]] [[nodiscard]]
-VrEstimate run_profile_mc_vr(const model::SwapParams& params,
-                             const model::ThresholdProfile& profile,
-                             const McConfig& config);
 
 }  // namespace swapgame::sim

@@ -1,10 +1,9 @@
-// Internal, non-deprecated entry points of the Monte-Carlo engines.
+// Internal entry points of the Monte-Carlo engines.
 //
-// The public free functions in monte_carlo.hpp / estimators.hpp are
-// deprecated thin wrappers over these (one-cycle removal; see CHANGES.md);
-// sim::McRunner and the engine evaluators call the detail functions
-// directly so the supported surface stays warning-free.  Like
-// mc_driver.hpp, this header is internal: include mc_runner.hpp instead.
+// sim::McRunner and the engine evaluators call these directly; the
+// deprecated free-function wrappers that used to sit on top were removed
+// (see CHANGES.md).  Like mc_driver.hpp, this header is internal: include
+// mc_runner.hpp instead.
 #pragma once
 
 #include "estimators.hpp"

@@ -48,8 +48,8 @@ proto::SwapSetup McRunSpec::to_setup() const {
   return setup;
 }
 
-StrategyFactory McRunSpec::make_strategy() const {
-  switch (strategy) {
+StrategyFactory McRunSpec::make_strategy(McStrategy family) const {
+  switch (family) {
     case McStrategy::kRational:
       return rational_factory(params, p_star, collateral);
     case McStrategy::kHonest:
@@ -58,6 +58,10 @@ StrategyFactory McRunSpec::make_strategy() const {
       return premium_rational_factory(params, p_star, premium);
   }
   throw std::invalid_argument("McRunSpec: unknown strategy");
+}
+
+StrategyFactory McRunSpec::make_strategy() const {
+  return make_strategy(strategy);
 }
 
 McRunResult McRunner::run(const McRunSpec& spec) {
@@ -72,9 +76,14 @@ McRunResult McRunner::run(const McRunSpec& spec) {
                                         spec.config);
       break;
     case McEvaluator::kProtocol: {
-      const StrategyFactory factory = spec.make_strategy();
+      const McStrategy bob_family = spec.bob_strategy.value_or(spec.strategy);
+      const StrategyFactory alice = spec.make_strategy(spec.strategy);
+      // Share the factory (and its one-time game solve) when both sides
+      // play the same family.
+      const StrategyFactory bob =
+          bob_family == spec.strategy ? alice : spec.make_strategy(bob_family);
       result.estimate =
-          detail::protocol_mc(spec.to_setup(), factory, factory, spec.config);
+          detail::protocol_mc(spec.to_setup(), alice, bob, spec.config);
       result.sr = result.estimate.conditional_success_rate();
       result.samples = result.estimate.success.trials();
       return result;

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "estimators.hpp"
 #include "monte_carlo.hpp"
@@ -61,6 +62,12 @@ struct McRunSpec {
 
   // --- protocol substrate (mirrors proto::SwapSetup) --------------------
   McStrategy strategy = McStrategy::kRational;
+  /// Bob's strategy family when it differs from Alice's (kProtocol only):
+  /// nullopt inherits `strategy` for both sides, which is bitwise
+  /// equivalent to the historical symmetric pairing.  Mixed pairings (e.g.
+  /// honest Alice vs rational Bob) previously required the removed
+  /// run_protocol_mc free function with two hand-built factories.
+  std::optional<McStrategy> bob_strategy;
   double alice_extra_token_a = 0.0;
   double bob_extra_token_a = 0.0;
   std::uint64_t secret_seed = 0x5ECE7;
@@ -76,7 +83,9 @@ struct McRunSpec {
 
   /// The proto::SwapSetup this spec describes (kProtocol evaluator).
   [[nodiscard]] proto::SwapSetup to_setup() const;
-  /// The strategy factory `strategy` names, solved for this spec's game.
+  /// The strategy factory `family` names, solved for this spec's game.
+  [[nodiscard]] StrategyFactory make_strategy(McStrategy family) const;
+  /// Alice's factory (the `strategy` field).
   [[nodiscard]] StrategyFactory make_strategy() const;
 };
 

@@ -154,25 +154,4 @@ McEstimate detail::protocol_mc(const proto::SwapSetup& setup,
   return merged;
 }
 
-McEstimate run_protocol_mc(const proto::SwapSetup& setup,
-                           const StrategyFactory& alice,
-                           const StrategyFactory& bob,
-                           const McConfig& config) {
-  return detail::protocol_mc(setup, alice, bob, config);
-}
-
-McEstimate run_model_mc(const model::SwapParams& params, double p_star,
-                        double collateral, const McConfig& config) {
-  // Thin wrapper over the batched engine (estimators.cpp); the VR flags in
-  // `config` are honored, callers that want the richer estimate (CI of the
-  // adjusted mean, samples-to-target) use McRunner / detail::model_mc_vr.
-  return detail::model_mc_vr(params, p_star, collateral, config).mc;
-}
-
-McEstimate run_profile_mc(const model::SwapParams& params,
-                          const model::ThresholdProfile& profile,
-                          const McConfig& config) {
-  return detail::profile_mc_vr(params, profile, config).mc;
-}
-
 }  // namespace swapgame::sim

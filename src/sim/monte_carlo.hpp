@@ -1,14 +1,16 @@
-// Monte-Carlo estimation of swap outcomes.
+// Monte-Carlo estimation of swap outcomes: shared configuration, counters
+// and strategy factories for the two estimator families behind
+// sim::McRunner (mc_runner.hpp), which is the public entry point.
 //
 // Two estimators with very different trust bases:
-//  * run_model_mc   -- samples (P_t2, P_t3) from the GBM skeleton and plays
-//    the *model's* threshold strategies directly.  Fast; validates the
-//    success-rate integrals (Eq. 31 / Eq. 40) by simulation.
-//  * run_protocol_mc -- executes the *full protocol* on the two-ledger
-//    substrate for every sample: HTLC deploys, mempool secret leaks,
-//    claims, auto-refunds and oracle settlements all really happen.  Slow;
-//    validates that the protocol implementation realizes the model (bench
-//    X1, the paper's proposed follow-up simulation study).
+//  * McEvaluator::kModel / kProfile -- sample (P_t2, P_t3) from the GBM
+//    skeleton and play the threshold strategies directly.  Fast; validate
+//    the success-rate integrals (Eq. 31 / Eq. 40) by simulation.
+//  * McEvaluator::kProtocol -- executes the *full protocol* on the
+//    two-ledger substrate for every sample: HTLC deploys, mempool secret
+//    leaks, claims, auto-refunds and oracle settlements all really happen.
+//    Slow; validates that the protocol implementation realizes the model
+//    (bench X1, the paper's proposed follow-up simulation study).
 //
 // Both partition samples into FIXED-size chunks with per-chunk RNG streams
 // (xoshiro long jumps keyed by the chunk index, never by the runtime worker
@@ -122,37 +124,5 @@ using StrategyFactory = std::function<std::unique_ptr<agents::Strategy>(
 
 /// Convenience factory: the always-cont honest strategy.
 [[nodiscard]] StrategyFactory honest_factory();
-
-/// Full-protocol Monte Carlo: every sample runs the HTLC protocol on fresh
-/// simulated ledgers over a sampled GBM path.
-///
-/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with
-/// McEvaluator::kProtocol; this wrapper is removed next cycle (CHANGES.md).
-[[deprecated("use sim::McRunner (McEvaluator::kProtocol)")]] [[nodiscard]]
-McEstimate run_protocol_mc(const proto::SwapSetup& setup,
-                           const StrategyFactory& alice,
-                           const StrategyFactory& bob, const McConfig& config);
-
-/// Model-level Monte Carlo: samples the (P_t2, P_t3) skeleton and applies
-/// the rational thresholds analytically (no ledgers).  ~1000x faster.
-/// Estimates the success rate conditional on initiation.
-///
-/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kModel;
-/// this wrapper is removed next cycle (CHANGES.md).
-[[deprecated("use sim::McRunner (McEvaluator::kModel)")]] [[nodiscard]]
-McEstimate run_model_mc(const model::SwapParams& params, double p_star,
-                        double collateral, const McConfig& config);
-
-/// Model-level Monte Carlo for an ARBITRARY threshold profile (see
-/// model/strategy_value.hpp): plays `profile` on sampled price skeletons
-/// and estimates its success rate -- the simulation counterpart of
-/// StrategyEvaluator::success_rate, used for differential validation.
-///
-/// DEPRECATED: use sim::McRunner (mc_runner.hpp) with McEvaluator::kProfile;
-/// this wrapper is removed next cycle (CHANGES.md).
-[[deprecated("use sim::McRunner (McEvaluator::kProfile)")]] [[nodiscard]]
-McEstimate run_profile_mc(const model::SwapParams& params,
-                          const model::ThresholdProfile& profile,
-                          const McConfig& config);
 
 }  // namespace swapgame::sim

@@ -75,16 +75,6 @@ ScenarioResult detail::scenario_cell(const ScenarioPoint& point,
   return result;
 }
 
-std::vector<ScenarioResult> run_scenarios(
-    const std::vector<ScenarioPoint>& points, const McConfig& config) {
-  std::vector<ScenarioResult> results;
-  results.reserve(points.size());
-  for (const ScenarioPoint& point : points) {
-    results.push_back(detail::scenario_cell(point, config));
-  }
-  return results;
-}
-
 CsvTable::CsvTable(std::vector<std::string> columns)
     : columns_(std::move(columns)) {
   if (columns_.empty()) {

@@ -52,17 +52,6 @@ struct ScenarioResult {
   std::uint64_t samples = 0;
 };
 
-/// Runs every cell: analytic SR from the matching game solver, empirical SR
-/// and utilities from the protocol MC with the matching rational strategy.
-///
-/// DEPRECATED: use engine::run_scenarios (engine/scenario_batch.hpp), which
-/// runs the same cells through the BatchEngine (parallel across cells, cache
-/// + checkpoint aware); this serial wrapper is removed next cycle
-/// (CHANGES.md).
-[[deprecated("use engine::run_scenarios (engine/scenario_batch.hpp)")]]
-[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
-    const std::vector<ScenarioPoint>& points, const McConfig& config);
-
 /// A tiny CSV accumulator for sweep output (header + rows, rendered with
 /// to_string()); keeps benches/examples free of formatting noise.
 class CsvTable {

@@ -22,8 +22,8 @@
 // Headers below this surface (chain internals, math primitives, solver
 // caches) remain includable individually but carry no stability promise;
 // new code should start here.  The historical sim free functions
-// (run_model_mc & co.) are deprecated in favor of sim::McRunner and are
-// NOT exported here -- see CHANGES.md for the removal schedule.
+// (run_model_mc & co.) were removed in favor of sim::McRunner -- see
+// CHANGES.md and the README migration note.
 #pragma once
 
 // Analytic layer.

@@ -9,7 +9,11 @@
 //  * the inverse-CDF draw is monotone in the underlying uniform and
 //    antisymmetric under u -> 1-u -- the properties common random numbers
 //    and antithetic pairing rely on;
-//  * the block RNG fills are bit-identical to sequential scalar draws;
+//  * the block RNG fills realize the lane-interleaved contract (rng.hpp):
+//    position q*8+j is the q-th draw of the j-times-jumped lane stream;
+//  * every SIMD dispatch level is bitwise identical to the scalar
+//    reference -- buffer fills, accumulator blocks, and the full
+//    VrEstimate across estimator configs and thread counts;
 //  * ControlVariateAccumulator::merge is exact (streamed == merged halves).
 #include <gtest/gtest.h>
 
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "math/rng.hpp"
+#include "math/simd.hpp"
 #include "math/special.hpp"
 #include "math/stats.hpp"
 #include "model/basic_game.hpp"
@@ -101,23 +106,16 @@ TEST(VrEstimators, AllConfigurationsMatchAnalyticWithinCi) {
   }
 }
 
-TEST(VrEstimators, PlainEngineBacksRunModelMc) {
-  // Deliberate legacy-equivalence check: run_model_mc is a thin (now
-  // deprecated, see CHANGES.md) wrapper over the VR engine with the flags
-  // off: counters must agree exactly, and the plain accumulator mean must
-  // equal the realized conditional success rate.
+TEST(VrEstimators, PlainAccumulatorMeanMatchesCounters) {
+  // With the VR flags off, the accumulator observes the raw success
+  // indicator, so its Welford mean must equal the counters' realized
+  // conditional success rate.  Same quantity through two summation orders:
+  // tight tolerance rather than bitwise.
   const model::SwapParams params = defaults();
   const McConfig cfg = base_config();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const McEstimate scalar = run_model_mc(params, kPStar, 0.0, cfg);
-#pragma GCC diagnostic pop
   const VrEstimate vr = model_vr(params, kPStar, cfg);
-  EXPECT_EQ(scalar.success.trials(), vr.mc.success.trials());
-  EXPECT_EQ(scalar.success.successes(), vr.mc.success.successes());
-  EXPECT_EQ(scalar.initiated.successes(), vr.mc.initiated.successes());
-  // Streamed Welford mean vs. the counters' ratio: same quantity through
-  // two summation orders, so tight tolerance rather than bitwise.
+  EXPECT_EQ(vr.mc.success.trials(), cfg.samples);
+  EXPECT_EQ(vr.mc.initiated.successes(), cfg.samples);
   EXPECT_NEAR(vr.acc.mean_y(), vr.mc.conditional_success_rate(), 1e-12);
 }
 
@@ -275,17 +273,151 @@ TEST(RngPrimitives, NormalQuantileMonotoneAndAntisymmetric) {
   }
 }
 
-TEST(RngPrimitives, BlockFillsMatchSequentialScalarDraws) {
-  constexpr std::size_t kN = 4096;
-  math::Xoshiro256 a(99), b(99);
-  std::vector<double> block(kN);
-  math::fill_normal_inverse_cdf(a, block.data(), kN);
-  for (std::size_t i = 0; i < kN; ++i) {
-    EXPECT_EQ(block[i], math::normal_inverse_cdf_draw(b)) << i;  // bitwise
+TEST(RngPrimitives, BlockFillsRealizeTheLaneInterleavedContract) {
+  // out[q*8 + j] is the q-th draw of lane j, where lane j is the caller's
+  // generator advanced by j jump()s -- verified against hand-built scalar
+  // lane streams, including a ragged tail.
+  constexpr std::size_t kN = 4097;
+  math::Xoshiro256 rng(99);
+  std::vector<math::Xoshiro256> lanes(math::kFillLanes, rng);
+  for (std::size_t j = 0; j < math::kFillLanes; ++j) {
+    for (std::size_t k = 0; k < j; ++k) lanes[j].jump();
   }
-  // And the uniform fill consumes exactly one RNG word per deviate, so the
-  // two generators are in the same state afterwards.
-  EXPECT_EQ(a(), b());
+  std::vector<double> block(kN);
+  math::fill_normal_inverse_cdf(rng, block.data(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(block[i], math::normal_inverse_cdf_draw(lanes[i % 8])) << i;
+  }
+  // End-state contract: the caller's generator continues as lane 0
+  // advanced ceil(n / 8) steps (the tail group steps every lane).
+  math::Xoshiro256 lane0(99);
+  for (std::size_t q = 0; q < (kN + 7) / 8; ++q) (void)lane0();
+  EXPECT_EQ(rng(), lane0());
+}
+
+TEST(RngPrimitives, BlockFillsArePrefixStable) {
+  // Splitting a fill at any multiple of the lane width produces the same
+  // stream as one big fill -- the property that makes the antithetic
+  // base_n sub-fills reproducible.
+  constexpr std::size_t kN = 1024;
+  constexpr std::size_t kSplit = 512;  // multiple of kFillLanes
+  math::Xoshiro256 whole_rng(7), split_rng(7);
+  std::vector<double> whole(kN), split(kN);
+  math::fill_uniform01(whole_rng, whole.data(), kN);
+  math::fill_uniform01(split_rng, split.data(), kSplit);
+  math::fill_uniform01(split_rng, split.data() + kSplit, kN - kSplit);
+  EXPECT_EQ(whole, split);
+}
+
+// --- scalar vs SIMD bitwise equality --------------------------------------
+
+std::vector<math::simd::SimdLevel> supported_levels() {
+  std::vector<math::simd::SimdLevel> levels;
+  for (const math::simd::SimdLevel level :
+       {math::simd::SimdLevel::kScalar, math::simd::SimdLevel::kAvx2,
+        math::simd::SimdLevel::kAvx512}) {
+    if (math::simd::level_supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+TEST(SimdBitwise, BufferFillsIdenticalAtEveryDispatchLevel) {
+  const math::simd::KernelTable* scalar =
+      math::simd::kernels(math::simd::SimdLevel::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                              std::size_t{1000}, std::size_t{4097}}) {
+    math::Xoshiro256 ref_rng(31);
+    std::vector<double> ref_u(n), ref_z(n);
+    scalar->fill_uniform01(ref_rng, ref_u.data(), n);
+    const std::uint64_t ref_next = ref_rng();  // end-state probe
+    ref_z = ref_u;
+    scalar->normal_quantile_transform(ref_z.data(), n);
+    for (const math::simd::SimdLevel level : supported_levels()) {
+      const math::simd::KernelTable* kt = math::simd::kernels(level);
+      ASSERT_NE(kt, nullptr);
+      math::Xoshiro256 rng(31);
+      std::vector<double> u(n);
+      kt->fill_uniform01(rng, u.data(), n);
+      EXPECT_EQ(u, ref_u) << to_string(level) << " n=" << n;
+      // Identical end state too, not just identical outputs.
+      EXPECT_EQ(rng(), ref_next) << to_string(level) << " n=" << n;
+      std::vector<double> z = ref_u;
+      kt->normal_quantile_transform(z.data(), n);
+      EXPECT_EQ(z, ref_z) << to_string(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdBitwise, FullVrEstimateIdenticalAtEveryDispatchLevel) {
+  // The whole engine -- fills, z-kernel evaluation, Welford blocks,
+  // adaptive stopping -- must be bitwise reproducible at every dispatch
+  // level and thread count.  EXPECT_EQ on doubles throughout: this is the
+  // determinism contract SWAPGAME_SIMD=off relies on.
+  const model::SwapParams params = defaults();
+  struct Snapshot {
+    VrEstimate est;
+    const char* name;
+    bool adaptive;
+    unsigned threads;
+  };
+  std::vector<Snapshot> reference;
+  ASSERT_TRUE(math::simd::force_level(math::simd::SimdLevel::kScalar));
+  for (const EstimatorCase& c : kCases) {
+    for (const bool adaptive : {false, true}) {
+      for (const unsigned threads : {1u, 8u}) {
+        McConfig cfg = base_config();
+        cfg.samples = adaptive ? (1u << 18) : (1u << 14);
+        cfg.antithetic = c.antithetic;
+        cfg.control_variate = c.control_variate;
+        cfg.threads = threads;
+        if (adaptive) {
+          cfg.target_half_width = c.control_variate ? 0.004 : 0.02;
+        }
+        reference.push_back(
+            {model_vr(params, kPStar, cfg), c.name, adaptive, threads});
+      }
+    }
+  }
+  for (const math::simd::SimdLevel level : supported_levels()) {
+    ASSERT_TRUE(math::simd::force_level(level));
+    std::size_t i = 0;
+    for (const EstimatorCase& c : kCases) {
+      for (const bool adaptive : {false, true}) {
+        for (const unsigned threads : {1u, 8u}) {
+          McConfig cfg = base_config();
+          cfg.samples = adaptive ? (1u << 18) : (1u << 14);
+          cfg.antithetic = c.antithetic;
+          cfg.control_variate = c.control_variate;
+          cfg.threads = threads;
+          if (adaptive) {
+            cfg.target_half_width = c.control_variate ? 0.004 : 0.02;
+          }
+          const VrEstimate got = model_vr(params, kPStar, cfg);
+          const Snapshot& want = reference[i++];
+          const std::string tag = std::string(to_string(level)) + " " +
+                                  want.name +
+                                  " adaptive=" + (adaptive ? "1" : "0") +
+                                  " threads=" + std::to_string(threads);
+          EXPECT_EQ(got.samples, want.est.samples) << tag;
+          EXPECT_EQ(got.rounds, want.est.rounds) << tag;
+          EXPECT_EQ(got.mc.success.successes(),
+                    want.est.mc.success.successes()) << tag;
+          EXPECT_EQ(got.mc.success.trials(), want.est.mc.success.trials())
+              << tag;
+          EXPECT_EQ(got.mc.initiated.successes(),
+                    want.est.mc.initiated.successes()) << tag;
+          EXPECT_EQ(got.mc.outcomes, want.est.mc.outcomes) << tag;
+          EXPECT_EQ(got.acc.count(), want.est.acc.count()) << tag;
+          EXPECT_EQ(got.acc.mean_y(), want.est.acc.mean_y()) << tag;
+          EXPECT_EQ(got.acc.mean_x(), want.est.acc.mean_x()) << tag;
+          EXPECT_EQ(got.success_rate(), want.est.success_rate()) << tag;
+          EXPECT_EQ(got.half_width(), want.est.half_width()) << tag;
+        }
+      }
+    }
+  }
+  math::simd::reset_level();
 }
 
 // --- control-variate machinery -------------------------------------------
@@ -310,6 +442,49 @@ TEST(ControlVariate, MergeMatchesStreamedAccumulation) {
   EXPECT_NEAR(streamed.variance_y(), lo.variance_y(), 1e-12);
   EXPECT_NEAR(streamed.beta(), lo.beta(), 1e-12);
   EXPECT_NEAR(streamed.adjusted_mean(0.0), lo.adjusted_mean(0.0), 1e-12);
+}
+
+TEST(ControlVariate, AddBlockIsBitwiseIdenticalAcrossDispatchLevels) {
+  // add_block is defined by the fixed 8-lane Welford decomposition, so its
+  // result is the same at every dispatch level AND for any split of the
+  // same stream into blocks at multiples of 8.
+  constexpr std::size_t kN = 1013;  // ragged tail
+  math::Xoshiro256 rng(17);
+  std::vector<double> ys(kN), xs(kN);
+  math::fill_normal_inverse_cdf(rng, ys.data(), kN);
+  math::fill_normal_inverse_cdf(rng, xs.data(), kN);
+  math::ControlVariateAccumulator ref;
+  ASSERT_TRUE(math::simd::force_level(math::simd::SimdLevel::kScalar));
+  ref.add_block(ys.data(), xs.data(), kN);
+  for (const math::simd::SimdLevel level : supported_levels()) {
+    ASSERT_TRUE(math::simd::force_level(level));
+    math::ControlVariateAccumulator acc;
+    acc.add_block(ys.data(), xs.data(), kN);
+    EXPECT_EQ(acc.count(), ref.count()) << to_string(level);
+    EXPECT_EQ(acc.mean_y(), ref.mean_y()) << to_string(level);
+    EXPECT_EQ(acc.mean_x(), ref.mean_x()) << to_string(level);
+    EXPECT_EQ(acc.variance_y(), ref.variance_y()) << to_string(level);
+    EXPECT_EQ(acc.beta(), ref.beta()) << to_string(level);
+  }
+  math::simd::reset_level();
+}
+
+TEST(ControlVariate, AddBlockAgreesWithStreamedAddStatistically) {
+  // Different summation order than per-sample add(), so the moments agree
+  // to rounding, not bitwise.
+  constexpr std::size_t kN = 777;
+  math::Xoshiro256 rng(18);
+  std::vector<double> ys(kN), xs(kN);
+  math::fill_normal_inverse_cdf(rng, ys.data(), kN);
+  math::fill_normal_inverse_cdf(rng, xs.data(), kN);
+  math::ControlVariateAccumulator streamed, blocked;
+  for (std::size_t i = 0; i < kN; ++i) streamed.add(ys[i], xs[i]);
+  blocked.add_block(ys.data(), xs.data(), kN);
+  EXPECT_EQ(streamed.count(), blocked.count());
+  EXPECT_NEAR(streamed.mean_y(), blocked.mean_y(), 1e-12);
+  EXPECT_NEAR(streamed.mean_x(), blocked.mean_x(), 1e-12);
+  EXPECT_NEAR(streamed.variance_y(), blocked.variance_y(), 1e-10);
+  EXPECT_NEAR(streamed.beta(), blocked.beta(), 1e-10);
 }
 
 TEST(ControlVariate, AdjustedEstimatorRemovesCorrelatedNoise) {

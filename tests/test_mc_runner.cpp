@@ -1,8 +1,6 @@
 // Tests for the unified Monte-Carlo entry point (src/sim/mc_runner): the
 // spec -> SwapSetup mirror, the per-evaluator result-envelope contract,
-// the strategy families, and the remaining deprecated-wrapper equivalence
-// (run_profile_mc; the model/protocol/VR wrappers are covered in
-// test_monte_carlo and test_estimators).
+// the strategy families, and the per-side bob_strategy pairing.
 #include "sim/mc_runner.hpp"
 
 #include <gtest/gtest.h>
@@ -119,30 +117,25 @@ TEST(McRunner, StrategyFamiliesDiverge) {
   EXPECT_GE(p.sr, r.sr - 0.05);  // the escrow cannot make things much worse
 }
 
-TEST(McRunner, DeprecatedProfileWrapperMatchesRunnerBitwise) {
-  model::ThresholdProfile profile;
-  profile.alice_cutoff = 1.4;
-  profile.bob_region = math::IntervalSet({{0.4, 2.6}});
-  McConfig cfg;
-  cfg.samples = 8000;
-  cfg.seed = 29;
-
-  McRunSpec spec;
-  spec.evaluator = McEvaluator::kProfile;
-  spec.params = defaults();
-  spec.profile = profile;
-  spec.config = cfg;
-  const McEstimate via_runner = McRunner::run(spec).estimate;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const McEstimate legacy = run_profile_mc(defaults(), profile, cfg);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(legacy.success.successes(), via_runner.success.successes());
-  EXPECT_EQ(legacy.success.trials(), via_runner.success.trials());
-  EXPECT_EQ(legacy.initiated.successes(), via_runner.initiated.successes());
-  EXPECT_EQ(legacy.alice_utility.mean(), via_runner.alice_utility.mean());
-  EXPECT_EQ(legacy.bob_utility.variance(), via_runner.bob_utility.variance());
-  EXPECT_EQ(legacy.outcomes, via_runner.outcomes);
+TEST(McRunner, MixedBobStrategyDivergesFromSymmetricPairing) {
+  // A rational Bob against an honest Alice is a different game than the
+  // symmetric honest pairing -- the per-side field must actually reach the
+  // protocol engine.
+  McRunSpec honest;
+  honest.evaluator = McEvaluator::kProtocol;
+  honest.params = defaults();
+  honest.p_star = 2.0;
+  honest.strategy = McStrategy::kHonest;
+  honest.config.samples = 1200;
+  honest.config.seed = 29;
+  McRunSpec mixed = honest;
+  mixed.bob_strategy = McStrategy::kRational;
+  const McRunResult h = McRunner::run(honest);
+  const McRunResult m = McRunner::run(mixed);
+  EXPECT_NE(h.estimate.outcomes, m.estimate.outcomes);
+  // Bob's rational abandonment can only cost Alice relative to an honest
+  // counterparty on the same sample paths.
+  EXPECT_LE(m.sr, h.sr);
 }
 
 TEST(McRunner, RunnerIsBitIdenticalAcrossThreadCounts) {

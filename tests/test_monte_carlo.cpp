@@ -169,22 +169,19 @@ TEST(ProtocolMc, CollateralRaisesEmpiricalSuccessRate) {
 TEST(ProtocolMc, HonestAliceAgainstRationalBobFaresWorse) {
   // The optionality asymmetry: an honest Alice (reveals even after adverse
   // moves) hands Bob the upside; her realized utility is lower than the
-  // rational Alice's.  The mixed pairing needs per-side factories, which
-  // only the deprecated overload offers -- a deliberate legacy caller
-  // until its removal cycle (CHANGES.md).
-  proto::SwapSetup setup;
-  setup.params = defaults();
-  setup.p_star = 2.0;
+  // rational Alice's.  The mixed pairing uses McRunSpec::bob_strategy.
   McConfig cfg;
   cfg.samples = 2000;
   cfg.seed = 31;
   const McEstimate rational = protocol_mc(0.0, McStrategy::kRational, cfg);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const McEstimate honest =
-      run_protocol_mc(setup, honest_factory(),
-                      rational_factory(defaults(), 2.0), cfg);
-#pragma GCC diagnostic pop
+  McRunSpec spec;
+  spec.evaluator = McEvaluator::kProtocol;
+  spec.params = defaults();
+  spec.p_star = 2.0;
+  spec.strategy = McStrategy::kHonest;
+  spec.bob_strategy = McStrategy::kRational;
+  spec.config = cfg;
+  const McEstimate honest = McRunner::run(spec).estimate;
   EXPECT_LT(honest.alice_utility.mean(), rational.alice_utility.mean());
   // But the swap succeeds more often with an honest Alice.
   EXPECT_GT(honest.conditional_success_rate(),
@@ -203,38 +200,27 @@ TEST(ProtocolMc, AllOutcomesAccounted) {
   EXPECT_EQ(est.outcomes.count(proto::SwapOutcome::kBobMissedT4), 0u);
 }
 
-// Deliberate legacy-equivalence check: the deprecated free functions must
-// keep returning exactly what McRunner returns for the same spec until
-// their scheduled removal (CHANGES.md).
-TEST(McRunnerMigration, DeprecatedWrappersMatchRunnerBitwise) {
+// An explicit bob_strategy equal to Alice's family must be bitwise
+// indistinguishable from leaving it unset (the inherit default).
+TEST(McRunnerMigration, ExplicitSameBobStrategyMatchesInheritBitwise) {
   McConfig cfg;
-  cfg.samples = 4000;
+  cfg.samples = 1000;
   cfg.seed = 51;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const McEstimate legacy_model = run_model_mc(defaults(), 2.0, 0.0, cfg);
-  proto::SwapSetup setup;
-  setup.params = defaults();
-  setup.p_star = 2.0;
-  const McEstimate legacy_proto =
-      run_protocol_mc(setup, rational_factory(defaults(), 2.0),
-                      rational_factory(defaults(), 2.0), cfg);
-#pragma GCC diagnostic pop
-  const McEstimate via_runner_model = model_mc(2.0, 0.0, cfg);
-  const McEstimate via_runner_proto =
-      protocol_mc(0.0, McStrategy::kRational, cfg);
-  EXPECT_EQ(legacy_model.success.successes(),
-            via_runner_model.success.successes());
-  EXPECT_EQ(legacy_model.success.trials(), via_runner_model.success.trials());
-  EXPECT_EQ(legacy_model.alice_utility.mean(),
-            via_runner_model.alice_utility.mean());
-  EXPECT_EQ(legacy_proto.success.successes(),
-            via_runner_proto.success.successes());
-  EXPECT_EQ(legacy_proto.outcomes, via_runner_proto.outcomes);
-  EXPECT_EQ(legacy_proto.alice_utility.mean(),
-            via_runner_proto.alice_utility.mean());
-  EXPECT_EQ(legacy_proto.bob_utility.variance(),
-            via_runner_proto.bob_utility.variance());
+  McRunSpec inherit;
+  inherit.evaluator = McEvaluator::kProtocol;
+  inherit.params = defaults();
+  inherit.p_star = 2.0;
+  inherit.strategy = McStrategy::kRational;
+  inherit.config = cfg;
+  McRunSpec explicit_same = inherit;
+  explicit_same.bob_strategy = McStrategy::kRational;
+  const McEstimate a = McRunner::run(inherit).estimate;
+  const McEstimate b = McRunner::run(explicit_same).estimate;
+  EXPECT_EQ(a.success.successes(), b.success.successes());
+  EXPECT_EQ(a.success.trials(), b.success.trials());
+  EXPECT_EQ(a.outcomes, b.outcomes);
+  EXPECT_EQ(a.alice_utility.mean(), b.alice_utility.mean());
+  EXPECT_EQ(a.bob_utility.variance(), b.bob_utility.variance());
 }
 
 }  // namespace

@@ -77,35 +77,6 @@ TEST(RunScenarios, NonViableCellReportsNotInitiated) {
   EXPECT_TRUE(std::isnan(results[0].protocol_sr));
 }
 
-// Deliberate legacy-equivalence check: the deprecated sim::run_scenarios
-// wrapper must keep producing exactly what the engine path produces until
-// its scheduled removal (see CHANGES.md).
-TEST(RunScenarios, DeprecatedWrapperMatchesEnginePath) {
-  const std::vector<ScenarioPoint> points = {
-      {"plain", defaults(), 2.0, Mechanism::kNone, 0.0},
-      {"premium", defaults(), 2.0, Mechanism::kPremium, 0.75},
-  };
-  McConfig cfg;
-  cfg.samples = 300;
-  cfg.seed = 80;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = run_scenarios(points, cfg);
-#pragma GCC diagnostic pop
-  const auto engine_results = engine::run_scenarios(points, cfg);
-  ASSERT_EQ(legacy.size(), engine_results.size());
-  for (std::size_t i = 0; i < legacy.size(); ++i) {
-    EXPECT_EQ(legacy[i].analytic_sr, engine_results[i].analytic_sr);
-    EXPECT_EQ(legacy[i].protocol_sr, engine_results[i].protocol_sr);
-    EXPECT_EQ(legacy[i].protocol_sr_ci_lo, engine_results[i].protocol_sr_ci_lo);
-    EXPECT_EQ(legacy[i].protocol_sr_ci_hi, engine_results[i].protocol_sr_ci_hi);
-    EXPECT_EQ(legacy[i].alice_utility, engine_results[i].alice_utility);
-    EXPECT_EQ(legacy[i].bob_utility, engine_results[i].bob_utility);
-    EXPECT_EQ(legacy[i].initiated, engine_results[i].initiated);
-    EXPECT_EQ(legacy[i].samples, engine_results[i].samples);
-  }
-}
-
 TEST(CsvTable, RendersHeaderAndRows) {
   CsvTable table({"a", "b"});
   table.add_row({"1", "2"});

@@ -1,9 +1,13 @@
-// Unit tests for the standard normal primitives (src/math/special).
+// Unit tests for the standard normal primitives (src/math/special) and
+// the SIMD quantile kernel's accuracy/bitwise contracts (src/math/simd).
 #include "math/special.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
+
+#include "math/simd.hpp"
 
 namespace swapgame::math {
 namespace {
@@ -74,6 +78,95 @@ TEST(NormalQuantile, AntisymmetricAroundHalf) {
   for (double p : {0.01, 0.1, 0.25, 0.4}) {
     EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-12);
   }
+}
+
+TEST(NormalQuantile, StrictlyMonotoneOverAFineGrid) {
+  // Monotonicity is what common random numbers and antithetic pairing
+  // lean on; sweep a fine grid crossing both Acklam branch boundaries.
+  double prev = -std::numeric_limits<double>::infinity();
+  for (int i = 1; i < 200000; ++i) {
+    const double p = static_cast<double>(i) / 200000.0;
+    const double z = normal_quantile(p);
+    ASSERT_GT(z, prev) << "p=" << p;
+    prev = z;
+  }
+}
+
+TEST(NormalQuantile, TailAccuracyAgainstHighPrecisionReferences) {
+  // Reference values computed with mpmath (50 digits); the refined Acklam
+  // kernel must be well inside |rel err| < 1e-9 even at p = 1e-15.
+  const struct {
+    double p;
+    double z;
+  } refs[] = {
+      {1e-15, -7.941345326170996781},
+      {1e-12, -7.0344838253011319298},
+      {1e-9, -5.9978070150076868716},
+      {1e-6, -4.7534243088228989482},
+      {0.02425, -1.9729610513118848503},  // Acklam p_low boundary
+      {0.25, -0.6744897501960817432},
+      {0.975, 1.9599639845400542355},
+      // Upper-tail references are for the EXACT double inputs (1.0 - 1e-k
+      // is not representable with complement exactly 1e-k; near 1 the
+      // half-ulp is ~1.1e-16, a large RELATIVE perturbation of a 1e-12
+      // complement, and the reference must absorb it, not the kernel).
+      {1.0 - 1e-6, 4.7534243088170877657},
+      {1.0 - 1e-9, 5.9978070196016374264},
+      {1.0 - 1e-12, 7.0344869100478352057},
+  };
+  for (const auto& r : refs) {
+    EXPECT_LT(std::abs(normal_quantile(r.p) / r.z - 1.0), 1e-9)
+        << "p=" << r.p;
+  }
+}
+
+TEST(NormalQuantile, EdgeInputsIdenticalAcrossDispatchLevels) {
+  // Denormal-adjacent inputs, the Acklam p_low/p_high branch boundaries,
+  // and exact 0.5 must produce the same bits at every dispatch level (the
+  // branches are computed on full vectors and blended by mask, so a lane
+  // sitting exactly on a boundary is the sharpest test).
+  const std::vector<double> edges = {
+      5e-324,           // min denormal: the Halley step must not 0/0
+      1e-310,           // denormal-adjacent
+      0x1.0p-1022,      // smallest normal
+      0.02425,          // p_low boundary
+      0.024249999999999997,
+      0.02425000000000001,
+      0.5,
+      1.0 - 0.02425,    // p_high boundary
+      0.97575000000000001,
+      1.0 - 1e-15,
+      0x1.fffffffffffffp-1,  // largest double < 1
+      0.0, 1.0,              // +/- infinity outputs
+  };
+  const simd::KernelTable* scalar = simd::kernels(simd::SimdLevel::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  std::vector<double> ref = edges;
+  scalar->normal_quantile_transform(ref.data(), ref.size());
+  // The scalar kernel IS normal_quantile (same graph at W=1).
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const double direct = normal_quantile(edges[i]);
+    EXPECT_TRUE(ref[i] == direct || (std::isnan(ref[i]) && std::isnan(direct)))
+        << "p=" << edges[i];
+  }
+  for (const simd::SimdLevel level :
+       {simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512}) {
+    const simd::KernelTable* kt = simd::kernels(level);
+    if (kt == nullptr) continue;  // not supported on this host
+    std::vector<double> got = edges;
+    kt->normal_quantile_transform(got.data(), got.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_TRUE(got[i] == ref[i] ||
+                  (std::isnan(got[i]) && std::isnan(ref[i])))
+          << to_string(level) << " p=" << edges[i];
+    }
+  }
+}
+
+TEST(NormalQuantile, HalfIsExactlyZero) {
+  // The +0.5-shifted central polynomial evaluates to a clean 0 at the
+  // midpoint (q = 0 annihilates the numerator), not merely a tiny value.
+  EXPECT_EQ(normal_quantile(0.5), 0.0);
 }
 
 }  // namespace

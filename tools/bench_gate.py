@@ -10,10 +10,13 @@ gated -- the sample/run counts an estimator needs to hit its target CI
   * adaptive_samples_to_target (x1 adaptive stopping)
   * grid_runs_total            (x9 adaptive grid)
   * drop_block_samples_total   (x14 adaptive fault cells)
+  * simd_speedup_*             (x15 SIMD kernel speedups, LOWER bound)
 
 A gated metric may not exceed its baseline by more than --tolerance
-(default 25%).  Other metrics (e.g. mc_validation_max_abs_err) are
-reported informationally.  Wall-clock TIME telemetry is never gated.
+(default 25%); the simd_speedup_* family is gated the other way around
+(a speedup may not drop below baseline * (1 - tolerance)).  Other
+metrics (e.g. mc_validation_max_abs_err) are reported informationally.
+Wall-clock TIME telemetry is never gated.
 
 Usage:
   python3 tools/bench_gate.py --fresh <dir-with-new-BENCH-json> \
@@ -34,9 +37,19 @@ GATED_PREFIXES = (
     "drop_block_samples_total",
 )
 
+# Higher-is-better metrics: fresh must stay ABOVE baseline * (1 - tol).
+GATED_MIN_PREFIXES = (
+    "simd_speedup_",
+)
+
 
 def is_gated(name: str) -> bool:
-    return any(name.startswith(p) for p in GATED_PREFIXES)
+    return any(name.startswith(p)
+               for p in GATED_PREFIXES + GATED_MIN_PREFIXES)
+
+
+def is_min_gated(name: str) -> bool:
+    return any(name.startswith(p) for p in GATED_MIN_PREFIXES)
 
 
 def load_metrics(path: pathlib.Path) -> dict:
@@ -89,12 +102,18 @@ def main() -> int:
                       f"(baseline {b:g}, not gated)")
                 continue
             compared += 1
-            limit = b * (1.0 + args.tolerance)
-            status = "ok  " if f <= limit else "FAIL"
-            if f > limit:
+            if is_min_gated(name):
+                limit = b * (1.0 - args.tolerance)
+                ok = f >= limit
+                bound = "floor"
+            else:
+                limit = b * (1.0 + args.tolerance)
+                ok = f <= limit
+                bound = "limit"
+            if not ok:
                 failures += 1
-            print(f"{status} {base_path.name}: {name} = {f:g} vs baseline "
-                  f"{b:g} (limit {limit:g})")
+            print(f"{'ok  ' if ok else 'FAIL'} {base_path.name}: "
+                  f"{name} = {f:g} vs baseline {b:g} ({bound} {limit:g})")
 
     if compared == 0:
         print("bench_gate: no gated metrics compared", file=sys.stderr)
