@@ -25,10 +25,12 @@ void run_session(const char* label, double sigma, int orders,
   market::OrderBook book;
   market::SettlementConfig config;
   config.gbm.sigma = sigma;
+  config.seed = seed;
 
   math::Xoshiro256 rng(seed);
   std::vector<market::Settlement> settlements;
   int submitted = 0;
+  std::uint64_t session = 0;
 
   for (int i = 0; i < orders; ++i) {
     // Heterogeneous trader: alpha in [0.2, 0.5], r in [0.006, 0.012],
@@ -41,7 +43,7 @@ void run_session(const char* label, double sigma, int orders,
     book.submit(side, "trader" + std::to_string(i), limit, prefs);
     ++submitted;
     while (auto match = book.take_match()) {
-      settlements.push_back(market::settle_match(*match, config, rng));
+      settlements.push_back(market::settle_match(*match, config, session++));
     }
   }
 

@@ -1,5 +1,6 @@
 #include "event_queue.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -26,7 +27,8 @@ void EventQueue::schedule_at(Hours when, Callback cb) {
     throw std::invalid_argument("EventQueue::schedule_at: empty callback");
   }
   if (scheduled_counter_ != nullptr) scheduled_counter_->inc();
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::schedule_in(Hours delay, Callback cb) {
@@ -38,12 +40,11 @@ void EventQueue::schedule_in(Hours delay, Callback cb) {
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // Move out before pop so the callback may schedule new events.  top() is
-  // const, but moving from it is safe here: the comparator only reads the
-  // scalar (when, seq) fields, which moving the std::function leaves intact,
-  // and the element is popped before anything can observe it again.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  // pop_heap moves the earliest event to the back; take it out before
+  // running the callback so the callback may schedule new events.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.when;
   if (processed_counter_ != nullptr) processed_counter_->inc();
   ev.cb();
@@ -61,7 +62,7 @@ std::size_t EventQueue::run_until(Hours until) {
     throw std::invalid_argument("EventQueue::run_until: time is in the past");
   }
   std::size_t processed = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
+  while (!heap_.empty() && heap_.front().when <= until) {
     step();
     ++processed;
   }

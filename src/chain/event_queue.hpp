@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "types.hpp"
@@ -72,7 +71,12 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // An explicit binary heap (std::push_heap/std::pop_heap over a vector,
+  // same (when, seq) ordering a priority_queue<Event, ..., Later> had):
+  // pop_heap moves the earliest event to the back, where step() can move
+  // from it legally -- priority_queue::top() only offers a const reference,
+  // and moving through a const_cast on it is formally UB.
+  std::vector<Event> heap_;
   Hours now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   obs::Counter* scheduled_counter_ = nullptr;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "agents/strategy.hpp"
+#include "market/population/population_sim.hpp"
 #include "model/basic_game.hpp"
 #include "model/collateral_game.hpp"
 #include "model/premium_game.hpp"
@@ -217,6 +218,58 @@ RunResult evaluate_mc(const RunSpec& spec) {
   return result;
 }
 
+RunResult evaluate_market_sim(const RunSpec& spec) {
+  // A population run is single-threaded on its event queue by design, so
+  // the cell needs no config scrubbing; sinks stay detached (a cached cell
+  // must equal a fresh one).  spec.mc.config.trace_stride > 0 opts the
+  // cell into a session-strided trace stored in the result.
+  RunResult result;
+  market::PopulationSim sim(spec.population);
+  obs::TraceRecorder recorder;
+  if (spec.mc.config.trace_stride > 0) {
+    sim.set_trace(&recorder,
+                  static_cast<std::uint64_t>(spec.mc.config.trace_stride));
+  }
+  const market::PopulationResult r = sim.run();
+  result.samples = r.sessions;
+  result.set("arrivals", static_cast<double>(r.arrivals));
+  result.set("orders_cancelled", static_cast<double>(r.orders_cancelled));
+  result.set("sessions", static_cast<double>(r.sessions));
+  result.set("never_initiated", static_cast<double>(r.never_initiated));
+  result.set("aborted_t2", static_cast<double>(r.aborted_t2));
+  result.set("aborted_t3", static_cast<double>(r.aborted_t3));
+  result.set("completed", static_cast<double>(r.completed));
+  result.set("starved", static_cast<double>(r.starved));
+  result.set("atomicity_lost", static_cast<double>(r.atomicity_lost));
+  result.set("initiated", static_cast<double>(r.stats.initiated));
+  result.set("completion_rate", r.stats.completion_rate());
+  result.set("mean_predicted_sr", r.stats.mean_predicted_sr);
+  result.set("latency_p50", r.stats.latency_p50);
+  result.set("latency_p90", r.stats.latency_p90);
+  result.set("latency_p99", r.stats.latency_p99);
+  result.set("lockup_token_a_hours", r.stats.lockup_token_a_hours);
+  result.set("lockup_token_b_hours", r.stats.lockup_token_b_hours);
+  result.set("final_price", r.final_price);
+  result.set("min_price", r.min_price);
+  result.set("max_price", r.max_price);
+  result.set("blocks_sealed", static_cast<double>(r.blocks_sealed));
+  result.set("txs_included", static_cast<double>(r.txs_included));
+  result.set("txs_evicted", static_cast<double>(r.txs_evicted));
+  result.set("txs_expired", static_cast<double>(r.txs_expired));
+  result.set("rebids", static_cast<double>(r.rebids));
+  result.set("fees_paid", r.fees_paid);
+  result.set("threshold_games", static_cast<double>(r.threshold_games));
+  result.set("t1_evaluations", static_cast<double>(r.t1_evaluations));
+  result.set("conserved", r.conserved ? 1.0 : 0.0);
+  result.set("end_time", r.end_time);
+  if (!recorder.empty()) {
+    obs::TraceCollector collector;
+    collector.add(0, recorder);
+    result.trace = collector.jsonl();
+  }
+  return result;
+}
+
 }  // namespace
 
 RunResult evaluate_cell(const RunSpec& spec) {
@@ -233,6 +286,8 @@ RunResult evaluate_cell(const RunSpec& spec) {
       return evaluate_scenario(spec);
     case CellKind::kMc:
       return evaluate_mc(spec);
+    case CellKind::kMarketSim:
+      return evaluate_market_sim(spec);
   }
   RunResult incomplete;
   incomplete.complete = false;

@@ -23,6 +23,8 @@ const char* to_string(CellKind kind) noexcept {
       return "scenario";
     case CellKind::kMc:
       return "mc";
+    case CellKind::kMarketSim:
+      return "market_sim";
   }
   return "?";
 }
@@ -165,6 +167,51 @@ std::string RunSpec::canonical_string() const {
   put(out, "grid.hi", grid_hi);
   put(out, "mechanism", sim::to_string(mechanism));
   put(out, "deposit", deposit);
+
+  // Population workload (kMarketSim).  Trader types serialize as
+  // alpha:r:weight triples so the type mix is part of the cell address.
+  const market::PopulationConfig& pop = population;
+  put(out, "population.sessions", pop.sessions);
+  put(out, "population.arrival_rate", pop.arrival_rate);
+  put(out, "population.limit_spread", pop.limit_spread);
+  put(out, "population.tick", pop.tick);
+  put(out, "population.cancel_after", pop.cancel_after);
+  put(out, "population.p0", pop.p0);
+  put(out, "population.gbm.mu", pop.gbm.mu);
+  put(out, "population.gbm.sigma", pop.gbm.sigma);
+  put(out, "population.impact", pop.impact);
+  put(out, "population.decision_tick", pop.decision_tick);
+  put(out, "population.tau_a", pop.tau_a);
+  put(out, "population.tau_b", pop.tau_b);
+  put(out, "population.eps_b", pop.eps_b);
+  put(out, "population.fee_a.block_interval", pop.fee_a.block_interval);
+  put(out, "population.fee_a.block_capacity",
+      static_cast<std::uint64_t>(pop.fee_a.block_capacity));
+  put(out, "population.fee_a.mempool_capacity",
+      static_cast<std::uint64_t>(pop.fee_a.mempool_capacity));
+  put(out, "population.fee_b.block_interval", pop.fee_b.block_interval);
+  put(out, "population.fee_b.block_capacity",
+      static_cast<std::uint64_t>(pop.fee_b.block_capacity));
+  put(out, "population.fee_b.mempool_capacity",
+      static_cast<std::uint64_t>(pop.fee_b.mempool_capacity));
+  put(out, "population.expiry_slack", pop.expiry_slack);
+  put(out, "population.base_fee", pop.base_fee);
+  put(out, "population.fee_spread", pop.fee_spread);
+  put(out, "population.rebid_factor", pop.rebid_factor);
+  put(out, "population.max_fee", pop.max_fee);
+  put(out, "population.seed", pop.seed);
+  {
+    std::string types;
+    for (const market::TraderType& t : pop.types) {
+      types += obs::format_json_number(t.agent.alpha);
+      types.push_back(':');
+      types += obs::format_json_number(t.agent.r);
+      types.push_back(':');
+      types += obs::format_json_number(t.weight);
+      types.push_back(';');
+    }
+    put(out, "population.types", types.c_str());
+  }
   return out;
 }
 

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "market/population/population_sim.hpp"
 #include "sim/mc_runner.hpp"
 #include "sim/scenario.hpp"
 
@@ -47,7 +48,9 @@ namespace swapgame::engine {
 /// v2: lane-interleaved SIMD draw order in the model MC engines (new
 /// normal draws for a given seed) and the bob_strategy line in the
 /// canonical form.
-inline constexpr int kRunSpecSchemaVersion = 2;
+/// v3: the market_sim cell kind and its population.* block in the
+/// canonical form.
+inline constexpr int kRunSpecSchemaVersion = 3;
 
 /// What computation a cell performs.
 enum class CellKind : std::uint8_t {
@@ -66,6 +69,10 @@ enum class CellKind : std::uint8_t {
   kScenario,
   /// One Monte-Carlo run through sim::McRunner (model/profile/protocol).
   kMc,
+  /// One population-scale market simulation (market::PopulationSim): a
+  /// Poisson order stream settled as concurrent HTLC sessions on two
+  /// shared ledgers behind per-chain fee markets.
+  kMarketSim,
 };
 [[nodiscard]] const char* to_string(CellKind kind) noexcept;
 
@@ -92,6 +99,11 @@ struct RunSpec {
   // --- kScenario -------------------------------------------------------
   sim::Mechanism mechanism = sim::Mechanism::kNone;
   double deposit = 0.0;
+
+  // --- kMarketSim ------------------------------------------------------
+  /// Full workload description; every field lands in the canonical string
+  /// (a population run is a pure function of this config).
+  market::PopulationConfig population{};
 
   /// The versioned canonical key=value rendering (see file comment).
   [[nodiscard]] std::string canonical_string() const;

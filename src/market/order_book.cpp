@@ -36,11 +36,12 @@ std::uint64_t OrderBook::submit(Side side, const std::string& trader,
       match.buy = order;
       match.sell = best->second;
       match.rate = best->first;  // maker's price
+      ask_index_.erase(best->second.id);
       asks_.erase(best);
       matches_.push_back(std::move(match));
       ++matches_produced_;
     } else {
-      bids_.emplace(limit_rate, order);
+      bid_index_.emplace(order.id, bids_.emplace(limit_rate, order));
     }
   } else {
     const auto best = bids_.begin();
@@ -49,11 +50,12 @@ std::uint64_t OrderBook::submit(Side side, const std::string& trader,
       match.buy = best->second;
       match.sell = order;
       match.rate = best->first;  // maker's price
+      bid_index_.erase(best->second.id);
       bids_.erase(best);
       matches_.push_back(std::move(match));
       ++matches_produced_;
     } else {
-      asks_.emplace(limit_rate, order);
+      ask_index_.emplace(order.id, asks_.emplace(limit_rate, order));
     }
   }
   return order.id;
@@ -67,17 +69,15 @@ std::optional<Match> OrderBook::take_match() {
 }
 
 bool OrderBook::cancel(std::uint64_t order_id) {
-  for (auto it = bids_.begin(); it != bids_.end(); ++it) {
-    if (it->second.id == order_id) {
-      bids_.erase(it);
-      return true;
-    }
+  if (const auto it = bid_index_.find(order_id); it != bid_index_.end()) {
+    bids_.erase(it->second);
+    bid_index_.erase(it);
+    return true;
   }
-  for (auto it = asks_.begin(); it != asks_.end(); ++it) {
-    if (it->second.id == order_id) {
-      asks_.erase(it);
-      return true;
-    }
+  if (const auto it = ask_index_.find(order_id); it != ask_index_.end()) {
+    asks_.erase(it->second);
+    ask_index_.erase(it);
+    return true;
   }
   return false;
 }

@@ -1,0 +1,133 @@
+#include "fee_market.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace swapgame::market {
+
+void FeeMarketConfig::validate() const {
+  if (!(block_interval > 0.0) || !std::isfinite(block_interval)) {
+    throw std::invalid_argument("FeeMarketConfig: block_interval must be > 0");
+  }
+  if (block_capacity == 0) {
+    throw std::invalid_argument("FeeMarketConfig: block_capacity must be >= 1");
+  }
+  if (mempool_capacity == 0) {
+    throw std::invalid_argument(
+        "FeeMarketConfig: mempool_capacity must be >= 1");
+  }
+}
+
+const char* to_string(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kEvicted:
+      return "evicted";
+    case DropReason::kExpired:
+      return "expired";
+  }
+  return "?";
+}
+
+FeeMarket::FeeMarket(const FeeMarketConfig& config, chain::Ledger& ledger,
+                     chain::EventQueue& queue)
+    : config_(config), ledger_(&ledger), queue_(&queue) {
+  config_.validate();
+}
+
+std::uint64_t FeeMarket::submit(chain::TxPayload payload, double fee,
+                                double inclusion_deadline,
+                                IncludedCallback on_included,
+                                DroppedCallback on_dropped) {
+  if (!(fee >= 0.0) || !std::isfinite(fee)) {
+    throw std::invalid_argument("FeeMarket: fee must be finite and >= 0");
+  }
+  if (!(inclusion_deadline >= queue_->now())) {
+    throw std::invalid_argument("FeeMarket: deadline is already past");
+  }
+  const std::uint64_t id = next_id_++;
+  intents_.emplace(id, Intent{std::move(payload), fee, inclusion_deadline,
+                              std::move(on_included), std::move(on_dropped)});
+  order_.emplace(fee, id);
+  if (intents_.size() > config_.mempool_capacity) {
+    // Evict the worst bid; among equal fees the NEWEST goes (an incumbent
+    // at the same price keeps its slot, first-come-first-kept).
+    auto worst = order_.end();
+    --worst;
+    drop(worst->second, DropReason::kEvicted);
+  }
+  if (!intents_.empty()) ensure_seal_scheduled();
+  return id;
+}
+
+bool FeeMarket::cancel(std::uint64_t intent_id) {
+  const auto it = intents_.find(intent_id);
+  if (it == intents_.end()) return false;
+  order_.erase({it->second.fee, intent_id});
+  intents_.erase(it);
+  return true;
+}
+
+void FeeMarket::ensure_seal_scheduled() {
+  if (seal_scheduled_) return;
+  seal_scheduled_ = true;
+  queue_->schedule_in(config_.block_interval, [this] { seal_block(); });
+}
+
+void FeeMarket::seal_block() {
+  seal_scheduled_ = false;
+  ++blocks_sealed_;
+  const double now = queue_->now();
+
+  // Sweep expired intents first (deadline strictly before this seal) so
+  // they never consume block space; notify in arrival order.
+  std::vector<std::uint64_t> lapsed;
+  for (const auto& [id, intent] : intents_) {
+    if (intent.deadline < now) lapsed.push_back(id);
+  }
+  for (const std::uint64_t id : lapsed) drop(id, DropReason::kExpired);
+
+  // Include the best block_capacity bids, forwarding each to the ledger at
+  // seal time (confirmation clock starts here -- inclusion latency is the
+  // fee market's whole effect).  Callbacks run after the mempool mutation
+  // so an on_included that submits a follow-up intent sees clean state.
+  std::vector<std::pair<IncludedCallback, chain::TxId>> ready;
+  std::size_t filled = 0;
+  while (!order_.empty() && filled < config_.block_capacity) {
+    ++filled;
+    const auto best = order_.begin();
+    const auto it = intents_.find(best->second);
+    Intent intent = std::move(it->second);
+    order_.erase(best);
+    intents_.erase(it);
+    const chain::TxId tx = ledger_->submit(std::move(intent.payload));
+    ++included_;
+    fees_paid_ += intent.fee;
+    if (intent.on_included) {
+      ready.emplace_back(std::move(intent.on_included), tx);
+    }
+  }
+  for (auto& [cb, tx] : ready) cb(tx);
+  if (!intents_.empty()) ensure_seal_scheduled();
+}
+
+void FeeMarket::drop(std::uint64_t id, DropReason reason) {
+  const auto it = intents_.find(id);
+  order_.erase({it->second.fee, id});
+  DroppedCallback cb = std::move(it->second.on_dropped);
+  intents_.erase(it);
+  if (reason == DropReason::kEvicted) {
+    ++evicted_;
+  } else {
+    ++expired_;
+  }
+  if (cb) {
+    // Deliver through the queue at the current time: re-bids re-enter
+    // submit() outside this mutation, in deterministic queue order.
+    queue_->schedule_at(queue_->now(),
+                        [cb = std::move(cb), reason] { cb(reason); });
+  }
+}
+
+}  // namespace swapgame::market

@@ -1,0 +1,642 @@
+#include "population_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "model/basic_game.hpp"
+#include "model/timeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace swapgame::market {
+
+namespace {
+
+// Stream indices of the non-session RNG streams (session streams use the
+// session index, which stays far below these).
+constexpr std::uint64_t kArrivalStream = 1'000'000'007ULL;
+constexpr std::uint64_t kPriceStream = 2'000'000'011ULL;
+
+// Fee-market stages a drop notification can refer to.
+enum Stage : int { kDeployA = 0, kDeployB = 1, kClaimB = 2, kClaimA = 3 };
+
+[[nodiscard]] std::int64_t quantize(double x, double tick) {
+  return std::llround(x / tick);
+}
+
+/// Nearest-rank percentile of a SORTED sample (p in (0, 1]).
+[[nodiscard]] double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::vector<TraderType> PopulationConfig::default_types() {
+  // Patient/base/impatient alpha-r mixes straddling the Table III agent;
+  // base-type traders arrive twice as often as either tail.
+  return {TraderType{{0.45, 0.008}, 1.0}, TraderType{{0.30, 0.010}, 2.0},
+          TraderType{{0.18, 0.014}, 1.0}};
+}
+
+void PopulationConfig::validate() const {
+  const auto positive = [](double v, const char* what) {
+    if (!(v > 0.0) || !std::isfinite(v)) {
+      throw std::invalid_argument(std::string("PopulationConfig: ") + what +
+                                  " must be positive and finite");
+    }
+  };
+  if (sessions == 0) {
+    throw std::invalid_argument("PopulationConfig: sessions must be >= 1");
+  }
+  positive(arrival_rate, "arrival_rate");
+  positive(tick, "tick");
+  positive(decision_tick, "decision_tick");
+  positive(cancel_after, "cancel_after");
+  positive(p0, "p0");
+  positive(tau_a, "tau_a");
+  positive(tau_b, "tau_b");
+  positive(eps_b, "eps_b");
+  if (!(limit_spread > 0.0) || !(limit_spread < 1.0)) {
+    throw std::invalid_argument(
+        "PopulationConfig: limit_spread must be in (0, 1)");
+  }
+  if (!(eps_b < tau_b)) {
+    throw std::invalid_argument("PopulationConfig: requires eps_b < tau_b");
+  }
+  if (!(impact >= 0.0) || !std::isfinite(impact)) {
+    throw std::invalid_argument("PopulationConfig: impact must be >= 0");
+  }
+  if (!(expiry_slack >= 0.0) || !std::isfinite(expiry_slack)) {
+    throw std::invalid_argument("PopulationConfig: expiry_slack must be >= 0");
+  }
+  if (!(base_fee >= 0.0) || !(fee_spread >= 0.0)) {
+    throw std::invalid_argument(
+        "PopulationConfig: base_fee and fee_spread must be >= 0");
+  }
+  if (!(rebid_factor > 1.0)) {
+    throw std::invalid_argument("PopulationConfig: rebid_factor must be > 1");
+  }
+  if (!(max_fee >= base_fee)) {
+    throw std::invalid_argument("PopulationConfig: max_fee must be >= base_fee");
+  }
+  gbm.validate();
+  fee_a.validate();
+  fee_b.validate();
+  if (types.empty()) {
+    throw std::invalid_argument("PopulationConfig: types must be non-empty");
+  }
+  if (types.size() > 255) {
+    throw std::invalid_argument("PopulationConfig: at most 255 trader types");
+  }
+  for (const TraderType& t : types) {
+    t.agent.validate();
+    positive(t.weight, "type weight");
+  }
+}
+
+const char* to_string(SessionOutcome outcome) noexcept {
+  switch (outcome) {
+    case SessionOutcome::kPending:
+      return "pending";
+    case SessionOutcome::kNeverInitiated:
+      return "never_initiated";
+    case SessionOutcome::kAbortedT2:
+      return "aborted_t2";
+    case SessionOutcome::kAbortedT3:
+      return "aborted_t3";
+    case SessionOutcome::kCompleted:
+      return "completed";
+    case SessionOutcome::kStarved:
+      return "starved";
+    case SessionOutcome::kAtomicityLost:
+      return "atomicity_lost";
+  }
+  return "?";
+}
+
+PopulationSim::PopulationSim(PopulationConfig config)
+    : config_(std::move(config)) {
+  if (config_.types.empty()) config_.types = PopulationConfig::default_types();
+  config_.validate();
+  chain::ChainParams params_a;
+  params_a.id = chain::ChainId::kChainA;
+  params_a.confirmation_time = config_.tau_a;
+  params_a.mempool_visibility = std::min(config_.eps_b, 0.5 * config_.tau_a);
+  chain::ChainParams params_b;
+  params_b.id = chain::ChainId::kChainB;
+  params_b.confirmation_time = config_.tau_b;
+  params_b.mempool_visibility = config_.eps_b;
+  ledger_a_ = std::make_unique<chain::Ledger>(params_a, queue_);
+  ledger_b_ = std::make_unique<chain::Ledger>(params_b, queue_);
+  market_a_ = std::make_unique<FeeMarket>(config_.fee_a, *ledger_a_, queue_);
+  market_b_ = std::make_unique<FeeMarket>(config_.fee_b, *ledger_b_, queue_);
+  arrival_rng_ = session_rng(config_.seed, kArrivalStream);
+  price_rng_ = session_rng(config_.seed, kPriceStream);
+  price_ = min_price_ = max_price_ = config_.p0;
+}
+
+PopulationSim::~PopulationSim() = default;
+
+// --- decision thresholds ---------------------------------------------------
+
+model::SwapParams PopulationSim::pair_params(std::uint32_t buyer_type,
+                                             std::uint32_t seller_type,
+                                             double p_t0) const {
+  model::SwapParams params;
+  params.alice = config_.types[buyer_type].agent;  // buyer locks first
+  params.bob = config_.types[seller_type].agent;
+  params.tau_a = config_.tau_a;
+  params.tau_b = config_.tau_b;
+  params.eps_b = config_.eps_b;
+  params.p_t0 = p_t0;
+  params.gbm = config_.gbm;
+  return params;
+}
+
+const PopulationSim::GameEntry& PopulationSim::game_entry(
+    std::uint32_t buyer_type, std::uint32_t seller_type, double p_star) {
+  const std::uint32_t pair_key = (buyer_type << 8) | seller_type;
+  const std::int64_t star_units = quantize(p_star, config_.tick);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(pair_key) << 32) |
+      static_cast<std::uint64_t>(star_units & 0xFFFFFFFFLL);
+  const auto it = games_.find(key);
+  if (it != games_.end()) return it->second;
+
+  // The t3 cutoff and t2 region do not depend on p_t0 (only the t1
+  // quantities do), so one solve at a canonical p_t0 = P* serves every
+  // decision price.  Warm-start along the P* axis within a type pair.
+  const double p = static_cast<double>(star_units) * config_.tick;
+  const model::SwapParams params = pair_params(buyer_type, seller_type, p);
+  const std::vector<double>& hints = last_roots_[pair_key];
+  const model::BasicGame game = hints.empty()
+                                    ? model::BasicGame(params, p)
+                                    : model::BasicGame(params, p, hints);
+  ++result_.threshold_games;
+  GameEntry entry;
+  entry.t3_cutoff = game.alice_t3_cutoff();
+  entry.t2_region = game.bob_t2_region();
+  entry.t2_roots = game.t2_roots();
+  last_roots_[pair_key] = entry.t2_roots;
+  return games_.emplace(key, std::move(entry)).first->second;
+}
+
+std::pair<double, double> PopulationSim::t1_entry(std::uint32_t buyer_type,
+                                                  std::uint32_t seller_type,
+                                                  double p_star, double p_t0) {
+  const std::uint32_t pair_key = (buyer_type << 8) | seller_type;
+  const std::int64_t star_units = quantize(p_star, config_.tick);
+  const std::int64_t t0_units = quantize(p_t0, config_.decision_tick);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(pair_key) << 48) |
+      (static_cast<std::uint64_t>(star_units & 0xFFFFFFLL) << 24) |
+      static_cast<std::uint64_t>(t0_units & 0xFFFFFFLL);
+  const auto it = t1_cache_.find(key);
+  if (it != t1_cache_.end()) return it->second;
+
+  const GameEntry& level1 = game_entry(buyer_type, seller_type, p_star);
+  const double star = static_cast<double>(star_units) * config_.tick;
+  const double t0 =
+      std::max(static_cast<double>(t0_units) * config_.decision_tick,
+               0.5 * config_.decision_tick);
+  const model::BasicGame game(pair_params(buyer_type, seller_type, t0), star,
+                              level1.t2_roots);
+  ++result_.t1_evaluations;
+  const std::pair<double, double> value{game.alice_t1_cont(),
+                                        game.success_rate()};
+  t1_cache_.emplace(key, value);
+  return value;
+}
+
+// --- endogenous price ------------------------------------------------------
+
+double PopulationSim::price_at(double t) {
+  if (t > price_time_) {
+    const math::GbmLaw law(config_.gbm, price_, t - price_time_);
+    price_ = law.sample_from_normal(math::normal_inverse_cdf_draw(price_rng_));
+    price_time_ = t;
+    min_price_ = std::min(min_price_, price_);
+    max_price_ = std::max(max_price_, price_);
+  }
+  return price_;
+}
+
+void PopulationSim::apply_impact(double direction) {
+  price_ *= std::exp(config_.impact * direction);
+  min_price_ = std::min(min_price_, price_);
+  max_price_ = std::max(max_price_, price_);
+}
+
+// --- workload --------------------------------------------------------------
+
+void PopulationSim::schedule_next_arrival() {
+  if (result_.sessions >= config_.sessions) return;
+  const double u = math::uniform01(arrival_rng_);
+  const double dt = -std::log1p(-u) / config_.arrival_rate;
+  queue_.schedule_in(dt, [this] { on_arrival(); });
+}
+
+void PopulationSim::on_arrival() {
+  ++result_.arrivals;
+  const double now = queue_.now();
+  const double p = price_at(now);
+
+  // Draw the trader: type by weight, side by a coin, limit uniform within
+  // the spread and snapped to the tick grid (so every P* is on-grid).
+  double total_weight = 0.0;
+  for (const TraderType& t : config_.types) total_weight += t.weight;
+  double pick = math::uniform01(arrival_rng_) * total_weight;
+  std::uint32_t type = 0;
+  for (std::uint32_t i = 0; i < config_.types.size(); ++i) {
+    pick -= config_.types[i].weight;
+    if (pick <= 0.0) {
+      type = i;
+      break;
+    }
+  }
+  const Side side =
+      (arrival_rng_() & 1) ? Side::kBuyTokenB : Side::kSellTokenB;
+  const double raw =
+      p * (1.0 - config_.limit_spread +
+           2.0 * config_.limit_spread * math::uniform01(arrival_rng_));
+  const double limit = std::max(
+      config_.tick,
+      static_cast<double>(quantize(raw, config_.tick)) * config_.tick);
+
+  const std::uint64_t order_id =
+      book_.submit(side, "t", limit, config_.types[type].agent);
+  order_types_.emplace(order_id, type);
+  queue_.schedule_in(config_.cancel_after, [this, order_id] {
+    if (book_.cancel(order_id)) {
+      ++result_.orders_cancelled;
+      order_types_.erase(order_id);
+    }
+  });
+
+  while (auto match = book_.take_match()) spawn_session(*match);
+  schedule_next_arrival();
+}
+
+void PopulationSim::spawn_session(const Match& match) {
+  const std::uint64_t idx = sessions_.size();
+  sessions_.emplace_back();
+  Session& s = sessions_.back();
+  s.buyer_type = order_types_.at(match.buy.id);
+  s.seller_type = order_types_.at(match.sell.id);
+  order_types_.erase(match.buy.id);
+  order_types_.erase(match.sell.id);
+  s.p_star = match.rate;
+  s.t0 = queue_.now();
+  s.rng = session_rng(config_.seed, idx);
+  s.secret = crypto::Secret::generate(s.rng);
+  ++result_.sessions;
+
+  const double p = price_at(s.t0);
+  const auto [t1_cont, sr] = t1_entry(s.buyer_type, s.seller_type, s.p_star, p);
+  const bool traced = trace_ != nullptr && trace_stride_ > 0 &&
+                      idx % trace_stride_ == 0;
+  if (traced) {
+    trace_->record(s.t0, obs::TraceKind::kRunStart,
+                   {{"session", idx},
+                    {"p_star", s.p_star},
+                    {"price", p},
+                    {"alice_t1_cont", t1_cont}});
+  }
+  if (!(t1_cont > s.p_star)) {
+    s.outcome = SessionOutcome::kNeverInitiated;
+    finalize(idx);
+    return;
+  }
+  s.initiated = true;
+  predicted_sr_sum_ += sr;
+  // Executed flow perturbs the price toward the taker's side (the newer
+  // order is the aggressor), feeding back into later thresholds.
+  apply_impact(match.buy.sequence > match.sell.sequence ? 1.0 : -1.0);
+
+  // Fund exactly what each side locks; mint-tracking backs the end-of-run
+  // conservation check.
+  const std::string tag = std::to_string(idx);
+  s.alice = "A" + tag;
+  s.bob = "B" + tag;
+  const chain::Amount lock_a = chain::Amount::from_tokens(s.p_star);
+  const chain::Amount lock_b = chain::Amount::from_tokens(1.0);
+  ledger_a_->create_account({s.alice}, lock_a);
+  ledger_a_->create_account({s.bob}, chain::Amount{});
+  ledger_b_->create_account({s.bob}, lock_b);
+  ledger_b_->create_account({s.alice}, chain::Amount{});
+  minted_a_ += lock_a;
+  minted_b_ += lock_b;
+
+  // Idealized expiries plus fee-market slack (2x on chain A so the
+  // t_b < t_a ordering the atomicity argument needs is preserved).
+  const model::Schedule sched =
+      model::idealized_schedule(pair_params(s.buyer_type, s.seller_type, p),
+                                s.t0);
+  s.t_b_expiry = sched.t_b + config_.expiry_slack;
+  s.t_a_expiry = sched.t_a + 2.0 * config_.expiry_slack;
+  s.fee_a = config_.base_fee *
+            (1.0 + config_.fee_spread * math::uniform01(s.rng));
+  s.fee_b = config_.base_fee *
+            (1.0 + config_.fee_spread * math::uniform01(s.rng));
+  submit_deploy_a(idx);
+  // Watchdog: by t_a + tau_a every contract of this session has settled
+  // (claims land before expiry by deadline construction; refunds confirm
+  // tau after expiry), so the terminal classification is decidable.
+  queue_.schedule_at(s.t_a_expiry + config_.tau_a +
+                         config_.fee_a.block_interval,
+                     [this, idx] { finalize(idx); });
+}
+
+// --- session state machine -------------------------------------------------
+
+void PopulationSim::submit_deploy_a(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  // Inclusion budget on A: the slack added to the expiries.
+  const double deadline = s.t0 + config_.expiry_slack;
+  if (queue_.now() > deadline) return;  // watchdog will classify as starved
+  chain::DeployHtlcPayload payload{{s.alice},
+                                   {s.bob},
+                                   chain::Amount::from_tokens(s.p_star),
+                                   s.secret.commitment(),
+                                   s.t_a_expiry,
+                                   chain::HtlcKind::kStandard};
+  market_a_->submit(
+      payload, s.fee_a, deadline,
+      [this, idx](chain::TxId tx) {
+        Session& session = sessions_[idx];
+        session.htlc_a = ledger_a_->pending_contract_of(tx);
+        const double at = ledger_a_->transaction(tx).confirmed_at;
+        queue_.schedule_at(at, [this, idx] { at_t2(idx); });
+      },
+      [this, idx](DropReason reason) { handle_drop(idx, kDeployA, reason); });
+}
+
+void PopulationSim::at_t2(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  if (s.finalized) return;
+  s.deploy_a_confirmed = queue_.now();
+  // Bob verified Alice's confirmed lock; he continues iff the live price
+  // sits in his rational continuation region (Eq. 24).
+  const double p = price_at(queue_.now());
+  const GameEntry& game = game_entry(s.buyer_type, s.seller_type, s.p_star);
+  if (!game.t2_region.contains(p)) {
+    s.outcome = SessionOutcome::kAbortedT2;
+    return;  // Alice's lock auto-refunds at expiry; watchdog accounts it
+  }
+  submit_deploy_b(idx);
+}
+
+void PopulationSim::submit_deploy_b(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  // Bob's lock must confirm (tau_b) AND leave room for Alice's claim to be
+  // included and confirm before t_b -- two block margins of cushion.
+  const double deadline = s.t_b_expiry - 2.0 * config_.tau_b -
+                          2.0 * config_.fee_b.block_interval;
+  if (queue_.now() > deadline) return;
+  chain::DeployHtlcPayload payload{{s.bob},
+                                   {s.alice},
+                                   chain::Amount::from_tokens(1.0),
+                                   s.secret.commitment(),
+                                   s.t_b_expiry,
+                                   chain::HtlcKind::kStandard};
+  market_b_->submit(
+      payload, s.fee_b, deadline,
+      [this, idx](chain::TxId tx) {
+        Session& session = sessions_[idx];
+        session.htlc_b = ledger_b_->pending_contract_of(tx);
+        const double at = ledger_b_->transaction(tx).confirmed_at;
+        queue_.schedule_at(at, [this, idx] { at_t3(idx); });
+      },
+      [this, idx](DropReason reason) { handle_drop(idx, kDeployB, reason); });
+}
+
+void PopulationSim::at_t3(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  if (s.finalized) return;
+  s.deploy_b_confirmed = queue_.now();
+  // Alice reveals iff the live price clears her t3 cutoff (Eq. 19).
+  const double p = price_at(queue_.now());
+  const GameEntry& game = game_entry(s.buyer_type, s.seller_type, s.p_star);
+  if (!(p > game.t3_cutoff)) {
+    s.outcome = SessionOutcome::kAbortedT3;
+    return;  // both locks auto-refund; watchdog accounts the lockup
+  }
+  submit_claim_b(idx);
+}
+
+void PopulationSim::submit_claim_b(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  const double deadline =
+      s.t_b_expiry - config_.tau_b - config_.fee_b.block_interval;
+  if (queue_.now() > deadline) return;
+  chain::ClaimHtlcPayload payload{s.htlc_b, s.secret, {s.alice}};
+  market_b_->submit(
+      payload, s.fee_b, deadline,
+      [this, idx](chain::TxId tx) {
+        const chain::Transaction& record = ledger_b_->transaction(tx);
+        // The preimage is public once the claim hits the mempool; Bob's t4
+        // epoch fires at visibility (Section II-B Step 3).
+        queue_.schedule_at(record.visible_at, [this, idx] { at_t4(idx); });
+        queue_.schedule_at(record.confirmed_at, [this, idx, tx] {
+          Session& session = sessions_[idx];
+          if (ledger_b_->transaction(tx).status ==
+              chain::TxStatus::kConfirmed) {
+            session.claim_b_confirmed = queue_.now();
+          }
+        });
+      },
+      [this, idx](DropReason reason) { handle_drop(idx, kClaimB, reason); });
+}
+
+void PopulationSim::at_t4(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  if (s.finalized) return;
+  s.revealed = true;
+  // t4 is dominance: claiming always beats forfeiting the locked token-a.
+  submit_claim_a(idx);
+}
+
+void PopulationSim::submit_claim_a(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  const double deadline =
+      s.t_a_expiry - config_.tau_a - config_.fee_a.block_interval;
+  if (queue_.now() > deadline) return;
+  chain::ClaimHtlcPayload payload{s.htlc_a, s.secret, {s.bob}};
+  market_a_->submit(
+      payload, s.fee_a, deadline,
+      [this, idx](chain::TxId tx) {
+        queue_.schedule_at(ledger_a_->transaction(tx).confirmed_at,
+                           [this, idx, tx] {
+                             Session& session = sessions_[idx];
+                             if (ledger_a_->transaction(tx).status ==
+                                 chain::TxStatus::kConfirmed) {
+                               session.claim_a_confirmed = queue_.now();
+                             }
+                           });
+      },
+      [this, idx](DropReason reason) { handle_drop(idx, kClaimA, reason); });
+}
+
+void PopulationSim::handle_drop(std::uint64_t idx, int stage,
+                                DropReason reason) {
+  Session& s = sessions_[idx];
+  if (s.finalized) return;
+  if (reason == DropReason::kEvicted) {
+    // Strategic re-bid: escalate the fee while the bid ceiling allows --
+    // the resubmission deadline tightens on its own as expiry approaches.
+    double& fee = (stage == kDeployA || stage == kClaimA) ? s.fee_a : s.fee_b;
+    const double escalated = fee * config_.rebid_factor;
+    if (escalated <= config_.max_fee) {
+      fee = escalated;
+      ++result_.rebids;
+      switch (stage) {
+        case kDeployA:
+          submit_deploy_a(idx);
+          return;
+        case kDeployB:
+          submit_deploy_b(idx);
+          return;
+        case kClaimB:
+          submit_claim_b(idx);
+          return;
+        case kClaimA:
+          submit_claim_a(idx);
+          return;
+        default:
+          return;
+      }
+    }
+  }
+  // Expired, or the bid ceiling was hit: the stage is starved.  Whatever
+  // is locked auto-refunds at expiry; the watchdog classifies the session
+  // (kStarved, or kAtomicityLost when the secret was already public).
+}
+
+void PopulationSim::finalize(std::uint64_t idx) {
+  Session& s = sessions_[idx];
+  if (s.finalized) return;
+  s.finalized = true;
+  const bool claim_a_ok = !std::isnan(s.claim_a_confirmed);
+  const bool claim_b_ok = !std::isnan(s.claim_b_confirmed);
+  if (s.outcome == SessionOutcome::kPending) {
+    if (claim_a_ok && claim_b_ok) {
+      s.outcome = SessionOutcome::kCompleted;
+    } else if (s.revealed) {
+      s.outcome = SessionOutcome::kAtomicityLost;
+    } else {
+      s.outcome = SessionOutcome::kStarved;
+    }
+  }
+  switch (s.outcome) {
+    case SessionOutcome::kNeverInitiated:
+      ++result_.never_initiated;
+      break;
+    case SessionOutcome::kAbortedT2:
+      ++result_.aborted_t2;
+      break;
+    case SessionOutcome::kAbortedT3:
+      ++result_.aborted_t3;
+      break;
+    case SessionOutcome::kCompleted:
+      ++result_.completed;
+      break;
+    case SessionOutcome::kStarved:
+      ++result_.starved;
+      break;
+    case SessionOutcome::kAtomicityLost:
+      ++result_.atomicity_lost;
+      break;
+    case SessionOutcome::kPending:
+      break;
+  }
+
+  // Latency and capital lockup.  Unclaimed locks refund tau after expiry
+  // (the paper's t7/t8 receipt times), which the ledger schedules on its
+  // own; the analytic times below equal those events' confirmations.
+  double latency = std::numeric_limits<double>::quiet_NaN();
+  if (s.outcome == SessionOutcome::kCompleted) {
+    latency = std::max(s.claim_a_confirmed, s.claim_b_confirmed) - s.t0;
+    latencies_.push_back(latency);
+  }
+  if (!std::isnan(s.deploy_a_confirmed)) {
+    const double settle =
+        claim_a_ok ? s.claim_a_confirmed : s.t_a_expiry + config_.tau_a;
+    result_.stats.lockup_token_a_hours +=
+        s.p_star * (settle - s.deploy_a_confirmed);
+  }
+  if (!std::isnan(s.deploy_b_confirmed)) {
+    const double settle =
+        claim_b_ok ? s.claim_b_confirmed : s.t_b_expiry + config_.tau_b;
+    result_.stats.lockup_token_b_hours += settle - s.deploy_b_confirmed;
+  }
+
+  if (trace_ != nullptr && trace_stride_ > 0 && idx % trace_stride_ == 0) {
+    trace_->record(queue_.now(), obs::TraceKind::kOutcome,
+                   {{"session", idx},
+                    {"outcome", to_string(s.outcome)},
+                    {"latency_hours", latency}});
+  }
+  // Release per-session heap state; the deque entry itself stays (cheap).
+  s.alice.clear();
+  s.alice.shrink_to_fit();
+  s.bob.clear();
+  s.bob.shrink_to_fit();
+}
+
+// --- run -------------------------------------------------------------------
+
+PopulationResult PopulationSim::run() {
+  if (ran_) throw std::logic_error("PopulationSim::run: already ran");
+  ran_ = true;
+  schedule_next_arrival();
+  queue_.run();
+
+  PopulationResult& r = result_;
+  r.stats.matches = r.sessions;
+  r.stats.initiated = r.sessions - r.never_initiated;
+  r.stats.completed = r.completed;
+  r.stats.expired = r.starved + r.atomicity_lost;
+  if (r.stats.initiated > 0) {
+    r.stats.mean_predicted_sr =
+        predicted_sr_sum_ / static_cast<double>(r.stats.initiated);
+  }
+  std::sort(latencies_.begin(), latencies_.end());
+  r.stats.latency_p50 = percentile(latencies_, 0.50);
+  r.stats.latency_p90 = percentile(latencies_, 0.90);
+  r.stats.latency_p99 = percentile(latencies_, 0.99);
+
+  r.final_price = price_;
+  r.min_price = min_price_;
+  r.max_price = max_price_;
+  r.blocks_sealed = market_a_->blocks_sealed() + market_b_->blocks_sealed();
+  r.txs_included = market_a_->included() + market_b_->included();
+  r.txs_evicted = market_a_->evicted() + market_b_->evicted();
+  r.txs_expired = market_a_->expired() + market_b_->expired();
+  r.fees_paid = market_a_->fees_paid() + market_b_->fees_paid();
+  r.conserved = ledger_a_->total_supply() == minted_a_ &&
+                ledger_b_->total_supply() == minted_b_;
+  r.end_time = queue_.now();
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("population.sessions").inc(r.sessions);
+    metrics_->counter("population.initiated").inc(r.stats.initiated);
+    metrics_->counter("population.completed").inc(r.completed);
+    metrics_->counter("population.starved").inc(r.starved);
+    metrics_->counter("population.atomicity_lost").inc(r.atomicity_lost);
+    metrics_->counter("population.rebids").inc(r.rebids);
+    metrics_->counter("population.txs_evicted").inc(r.txs_evicted);
+    metrics_->counter("population.txs_expired").inc(r.txs_expired);
+    auto& hist =
+        metrics_->histogram("population.settlement_latency_hours", 0.0, 48.0,
+                            48);
+    for (const double l : latencies_) hist.observe(l);
+  }
+  return r;
+}
+
+}  // namespace swapgame::market

@@ -1,0 +1,296 @@
+// Population-scale swap-market simulation on shared ledgers.
+//
+// Where market/settlement.hpp executes each match as an ISOLATED one-shot
+// swap (its own schedule, its own price path), this layer runs 10^5+
+// sessions CONCURRENTLY against the same two chain::Ledger instances,
+// all driven by one chain::EventQueue:
+//
+//   * orders arrive as a Poisson stream into the OrderBook; resting orders
+//     are cancelled after a patience window (exercising the id index);
+//   * every match spawns a SwapSession -- an event-driven replica of the
+//     proto t1..t4 state machine -- whose transactions compete for block
+//     space through a per-chain FeeMarket (fee bids, capacity eviction,
+//     strategic re-bidding as the timelock expiry approaches);
+//   * the token-b price is ENDOGENOUS: a lazily-advanced GBM perturbed by
+//     executed swap flow (each initiation moves log-P by +-impact toward
+//     the taker's side), and every t1/t2/t3 decision reads the live price
+//     against the rational thresholds of model::BasicGame;
+//   * thresholds are served from two caches keyed on tick-quantized
+//     coordinates -- (type pair, P*) for the p_t0-independent t2 region
+//     and t3 cutoff, plus (type pair, P*, P_t0) for the quadrature-backed
+//     t1 continuation value and analytic SR -- so 10^5 decisions cost a
+//     few hundred solver runs, warm-started along the P* axis;
+//   * per-session outcome, settlement latency and capital lockup roll up
+//     into market::MarketStats, and the ledgers' total_supply()
+//     conservation is checked against the minted totals at the end.
+//
+// Everything is single-threaded on the event queue and every random draw
+// comes from a counter-keyed stream, so a run is a pure function of its
+// PopulationConfig -- the engine exposes it as the cacheable `market_sim`
+// cell kind (engine/run_spec.hpp) and CI asserts bit-identical output
+// across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chain/event_queue.hpp"
+#include "crypto/secret.hpp"
+#include "chain/ledger.hpp"
+#include "market/order_book.hpp"
+#include "market/population/fee_market.hpp"
+#include "market/settlement.hpp"
+#include "math/interval.hpp"
+#include "model/params.hpp"
+
+namespace swapgame::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace swapgame::obs
+
+namespace swapgame::market {
+
+/// A discrete trader archetype; arrivals draw a type per order.  Keeping
+/// the type set small bounds the threshold-cache footprint.
+struct TraderType {
+  model::AgentParams agent;
+  double weight = 1.0;  ///< relative arrival frequency (need not normalize)
+};
+
+/// Full description of one population run (the canonical cell input --
+/// every field is part of the engine's RunSpec hash).
+struct PopulationConfig {
+  // Workload shape.
+  std::uint64_t sessions = 2000;  ///< matched sessions to run (arrival
+                                  ///< stream stops once reached)
+  double arrival_rate = 400.0;    ///< order arrivals per hour (Poisson)
+  double limit_spread = 0.06;     ///< limits uniform within +-spread of P
+  double tick = 0.02;             ///< price grid for limit quantization
+  double cancel_after = 4.0;      ///< patience: resting orders cancel after
+
+  // Endogenous price process.
+  double p0 = 2.0;               ///< initial token-b price
+  math::GbmParams gbm{};         ///< exogenous drift/volatility
+  double impact = 1e-4;          ///< log-price kick per initiated swap
+  double decision_tick = 0.1;    ///< P_t0 quantization of the t1 cache
+
+  // Chain substrate (the game-parameter taus; fee congestion adds real
+  // latency ON TOP of these, which is the phenomenon under study).
+  double tau_a = 3.0;
+  double tau_b = 4.0;
+  double eps_b = 1.0;
+  FeeMarketConfig fee_a{};
+  FeeMarketConfig fee_b{};
+  /// Extra hours added to the idealized t_b expiry (and 2x to t_a) so
+  /// sessions have fee-market slack before their timelocks bind.
+  double expiry_slack = 2.0;
+
+  // Fee strategy.
+  double base_fee = 1e-3;     ///< bids drawn uniform in [base, base*(1+spread)]
+  double fee_spread = 1.0;
+  double rebid_factor = 1.6;  ///< fee multiplier after an eviction
+  double max_fee = 0.1;       ///< abandon instead of bidding above this
+
+  std::uint64_t seed = 0x9A9;
+  /// Trader archetypes (defaults to three alpha/r mixes when empty).
+  std::vector<TraderType> types;
+
+  /// The default three-type population (patient/base/impatient).
+  [[nodiscard]] static std::vector<TraderType> default_types();
+
+  /// Throws std::invalid_argument on non-positive rates/ticks/sessions or
+  /// invalid chain/fee parameters.
+  void validate() const;
+};
+
+/// Terminal classification of one matched session.
+enum class SessionOutcome : std::uint8_t {
+  kPending,         ///< not yet finalized (never appears in results)
+  kNeverInitiated,  ///< Alice's t1 threshold rejected the matched rate
+  kAbortedT2,       ///< Bob declined to lock (P left his t2 region)
+  kAbortedT3,       ///< Alice declined to reveal (P below her t3 cutoff)
+  kCompleted,       ///< both claims confirmed
+  kStarved,         ///< a pre-reveal transaction never landed in time;
+                    ///< both sides refunded (benign unwind)
+  kAtomicityLost,   ///< Alice's reveal landed but Bob's claim starved:
+                    ///< Bob paid token-b and his token-a refunded to Alice
+};
+
+[[nodiscard]] const char* to_string(SessionOutcome outcome) noexcept;
+
+/// Everything a population run produces.
+struct PopulationResult {
+  // Workload accounting.
+  std::uint64_t arrivals = 0;
+  std::uint64_t orders_cancelled = 0;
+  std::uint64_t sessions = 0;  ///< matches settled as sessions
+
+  // Outcome counts (sum == sessions).
+  std::uint64_t never_initiated = 0;
+  std::uint64_t aborted_t2 = 0;
+  std::uint64_t aborted_t3 = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t starved = 0;
+  std::uint64_t atomicity_lost = 0;
+
+  /// Rolled-up market statistics (initiated/completed/latency/lockup; the
+  /// expired field counts starved + atomicity_lost).
+  MarketStats stats;
+
+  // Price path summary.
+  double final_price = 0.0;
+  double min_price = 0.0;
+  double max_price = 0.0;
+
+  // Fee-market telemetry (chain A + chain B).
+  std::uint64_t blocks_sealed = 0;
+  std::uint64_t txs_included = 0;
+  std::uint64_t txs_evicted = 0;
+  std::uint64_t txs_expired = 0;
+  std::uint64_t rebids = 0;
+  double fees_paid = 0.0;
+
+  // Threshold-cache telemetry (deterministic given the config).
+  std::uint64_t threshold_games = 0;  ///< level-1 (t2/t3) solver runs
+  std::uint64_t t1_evaluations = 0;   ///< level-2 quadrature evaluations
+
+  /// Ledger conservation: total_supply() == minted on both chains at end.
+  bool conserved = false;
+  double end_time = 0.0;  ///< simulation time when the queue drained
+};
+
+/// One-shot simulator: construct, optionally attach sinks, run().
+class PopulationSim {
+ public:
+  explicit PopulationSim(PopulationConfig config);
+  ~PopulationSim();
+
+  PopulationSim(const PopulationSim&) = delete;
+  PopulationSim& operator=(const PopulationSim&) = delete;
+
+  /// Optional metrics sink: population_* counters and the settlement
+  /// latency histogram land here during run().  Must outlive run().
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  /// Optional trace sink: records run-start/outcome events for every
+  /// trace_stride-th session (0 disables).  Must outlive run().
+  void set_trace(obs::TraceRecorder* trace, std::uint64_t stride) noexcept {
+    trace_ = trace;
+    trace_stride_ = stride;
+  }
+
+  /// Runs the population to completion (the event queue drains: arrivals
+  /// stop at the session target and every HTLC settles or refunds).
+  /// Callable once.
+  [[nodiscard]] PopulationResult run();
+
+ private:
+  /// Level-1 cache entry: the p_t0-independent thresholds at one
+  /// (type pair, quantized P*) coordinate.
+  struct GameEntry {
+    double t3_cutoff = 0.0;
+    math::IntervalSet t2_region;
+    std::vector<double> t2_roots;
+  };
+
+  /// One matched session's protocol state (the event-driven t1..t4 run).
+  struct Session {
+    std::uint32_t buyer_type = 0;
+    std::uint32_t seller_type = 0;
+    double p_star = 0.0;
+    double t0 = 0.0;
+    double t_a_expiry = 0.0;
+    double t_b_expiry = 0.0;
+    double fee_a = 0.0;  ///< current bid on chain A (escalates on eviction)
+    double fee_b = 0.0;
+    math::Xoshiro256 rng;  ///< counter-keyed per-session stream
+    crypto::Secret secret;
+    std::string alice;  ///< account name on both chains
+    std::string bob;
+    chain::HtlcId htlc_a{};
+    chain::HtlcId htlc_b{};
+    double deploy_a_confirmed = std::numeric_limits<double>::quiet_NaN();
+    double deploy_b_confirmed = std::numeric_limits<double>::quiet_NaN();
+    double claim_b_confirmed = std::numeric_limits<double>::quiet_NaN();
+    double claim_a_confirmed = std::numeric_limits<double>::quiet_NaN();
+    bool initiated = false;
+    bool revealed = false;  ///< secret hit the chain-B mempool
+    bool finalized = false;
+    SessionOutcome outcome = SessionOutcome::kPending;
+  };
+
+  // --- decision thresholds (two-level tick-quantized cache) -------------
+  [[nodiscard]] model::SwapParams pair_params(std::uint32_t buyer_type,
+                                              std::uint32_t seller_type,
+                                              double p_t0) const;
+  [[nodiscard]] const GameEntry& game_entry(std::uint32_t buyer_type,
+                                            std::uint32_t seller_type,
+                                            double p_star);
+  /// (alice_t1_cont, analytic SR) at quantized (pair, P*, P_t0).
+  [[nodiscard]] std::pair<double, double> t1_entry(std::uint32_t buyer_type,
+                                                   std::uint32_t seller_type,
+                                                   double p_star, double p_t0);
+
+  // --- endogenous price --------------------------------------------------
+  [[nodiscard]] double price_at(double t);
+  void apply_impact(double direction);
+
+  // --- workload ----------------------------------------------------------
+  void schedule_next_arrival();
+  void on_arrival();
+  void spawn_session(const Match& match);
+
+  // --- session state machine (t1..t4 over the fee markets) ---------------
+  void submit_deploy_a(std::uint64_t idx);
+  void submit_deploy_b(std::uint64_t idx);
+  void submit_claim_b(std::uint64_t idx);
+  void submit_claim_a(std::uint64_t idx);
+  /// Re-bid after an eviction (escalated fee) or mark the session starved.
+  void handle_drop(std::uint64_t idx, int stage, DropReason reason);
+  void at_t2(std::uint64_t idx);
+  void at_t3(std::uint64_t idx);
+  void at_t4(std::uint64_t idx);
+  void finalize(std::uint64_t idx);
+
+  PopulationConfig config_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint64_t trace_stride_ = 0;
+
+  chain::EventQueue queue_;
+  std::unique_ptr<chain::Ledger> ledger_a_;
+  std::unique_ptr<chain::Ledger> ledger_b_;
+  std::unique_ptr<FeeMarket> market_a_;
+  std::unique_ptr<FeeMarket> market_b_;
+  OrderBook book_;
+
+  math::Xoshiro256 arrival_rng_;
+  math::Xoshiro256 price_rng_;
+  double price_ = 0.0;
+  double price_time_ = 0.0;
+  double min_price_ = 0.0;
+  double max_price_ = 0.0;
+
+  std::deque<Session> sessions_;
+  std::map<std::uint64_t, std::uint32_t> order_types_;  ///< order id -> type
+  std::map<std::uint64_t, GameEntry> games_;            ///< level-1 cache
+  std::map<std::uint64_t, std::pair<double, double>> t1_cache_;  ///< level-2
+  /// Last t2 roots per type pair, warm-starting the next P* solve.
+  std::map<std::uint32_t, std::vector<double>> last_roots_;
+
+  chain::Amount minted_a_;
+  chain::Amount minted_b_;
+  PopulationResult result_;
+  std::vector<double> latencies_;
+  double predicted_sr_sum_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace swapgame::market

@@ -22,9 +22,10 @@ model::SwapParams params_for_match(const Match& match,
 }
 
 Settlement settle_match(const Match& match, const SettlementConfig& config,
-                        math::Xoshiro256& rng) {
+                        std::uint64_t session_index) {
   Settlement settlement;
   settlement.match = match;
+  math::Xoshiro256 rng = session_rng(config.seed, session_index);
 
   const model::SwapParams params = params_for_match(match, config);
   const double p_star = match.rate;

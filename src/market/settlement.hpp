@@ -8,6 +8,9 @@
 // dex_marketplace example drives.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "math/rng.hpp"
@@ -25,7 +28,19 @@ struct SettlementConfig {
   double p_t0 = 2.0;           ///< current market price
   math::GbmParams gbm{};
   double collateral = 0.0;     ///< optional Q per side (Section IV)
+  /// Base seed for the per-session RNG streams (see session_rng below).
+  std::uint64_t seed = 0x5E771E;
 };
+
+/// The independent RNG stream of session `index`: counter-keyed SplitMix
+/// seeding (the per-chunk MC stream idiom), so settling matches in any
+/// order -- or concurrently -- draws the same secret and price path for a
+/// given session index, bit for bit.
+[[nodiscard]] inline math::Xoshiro256 session_rng(std::uint64_t seed,
+                                                  std::uint64_t index) {
+  return math::Xoshiro256(seed ^
+                          (index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+}
 
 /// Outcome of settling one match.
 struct Settlement {
@@ -41,20 +56,41 @@ struct Settlement {
                                                  const SettlementConfig& config);
 
 /// Settles one match end-to-end: analytic prediction + protocol execution
-/// over a GBM path drawn from `rng` (rational strategies both sides).
+/// over a GBM path (rational strategies both sides).  The secret and the
+/// path are drawn from session_rng(config.seed, session_index) -- an
+/// independent per-session stream, so results are a pure function of
+/// (match, config, session_index) and never depend on settlement order.
 [[nodiscard]] Settlement settle_match(const Match& match,
                                       const SettlementConfig& config,
-                                      math::Xoshiro256& rng);
+                                      std::uint64_t session_index);
 
-/// Aggregate statistics over a batch of settlements.
+/// Aggregate statistics over a batch of settlements.  The population layer
+/// (population/population_sim.hpp) also rolls its per-session latency and
+/// lockup accounting into this struct; plain aggregate() leaves those
+/// fields at their defaults.
 struct MarketStats {
   std::size_t matches = 0;
   std::size_t initiated = 0;
   std::size_t completed = 0;
   double mean_predicted_sr = 0.0;
-  /// Completion rate among initiated swaps (empirical SR).
+  /// Sessions whose pending transactions never landed before their
+  /// timelocks (fee-market starvation); population runs only.
+  std::size_t expired = 0;
+  /// Settlement latency percentiles over COMPLETED sessions, in hours from
+  /// the t1 initiation to the final claim confirmation; NaN when no
+  /// session completed (population runs only).
+  double latency_p50 = std::numeric_limits<double>::quiet_NaN();
+  double latency_p90 = std::numeric_limits<double>::quiet_NaN();
+  double latency_p99 = std::numeric_limits<double>::quiet_NaN();
+  /// Capital lockup: token-hours spent locked in HTLCs (population runs).
+  double lockup_token_a_hours = 0.0;
+  double lockup_token_b_hours = 0.0;
+  /// Completion rate among initiated swaps (empirical SR).  NaN when
+  /// nothing was ever initiated -- the same never-initiated convention as
+  /// McEstimate::conditional_success_rate; a fake 0.0 here would drag down
+  /// averages over batches that merely matched nothing viable.
   [[nodiscard]] double completion_rate() const noexcept {
-    return initiated == 0 ? 0.0
+    return initiated == 0 ? std::numeric_limits<double>::quiet_NaN()
                           : static_cast<double>(completed) /
                                 static_cast<double>(initiated);
   }

@@ -108,5 +108,38 @@ TEST(EventQueue, RunUntilRejectsPast) {
   EXPECT_THROW((void)q.run_until(4.0), std::invalid_argument);
 }
 
+TEST(EventQueue, HeapChurnPreservesGlobalWhenSeqOrder) {
+  // Regression for the vector+push_heap/pop_heap rewrite (the old
+  // priority_queue step() moved through a const_cast on top(), formally
+  // UB): under heavy interleaved scheduling -- including callbacks that
+  // schedule more events at equal and later times -- every event still
+  // fires in strict (when, then scheduling-order) sequence.
+  EventQueue q;
+  std::vector<std::pair<double, int>> fired;
+  int tag = 0;
+  // A deterministic but scrambled schedule: times cycle through a residue
+  // pattern so insertion order is far from heap order.
+  for (int i = 0; i < 200; ++i) {
+    const double when = static_cast<double>((i * 7) % 31) + 0.25 * (i % 4);
+    q.schedule_at(when, [&fired, &q, &tag, when] {
+      fired.push_back({when, tag++});
+      if (fired.size() % 3 == 0) {
+        const double again = q.now() + static_cast<double>(fired.size() % 5);
+        q.schedule_at(again, [&fired, &tag, again] {
+          fired.push_back({again, tag++});
+        });
+      }
+    });
+  }
+  q.run();
+  ASSERT_GE(fired.size(), 200u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);  // time-ordered
+    EXPECT_LT(fired[i - 1].second, fired[i].second);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace swapgame::chain

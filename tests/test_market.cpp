@@ -2,6 +2,10 @@
 // and HTLC settlement of matches.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "market/order_book.hpp"
 #include "market/settlement.hpp"
 
@@ -90,6 +94,65 @@ TEST(OrderBook, CancelRemovesRestingOrder) {
   EXPECT_FALSE(book.take_match().has_value());
 }
 
+TEST(OrderBook, CancelAfterMatchReturnsFalse) {
+  // Once a resting order has been consumed by a cross, its id must leave
+  // the cancel index: cancelling it is a no-op that reports false.
+  OrderBook book;
+  const auto maker = book.submit(Side::kSellTokenB, "maker", 2.0, prefs());
+  book.submit(Side::kBuyTokenB, "taker", 2.3, prefs());
+  ASSERT_TRUE(book.take_match().has_value());
+  EXPECT_FALSE(book.cancel(maker));
+  EXPECT_EQ(book.depth(Side::kSellTokenB), 0u);
+}
+
+TEST(OrderBook, CancelThenEqualPriceKeepsFifo) {
+  // Cancelling the first of two equal-priced makers must leave the
+  // second's time priority intact -- and never disturb its book position.
+  OrderBook book;
+  const auto first = book.submit(Side::kSellTokenB, "first", 2.0, prefs());
+  book.submit(Side::kSellTokenB, "second", 2.0, prefs());
+  book.submit(Side::kSellTokenB, "third", 2.0, prefs());
+  EXPECT_TRUE(book.cancel(first));
+  book.submit(Side::kBuyTokenB, "buyer", 2.0, prefs());
+  const auto match = book.take_match();
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->sell.trader, "second");
+  EXPECT_EQ(book.depth(Side::kSellTokenB), 1u);
+}
+
+TEST(OrderBook, IdIndexStaysConsistentUnderChurn) {
+  // Interleaved rests, crosses and cancels on both sides: every resting id
+  // is cancellable exactly once, consumed ids never are, and depth always
+  // matches the live-order count.
+  OrderBook book;
+  std::vector<std::uint64_t> live;
+  std::vector<std::uint64_t> consumed;
+  for (int round = 0; round < 50; ++round) {
+    const double bid = 1.0 + 0.01 * round;
+    const double ask = 3.0 - 0.01 * round;
+    live.push_back(book.submit(Side::kBuyTokenB, "b", bid, prefs()));
+    live.push_back(book.submit(Side::kSellTokenB, "s", ask, prefs()));
+    if (round % 5 == 0 && !live.empty()) {
+      EXPECT_TRUE(book.cancel(live.front()));
+      live.erase(live.begin());
+    }
+    if (round % 7 == 0) {
+      // A marketable buy consumes the current best ask.
+      book.submit(Side::kBuyTokenB, "taker", 3.5, prefs());
+      const auto match = book.take_match();
+      ASSERT_TRUE(match.has_value());
+      consumed.push_back(match->sell.id);
+      live.erase(std::find(live.begin(), live.end(), match->sell.id));
+    }
+  }
+  EXPECT_EQ(book.depth(Side::kBuyTokenB) + book.depth(Side::kSellTokenB),
+            live.size());
+  for (const std::uint64_t id : consumed) EXPECT_FALSE(book.cancel(id));
+  for (const std::uint64_t id : live) EXPECT_TRUE(book.cancel(id));
+  EXPECT_EQ(book.depth(Side::kBuyTokenB), 0u);
+  EXPECT_EQ(book.depth(Side::kSellTokenB), 0u);
+}
+
 TEST(OrderBook, MatchesAreFifo) {
   OrderBook book;
   book.submit(Side::kSellTokenB, "s1", 2.0, prefs());
@@ -121,8 +184,7 @@ TEST(Settlement, ParamsInheritTraderPreferences) {
 
 TEST(Settlement, ViableMatchSettlesOnChain) {
   const Match match = make_match(2.0);
-  math::Xoshiro256 rng(7);
-  const Settlement s = settle_match(match, SettlementConfig{}, rng);
+  const Settlement s = settle_match(match, SettlementConfig{}, 0);
   EXPECT_NEAR(s.predicted_sr, 0.7143, 2e-3);
   EXPECT_TRUE(s.initiated);
   EXPECT_TRUE(s.result.conservation_ok);
@@ -130,20 +192,18 @@ TEST(Settlement, ViableMatchSettlesOnChain) {
 
 TEST(Settlement, OffBandRateNeverInitiates) {
   const Match match = make_match(5.0);  // far above the feasible band
-  math::Xoshiro256 rng(7);
-  const Settlement s = settle_match(match, SettlementConfig{}, rng);
+  const Settlement s = settle_match(match, SettlementConfig{}, 0);
   EXPECT_FALSE(s.initiated);
   EXPECT_EQ(s.result.outcome, proto::SwapOutcome::kNotInitiated);
 }
 
 TEST(Settlement, EmpiricalCompletionTracksPrediction) {
-  // Settle the same viable match across many sampled paths; the realized
-  // completion rate approximates the analytic SR.
+  // Settle the same viable match across many per-session streams; the
+  // realized completion rate approximates the analytic SR.
   const Match match = make_match(2.0);
-  math::Xoshiro256 rng(11);
   std::vector<Settlement> settlements;
-  for (int i = 0; i < 400; ++i) {
-    settlements.push_back(settle_match(match, SettlementConfig{}, rng));
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    settlements.push_back(settle_match(match, SettlementConfig{}, i));
   }
   const MarketStats stats = aggregate(settlements);
   EXPECT_EQ(stats.matches, 400u);
@@ -155,13 +215,63 @@ TEST(Settlement, CollateralRaisesCompletion) {
   const Match match = make_match(2.0);
   SettlementConfig with_q;
   with_q.collateral = 1.0;
-  math::Xoshiro256 rng_a(13), rng_b(13);
   int base = 0, coll = 0;
-  for (int i = 0; i < 250; ++i) {
-    if (settle_match(match, SettlementConfig{}, rng_a).result.success) ++base;
-    if (settle_match(match, with_q, rng_b).result.success) ++coll;
+  for (std::uint64_t i = 0; i < 250; ++i) {
+    if (settle_match(match, SettlementConfig{}, i).result.success) ++base;
+    if (settle_match(match, with_q, i).result.success) ++coll;
   }
   EXPECT_GT(coll, base);
+}
+
+TEST(Settlement, ResultIsIndependentOfSettlementOrder) {
+  // The satellite-4 regression: a session's secret and price path come
+  // from its own counter-keyed stream, so settling [m0, m1, m2] forwards
+  // or backwards yields bit-identical per-session results.
+  const Match match = make_match(2.0);
+  const SettlementConfig config;
+  std::vector<Settlement> forward, backward;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    forward.push_back(settle_match(match, config, i));
+  }
+  for (std::uint64_t i = 8; i-- > 0;) {
+    backward.insert(backward.begin(), settle_match(match, config, i));
+  }
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].result.outcome, backward[i].result.outcome);
+    EXPECT_EQ(forward[i].result.alice.final_token_a,
+              backward[i].result.alice.final_token_a);
+    EXPECT_EQ(forward[i].result.alice.realized_utility,
+              backward[i].result.alice.realized_utility);
+    EXPECT_EQ(forward[i].result.bob.realized_utility,
+              backward[i].result.bob.realized_utility);
+  }
+  // Distinct sessions draw distinct paths: not every outcome can coincide
+  // with session 0's final balances on a viable-but-risky match.
+  bool any_difference = false;
+  for (std::size_t i = 1; i < forward.size(); ++i) {
+    if (forward[i].result.alice.realized_utility !=
+        forward[0].result.alice.realized_utility) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Settlement, CompletionRateIsNaNWhenNeverInitiated) {
+  // The satellite-3 regression: an empty (or never-initiated) batch has NO
+  // empirical completion rate; 0.0 would be a fake number that drags down
+  // averages.  Matches McEstimate::conditional_success_rate's convention.
+  const MarketStats empty = aggregate({});
+  EXPECT_TRUE(std::isnan(empty.completion_rate()));
+
+  const Match match = make_match(5.0);  // off-band: never initiates
+  std::vector<Settlement> settlements;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    settlements.push_back(settle_match(match, SettlementConfig{}, i));
+  }
+  const MarketStats stats = aggregate(settlements);
+  EXPECT_EQ(stats.initiated, 0u);
+  EXPECT_TRUE(std::isnan(stats.completion_rate()));
 }
 
 }  // namespace

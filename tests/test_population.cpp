@@ -1,0 +1,340 @@
+// Tests for the population-scale market layer (src/market/population):
+// fee-market accounting, end-to-end population runs, and the engine's
+// market_sim cell (bit-identical across thread counts).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "chain/event_queue.hpp"
+#include "chain/ledger.hpp"
+#include "engine/batch_engine.hpp"
+#include "engine/run_spec.hpp"
+#include "market/population/fee_market.hpp"
+#include "market/population/population_sim.hpp"
+
+namespace swapgame::market {
+namespace {
+
+chain::TxPayload transfer(const char* from, const char* to, double tokens) {
+  return chain::TransferPayload{chain::Address{from}, chain::Address{to},
+                                chain::Amount::from_tokens(tokens)};
+}
+
+struct FeeMarketFixture {
+  chain::EventQueue queue;
+  chain::Ledger ledger;
+  FeeMarket market;
+
+  explicit FeeMarketFixture(FeeMarketConfig config)
+      : ledger({chain::ChainId::kChainA, /*tau=*/1.0, /*eps=*/0.25}, queue),
+        market(config, ledger, queue) {
+    ledger.create_account(chain::Address{"a"}, chain::Amount::from_tokens(100.0));
+    ledger.create_account(chain::Address{"b"}, chain::Amount::from_tokens(100.0));
+  }
+};
+
+TEST(FeeMarket, ValidatesInput) {
+  EXPECT_THROW(FeeMarketConfig({0.0, 4, 8}).validate(), std::invalid_argument);
+  EXPECT_THROW(FeeMarketConfig({0.25, 0, 8}).validate(), std::invalid_argument);
+  EXPECT_THROW(FeeMarketConfig({0.25, 4, 0}).validate(), std::invalid_argument);
+
+  FeeMarketFixture fx({0.25, 4, 8});
+  EXPECT_THROW(fx.market.submit(transfer("a", "b", 1.0), -1.0, 1.0, {}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(fx.market.submit(transfer("a", "b", 1.0), 0.01, -1.0, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(FeeMarket, IncludesByFeePriorityAndAccountsEveryIntent) {
+  // Capacity 2 per block: the two best fees go first, the rest wait.
+  FeeMarketFixture fx({0.25, 2, 16});
+  std::vector<int> included;
+  std::vector<int> dropped;
+  const double fees[4] = {0.01, 0.04, 0.02, 0.03};
+  for (int i = 0; i < 4; ++i) {
+    fx.market.submit(
+        transfer("a", "b", 1.0), fees[i], 10.0,
+        [&included, i](chain::TxId) { included.push_back(i); },
+        [&dropped, i](DropReason) { dropped.push_back(i); });
+  }
+  fx.queue.run();
+
+  ASSERT_EQ(included.size(), 4u);
+  EXPECT_TRUE(dropped.empty());
+  // First block: fee 0.04 then 0.03; second block: 0.02 then 0.01.
+  EXPECT_EQ(included, (std::vector<int>{1, 3, 2, 0}));
+  EXPECT_EQ(fx.market.blocks_sealed(), 2u);
+  EXPECT_EQ(fx.market.included(), 4u);
+  EXPECT_EQ(fx.market.pending(), 0u);
+  EXPECT_NEAR(fx.market.fees_paid(), 0.10, 1e-12);
+}
+
+TEST(FeeMarket, EqualFeesIncludeInArrivalOrder) {
+  FeeMarketFixture fx({0.25, 8, 16});
+  std::vector<int> included;
+  for (int i = 0; i < 4; ++i) {
+    fx.market.submit(
+        transfer("a", "b", 1.0), 0.02, 10.0,
+        [&included, i](chain::TxId) { included.push_back(i); }, {});
+  }
+  fx.queue.run();
+  EXPECT_EQ(included, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(FeeMarket, EvictsLowestFeeWhenOverCapacity) {
+  // Mempool holds 2: the third submission evicts the cheapest bid.
+  FeeMarketFixture fx({0.25, 1, 2});
+  std::vector<std::pair<int, DropReason>> drops;
+  const double fees[3] = {0.05, 0.01, 0.03};
+  for (int i = 0; i < 3; ++i) {
+    fx.market.submit(
+        transfer("a", "b", 1.0), fees[i], 10.0, {},
+        [&drops, i](DropReason r) { drops.emplace_back(i, r); });
+  }
+  // Eviction decided synchronously; notification arrives via the queue.
+  EXPECT_EQ(fx.market.pending(), 2u);
+  EXPECT_EQ(fx.market.evicted(), 1u);
+  fx.queue.run();
+
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].first, 1);  // the 0.01 bid lost
+  EXPECT_EQ(drops[0].second, DropReason::kEvicted);
+  EXPECT_EQ(fx.market.included(), 2u);
+  // Conservation of intents: every submission is included or dropped.
+  EXPECT_EQ(fx.market.included() + fx.market.evicted() + fx.market.expired(),
+            3u);
+}
+
+TEST(FeeMarket, ExpiresIntentsPastTheirDeadline) {
+  // Capacity 1 per block: the low bid waits, and its deadline lapses
+  // before the second seal reaches it.
+  FeeMarketFixture fx({0.25, 1, 16});
+  std::vector<DropReason> drops;
+  fx.market.submit(transfer("a", "b", 1.0), 0.05, 10.0, {}, {});
+  fx.market.submit(transfer("a", "b", 1.0), 0.01, 0.3,
+                   [](chain::TxId) { FAIL() << "expired intent included"; },
+                   [&drops](DropReason r) { drops.push_back(r); });
+  fx.queue.run();
+
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0], DropReason::kExpired);
+  EXPECT_EQ(fx.market.included(), 1u);
+  EXPECT_EQ(fx.market.expired(), 1u);
+  EXPECT_NEAR(fx.market.fees_paid(), 0.05, 1e-12);
+}
+
+TEST(FeeMarket, CancelWithdrawsWithoutCallbacks) {
+  FeeMarketFixture fx({0.25, 4, 16});
+  bool touched = false;
+  const std::uint64_t id = fx.market.submit(
+      transfer("a", "b", 1.0), 0.02, 10.0,
+      [&touched](chain::TxId) { touched = true; },
+      [&touched](DropReason) { touched = true; });
+  EXPECT_TRUE(fx.market.cancel(id));
+  EXPECT_FALSE(fx.market.cancel(id));
+  fx.queue.run();
+  EXPECT_FALSE(touched);
+  EXPECT_EQ(fx.market.included(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Population runs
+// ---------------------------------------------------------------------------
+
+PopulationConfig small_config(std::uint64_t sessions = 300) {
+  PopulationConfig config;
+  config.sessions = sessions;
+  config.arrival_rate = 600.0;
+  config.seed = 0xFEED5;
+  return config;
+}
+
+TEST(PopulationSim, ValidatesConfig) {
+  PopulationConfig config = small_config();
+  config.sessions = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.arrival_rate = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.tau_b = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.rebid_factor = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(PopulationSim, OutcomesPartitionSessionsAndLedgersConserve) {
+  PopulationSim sim(small_config());
+  const PopulationResult r = sim.run();
+
+  EXPECT_EQ(r.sessions, small_config().sessions);
+  EXPECT_EQ(r.never_initiated + r.aborted_t2 + r.aborted_t3 + r.completed +
+                r.starved + r.atomicity_lost,
+            r.sessions);
+  EXPECT_TRUE(r.conserved);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.arrivals, r.sessions);
+  EXPECT_GT(r.blocks_sealed, 0u);
+  EXPECT_GT(r.end_time, 0.0);
+  EXPECT_GT(r.min_price, 0.0);
+  EXPECT_GE(r.max_price, r.min_price);
+
+  // Stats roll-up is consistent with the outcome counts.
+  EXPECT_EQ(r.stats.initiated, r.sessions - r.never_initiated);
+  EXPECT_EQ(r.stats.completed, r.completed);
+  EXPECT_EQ(r.stats.expired, r.starved + r.atomicity_lost);
+  ASSERT_GT(r.stats.initiated, 0u);
+  const double rate = r.stats.completion_rate();
+  EXPECT_TRUE(std::isfinite(rate));
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  if (r.completed > 0) {
+    EXPECT_TRUE(std::isfinite(r.stats.latency_p50));
+    EXPECT_LE(r.stats.latency_p50, r.stats.latency_p99);
+    // Settlement cannot beat the two confirmation legs.
+    EXPECT_GT(r.stats.latency_p50, small_config().tau_a);
+  }
+}
+
+TEST(PopulationSim, CongestedFeeMarketEvictsAndStarves) {
+  PopulationConfig config = small_config(400);
+  config.arrival_rate = 2000.0;
+  config.fee_a.block_capacity = 6;
+  config.fee_b.block_capacity = 6;
+  config.fee_a.mempool_capacity = 24;
+  config.fee_b.mempool_capacity = 24;
+  PopulationSim sim(config);
+  const PopulationResult r = sim.run();
+
+  EXPECT_TRUE(r.conserved);
+  EXPECT_GT(r.txs_evicted, 0u);
+  EXPECT_GT(r.rebids, 0u);
+  EXPECT_GT(r.starved, 0u);
+  // Some sessions still make it through the auction.
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.fees_paid, 0.0);
+}
+
+TEST(PopulationSim, RunsAreDeterministic) {
+  PopulationSim sim_a(small_config(200));
+  PopulationSim sim_b(small_config(200));
+  const PopulationResult a = sim_a.run();
+  const PopulationResult b = sim_b.run();
+
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.orders_cancelled, b.orders_cancelled);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.starved, b.starved);
+  EXPECT_EQ(a.never_initiated, b.never_initiated);
+  EXPECT_EQ(a.txs_included, b.txs_included);
+  EXPECT_EQ(a.txs_evicted, b.txs_evicted);
+  EXPECT_EQ(a.rebids, b.rebids);
+  // Bit-identical doubles, not just close.
+  EXPECT_EQ(a.final_price, b.final_price);
+  EXPECT_EQ(a.fees_paid, b.fees_paid);
+  EXPECT_EQ(a.stats.latency_p50, b.stats.latency_p50);
+  EXPECT_EQ(a.stats.latency_p99, b.stats.latency_p99);
+  EXPECT_EQ(a.stats.lockup_token_a_hours, b.stats.lockup_token_a_hours);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(PopulationSim, SeedChangesTheRun) {
+  PopulationConfig other = small_config(200);
+  other.seed ^= 1;
+  PopulationSim sim_a(small_config(200));
+  PopulationSim sim_b(other);
+  const PopulationResult a = sim_a.run();
+  const PopulationResult b = sim_b.run();
+  EXPECT_NE(a.final_price, b.final_price);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: the market_sim cell kind
+// ---------------------------------------------------------------------------
+
+engine::RunSpec market_spec(std::uint64_t sessions, std::uint64_t seed) {
+  engine::RunSpec spec;
+  spec.kind = engine::CellKind::kMarketSim;
+  spec.population = small_config(sessions);
+  spec.population.seed = seed;
+  return spec;
+}
+
+TEST(EngineMarketSim, CanonicalStringCoversPopulationFields) {
+  engine::RunSpec spec = market_spec(200, 7);
+  const std::string base = spec.canonical_string();
+  EXPECT_NE(base.find("kind=market_sim"), std::string::npos);
+  EXPECT_NE(base.find("population.sessions=200"), std::string::npos);
+
+  engine::RunSpec other = market_spec(200, 7);
+  other.population.rebid_factor *= 2.0;
+  EXPECT_NE(spec.hash(), other.hash());
+  other = market_spec(200, 7);
+  other.population.types = PopulationConfig::default_types();
+  other.population.types[0].weight += 0.5;
+  EXPECT_NE(spec.hash(), other.hash());
+  other = market_spec(200, 8);
+  EXPECT_NE(spec.hash(), other.hash());
+}
+
+TEST(EngineMarketSim, CellMatchesDirectRun) {
+  PopulationSim sim(market_spec(200, 7).population);
+  const PopulationResult direct = sim.run();
+  const engine::RunResult cell = engine::evaluate_cell(market_spec(200, 7));
+
+  EXPECT_TRUE(cell.complete);
+  EXPECT_EQ(cell.samples, direct.sessions);
+  EXPECT_EQ(cell.at("completed"), static_cast<double>(direct.completed));
+  EXPECT_EQ(cell.at("final_price"), direct.final_price);
+  EXPECT_EQ(cell.at("latency_p99"), direct.stats.latency_p99);
+  EXPECT_EQ(cell.at("fees_paid"), direct.fees_paid);
+  EXPECT_EQ(cell.at("conserved"), 1.0);
+}
+
+TEST(EngineMarketSim, BatchIsBitIdenticalAcrossThreadCounts) {
+  std::vector<engine::RunSpec> specs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    specs.push_back(market_spec(120 + 20 * i, 100 + i));
+  }
+
+  engine::EngineConfig serial;
+  serial.threads = 1;
+  engine::EngineConfig wide;
+  wide.threads = 8;
+  engine::BatchEngine engine_serial(serial);
+  engine::BatchEngine engine_wide(wide);
+  const std::vector<engine::RunResult> a = engine_serial.run_batch(specs);
+  const std::vector<engine::RunResult> b = engine_wide.run_batch(specs);
+
+  ASSERT_EQ(a.size(), specs.size());
+  ASSERT_EQ(b.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_EQ(a[i].values.size(), b[i].values.size());
+    for (std::size_t j = 0; j < a[i].values.size(); ++j) {
+      EXPECT_EQ(a[i].values[j].first, b[i].values[j].first);
+      // Bitwise comparison: NaN == NaN, -0.0 != 0.0.
+      EXPECT_EQ(std::memcmp(&a[i].values[j].second, &b[i].values[j].second,
+                            sizeof(double)),
+                0)
+          << a[i].values[j].first;
+    }
+    EXPECT_EQ(a[i].to_entry(specs[i].hash()), b[i].to_entry(specs[i].hash()));
+  }
+}
+
+TEST(EngineMarketSim, ResultRoundTripsThroughCacheEntry) {
+  const engine::RunSpec spec = market_spec(120, 3);
+  const engine::RunResult result = engine::evaluate_cell(spec);
+  const std::string line = result.to_entry(spec.hash());
+  const auto parsed = engine::RunResult::parse_entry(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, spec.hash());
+  EXPECT_EQ(parsed->second.to_entry(spec.hash()), line);
+}
+
+}  // namespace
+}  // namespace swapgame::market

@@ -11,10 +11,13 @@ gated -- the sample/run counts an estimator needs to hit its target CI
   * grid_runs_total            (x9 adaptive grid)
   * drop_block_samples_total   (x14 adaptive fault cells)
   * simd_speedup_*             (x15 SIMD kernel speedups, LOWER bound)
+  * population_latency_*       (x16 fixed-workload settlement latency)
+  * population_completion_*    (x16 completion rates, LOWER bound)
 
 A gated metric may not exceed its baseline by more than --tolerance
-(default 25%); the simd_speedup_* family is gated the other way around
-(a speedup may not drop below baseline * (1 - tolerance)).  Other
+(default 25%); the simd_speedup_* and population_completion_* families
+are gated the other way around (the fresh value may not drop below
+baseline * (1 - tolerance)).  Other
 metrics (e.g. mc_validation_max_abs_err) are reported informationally.
 Wall-clock TIME telemetry is never gated.
 
@@ -35,11 +38,16 @@ GATED_PREFIXES = (
     "adaptive_samples_to_target",
     "grid_runs_total",
     "drop_block_samples_total",
+    # x16 settlement-latency percentiles come from FIXED-size population
+    # cells (never SWAPGAME_MC_SCALE-scaled), so they are deterministic
+    # functions of the config and safe to gate on any machine.
+    "population_latency_",
 )
 
 # Higher-is-better metrics: fresh must stay ABOVE baseline * (1 - tol).
 GATED_MIN_PREFIXES = (
     "simd_speedup_",
+    "population_completion_",
 )
 
 
