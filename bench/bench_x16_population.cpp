@@ -1,4 +1,4 @@
-// X16 -- population-scale swap market: 10^5 concurrent HTLC sessions on
+// X16 -- population-scale swap market: 10^6 concurrent HTLC sessions on
 // two SHARED ledgers (the ROADMAP's "millions of users" direction).
 //
 // Every other bench settles swaps in isolation -- one session, its own
@@ -8,14 +8,21 @@
 // whose transactions compete for block space through per-chain fee
 // markets (capacity eviction + strategic re-bidding), with the token-b
 // price made ENDOGENOUS by executed swap flow.  Measured:
-//   * headline throughput: >= 10^5 sessions end to end, sessions/sec
-//     (wall clock, TIME line only), completion rate and settlement
-//     latency percentiles under mild congestion;
+//   * headline throughput: >= 10^6 sessions end to end under ledger
+//     compaction + sharded event queues (docs/MARKET.md "state retirement
+//     & sharding"), with sessions/sec and peak RSS reported as
+//     machine-dependent time-metrics (floor-gated by tools/bench_gate.py
+//     against conservative committed baselines, excluded from the CI
+//     stdout determinism diffs);
+//   * a retirement-equivalence panel at fixed workload: the SAME config
+//     with compaction off, on at 1 shard and on at 8 shards must produce
+//     bit-identical results and byte-identical traces -- retirement is a
+//     pure memory knob, never a behavioral one;
 //   * a fee-regime ladder at fixed workload: shrinking block capacity
 //     degrades completion and stretches p99 latency while evictions and
 //     re-bids engage -- the Mazumdar-style settlement-pressure effect
 //     the per-session benches cannot see;
-//   * threshold-cache efficiency: 10^5 rational t1/t2/t3 decisions are
+//   * threshold-cache efficiency: 10^6 rational t1/t2/t3 decisions are
 //     served by a few hundred BasicGame solves.
 //
 // Everything runs as kMarketSim cells on the BatchEngine: RunSpec-hashed,
@@ -24,6 +31,8 @@
 // population_* metrics come from the FIXED-size regime ladder, so they
 // are scale-independent; the SWAPGAME_MC_SCALE-scaled headline block
 // reports info-only headline_* metrics.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -105,23 +114,58 @@ bool outcomes_partition(const engine::RunResult& r) {
          r.at("sessions");
 }
 
+/// Retirement telemetry differs by construction between compaction
+/// settings; every OTHER value must be bit-identical.
+bool is_retirement_counter(const std::string& name) {
+  return name == "compactions" || name == "sessions_retired" ||
+         name == "accounts_retired" || name == "txs_retired" ||
+         name == "htlcs_retired" || name == "log_truncated" ||
+         name == "peak_live_sessions";
+}
+
+/// True iff `a` and `b` agree bit-for-bit on every non-retirement value.
+bool results_equivalent(const engine::RunResult& a,
+                        const engine::RunResult& b) {
+  if (a.values.size() != b.values.size()) return false;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    if (a.values[i].first != b.values[i].first) return false;
+    if (is_retirement_counter(a.values[i].first)) continue;
+    if (a.values[i].second != b.values[i].second) return false;
+  }
+  return true;
+}
+
+/// Peak resident set size of this process in MB (Linux ru_maxrss is KB).
+double peak_rss_mb() {
+  struct ::rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 }  // namespace
 
 int main() {
   bench::Report report(
-      "X16 population -- 10^5 concurrent HTLC sessions on two shared "
-      "ledgers (order flow, fee markets, endogenous price)",
+      "X16 population -- 10^6 HTLC sessions on two shared ledgers "
+      "(order flow, fee markets, endogenous price, ledger compaction)",
       "market::PopulationSim as kMarketSim cells on the BatchEngine.");
 
   engine::BatchEngine batch(bench::engine_config_from_env("x16_population"));
 
-  // ---- Block 1: the headline run (scaled; >= 10^5 sessions at full). -----
-  // One cell, one event queue, two ledgers: the full pipeline at scale.
-  // Wall clock around the batch gives sessions/sec on a TIME line (never
-  // gated, excluded from the CI determinism diff); every METRIC below is a
-  // pure function of the config.
-  const std::uint64_t headline_sessions = bench::scaled(100000, 4000);
+  // ---- Block 1: the headline run (scaled; >= 10^6 sessions at full). -----
+  // One cell, one event queue, two ledgers: the full pipeline at scale,
+  // with the retirement layer on -- ledger compaction plus retirement of
+  // finalized sessions bounds live state to the sessions in flight inside
+  // the horizon window, which is what makes 10^6 sessions fit in a few GB
+  // (the perf-smoke CI job runs this full scale under /usr/bin/time -v and
+  // gates peak RSS).  Wall clock around the batch gives sessions/sec;
+  // every METRIC below is a pure function of the config.
+  const std::uint64_t headline_sessions = bench::scaled(1000000, 4000);
   market::PopulationConfig headline = base_config(headline_sessions);
+  headline.compaction.enabled = true;
+  headline.compaction.horizon = 4.0;
+  headline.compaction.interval = 1024;
+  headline.shards = 8;
   engine::RunSpec headline_spec = population_spec(headline, "x16:headline");
   // Export the protocol timeline of every 997th session
   // (TRACE_x16_population.jsonl; see docs/OBSERVABILITY.md).
@@ -158,15 +202,31 @@ int main() {
   report.metric("headline_completion_rate", h.completion_rate);
   report.metric("headline_latency_p50", h.latency_p50);
   report.metric("headline_latency_p99", h.latency_p99);
-  // Wall clock: TIME lines are ignored by the gate and the determinism
-  // diff, which is exactly where a machine-dependent rate belongs.
-  std::printf("TIME  %-60s %10.1f /s\n", "headline sessions per second",
-              wall_seconds > 0.0 ? h.sessions / wall_seconds : 0.0);
+  // Retirement telemetry (deterministic, scale-dependent -> info only).
+  report.metric("headline_sessions_retired",
+                headline_result.at("sessions_retired"));
+  report.metric("headline_peak_live_sessions",
+                headline_result.at("peak_live_sessions"));
+  // Machine-dependent throughput + memory: floor-gated json metrics that
+  // print as TIME lines, so the threads-1-vs-8 stdout diff ignores them.
+  report.time_metric("population_sessions_per_sec",
+                     wall_seconds > 0.0 ? h.sessions / wall_seconds : 0.0);
+  report.time_metric("population_peak_rss_mb", peak_rss_mb());
 
   report.claim("headline outcomes partition the session count",
                outcomes_partition(headline_result));
-  report.claim("both ledgers conserve total supply at 10^5 sessions",
+  report.claim("both ledgers conserve total supply at population scale",
                h.conserved);
+  // Retirement keeps live state bounded.  Only asserted once the workload
+  // is long enough for sessions to finish while others still arrive; at
+  // the smoke floor (4000 sessions over ~7 simulated hours) every session
+  // is still in flight when arrivals stop, so there is nothing to retire.
+  if (h.sessions >= 20000) {
+    report.claim("compaction retires sessions and bounds live state",
+                 headline_result.at("sessions_retired") > 0.0 &&
+                     headline_result.at("peak_live_sessions") <
+                         static_cast<double>(h.sessions));
+  }
   report.claim("a majority of sessions complete under mild congestion",
                h.completion_rate > 0.5);
   report.claim("latency percentiles are ordered and clear the two-leg floor",
@@ -186,7 +246,57 @@ int main() {
                games > 0.0 &&
                    games < 500.0 + static_cast<double>(h.sessions) / 10.0);
 
-  // ---- Block 2: fee-regime ladder (FIXED size -> the gated metrics). -----
+  // ---- Block 2: retirement equivalence (FIXED size). ---------------------
+  // The contract of docs/MARKET.md "state retirement & sharding": the same
+  // 6000-session workload with compaction off, compaction on at 1 shard
+  // and compaction on at 8 shards must agree bit-for-bit on every
+  // non-retirement value AND byte-for-byte on the trace.  An aggressive
+  // horizon/interval maximizes the retirement churn under test.
+  std::vector<engine::RunSpec> equiv_specs;
+  for (int variant = 0; variant < 3; ++variant) {
+    market::PopulationConfig config = base_config(6000);
+    if (variant > 0) {
+      config.compaction.enabled = true;
+      config.compaction.horizon = 2.0;
+      config.compaction.interval = 64;
+      config.shards = variant == 2 ? 8 : 1;
+    }
+    engine::RunSpec spec = population_spec(
+        config, std::string("x16:equiv:") +
+                    (variant == 0 ? "off" : variant == 1 ? "on-k1" : "on-k8"));
+    spec.mc.config.trace_stride = 101;
+    equiv_specs.push_back(std::move(spec));
+  }
+  const std::vector<engine::RunResult> equiv_results =
+      batch.run_batch(equiv_specs);
+
+  report.csv_begin("retirement_equivalence",
+                   "variant,sessions_retired,txs_retired,peak_live_sessions,"
+                   "completed,final_price");
+  for (std::size_t i = 0; i < equiv_results.size(); ++i) {
+    const engine::RunResult& r = equiv_results[i];
+    report.csv_row(bench::fmt(
+        "%s,%.0f,%.0f,%.0f,%.0f,%.6f",
+        i == 0 ? "off" : i == 1 ? "on-k1" : "on-k8",
+        r.at("sessions_retired"), r.at("txs_retired"),
+        r.at("peak_live_sessions"), r.at("completed"), r.at("final_price")));
+  }
+  const bool equiv_values =
+      results_equivalent(equiv_results[0], equiv_results[1]) &&
+      results_equivalent(equiv_results[0], equiv_results[2]);
+  const bool equiv_traces = equiv_results[0].trace == equiv_results[1].trace &&
+                            equiv_results[0].trace == equiv_results[2].trace &&
+                            !equiv_results[0].trace.empty();
+  report.metric("population_equivalence_ok",
+                equiv_values && equiv_traces ? 1.0 : 0.0);
+  report.claim("compaction on/off and 1-vs-8 shards are bit-identical",
+               equiv_values);
+  report.claim("retirement leaves the trace byte-identical", equiv_traces);
+  report.claim("the equivalence panel actually retires state",
+               equiv_results[1].at("sessions_retired") > 0.0 &&
+                   equiv_results[2].at("compactions") > 0.0);
+
+  // ---- Block 3: fee-regime ladder (FIXED size -> the gated metrics). -----
   // Same 6000-session workload under shrinking block capacity.  These
   // cells never scale, so their metrics are machine- and scale-independent
   // and carry the committed baselines: population_latency_* may not grow

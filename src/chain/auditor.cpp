@@ -34,6 +34,43 @@ void InvariantAuditor::record(const Ledger& ledger, const Transaction& tx,
   }
 }
 
+void InvariantAuditor::on_compaction(const Ledger& ledger,
+                                     const CompactionReport& report) {
+  ++checks_;
+  // Violations raised here carry TxId{0}: no single transaction is at
+  // fault, the sweep itself is.
+  const Transaction no_tx{};
+
+  // Conservation across the fold, against both the attach-time baseline
+  // and the sweep's own before/after snapshot.
+  const Amount supply = ledger.total_supply();
+  if (supply != expected_supply_) {
+    record(ledger, no_tx,
+           "compaction broke conservation: " + supply.to_string() +
+               " != baseline " + expected_supply_.to_string());
+  }
+  if (report.supply_after != report.supply_before) {
+    record(ledger, no_tx,
+           "compaction changed supply: " + report.supply_before.to_string() +
+               " -> " + report.supply_after.to_string());
+  }
+
+  // Every contract the ledger no longer knows must have been seen settled;
+  // forget it so the per-transaction scan tracks the live set only.
+  const auto& live = ledger.htlcs();
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (live.find(it->first) != live.end()) {
+      ++it;
+      continue;
+    }
+    if (it->second.state == HtlcState::kLocked) {
+      record(ledger, no_tx,
+             "htlc " + std::to_string(it->first) + " retired while locked");
+    }
+    it = seen_.erase(it);
+  }
+}
+
 void InvariantAuditor::on_transaction_applied(const Ledger& ledger,
                                               const Transaction& tx) {
   ++checks_;

@@ -68,6 +68,13 @@ class InvariantAuditor {
   /// Confirmation-path hook; called by Ledger::apply.  Not for direct use.
   void on_transaction_applied(const Ledger& ledger, const Transaction& tx);
 
+  /// Compaction hook; called by Ledger::compact after a sweep.  Checks that
+  /// supply was conserved across the fold and that no contract disappeared
+  /// while still locked (retiring locked funds would silently strand
+  /// supply), then forgets the retired contracts so the per-transaction
+  /// scan stays bounded by the live set.  Not for direct use.
+  void on_compaction(const Ledger& ledger, const CompactionReport& report);
+
  private:
   struct HtlcSnapshot {
     HtlcState state = HtlcState::kLocked;

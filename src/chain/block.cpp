@@ -109,12 +109,18 @@ void BlockProducer::seal_block() {
   block.previous_hash =
       blocks_.empty() ? crypto::Digest256{} : blocks_.back().hash();
 
+  // consumed_ is a GLOBAL log index; under compaction the ledger exposes
+  // only the suffix from confirmation_log_offset(), so translate before
+  // iterating (entries truncated before we sealed them are simply gone --
+  // producers on a compacting ledger need a horizon above their interval).
+  const std::size_t offset = ledger_->confirmation_log_offset();
   std::vector<crypto::Digest256> leaves;
-  for (std::size_t i = consumed_; i < log.size(); ++i) {
+  for (std::size_t i = consumed_ > offset ? consumed_ - offset : 0;
+       i < log.size(); ++i) {
     block.transactions.push_back(log[i]);
     leaves.push_back(transaction_digest(ledger_->transaction(log[i])));
   }
-  consumed_ = log.size();
+  consumed_ = offset + log.size();
   block.merkle_root = crypto::MerkleTree(std::move(leaves)).root();
   blocks_.push_back(std::move(block));
 

@@ -166,6 +166,16 @@ TxId Ledger::submit(TxPayload payload) {
   if (faults_ != nullptr) {
     tx.confirmed_at = faults_->delay_past_halts(tx.confirmed_at);
   }
+  // A claim's preimage becomes extractable at visibility even if the claim
+  // later fails to confirm; feed the secret index now (dropped submissions
+  // returned above and never reach the mempool).
+  if (const auto* claim = std::get_if<ClaimHtlcPayload>(&tx.payload)) {
+    pending_secrets_.push_back(
+        {tx.visible_at, id.value,
+         ObservedSecret{claim->secret, claim->contract, tx.visible_at}});
+    std::push_heap(pending_secrets_.begin(), pending_secrets_.end(),
+                   PendingLater{});
+  }
   if (trace_ != nullptr) {
     trace_->record(tx.submitted_at, obs::TraceKind::kBroadcast,
                    {{"chain", to_string(params_.id)},
@@ -190,6 +200,11 @@ const Transaction& Ledger::transaction(TxId id) const {
   return it->second;
 }
 
+const Transaction* Ledger::find_transaction(TxId id) const noexcept {
+  const auto it = transactions_.find(id.value);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
 const HtlcContract& Ledger::htlc(HtlcId id) const {
   const auto it = htlcs_.find(id.value);
   if (it == htlcs_.end()) {
@@ -210,17 +225,26 @@ HtlcId Ledger::pending_contract_of(TxId deploy_tx) const {
   return *tx.created_contract;
 }
 
-std::vector<ObservedSecret> Ledger::visible_secrets() const {
-  std::vector<ObservedSecret> result;
-  const Hours now = queue_->now();
-  for (const auto& [id, tx] : transactions_) {
-    if (tx.visible_at > now) continue;
-    // A claim exposes its preimage the moment it is mempool-visible, even if
-    // it ultimately fails to confirm: broadcasting is irreversible.
-    if (const auto* claim = std::get_if<ClaimHtlcPayload>(&tx.payload)) {
-      result.push_back({claim->secret, claim->contract, tx.visible_at});
-    }
+void Ledger::mature_secrets(Hours now) const {
+  while (!pending_secrets_.empty() &&
+         pending_secrets_.front().visible_at <= now) {
+    std::pop_heap(pending_secrets_.begin(), pending_secrets_.end(),
+                  PendingLater{});
+    PendingSecret p = std::move(pending_secrets_.back());
+    pending_secrets_.pop_back();
+    secret_index_.emplace(p.tx, std::move(p.secret));
   }
+}
+
+std::vector<ObservedSecret> Ledger::visible_secrets() const {
+  // Incremental index instead of a full-history rescan (which was quadratic
+  // across a population run): claims enter a pending heap at submission and
+  // mature here once mempool-visible.  Iterating the matured index by tx id
+  // reproduces the old scan's content and order exactly.
+  mature_secrets(queue_->now());
+  std::vector<ObservedSecret> result;
+  result.reserve(secret_index_.size());
+  for (const auto& [tx, secret] : secret_index_) result.push_back(secret);
   return result;
 }
 
@@ -267,7 +291,96 @@ Amount Ledger::total_supply() const {
     if (contract.state == HtlcState::kLocked) total += contract.amount;
   }
   total += vault_total_;
+  total += retired_balance_;
   return total;
+}
+
+CompactionReport Ledger::compact(Hours watermark) {
+  if (!std::isfinite(watermark)) {
+    throw std::invalid_argument("Ledger::compact: non-finite watermark");
+  }
+  if (!(watermark < queue_->now())) {
+    throw std::invalid_argument(
+        "Ledger::compact: watermark must be strictly before now()");
+  }
+  CompactionReport report;
+  report.watermark = watermark;
+  report.supply_before = total_supply();
+
+  // Everything mempool-visible by now must reach the secret index before
+  // its transaction record can go away.
+  mature_secrets(queue_->now());
+
+  // Confirmed transactions enter the log in time order, so the retirable
+  // entries are exactly a prefix.
+  std::size_t cut = 0;
+  while (cut < confirmation_log_.size()) {
+    const auto it = transactions_.find(confirmation_log_[cut].value);
+    if (it == transactions_.end() || it->second.confirmed_at > watermark) break;
+    ++cut;
+  }
+  if (cut > 0) {
+    confirmation_log_.erase(confirmation_log_.begin(),
+                            confirmation_log_.begin() + cut);
+    log_offset_ += cut;
+    report.log_truncated = cut;
+  }
+
+  // Settled contracts behind the watermark; locked ones always survive
+  // (their amounts are live supply and their refund path must stay valid).
+  for (auto it = htlcs_.begin(); it != htlcs_.end();) {
+    const HtlcContract& contract = it->second;
+    if (contract.state != HtlcState::kLocked &&
+        contract.settled_at <= watermark) {
+      it = htlcs_.erase(it);
+      ++report.htlcs_retired;
+    } else {
+      ++it;
+    }
+  }
+
+  // Transactions whose lifecycle completed by the watermark: applied ones
+  // (confirmed or failed -- their balance effects are in accounts_) and
+  // dropped ones (never scheduled at all).  Pending transactions have
+  // confirmed_at > watermark by construction (their apply event has not
+  // fired yet and the watermark is strictly in the past).
+  for (auto it = transactions_.begin(); it != transactions_.end();) {
+    const Transaction& tx = it->second;
+    const bool done = tx.status == TxStatus::kDropped
+                          ? tx.submitted_at <= watermark
+                          : tx.status != TxStatus::kPending &&
+                                tx.confirmed_at <= watermark;
+    if (done) {
+      secret_index_.erase(it->first);
+      it = transactions_.erase(it);
+      ++report.transactions_retired;
+    } else {
+      ++it;
+    }
+  }
+
+  report.supply_after = total_supply();
+  if (trace_ != nullptr) {
+    trace_->record(queue_->now(), obs::TraceKind::kCompaction,
+                   {{"chain", to_string(params_.id)},
+                    {"watermark", watermark},
+                    {"txs", static_cast<std::uint64_t>(
+                                report.transactions_retired)},
+                    {"htlcs", static_cast<std::uint64_t>(report.htlcs_retired)},
+                    {"log", static_cast<std::uint64_t>(report.log_truncated)}});
+  }
+  if (auditor_ != nullptr) auditor_->on_compaction(*this, report);
+  return report;
+}
+
+void Ledger::retire_account(const Address& address) {
+  const auto it = accounts_.find(address);
+  if (it == accounts_.end()) {
+    throw std::out_of_range("retire_account: unknown account: " +
+                            address.value);
+  }
+  retired_balance_ += it->second;
+  accounts_.erase(it);
 }
 
 void Ledger::apply(Transaction& tx) {

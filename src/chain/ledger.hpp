@@ -11,6 +11,17 @@
 // The ledger also hosts an oracle-controlled collateral vault (Section IV):
 // deposits debit the depositor into the vault pool; only releases submitted
 // through an Oracle capability move funds out.
+//
+// Retirement/compaction (population scale): by default every transaction,
+// contract and confirmation-log entry is kept forever, which makes memory
+// the wall at 10^6 sessions.  compact(watermark) retires records whose
+// lifecycle completed at or before an epoch watermark strictly in the past
+// -- settled HTLCs, applied/dropped transactions (their balance effects
+// already live in the account map, so the fold is conservation-neutral by
+// construction) -- and truncates the confirmed prefix of the log behind
+// confirmation_log_offset().  retire_account() additionally folds a
+// finished session's balance into one retained aggregate that
+// total_supply() still counts.  The InvariantAuditor audits every sweep.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +67,18 @@ struct ObservedSecret {
   Hours visible_since = 0.0;
 };
 
+/// What one Ledger::compact() sweep retired.
+struct CompactionReport {
+  Hours watermark = 0.0;
+  std::size_t transactions_retired = 0;
+  std::size_t htlcs_retired = 0;
+  std::size_t log_truncated = 0;
+  /// total_supply() before/after the sweep; equal unless retirement broke
+  /// conservation (the auditor's on_compaction check).
+  Amount supply_before;
+  Amount supply_after;
+};
+
 class Ledger {
  public:
   /// The queue must outlive the ledger.  `rng` (optional) drives the
@@ -85,6 +108,11 @@ class Ledger {
 
   /// Looks up a transaction by id; throws std::out_of_range if unknown.
   [[nodiscard]] const Transaction& transaction(TxId id) const;
+
+  /// Looks up a transaction, or nullptr when the id is unknown -- which
+  /// after a compact() sweep includes records legitimately retired.  Use
+  /// this (not transaction()) on paths where retirement is expected.
+  [[nodiscard]] const Transaction* find_transaction(TxId id) const noexcept;
 
   /// Looks up an HTLC by id; throws std::out_of_range if unknown.  Note
   /// that contracts are created at *confirmation* of their deploy tx.
@@ -144,21 +172,68 @@ class Ledger {
   void charge_collateral(const Address& depositor, Amount amount);
 
   /// Conservation invariant: sum of account balances + funds locked in open
-  /// HTLCs + vault pool.  Constant across the life of the simulation (total
-  /// minted supply); asserted by tests after every event.
+  /// HTLCs + vault pool + retired balances.  Constant across the life of
+  /// the simulation (total minted supply); asserted by tests after every
+  /// event and across every compaction sweep.
   [[nodiscard]] Amount total_supply() const;
 
-  /// Confirmed transactions in confirmation order (audit trail).
+  /// Epoch-based retirement: drops every record whose lifecycle completed
+  /// at or before `watermark` -- settled (claimed/refunded/cancelled)
+  /// HTLCs, applied or dropped transactions, and the confirmed prefix of
+  /// the log.  The watermark must be strictly before now(): every event at
+  /// times <= watermark has then already fired, so nothing scheduled can
+  /// still look the records up at their own fire time.  Locked HTLCs and
+  /// pending transactions always survive.  Conservation-neutral: applied
+  /// balance effects already live in the account map and locked funds are
+  /// never touched.  Notifies the auditor (on_compaction) and records a
+  /// kCompaction trace event when sinks are attached.
+  CompactionReport compact(Hours watermark);
+
+  /// Folds `address`'s balance into a retained aggregate (still counted by
+  /// total_supply()) and erases the account record.  The caller guarantees
+  /// no future transaction credits or debits the address -- a later lookup
+  /// fails like any unknown account.  Throws std::out_of_range if unknown.
+  void retire_account(const Address& address);
+
+  /// Sum of balances folded by retire_account().
+  [[nodiscard]] Amount retired_balance() const noexcept {
+    return retired_balance_;
+  }
+
+  /// Confirmed transactions in confirmation order (audit trail).  After
+  /// compaction this is the suffix starting at global index
+  /// confirmation_log_offset().
   [[nodiscard]] const std::vector<TxId>& confirmation_log() const noexcept {
     return confirmation_log_;
   }
 
-  /// Number of transactions ever submitted.
+  /// Number of log entries truncated by compact() -- the global index of
+  /// confirmation_log()[0].
+  [[nodiscard]] std::size_t confirmation_log_offset() const noexcept {
+    return log_offset_;
+  }
+
+  /// Number of transactions ever submitted (retired ones included).
   [[nodiscard]] std::size_t transaction_count() const noexcept {
-    return transactions_.size();
+    return static_cast<std::size_t>(next_tx_ - 1);
   }
 
  private:
+  /// A claim's preimage waiting for its mempool-visibility time (min-heap
+  /// by (visible_at, tx id)); matured entries move into secret_index_.
+  struct PendingSecret {
+    Hours visible_at = 0.0;
+    std::uint64_t tx = 0;
+    ObservedSecret secret;
+  };
+  struct PendingLater {
+    bool operator()(const PendingSecret& a,
+                    const PendingSecret& b) const noexcept {
+      if (a.visible_at != b.visible_at) return a.visible_at > b.visible_at;
+      return a.tx > b.tx;
+    }
+  };
+
   void apply(Transaction& tx);
   void apply_transfer(Transaction& tx, const TransferPayload& p);
   void apply_deploy(Transaction& tx, const DeployHtlcPayload& p);
@@ -170,6 +245,8 @@ class Ledger {
   void fail(Transaction& tx, std::string reason);
   void schedule_auto_refund(HtlcId id, Hours expiry);
   void try_auto_refund(HtlcId id, int attempt);
+  /// Moves every pending secret with visible_at <= now into the index.
+  void mature_secrets(Hours now) const;
 
   ChainParams params_;
   EventQueue* queue_;
@@ -182,7 +259,15 @@ class Ledger {
   std::map<std::uint64_t, HtlcContract> htlcs_;        // keyed by HtlcId.value
   std::map<Address, Amount> vault_deposits_;
   Amount vault_total_;
+  Amount retired_balance_;
   std::vector<TxId> confirmation_log_;
+  std::size_t log_offset_ = 0;
+  // Incremental secret index (mutable: visible_secrets() is const but
+  // matures pending entries lazily against the clock).  Mirrors exactly
+  // what the old full-history rescan produced: every claim transaction
+  // still in transactions_ whose visible_at has passed, ascending by tx id.
+  mutable std::vector<PendingSecret> pending_secrets_;
+  mutable std::map<std::uint64_t, ObservedSecret> secret_index_;
   std::uint64_t next_tx_ = 1;
   std::uint64_t next_htlc_ = 1;
 };

@@ -260,6 +260,13 @@ RunResult evaluate_market_sim(const RunSpec& spec) {
   result.set("fees_paid", r.fees_paid);
   result.set("threshold_games", static_cast<double>(r.threshold_games));
   result.set("t1_evaluations", static_cast<double>(r.t1_evaluations));
+  result.set("compactions", static_cast<double>(r.compactions));
+  result.set("sessions_retired", static_cast<double>(r.sessions_retired));
+  result.set("accounts_retired", static_cast<double>(r.accounts_retired));
+  result.set("txs_retired", static_cast<double>(r.txs_retired));
+  result.set("htlcs_retired", static_cast<double>(r.htlcs_retired));
+  result.set("log_truncated", static_cast<double>(r.log_truncated));
+  result.set("peak_live_sessions", static_cast<double>(r.peak_live_sessions));
   result.set("conserved", r.conserved ? 1.0 : 0.0);
   result.set("end_time", r.end_time);
   if (!recorder.empty()) {

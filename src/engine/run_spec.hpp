@@ -50,7 +50,11 @@ namespace swapgame::engine {
 /// canonical form.
 /// v3: the market_sim cell kind and its population.* block in the
 /// canonical form.
-inline constexpr int kRunSpecSchemaVersion = 3;
+/// v4: population.shards / population.compaction.* lines (ledger
+/// retirement + sharded event queues) and the retirement counters in
+/// market_sim results; Neumaier-compensated MarketStats accumulation
+/// re-keys lockup sums at the ulp level.
+inline constexpr int kRunSpecSchemaVersion = 4;
 
 /// What computation a cell performs.
 enum class CellKind : std::uint8_t {

@@ -84,6 +84,16 @@ void PopulationConfig::validate() const {
   if (!(max_fee >= base_fee)) {
     throw std::invalid_argument("PopulationConfig: max_fee must be >= base_fee");
   }
+  if (shards == 0 || shards > 4096) {
+    throw std::invalid_argument("PopulationConfig: shards must be in [1, 4096]");
+  }
+  if (compaction.enabled) {
+    positive(compaction.horizon, "compaction.horizon");
+    if (compaction.interval == 0) {
+      throw std::invalid_argument(
+          "PopulationConfig: compaction.interval must be >= 1");
+    }
+  }
   gbm.validate();
   fee_a.validate();
   fee_b.validate();
@@ -123,6 +133,7 @@ PopulationSim::PopulationSim(PopulationConfig config)
     : config_(std::move(config)) {
   if (config_.types.empty()) config_.types = PopulationConfig::default_types();
   config_.validate();
+  queue_.set_shards(config_.shards);
   chain::ChainParams params_a;
   params_a.id = chain::ChainId::kChainA;
   params_a.confirmation_time = config_.tau_a;
@@ -283,8 +294,11 @@ void PopulationSim::on_arrival() {
 }
 
 void PopulationSim::spawn_session(const Match& match) {
-  const std::uint64_t idx = sessions_.size();
+  const std::uint64_t idx = session_offset_ + sessions_.size();
   sessions_.emplace_back();
+  result_.peak_live_sessions =
+      std::max(result_.peak_live_sessions,
+               static_cast<std::uint64_t>(sessions_.size()));
   Session& s = sessions_.back();
   s.buyer_type = order_types_.at(match.buy.id);
   s.seller_type = order_types_.at(match.sell.id);
@@ -313,7 +327,7 @@ void PopulationSim::spawn_session(const Match& match) {
     return;
   }
   s.initiated = true;
-  predicted_sr_sum_ += sr;
+  predicted_sr_sum_.add(sr);
   // Executed flow perturbs the price toward the taker's side (the newer
   // order is the aggressor), feeding back into later thresholds.
   apply_impact(match.buy.sequence > match.sell.sequence ? 1.0 : -1.0);
@@ -354,8 +368,18 @@ void PopulationSim::spawn_session(const Match& match) {
 
 // --- session state machine -------------------------------------------------
 
+PopulationSim::Session* PopulationSim::session(std::uint64_t idx) noexcept {
+  // Retired sessions resolve to nullptr: late callbacks (the watchdog of a
+  // session finalized early, a fee-market expiry sweep) become checked
+  // no-ops rather than dangling deque accesses.
+  if (idx < session_offset_) return nullptr;
+  return &sessions_[idx - session_offset_];
+}
+
 void PopulationSim::submit_deploy_a(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   // Inclusion budget on A: the slack added to the expiries.
   const double deadline = s.t0 + config_.expiry_slack;
   if (queue_.now() > deadline) return;  // watchdog will classify as starved
@@ -368,8 +392,9 @@ void PopulationSim::submit_deploy_a(std::uint64_t idx) {
   market_a_->submit(
       payload, s.fee_a, deadline,
       [this, idx](chain::TxId tx) {
-        Session& session = sessions_[idx];
-        session.htlc_a = ledger_a_->pending_contract_of(tx);
+        Session* included = session(idx);
+        if (included == nullptr) return;
+        included->htlc_a = ledger_a_->pending_contract_of(tx);
         const double at = ledger_a_->transaction(tx).confirmed_at;
         queue_.schedule_at(at, [this, idx] { at_t2(idx); });
       },
@@ -377,7 +402,9 @@ void PopulationSim::submit_deploy_a(std::uint64_t idx) {
 }
 
 void PopulationSim::at_t2(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   if (s.finalized) return;
   s.deploy_a_confirmed = queue_.now();
   // Bob verified Alice's confirmed lock; he continues iff the live price
@@ -392,7 +419,9 @@ void PopulationSim::at_t2(std::uint64_t idx) {
 }
 
 void PopulationSim::submit_deploy_b(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   // Bob's lock must confirm (tau_b) AND leave room for Alice's claim to be
   // included and confirm before t_b -- two block margins of cushion.
   const double deadline = s.t_b_expiry - 2.0 * config_.tau_b -
@@ -407,8 +436,9 @@ void PopulationSim::submit_deploy_b(std::uint64_t idx) {
   market_b_->submit(
       payload, s.fee_b, deadline,
       [this, idx](chain::TxId tx) {
-        Session& session = sessions_[idx];
-        session.htlc_b = ledger_b_->pending_contract_of(tx);
+        Session* included = session(idx);
+        if (included == nullptr) return;
+        included->htlc_b = ledger_b_->pending_contract_of(tx);
         const double at = ledger_b_->transaction(tx).confirmed_at;
         queue_.schedule_at(at, [this, idx] { at_t3(idx); });
       },
@@ -416,7 +446,9 @@ void PopulationSim::submit_deploy_b(std::uint64_t idx) {
 }
 
 void PopulationSim::at_t3(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   if (s.finalized) return;
   s.deploy_b_confirmed = queue_.now();
   // Alice reveals iff the live price clears her t3 cutoff (Eq. 19).
@@ -430,7 +462,9 @@ void PopulationSim::at_t3(std::uint64_t idx) {
 }
 
 void PopulationSim::submit_claim_b(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   const double deadline =
       s.t_b_expiry - config_.tau_b - config_.fee_b.block_interval;
   if (queue_.now() > deadline) return;
@@ -443,10 +477,12 @@ void PopulationSim::submit_claim_b(std::uint64_t idx) {
         // epoch fires at visibility (Section II-B Step 3).
         queue_.schedule_at(record.visible_at, [this, idx] { at_t4(idx); });
         queue_.schedule_at(record.confirmed_at, [this, idx, tx] {
-          Session& session = sessions_[idx];
-          if (ledger_b_->transaction(tx).status ==
-              chain::TxStatus::kConfirmed) {
-            session.claim_b_confirmed = queue_.now();
+          Session* confirmed = session(idx);
+          if (confirmed == nullptr) return;
+          const chain::Transaction* applied = ledger_b_->find_transaction(tx);
+          if (applied != nullptr &&
+              applied->status == chain::TxStatus::kConfirmed) {
+            confirmed->claim_b_confirmed = queue_.now();
           }
         });
       },
@@ -454,7 +490,9 @@ void PopulationSim::submit_claim_b(std::uint64_t idx) {
 }
 
 void PopulationSim::at_t4(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   if (s.finalized) return;
   s.revealed = true;
   // t4 is dominance: claiming always beats forfeiting the locked token-a.
@@ -462,7 +500,9 @@ void PopulationSim::at_t4(std::uint64_t idx) {
 }
 
 void PopulationSim::submit_claim_a(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   const double deadline =
       s.t_a_expiry - config_.tau_a - config_.fee_a.block_interval;
   if (queue_.now() > deadline) return;
@@ -470,21 +510,26 @@ void PopulationSim::submit_claim_a(std::uint64_t idx) {
   market_a_->submit(
       payload, s.fee_a, deadline,
       [this, idx](chain::TxId tx) {
-        queue_.schedule_at(ledger_a_->transaction(tx).confirmed_at,
-                           [this, idx, tx] {
-                             Session& session = sessions_[idx];
-                             if (ledger_a_->transaction(tx).status ==
-                                 chain::TxStatus::kConfirmed) {
-                               session.claim_a_confirmed = queue_.now();
-                             }
-                           });
+        queue_.schedule_at(
+            ledger_a_->transaction(tx).confirmed_at, [this, idx, tx] {
+              Session* confirmed = session(idx);
+              if (confirmed == nullptr) return;
+              const chain::Transaction* applied =
+                  ledger_a_->find_transaction(tx);
+              if (applied != nullptr &&
+                  applied->status == chain::TxStatus::kConfirmed) {
+                confirmed->claim_a_confirmed = queue_.now();
+              }
+            });
       },
       [this, idx](DropReason reason) { handle_drop(idx, kClaimA, reason); });
 }
 
 void PopulationSim::handle_drop(std::uint64_t idx, int stage,
                                 DropReason reason) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   if (s.finalized) return;
   if (reason == DropReason::kEvicted) {
     // Strategic re-bid: escalate the fee while the bid ceiling allows --
@@ -518,7 +563,9 @@ void PopulationSim::handle_drop(std::uint64_t idx, int stage,
 }
 
 void PopulationSim::finalize(std::uint64_t idx) {
-  Session& s = sessions_[idx];
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
   if (s.finalized) return;
   s.finalized = true;
   const bool claim_a_ok = !std::isnan(s.claim_a_confirmed);
@@ -566,13 +613,12 @@ void PopulationSim::finalize(std::uint64_t idx) {
   if (!std::isnan(s.deploy_a_confirmed)) {
     const double settle =
         claim_a_ok ? s.claim_a_confirmed : s.t_a_expiry + config_.tau_a;
-    result_.stats.lockup_token_a_hours +=
-        s.p_star * (settle - s.deploy_a_confirmed);
+    lockup_a_sum_.add(s.p_star * (settle - s.deploy_a_confirmed));
   }
   if (!std::isnan(s.deploy_b_confirmed)) {
     const double settle =
         claim_b_ok ? s.claim_b_confirmed : s.t_b_expiry + config_.tau_b;
-    result_.stats.lockup_token_b_hours += settle - s.deploy_b_confirmed;
+    lockup_b_sum_.add(settle - s.deploy_b_confirmed);
   }
 
   if (trace_ != nullptr && trace_stride_ > 0 && idx % trace_stride_ == 0) {
@@ -581,11 +627,59 @@ void PopulationSim::finalize(std::uint64_t idx) {
                     {"outcome", to_string(s.outcome)},
                     {"latency_hours", latency}});
   }
-  // Release per-session heap state; the deque entry itself stays (cheap).
+  // Release per-session heap state; the deque entry itself stays until a
+  // compaction sweep (or forever, when compaction is off -- it is cheap).
   s.alice.clear();
   s.alice.shrink_to_fit();
   s.bob.clear();
   s.bob.shrink_to_fit();
+  maybe_compact();
+}
+
+bool PopulationSim::session_settled(const Session& s) const {
+  const auto locked = [](const chain::Ledger& ledger, chain::HtlcId id) {
+    // id 0 = never deployed; a retired contract was settled by definition
+    // (compact() never drops a locked one).
+    if (id.value == 0 || !ledger.has_htlc(id)) return false;
+    return ledger.htlc(id).state == chain::HtlcState::kLocked;
+  };
+  return !locked(*ledger_a_, s.htlc_a) && !locked(*ledger_b_, s.htlc_b);
+}
+
+void PopulationSim::maybe_compact() {
+  if (!config_.compaction.enabled) return;
+  if (++finalized_since_compact_ < config_.compaction.interval) return;
+  finalized_since_compact_ = 0;
+  const double watermark = queue_.now() - config_.compaction.horizon;
+  if (!(watermark > 0.0)) return;  // also guarantees watermark < now()
+
+  // Retire finalized sessions from the deque front.  The accounts can only
+  // be folded once every refund has credited them (chain-B refunds confirm
+  // after the watchdog when t_b_expiry + tau_b exceeds it), so stop at the
+  // first session still waiting on a locked contract.
+  while (!sessions_.empty()) {
+    const Session& s = sessions_.front();
+    if (!s.finalized || !session_settled(s)) break;
+    if (s.initiated) {
+      const std::string tag = std::to_string(session_offset_);
+      ledger_a_->retire_account({"A" + tag});
+      ledger_a_->retire_account({"B" + tag});
+      ledger_b_->retire_account({"A" + tag});
+      ledger_b_->retire_account({"B" + tag});
+      result_.accounts_retired += 4;
+    }
+    sessions_.pop_front();
+    ++session_offset_;
+    ++result_.sessions_retired;
+  }
+
+  for (chain::Ledger* ledger : {ledger_a_.get(), ledger_b_.get()}) {
+    const chain::CompactionReport report = ledger->compact(watermark);
+    ++result_.compactions;
+    result_.txs_retired += report.transactions_retired;
+    result_.htlcs_retired += report.htlcs_retired;
+    result_.log_truncated += report.log_truncated;
+  }
 }
 
 // --- run -------------------------------------------------------------------
@@ -603,8 +697,10 @@ PopulationResult PopulationSim::run() {
   r.stats.expired = r.starved + r.atomicity_lost;
   if (r.stats.initiated > 0) {
     r.stats.mean_predicted_sr =
-        predicted_sr_sum_ / static_cast<double>(r.stats.initiated);
+        predicted_sr_sum_.value() / static_cast<double>(r.stats.initiated);
   }
+  r.stats.lockup_token_a_hours = lockup_a_sum_.value();
+  r.stats.lockup_token_b_hours = lockup_b_sum_.value();
   std::sort(latencies_.begin(), latencies_.end());
   r.stats.latency_p50 = percentile(latencies_, 0.50);
   r.stats.latency_p90 = percentile(latencies_, 0.90);
@@ -631,6 +727,9 @@ PopulationResult PopulationSim::run() {
     metrics_->counter("population.rebids").inc(r.rebids);
     metrics_->counter("population.txs_evicted").inc(r.txs_evicted);
     metrics_->counter("population.txs_expired").inc(r.txs_expired);
+    metrics_->counter("population.compactions").inc(r.compactions);
+    metrics_->counter("population.sessions_retired").inc(r.sessions_retired);
+    metrics_->counter("population.txs_retired").inc(r.txs_retired);
     auto& hist =
         metrics_->histogram("population.settlement_latency_hours", 0.0, 48.0,
                             48);

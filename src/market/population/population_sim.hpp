@@ -47,6 +47,7 @@
 #include "market/population/fee_market.hpp"
 #include "market/settlement.hpp"
 #include "math/interval.hpp"
+#include "math/stats.hpp"
 #include "model/params.hpp"
 
 namespace swapgame::obs {
@@ -100,6 +101,23 @@ struct PopulationConfig {
   std::uint64_t seed = 0x9A9;
   /// Trader archetypes (defaults to three alpha/r mixes when empty).
   std::vector<TraderType> types;
+
+  // State retirement & sharding (docs/MARKET.md).  Pure memory/locality
+  // knobs: results and trace are bit-identical at every setting -- the
+  // equivalence tests and the CI byte-diffs hold the sim to that.
+  struct Compaction {
+    bool enabled = false;
+    /// Ledger watermark distance: each sweep retires records whose
+    /// lifecycle completed before now - horizon.  Any positive value is
+    /// safe (retirement is time-gated against the event clock); smaller
+    /// values bound memory tighter.
+    double horizon = 24.0;
+    /// Finalized sessions between sweeps (amortizes the sweep cost).
+    std::uint64_t interval = 2048;
+  };
+  Compaction compaction{};
+  /// Event-queue shards (chain::EventQueue::set_shards); 1 = classic heap.
+  std::uint64_t shards = 1;
 
   /// The default three-type population (patient/base/impatient).
   [[nodiscard]] static std::vector<TraderType> default_types();
@@ -159,6 +177,15 @@ struct PopulationResult {
   // Threshold-cache telemetry (deterministic given the config).
   std::uint64_t threshold_games = 0;  ///< level-1 (t2/t3) solver runs
   std::uint64_t t1_evaluations = 0;   ///< level-2 quadrature evaluations
+
+  // Retirement telemetry (all zero when compaction is off).
+  std::uint64_t compactions = 0;        ///< ledger sweeps (both chains)
+  std::uint64_t sessions_retired = 0;   ///< Session records dropped
+  std::uint64_t accounts_retired = 0;   ///< balances folded (both chains)
+  std::uint64_t txs_retired = 0;        ///< transaction records dropped
+  std::uint64_t htlcs_retired = 0;      ///< settled contracts dropped
+  std::uint64_t log_truncated = 0;      ///< confirmation-log entries cut
+  std::uint64_t peak_live_sessions = 0; ///< high-water Session deque size
 
   /// Ledger conservation: total_supply() == minted on both chains at end.
   bool conserved = false;
@@ -248,6 +275,17 @@ class PopulationSim {
   void spawn_session(const Match& match);
 
   // --- session state machine (t1..t4 over the fee markets) ---------------
+  /// The session with GLOBAL index idx, or nullptr when it was already
+  /// retired -- every queued callback holds an index, so a late firing
+  /// (watchdog of a never-initiated session, fee-market sweep) must
+  /// degrade to a checked no-op instead of a dangling deque access.
+  [[nodiscard]] Session* session(std::uint64_t idx) noexcept;
+  /// True once neither of the session's contracts is still locked (all
+  /// refunds/claims credited), making its accounts safe to retire.
+  [[nodiscard]] bool session_settled(const Session& s) const;
+  /// Every compaction.interval finalizations: retire settled sessions from
+  /// the deque front and sweep both ledgers behind the watermark.
+  void maybe_compact();
   void submit_deploy_a(std::uint64_t idx);
   void submit_deploy_b(std::uint64_t idx);
   void submit_claim_b(std::uint64_t idx);
@@ -278,7 +316,9 @@ class PopulationSim {
   double min_price_ = 0.0;
   double max_price_ = 0.0;
 
-  std::deque<Session> sessions_;
+  std::deque<Session> sessions_;  ///< global index session_offset_ + i
+  std::uint64_t session_offset_ = 0;  ///< sessions retired off the front
+  std::uint64_t finalized_since_compact_ = 0;
   std::map<std::uint64_t, std::uint32_t> order_types_;  ///< order id -> type
   std::map<std::uint64_t, GameEntry> games_;            ///< level-1 cache
   std::map<std::uint64_t, std::pair<double, double>> t1_cache_;  ///< level-2
@@ -289,7 +329,11 @@ class PopulationSim {
   chain::Amount minted_b_;
   PopulationResult result_;
   std::vector<double> latencies_;
-  double predicted_sr_sum_ = 0.0;
+  // Compensated accumulators: naive double sums drift at 10^6+ sessions
+  // (satellite fix; test_compaction compares against long-double reference).
+  math::NeumaierSum predicted_sr_sum_;
+  math::NeumaierSum lockup_a_sum_;
+  math::NeumaierSum lockup_b_sum_;
   bool ran_ = false;
 };
 

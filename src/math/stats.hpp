@@ -5,11 +5,40 @@
 // for distribution diagnostics in the benches.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace swapgame::math {
+
+/// Neumaier-compensated summation: a plain `sum += x` loop loses low-order
+/// bits once the running total dwarfs the addends, which at 10^6+
+/// accumulations (population-run latency/lockup totals) visibly drifts
+/// from the exact result.  The improved Kahan variant tracks the rounding
+/// error of every add in a second double, handling addends larger than the
+/// running sum too, so the total matches long-double reference summation
+/// to within one ulp at any realistic count.
+class NeumaierSum {
+ public:
+  void add(double x) noexcept {
+    const double t = sum_ + x;
+    // Whichever operand was larger absorbed the add exactly; the smaller
+    // one's truncated low bits are recovered here.
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  [[nodiscard]] double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
 
 /// Numerically stable running mean/variance (Welford).
 class RunningStats {

@@ -45,6 +45,8 @@ const char* to_string(TraceKind kind) noexcept {
       return "secret-observed";
     case TraceKind::kOutcome:
       return "outcome";
+    case TraceKind::kCompaction:
+      return "compaction";
   }
   return "unknown";
 }

@@ -52,6 +52,7 @@ enum class TraceKind : std::uint8_t {
   kVaultRelease,        ///< oracle released vault funds
   kSecretObserved,      ///< a party extracted a preimage from the mempool
   kOutcome,             ///< terminal classification + final balances
+  kCompaction,          ///< a ledger retirement sweep (records retired)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

@@ -1,0 +1,506 @@
+// Tests for the bounded-memory retirement layer (PR 8): sharded event
+// queues (execution order bit-identical at every shard count), Ledger
+// compaction (conservation across the fold, audited), the incremental
+// visible_secrets index, Neumaier-compensated accumulation, and
+// population-run equivalence with compaction/sharding on vs off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/auditor.hpp"
+#include "chain/block.hpp"
+#include "chain/event_queue.hpp"
+#include "chain/ledger.hpp"
+#include "crypto/secret.hpp"
+#include "market/population/population_sim.hpp"
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace swapgame {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sharded event queue
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEventQueue, ValidatesShardChanges) {
+  chain::EventQueue q;
+  EXPECT_THROW(q.set_shards(0), std::invalid_argument);
+  q.schedule_at(1.0, [] {});
+  EXPECT_THROW(q.set_shards(4), std::logic_error);
+  q.run();
+  q.set_shards(4);  // empty again: allowed
+  EXPECT_EQ(q.shards(), 4u);
+}
+
+/// Runs the same workload -- staggered times, heavy ties, callbacks that
+/// schedule more events -- and records the firing order.
+std::vector<int> run_workload(std::size_t shards) {
+  chain::EventQueue q;
+  q.set_shards(shards);
+  std::vector<int> order;
+  for (int i = 0; i < 40; ++i) {
+    const double when = static_cast<double>((i * 7) % 10);
+    q.schedule_at(when, [&q, &order, i] {
+      order.push_back(i);
+      if (i % 3 == 0) {
+        q.schedule_in(0.5, [&order, i] { order.push_back(1000 + i); });
+        q.schedule_in(0.0, [&order, i] { order.push_back(2000 + i); });
+      }
+    });
+  }
+  q.run();
+  return order;
+}
+
+TEST(ShardedEventQueue, ExecutionOrderIsIdenticalAtEveryShardCount) {
+  const std::vector<int> reference = run_workload(1);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t shards : {2u, 3u, 4u, 7u, 16u}) {
+    EXPECT_EQ(run_workload(shards), reference) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedEventQueue, PendingCountsAcrossShards) {
+  chain::EventQueue q;
+  q.set_shards(3);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 5; ++i) q.schedule_at(1.0 + i, [] {});
+  EXPECT_EQ(q.pending(), 5u);
+  EXPECT_EQ(q.run_until(3.0), 3u);
+  EXPECT_EQ(q.pending(), 2u);
+  q.run();
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Ledger compaction
+// ---------------------------------------------------------------------------
+
+struct LedgerFixture {
+  chain::EventQueue queue;
+  chain::Ledger ledger;
+  math::Xoshiro256 rng{0xC0FFEE};
+
+  LedgerFixture()
+      : ledger({chain::ChainId::kChainA, /*tau=*/2.0, /*eps=*/0.5}, queue) {
+    ledger.create_account(chain::Address{"alice"},
+                          chain::Amount::from_tokens(50.0));
+    ledger.create_account(chain::Address{"bob"},
+                          chain::Amount::from_tokens(50.0));
+  }
+
+  /// Deploys an HTLC from alice to bob and claims it; returns the ids.
+  std::pair<chain::TxId, chain::TxId> deploy_and_claim(double expiry) {
+    const crypto::Secret secret = crypto::Secret::generate(rng);
+    const chain::TxId deploy =
+        ledger.submit(chain::DeployHtlcPayload{{"alice"},
+                                               {"bob"},
+                                               chain::Amount::from_tokens(5.0),
+                                               secret.commitment(),
+                                               expiry,
+                                               chain::HtlcKind::kStandard});
+    const chain::HtlcId id = ledger.pending_contract_of(deploy);
+    queue.run_until(queue.now() + 2.0);  // deploy confirms
+    const chain::TxId claim =
+        ledger.submit(chain::ClaimHtlcPayload{id, secret, {"bob"}});
+    queue.run_until(queue.now() + 2.0);  // claim confirms
+    return {deploy, claim};
+  }
+};
+
+TEST(LedgerCompaction, RetiresSettledRecordsAndConservesSupply) {
+  LedgerFixture fx;
+  const chain::Amount supply = fx.ledger.total_supply();
+  const auto [deploy, claim] = fx.deploy_and_claim(/*expiry=*/20.0);
+  fx.queue.run_until(10.0);
+
+  EXPECT_EQ(fx.ledger.transaction_count(), 2u);
+  const chain::CompactionReport report = fx.ledger.compact(9.0);
+  EXPECT_EQ(report.transactions_retired, 2u);
+  EXPECT_EQ(report.htlcs_retired, 1u);
+  EXPECT_EQ(report.log_truncated, 2u);
+  EXPECT_EQ(report.supply_before, report.supply_after);
+  EXPECT_EQ(fx.ledger.total_supply(), supply);
+
+  // Records are gone, counters remember them.
+  EXPECT_EQ(fx.ledger.find_transaction(deploy), nullptr);
+  EXPECT_EQ(fx.ledger.find_transaction(claim), nullptr);
+  EXPECT_THROW(static_cast<void>(fx.ledger.transaction(claim)),
+               std::out_of_range);
+  EXPECT_EQ(fx.ledger.transaction_count(), 2u);
+  EXPECT_EQ(fx.ledger.confirmation_log_offset(), 2u);
+  EXPECT_TRUE(fx.ledger.confirmation_log().empty());
+}
+
+TEST(LedgerCompaction, LockedContractsAndRecentRecordsSurvive) {
+  LedgerFixture fx;
+  // An open lock deep in the past...
+  const crypto::Secret secret = crypto::Secret::generate(fx.rng);
+  const chain::TxId deploy =
+      fx.ledger.submit(chain::DeployHtlcPayload{{"alice"},
+                                                {"bob"},
+                                                chain::Amount::from_tokens(3.0),
+                                                secret.commitment(),
+                                                /*expiry=*/100.0,
+                                                chain::HtlcKind::kStandard});
+  const chain::HtlcId id = fx.ledger.pending_contract_of(deploy);
+  fx.queue.run_until(50.0);
+
+  const chain::Amount supply = fx.ledger.total_supply();
+  const chain::CompactionReport report = fx.ledger.compact(49.0);
+  // The deploy tx retires (applied long ago) but the LOCKED contract must
+  // survive -- its amount is live supply and its refund path must work.
+  EXPECT_EQ(report.transactions_retired, 1u);
+  EXPECT_EQ(report.htlcs_retired, 0u);
+  ASSERT_TRUE(fx.ledger.has_htlc(id));
+  EXPECT_EQ(fx.ledger.total_supply(), supply);
+
+  // The auto-refund still fires at expiry and pays alice back.
+  fx.queue.run_until(110.0);
+  EXPECT_EQ(fx.ledger.htlc(id).state, chain::HtlcState::kRefunded);
+  EXPECT_EQ(fx.ledger.balance({"alice"}), chain::Amount::from_tokens(50.0));
+  EXPECT_EQ(fx.ledger.total_supply(), supply);
+}
+
+TEST(LedgerCompaction, WatermarkMustBeStrictlyInThePast) {
+  LedgerFixture fx;
+  fx.queue.run_until(5.0);
+  EXPECT_THROW(fx.ledger.compact(5.0), std::invalid_argument);
+  EXPECT_THROW(fx.ledger.compact(6.0), std::invalid_argument);
+  EXPECT_THROW(fx.ledger.compact(std::nan("")), std::invalid_argument);
+  EXPECT_NO_THROW(fx.ledger.compact(4.9));
+}
+
+TEST(LedgerCompaction, RetireAccountFoldsBalanceIntoSupply) {
+  LedgerFixture fx;
+  fx.queue.run_until(1.0);
+  const chain::Amount supply = fx.ledger.total_supply();
+  fx.ledger.retire_account({"alice"});
+  EXPECT_FALSE(fx.ledger.has_account({"alice"}));
+  EXPECT_EQ(fx.ledger.retired_balance(), chain::Amount::from_tokens(50.0));
+  EXPECT_EQ(fx.ledger.total_supply(), supply);
+  EXPECT_THROW(fx.ledger.retire_account({"alice"}), std::out_of_range);
+}
+
+TEST(LedgerCompaction, EmitsTraceEventAndNotifiesAuditor) {
+  LedgerFixture fx;
+  chain::InvariantAuditor auditor;
+  auditor.attach(fx.ledger);
+  obs::TraceRecorder trace;
+  fx.ledger.set_trace(&trace);
+
+  fx.deploy_and_claim(/*expiry=*/20.0);
+  fx.queue.run_until(10.0);
+  const std::uint64_t checks_before = auditor.checks_run();
+  fx.ledger.compact(9.0);
+
+  EXPECT_TRUE(auditor.ok());
+  EXPECT_EQ(auditor.checks_run(), checks_before + 1);
+  bool saw_compaction = false;
+  for (const obs::TraceEvent& ev : trace.events()) {
+    if (ev.kind == obs::TraceKind::kCompaction) saw_compaction = true;
+  }
+  EXPECT_TRUE(saw_compaction);
+}
+
+TEST(LedgerCompaction, AuditorCatchesSupplyDriftAcrossTheFold) {
+  LedgerFixture fx;
+  chain::InvariantAuditor auditor;
+  auditor.attach(fx.ledger);
+  fx.deploy_and_claim(/*expiry=*/20.0);
+  fx.queue.run_until(10.0);
+  // Minting mid-run breaks the attach-time baseline; the next sweep's
+  // conservation check must flag it.
+  fx.ledger.create_account({"minter"}, chain::Amount::from_tokens(1.0));
+  fx.ledger.compact(9.0);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_NE(auditor.violations()[0].what.find("conservation"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental secret index
+// ---------------------------------------------------------------------------
+
+/// The pre-index algorithm: rescan every transaction for mempool-visible
+/// claims, ascending by tx id.  The incremental index must match exactly.
+std::vector<chain::ObservedSecret> rescan_secrets(
+    const chain::Ledger& ledger, const std::vector<chain::TxId>& txs,
+    double now) {
+  std::vector<chain::ObservedSecret> result;
+  for (const chain::TxId id : txs) {
+    const chain::Transaction* tx = ledger.find_transaction(id);
+    if (tx == nullptr || tx->visible_at > now) continue;
+    if (const auto* claim =
+            std::get_if<chain::ClaimHtlcPayload>(&tx->payload)) {
+      result.push_back({claim->secret, claim->contract, tx->visible_at});
+    }
+  }
+  return result;
+}
+
+TEST(SecretIndex, MatchesTheFullRescanAtEveryClockStep) {
+  LedgerFixture fx;
+  std::vector<chain::TxId> all_txs;
+  std::vector<chain::HtlcId> contracts;
+  std::vector<crypto::Secret> secrets;
+  // Three overlapping deploy+claim pairs, so visibility times interleave.
+  for (int i = 0; i < 3; ++i) {
+    secrets.push_back(crypto::Secret::generate(fx.rng));
+    all_txs.push_back(fx.ledger.submit(
+        chain::DeployHtlcPayload{{"alice"},
+                                 {"bob"},
+                                 chain::Amount::from_tokens(2.0),
+                                 secrets.back().commitment(),
+                                 /*expiry=*/40.0,
+                                 chain::HtlcKind::kStandard}));
+    contracts.push_back(fx.ledger.pending_contract_of(all_txs.back()));
+    fx.queue.run_until(fx.queue.now() + 2.5);
+  }
+  for (int i = 0; i < 3; ++i) {
+    all_txs.push_back(fx.ledger.submit(
+        chain::ClaimHtlcPayload{contracts[i], secrets[i], {"bob"}}));
+    fx.queue.run_until(fx.queue.now() + 0.3);  // claims not yet visible
+    // Index and rescan must agree BETWEEN submissions too (pending heap
+    // half-matured).
+    const auto expected =
+        rescan_secrets(fx.ledger, all_txs, fx.queue.now());
+    const auto got = fx.ledger.visible_secrets();
+    ASSERT_EQ(got.size(), expected.size()) << "i=" << i;
+  }
+  fx.queue.run_until(fx.queue.now() + 10.0);
+
+  const auto expected = rescan_secrets(fx.ledger, all_txs, fx.queue.now());
+  const auto got = fx.ledger.visible_secrets();
+  ASSERT_EQ(got.size(), 3u);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].secret.bytes(), expected[i].secret.bytes());
+    EXPECT_EQ(got[i].contract.value, expected[i].contract.value);
+    EXPECT_EQ(got[i].visible_since, expected[i].visible_since);
+  }
+}
+
+TEST(SecretIndex, CompactionDropsRetiredClaims) {
+  LedgerFixture fx;
+  fx.deploy_and_claim(/*expiry=*/20.0);
+  fx.queue.run_until(8.0);
+  ASSERT_EQ(fx.ledger.visible_secrets().size(), 1u);
+  fx.ledger.compact(7.5);
+  // The claim's record is gone, so the index (like the old rescan of the
+  // remaining transactions) no longer reports its secret.
+  EXPECT_TRUE(fx.ledger.visible_secrets().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Block production over a compacting ledger
+// ---------------------------------------------------------------------------
+
+TEST(BlockProducer, SealsAcrossLogTruncation) {
+  LedgerFixture fx;
+  chain::BlockProducer producer(fx.ledger, fx.queue, /*block_interval=*/5.0);
+  producer.start();
+  fx.deploy_and_claim(/*expiry=*/30.0);
+  fx.queue.run_until(5.0);  // first seal at t=5, both txs confirmed by t=4
+  ASSERT_EQ(producer.blocks().size(), 1u);
+  EXPECT_EQ(producer.blocks()[0].transactions.size(), 2u);
+
+  fx.ledger.compact(4.5);  // truncates both sealed log entries
+  const auto [deploy2, claim2] = fx.deploy_and_claim(/*expiry=*/30.0);
+  fx.queue.run_until(10.0);  // second seal at t=10
+  ASSERT_EQ(producer.blocks().size(), 2u);
+  // The producer's global log cursor survives the truncation: the second
+  // block holds exactly the two new confirmations, no duplicates, no skips.
+  const std::vector<chain::TxId> expected{deploy2, claim2};
+  EXPECT_EQ(producer.blocks()[1].transactions, expected);
+  // Proofs over the live block still work (verification needs the records,
+  // so it is only available for transactions that survived compaction).
+  const auto proof = producer.prove_inclusion(claim2);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(
+      producer.verify_inclusion(fx.ledger.transaction(claim2), *proof));
+}
+
+// ---------------------------------------------------------------------------
+// Compensated accumulation
+// ---------------------------------------------------------------------------
+
+TEST(NeumaierSum, MatchesLongDoubleReferenceAtAMillionSamples) {
+  // Pathological mix: alternating +-1e12 terms (which cancel EXACTLY in
+  // pairs, so the true total is just the sum of the small terms) plus a
+  // small positive drift.  Naive double addition absorbs every small term
+  // into the 1e12-magnitude running sum (1e-6 < ulp(1e12)/2) and loses the
+  // drift entirely; Neumaier compensation recovers it.
+  math::Xoshiro256 rng(0x5EED);
+  math::NeumaierSum compensated;
+  double naive = 0.0;
+  long double reference = 0.0L;  // smalls only; the bigs cancel exactly
+  for (int i = 0; i < 1'000'000; ++i) {
+    const double big = (i % 2 == 0 ? 1.0 : -1.0) * 1e12;
+    const double small = 1e-6 * math::uniform01(rng);
+    compensated.add(big);
+    compensated.add(small);
+    naive += big;
+    naive += small;
+    reference += static_cast<long double>(small);
+  }
+  const double exact = static_cast<double>(reference);
+  ASSERT_GT(exact, 0.1);  // the drift is macroscopic
+  const double comp_err = std::abs(compensated.value() - exact);
+  const double naive_err = std::abs(naive - exact);
+  // Compensation recovers the reference to ~1 ulp of the total...
+  EXPECT_LE(comp_err, 1e-9 * exact)
+      << "compensated=" << compensated.value() << " exact=" << exact;
+  EXPECT_LE(comp_err, naive_err);
+  // ...while the naive sum loses essentially ALL of the drift.
+  EXPECT_GT(naive_err, 0.5 * exact);
+}
+
+// ---------------------------------------------------------------------------
+// Population equivalence: compaction on/off, shards 1/K
+// ---------------------------------------------------------------------------
+
+market::PopulationConfig equivalence_config(std::uint64_t sessions = 400) {
+  market::PopulationConfig config;
+  config.sessions = sessions;
+  // Slow arrivals spread the sessions over many simulated hours, so early
+  // sessions finish (and become retirable) while later ones are still
+  // arriving -- the regime where compaction actually bounds live state.
+  config.arrival_rate = 15.0;
+  config.seed = 0xE9A1;
+  return config;
+}
+
+struct TracedRun {
+  market::PopulationResult result;
+  std::string trace;
+};
+
+TracedRun run_traced(market::PopulationConfig config) {
+  market::PopulationSim sim(std::move(config));
+  obs::TraceRecorder recorder;
+  sim.set_trace(&recorder, /*stride=*/7);
+  TracedRun out;
+  out.result = sim.run();
+  out.trace = recorder.to_jsonl();
+  return out;
+}
+
+/// Asserts every behavioral field matches; retirement telemetry is memory
+/// bookkeeping and intentionally excluded.
+void expect_equivalent(const market::PopulationResult& a,
+                       const market::PopulationResult& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.orders_cancelled, b.orders_cancelled);
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.never_initiated, b.never_initiated);
+  EXPECT_EQ(a.aborted_t2, b.aborted_t2);
+  EXPECT_EQ(a.aborted_t3, b.aborted_t3);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.starved, b.starved);
+  EXPECT_EQ(a.atomicity_lost, b.atomicity_lost);
+  EXPECT_EQ(a.stats.initiated, b.stats.initiated);
+  EXPECT_EQ(a.stats.completed, b.stats.completed);
+  EXPECT_EQ(a.stats.expired, b.stats.expired);
+  // Bit-identical doubles, not just close.
+  EXPECT_EQ(a.stats.mean_predicted_sr, b.stats.mean_predicted_sr);
+  EXPECT_EQ(a.stats.latency_p50, b.stats.latency_p50);
+  EXPECT_EQ(a.stats.latency_p90, b.stats.latency_p90);
+  EXPECT_EQ(a.stats.latency_p99, b.stats.latency_p99);
+  EXPECT_EQ(a.stats.lockup_token_a_hours, b.stats.lockup_token_a_hours);
+  EXPECT_EQ(a.stats.lockup_token_b_hours, b.stats.lockup_token_b_hours);
+  EXPECT_EQ(a.final_price, b.final_price);
+  EXPECT_EQ(a.min_price, b.min_price);
+  EXPECT_EQ(a.max_price, b.max_price);
+  EXPECT_EQ(a.blocks_sealed, b.blocks_sealed);
+  EXPECT_EQ(a.txs_included, b.txs_included);
+  EXPECT_EQ(a.txs_evicted, b.txs_evicted);
+  EXPECT_EQ(a.txs_expired, b.txs_expired);
+  EXPECT_EQ(a.rebids, b.rebids);
+  EXPECT_EQ(a.fees_paid, b.fees_paid);
+  EXPECT_EQ(a.threshold_games, b.threshold_games);
+  EXPECT_EQ(a.t1_evaluations, b.t1_evaluations);
+  EXPECT_TRUE(a.conserved);
+  EXPECT_TRUE(b.conserved);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(PopulationEquivalence, CompactionOnOffAndShardsAreBitIdentical) {
+  const TracedRun baseline = run_traced(equivalence_config());
+
+  market::PopulationConfig compacted = equivalence_config();
+  compacted.compaction.enabled = true;
+  compacted.compaction.horizon = 2.0;
+  compacted.compaction.interval = 16;
+  const TracedRun with_compaction = run_traced(compacted);
+
+  market::PopulationConfig sharded = compacted;
+  sharded.shards = 5;
+  const TracedRun with_shards = run_traced(sharded);
+
+  expect_equivalent(baseline.result, with_compaction.result);
+  expect_equivalent(baseline.result, with_shards.result);
+  // TRACE byte-identity, not just equal aggregates.
+  EXPECT_EQ(baseline.trace, with_compaction.trace);
+  EXPECT_EQ(baseline.trace, with_shards.trace);
+
+  // And the compaction actually happened.
+  EXPECT_GT(with_compaction.result.compactions, 0u);
+  EXPECT_GT(with_compaction.result.sessions_retired, 0u);
+  EXPECT_GT(with_compaction.result.txs_retired, 0u);
+  EXPECT_LT(with_compaction.result.peak_live_sessions,
+            with_compaction.result.sessions);
+  EXPECT_EQ(baseline.result.compactions, 0u);
+  EXPECT_EQ(baseline.result.peak_live_sessions, baseline.result.sessions);
+}
+
+TEST(PopulationEquivalence, AggressiveRetirementUnderFeePressure) {
+  // Satellite regression: congested fee markets produce eviction/expiry
+  // notifications that can fire for sessions already retired; each must be
+  // a checked no-op, and the run must stay equivalent to the uncompacted
+  // one in every behavioral field.
+  market::PopulationConfig congested = equivalence_config(500);
+  congested.arrival_rate = 2500.0;
+  congested.fee_a.block_capacity = 6;
+  congested.fee_b.block_capacity = 6;
+  congested.fee_a.mempool_capacity = 24;
+  congested.fee_b.mempool_capacity = 24;
+
+  const TracedRun baseline = run_traced(congested);
+  ASSERT_GT(baseline.result.txs_evicted, 0u);
+  ASSERT_GT(baseline.result.starved, 0u);
+
+  market::PopulationConfig churning = congested;
+  churning.compaction.enabled = true;
+  churning.compaction.horizon = 1.0;  // as aggressive as the gate allows
+  churning.compaction.interval = 1;   // sweep on every finalization
+  const TracedRun churned = run_traced(churning);
+
+  expect_equivalent(baseline.result, churned.result);
+  EXPECT_EQ(baseline.trace, churned.trace);
+  EXPECT_GT(churned.result.sessions_retired, 0u);
+  EXPECT_GT(churned.result.accounts_retired, 0u);
+  EXPECT_GT(churned.result.log_truncated, 0u);
+}
+
+TEST(PopulationEquivalence, ValidatesRetirementKnobs) {
+  market::PopulationConfig config = equivalence_config();
+  config.shards = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = equivalence_config();
+  config.compaction.enabled = true;
+  config.compaction.horizon = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = equivalence_config();
+  config.compaction.enabled = true;
+  config.compaction.interval = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swapgame

@@ -13,17 +13,26 @@ gated -- the sample/run counts an estimator needs to hit its target CI
   * simd_speedup_*             (x15 SIMD kernel speedups, LOWER bound)
   * population_latency_*       (x16 fixed-workload settlement latency)
   * population_completion_*    (x16 completion rates, LOWER bound)
+  * population_sessions_per_sec (x16 headline throughput, LOWER bound --
+    machine-dependent, so its committed baseline is deliberately
+    conservative; see docs/PERF.md)
 
 A gated metric may not exceed its baseline by more than --tolerance
-(default 25%); the simd_speedup_* and population_completion_* families
-are gated the other way around (the fresh value may not drop below
-baseline * (1 - tolerance)).  Other
+(default 25%); the simd_speedup_*, population_completion_* and
+population_sessions_per_sec families are gated the other way around (the
+fresh value may not drop below baseline * (1 - tolerance)).  Other
 metrics (e.g. mc_validation_max_abs_err) are reported informationally.
 Wall-clock TIME telemetry is never gated.
+
+Peak-memory gate: --time-v <file> parses the "Maximum resident set size
+(kbytes)" line of a `/usr/bin/time -v` stderr capture and fails when it
+exceeds --max-rss-mb.  CI wraps the full-scale 10^6-session x16 run this
+way to hold the ledger-compaction memory bound (<= 4 GB).
 
 Usage:
   python3 tools/bench_gate.py --fresh <dir-with-new-BENCH-json> \
       [--baseline bench/baselines] [--tolerance 0.25]
+  python3 tools/bench_gate.py --time-v x16-time.txt --max-rss-mb 4096
 
 Exit status: 0 = no regression, 1 = regression or missing fresh file.
 """
@@ -48,6 +57,10 @@ GATED_PREFIXES = (
 GATED_MIN_PREFIXES = (
     "simd_speedup_",
     "population_completion_",
+    # Machine-dependent throughput floor; the committed baseline is set
+    # conservatively (well below a warm dev machine) so the gate only
+    # trips on order-of-magnitude regressions, not runner jitter.
+    "population_sessions_per_sec",
 )
 
 
@@ -58,6 +71,36 @@ def is_gated(name: str) -> bool:
 
 def is_min_gated(name: str) -> bool:
     return any(name.startswith(p) for p in GATED_MIN_PREFIXES)
+
+
+def check_time_v(path: pathlib.Path, max_rss_mb: float) -> int:
+    """Parses `/usr/bin/time -v` stderr and enforces the peak-RSS bound.
+
+    Returns the number of failures (0 or 1); a missing or unparseable
+    file counts as a failure so CI cannot silently skip the bound.
+    """
+    try:
+        text = path.read_text()
+    except OSError as err:
+        print(f"FAIL --time-v: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+    rss_kb = None
+    for line in text.splitlines():
+        if "Maximum resident set size" in line:
+            try:
+                rss_kb = float(line.rsplit(":", 1)[1])
+            except (IndexError, ValueError):
+                pass
+            break
+    if rss_kb is None:
+        print(f"FAIL --time-v: no 'Maximum resident set size' line in {path}",
+              file=sys.stderr)
+        return 1
+    rss_mb = rss_kb / 1024.0
+    ok = rss_mb <= max_rss_mb
+    print(f"{'ok  ' if ok else 'FAIL'} {path.name}: peak RSS "
+          f"{rss_mb:.1f} MB (limit {max_rss_mb:g} MB)")
+    return 0 if ok else 1
 
 
 def load_metrics(path: pathlib.Path) -> dict:
@@ -72,13 +115,27 @@ def load_metrics(path: pathlib.Path) -> dict:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--fresh", required=True, type=pathlib.Path,
+    ap.add_argument("--fresh", type=pathlib.Path,
                     help="directory holding freshly generated BENCH_*.json")
     ap.add_argument("--baseline", default=pathlib.Path("bench/baselines"),
                     type=pathlib.Path)
     ap.add_argument("--tolerance", default=0.25, type=float,
                     help="allowed relative increase over baseline")
+    ap.add_argument("--time-v", type=pathlib.Path, dest="time_v",
+                    help="`/usr/bin/time -v` stderr capture to bound")
+    ap.add_argument("--max-rss-mb", type=float, default=4096.0,
+                    help="peak-RSS bound for --time-v (default 4096)")
     args = ap.parse_args()
+
+    if args.fresh is None and args.time_v is None:
+        ap.error("at least one of --fresh / --time-v is required")
+
+    if args.time_v is not None:
+        rss_failures = check_time_v(args.time_v, args.max_rss_mb)
+        if args.fresh is None:
+            return 1 if rss_failures else 0
+    else:
+        rss_failures = 0
 
     baselines = sorted(args.baseline.glob("BENCH_*.json"))
     if not baselines:
@@ -126,6 +183,7 @@ def main() -> int:
     if compared == 0:
         print("bench_gate: no gated metrics compared", file=sys.stderr)
         return 1
+    failures += rss_failures
     print(f"bench_gate: {compared} gated metric(s), {failures} regression(s)")
     return 1 if failures else 0
 
