@@ -92,6 +92,18 @@ std::size_t EventQueue::run(std::size_t limit) {
   return processed;
 }
 
+std::size_t EventQueue::drain_before(Hours until) {
+  if (!std::isfinite(until)) {
+    throw std::invalid_argument("EventQueue::drain_before: non-finite time");
+  }
+  std::size_t processed = 0;
+  while (pending_ != 0 && shards_[min_shard()].front().when < until) {
+    step();
+    ++processed;
+  }
+  return processed;
+}
+
 std::size_t EventQueue::run_until(Hours until) {
   if (until < now_) {
     throw std::invalid_argument("EventQueue::run_until: time is in the past");

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "types.hpp"
@@ -65,8 +66,27 @@ class EventQueue {
   /// to `until` (even if no event was pending).  Returns events processed.
   std::size_t run_until(Hours until);
 
+  /// Epoch draining (the parallel population engine, docs/MARKET.md): runs
+  /// every event with when STRICTLY before `until` and leaves the clock at
+  /// the last processed event (unchanged when nothing fired).  Events at
+  /// exactly `until` belong to the next epoch.  Unlike run_until the clock
+  /// is NOT advanced to `until`; pair with advance_to at the barrier.
+  std::size_t drain_before(Hours until);
+
+  /// Barrier resync: advances the clock to max(now, t) without running
+  /// anything.  Lets per-shard queues agree on the epoch boundary before
+  /// time-gated operations (Ledger::compact) run against their clocks.
+  void advance_to(Hours t) noexcept { if (t > now_) now_ = t; }
+
   [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
   [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+
+  /// Time of the earliest pending event, or +infinity when empty (the
+  /// parallel population engine uses this to skip event-free epochs).
+  [[nodiscard]] Hours next_time() const noexcept {
+    if (pending_ == 0) return std::numeric_limits<Hours>::infinity();
+    return shards_[min_shard()].front().when;
+  }
 
   /// Optional metrics sink (nullptr = disabled, the default): counts
   /// `queue.events_scheduled` / `queue.events_processed`.  The counter

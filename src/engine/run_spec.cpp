@@ -201,6 +201,7 @@ std::string RunSpec::canonical_string() const {
   put(out, "population.max_fee", pop.max_fee);
   put(out, "population.seed", pop.seed);
   put(out, "population.shards", pop.shards);
+  put(out, "population.workers", pop.workers);
   put(out, "population.compaction.enabled",
       static_cast<std::uint64_t>(pop.compaction.enabled ? 1 : 0));
   put(out, "population.compaction.horizon", pop.compaction.horizon);

@@ -54,7 +54,13 @@ namespace swapgame::engine {
 /// retirement + sharded event queues) and the retirement counters in
 /// market_sim results; Neumaier-compensated MarketStats accumulation
 /// re-keys lockup sums at the ulp level.
-inline constexpr int kRunSpecSchemaVersion = 4;
+/// v5: the epochized parallel population engine (population.workers line).
+/// The market_sim evaluator now quantizes decisions and the GBM to
+/// block-interval epochs and merges cross-session effects at barriers, so
+/// every market_sim result changes relative to v4 regardless of the
+/// worker count -- results remain bit-identical across workers/shards
+/// WITHIN v5.
+inline constexpr int kRunSpecSchemaVersion = 5;
 
 /// What computation a cell performs.
 enum class CellKind : std::uint8_t {

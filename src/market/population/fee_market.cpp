@@ -36,19 +36,25 @@ FeeMarket::FeeMarket(const FeeMarketConfig& config, chain::Ledger& ledger,
   config_.validate();
 }
 
-std::uint64_t FeeMarket::submit(chain::TxPayload payload, double fee,
-                                double inclusion_deadline,
-                                IncludedCallback on_included,
-                                DroppedCallback on_dropped) {
+FeeMarket::FeeMarket(const FeeMarketConfig& config, chain::EventQueue& queue,
+                     IncludeSink sink)
+    : config_(config), ledger_(nullptr), queue_(&queue),
+      sink_(std::move(sink)) {
+  config_.validate();
+  if (!sink_) {
+    throw std::invalid_argument("FeeMarket: deferred mode needs a sink");
+  }
+}
+
+std::uint64_t FeeMarket::park(Intent intent, double fee) {
   if (!(fee >= 0.0) || !std::isfinite(fee)) {
     throw std::invalid_argument("FeeMarket: fee must be finite and >= 0");
   }
-  if (!(inclusion_deadline >= queue_->now())) {
+  if (!(intent.deadline >= queue_->now())) {
     throw std::invalid_argument("FeeMarket: deadline is already past");
   }
   const std::uint64_t id = next_id_++;
-  intents_.emplace(id, Intent{std::move(payload), fee, inclusion_deadline,
-                              std::move(on_included), std::move(on_dropped)});
+  intents_.emplace(id, std::move(intent));
   order_.emplace(fee, id);
   if (intents_.size() > config_.mempool_capacity) {
     // Evict the worst bid; among equal fees the NEWEST goes (an incumbent
@@ -59,6 +65,32 @@ std::uint64_t FeeMarket::submit(chain::TxPayload payload, double fee,
   }
   if (!intents_.empty()) ensure_seal_scheduled();
   return id;
+}
+
+std::uint64_t FeeMarket::submit(chain::TxPayload payload, double fee,
+                                double inclusion_deadline,
+                                IncludedCallback on_included,
+                                DroppedCallback on_dropped) {
+  if (ledger_ == nullptr) {
+    throw std::logic_error(
+        "FeeMarket::submit: deferred-inclusion mode uses submit_tagged");
+  }
+  return park(Intent{std::move(payload), fee, inclusion_deadline, 0,
+                     std::move(on_included), std::move(on_dropped)},
+              fee);
+}
+
+std::uint64_t FeeMarket::submit_tagged(std::uint64_t owner_tag,
+                                       chain::TxPayload payload, double fee,
+                                       double inclusion_deadline,
+                                       DroppedCallback on_dropped) {
+  if (ledger_ != nullptr) {
+    throw std::logic_error(
+        "FeeMarket::submit_tagged: ledger mode uses submit");
+  }
+  return park(Intent{std::move(payload), fee, inclusion_deadline, owner_tag,
+                     {}, std::move(on_dropped)},
+              fee);
 }
 
 bool FeeMarket::cancel(std::uint64_t intent_id) {
@@ -92,7 +124,10 @@ void FeeMarket::seal_block() {
   // seal time (confirmation clock starts here -- inclusion latency is the
   // fee market's whole effect).  Callbacks run after the mempool mutation
   // so an on_included that submits a follow-up intent sees clean state.
+  // Deferred mode routes the payload through the sink instead: the owner
+  // submits it to its own ledger shard at this seal time.
   std::vector<std::pair<IncludedCallback, chain::TxId>> ready;
+  std::vector<std::pair<std::uint64_t, chain::TxPayload>> deferred;
   std::size_t filled = 0;
   while (!order_.empty() && filled < config_.block_capacity) {
     ++filled;
@@ -101,14 +136,19 @@ void FeeMarket::seal_block() {
     Intent intent = std::move(it->second);
     order_.erase(best);
     intents_.erase(it);
-    const chain::TxId tx = ledger_->submit(std::move(intent.payload));
     ++included_;
     fees_paid_ += intent.fee;
-    if (intent.on_included) {
-      ready.emplace_back(std::move(intent.on_included), tx);
+    if (ledger_ != nullptr) {
+      const chain::TxId tx = ledger_->submit(std::move(intent.payload));
+      if (intent.on_included) {
+        ready.emplace_back(std::move(intent.on_included), tx);
+      }
+    } else {
+      deferred.emplace_back(intent.owner_tag, std::move(intent.payload));
     }
   }
   for (auto& [cb, tx] : ready) cb(tx);
+  for (auto& [tag, payload] : deferred) sink_(tag, std::move(payload), now);
   if (!intents_.empty()) ensure_seal_scheduled();
 }
 

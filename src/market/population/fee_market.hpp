@@ -70,10 +70,24 @@ class FeeMarket {
   /// when the intent was evicted or expired without inclusion.
   using DroppedCallback = std::function<void(DropReason)>;
 
+  /// Deferred-inclusion sink (the parallel population engine): called at
+  /// seal time for every intent that won block space, handing the payload
+  /// BACK to its owner (identified by the tag given to submit_tagged)
+  /// instead of submitting to a ledger.  The owner routes it to whatever
+  /// ledger shard owns the session and submits there -- which is what lets
+  /// one global fee market arbitrate block space across per-shard ledgers.
+  using IncludeSink = std::function<void(
+      std::uint64_t owner_tag, chain::TxPayload payload, double seal_time)>;
+
   /// Ledger and queue must outlive the fee market (the queue must be the
   /// one driving the ledger).
   FeeMarket(const FeeMarketConfig& config, chain::Ledger& ledger,
             chain::EventQueue& queue);
+
+  /// Deferred-inclusion mode: no ledger; sealed intents are delivered to
+  /// `sink` instead (see IncludeSink).  Submissions must use submit_tagged.
+  FeeMarket(const FeeMarketConfig& config, chain::EventQueue& queue,
+            IncludeSink sink);
 
   FeeMarket(const FeeMarket&) = delete;
   FeeMarket& operator=(const FeeMarket&) = delete;
@@ -83,10 +97,18 @@ class FeeMarket {
   /// intent id.  May trigger an eviction (possibly of this very intent)
   /// when the mempool is over capacity.
   /// @throws std::invalid_argument on negative/non-finite fee or a
-  /// deadline before now.
+  /// deadline before now; std::logic_error in deferred-inclusion mode.
   std::uint64_t submit(chain::TxPayload payload, double fee,
                        double inclusion_deadline, IncludedCallback on_included,
                        DroppedCallback on_dropped);
+
+  /// Deferred-mode submit: like submit(), but inclusion is delivered
+  /// through the IncludeSink with `owner_tag` instead of a per-intent
+  /// callback (drops still use the callback -- they carry no payload).
+  /// @throws std::logic_error when constructed in ledger mode.
+  std::uint64_t submit_tagged(std::uint64_t owner_tag, chain::TxPayload payload,
+                              double fee, double inclusion_deadline,
+                              DroppedCallback on_dropped);
 
   /// Withdraws a pending intent (no callback fires).  False if unknown or
   /// already included/dropped.
@@ -110,6 +132,7 @@ class FeeMarket {
     chain::TxPayload payload;
     double fee = 0.0;
     double deadline = 0.0;
+    std::uint64_t owner_tag = 0;  ///< deferred mode: routed through the sink
     IncludedCallback on_included;
     DroppedCallback on_dropped;
   };
@@ -127,10 +150,12 @@ class FeeMarket {
   void ensure_seal_scheduled();
   void seal_block();
   void drop(std::uint64_t id, DropReason reason);
+  std::uint64_t park(Intent intent, double fee);
 
   FeeMarketConfig config_;
-  chain::Ledger* ledger_;
+  chain::Ledger* ledger_;  ///< nullptr in deferred-inclusion mode
   chain::EventQueue* queue_;
+  IncludeSink sink_;
   std::map<std::uint64_t, Intent> intents_;
   std::set<std::pair<double, std::uint64_t>, BetterBid> order_;
   std::uint64_t next_id_ = 1;

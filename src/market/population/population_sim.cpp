@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "model/timeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sweep/thread_pool.hpp"
 
 namespace swapgame::market {
 
@@ -19,7 +21,8 @@ namespace {
 constexpr std::uint64_t kArrivalStream = 1'000'000'007ULL;
 constexpr std::uint64_t kPriceStream = 2'000'000'011ULL;
 
-// Fee-market stages a drop notification can refer to.
+// Fee-market stages a drop notification can refer to.  The stage also
+// rides in the low bits of the fee-market owner tag (idx * 4 + stage).
 enum Stage : int { kDeployA = 0, kDeployB = 1, kClaimB = 2, kClaimA = 3 };
 
 [[nodiscard]] std::int64_t quantize(double x, double tick) {
@@ -87,6 +90,9 @@ void PopulationConfig::validate() const {
   if (shards == 0 || shards > 4096) {
     throw std::invalid_argument("PopulationConfig: shards must be in [1, 4096]");
   }
+  if (workers == 0 || workers > 256) {
+    throw std::invalid_argument("PopulationConfig: workers must be in [1, 256]");
+  }
   if (compaction.enabled) {
     positive(compaction.horizon, "compaction.horizon");
     if (compaction.interval == 0) {
@@ -142,13 +148,37 @@ PopulationSim::PopulationSim(PopulationConfig config)
   params_b.id = chain::ChainId::kChainB;
   params_b.confirmation_time = config_.tau_b;
   params_b.mempool_visibility = config_.eps_b;
-  ledger_a_ = std::make_unique<chain::Ledger>(params_a, queue_);
-  ledger_b_ = std::make_unique<chain::Ledger>(params_b, queue_);
-  market_a_ = std::make_unique<FeeMarket>(config_.fee_a, *ledger_a_, queue_);
-  market_b_ = std::make_unique<FeeMarket>(config_.fee_b, *ledger_b_, queue_);
+  shards_.reserve(config_.workers);
+  for (std::uint64_t w = 0; w < config_.workers; ++w) {
+    auto sh = std::make_unique<Shard>();
+    sh->queue.set_shards(config_.shards);
+    sh->ledger_a = std::make_unique<chain::Ledger>(params_a, sh->queue);
+    sh->ledger_b = std::make_unique<chain::Ledger>(params_b, sh->queue);
+    shards_.push_back(std::move(sh));
+  }
+  if (config_.workers > 1) {
+    pool_ = std::make_unique<sweep::ThreadPool>(
+        static_cast<unsigned>(config_.workers - 1));
+  }
+  // Sealed intents come back through the sink: the owner shard submits the
+  // payload to ITS ledger at seal time, which is what lets one global fee
+  // market arbitrate block space across per-worker ledger pairs.
+  const FeeMarket::IncludeSink sink = [this](std::uint64_t tag,
+                                             chain::TxPayload payload,
+                                             double seal_time) {
+    const std::uint64_t idx = tag >> 2;
+    const int stage = static_cast<int>(tag & 3);
+    Shard& sh = *shards_[idx % shards_.size()];
+    sh.queue.schedule_at(
+        seal_time, [this, &sh, idx, stage, payload = std::move(payload)]() mutable {
+          include_job(sh, idx, stage, std::move(payload));
+        });
+  };
+  market_a_ = std::make_unique<FeeMarket>(config_.fee_a, queue_, sink);
+  market_b_ = std::make_unique<FeeMarket>(config_.fee_b, queue_, sink);
   arrival_rng_ = session_rng(config_.seed, kArrivalStream);
   price_rng_ = session_rng(config_.seed, kPriceStream);
-  price_ = min_price_ = max_price_ = config_.p0;
+  price_ = window_price_ = min_price_ = max_price_ = config_.p0;
 }
 
 PopulationSim::~PopulationSim() = default;
@@ -171,6 +201,12 @@ model::SwapParams PopulationSim::pair_params(std::uint32_t buyer_type,
 
 const PopulationSim::GameEntry& PopulationSim::game_entry(
     std::uint32_t buyer_type, std::uint32_t seller_type, double p_star) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return game_entry_locked(buyer_type, seller_type, p_star);
+}
+
+const PopulationSim::GameEntry& PopulationSim::game_entry_locked(
+    std::uint32_t buyer_type, std::uint32_t seller_type, double p_star) {
   const std::uint32_t pair_key = (buyer_type << 8) | seller_type;
   const std::int64_t star_units = quantize(p_star, config_.tick);
   const std::uint64_t key =
@@ -181,7 +217,9 @@ const PopulationSim::GameEntry& PopulationSim::game_entry(
 
   // The t3 cutoff and t2 region do not depend on p_t0 (only the t1
   // quantities do), so one solve at a canonical p_t0 = P* serves every
-  // decision price.  Warm-start along the P* axis within a type pair.
+  // decision price.  Warm-start along the P* axis within a type pair; the
+  // hints are frozen for the whole epoch (refreshed at the barrier) so a
+  // solve's inputs do not depend on which worker reaches it first.
   const double p = static_cast<double>(star_units) * config_.tick;
   const model::SwapParams params = pair_params(buyer_type, seller_type, p);
   const std::vector<double>& hints = last_roots_[pair_key];
@@ -193,13 +231,14 @@ const PopulationSim::GameEntry& PopulationSim::game_entry(
   entry.t3_cutoff = game.alice_t3_cutoff();
   entry.t2_region = game.bob_t2_region();
   entry.t2_roots = game.t2_roots();
-  last_roots_[pair_key] = entry.t2_roots;
+  pending_hints_.push_back(HintRec{pair_key, star_units, entry.t2_roots});
   return games_.emplace(key, std::move(entry)).first->second;
 }
 
 std::pair<double, double> PopulationSim::t1_entry(std::uint32_t buyer_type,
                                                   std::uint32_t seller_type,
                                                   double p_star, double p_t0) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   const std::uint32_t pair_key = (buyer_type << 8) | seller_type;
   const std::int64_t star_units = quantize(p_star, config_.tick);
   const std::int64_t t0_units = quantize(p_t0, config_.decision_tick);
@@ -210,7 +249,7 @@ std::pair<double, double> PopulationSim::t1_entry(std::uint32_t buyer_type,
   const auto it = t1_cache_.find(key);
   if (it != t1_cache_.end()) return it->second;
 
-  const GameEntry& level1 = game_entry(buyer_type, seller_type, p_star);
+  const GameEntry& level1 = game_entry_locked(buyer_type, seller_type, p_star);
   const double star = static_cast<double>(star_units) * config_.tick;
   const double t0 =
       std::max(static_cast<double>(t0_units) * config_.decision_tick,
@@ -226,15 +265,13 @@ std::pair<double, double> PopulationSim::t1_entry(std::uint32_t buyer_type,
 
 // --- endogenous price ------------------------------------------------------
 
-double PopulationSim::price_at(double t) {
-  if (t > price_time_) {
-    const math::GbmLaw law(config_.gbm, price_, t - price_time_);
-    price_ = law.sample_from_normal(math::normal_inverse_cdf_draw(price_rng_));
-    price_time_ = t;
-    min_price_ = std::min(min_price_, price_);
-    max_price_ = std::max(max_price_, price_);
-  }
-  return price_;
+void PopulationSim::advance_price_to(double t) {
+  if (t <= price_time_) return;
+  const math::GbmLaw law(config_.gbm, price_, t - price_time_);
+  price_ = law.sample_from_normal(math::normal_inverse_cdf_draw(price_rng_));
+  price_time_ = t;
+  min_price_ = std::min(min_price_, price_);
+  max_price_ = std::max(max_price_, price_);
 }
 
 void PopulationSim::apply_impact(double direction) {
@@ -243,7 +280,7 @@ void PopulationSim::apply_impact(double direction) {
   max_price_ = std::max(max_price_, price_);
 }
 
-// --- workload --------------------------------------------------------------
+// --- workload (serial phase) -----------------------------------------------
 
 void PopulationSim::schedule_next_arrival() {
   if (result_.sessions >= config_.sessions) return;
@@ -254,8 +291,7 @@ void PopulationSim::schedule_next_arrival() {
 
 void PopulationSim::on_arrival() {
   ++result_.arrivals;
-  const double now = queue_.now();
-  const double p = price_at(now);
+  const double p = window_price_;
 
   // Draw the trader: type by weight, side by a coin, limit uniform within
   // the spread and snapped to the tick grid (so every P* is on-grid).
@@ -306,67 +342,17 @@ void PopulationSim::spawn_session(const Match& match) {
   order_types_.erase(match.sell.id);
   s.p_star = match.rate;
   s.t0 = queue_.now();
-  s.rng = session_rng(config_.seed, idx);
-  s.secret = crypto::Secret::generate(s.rng);
-  ++result_.sessions;
-
-  const double p = price_at(s.t0);
-  const auto [t1_cont, sr] = t1_entry(s.buyer_type, s.seller_type, s.p_star, p);
-  const bool traced = trace_ != nullptr && trace_stride_ > 0 &&
-                      idx % trace_stride_ == 0;
-  if (traced) {
-    trace_->record(s.t0, obs::TraceKind::kRunStart,
-                   {{"session", idx},
-                    {"p_star", s.p_star},
-                    {"price", p},
-                    {"alice_t1_cont", t1_cont}});
-  }
-  if (!(t1_cont > s.p_star)) {
-    s.outcome = SessionOutcome::kNeverInitiated;
-    finalize(idx);
-    return;
-  }
-  s.initiated = true;
-  predicted_sr_sum_.add(sr);
   // Executed flow perturbs the price toward the taker's side (the newer
-  // order is the aggressor), feeding back into later thresholds.
-  apply_impact(match.buy.sequence > match.sell.sequence ? 1.0 : -1.0);
-
-  // Fund exactly what each side locks; mint-tracking backs the end-of-run
-  // conservation check.
-  const std::string tag = std::to_string(idx);
-  s.alice = "A" + tag;
-  s.bob = "B" + tag;
-  const chain::Amount lock_a = chain::Amount::from_tokens(s.p_star);
-  const chain::Amount lock_b = chain::Amount::from_tokens(1.0);
-  ledger_a_->create_account({s.alice}, lock_a);
-  ledger_a_->create_account({s.bob}, chain::Amount{});
-  ledger_b_->create_account({s.bob}, lock_b);
-  ledger_b_->create_account({s.alice}, chain::Amount{});
-  minted_a_ += lock_a;
-  minted_b_ += lock_b;
-
-  // Idealized expiries plus fee-market slack (2x on chain A so the
-  // t_b < t_a ordering the atomicity argument needs is preserved).
-  const model::Schedule sched =
-      model::idealized_schedule(pair_params(s.buyer_type, s.seller_type, p),
-                                s.t0);
-  s.t_b_expiry = sched.t_b + config_.expiry_slack;
-  s.t_a_expiry = sched.t_a + 2.0 * config_.expiry_slack;
-  s.fee_a = config_.base_fee *
-            (1.0 + config_.fee_spread * math::uniform01(s.rng));
-  s.fee_b = config_.base_fee *
-            (1.0 + config_.fee_spread * math::uniform01(s.rng));
-  submit_deploy_a(idx);
-  // Watchdog: by t_a + tau_a every contract of this session has settled
-  // (claims land before expiry by deadline construction; refunds confirm
-  // tau after expiry), so the terminal classification is decidable.
-  queue_.schedule_at(s.t_a_expiry + config_.tau_a +
-                         config_.fee_a.block_interval,
-                     [this, idx] { finalize(idx); });
+  // order is the aggressor); applied at the barrier when the session
+  // actually initiates.
+  s.impact_dir = match.buy.sequence > match.sell.sequence ? 1.0 : -1.0;
+  ++result_.sessions;
+  // The rest of the session's life runs on its owner shard.
+  Shard& sh = *shards_[idx % shards_.size()];
+  sh.queue.schedule_at(s.t0, [this, &sh, idx] { init_session(sh, idx); });
 }
 
-// --- session state machine -------------------------------------------------
+// --- session state machine (parallel phase) --------------------------------
 
 PopulationSim::Session* PopulationSim::session(std::uint64_t idx) noexcept {
   // Retired sessions resolve to nullptr: late callbacks (the watchdog of a
@@ -376,153 +362,244 @@ PopulationSim::Session* PopulationSim::session(std::uint64_t idx) noexcept {
   return &sessions_[idx - session_offset_];
 }
 
-void PopulationSim::submit_deploy_a(std::uint64_t idx) {
+void PopulationSim::init_session(Shard& sh, std::uint64_t idx) {
+  Session& s = *session(idx);  // spawned this epoch, cannot be retired
+  s.rng = session_rng(config_.seed, idx);
+  s.secret = crypto::Secret::generate(s.rng);
+  const double p = window_price_;
+  const auto [t1_cont, sr] = t1_entry(s.buyer_type, s.seller_type, s.p_star, p);
+  if (trace_ != nullptr && trace_stride_ > 0 && idx % trace_stride_ == 0) {
+    TraceRec rec;
+    rec.stamp = Stamp{s.t0, idx, s.bseq++};
+    rec.start = true;
+    rec.p_star = s.p_star;
+    rec.price = p;
+    rec.t1_cont = t1_cont;
+    sh.traces.push_back(std::move(rec));
+  }
+  if (!(t1_cont > s.p_star)) {
+    s.outcome = SessionOutcome::kNeverInitiated;
+    finalize(sh, idx);
+    return;
+  }
+  s.initiated = true;
+  sh.inits.push_back(InitRec{Stamp{s.t0, idx, s.bseq++}, sr, s.impact_dir});
+
+  // Fund exactly what each side locks; mint-tracking backs the end-of-run
+  // conservation check (summed across shards).
+  const std::string tag = std::to_string(idx);
+  s.alice = "A" + tag;
+  s.bob = "B" + tag;
+  const chain::Amount lock_a = chain::Amount::from_tokens(s.p_star);
+  const chain::Amount lock_b = chain::Amount::from_tokens(1.0);
+  sh.ledger_a->create_account({s.alice}, lock_a);
+  sh.ledger_a->create_account({s.bob}, chain::Amount{});
+  sh.ledger_b->create_account({s.bob}, lock_b);
+  sh.ledger_b->create_account({s.alice}, chain::Amount{});
+  sh.minted_a += lock_a;
+  sh.minted_b += lock_b;
+
+  // Idealized expiries plus fee-market slack (2x on chain A so the
+  // t_b < t_a ordering the atomicity argument needs is preserved).
+  const model::Schedule sched = model::idealized_schedule(
+      pair_params(s.buyer_type, s.seller_type, p), s.t0);
+  s.t_b_expiry = sched.t_b + config_.expiry_slack;
+  s.t_a_expiry = sched.t_a + 2.0 * config_.expiry_slack;
+  s.fee_a = config_.base_fee *
+            (1.0 + config_.fee_spread * math::uniform01(s.rng));
+  s.fee_b = config_.base_fee *
+            (1.0 + config_.fee_spread * math::uniform01(s.rng));
+  submit_deploy_a(sh, idx);
+  // Watchdog: by t_a + tau_a every contract of this session has settled
+  // (claims land before expiry by deadline construction; refunds confirm
+  // tau after expiry), so the terminal classification is decidable.
+  sh.queue.schedule_at(
+      s.t_a_expiry + config_.tau_a + config_.fee_a.block_interval,
+      [this, &sh, idx] { finalize(sh, idx); });
+}
+
+void PopulationSim::include_job(Shard& sh, std::uint64_t idx, int stage,
+                                chain::TxPayload payload) {
+  Session* sp = session(idx);
+  if (sp == nullptr) return;
+  Session& s = *sp;
+  chain::Ledger& ledger =
+      (stage == kDeployA || stage == kClaimA) ? *sh.ledger_a : *sh.ledger_b;
+  const chain::TxId tx = ledger.submit(std::move(payload));
+  switch (stage) {
+    case kDeployA: {
+      s.htlc_a = ledger.pending_contract_of(tx);
+      sh.queue.schedule_at(ledger.transaction(tx).confirmed_at,
+                           [this, &sh, idx] { at_t2(sh, idx); });
+      break;
+    }
+    case kDeployB: {
+      s.htlc_b = ledger.pending_contract_of(tx);
+      sh.queue.schedule_at(ledger.transaction(tx).confirmed_at,
+                           [this, &sh, idx] { at_t3(sh, idx); });
+      break;
+    }
+    case kClaimB: {
+      // The preimage is public once the claim hits the mempool; Bob's t4
+      // epoch fires at visibility (Section II-B Step 3).
+      const chain::Transaction& record = ledger.transaction(tx);
+      sh.queue.schedule_at(record.visible_at,
+                           [this, &sh, idx] { at_t4(sh, idx); });
+      sh.queue.schedule_at(record.confirmed_at, [this, &sh, idx, tx] {
+        Session* confirmed = session(idx);
+        if (confirmed == nullptr) return;
+        const chain::Transaction* applied = sh.ledger_b->find_transaction(tx);
+        if (applied != nullptr &&
+            applied->status == chain::TxStatus::kConfirmed) {
+          confirmed->claim_b_confirmed = sh.queue.now();
+        }
+      });
+      break;
+    }
+    case kClaimA: {
+      sh.queue.schedule_at(
+          ledger.transaction(tx).confirmed_at, [this, &sh, idx, tx] {
+            Session* confirmed = session(idx);
+            if (confirmed == nullptr) return;
+            const chain::Transaction* applied =
+                sh.ledger_a->find_transaction(tx);
+            if (applied != nullptr &&
+                applied->status == chain::TxStatus::kConfirmed) {
+              confirmed->claim_a_confirmed = sh.queue.now();
+            }
+          });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void PopulationSim::enqueue_intent(Shard& sh, std::uint64_t idx, int stage,
+                                   chain::TxPayload payload, double fee,
+                                   double deadline, double when) {
+  if (in_parallel_phase_) {
+    Session& s = *session(idx);
+    sh.intents.push_back(IntentRec{Stamp{when, idx, s.bseq++}, stage,
+                                   std::move(payload), fee, deadline});
+    return;
+  }
+  // Serial context (a re-bid after a drop delivery): straight to the market.
+  submit_to_market(idx, stage, std::move(payload), fee, deadline);
+}
+
+void PopulationSim::submit_to_market(std::uint64_t idx, int stage,
+                                     chain::TxPayload payload, double fee,
+                                     double deadline) {
+  FeeMarket& market =
+      (stage == kDeployA || stage == kClaimA) ? *market_a_ : *market_b_;
+  market.submit_tagged(
+      idx * 4 + static_cast<std::uint64_t>(stage), std::move(payload), fee,
+      deadline,
+      [this, idx, stage](DropReason reason) { handle_drop(idx, stage, reason); });
+}
+
+void PopulationSim::submit_deploy_a(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
   // Inclusion budget on A: the slack added to the expiries.
+  const double now = in_parallel_phase_ ? sh.queue.now() : queue_.now();
   const double deadline = s.t0 + config_.expiry_slack;
-  if (queue_.now() > deadline) return;  // watchdog will classify as starved
+  if (now > deadline) return;  // watchdog will classify as starved
   chain::DeployHtlcPayload payload{{s.alice},
                                    {s.bob},
                                    chain::Amount::from_tokens(s.p_star),
                                    s.secret.commitment(),
                                    s.t_a_expiry,
                                    chain::HtlcKind::kStandard};
-  market_a_->submit(
-      payload, s.fee_a, deadline,
-      [this, idx](chain::TxId tx) {
-        Session* included = session(idx);
-        if (included == nullptr) return;
-        included->htlc_a = ledger_a_->pending_contract_of(tx);
-        const double at = ledger_a_->transaction(tx).confirmed_at;
-        queue_.schedule_at(at, [this, idx] { at_t2(idx); });
-      },
-      [this, idx](DropReason reason) { handle_drop(idx, kDeployA, reason); });
+  enqueue_intent(sh, idx, kDeployA, payload, s.fee_a, deadline, now);
 }
 
-void PopulationSim::at_t2(std::uint64_t idx) {
+void PopulationSim::at_t2(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
   if (s.finalized) return;
-  s.deploy_a_confirmed = queue_.now();
-  // Bob verified Alice's confirmed lock; he continues iff the live price
+  s.deploy_a_confirmed = sh.queue.now();
+  // Bob verified Alice's confirmed lock; he continues iff the epoch price
   // sits in his rational continuation region (Eq. 24).
-  const double p = price_at(queue_.now());
+  const double p = window_price_;
   const GameEntry& game = game_entry(s.buyer_type, s.seller_type, s.p_star);
   if (!game.t2_region.contains(p)) {
     s.outcome = SessionOutcome::kAbortedT2;
     return;  // Alice's lock auto-refunds at expiry; watchdog accounts it
   }
-  submit_deploy_b(idx);
+  submit_deploy_b(sh, idx);
 }
 
-void PopulationSim::submit_deploy_b(std::uint64_t idx) {
+void PopulationSim::submit_deploy_b(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
   // Bob's lock must confirm (tau_b) AND leave room for Alice's claim to be
   // included and confirm before t_b -- two block margins of cushion.
+  const double now = in_parallel_phase_ ? sh.queue.now() : queue_.now();
   const double deadline = s.t_b_expiry - 2.0 * config_.tau_b -
                           2.0 * config_.fee_b.block_interval;
-  if (queue_.now() > deadline) return;
+  if (now > deadline) return;
   chain::DeployHtlcPayload payload{{s.bob},
                                    {s.alice},
                                    chain::Amount::from_tokens(1.0),
                                    s.secret.commitment(),
                                    s.t_b_expiry,
                                    chain::HtlcKind::kStandard};
-  market_b_->submit(
-      payload, s.fee_b, deadline,
-      [this, idx](chain::TxId tx) {
-        Session* included = session(idx);
-        if (included == nullptr) return;
-        included->htlc_b = ledger_b_->pending_contract_of(tx);
-        const double at = ledger_b_->transaction(tx).confirmed_at;
-        queue_.schedule_at(at, [this, idx] { at_t3(idx); });
-      },
-      [this, idx](DropReason reason) { handle_drop(idx, kDeployB, reason); });
+  enqueue_intent(sh, idx, kDeployB, payload, s.fee_b, deadline, now);
 }
 
-void PopulationSim::at_t3(std::uint64_t idx) {
+void PopulationSim::at_t3(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
   if (s.finalized) return;
-  s.deploy_b_confirmed = queue_.now();
-  // Alice reveals iff the live price clears her t3 cutoff (Eq. 19).
-  const double p = price_at(queue_.now());
+  s.deploy_b_confirmed = sh.queue.now();
+  // Alice reveals iff the epoch price clears her t3 cutoff (Eq. 19).
+  const double p = window_price_;
   const GameEntry& game = game_entry(s.buyer_type, s.seller_type, s.p_star);
   if (!(p > game.t3_cutoff)) {
     s.outcome = SessionOutcome::kAbortedT3;
     return;  // both locks auto-refund; watchdog accounts the lockup
   }
-  submit_claim_b(idx);
+  submit_claim_b(sh, idx);
 }
 
-void PopulationSim::submit_claim_b(std::uint64_t idx) {
+void PopulationSim::submit_claim_b(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
+  const double now = in_parallel_phase_ ? sh.queue.now() : queue_.now();
   const double deadline =
       s.t_b_expiry - config_.tau_b - config_.fee_b.block_interval;
-  if (queue_.now() > deadline) return;
+  if (now > deadline) return;
   chain::ClaimHtlcPayload payload{s.htlc_b, s.secret, {s.alice}};
-  market_b_->submit(
-      payload, s.fee_b, deadline,
-      [this, idx](chain::TxId tx) {
-        const chain::Transaction& record = ledger_b_->transaction(tx);
-        // The preimage is public once the claim hits the mempool; Bob's t4
-        // epoch fires at visibility (Section II-B Step 3).
-        queue_.schedule_at(record.visible_at, [this, idx] { at_t4(idx); });
-        queue_.schedule_at(record.confirmed_at, [this, idx, tx] {
-          Session* confirmed = session(idx);
-          if (confirmed == nullptr) return;
-          const chain::Transaction* applied = ledger_b_->find_transaction(tx);
-          if (applied != nullptr &&
-              applied->status == chain::TxStatus::kConfirmed) {
-            confirmed->claim_b_confirmed = queue_.now();
-          }
-        });
-      },
-      [this, idx](DropReason reason) { handle_drop(idx, kClaimB, reason); });
+  enqueue_intent(sh, idx, kClaimB, payload, s.fee_b, deadline, now);
 }
 
-void PopulationSim::at_t4(std::uint64_t idx) {
+void PopulationSim::at_t4(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
   if (s.finalized) return;
   s.revealed = true;
   // t4 is dominance: claiming always beats forfeiting the locked token-a.
-  submit_claim_a(idx);
+  submit_claim_a(sh, idx);
 }
 
-void PopulationSim::submit_claim_a(std::uint64_t idx) {
+void PopulationSim::submit_claim_a(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
+  const double now = in_parallel_phase_ ? sh.queue.now() : queue_.now();
   const double deadline =
       s.t_a_expiry - config_.tau_a - config_.fee_a.block_interval;
-  if (queue_.now() > deadline) return;
+  if (now > deadline) return;
   chain::ClaimHtlcPayload payload{s.htlc_a, s.secret, {s.bob}};
-  market_a_->submit(
-      payload, s.fee_a, deadline,
-      [this, idx](chain::TxId tx) {
-        queue_.schedule_at(
-            ledger_a_->transaction(tx).confirmed_at, [this, idx, tx] {
-              Session* confirmed = session(idx);
-              if (confirmed == nullptr) return;
-              const chain::Transaction* applied =
-                  ledger_a_->find_transaction(tx);
-              if (applied != nullptr &&
-                  applied->status == chain::TxStatus::kConfirmed) {
-                confirmed->claim_a_confirmed = queue_.now();
-              }
-            });
-      },
-      [this, idx](DropReason reason) { handle_drop(idx, kClaimA, reason); });
+  enqueue_intent(sh, idx, kClaimA, payload, s.fee_a, deadline, now);
 }
 
 void PopulationSim::handle_drop(std::uint64_t idx, int stage,
@@ -539,18 +616,19 @@ void PopulationSim::handle_drop(std::uint64_t idx, int stage,
     if (escalated <= config_.max_fee) {
       fee = escalated;
       ++result_.rebids;
+      Shard& sh = *shards_[idx % shards_.size()];
       switch (stage) {
         case kDeployA:
-          submit_deploy_a(idx);
+          submit_deploy_a(sh, idx);
           return;
         case kDeployB:
-          submit_deploy_b(idx);
+          submit_deploy_b(sh, idx);
           return;
         case kClaimB:
-          submit_claim_b(idx);
+          submit_claim_b(sh, idx);
           return;
         case kClaimA:
-          submit_claim_a(idx);
+          submit_claim_a(sh, idx);
           return;
         default:
           return;
@@ -562,7 +640,7 @@ void PopulationSim::handle_drop(std::uint64_t idx, int stage,
   // (kStarved, or kAtomicityLost when the secret was already public).
 }
 
-void PopulationSim::finalize(std::uint64_t idx) {
+void PopulationSim::finalize(Shard& sh, std::uint64_t idx) {
   Session* sp = session(idx);
   if (sp == nullptr) return;
   Session& s = *sp;
@@ -579,53 +657,35 @@ void PopulationSim::finalize(std::uint64_t idx) {
       s.outcome = SessionOutcome::kStarved;
     }
   }
-  switch (s.outcome) {
-    case SessionOutcome::kNeverInitiated:
-      ++result_.never_initiated;
-      break;
-    case SessionOutcome::kAbortedT2:
-      ++result_.aborted_t2;
-      break;
-    case SessionOutcome::kAbortedT3:
-      ++result_.aborted_t3;
-      break;
-    case SessionOutcome::kCompleted:
-      ++result_.completed;
-      break;
-    case SessionOutcome::kStarved:
-      ++result_.starved;
-      break;
-    case SessionOutcome::kAtomicityLost:
-      ++result_.atomicity_lost;
-      break;
-    case SessionOutcome::kPending:
-      break;
-  }
 
   // Latency and capital lockup.  Unclaimed locks refund tau after expiry
   // (the paper's t7/t8 receipt times), which the ledger schedules on its
   // own; the analytic times below equal those events' confirmations.
-  double latency = std::numeric_limits<double>::quiet_NaN();
+  FinalRec rec;
+  rec.stamp = Stamp{sh.queue.now(), idx, s.bseq++};
+  rec.outcome = s.outcome;
   if (s.outcome == SessionOutcome::kCompleted) {
-    latency = std::max(s.claim_a_confirmed, s.claim_b_confirmed) - s.t0;
-    latencies_.push_back(latency);
+    rec.latency = std::max(s.claim_a_confirmed, s.claim_b_confirmed) - s.t0;
   }
   if (!std::isnan(s.deploy_a_confirmed)) {
     const double settle =
         claim_a_ok ? s.claim_a_confirmed : s.t_a_expiry + config_.tau_a;
-    lockup_a_sum_.add(s.p_star * (settle - s.deploy_a_confirmed));
+    rec.lockup_a = s.p_star * (settle - s.deploy_a_confirmed);
   }
   if (!std::isnan(s.deploy_b_confirmed)) {
     const double settle =
         claim_b_ok ? s.claim_b_confirmed : s.t_b_expiry + config_.tau_b;
-    lockup_b_sum_.add(settle - s.deploy_b_confirmed);
+    rec.lockup_b = settle - s.deploy_b_confirmed;
   }
+  sh.finals.push_back(rec);
 
   if (trace_ != nullptr && trace_stride_ > 0 && idx % trace_stride_ == 0) {
-    trace_->record(queue_.now(), obs::TraceKind::kOutcome,
-                   {{"session", idx},
-                    {"outcome", to_string(s.outcome)},
-                    {"latency_hours", latency}});
+    TraceRec t;
+    t.stamp = Stamp{sh.queue.now(), idx, s.bseq++};
+    t.start = false;
+    t.outcome = s.outcome;
+    t.latency = rec.latency;
+    sh.traces.push_back(std::move(t));
   }
   // Release per-session heap state; the deque entry itself stays until a
   // compaction sweep (or forever, when compaction is off -- it is cheap).
@@ -633,25 +693,145 @@ void PopulationSim::finalize(std::uint64_t idx) {
   s.alice.shrink_to_fit();
   s.bob.clear();
   s.bob.shrink_to_fit();
-  maybe_compact();
 }
 
-bool PopulationSim::session_settled(const Session& s) const {
+// --- barrier ---------------------------------------------------------------
+
+void PopulationSim::merge_window(double e1) {
+  merged_intents_.clear();
+  merged_inits_.clear();
+  merged_finals_.clear();
+  merged_traces_.clear();
+  for (const auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::move(sh.intents.begin(), sh.intents.end(),
+              std::back_inserter(merged_intents_));
+    sh.intents.clear();
+    merged_inits_.insert(merged_inits_.end(), sh.inits.begin(),
+                         sh.inits.end());
+    sh.inits.clear();
+    merged_finals_.insert(merged_finals_.end(), sh.finals.begin(),
+                          sh.finals.end());
+    sh.finals.clear();
+    std::move(sh.traces.begin(), sh.traces.end(),
+              std::back_inserter(merged_traces_));
+    sh.traces.clear();
+  }
+  const auto by_stamp = [](const auto& a, const auto& b) {
+    return a.stamp < b.stamp;
+  };
+  std::sort(merged_intents_.begin(), merged_intents_.end(), by_stamp);
+  std::sort(merged_inits_.begin(), merged_inits_.end(), by_stamp);
+  std::sort(merged_finals_.begin(), merged_finals_.end(), by_stamp);
+  std::sort(merged_traces_.begin(), merged_traces_.end(), by_stamp);
+
+  // Trace events, in one canonical stream regardless of shard count.
+  for (const TraceRec& t : merged_traces_) {
+    if (t.start) {
+      trace_->record(t.stamp.when, obs::TraceKind::kRunStart,
+                     {{"session", t.stamp.idx},
+                      {"p_star", t.p_star},
+                      {"price", t.price},
+                      {"alice_t1_cont", t.t1_cont}});
+    } else {
+      trace_->record(t.stamp.when, obs::TraceKind::kOutcome,
+                     {{"session", t.stamp.idx},
+                      {"outcome", to_string(t.outcome)},
+                      {"latency_hours", t.latency}});
+    }
+  }
+
+  // Initiations: predicted-SR fold + price impacts, in stamp order (the
+  // Neumaier sums and the price path are order-sensitive).
+  for (const InitRec& i : merged_inits_) {
+    predicted_sr_sum_.add(i.sr);
+    apply_impact(i.direction);
+  }
+
+  // Finalizations: outcome counters, latency sample, lockup folds.
+  for (const FinalRec& f : merged_finals_) {
+    switch (f.outcome) {
+      case SessionOutcome::kNeverInitiated:
+        ++result_.never_initiated;
+        break;
+      case SessionOutcome::kAbortedT2:
+        ++result_.aborted_t2;
+        break;
+      case SessionOutcome::kAbortedT3:
+        ++result_.aborted_t3;
+        break;
+      case SessionOutcome::kCompleted:
+        ++result_.completed;
+        break;
+      case SessionOutcome::kStarved:
+        ++result_.starved;
+        break;
+      case SessionOutcome::kAtomicityLost:
+        ++result_.atomicity_lost;
+        break;
+      case SessionOutcome::kPending:
+        break;
+    }
+    if (f.outcome == SessionOutcome::kCompleted) {
+      latencies_.push_back(f.latency);
+    }
+    if (!std::isnan(f.lockup_a)) lockup_a_sum_.add(f.lockup_a);
+    if (!std::isnan(f.lockup_b)) lockup_b_sum_.add(f.lockup_b);
+  }
+
+  // Fee-market merge: every buffered submission enters the global mempool
+  // in stamp order, so contention (evictions, seal priority) is resolved
+  // identically at every worker count.  Intents whose deadline already
+  // passed get their expiry drop delivered instead of a submission the
+  // market would reject.
+  for (IntentRec& rec : merged_intents_) {
+    if (rec.deadline < queue_.now()) {
+      ++merge_expired_;
+      const std::uint64_t idx = rec.stamp.idx;
+      const int stage = rec.stage;
+      queue_.schedule_at(queue_.now(), [this, idx, stage] {
+        handle_drop(idx, stage, DropReason::kExpired);
+      });
+    } else {
+      submit_to_market(rec.stamp.idx, rec.stage, std::move(rec.payload),
+                       rec.fee, rec.deadline);
+    }
+  }
+
+  // Warm-start hints: fold fresh solves keyed by (pair, P*) -- a
+  // deterministic order that ignores which worker solved first.
+  if (!pending_hints_.empty()) {
+    std::sort(pending_hints_.begin(), pending_hints_.end(),
+              [](const HintRec& a, const HintRec& b) {
+                if (a.pair_key != b.pair_key) return a.pair_key < b.pair_key;
+                return a.star_units < b.star_units;
+              });
+    for (HintRec& h : pending_hints_) {
+      last_roots_[h.pair_key] = std::move(h.roots);
+    }
+    pending_hints_.clear();
+  }
+
+  finalized_since_compact_ += merged_finals_.size();
+  maybe_compact(e1);
+}
+
+bool PopulationSim::session_settled(const Shard& sh, const Session& s) const {
   const auto locked = [](const chain::Ledger& ledger, chain::HtlcId id) {
     // id 0 = never deployed; a retired contract was settled by definition
     // (compact() never drops a locked one).
     if (id.value == 0 || !ledger.has_htlc(id)) return false;
     return ledger.htlc(id).state == chain::HtlcState::kLocked;
   };
-  return !locked(*ledger_a_, s.htlc_a) && !locked(*ledger_b_, s.htlc_b);
+  return !locked(*sh.ledger_a, s.htlc_a) && !locked(*sh.ledger_b, s.htlc_b);
 }
 
-void PopulationSim::maybe_compact() {
+void PopulationSim::maybe_compact(double now) {
   if (!config_.compaction.enabled) return;
-  if (++finalized_since_compact_ < config_.compaction.interval) return;
+  if (finalized_since_compact_ < config_.compaction.interval) return;
   finalized_since_compact_ = 0;
-  const double watermark = queue_.now() - config_.compaction.horizon;
-  if (!(watermark > 0.0)) return;  // also guarantees watermark < now()
+  const double watermark = now - config_.compaction.horizon;
+  if (!(watermark > 0.0)) return;  // also guarantees watermark < every clock
 
   // Retire finalized sessions from the deque front.  The accounts can only
   // be folded once every refund has credited them (chain-B refunds confirm
@@ -659,13 +839,14 @@ void PopulationSim::maybe_compact() {
   // first session still waiting on a locked contract.
   while (!sessions_.empty()) {
     const Session& s = sessions_.front();
-    if (!s.finalized || !session_settled(s)) break;
+    Shard& sh = *shards_[session_offset_ % shards_.size()];
+    if (!s.finalized || !session_settled(sh, s)) break;
     if (s.initiated) {
       const std::string tag = std::to_string(session_offset_);
-      ledger_a_->retire_account({"A" + tag});
-      ledger_a_->retire_account({"B" + tag});
-      ledger_b_->retire_account({"A" + tag});
-      ledger_b_->retire_account({"B" + tag});
+      sh.ledger_a->retire_account({"A" + tag});
+      sh.ledger_a->retire_account({"B" + tag});
+      sh.ledger_b->retire_account({"A" + tag});
+      sh.ledger_b->retire_account({"B" + tag});
       result_.accounts_retired += 4;
     }
     sessions_.pop_front();
@@ -673,12 +854,14 @@ void PopulationSim::maybe_compact() {
     ++result_.sessions_retired;
   }
 
-  for (chain::Ledger* ledger : {ledger_a_.get(), ledger_b_.get()}) {
-    const chain::CompactionReport report = ledger->compact(watermark);
-    ++result_.compactions;
-    result_.txs_retired += report.transactions_retired;
-    result_.htlcs_retired += report.htlcs_retired;
-    result_.log_truncated += report.log_truncated;
+  for (const auto& shp : shards_) {
+    for (chain::Ledger* ledger : {shp->ledger_a.get(), shp->ledger_b.get()}) {
+      const chain::CompactionReport report = ledger->compact(watermark);
+      ++result_.compactions;
+      result_.txs_retired += report.transactions_retired;
+      result_.htlcs_retired += report.htlcs_retired;
+      result_.log_truncated += report.log_truncated;
+    }
   }
 }
 
@@ -688,7 +871,64 @@ PopulationResult PopulationSim::run() {
   if (ran_) throw std::logic_error("PopulationSim::run: already ran");
   ran_ = true;
   schedule_next_arrival();
-  queue_.run();
+
+  // Epoch width: one (minimum) block interval, aligning the barriers with
+  // the fee markets' seal grid so every cross-session interaction -- block
+  // space contention, price impact, settlement -- is merged exactly once
+  // per block.
+  const double epoch =
+      std::min(config_.fee_a.block_interval, config_.fee_b.block_interval);
+  std::uint64_t k = 0;
+  bool first = true;
+  while (true) {
+    double t_min = queue_.next_time();
+    for (const auto& shp : shards_) {
+      t_min = std::min(t_min, shp->queue.next_time());
+    }
+    if (!std::isfinite(t_min)) break;  // every queue drained: done
+    // Jump to the epoch containing the earliest pending event (the fp
+    // fix-ups keep boundary events in their open-ended [e0, e1) epoch).
+    std::uint64_t k_min =
+        t_min <= 0.0 ? 0 : static_cast<std::uint64_t>(t_min / epoch);
+    while (static_cast<double>(k_min + 1) * epoch <= t_min) ++k_min;
+    if (!first) k_min = std::max(k_min, k + 1);
+    k = k_min;
+    first = false;
+    const double e0 = static_cast<double>(k) * epoch;
+    const double e1 = static_cast<double>(k + 1) * epoch;
+
+    // The decision price for this epoch: GBM advanced to the epoch start
+    // (one draw spanning any skipped empty epochs), impacts folded at the
+    // previous barrier.
+    advance_price_to(e0);
+    window_price_ = price_;
+
+    // Serial phase: arrivals, order-book matching, block seals, drop
+    // deliveries and re-bids -- everything that couples sessions.
+    if (queue_.drain_before(e1) != 0) {
+      global_max_event_time_ = std::max(global_max_event_time_, queue_.now());
+    }
+    queue_.advance_to(e1);
+
+    // Parallel phase: each shard drains its own queue (session state
+    // machines, HTLC confirmations, refunds) up to the barrier.
+    in_parallel_phase_ = true;
+    const std::function<void(std::size_t)> drain = [this, e1](std::size_t w) {
+      Shard& sh = *shards_[w];
+      if (sh.queue.drain_before(e1) != 0) {
+        sh.max_event_time = std::max(sh.max_event_time, sh.queue.now());
+      }
+      sh.queue.advance_to(e1);
+    };
+    if (pool_ != nullptr) {
+      pool_->run_parallel(shards_.size(), drain);
+    } else {
+      for (std::size_t w = 0; w < shards_.size(); ++w) drain(w);
+    }
+    in_parallel_phase_ = false;
+
+    merge_window(e1);
+  }
 
   PopulationResult& r = result_;
   r.stats.matches = r.sessions;
@@ -712,11 +952,23 @@ PopulationResult PopulationSim::run() {
   r.blocks_sealed = market_a_->blocks_sealed() + market_b_->blocks_sealed();
   r.txs_included = market_a_->included() + market_b_->included();
   r.txs_evicted = market_a_->evicted() + market_b_->evicted();
-  r.txs_expired = market_a_->expired() + market_b_->expired();
+  r.txs_expired = market_a_->expired() + market_b_->expired() + merge_expired_;
   r.fees_paid = market_a_->fees_paid() + market_b_->fees_paid();
-  r.conserved = ledger_a_->total_supply() == minted_a_ &&
-                ledger_b_->total_supply() == minted_b_;
-  r.end_time = queue_.now();
+
+  chain::Amount minted_a;
+  chain::Amount minted_b;
+  chain::Amount supply_a;
+  chain::Amount supply_b;
+  double end_time = global_max_event_time_;
+  for (const auto& shp : shards_) {
+    minted_a += shp->minted_a;
+    minted_b += shp->minted_b;
+    supply_a += shp->ledger_a->total_supply();
+    supply_b += shp->ledger_b->total_supply();
+    end_time = std::max(end_time, shp->max_event_time);
+  }
+  r.conserved = supply_a == minted_a && supply_b == minted_b;
+  r.end_time = end_time;
 
   if (metrics_ != nullptr) {
     metrics_->counter("population.sessions").inc(r.sessions);

@@ -2,8 +2,7 @@
 //
 // Where market/settlement.hpp executes each match as an ISOLATED one-shot
 // swap (its own schedule, its own price path), this layer runs 10^5+
-// sessions CONCURRENTLY against the same two chain::Ledger instances,
-// all driven by one chain::EventQueue:
+// sessions CONCURRENTLY against shared chain state:
 //
 //   * orders arrive as a Poisson stream into the OrderBook; resting orders
 //     are cancelled after a patience window (exercising the id index);
@@ -11,10 +10,10 @@
 //     proto t1..t4 state machine -- whose transactions compete for block
 //     space through a per-chain FeeMarket (fee bids, capacity eviction,
 //     strategic re-bidding as the timelock expiry approaches);
-//   * the token-b price is ENDOGENOUS: a lazily-advanced GBM perturbed by
-//     executed swap flow (each initiation moves log-P by +-impact toward
-//     the taker's side), and every t1/t2/t3 decision reads the live price
-//     against the rational thresholds of model::BasicGame;
+//   * the token-b price is ENDOGENOUS: a GBM advanced once per epoch and
+//     perturbed by executed swap flow (each initiation moves log-P by
+//     +-impact toward the taker's side), and every t1/t2/t3 decision reads
+//     the epoch price against the rational thresholds of model::BasicGame;
 //   * thresholds are served from two caches keyed on tick-quantized
 //     coordinates -- (type pair, P*) for the p_t0-independent t2 region
 //     and t3 cutoff, plus (type pair, P*, P_t0) for the quadrature-backed
@@ -24,11 +23,28 @@
 //     into market::MarketStats, and the ledgers' total_supply()
 //     conservation is checked against the minted totals at the end.
 //
-// Everything is single-threaded on the event queue and every random draw
-// comes from a counter-keyed stream, so a run is a pure function of its
+// Parallel intra-run execution (docs/MARKET.md).  Time is cut into epochs
+// of one block interval.  Each epoch runs three phases:
+//
+//   1. a SERIAL phase drains the global event queue (arrivals, order-book
+//      matching, block seals, drop deliveries, re-bids) strictly before
+//      the epoch boundary;
+//   2. a PARALLEL phase drains K per-worker event-queue shards on a
+//      sweep::ThreadPool -- each shard owns the sessions with
+//      index % workers == shard and a private Ledger pair, so the t1..t4
+//      state machines, HTLC lifecycles and refunds advance with no shared
+//      mutable state (the threshold caches are the one mutex);
+//   3. a BARRIER merges every cross-shard effect in canonical
+//      (time, session, birth-order) stamp order: fee-market intents,
+//      price impacts, statistics folds, trace events, cache warm-start
+//      hints, ledger compaction.
+//
+// Because the merge order is canonical and sessions only interact through
+// merged state, results and traces are BIT-IDENTICAL at every worker
+// count; CI byte-diffs hold the engine to that.  Every random draw comes
+// from a counter-keyed stream, so a run is a pure function of its
 // PopulationConfig -- the engine exposes it as the cacheable `market_sim`
-// cell kind (engine/run_spec.hpp) and CI asserts bit-identical output
-// across thread counts.
+// cell kind (engine/run_spec.hpp).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +52,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,6 +71,10 @@ namespace swapgame::obs {
 class MetricsRegistry;
 class TraceRecorder;
 }  // namespace swapgame::obs
+
+namespace swapgame::sweep {
+class ThreadPool;
+}  // namespace swapgame::sweep
 
 namespace swapgame::market {
 
@@ -116,8 +137,14 @@ struct PopulationConfig {
     std::uint64_t interval = 2048;
   };
   Compaction compaction{};
-  /// Event-queue shards (chain::EventQueue::set_shards); 1 = classic heap.
+  /// Event-queue storage shards (chain::EventQueue::set_shards), applied
+  /// to the global queue and each worker queue; 1 = classic heap.
   std::uint64_t shards = 1;
+  /// Intra-run worker shards (docs/MARKET.md).  Sessions are pinned to
+  /// shard index % workers and their per-epoch event drains fan out on a
+  /// thread pool of workers-1 helpers plus the caller.  Results and trace
+  /// are bit-identical at every setting -- this is a wall-clock knob only.
+  std::uint64_t workers = 1;
 
   /// The default three-type population (patient/base/impatient).
   [[nodiscard]] static std::vector<TraderType> default_types();
@@ -178,8 +205,10 @@ struct PopulationResult {
   std::uint64_t threshold_games = 0;  ///< level-1 (t2/t3) solver runs
   std::uint64_t t1_evaluations = 0;   ///< level-2 quadrature evaluations
 
-  // Retirement telemetry (all zero when compaction is off).
-  std::uint64_t compactions = 0;        ///< ledger sweeps (both chains)
+  // Retirement telemetry (all zero when compaction is off).  compactions
+  // scales with the worker count (each worker's ledger pair is swept);
+  // everything else here and above is worker-count-invariant.
+  std::uint64_t compactions = 0;        ///< ledger sweeps (all shards)
   std::uint64_t sessions_retired = 0;   ///< Session records dropped
   std::uint64_t accounts_retired = 0;   ///< balances folded (both chains)
   std::uint64_t txs_retired = 0;        ///< transaction records dropped
@@ -187,9 +216,10 @@ struct PopulationResult {
   std::uint64_t log_truncated = 0;      ///< confirmation-log entries cut
   std::uint64_t peak_live_sessions = 0; ///< high-water Session deque size
 
-  /// Ledger conservation: total_supply() == minted on both chains at end.
+  /// Ledger conservation: total_supply() == minted on both chains at end
+  /// (summed across worker shards).
   bool conserved = false;
-  double end_time = 0.0;  ///< simulation time when the queue drained
+  double end_time = 0.0;  ///< simulation time of the last processed event
 };
 
 /// One-shot simulator: construct, optionally attach sinks, run().
@@ -213,8 +243,8 @@ class PopulationSim {
     trace_stride_ = stride;
   }
 
-  /// Runs the population to completion (the event queue drains: arrivals
-  /// stop at the session target and every HTLC settles or refunds).
+  /// Runs the population to completion (every queue drains: arrivals stop
+  /// at the session target and every HTLC settles or refunds).
   /// Callable once.
   [[nodiscard]] PopulationResult run();
 
@@ -227,12 +257,93 @@ class PopulationSim {
     std::vector<double> t2_roots;
   };
 
+  /// Canonical merge order for everything a worker buffers during the
+  /// parallel phase: event time, then session index, then the session's
+  /// own record birth order.  Unique per record (bseq breaks the only
+  /// possible tie: several records of one session at one instant), so the
+  /// barrier's sorted folds are independent of the worker partition.
+  struct Stamp {
+    double when = 0.0;
+    std::uint64_t idx = 0;
+    std::uint32_t bseq = 0;
+
+    [[nodiscard]] bool operator<(const Stamp& o) const noexcept {
+      if (when != o.when) return when < o.when;
+      if (idx != o.idx) return idx < o.idx;
+      return bseq < o.bseq;
+    }
+  };
+
+  /// A fee-market submission buffered during the parallel phase, merged
+  /// into the global market at the barrier in stamp order.
+  struct IntentRec {
+    Stamp stamp;
+    int stage = 0;
+    chain::TxPayload payload;
+    double fee = 0.0;
+    double deadline = 0.0;
+  };
+
+  /// An initiation's cross-shard effects: price impact + predicted SR.
+  struct InitRec {
+    Stamp stamp;
+    double sr = 0.0;
+    double direction = 0.0;
+  };
+
+  /// A finalization's contribution to the result statistics.
+  struct FinalRec {
+    Stamp stamp;
+    SessionOutcome outcome = SessionOutcome::kPending;
+    double latency = std::numeric_limits<double>::quiet_NaN();
+    double lockup_a = std::numeric_limits<double>::quiet_NaN();
+    double lockup_b = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  /// A buffered trace event (run-start or outcome) for the stride sink.
+  struct TraceRec {
+    Stamp stamp;
+    bool start = false;  ///< kRunStart when true, kOutcome otherwise
+    double p_star = 0.0;
+    double price = 0.0;
+    double t1_cont = 0.0;
+    SessionOutcome outcome = SessionOutcome::kPending;
+    double latency = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  /// A fresh level-1 solve's roots, folded into the warm-start hints at
+  /// the barrier (ordered by key, so the fold ignores solve order).
+  struct HintRec {
+    std::uint32_t pair_key = 0;
+    std::int64_t star_units = 0;
+    std::vector<double> roots;
+  };
+
+  /// One worker shard: a private event queue and ledger pair plus the
+  /// per-epoch effect buffers.  Sessions with index % workers == shard
+  /// live here; only the owning worker touches any of it during the
+  /// parallel phase.
+  struct Shard {
+    chain::EventQueue queue;
+    std::unique_ptr<chain::Ledger> ledger_a;
+    std::unique_ptr<chain::Ledger> ledger_b;
+    chain::Amount minted_a;
+    chain::Amount minted_b;
+    std::vector<IntentRec> intents;
+    std::vector<InitRec> inits;
+    std::vector<FinalRec> finals;
+    std::vector<TraceRec> traces;
+    double max_event_time = 0.0;  ///< last processed event (end_time fold)
+  };
+
   /// One matched session's protocol state (the event-driven t1..t4 run).
   struct Session {
     std::uint32_t buyer_type = 0;
     std::uint32_t seller_type = 0;
+    std::uint32_t bseq = 0;  ///< birth order of this session's buffered recs
     double p_star = 0.0;
     double t0 = 0.0;
+    double impact_dir = 0.0;  ///< taker side, applied at initiation
     double t_a_expiry = 0.0;
     double t_b_expiry = 0.0;
     double fee_a = 0.0;  ///< current bid on chain A (escalates on eviction)
@@ -254,27 +365,35 @@ class PopulationSim {
   };
 
   // --- decision thresholds (two-level tick-quantized cache) -------------
+  // Thread-safe: workers of the parallel phase share the caches under
+  // cache_mutex_ (misses are rare after warm-up and the values are
+  // deterministic -- frozen warm-start hints make a solve's inputs
+  // independent of which worker runs it first).
   [[nodiscard]] model::SwapParams pair_params(std::uint32_t buyer_type,
                                               std::uint32_t seller_type,
                                               double p_t0) const;
   [[nodiscard]] const GameEntry& game_entry(std::uint32_t buyer_type,
                                             std::uint32_t seller_type,
                                             double p_star);
+  [[nodiscard]] const GameEntry& game_entry_locked(std::uint32_t buyer_type,
+                                                   std::uint32_t seller_type,
+                                                   double p_star);
   /// (alice_t1_cont, analytic SR) at quantized (pair, P*, P_t0).
   [[nodiscard]] std::pair<double, double> t1_entry(std::uint32_t buyer_type,
                                                    std::uint32_t seller_type,
                                                    double p_star, double p_t0);
 
-  // --- endogenous price --------------------------------------------------
-  [[nodiscard]] double price_at(double t);
+  // --- endogenous price (serial/barrier only) ----------------------------
+  /// One GBM draw covering [price_time_, t]; no-op when t <= price_time_.
+  void advance_price_to(double t);
   void apply_impact(double direction);
 
-  // --- workload ----------------------------------------------------------
+  // --- workload (serial phase) -------------------------------------------
   void schedule_next_arrival();
   void on_arrival();
   void spawn_session(const Match& match);
 
-  // --- session state machine (t1..t4 over the fee markets) ---------------
+  // --- session state machine (parallel phase, shard-confined) ------------
   /// The session with GLOBAL index idx, or nullptr when it was already
   /// retired -- every queued callback holds an index, so a late firing
   /// (watchdog of a never-initiated session, fee-market sweep) must
@@ -282,37 +401,54 @@ class PopulationSim {
   [[nodiscard]] Session* session(std::uint64_t idx) noexcept;
   /// True once neither of the session's contracts is still locked (all
   /// refunds/claims credited), making its accounts safe to retire.
-  [[nodiscard]] bool session_settled(const Session& s) const;
-  /// Every compaction.interval finalizations: retire settled sessions from
-  /// the deque front and sweep both ledgers behind the watermark.
-  void maybe_compact();
-  void submit_deploy_a(std::uint64_t idx);
-  void submit_deploy_b(std::uint64_t idx);
-  void submit_claim_b(std::uint64_t idx);
-  void submit_claim_a(std::uint64_t idx);
+  [[nodiscard]] bool session_settled(const Shard& sh, const Session& s) const;
+  void init_session(Shard& sh, std::uint64_t idx);
+  void include_job(Shard& sh, std::uint64_t idx, int stage,
+                   chain::TxPayload payload);
+  void submit_deploy_a(Shard& sh, std::uint64_t idx);
+  void submit_deploy_b(Shard& sh, std::uint64_t idx);
+  void submit_claim_b(Shard& sh, std::uint64_t idx);
+  void submit_claim_a(Shard& sh, std::uint64_t idx);
+  void at_t2(Shard& sh, std::uint64_t idx);
+  void at_t3(Shard& sh, std::uint64_t idx);
+  void at_t4(Shard& sh, std::uint64_t idx);
+  void finalize(Shard& sh, std::uint64_t idx);
+  /// Buffers the intent during the parallel phase; submits directly when
+  /// called serially (re-bids after drops).
+  void enqueue_intent(Shard& sh, std::uint64_t idx, int stage,
+                      chain::TxPayload payload, double fee, double deadline,
+                      double when);
+
+  // --- serial phase / barrier --------------------------------------------
+  void submit_to_market(std::uint64_t idx, int stage, chain::TxPayload payload,
+                        double fee, double deadline);
   /// Re-bid after an eviction (escalated fee) or mark the session starved.
   void handle_drop(std::uint64_t idx, int stage, DropReason reason);
-  void at_t2(std::uint64_t idx);
-  void at_t3(std::uint64_t idx);
-  void at_t4(std::uint64_t idx);
-  void finalize(std::uint64_t idx);
+  /// The epoch barrier: folds every shard buffer in stamp order, then
+  /// compacts.  `e1` is the epoch boundary all queues were advanced to.
+  void merge_window(double e1);
+  /// Every compaction.interval finalizations: retire settled sessions from
+  /// the deque front and sweep every shard ledger behind the watermark.
+  void maybe_compact(double now);
 
   PopulationConfig config_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   std::uint64_t trace_stride_ = 0;
 
-  chain::EventQueue queue_;
-  std::unique_ptr<chain::Ledger> ledger_a_;
-  std::unique_ptr<chain::Ledger> ledger_b_;
+  chain::EventQueue queue_;  ///< global: arrivals, order book, fee markets
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<sweep::ThreadPool> pool_;  ///< workers-1 helpers; null @ 1
   std::unique_ptr<FeeMarket> market_a_;
   std::unique_ptr<FeeMarket> market_b_;
   OrderBook book_;
+  bool in_parallel_phase_ = false;
 
   math::Xoshiro256 arrival_rng_;
   math::Xoshiro256 price_rng_;
   double price_ = 0.0;
   double price_time_ = 0.0;
+  double window_price_ = 0.0;  ///< epoch-frozen decision price
   double min_price_ = 0.0;
   double max_price_ = 0.0;
 
@@ -320,13 +456,16 @@ class PopulationSim {
   std::uint64_t session_offset_ = 0;  ///< sessions retired off the front
   std::uint64_t finalized_since_compact_ = 0;
   std::map<std::uint64_t, std::uint32_t> order_types_;  ///< order id -> type
+
+  std::mutex cache_mutex_;  ///< guards the caches + pending_hints_
   std::map<std::uint64_t, GameEntry> games_;            ///< level-1 cache
   std::map<std::uint64_t, std::pair<double, double>> t1_cache_;  ///< level-2
+  std::vector<HintRec> pending_hints_;  ///< fresh solves, folded @ barrier
   /// Last t2 roots per type pair, warm-starting the next P* solve.
+  /// Frozen during the parallel phase, refreshed at the barrier.
   std::map<std::uint32_t, std::vector<double>> last_roots_;
 
-  chain::Amount minted_a_;
-  chain::Amount minted_b_;
+  std::uint64_t merge_expired_ = 0;  ///< intents already dead at the merge
   PopulationResult result_;
   std::vector<double> latencies_;
   // Compensated accumulators: naive double sums drift at 10^6+ sessions
@@ -334,6 +473,12 @@ class PopulationSim {
   math::NeumaierSum predicted_sr_sum_;
   math::NeumaierSum lockup_a_sum_;
   math::NeumaierSum lockup_b_sum_;
+  // Barrier scratch (member to reuse capacity across ~10^4 epochs).
+  std::vector<IntentRec> merged_intents_;
+  std::vector<InitRec> merged_inits_;
+  std::vector<FinalRec> merged_finals_;
+  std::vector<TraceRec> merged_traces_;
+  double global_max_event_time_ = 0.0;
   bool ran_ = false;
 };
 

@@ -58,6 +58,54 @@ void ThreadPool::wait_idle() {
   }
 }
 
+void ThreadPool::run_parallel(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Per-call latch: the caller takes slice 0, the pool the rest.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = n - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 1; i < n; ++i) {
+      tasks_.push([latch, &fn, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> guard(latch->mutex);
+          if (!latch->error) latch->error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> guard(latch->mutex);
+        if (--latch->remaining == 0) latch->done.notify_all();
+      });
+    }
+    stats_.submitted += n - 1;
+    if (tasks_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = tasks_.size();
+    }
+  }
+  task_available_.notify_all();
+  std::exception_ptr inline_error;
+  try {
+    fn(0);
+  } catch (...) {
+    inline_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(latch->mutex);
+  latch->done.wait(lock, [&latch] { return latch->remaining == 0; });
+  if (inline_error) std::rethrow_exception(inline_error);
+  if (latch->error) std::rethrow_exception(latch->error);
+}
+
 ThreadPool::Stats ThreadPool::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -68,6 +68,17 @@ class ThreadPool {
   /// usable for further batches afterwards.
   void wait_idle();
 
+  /// Epoch barrier: runs fn(0) .. fn(n-1) concurrently -- n-1 slices on
+  /// the pool, slice 0 inline on the caller -- and returns only when ALL
+  /// slices finished (rethrowing the first slice exception).  This is the
+  /// per-epoch fan-out/fan-in the parallel population engine issues tens
+  /// of thousands of times per run, so completion is tracked by a per-call
+  /// latch instead of wait_idle(): concurrent run_parallel calls and
+  /// unrelated submit() batches never wait on each other's work.
+  /// Must not be called from a pool worker thread (nested fan-out onto the
+  /// same pool deadlocks; see is_worker_thread).
+  void run_parallel(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   /// A consistent snapshot of the lifetime telemetry.
   [[nodiscard]] Stats stats() const;
 

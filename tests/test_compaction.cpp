@@ -430,33 +430,46 @@ void expect_equivalent(const market::PopulationResult& a,
   EXPECT_EQ(a.end_time, b.end_time);
 }
 
-TEST(PopulationEquivalence, CompactionOnOffAndShardsAreBitIdentical) {
+TEST(PopulationEquivalence, CompactionWorkersAndShardsAreBitIdentical) {
+  // Full equivalence panel over {compaction off/on} x {workers 1/K} x
+  // {event-queue shards 1/K}: every cell must produce bit-identical
+  // results AND a byte-identical trace.  This is the determinism contract
+  // of the parallel intra-run engine (docs/MARKET.md) -- the worker count
+  // and both storage knobs are wall-clock/memory levers only.
   const TracedRun baseline = run_traced(equivalence_config());
-
-  market::PopulationConfig compacted = equivalence_config();
-  compacted.compaction.enabled = true;
-  compacted.compaction.horizon = 2.0;
-  compacted.compaction.interval = 16;
-  const TracedRun with_compaction = run_traced(compacted);
-
-  market::PopulationConfig sharded = compacted;
-  sharded.shards = 5;
-  const TracedRun with_shards = run_traced(sharded);
-
-  expect_equivalent(baseline.result, with_compaction.result);
-  expect_equivalent(baseline.result, with_shards.result);
-  // TRACE byte-identity, not just equal aggregates.
-  EXPECT_EQ(baseline.trace, with_compaction.trace);
-  EXPECT_EQ(baseline.trace, with_shards.trace);
-
-  // And the compaction actually happened.
-  EXPECT_GT(with_compaction.result.compactions, 0u);
-  EXPECT_GT(with_compaction.result.sessions_retired, 0u);
-  EXPECT_GT(with_compaction.result.txs_retired, 0u);
-  EXPECT_LT(with_compaction.result.peak_live_sessions,
-            with_compaction.result.sessions);
   EXPECT_EQ(baseline.result.compactions, 0u);
   EXPECT_EQ(baseline.result.peak_live_sessions, baseline.result.sessions);
+
+  bool saw_compaction = false;
+  for (const bool compaction : {false, true}) {
+    for (const std::uint64_t workers : {1u, 4u}) {
+      for (const std::uint64_t shards : {1u, 5u}) {
+        if (!compaction && workers == 1 && shards == 1) continue;
+        market::PopulationConfig config = equivalence_config();
+        config.compaction.enabled = compaction;
+        config.compaction.horizon = 2.0;
+        config.compaction.interval = 16;
+        config.workers = workers;
+        config.shards = shards;
+        const TracedRun cell = run_traced(std::move(config));
+        SCOPED_TRACE(::testing::Message()
+                     << "compaction=" << compaction << " workers=" << workers
+                     << " shards=" << shards);
+        expect_equivalent(baseline.result, cell.result);
+        // TRACE byte-identity, not just equal aggregates.
+        EXPECT_EQ(baseline.trace, cell.trace);
+        if (compaction) {
+          // And the compaction actually happened.
+          EXPECT_GT(cell.result.compactions, 0u);
+          EXPECT_GT(cell.result.sessions_retired, 0u);
+          EXPECT_GT(cell.result.txs_retired, 0u);
+          EXPECT_LT(cell.result.peak_live_sessions, cell.result.sessions);
+          saw_compaction = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_compaction);
 }
 
 TEST(PopulationEquivalence, AggressiveRetirementUnderFeePressure) {
@@ -486,11 +499,25 @@ TEST(PopulationEquivalence, AggressiveRetirementUnderFeePressure) {
   EXPECT_GT(churned.result.sessions_retired, 0u);
   EXPECT_GT(churned.result.accounts_retired, 0u);
   EXPECT_GT(churned.result.log_truncated, 0u);
+
+  // Same churn under parallel workers: eviction drops, merge-expired
+  // intents and retirement sweeps must still replay bit-identically.
+  market::PopulationConfig parallel = churning;
+  parallel.workers = 3;
+  const TracedRun parallel_run = run_traced(std::move(parallel));
+  expect_equivalent(baseline.result, parallel_run.result);
+  EXPECT_EQ(baseline.trace, parallel_run.trace);
 }
 
 TEST(PopulationEquivalence, ValidatesRetirementKnobs) {
   market::PopulationConfig config = equivalence_config();
   config.shards = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = equivalence_config();
+  config.workers = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = equivalence_config();
+  config.workers = 257;
   EXPECT_THROW(config.validate(), std::invalid_argument);
   config = equivalence_config();
   config.compaction.enabled = true;

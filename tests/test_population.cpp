@@ -269,9 +269,16 @@ TEST(EngineMarketSim, CanonicalStringCoversPopulationFields) {
   const std::string base = spec.canonical_string();
   EXPECT_NE(base.find("kind=market_sim"), std::string::npos);
   EXPECT_NE(base.find("population.sessions=200"), std::string::npos);
+  EXPECT_NE(base.find("population.workers=1"), std::string::npos);
 
   engine::RunSpec other = market_spec(200, 7);
   other.population.rebid_factor *= 2.0;
+  EXPECT_NE(spec.hash(), other.hash());
+  // The worker count IS part of the spec hash (a v5 canonical line), even
+  // though results are bit-identical across counts: the cache key tracks
+  // the full config, the equivalence tests track the semantics.
+  other = market_spec(200, 7);
+  other.population.workers = 8;
   EXPECT_NE(spec.hash(), other.hash());
   other = market_spec(200, 7);
   other.population.types = PopulationConfig::default_types();

@@ -16,13 +16,20 @@ gated -- the sample/run counts an estimator needs to hit its target CI
   * population_sessions_per_sec (x16 headline throughput, LOWER bound --
     machine-dependent, so its committed baseline is deliberately
     conservative; see docs/PERF.md)
+  * population_parallel_speedup (x16 workers=8 over workers=1 wall-clock
+    ratio, LOWER bound -- enforced only when the fresh run reports
+    population_parallel_cores >= 8 and population_parallel_sessions >=
+    10^6, because the parallel engine cannot speed anything up on a
+    small machine or a scaled-down smoke workload)
 
 A gated metric may not exceed its baseline by more than --tolerance
-(default 25%); the simd_speedup_*, population_completion_* and
-population_sessions_per_sec families are gated the other way around (the
-fresh value may not drop below baseline * (1 - tolerance)).  Other
-metrics (e.g. mc_validation_max_abs_err) are reported informationally.
-Wall-clock TIME telemetry is never gated.
+(default 25%); the simd_speedup_*, population_completion_*,
+population_sessions_per_sec and population_parallel_speedup families are
+gated the other way around (the fresh value may not drop below
+baseline * (1 - tolerance)).  Other metrics (e.g.
+mc_validation_max_abs_err) are reported informationally.  Wall-clock
+TIME telemetry is never gated.  After the per-metric lines, a
+measured-vs-baseline ratio summary table recaps every gated comparison.
 
 Peak-memory gate: --time-v <file> parses the "Maximum resident set size
 (kbytes)" line of a `/usr/bin/time -v` stderr capture and fails when it
@@ -61,7 +68,22 @@ GATED_MIN_PREFIXES = (
     # conservatively (well below a warm dev machine) so the gate only
     # trips on order-of-magnitude regressions, not runner jitter.
     "population_sessions_per_sec",
+    # Workers=8-over-workers=1 wall-clock ratio of the x16 headline pair.
+    # Enforced conditionally -- see speedup_gate_applies().
+    "population_parallel_speedup",
 )
+
+# The parallel-speedup floor only means something on a machine with
+# enough cores and at a workload large enough to amortize the per-epoch
+# barriers; below either threshold the metric is reported info-only.
+SPEEDUP_MIN_CORES = 8
+SPEEDUP_MIN_SESSIONS = 1_000_000
+
+
+def speedup_gate_applies(fresh: dict) -> bool:
+    return (fresh.get("population_parallel_cores", 0.0) >= SPEEDUP_MIN_CORES
+            and fresh.get("population_parallel_sessions", 0.0)
+            >= SPEEDUP_MIN_SESSIONS)
 
 
 def is_gated(name: str) -> bool:
@@ -145,6 +167,9 @@ def main() -> int:
 
     failures = 0
     compared = 0
+    # (bench, metric, fresh, baseline, bound, ok) per gated comparison,
+    # recapped as the ratio summary table below.
+    summary_rows = []
     for base_path in baselines:
         fresh_path = args.fresh / base_path.name
         base = load_metrics(base_path)
@@ -166,6 +191,15 @@ def main() -> int:
                 print(f"info {base_path.name}: {name} = {f:g} "
                       f"(baseline {b:g}, not gated)")
                 continue
+            if (name == "population_parallel_speedup"
+                    and not speedup_gate_applies(fresh)):
+                print(f"info {base_path.name}: {name} = {f:g} "
+                      f"(baseline {b:g}, floor waived: "
+                      f"{fresh.get('population_parallel_cores', 0.0):g} "
+                      f"core(s), "
+                      f"{fresh.get('population_parallel_sessions', 0.0):g} "
+                      "session(s))")
+                continue
             compared += 1
             if is_min_gated(name):
                 limit = b * (1.0 - args.tolerance)
@@ -177,12 +211,26 @@ def main() -> int:
                 bound = "limit"
             if not ok:
                 failures += 1
+            summary_rows.append((base_path.name, name, f, b, bound, ok))
             print(f"{'ok  ' if ok else 'FAIL'} {base_path.name}: "
                   f"{name} = {f:g} vs baseline {b:g} ({bound} {limit:g})")
 
     if compared == 0:
         print("bench_gate: no gated metrics compared", file=sys.stderr)
         return 1
+
+    # Measured-vs-baseline ratio recap: one line per gated metric, so a
+    # CI log scan shows at a glance how much headroom each bound has left
+    # (ratio > 1 means fresh above baseline -- good for floor-gated
+    # metrics, headroom consumed for limit-gated ones).
+    name_width = max(len(r[1]) for r in summary_rows)
+    print("\nbench_gate: measured / baseline ratio summary")
+    for bench_name, name, f, b, bound, ok in summary_rows:
+        ratio = f / b if b else float("inf")
+        print(f"  {name:<{name_width}}  {f:>14g}  /{b:>14g}  "
+              f"= {ratio:6.3f}  [{bound}] {'ok' if ok else 'FAIL'}"
+              f"  ({bench_name})")
+
     failures += rss_failures
     print(f"bench_gate: {compared} gated metric(s), {failures} regression(s)")
     return 1 if failures else 0
