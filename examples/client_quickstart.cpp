@@ -1,0 +1,88 @@
+// Client quickstart: drive the swap-game service end to end in-process.
+//
+// Boots a swapgamed daemon on a private socket, connects the client
+// library, submits a two-cell DAG (analytic solve, then the fig6 grid
+// ordered after it), prints the results, and shuts the daemon down --
+// the same wire protocol `swapgamed` + `swapgame_client` speak across
+// processes (docs/SERVICE.md), minus the process boundary.
+//
+//   $ ./client_quickstart
+//
+// Uses only the public façade header -- the one include an installed
+// consumer writes as <swapgame/swapgame.hpp>.
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "swapgame.hpp"
+
+int main() {
+  using swapgame::Status;
+  namespace engine = swapgame::engine;
+  namespace service = swapgame::service;
+
+  // 1. Boot the daemon: private socket, two workers, in-memory cache.
+  service::ServiceConfig config;
+  config.socket_path =
+      "/tmp/swapgame-quickstart-" + std::to_string(::getpid()) + ".sock";
+  config.threads = 2;
+  service::Daemon daemon(config);
+  Status status = daemon.start();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "daemon: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  // 2. Connect.  The handshake pins both the wire protocol version and
+  //    the RunSpec schema version before any work moves.
+  service::Client client;
+  status = client.connect(daemon.socket_path());
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "connect: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  // 3. Describe the job: the analytic solve first, the 9-point P* grid
+  //    scheduled after it (deps express ordering, cheap-first).
+  std::vector<engine::BatchNode> nodes(2);
+  nodes[0].spec.kind = engine::CellKind::kAnalyticSr;
+  nodes[0].spec.label = "quickstart:analytic";
+  nodes[1].spec.kind = engine::CellKind::kSrGrid;
+  nodes[1].spec.label = "quickstart:grid";
+  nodes[1].spec.grid_count = 8;
+  nodes[1].spec.grid_denom = 8;
+  nodes[1].deps = {0};
+
+  // 4. Submit and block until done, watching per-cell progress.
+  service::Client::SubmitOutcome outcome;
+  status = client.submit(
+      nodes, &outcome, [](const service::Client::CellUpdate& update) {
+        std::printf("  cell %zu finished (source: %s)\n", update.index,
+                    update.source.c_str());
+      });
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "submit: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  // 5. Read the results (node order, same RunResult type BatchEngine
+  //    returns in-process).
+  std::printf("analytic success rate: %.4f\n",
+              outcome.results[0].at("sr"));
+  std::printf("grid: %d points, first sr %.4f\n",
+              nodes[1].spec.grid_count + 1, outcome.results[1].at("sr:0"));
+  std::printf("cells: %zu, served from cache: %zu\n", outcome.cells,
+              outcome.cached_cells);
+
+  // 6. Shut down through the protocol, then reap the daemon.
+  status = client.shutdown_server();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "shutdown: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  daemon.wait();
+  daemon.stop();
+  return 0;
+}

@@ -44,6 +44,22 @@ std::vector<std::size_t> topological_order(
 
 }  // namespace
 
+const char* to_string(CellSource source) noexcept {
+  switch (source) {
+    case CellSource::kEvaluated:
+      return "evaluated";
+    case CellSource::kMemory:
+      return "memory";
+    case CellSource::kDisk:
+      return "disk";
+    case CellSource::kCheckpoint:
+      return "checkpoint";
+    case CellSource::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
 struct BatchEngine::BatchState {
   const std::vector<BatchNode>* nodes = nullptr;
   std::vector<std::string> hashes;
@@ -83,6 +99,65 @@ BatchEngine::~BatchEngine() = default;
 
 RunResult BatchEngine::run(const RunSpec& spec) {
   return run_batch(std::vector<RunSpec>{spec}).front();
+}
+
+RunResult BatchEngine::run(const RunSpec& spec, CellSource* source) {
+  const std::string hash = spec.hash();
+
+  // 1. Checkpoint manifest.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cells_total;
+    const auto it = manifest_.find(hash);
+    if (it != manifest_.end()) {
+      ++stats_.cells_resumed;
+      stats_.mc_samples_cached += it->second.samples;
+      if (source != nullptr) *source = CellSource::kCheckpoint;
+      return it->second;
+    }
+  }
+
+  // 2. Result cache (memory LRU, then disk).
+  bool from_disk = false;
+  if (std::optional<RunResult> cached = cache_.get(hash, &from_disk)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.mc_samples_cached += cached->samples;
+    }
+    if (source != nullptr) {
+      *source = from_disk ? CellSource::kDisk : CellSource::kMemory;
+    }
+    return std::move(*cached);
+  }
+
+  // 3. Evaluate, honoring the max_cells budget.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (config_.max_cells != 0 && stats_.cells_run >= config_.max_cells) {
+      ++stats_.cells_skipped;
+      if (source != nullptr) *source = CellSource::kSkipped;
+      RunResult skipped;
+      skipped.complete = false;
+      return skipped;
+    }
+    ++stats_.cells_run;
+  }
+  RunResult result = evaluate_cell(spec);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.mc_samples_run += result.samples;
+  }
+  cache_.put(hash, result);
+  if (checkpoint_.enabled()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    manifest_[hash] = result;
+    ++pending_checkpoint_;
+    if (pending_checkpoint_ >= config_.checkpoint_every) {
+      flush_checkpoint_locked();
+    }
+  }
+  if (source != nullptr) *source = CellSource::kEvaluated;
+  return result;
 }
 
 std::vector<RunResult> BatchEngine::run_batch(

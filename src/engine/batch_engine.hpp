@@ -85,6 +85,21 @@ struct BatchNode {
   std::vector<std::size_t> deps;
 };
 
+/// Where one cell's result came from (per-cell provenance; the daemon
+/// streams this to clients so warm-vs-cold runs are observable).
+enum class CellSource : std::uint8_t {
+  kEvaluated,   ///< computed fresh by evaluate_cell
+  kMemory,      ///< served from the in-memory LRU
+  kDisk,        ///< served from the on-disk cache
+  kCheckpoint,  ///< served from a checkpoint manifest
+  kSkipped,     ///< unevaluated (max_cells budget exhausted)
+};
+[[nodiscard]] const char* to_string(CellSource source) noexcept;
+[[nodiscard]] constexpr bool is_cached(CellSource source) noexcept {
+  return source == CellSource::kMemory || source == CellSource::kDisk ||
+         source == CellSource::kCheckpoint;
+}
+
 class BatchEngine {
  public:
   explicit BatchEngine(EngineConfig config = {});
@@ -95,6 +110,15 @@ class BatchEngine {
 
   /// Evaluates one cell through the cache/checkpoint tiers.
   [[nodiscard]] RunResult run(const RunSpec& spec);
+
+  /// Single-cell path with provenance reporting: same tier order as the
+  /// batch path (checkpoint manifest -> memory LRU -> disk -> evaluate),
+  /// `*source` says which tier answered.  Unlike run(spec) this never
+  /// routes through run_batch -- it is the direct, thread-safe call an
+  /// external scheduler (the swapgamed dispatcher) issues from its own
+  /// pool workers; evaluation errors propagate as exceptions to the
+  /// caller and metrics publication is left to the owner.
+  [[nodiscard]] RunResult run(const RunSpec& spec, CellSource* source);
 
   /// Executes independent cells (no ordering constraints).
   [[nodiscard]] std::vector<RunResult> run_batch(

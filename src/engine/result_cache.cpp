@@ -30,7 +30,9 @@ void ResultCache::touch_locked(const std::string& hash, RunResult result) {
   }
 }
 
-std::optional<RunResult> ResultCache::get(const std::string& hash) {
+std::optional<RunResult> ResultCache::get(const std::string& hash,
+                                          bool* from_disk) {
+  if (from_disk != nullptr) *from_disk = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(hash);
@@ -54,6 +56,7 @@ std::optional<RunResult> ResultCache::get(const std::string& hash) {
     ++disk_rejected_;
     return std::nullopt;
   }
+  if (from_disk != nullptr) *from_disk = true;
   std::lock_guard<std::mutex> lock(mutex_);
   ++disk_hits_;
   touch_locked(hash, parsed->second);

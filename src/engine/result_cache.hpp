@@ -30,8 +30,11 @@ class ResultCache {
   explicit ResultCache(std::size_t memory_capacity, std::string disk_dir);
 
   /// Looks `hash` up in the LRU, then on disk (a disk hit is promoted
-  /// into the LRU).  Thread-safe.
-  [[nodiscard]] std::optional<RunResult> get(const std::string& hash);
+  /// into the LRU).  Thread-safe.  When `from_disk` is non-null it is set
+  /// to whether the hit came from the disk tier -- the daemon reports
+  /// per-cell cache provenance through this.
+  [[nodiscard]] std::optional<RunResult> get(const std::string& hash,
+                                             bool* from_disk = nullptr);
 
   /// Inserts into the LRU (evicting least-recently-used beyond capacity)
   /// and persists to the disk tier when enabled.  Thread-safe.

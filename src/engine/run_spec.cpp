@@ -1,11 +1,11 @@
 #include "run_spec.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 
 #include "crypto/sha256.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"  // format_json_number / append_json_escaped
+#include "spec_fields.hpp"
 
 namespace swapgame::engine {
 
@@ -31,61 +31,34 @@ const char* to_string(CellKind kind) noexcept {
 
 namespace {
 
-void put(std::string& out, std::string_view key, double v) {
-  out += key;
-  out.push_back('=');
-  out += obs::format_json_number(v);
-  out.push_back('\n');
-}
+/// Field visitor rendering the canonical key=value lines (the hashed
+/// form).  Bytes must match the historical hand-written layout exactly --
+/// the golden-string test in tests/test_spec_json.cpp pins it.
+struct CanonicalWriter {
+  std::string& out;
 
-void put(std::string& out, std::string_view key, std::uint64_t v) {
-  out += key;
-  out.push_back('=');
-  out += std::to_string(v);
-  out.push_back('\n');
-}
-
-void put(std::string& out, std::string_view key, int v) {
-  out += key;
-  out.push_back('=');
-  out += std::to_string(v);
-  out.push_back('\n');
-}
-
-void put(std::string& out, std::string_view key, bool v) {
-  out += key;
-  out += v ? "=1\n" : "=0\n";
-}
-
-void put(std::string& out, std::string_view key, const char* v) {
-  out += key;
-  out.push_back('=');
-  out += v;
-  out.push_back('\n');
-}
-
-void put_windows(std::string& out, std::string_view key,
-                 const std::vector<chain::FaultWindow>& windows) {
-  out += key;
-  out.push_back('=');
-  for (const chain::FaultWindow& w : windows) {
-    out += obs::format_json_number(w.begin);
-    out.push_back(':');
-    out += obs::format_json_number(w.end);
-    out.push_back(';');
+  void line(std::string_view key, std::string_view value) {
+    out += key;
+    out.push_back('=');
+    out += value;
+    out.push_back('\n');
   }
-  out.push_back('\n');
-}
-
-void put_fault_model(std::string& out, std::string_view prefix,
-                     const chain::FaultModel& m) {
-  const std::string p(prefix);
-  put(out, p + ".drop_prob", m.drop_prob);
-  put(out, p + ".extra_delay_prob", m.extra_delay_prob);
-  put(out, p + ".extra_delay_max", m.extra_delay_max);
-  put_windows(out, p + ".censorship", m.censorship);
-  put_windows(out, p + ".halts", m.halts);
-}
+  void num(std::string_view key, double& v) {
+    line(key, obs::format_json_number(v));
+  }
+  void u64(std::string_view key, std::uint64_t& v) {
+    line(key, std::to_string(v));
+  }
+  void i32(std::string_view key, int& v) { line(key, std::to_string(v)); }
+  void b01(std::string_view key, bool& v) { line(key, v ? "1" : "0"); }
+  void sz(std::string_view key, std::size_t& v) {
+    line(key, std::to_string(static_cast<std::uint64_t>(v)));
+  }
+  template <class Get, class Set>
+  void token(std::string_view key, Get get, Set /*set*/) {
+    line(key, get());
+  }
+};
 
 }  // namespace
 
@@ -95,129 +68,10 @@ std::string RunSpec::canonical_string() const {
   out += "swapgame.runspec.v";
   out += std::to_string(kRunSpecSchemaVersion);
   out.push_back('\n');
-  put(out, "kind", to_string(kind));
-
-  // Parameter point (model/params.hpp).
-  const model::SwapParams& p = mc.params;
-  put(out, "alice.alpha", p.alice.alpha);
-  put(out, "alice.r", p.alice.r);
-  put(out, "bob.alpha", p.bob.alpha);
-  put(out, "bob.r", p.bob.r);
-  put(out, "tau_a", p.tau_a);
-  put(out, "tau_b", p.tau_b);
-  put(out, "eps_b", p.eps_b);
-  put(out, "p_t0", p.p_t0);
-  put(out, "gbm.mu", p.gbm.mu);
-  put(out, "gbm.sigma", p.gbm.sigma);
-
-  // Evaluation point / mechanism terms.
-  put(out, "evaluator", sim::to_string(mc.evaluator));
-  put(out, "p_star", mc.p_star);
-  put(out, "collateral", mc.collateral);
-  put(out, "premium", mc.premium);
-  put(out, "profile.alice_cutoff", mc.profile.alice_cutoff);
-  {
-    std::string region;
-    for (const math::Interval& iv : mc.profile.bob_region.intervals()) {
-      region += obs::format_json_number(iv.lo);
-      region.push_back(':');
-      region += obs::format_json_number(iv.hi);
-      region.push_back(';');
-    }
-    put(out, "profile.bob_region", region.c_str());
-  }
-
-  // Protocol substrate.
-  put(out, "strategy", sim::to_string(mc.strategy));
-  put(out, "bob_strategy",
-      mc.bob_strategy ? sim::to_string(*mc.bob_strategy) : "inherit");
-  put(out, "alice_extra_token_a", mc.alice_extra_token_a);
-  put(out, "bob_extra_token_a", mc.bob_extra_token_a);
-  put(out, "secret_seed", mc.secret_seed);
-  put(out, "confirmation_jitter_a", mc.confirmation_jitter_a);
-  put(out, "confirmation_jitter_b", mc.confirmation_jitter_b);
-  put(out, "expiry_margin", mc.expiry_margin);
-  put(out, "latency_seed", mc.latency_seed);
-  put_fault_model(out, "faults.chain_a", mc.faults.chain_a);
-  put_fault_model(out, "faults.chain_b", mc.faults.chain_b);
-  put_windows(out, "faults.alice_offline", mc.faults.alice_offline);
-  put_windows(out, "faults.bob_offline", mc.faults.bob_offline);
-  put(out, "faults.seed", mc.faults.seed);
-  put(out, "audit", mc.audit);
-
-  // Sample budget + estimator config (threads and the trace/metrics sinks
-  // are execution details -- they cannot change the result -- and are
-  // deliberately NOT part of the canonical form; trace_stride IS, because
-  // it selects which samples produce the stored trace).
-  const sim::McConfig& c = mc.config;
-  put(out, "config.samples", static_cast<std::uint64_t>(c.samples));
-  put(out, "config.seed", c.seed);
-  put(out, "config.target_half_width", c.target_half_width);
-  put(out, "config.ci_confidence", c.ci_confidence);
-  put(out, "config.min_samples", static_cast<std::uint64_t>(c.min_samples));
-  put(out, "config.antithetic", c.antithetic);
-  put(out, "config.control_variate", c.control_variate);
-  put(out, "config.trace_stride", static_cast<std::uint64_t>(c.trace_stride));
-
-  // Grid coordinates (kSrGrid) and scenario terms (kScenario).
-  put(out, "grid.count", grid_count);
-  put(out, "grid.denom", grid_denom);
-  put(out, "grid.offset", grid_offset);
-  put(out, "grid.lo", grid_lo);
-  put(out, "grid.hi", grid_hi);
-  put(out, "mechanism", sim::to_string(mechanism));
-  put(out, "deposit", deposit);
-
-  // Population workload (kMarketSim).  Trader types serialize as
-  // alpha:r:weight triples so the type mix is part of the cell address.
-  const market::PopulationConfig& pop = population;
-  put(out, "population.sessions", pop.sessions);
-  put(out, "population.arrival_rate", pop.arrival_rate);
-  put(out, "population.limit_spread", pop.limit_spread);
-  put(out, "population.tick", pop.tick);
-  put(out, "population.cancel_after", pop.cancel_after);
-  put(out, "population.p0", pop.p0);
-  put(out, "population.gbm.mu", pop.gbm.mu);
-  put(out, "population.gbm.sigma", pop.gbm.sigma);
-  put(out, "population.impact", pop.impact);
-  put(out, "population.decision_tick", pop.decision_tick);
-  put(out, "population.tau_a", pop.tau_a);
-  put(out, "population.tau_b", pop.tau_b);
-  put(out, "population.eps_b", pop.eps_b);
-  put(out, "population.fee_a.block_interval", pop.fee_a.block_interval);
-  put(out, "population.fee_a.block_capacity",
-      static_cast<std::uint64_t>(pop.fee_a.block_capacity));
-  put(out, "population.fee_a.mempool_capacity",
-      static_cast<std::uint64_t>(pop.fee_a.mempool_capacity));
-  put(out, "population.fee_b.block_interval", pop.fee_b.block_interval);
-  put(out, "population.fee_b.block_capacity",
-      static_cast<std::uint64_t>(pop.fee_b.block_capacity));
-  put(out, "population.fee_b.mempool_capacity",
-      static_cast<std::uint64_t>(pop.fee_b.mempool_capacity));
-  put(out, "population.expiry_slack", pop.expiry_slack);
-  put(out, "population.base_fee", pop.base_fee);
-  put(out, "population.fee_spread", pop.fee_spread);
-  put(out, "population.rebid_factor", pop.rebid_factor);
-  put(out, "population.max_fee", pop.max_fee);
-  put(out, "population.seed", pop.seed);
-  put(out, "population.shards", pop.shards);
-  put(out, "population.workers", pop.workers);
-  put(out, "population.compaction.enabled",
-      static_cast<std::uint64_t>(pop.compaction.enabled ? 1 : 0));
-  put(out, "population.compaction.horizon", pop.compaction.horizon);
-  put(out, "population.compaction.interval", pop.compaction.interval);
-  {
-    std::string types;
-    for (const market::TraderType& t : pop.types) {
-      types += obs::format_json_number(t.agent.alpha);
-      types.push_back(':');
-      types += obs::format_json_number(t.agent.r);
-      types.push_back(':');
-      types += obs::format_json_number(t.weight);
-      types.push_back(';');
-    }
-    put(out, "population.types", types.c_str());
-  }
+  CanonicalWriter writer{out};
+  // The traversal is expressed over a mutable spec so the JSON reader can
+  // share it; writers only ever read through the references.
+  detail::visit_spec_fields(const_cast<RunSpec&>(*this), writer);
   return out;
 }
 
@@ -270,126 +124,88 @@ std::string RunResult::to_entry(const std::string& spec_hash) const {
   return out;
 }
 
-namespace {
-
-/// Minimal cursor parser for the exact line shape to_entry() emits.
-struct Cursor {
-  std::string_view s;
-  std::size_t pos = 0;
-
-  bool eat(std::string_view token) {
-    if (s.substr(pos, token.size()) != token) return false;
-    pos += token.size();
-    return true;
-  }
-
-  /// Parses a quoted string with the append_json_escaped escape set.
-  bool string(std::string& out) {
-    if (pos >= s.size() || s[pos] != '"') return false;
-    ++pos;
-    while (pos < s.size() && s[pos] != '"') {
-      char c = s[pos];
-      if (c == '\\') {
-        if (pos + 1 >= s.size()) return false;
-        const char esc = s[pos + 1];
-        if (esc == '"' || esc == '\\') {
-          c = esc;
-          pos += 2;
-        } else if (esc == 'u') {
-          if (pos + 5 >= s.size()) return false;
-          c = static_cast<char>(
-              std::strtoul(std::string(s.substr(pos + 2, 4)).c_str(),
-                           nullptr, 16));
-          pos += 6;
-        } else {
-          return false;
-        }
-      } else {
-        ++pos;
-      }
-      out.push_back(c);
-    }
-    if (pos >= s.size()) return false;
-    ++pos;  // closing quote
-    return true;
-  }
-
-  /// Parses a format_json_number() value: a bare number or one of the
-  /// quoted non-finite markers.
-  bool number(double& out) {
-    if (pos < s.size() && s[pos] == '"') {
-      if (eat("\"nan\"")) {
-        out = std::numeric_limits<double>::quiet_NaN();
-        return true;
-      }
-      if (eat("\"inf\"")) {
-        out = std::numeric_limits<double>::infinity();
-        return true;
-      }
-      if (eat("\"-inf\"")) {
-        out = -std::numeric_limits<double>::infinity();
-        return true;
-      }
-      return false;
-    }
-    char* end = nullptr;
-    const std::string rest(s.substr(pos));
-    out = std::strtod(rest.c_str(), &end);
-    if (end == rest.c_str()) return false;
-    pos += static_cast<std::size_t>(end - rest.c_str());
-    return true;
-  }
-
-  bool u64(std::uint64_t& out) {
-    char* end = nullptr;
-    const std::string rest(s.substr(pos));
-    out = std::strtoull(rest.c_str(), &end, 10);
-    if (end == rest.c_str()) return false;
-    pos += static_cast<std::size_t>(end - rest.c_str());
-    return true;
-  }
-};
-
-}  // namespace
-
 std::optional<std::pair<std::string, RunResult>> RunResult::parse_entry(
     std::string_view line) {
-  Cursor cur{line};
-  std::uint64_t version = 0;
-  if (!cur.eat("{\"v\":") || !cur.u64(version)) return std::nullopt;
-  if (version != static_cast<std::uint64_t>(kRunSpecSchemaVersion)) {
-    return std::nullopt;  // stale schema: reject, never reinterpret
-  }
+  obs::json::Value value;
+  if (!obs::json::parse(line, value).is_ok()) return std::nullopt;
   std::string spec_hash;
   RunResult result;
-  if (!cur.eat(",\"hash\":") || !cur.string(spec_hash)) return std::nullopt;
-  if (!cur.eat(",\"samples\":") || !cur.u64(result.samples)) {
-    return std::nullopt;
-  }
-  if (!cur.eat(",\"rounds\":") || !cur.u64(result.rounds)) {
-    return std::nullopt;
-  }
-  if (!cur.eat(",\"values\":[")) return std::nullopt;
-  if (!cur.eat("]")) {
-    for (;;) {
-      std::string name;
-      double value = 0.0;
-      if (!cur.eat("[\"") ) return std::nullopt;
-      cur.pos -= 1;  // string() expects the opening quote
-      if (!cur.string(name) || !cur.eat(",") || !cur.number(value) ||
-          !cur.eat("]")) {
-        return std::nullopt;
-      }
-      result.values.emplace_back(std::move(name), value);
-      if (cur.eat("]")) break;
-      if (!cur.eat(",")) return std::nullopt;
-    }
-  }
-  if (!cur.eat(",\"trace\":") || !cur.string(result.trace)) {
-    return std::nullopt;
-  }
-  if (!cur.eat("}")) return std::nullopt;
+  if (!from_json(value, &spec_hash, &result).is_ok()) return std::nullopt;
   return std::make_pair(std::move(spec_hash), std::move(result));
+}
+
+Status RunResult::from_json(const obs::json::Value& value,
+                            std::string* spec_hash, RunResult* out) {
+  using obs::json::Value;
+  if (!value.is_object()) {
+    return Status::cache_corrupt("result entry is not a JSON object");
+  }
+  const Value* version = value.find("v");
+  if (version == nullptr || !version->is_number()) {
+    return Status::cache_corrupt("result entry missing schema version");
+  }
+  if (version->as_number() !=
+      static_cast<double>(kRunSpecSchemaVersion)) {
+    // Stale schema: reject, never reinterpret.
+    return Status::unsupported_version(
+        "result entry schema " + version->raw_number() + ", this build reads v" +
+        std::to_string(kRunSpecSchemaVersion));
+  }
+
+  RunResult result;
+  std::string hash;
+  std::size_t seen = 1;  // "v"
+  try {
+    const Value* field = value.find("hash");
+    if (field == nullptr || !field->is_string()) {
+      return Status::cache_corrupt("result entry missing 'hash'");
+    }
+    hash = field->as_string();
+    ++seen;
+    field = value.find("samples");
+    if (field == nullptr || !field->is_number()) {
+      return Status::cache_corrupt("result entry missing 'samples'");
+    }
+    result.samples = field->as_u64();
+    ++seen;
+    field = value.find("rounds");
+    if (field == nullptr || !field->is_number()) {
+      return Status::cache_corrupt("result entry missing 'rounds'");
+    }
+    result.rounds = field->as_u64();
+    ++seen;
+    field = value.find("values");
+    if (field == nullptr || !field->is_array()) {
+      return Status::cache_corrupt("result entry missing 'values'");
+    }
+    for (const Value& pair : field->as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2 ||
+          !pair.as_array()[0].is_string()) {
+        return Status::cache_corrupt("malformed value pair in result entry");
+      }
+      double v = 0.0;
+      if (!obs::json::number_or_marker(pair.as_array()[1], &v)) {
+        return Status::cache_corrupt("malformed value number in result entry");
+      }
+      result.values.emplace_back(pair.as_array()[0].as_string(), v);
+    }
+    ++seen;
+    field = value.find("trace");
+    if (field == nullptr || !field->is_string()) {
+      return Status::cache_corrupt("result entry missing 'trace'");
+    }
+    result.trace = field->as_string();
+    ++seen;
+  } catch (const std::exception& e) {
+    return Status::cache_corrupt(std::string("malformed result entry: ") +
+                                 e.what());
+  }
+  if (value.as_object().size() != seen) {
+    return Status::cache_corrupt("unknown key in result entry");
+  }
+  *spec_hash = std::move(hash);
+  *out = std::move(result);
+  return Status::ok();
 }
 
 }  // namespace swapgame::engine

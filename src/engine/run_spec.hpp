@@ -37,6 +37,11 @@
 #include "market/population/population_sim.hpp"
 #include "sim/mc_runner.hpp"
 #include "sim/scenario.hpp"
+#include "status.hpp"
+
+namespace swapgame::obs::json {
+class Value;
+}
 
 namespace swapgame::engine {
 
@@ -119,6 +124,28 @@ struct RunSpec {
   [[nodiscard]] std::string canonical_string() const;
   /// SHA-256 hex digest of canonical_string() -- the cache address.
   [[nodiscard]] std::string hash() const;
+
+  // --- public JSON codec (docs/SERVICE.md) -----------------------------
+  // One flat, schema-versioned object mirroring the canonical form key
+  // for key: {"v":<kRunSpecSchemaVersion>,"label":"...","kind":"mc",...}.
+  // Values use the exact canonical renderings (%.17g doubles, quoted
+  // "nan"/"inf"/"-inf" markers, tokenized composites), so
+  // from_json(spec.to_json()) reproduces canonical_string() -- and hence
+  // the content hash -- byte for byte.  `label` is carried for display
+  // but stays excluded from the canonical form.  This is the codec the
+  // swapgamed wire protocol submits specs through.
+
+  /// Serializes this spec as one JSON object (one line, no newline).
+  [[nodiscard]] std::string to_json() const;
+  /// Parses a to_json() object.  Rejects any schema version other than
+  /// kRunSpecSchemaVersion (kUnsupportedVersion) and any unknown, missing
+  /// mistyped or malformed key (kInvalidSpec), each with a message naming
+  /// the offending key/token.  On failure *out is unspecified.
+  [[nodiscard]] static Status from_json(std::string_view json, RunSpec* out);
+  /// Same, from an already-parsed JSON value (the daemon parses whole
+  /// request lines and hands each cell object here).
+  [[nodiscard]] static Status from_json(const obs::json::Value& value,
+                                        RunSpec* out);
 };
 
 /// Serializable result of one cell.
@@ -140,14 +167,23 @@ struct RunResult {
   /// Value by name; throws std::out_of_range if absent.
   [[nodiscard]] double at(std::string_view name) const;
 
-  /// One JSONL line binding this result to the spec hash that produced it
-  /// (the shared on-disk format of cache entries and checkpoint manifests).
+  /// One JSONL line binding this result to the spec hash that produced it.
+  /// This is THE result codec: the on-disk cache, the checkpoint manifest
+  /// and the swapgamed wire protocol all emit exactly this object shape,
+  /// and all parse it through from_json() below -- one writer, one reader.
   [[nodiscard]] std::string to_entry(const std::string& spec_hash) const;
   /// Parses a to_entry() line into (spec_hash, result).  Returns nullopt
   /// for malformed lines and for entries with a different schema version
-  /// (stale caches are ignored, not misread).
+  /// (stale caches are ignored, not misread).  Thin wrapper over
+  /// from_json() for callers that treat every failure as "entry absent".
   [[nodiscard]] static std::optional<std::pair<std::string, RunResult>>
   parse_entry(std::string_view line);
+  /// Structured parse of a to_entry() object with distinct failure codes:
+  /// kUnsupportedVersion for a stale schema, kCacheCorrupt for anything
+  /// malformed (truncated entry, bad value shape, unknown key).
+  [[nodiscard]] static Status from_json(const obs::json::Value& value,
+                                        std::string* spec_hash,
+                                        RunResult* out);
 };
 
 /// Evaluates one cell (pure function of the spec; thread-safe).  The MC

@@ -1,0 +1,222 @@
+#include "spec_codec.hpp"
+
+#include <cstdlib>
+
+#include "obs/json.hpp"
+#include "run_spec.hpp"
+
+namespace swapgame::engine::detail {
+
+namespace {
+
+Status bad_token(std::string_view what, std::string_view token) {
+  return Status::invalid_spec("unknown " + std::string(what) + " '" +
+                              std::string(token) + "'");
+}
+
+/// Splits "a:b;c:d;..." into `arity`-sized double groups.  The trailing
+/// ';' after every group is required -- it is what the encoders emit.
+Status parse_groups(std::string_view token, std::size_t arity,
+                    std::string_view what,
+                    std::vector<std::vector<double>>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos < token.size()) {
+    const std::size_t end = token.find(';', pos);
+    if (end == std::string_view::npos) {
+      return Status::invalid_spec("malformed " + std::string(what) +
+                                  " list: missing ';' terminator in '" +
+                                  std::string(token) + "'");
+    }
+    std::string_view group = token.substr(pos, end - pos);
+    std::vector<double> values;
+    std::size_t field_pos = 0;
+    for (std::size_t k = 0; k < arity; ++k) {
+      const bool last = k + 1 == arity;
+      const std::size_t field_end =
+          last ? group.size() : group.find(':', field_pos);
+      if (field_end == std::string_view::npos) {
+        return Status::invalid_spec("malformed " + std::string(what) +
+                                    " entry '" + std::string(group) +
+                                    "': expected " + std::to_string(arity) +
+                                    " ':'-separated fields");
+      }
+      const std::optional<double> v =
+          parse_number_token(group.substr(field_pos, field_end - field_pos));
+      if (!v) {
+        return Status::invalid_spec(
+            "malformed " + std::string(what) + " entry '" +
+            std::string(group) + "': bad number '" +
+            std::string(group.substr(field_pos, field_end - field_pos)) + "'");
+      }
+      values.push_back(*v);
+      field_pos = field_end + 1;
+    }
+    // A last field containing ':' would have been split short above;
+    // reject groups with MORE fields than the arity too.
+    if (arity > 0 && group.find(':', field_pos) != std::string_view::npos) {
+      return Status::invalid_spec("malformed " + std::string(what) +
+                                  " entry '" + std::string(group) +
+                                  "': too many fields");
+    }
+    out->push_back(std::move(values));
+    pos = end + 1;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status parse_cell_kind(std::string_view token, CellKind* out) {
+  for (const CellKind kind :
+       {CellKind::kAnalyticSr, CellKind::kSrGrid, CellKind::kSensitivity,
+        CellKind::kJitterCell, CellKind::kScenario, CellKind::kMc,
+        CellKind::kMarketSim}) {
+    if (token == to_string(kind)) {
+      *out = kind;
+      return Status::ok();
+    }
+  }
+  return bad_token("cell kind", token);
+}
+
+Status parse_evaluator(std::string_view token, sim::McEvaluator* out) {
+  for (const sim::McEvaluator e :
+       {sim::McEvaluator::kModel, sim::McEvaluator::kProfile,
+        sim::McEvaluator::kProtocol}) {
+    if (token == sim::to_string(e)) {
+      *out = e;
+      return Status::ok();
+    }
+  }
+  return bad_token("evaluator", token);
+}
+
+Status parse_strategy(std::string_view token, sim::McStrategy* out) {
+  for (const sim::McStrategy s :
+       {sim::McStrategy::kRational, sim::McStrategy::kHonest,
+        sim::McStrategy::kPremiumRational}) {
+    if (token == sim::to_string(s)) {
+      *out = s;
+      return Status::ok();
+    }
+  }
+  return bad_token("strategy", token);
+}
+
+Status parse_bob_strategy(std::string_view token,
+                          std::optional<sim::McStrategy>* out) {
+  if (token == "inherit") {
+    out->reset();
+    return Status::ok();
+  }
+  sim::McStrategy s{};
+  Status status = parse_strategy(token, &s);
+  if (!status.is_ok()) return status;
+  *out = s;
+  return Status::ok();
+}
+
+Status parse_mechanism(std::string_view token, sim::Mechanism* out) {
+  for (const sim::Mechanism m :
+       {sim::Mechanism::kNone, sim::Mechanism::kCollateral,
+        sim::Mechanism::kPremium}) {
+    if (token == sim::to_string(m)) {
+      *out = m;
+      return Status::ok();
+    }
+  }
+  return bad_token("mechanism", token);
+}
+
+std::string encode_windows(const std::vector<chain::FaultWindow>& windows) {
+  std::string out;
+  for (const chain::FaultWindow& w : windows) {
+    out += obs::json::format_number(w.begin);
+    out.push_back(':');
+    out += obs::json::format_number(w.end);
+    out.push_back(';');
+  }
+  return out;
+}
+
+Status parse_windows(std::string_view token,
+                     std::vector<chain::FaultWindow>* out) {
+  std::vector<std::vector<double>> groups;
+  Status status = parse_groups(token, 2, "window", &groups);
+  if (!status.is_ok()) return status;
+  out->clear();
+  out->reserve(groups.size());
+  for (const std::vector<double>& g : groups) {
+    out->push_back(chain::FaultWindow{g[0], g[1]});
+  }
+  return Status::ok();
+}
+
+std::string encode_interval_set(const math::IntervalSet& set) {
+  std::string out;
+  for (const math::Interval& iv : set.intervals()) {
+    out += obs::json::format_number(iv.lo);
+    out.push_back(':');
+    out += obs::json::format_number(iv.hi);
+    out.push_back(';');
+  }
+  return out;
+}
+
+Status parse_interval_set(std::string_view token, math::IntervalSet* out) {
+  std::vector<std::vector<double>> groups;
+  Status status = parse_groups(token, 2, "interval", &groups);
+  if (!status.is_ok()) return status;
+  std::vector<math::Interval> intervals;
+  intervals.reserve(groups.size());
+  for (const std::vector<double>& g : groups) {
+    intervals.push_back(math::Interval{g[0], g[1]});
+  }
+  *out = math::IntervalSet(std::move(intervals));
+  return Status::ok();
+}
+
+std::string encode_trader_types(const std::vector<market::TraderType>& types) {
+  std::string out;
+  for (const market::TraderType& t : types) {
+    out += obs::json::format_number(t.agent.alpha);
+    out.push_back(':');
+    out += obs::json::format_number(t.agent.r);
+    out.push_back(':');
+    out += obs::json::format_number(t.weight);
+    out.push_back(';');
+  }
+  return out;
+}
+
+Status parse_trader_types(std::string_view token,
+                          std::vector<market::TraderType>* out) {
+  std::vector<std::vector<double>> groups;
+  Status status = parse_groups(token, 3, "trader type", &groups);
+  if (!status.is_ok()) return status;
+  out->clear();
+  out->reserve(groups.size());
+  for (const std::vector<double>& g : groups) {
+    market::TraderType t;
+    t.agent.alpha = g[0];
+    t.agent.r = g[1];
+    t.weight = g[2];
+    out->push_back(t);
+  }
+  return Status::ok();
+}
+
+std::optional<double> parse_number_token(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  if (token == "\"nan\"") return std::numeric_limits<double>::quiet_NaN();
+  if (token == "\"inf\"") return std::numeric_limits<double>::infinity();
+  if (token == "\"-inf\"") return -std::numeric_limits<double>::infinity();
+  const std::string owned(token);
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace swapgame::engine::detail

@@ -1,0 +1,70 @@
+// Tokenized encodings shared by every RunSpec serializer.
+//
+// The canonical key=value form renders enums and small composites (fault
+// windows, threshold regions, trader types) as single string tokens; the
+// JSON wire codec reuses the exact same tokens so that a spec parsed from
+// the wire reproduces the canonical string -- and therefore the content
+// hash -- byte for byte.  Each parse_* is the strict inverse of the
+// matching encode_*/to_string and returns a Status naming the offending
+// token (exceptions never cross these functions; satellite rule: Status
+// at boundaries, exceptions inside).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chain/faults.hpp"
+#include "market/population/population_sim.hpp"
+#include "math/interval.hpp"
+#include "sim/mc_runner.hpp"
+#include "sim/scenario.hpp"
+#include "status.hpp"
+
+namespace swapgame::engine {
+
+enum class CellKind : std::uint8_t;
+
+namespace detail {
+
+// --- enums (inverses of the to_string() overloads) ----------------------
+[[nodiscard]] Status parse_cell_kind(std::string_view token, CellKind* out);
+[[nodiscard]] Status parse_evaluator(std::string_view token,
+                                     sim::McEvaluator* out);
+[[nodiscard]] Status parse_strategy(std::string_view token,
+                                    sim::McStrategy* out);
+/// "inherit" -> nullopt, else a strategy token.
+[[nodiscard]] Status parse_bob_strategy(std::string_view token,
+                                        std::optional<sim::McStrategy>* out);
+[[nodiscard]] Status parse_mechanism(std::string_view token,
+                                     sim::Mechanism* out);
+
+// --- composites ----------------------------------------------------------
+// Fault/offline windows: "begin:end;begin:end;..." ("" = none).  Bounds
+// use the format_json_number rendering, so non-finite bounds appear as
+// the quoted markers and round-trip.
+[[nodiscard]] std::string encode_windows(
+    const std::vector<chain::FaultWindow>& windows);
+[[nodiscard]] Status parse_windows(std::string_view token,
+                                   std::vector<chain::FaultWindow>* out);
+
+/// Threshold region: "lo:hi;lo:hi;..." ("" = empty set).  Parsing
+/// normalizes through the IntervalSet constructor; already-normalized
+/// input (i.e. anything this codec itself emitted) round-trips exactly.
+[[nodiscard]] std::string encode_interval_set(const math::IntervalSet& set);
+[[nodiscard]] Status parse_interval_set(std::string_view token,
+                                        math::IntervalSet* out);
+
+/// Trader mix: "alpha:r:weight;..." ("" = default mix).
+[[nodiscard]] std::string encode_trader_types(
+    const std::vector<market::TraderType>& types);
+[[nodiscard]] Status parse_trader_types(std::string_view token,
+                                        std::vector<market::TraderType>* out);
+
+/// One format_json_number token back to a double: a bare literal or the
+/// quoted "nan"/"inf"/"-inf" markers.  Must consume the whole view.
+[[nodiscard]] std::optional<double> parse_number_token(std::string_view token);
+
+}  // namespace detail
+}  // namespace swapgame::engine

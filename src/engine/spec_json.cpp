@@ -1,0 +1,248 @@
+// RunSpec <-> JSON: the versioned public codec behind the swapgamed wire
+// protocol (docs/SERVICE.md).  Writer and reader are both visitors over
+// detail::visit_spec_fields -- the same traversal that renders the hashed
+// canonical form -- so the JSON object carries exactly the semantic
+// fields, with exactly the canonical value renderings, and a parsed spec
+// rehashes to the same content address it was serialized from.
+#include <climits>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "spec_fields.hpp"
+
+namespace swapgame::engine {
+
+namespace {
+
+/// Field visitor emitting the flat JSON object body.  Doubles use
+/// format_json_number (bare literal, or a quoted marker for non-finite
+/// values -- already valid JSON); bools mirror the canonical 1/0; the
+/// tokenized composites become JSON strings.
+struct JsonWriter {
+  std::string& out;
+
+  void key(std::string_view k) {
+    out += ",\"";
+    obs::append_json_escaped(out, std::string(k));
+    out += "\":";
+  }
+  void num(std::string_view k, double& v) {
+    key(k);
+    out += obs::format_json_number(v);
+  }
+  void u64(std::string_view k, std::uint64_t& v) {
+    key(k);
+    out += std::to_string(v);
+  }
+  void i32(std::string_view k, int& v) {
+    key(k);
+    out += std::to_string(v);
+  }
+  void b01(std::string_view k, bool& v) {
+    key(k);
+    out += v ? '1' : '0';
+  }
+  void sz(std::string_view k, std::size_t& v) {
+    key(k);
+    out += std::to_string(static_cast<std::uint64_t>(v));
+  }
+  template <class Get, class Set>
+  void token(std::string_view k, Get get, Set /*set*/) {
+    key(k);
+    out.push_back('"');
+    obs::append_json_escaped(out, get());
+    out.push_back('"');
+  }
+};
+
+/// Field visitor assigning spec fields from a parsed JSON object.  Records
+/// the FIRST error and goes quiet afterwards (one precise message beats a
+/// cascade); tracks which members were consumed so leftovers -- unknown
+/// keys -- are rejected by name.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::vector<obs::json::Member>& members)
+      : members_(members), used_(members.size(), false) {}
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Marks a key consumed outside the traversal ("v", "label").
+  void mark_used(std::string_view key) { (void)take(key); }
+
+  /// First member not consumed by anyone, or nullptr.
+  [[nodiscard]] const std::string* first_unused() const noexcept {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (!used_[i]) return &members_[i].first;
+    }
+    return nullptr;
+  }
+
+  void num(std::string_view key, double& v) {
+    const obs::json::Value* value = require(key);
+    if (value == nullptr) return;
+    double parsed = 0.0;
+    if (!obs::json::number_or_marker(*value, &parsed)) {
+      fail(key, "expected a number");
+      return;
+    }
+    v = parsed;
+  }
+
+  void u64(std::string_view key, std::uint64_t& v) {
+    const obs::json::Value* value = require(key);
+    if (value == nullptr) return;
+    if (!value->is_number()) {
+      fail(key, "expected an unsigned integer");
+      return;
+    }
+    try {
+      v = value->as_u64();
+    } catch (const std::exception&) {
+      fail(key, "expected an unsigned integer, got '" + value->raw_number() +
+                    "'");
+    }
+  }
+
+  void i32(std::string_view key, int& v) {
+    const obs::json::Value* value = require(key);
+    if (value == nullptr) return;
+    const double d = value->is_number()
+                         ? value->as_number()
+                         : std::numeric_limits<double>::quiet_NaN();
+    if (!(d == std::floor(d)) || d < static_cast<double>(INT_MIN) ||
+        d > static_cast<double>(INT_MAX)) {
+      fail(key, "expected an integer");
+      return;
+    }
+    v = static_cast<int>(d);
+  }
+
+  void b01(std::string_view key, bool& v) {
+    const obs::json::Value* value = require(key);
+    if (value == nullptr) return;
+    if (value->is_bool()) {
+      v = value->as_bool();
+      return;
+    }
+    if (value->is_number() &&
+        (value->as_number() == 0.0 || value->as_number() == 1.0)) {
+      v = value->as_number() == 1.0;
+      return;
+    }
+    fail(key, "expected 0, 1, true or false");
+  }
+
+  void sz(std::string_view key, std::size_t& v) {
+    std::uint64_t wide = 0;
+    u64(key, wide);
+    if (status_.is_ok()) v = static_cast<std::size_t>(wide);
+  }
+
+  template <class Get, class Set>
+  void token(std::string_view key, Get /*get*/, Set set) {
+    const obs::json::Value* value = require(key);
+    if (value == nullptr) return;
+    if (!value->is_string()) {
+      fail(key, "expected a string");
+      return;
+    }
+    const Status decoded = set(std::string_view(value->as_string()));
+    if (!decoded.is_ok() && status_.is_ok()) {
+      status_ = Status::invalid_spec("key '" + std::string(key) +
+                                     "': " + decoded.message());
+    }
+  }
+
+ private:
+  const obs::json::Value* take(std::string_view key) {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (!used_[i] && members_[i].first == key) {
+        used_[i] = true;
+        return &members_[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  const obs::json::Value* require(std::string_view key) {
+    if (!status_.is_ok()) return nullptr;
+    const obs::json::Value* value = take(key);
+    if (value == nullptr) {
+      status_ =
+          Status::invalid_spec("missing key '" + std::string(key) + "'");
+    }
+    return value;
+  }
+
+  void fail(std::string_view key, std::string what) {
+    if (status_.is_ok()) {
+      status_ = Status::invalid_spec("key '" + std::string(key) +
+                                     "': " + std::move(what));
+    }
+  }
+
+  const std::vector<obs::json::Member>& members_;
+  std::vector<bool> used_;
+  Status status_;
+};
+
+}  // namespace
+
+std::string RunSpec::to_json() const {
+  std::string out;
+  out.reserve(2048);
+  out += "{\"v\":";
+  out += std::to_string(kRunSpecSchemaVersion);
+  out += ",\"label\":\"";
+  obs::append_json_escaped(out, label);
+  out.push_back('"');
+  JsonWriter writer{out};
+  detail::visit_spec_fields(const_cast<RunSpec&>(*this), writer);
+  out.push_back('}');
+  return out;
+}
+
+Status RunSpec::from_json(const obs::json::Value& value, RunSpec* out) {
+  if (!value.is_object()) {
+    return Status::invalid_spec("RunSpec must be a JSON object");
+  }
+  const obs::json::Value* version = value.find("v");
+  if (version == nullptr || !version->is_number()) {
+    return Status::invalid_spec("missing schema version key 'v'");
+  }
+  if (version->as_number() != static_cast<double>(kRunSpecSchemaVersion)) {
+    return Status::unsupported_version(
+        "RunSpec schema version " + version->raw_number() +
+        ", this build speaks v" + std::to_string(kRunSpecSchemaVersion));
+  }
+
+  RunSpec spec;
+  JsonReader reader(value.as_object());
+  reader.mark_used("v");
+  if (const obs::json::Value* label = value.find("label")) {
+    if (!label->is_string()) {
+      return Status::invalid_spec("key 'label': expected a string");
+    }
+    spec.label = label->as_string();
+    reader.mark_used("label");
+  }
+  detail::visit_spec_fields(spec, reader);
+  if (!reader.status().is_ok()) return reader.status();
+  if (const std::string* unknown = reader.first_unused()) {
+    return Status::invalid_spec("unknown key '" + *unknown + "'");
+  }
+  *out = std::move(spec);
+  return Status::ok();
+}
+
+Status RunSpec::from_json(std::string_view json, RunSpec* out) {
+  obs::json::Value value;
+  Status status = obs::json::parse(json, value);
+  if (!status.is_ok()) return status;
+  return from_json(value, out);
+}
+
+}  // namespace swapgame::engine

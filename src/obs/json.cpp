@@ -1,0 +1,368 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "trace.hpp"  // format_json_number
+
+namespace swapgame::obs::json {
+
+namespace {
+
+[[noreturn]] void wrong_kind(const char* want) {
+  throw std::logic_error(std::string("json::Value: not a ") + want);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) wrong_kind("bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) wrong_kind("number");
+  return number_;
+}
+
+const std::string& Value::raw_number() const {
+  if (kind_ != Kind::kNumber) wrong_kind("number");
+  return raw_;
+}
+
+std::uint64_t Value::as_u64() const {
+  if (kind_ != Kind::kNumber) wrong_kind("number");
+  const char* begin = raw_.c_str();
+  if (raw_.empty() || raw_[0] == '-' || raw_.find('.') != std::string::npos ||
+      raw_.find('e') != std::string::npos ||
+      raw_.find('E') != std::string::npos) {
+    throw std::logic_error("json::Value: not an unsigned integer literal");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(begin, &end, 10);
+  if (end != begin + raw_.size() || errno == ERANGE) {
+    throw std::logic_error("json::Value: u64 out of range");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) wrong_kind("string");
+  return raw_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (kind_ != Kind::kArray) wrong_kind("array");
+  return items_;
+}
+
+const std::vector<Member>& Value::as_object() const {
+  if (kind_ != Kind::kObject) wrong_kind("object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+Value Value::null() { return Value(); }
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double num, std::string raw) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = num;
+  v.raw_ = std::move(raw);
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.raw_ = std::move(s);
+  return v;
+}
+
+Value Value::array(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+Value Value::object(std::vector<Member> members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent parser.  Depth-bounded (the repo's own emissions
+/// nest 3-4 deep; 64 leaves headroom without risking stack exhaustion on
+/// hostile input from a socket).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Status run(Value& out) {
+    Status status = value(out, 0);
+    if (!status.is_ok()) return status;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing content after JSON value");
+    }
+    return Status::ok();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] Status fail(const std::string& what) const {
+    return Status::invalid_spec("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] Status value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return object(out, depth);
+      case '[':
+        return array(out, depth);
+      case '"': {
+        std::string s;
+        Status status = string(s);
+        if (!status.is_ok()) return status;
+        out = Value::string(std::move(s));
+        return Status::ok();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out = Value::boolean(true);
+          return Status::ok();
+        }
+        return fail("expected 'true'");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out = Value::boolean(false);
+          return Status::ok();
+        }
+        return fail("expected 'false'");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out = Value::null();
+          return Status::ok();
+        }
+        return fail("expected 'null'");
+      default:
+        return number(out);
+    }
+  }
+
+  [[nodiscard]] Status number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a JSON value");
+    std::string raw(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    if (end != raw.c_str() + raw.size()) {
+      pos_ = start;
+      return fail("malformed number literal '" + raw + "'");
+    }
+    out = Value::number(v, std::move(raw));
+    return Status::ok();
+  }
+
+  /// The escape set append_json_escaped emits (\" \\ \uXXXX) plus the
+  /// remaining standard single-char escapes, so hand-written inputs work.
+  [[nodiscard]] Status string(std::string& out) {
+    if (!eat('"')) return fail("expected '\"'");
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("truncated escape");
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            c = esc;
+            pos_ += 2;
+            break;
+          case 'b':
+            c = '\b';
+            pos_ += 2;
+            break;
+          case 'f':
+            c = '\f';
+            pos_ += 2;
+            break;
+          case 'n':
+            c = '\n';
+            pos_ += 2;
+            break;
+          case 'r':
+            c = '\r';
+            pos_ += 2;
+            break;
+          case 't':
+            c = '\t';
+            pos_ += 2;
+            break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return fail("truncated \\u escape");
+            const std::string hex(text_.substr(pos_ + 2, 4));
+            char* end = nullptr;
+            const unsigned long cp = std::strtoul(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return fail("bad \\u escape");
+            // The writer only escapes control bytes (< 0x20); decode the
+            // low byte and reject the rest rather than mis-decode.
+            if (cp > 0xFF) return fail("unsupported \\u escape > 0xff");
+            c = static_cast<char>(cp);
+            pos_ += 6;
+            break;
+          }
+          default:
+            return fail("unknown escape character");
+        }
+      } else {
+        ++pos_;
+      }
+      out.push_back(c);
+    }
+    if (!eat('"')) return fail("unterminated string");
+    return Status::ok();
+  }
+
+  [[nodiscard]] Status array(Value& out, int depth) {
+    (void)eat('[');
+    std::vector<Value> items;
+    skip_ws();
+    if (eat(']')) {
+      out = Value::array(std::move(items));
+      return Status::ok();
+    }
+    for (;;) {
+      Value item;
+      Status status = value(item, depth + 1);
+      if (!status.is_ok()) return status;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (eat(']')) break;
+      if (!eat(',')) return fail("expected ',' or ']' in array");
+    }
+    out = Value::array(std::move(items));
+    return Status::ok();
+  }
+
+  [[nodiscard]] Status object(Value& out, int depth) {
+    (void)eat('{');
+    std::vector<Member> members;
+    skip_ws();
+    if (eat('}')) {
+      out = Value::object(std::move(members));
+      return Status::ok();
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      Status status = string(key);
+      if (!status.is_ok()) return status;
+      for (const Member& m : members) {
+        if (m.first == key) return fail("duplicate key '" + key + "'");
+      }
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after object key");
+      Value member;
+      status = value(member, depth + 1);
+      if (!status.is_ok()) return status;
+      members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eat('}')) break;
+      if (!eat(',')) return fail("expected ',' or '}' in object");
+    }
+    out = Value::object(std::move(members));
+    return Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status parse(std::string_view text, Value& out) {
+  return Parser(text).run(out);
+}
+
+bool number_or_marker(const Value& value, double* out) noexcept {
+  if (value.is_number()) {
+    *out = value.as_number();
+    return true;
+  }
+  if (value.is_string()) {
+    const std::string& s = value.as_string();
+    if (s == "nan") {
+      *out = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    }
+    if (s == "inf") {
+      *out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (s == "-inf") {
+      *out = -std::numeric_limits<double>::infinity();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format_number(double x) { return format_json_number(x); }
+
+}  // namespace swapgame::obs::json

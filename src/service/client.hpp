@@ -1,0 +1,88 @@
+// Synchronous client for the swapgamed wire protocol (protocol.hpp,
+// docs/SERVICE.md).  One Client wraps one connection; submit() blocks
+// until the job's `done` event, surfacing per-cell progress through an
+// optional callback.  Every entry point returns swapgame::Status -- the
+// client never throws for peer-visible failures, and the codes mirror
+// what the daemon rejected with (kAdmissionRejected, kInvalidSpec, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+#include "protocol.hpp"
+#include "status.hpp"
+
+namespace swapgame::service {
+
+class Client {
+ public:
+  /// Progress report for one finished cell, fired in completion order
+  /// (NOT node order) from inside submit().
+  struct CellUpdate {
+    std::size_t index = 0;      ///< node index within the job
+    bool cached = false;        ///< served from the shared cache
+    std::string source;         ///< "evaluated"/"memory"/"disk"/...
+    Status status;              ///< per-cell evaluation status
+  };
+  using ProgressFn = std::function<void(const CellUpdate&)>;
+
+  /// Everything a completed job reports, in node order.
+  struct SubmitOutcome {
+    std::uint64_t job_id = 0;
+    std::vector<engine::RunResult> results;  ///< node order
+    std::vector<bool> cached;                ///< per-cell provenance
+    std::vector<Status> cell_status;         ///< per-cell status
+    std::size_t cells = 0;
+    std::size_t cached_cells = 0;
+    std::size_t failed_cells = 0;
+  };
+
+  Client() = default;
+  ~Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and consumes the daemon's hello, verifying both the wire
+  /// protocol version and the RunSpec schema version -- version skew is a
+  /// kUnsupportedVersion here, before any work is submitted.
+  [[nodiscard]] Status connect(const std::string& socket_path);
+  void close() { socket_.close(); }
+  [[nodiscard]] bool connected() const noexcept { return socket_.valid(); }
+
+  /// Submits one DAG job and blocks until it finishes.  On acceptance,
+  /// `outcome` is filled in node order; if any cell failed, the FIRST
+  /// failing cell's status is returned (outcome still carries every other
+  /// result).  A rejection (admission, invalid spec, shutdown) comes back
+  /// as the daemon's status, with nothing run.
+  [[nodiscard]] Status submit(const std::vector<engine::BatchNode>& nodes,
+                              SubmitOutcome* outcome,
+                              const ProgressFn& progress = nullptr);
+
+  /// Liveness probe.
+  [[nodiscard]] Status ping();
+  /// Fetches the daemon's stats event; *stats_json receives the raw
+  /// single-line JSON (daemon + engine counters).
+  [[nodiscard]] Status server_stats(std::string* stats_json);
+  /// Asks the daemon to shut down; resolves once `bye` arrives.
+  [[nodiscard]] Status shutdown_server();
+
+ private:
+  /// Reads events until one of `terminal` arrives (cell events en route
+  /// are dispatched to `on_cell`); error events and transport failures
+  /// come back as the Status.  `raw_line` (optional) receives the
+  /// terminal event's verbatim line.
+  [[nodiscard]] Status await_event(
+      const std::vector<std::string_view>& terminal, std::string* event,
+      obs::json::Value* payload, std::string* raw_line,
+      const std::function<Status(const obs::json::Value&)>& on_cell = {});
+
+  LineSocket socket_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace swapgame::service

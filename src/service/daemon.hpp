@@ -1,0 +1,158 @@
+// swapgamed: a long-running batch-engine server.
+//
+// One daemon owns one engine::BatchEngine (and through it one content-
+// addressed ResultCache, optionally disk-backed), accepts RunSpec DAG
+// jobs from any number of local clients over an AF_UNIX socket
+// (protocol.hpp), and schedules their cells on a private
+// sweep::ThreadPool.  Because every client's cells resolve through the
+// SAME cache, a spec any client has ever evaluated is served from storage
+// for every later client -- the cache is the shared resource the daemon
+// exists to keep warm.
+//
+// Scheduling: the daemon runs its own dispatcher instead of handing whole
+// jobs to BatchEngine::run_batch, for two reasons.  First, admission
+// control -- a job is accepted only if its cells fit under the queued-cell
+// bound, so a flood of submissions gets a structured kAdmissionRejected
+// backpressure response instead of unbounded queue growth.  Second,
+// fairness -- ready cells are dispatched round-robin across CLIENTS (cell
+// granularity), so one client's thousand-cell sweep cannot starve another
+// client's two-cell probe.  Each dispatched cell is one
+// BatchEngine::run(spec, &source) call on a pool worker: the engine
+// resolves it through its cache tiers and reports the provenance the
+// daemon streams back in the cell event.
+//
+// Threading model: one accept thread, one reader thread per connection,
+// one dispatcher thread, `threads` pool workers.  Event writes to a
+// connection are serialized by a per-connection mutex; the `done` event is
+// written by whichever worker completes a job's last cell, strictly after
+// that cell's own event.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+#include "status.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace swapgame::service {
+
+struct ServiceConfig {
+  /// AF_UNIX socket path the daemon listens on.
+  std::string socket_path;
+  /// Evaluation workers (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// In-memory result-cache capacity in entries (0 disables the LRU).
+  std::size_t memory_capacity = 4096;
+  /// On-disk cache directory shared across restarts and with offline
+  /// BatchEngine users ("" disables the disk tier).
+  std::string cache_dir;
+  /// Max cells being evaluated at once (0 = worker count).
+  std::size_t max_inflight_cells = 0;
+  /// Admission bound: max admitted-but-unfinished cells across all
+  /// clients.  A submit that would exceed it is rejected with
+  /// kAdmissionRejected (0 = unbounded).
+  std::size_t max_queued_cells = 4096;
+  /// Max simultaneous client connections; further connects get an error
+  /// event and are closed (0 = unbounded).
+  std::size_t max_clients = 64;
+};
+
+/// Monotone daemon telemetry (lifetime of the daemon instance).
+struct DaemonStats {
+  std::uint64_t connections_total = 0;  ///< connections accepted
+  std::uint64_t connections_rejected = 0;  ///< turned away (max_clients)
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_rejected = 0;  ///< admission / shutdown rejections
+  std::uint64_t cells_completed = 0;
+  std::uint64_t cells_cached = 0;  ///< completed cells served from storage
+  std::uint64_t cells_failed = 0;  ///< completed cells whose eval threw
+  std::uint64_t protocol_errors = 0;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(ServiceConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and starts the accept/dispatch machinery.  Fails
+  /// (kUnavailable) if the path is unusable or the daemon already runs.
+  [[nodiscard]] Status start();
+
+  /// Blocks until a client's shutdown request (or stop()) arrives.  The
+  /// swapgamed main thread parks here.
+  void wait();
+
+  /// Stops accepting work, drains in-flight cells, joins every thread and
+  /// removes the socket file.  Idempotent; implied by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] const std::string& socket_path() const {
+    return config_.socket_path;
+  }
+  [[nodiscard]] DaemonStats stats() const;
+  [[nodiscard]] engine::EngineStats engine_stats() const;
+
+ private:
+  struct Connection;
+  struct Job;
+
+  void accept_loop();
+  void dispatch_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void run_cell(std::shared_ptr<Job> job, std::size_t index);
+
+  void handle_submit(const std::shared_ptr<Connection>& conn,
+                     std::uint64_t request_id,
+                     const obs::json::Value& root);
+  void handle_disconnect(const std::shared_ptr<Connection>& conn);
+  void request_stop();
+
+  /// Serialized write of one event line; errors are dropped (the peer is
+  /// gone, its reader thread will notice).
+  void send_line(const std::shared_ptr<Connection>& conn,
+                 const std::string& line);
+  void send_error(const std::shared_ptr<Connection>& conn,
+                  std::uint64_t request_id, const Status& status);
+  [[nodiscard]] std::string render_stats_locked(std::uint64_t request_id);
+
+  /// Queues `job` (which must have ready cells) for round-robin dispatch.
+  void enqueue_ready_locked(const std::shared_ptr<Job>& job);
+
+  ServiceConfig config_;
+  std::unique_ptr<engine::BatchEngine> engine_;  ///< serial, pool-driven
+  std::unique_ptr<sweep::ThreadPool> pool_;
+  std::size_t max_inflight_ = 1;  ///< resolved from config in start()
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+
+  mutable std::mutex mutex_;  ///< guards all mutable state below
+  std::condition_variable dispatch_cv_;
+  std::condition_variable stop_cv_;
+  bool started_ = false;
+  bool stopping_ = false;        ///< no new connections/jobs admitted
+  bool stop_requested_ = false;  ///< wakes wait()
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::size_t open_connections_ = 0;
+  std::uint64_t next_client_id_ = 1;
+  std::uint64_t next_job_id_ = 1;
+  /// Round-robin dispatch order: connections with ready cells, each
+  /// present at most once.
+  std::deque<std::shared_ptr<Connection>> rr_queue_;
+  std::size_t queued_cells_ = 0;    ///< admitted, not yet finished
+  std::size_t inflight_cells_ = 0;  ///< currently on the pool
+  DaemonStats stats_;
+};
+
+}  // namespace swapgame::service

@@ -1,0 +1,158 @@
+// swapgame::Status: the error-code surface of every public API boundary
+// that can fail for a *caller-visible* reason (malformed input, resource
+// pressure, a peer going away).  Internals keep using exceptions for
+// programming errors and impossible states; a boundary function catches
+// them and folds them into a Status so callers -- especially the service
+// daemon and its clients, which talk across a process boundary where C++
+// exceptions cannot travel -- see one uniform, wire-encodable result type.
+//
+// The code set is deliberately small and stable: codes cross the wire as
+// their to_string() tokens (docs/SERVICE.md), so adding a code is a
+// protocol-visible change while adding detail to `message` is not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace swapgame {
+
+/// Machine-readable failure class.  Distinct codes exist exactly where a
+/// caller would branch differently: a rejected submission is retryable
+/// after backoff (kAdmissionRejected), a bad spec is not (kInvalidSpec),
+/// a corrupt cache entry warrants re-evaluation (kCacheCorrupt).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// Input that can never succeed: malformed JSON, an unknown key, a
+  /// missing field, an out-of-range dependency, a validation failure.
+  kInvalidSpec,
+  /// A versioned payload (RunSpec JSON, wire envelope) carried a schema
+  /// version this build does not speak.  Separate from kInvalidSpec so
+  /// mixed-version fleets can distinguish "upgrade me" from "fix input".
+  kUnsupportedVersion,
+  /// Admission control turned the request away: accepting it would
+  /// exceed the daemon's queued-cell bound.  Backpressure, not failure --
+  /// the client should retry after draining in-flight work.
+  kAdmissionRejected,
+  /// A stored result failed to parse or verify (stale schema, truncated
+  /// entry, hash mismatch).  The entry is ignored and recomputed; the
+  /// code surfaces only where corruption is the primary result.
+  kCacheCorrupt,
+  /// The peer broke the newline-delimited JSON protocol (unparseable
+  /// request line, unknown op, response out of sequence).
+  kProtocolError,
+  /// The transport failed: connect/bind/read/write on the local socket.
+  kUnavailable,
+  /// The daemon is shutting down and no longer accepts work.
+  kShuttingDown,
+  /// An internal invariant failed while serving the request (an escaped
+  /// exception); the message carries what() for the log.
+  kInternal,
+};
+
+/// Stable wire token for a code ("ok", "invalid_spec", ...).
+[[nodiscard]] constexpr const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidSpec:
+      return "invalid_spec";
+    case StatusCode::kUnsupportedVersion:
+      return "unsupported_version";
+    case StatusCode::kAdmissionRejected:
+      return "admission_rejected";
+    case StatusCode::kCacheCorrupt:
+      return "cache_corrupt";
+    case StatusCode::kProtocolError:
+      return "protocol_error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kShuttingDown:
+      return "shutting_down";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+/// Inverse of to_string(); unknown tokens map to kInternal (a peer
+/// speaking a newer protocol still yields a failed, loggable Status).
+[[nodiscard]] constexpr StatusCode status_code_from_token(
+    std::string_view token) noexcept {
+  if (token == "ok") return StatusCode::kOk;
+  if (token == "invalid_spec") return StatusCode::kInvalidSpec;
+  if (token == "unsupported_version") return StatusCode::kUnsupportedVersion;
+  if (token == "admission_rejected") return StatusCode::kAdmissionRejected;
+  if (token == "cache_corrupt") return StatusCode::kCacheCorrupt;
+  if (token == "protocol_error") return StatusCode::kProtocolError;
+  if (token == "unavailable") return StatusCode::kUnavailable;
+  if (token == "shutting_down") return StatusCode::kShuttingDown;
+  return StatusCode::kInternal;
+}
+
+/// A code plus a human-readable detail message.  Default-constructed is
+/// OK; failures are built through the named factories so call sites read
+/// as `return Status::invalid_spec("unknown key 'foo'")`.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status invalid_spec(std::string message) {
+    return Status(StatusCode::kInvalidSpec, std::move(message));
+  }
+  [[nodiscard]] static Status unsupported_version(std::string message) {
+    return Status(StatusCode::kUnsupportedVersion, std::move(message));
+  }
+  [[nodiscard]] static Status admission_rejected(std::string message) {
+    return Status(StatusCode::kAdmissionRejected, std::move(message));
+  }
+  [[nodiscard]] static Status cache_corrupt(std::string message) {
+    return Status(StatusCode::kCacheCorrupt, std::move(message));
+  }
+  [[nodiscard]] static Status protocol_error(std::string message) {
+    return Status(StatusCode::kProtocolError, std::move(message));
+  }
+  [[nodiscard]] static Status unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  [[nodiscard]] static Status shutting_down(std::string message) {
+    return Status(StatusCode::kShuttingDown, std::move(message));
+  }
+  [[nodiscard]] static Status internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  [[nodiscard]] static Status from_token(std::string_view token,
+                                         std::string message) {
+    return Status(status_code_from_token(token), std::move(message));
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return code_ == StatusCode::kOk;
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// "ok" or "<token>: <message>" -- the log/CLI rendering.
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string out = swapgame::to_string(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace swapgame

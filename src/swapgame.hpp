@@ -13,6 +13,11 @@
 //   * engine  -- engine::RunSpec / BatchEngine: batched cell evaluation
 //                with content-addressed caching and resumable checkpoints
 //                (docs/ENGINE.md), and the engine-native scenario sweep;
+//   * service -- the swapgamed daemon and its client: RunSpec DAG jobs as
+//                newline-delimited JSON over a local socket, admission
+//                control, per-client fairness and a cache shared across
+//                clients (docs/SERVICE.md), with swapgame::Status as the
+//                error surface of every boundary;
 //   * proto / agents -- single-swap execution on simulated ledgers with
 //                pluggable strategies, for callers stepping one swap;
 //   * obs     -- structured tracing + metrics sinks accepted by all of the
@@ -48,6 +53,11 @@
 #include "engine/batch_engine.hpp"
 #include "engine/run_spec.hpp"
 #include "engine/scenario_batch.hpp"
+
+// Service daemon + client (and the Status type every boundary returns).
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "status.hpp"
 
 // Observability + scheduling.
 #include "obs/metrics.hpp"

@@ -1,0 +1,95 @@
+// swapgamed: the swap-game batch service daemon (docs/SERVICE.md).
+//
+// Boots a service::Daemon on an AF_UNIX socket and parks until a client
+// sends the shutdown op (swapgame_client shutdown).  All knobs mirror
+// service::ServiceConfig; the defaults serve the CI smoke job and local
+// use unchanged.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/daemon.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [options]\n"
+      "  --socket PATH        AF_UNIX socket to listen on (required)\n"
+      "  --cache-dir DIR      on-disk result cache shared across restarts\n"
+      "  --threads N          evaluation workers (default: hardware)\n"
+      "  --memory-capacity N  in-memory cache entries (default 4096)\n"
+      "  --max-inflight N     cells evaluating at once (default: workers)\n"
+      "  --max-queue N        admission bound on queued cells (default 4096,\n"
+      "                       0 = unbounded)\n"
+      "  --max-clients N      simultaneous connections (default 64)\n",
+      argv0);
+}
+
+bool parse_u64(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  swapgame::service::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    std::uint64_t parsed = 0;
+    if (arg == "--socket" && (value = next())) {
+      config.socket_path = value;
+    } else if (arg == "--cache-dir" && (value = next())) {
+      config.cache_dir = value;
+    } else if (arg == "--threads" && (value = next()) &&
+               parse_u64(value, &parsed)) {
+      config.threads = static_cast<unsigned>(parsed);
+    } else if (arg == "--memory-capacity" && (value = next()) &&
+               parse_u64(value, &parsed)) {
+      config.memory_capacity = static_cast<std::size_t>(parsed);
+    } else if (arg == "--max-inflight" && (value = next()) &&
+               parse_u64(value, &parsed)) {
+      config.max_inflight_cells = static_cast<std::size_t>(parsed);
+    } else if (arg == "--max-queue" && (value = next()) &&
+               parse_u64(value, &parsed)) {
+      config.max_queued_cells = static_cast<std::size_t>(parsed);
+    } else if (arg == "--max-clients" && (value = next()) &&
+               parse_u64(value, &parsed)) {
+      config.max_clients = static_cast<std::size_t>(parsed);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (config.socket_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  swapgame::service::Daemon daemon(std::move(config));
+  const swapgame::Status status = daemon.start();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "swapgamed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "swapgamed: listening on %s\n",
+               daemon.socket_path().c_str());
+  daemon.wait();
+  daemon.stop();
+  const swapgame::service::DaemonStats stats = daemon.stats();
+  std::fprintf(stderr,
+               "swapgamed: bye (jobs=%llu cells=%llu cached=%llu)\n",
+               static_cast<unsigned long long>(stats.jobs_accepted),
+               static_cast<unsigned long long>(stats.cells_completed),
+               static_cast<unsigned long long>(stats.cells_cached));
+  return 0;
+}
